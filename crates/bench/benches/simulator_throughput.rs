@@ -1,0 +1,37 @@
+//! Criterion wall-clock benchmarks of the simulator infrastructure itself
+//! (not a paper artefact): how fast the machine executes instrumented vs
+//! baseline binaries, and how expensive compilation is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hardbound_compiler::Mode;
+use hardbound_core::PointerEncoding;
+use hardbound_runtime::{build_machine, compile};
+use hardbound_workloads::{by_name, Scale};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_treeadd_smoke");
+    group.sample_size(20);
+    let w = by_name("treeadd", Scale::Smoke).expect("treeadd exists");
+    for mode in [Mode::Baseline, Mode::HardBound, Mode::SoftBound] {
+        let program = compile(&w.source, mode).expect("compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &program, |b, p| {
+            b.iter(|| {
+                let out = build_machine(p.clone(), mode, PointerEncoding::Intern4).run();
+                assert!(out.trap.is_none());
+                out.stats.cycles()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compilation(c: &mut Criterion) {
+    let w = by_name("bh", Scale::Smoke).expect("bh exists");
+    c.bench_function("compile_bh_hardbound", |b| {
+        b.iter(|| compile(&w.source, Mode::HardBound).expect("compiles"));
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_compilation);
+criterion_main!(benches);

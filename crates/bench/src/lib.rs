@@ -1,0 +1,28 @@
+//! Benchmark harness support for the HardBound evaluation.
+//!
+//! The actual experiment logic lives in `hardbound-report`; this crate's
+//! `benches/` directory exposes one `cargo bench` target per paper
+//! artefact:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig5_runtime_overhead` | Figure 5 (runtime overhead, stacked components) |
+//! | `fig6_memory_overhead` | Figure 6 (extra distinct pages touched) |
+//! | `fig7_comparison` | Figure 7 (software schemes vs HardBound) |
+//! | `correctness_suite` | §5.2 (288-pair spatial-violation corpus) |
+//! | `ablation_check_uop` | §5.4 (bounds check costs one µop) |
+//! | `ablation_tag_cache` | tag-cache capacity sensitivity |
+//! | `simulator_throughput` | criterion wall-clock benchmarks of the simulator itself |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scale selection for bench targets: `HB_SCALE=smoke` uses tiny inputs
+/// (useful in CI); anything else runs the full evaluation inputs.
+#[must_use]
+pub fn scale_from_env() -> hardbound_workloads::Scale {
+    match std::env::var("HB_SCALE").as_deref() {
+        Ok("smoke") => hardbound_workloads::Scale::Smoke,
+        _ => hardbound_workloads::Scale::Full,
+    }
+}

@@ -1,0 +1,236 @@
+/// Hit/miss counters for one cache array.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed (and filled).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; `0` when there were no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative array with true-LRU replacement.
+///
+/// Used for data caches, the tag metadata cache *and* TLBs (a TLB is the
+/// same structure with 4 KB "blocks"). Addresses are 64-bit because
+/// HardBound's metadata spaces are modelled as conceptual regions above the
+/// 32-bit program space (see `hardbound_isa::layout`).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    block_bits: u32,
+    num_sets: u64,
+    ways: usize,
+    /// `sets[set * ways + way]` = block tag, or `u64::MAX` when invalid.
+    lines: Vec<u64>,
+    /// LRU ordering per set: `order[set * ways + i]` is the way index of
+    /// the i-th most recently used line.
+    order: Vec<u8>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` capacity with `ways` ways and
+    /// `block_bytes` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are powers of two, `ways` divides the number of
+    /// blocks, and `ways <= 255`.
+    #[must_use]
+    pub fn new(size_bytes: u64, ways: usize, block_bytes: u64) -> Cache {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(ways > 0 && ways <= 255);
+        let blocks = size_bytes / block_bytes;
+        assert!(blocks >= ways as u64, "fewer blocks than ways");
+        assert_eq!(blocks % ways as u64, 0);
+        let num_sets = blocks / ways as u64;
+        Cache::with_sets(num_sets, ways, block_bytes)
+    }
+
+    /// Creates a cache from an explicit set count (used for TLBs:
+    /// `entries / ways` sets with page-sized blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_sets` and `block_bytes` are powers of two.
+    #[must_use]
+    pub fn with_sets(num_sets: u64, ways: usize, block_bytes: u64) -> Cache {
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(block_bytes.is_power_of_two());
+        let total = (num_sets as usize) * ways;
+        Cache {
+            block_bits: block_bytes.trailing_zeros(),
+            num_sets,
+            ways,
+            lines: vec![u64::MAX; total],
+            order: (0..total).map(|i| (i % ways) as u8).collect(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A 256-entry 4-way TLB over 4 KB pages (the paper's configuration).
+    #[must_use]
+    pub fn tlb_256_4way() -> Cache {
+        Cache::with_sets(64, 4, 4096)
+    }
+
+    /// Looks up the block containing `addr`, filling on miss. Returns
+    /// `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let block = addr >> self.block_bits;
+        let set = (block % self.num_sets) as usize;
+        let base = set * self.ways;
+        let lines = &mut self.lines[base..base + self.ways];
+        let order = &mut self.order[base..base + self.ways];
+
+        if let Some(way) = lines.iter().position(|&t| t == block) {
+            // Hit: move `way` to the front of the recency order.
+            let pos = order.iter().position(|&w| w as usize == way).expect("way in order");
+            order[..=pos].rotate_right(1);
+            self.stats.hits += 1;
+            true
+        } else {
+            // Miss: evict the LRU way (last in the order).
+            let victim = order[self.ways - 1] as usize;
+            lines[victim] = block;
+            order.rotate_right(1);
+            debug_assert_eq!(order[0] as usize, victim);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Whether the block containing `addr` is currently resident (no state
+    /// change, no stats).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = addr >> self.block_bits;
+        let set = (block % self.num_sets) as usize;
+        let base = set * self.ways;
+        self.lines[base..base + self.ways].contains(&block)
+    }
+
+    /// Accumulated hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Capacity in blocks (diagnostic).
+    #[must_use]
+    pub fn num_blocks(&self) -> u64 {
+        self.num_sets * self.ways as u64
+    }
+
+    /// Block size in bytes.
+    #[must_use]
+    pub fn block_bytes(&self) -> u64 {
+        1 << self.block_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = Cache::new(1024, 4, 32);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x11F)); // same 32-byte block
+        assert!(!c.access(0x120)); // next block
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 4 blocks, 4 ways, 1 set: pure LRU stack of depth 4.
+        let mut c = Cache::new(128, 4, 32);
+        for a in [0u64, 32, 64, 96] {
+            assert!(!c.access(a));
+        }
+        // Touch 0 to make it MRU; next fill must evict 32.
+        assert!(c.access(0));
+        assert!(!c.access(128));
+        assert!(!c.access(32), "LRU line must have been evicted");
+        assert!(c.access(0), "MRU line must survive");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = Cache::new(256, 1, 32); // direct-mapped, 8 sets
+        assert!(!c.access(0));
+        assert!(!c.access(32));
+        assert!(c.access(0));
+        assert!(c.access(32));
+        // Conflicting block (same set as 0: 8 sets * 32B = 256B stride).
+        assert!(!c.access(256));
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = Cache::new(128, 4, 32);
+        c.access(0);
+        let before = c.stats();
+        assert!(c.probe(0));
+        assert!(!c.probe(32));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn tlb_covers_pages() {
+        let mut t = Cache::tlb_256_4way();
+        assert_eq!(t.num_blocks(), 256);
+        assert_eq!(t.block_bytes(), 4096);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1FFF));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn paper_geometries_construct() {
+        let l1 = Cache::new(32 * 1024, 4, 32);
+        assert_eq!(l1.num_blocks(), 1024);
+        let l2 = Cache::new(4 * 1024 * 1024, 4, 32);
+        assert_eq!(l2.num_blocks(), 131072);
+        let tag2k = Cache::new(2 * 1024, 4, 32);
+        assert_eq!(tag2k.num_blocks(), 64);
+        let tag8k = Cache::new(8 * 1024, 4, 32);
+        assert_eq!(tag8k.num_blocks(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Cache::new(3000, 4, 32);
+    }
+
+    #[test]
+    fn metadata_space_addresses_index_correctly() {
+        // Conceptual 64-bit addresses above 4 GB must not alias low ones
+        // unless their block bits collide by construction.
+        let mut c = Cache::new(128, 4, 32);
+        assert!(!c.access(0x1_0000_0000));
+        assert!(c.access(0x1_0000_0000));
+        assert!(!c.access(0x0000_0000));
+    }
+}

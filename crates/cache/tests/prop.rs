@@ -1,0 +1,77 @@
+//! Property test: the set-associative LRU cache must agree with a naive
+//! reference model (per-set `Vec` ordered by recency).
+
+use hardbound_cache::Cache;
+use proptest::prelude::*;
+
+/// Naive reference: each set is a recency-ordered vector of block tags.
+struct RefCache {
+    block_bits: u32,
+    num_sets: u64,
+    ways: usize,
+    sets: Vec<Vec<u64>>,
+}
+
+impl RefCache {
+    fn new(num_sets: u64, ways: usize, block_bytes: u64) -> RefCache {
+        RefCache {
+            block_bits: block_bytes.trailing_zeros(),
+            num_sets,
+            ways,
+            sets: vec![Vec::new(); num_sets as usize],
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let block = addr >> self.block_bits;
+        let set = &mut self.sets[(block % self.num_sets) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            set.remove(pos);
+            set.insert(0, block);
+            true
+        } else {
+            set.insert(0, block);
+            set.truncate(self.ways);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        sets_log in 0u32..4,
+        ways in 1usize..5,
+        addrs in prop::collection::vec(0u64..0x4000, 1..400),
+    ) {
+        let num_sets = 1u64 << sets_log;
+        let mut real = Cache::with_sets(num_sets, ways, 32);
+        let mut reference = RefCache::new(num_sets, ways, 32);
+        for (i, &a) in addrs.iter().enumerate() {
+            let got = real.access(a);
+            let want = reference.access(a);
+            prop_assert_eq!(got, want, "divergence at access {} addr {:#x}", i, a);
+        }
+        prop_assert_eq!(
+            real.stats().accesses(),
+            addrs.len() as u64
+        );
+    }
+
+    #[test]
+    fn probe_agrees_with_access_history(
+        addrs in prop::collection::vec(0u64..0x800, 1..200),
+    ) {
+        let mut c = Cache::with_sets(4, 2, 32);
+        let mut reference = RefCache::new(4, 2, 32);
+        for &a in &addrs {
+            // probe must predict exactly what a subsequent access reports.
+            let predicted = c.probe(a);
+            let hit = c.access(a);
+            prop_assert_eq!(predicted, hit);
+            reference.access(a);
+        }
+    }
+}

@@ -1,0 +1,1303 @@
+//! HIR → ISA code generation.
+//!
+//! The generator is deliberately simple (locals live in the stack frame,
+//! expressions evaluate into a LIFO pool of temporaries) so that the five
+//! instrumentation modes differ *only* in the metadata code they emit —
+//! exactly the property the paper's evaluation relies on when comparing
+//! schemes over the same benchmarks.
+//!
+//! Mode-specific lowering summary:
+//!
+//! * **Baseline** — `__setbound(p, n)` evaluates to `p`; no other change.
+//! * **MallocOnly** — `__setbound` emits the `setbound` instruction;
+//!   nothing else is instrumented (paper §3.2 legacy mode).
+//! * **HardBound** — additionally, every pointer *created* to frame or
+//!   global storage gets a `setbound`: address-of expressions, array
+//!   decay (including member arrays — the §3.2 sub-object narrowing), and
+//!   string literals. Dereferences need no code: the hardware checks
+//!   implicitly.
+//! * **SoftBound** — pointers become value/base/bound register triples.
+//!   Each dereference emits an explicit range check branching to an abort
+//!   block; pointer loads/stores move metadata through a software shadow
+//!   region (`layout::sw_shadow_addr`); pointer-typed locals hold their
+//!   metadata in adjacent frame slots; fat-pointer arguments pass their
+//!   metadata through a reserved argument-metadata area.
+//! * **ObjectTable** — object-creation sites register the allocation with
+//!   a host-side splay tree; each dereference issues an `ot_check` of the
+//!   effective address (object granularity: sub-object overflows are
+//!   invisible by design, reproducing the §2.2 limitation).
+
+use hardbound_lang::ast::{BinaryOp, UnaryOp};
+use hardbound_lang::types::Type;
+use hardbound_lang::{HExpr, HExprKind, HFunc, HStmt, Hir, Intrinsic};
+
+use hardbound_isa::layout;
+use hardbound_isa::{
+    BinOp, CmpOp, DataInit, FuncId, Function, FunctionBuilder, Label, Program, Reg, SysCall,
+    Width,
+};
+
+use crate::{CompileError, Mode};
+
+/// Bytes reserved after user globals for the fat-pointer argument metadata
+/// area used by SoftBound calls (8 args × {base, bound}).
+const ARG_META_BYTES: u32 = 64;
+
+/// Number of expression temporaries (`t0..`).
+const NTEMPS: usize = 20;
+
+pub(crate) fn generate(hir: &Hir, opts: &crate::Options) -> Result<Program, CompileError> {
+    let mode = opts.mode;
+    // Globals region layout: user globals, then the argument-metadata
+    // area, then the string pool.
+    let am_base = layout::GLOBALS_BASE + hir.globals_size.next_multiple_of(8);
+    let mut next = am_base + ARG_META_BYTES;
+    let mut str_addrs = Vec::new();
+    let mut data = Vec::new();
+    for s in &hir.strings {
+        str_addrs.push(next);
+        data.push(DataInit { addr: next, bytes: s.clone() });
+        next = (next + s.len() as u32).next_multiple_of(4);
+    }
+    let globals_size = next - layout::GLOBALS_BASE;
+    for g in &hir.globals {
+        if g.init != 0 {
+            data.push(DataInit {
+                addr: layout::GLOBALS_BASE + g.offset,
+                bytes: (g.init as u32).to_le_bytes().to_vec(),
+            });
+        }
+    }
+
+    let cg = Codegen { hir, mode, str_addrs, am_base, unchecked: &opts.unchecked };
+    let mut functions = Vec::new();
+    for f in &hir.funcs {
+        functions.push(cg.gen_func(f)?);
+    }
+    functions.push(cg.gen_start());
+    let entry = FuncId(functions.len() as u32 - 1);
+
+    Ok(Program { functions, entry, globals_size, data })
+}
+
+struct Codegen<'a> {
+    hir: &'a Hir,
+    mode: Mode,
+    str_addrs: Vec<u32>,
+    am_base: u32,
+    unchecked: &'a std::collections::BTreeSet<String>,
+}
+
+/// A value held in registers: scalar, or a SoftBound fat pointer.
+#[derive(Clone, Copy, Debug)]
+enum PVal {
+    /// Plain value.
+    S(Reg),
+    /// SoftBound value/base/bound triple.
+    F(Reg, Reg, Reg),
+}
+
+impl PVal {
+    fn value(self) -> Reg {
+        match self {
+            PVal::S(r) | PVal::F(r, _, _) => r,
+        }
+    }
+}
+
+/// Base of an lvalue address.
+#[derive(Clone, Copy, Debug)]
+enum AddrBase {
+    /// Frame-direct (`fp + off`): a local variable.
+    Fp,
+    /// Globals-direct (`gp + off`): a global variable.
+    Gp,
+    /// A computed pointer (loaded or arithmetic-derived).
+    Val(PVal),
+}
+
+/// An lvalue address: base plus constant byte offset.
+#[derive(Clone, Copy, Debug)]
+struct Addr {
+    base: AddrBase,
+    off: i32,
+    /// SoftBound only: this address is exactly a pointer-typed local's
+    /// slot, whose metadata lives in the two adjacent frame slots (rather
+    /// than the software shadow region).
+    triple_slot: bool,
+}
+
+impl Addr {
+    /// Whether the address is rooted directly in the frame or globals —
+    /// the sites where the HardBound compiler must create bounds (paper
+    /// §3.2: "pointers the program creates to local or global data").
+    fn direct_root(&self) -> bool {
+        matches!(self.base, AddrBase::Fp | AddrBase::Gp)
+    }
+}
+
+struct FnCtx {
+    b: FunctionBuilder,
+    /// Software checks elided in this function (trusted runtime code).
+    trusted: bool,
+    local_off: Vec<u32>,
+    /// Whether each local is a fat-pointer triple slot (SoftBound mode).
+    local_fat: Vec<bool>,
+    locals_size: u32,
+    scratch_watermark: u32,
+    used: [bool; NTEMPS],
+    held: Vec<Reg>,
+    /// (continue-target, break-target) per enclosing loop.
+    loops: Vec<(Label, Label)>,
+    /// SoftBound bounds-check failure label (bound at function end).
+    fail: Option<Label>,
+}
+
+impl FnCtx {
+    fn alloc(&mut self) -> Result<Reg, CompileError> {
+        for i in 0..NTEMPS {
+            if !self.used[i] {
+                self.used[i] = true;
+                let r = Reg::temp(i);
+                self.held.push(r);
+                return Ok(r);
+            }
+        }
+        Err(CompileError {
+            message: "expression too complex: out of temporaries (simplify the expression)"
+                .to_owned(),
+        })
+    }
+
+    fn free(&mut self, r: Reg) {
+        let i = r.index() - Reg::FIRST_TEMP as usize;
+        debug_assert!(self.used[i], "double free of {r}");
+        self.used[i] = false;
+        if let Some(pos) = self.held.iter().rposition(|&h| h == r) {
+            self.held.remove(pos);
+        }
+    }
+
+    fn free_pval(&mut self, v: PVal) {
+        match v {
+            PVal::S(r) => self.free(r),
+            PVal::F(a, b, c) => {
+                self.free(c);
+                self.free(b);
+                self.free(a);
+            }
+        }
+    }
+
+    fn fail_label(&mut self) -> Label {
+        if let Some(l) = self.fail {
+            l
+        } else {
+            let l = self.b.new_label();
+            self.fail = Some(l);
+            l
+        }
+    }
+}
+
+impl<'a> Codegen<'a> {
+    fn size_of(&self, ty: &Type) -> u32 {
+        self.hir.types.size_of(ty)
+    }
+
+    fn width_of(&self, ty: &Type) -> Width {
+        if matches!(ty, Type::Char) {
+            Width::Byte
+        } else {
+            Width::Word
+        }
+    }
+
+    /// Is this type a fat pointer under the current mode?
+    fn is_fat(&self, ty: &Type) -> bool {
+        self.mode == Mode::SoftBound && ty.is_ptr()
+    }
+
+    /// The synthetic entry function: optional object-table registrations
+    /// for globals and strings, then `call main; halt(main's result)`.
+    fn gen_start(&self) -> Function {
+        let mut b = FunctionBuilder::new("_start", 0);
+        if self.mode == Mode::ObjectTable {
+            for g in &self.hir.globals {
+                // JK/RL/DA's static analysis elides non-array objects
+                // (paper §2.2); scalars are registered at address-taken
+                // sites instead.
+                if !matches!(g.ty, Type::Array(_, _) | Type::Struct(_)) {
+                    continue;
+                }
+                b.li(Reg::A0, layout::GLOBALS_BASE + g.offset);
+                b.li(Reg::A1, self.size_of(&g.ty));
+                b.sys(SysCall::OtRegister);
+            }
+            for (i, s) in self.hir.strings.iter().enumerate() {
+                b.li(Reg::A0, self.str_addrs[i]);
+                b.li(Reg::A1, s.len() as u32);
+                b.sys(SysCall::OtRegister);
+            }
+        }
+        b.call(FuncId(self.hir.main as u32));
+        b.halt();
+        b.finish()
+    }
+
+    fn gen_func(&self, f: &HFunc) -> Result<Function, CompileError> {
+        // Frame layout: locals (parameters first), then spill scratch.
+        let mut local_off = Vec::with_capacity(f.locals.len());
+        let mut off = 0u32;
+        for l in &f.locals {
+            let (size, align) = if self.is_fat(&l.ty) {
+                (12, 4) // value/base/bound triple in adjacent slots
+            } else {
+                (self.size_of(&l.ty).max(4), self.hir.types.align_of(&l.ty).max(4))
+            };
+            off = off.next_multiple_of(align);
+            local_off.push(off);
+            off += size;
+        }
+
+        let local_fat = f.locals.iter().map(|l| self.is_fat(&l.ty)).collect();
+        let mut cx = FnCtx {
+            b: FunctionBuilder::new(f.name.clone(), f.num_params as u8),
+            trusted: self.unchecked.contains(&f.name),
+            local_off,
+            local_fat,
+            locals_size: off.next_multiple_of(4),
+            scratch_watermark: 0,
+            used: [false; NTEMPS],
+            held: Vec::new(),
+            loops: Vec::new(),
+            fail: None,
+        };
+
+        // ObjectTable mode: register aggregate locals as objects at entry,
+        // as JK-style schemes do at declarations (their static analysis
+        // elides non-array objects; scalars are covered at address-taken
+        // sites instead). Deallocation on return is not modelled — stale
+        // entries only make the scheme more permissive (see DESIGN.md).
+        if self.mode == Mode::ObjectTable {
+            for (i, l) in f.locals.iter().enumerate() {
+                if matches!(l.ty, Type::Array(_, _) | Type::Struct(_)) {
+                    cx.b.addi(Reg::A0, Reg::FP, cx.local_off[i] as i32);
+                    cx.b.li(Reg::A1, self.size_of(&l.ty));
+                    cx.b.sys(SysCall::OtRegister);
+                }
+            }
+        }
+
+        // Prologue: spill register arguments to their frame slots.
+        for (i, l) in f.locals.iter().take(f.num_params).enumerate() {
+            let slot = cx.local_off[i] as i32;
+            cx.b.store(Width::Word, Reg::arg(i), Reg::FP, slot);
+            if self.is_fat(&l.ty) {
+                // Fat-pointer argument metadata arrives via the
+                // argument-metadata area.
+                let t = cx.alloc()?;
+                cx.b.li(t, self.am_base + 8 * i as u32);
+                let m = cx.alloc()?;
+                cx.b.load(Width::Word, m, t, 0);
+                cx.b.store(Width::Word, m, Reg::FP, slot + 4);
+                cx.b.load(Width::Word, m, t, 4);
+                cx.b.store(Width::Word, m, Reg::FP, slot + 8);
+                cx.free(m);
+                cx.free(t);
+            }
+        }
+
+        self.gen_stmts(&mut cx, &f.body)?;
+
+        // Fallback terminator (unreachable when the body always returns).
+        cx.b.li(Reg::A0, 0);
+        cx.b.ret();
+
+        // SoftBound failure block.
+        if let Some(fail) = cx.fail {
+            cx.b.bind(fail);
+            cx.b.li(Reg::A0, 1);
+            cx.b.sys(SysCall::Abort);
+        }
+
+        debug_assert!(cx.held.is_empty(), "leaked temporaries in `{}`", f.name);
+        let frame = cx.locals_size + cx.scratch_watermark;
+        cx.b.set_frame_size(frame);
+        Ok(cx.b.finish())
+    }
+
+    fn gen_stmts(&self, cx: &mut FnCtx, stmts: &[HStmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.gen_stmt(cx, s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&self, cx: &mut FnCtx, s: &HStmt) -> Result<(), CompileError> {
+        match s {
+            HStmt::Expr(e) => {
+                if let Some(v) = self.eval(cx, e)? {
+                    cx.free_pval(v);
+                }
+            }
+            HStmt::Init(id, e) => {
+                let ty = e.ty.clone();
+                let v = self.eval_expect(cx, e)?;
+                let addr = Addr {
+                    base: AddrBase::Fp,
+                    off: cx.local_off[id.0 as usize] as i32,
+                    triple_slot: self.is_fat(&ty),
+                };
+                self.store_through(cx, addr, v, &ty)?;
+                self.free_maybe_temp(cx, v);
+            }
+            HStmt::If { cond, then, els } => {
+                let c = self.eval_expect(cx, cond)?;
+                let lelse = cx.b.new_label();
+                cx.b.branch(CmpOp::Eq, c.value(), 0, lelse);
+                cx.free_pval(c);
+                self.gen_stmts(cx, then)?;
+                if els.is_empty() {
+                    cx.b.bind(lelse);
+                } else {
+                    let lend = cx.b.new_label();
+                    cx.b.jump(lend);
+                    cx.b.bind(lelse);
+                    self.gen_stmts(cx, els)?;
+                    cx.b.bind(lend);
+                }
+            }
+            HStmt::While { cond, body, step } => {
+                let lcond = cx.b.bind_label();
+                let lend = cx.b.new_label();
+                let lstep = cx.b.new_label();
+                if let Some(c) = cond {
+                    let cv = self.eval_expect(cx, c)?;
+                    cx.b.branch(CmpOp::Eq, cv.value(), 0, lend);
+                    cx.free_pval(cv);
+                }
+                cx.loops.push((lstep, lend));
+                self.gen_stmts(cx, body)?;
+                cx.loops.pop();
+                cx.b.bind(lstep);
+                if let Some(st) = step {
+                    if let Some(v) = self.eval(cx, st)? {
+                        cx.free_pval(v);
+                    }
+                }
+                cx.b.jump(lcond);
+                cx.b.bind(lend);
+            }
+            HStmt::Return(value) => {
+                if let Some(v) = value {
+                    let ty = v.ty.clone();
+                    let pv = self.eval_expect(cx, v)?;
+                    if let PVal::F(r, b, d) = pv {
+                        // Fat-pointer return metadata goes through the
+                        // argument-metadata area, slot 0.
+                        let t = cx.alloc()?;
+                        cx.b.li(t, self.am_base);
+                        cx.b.store(Width::Word, b, t, 0);
+                        cx.b.store(Width::Word, d, t, 4);
+                        cx.free(t);
+                        cx.b.mov(Reg::A0, r);
+                    } else {
+                        cx.b.mov(Reg::A0, pv.value());
+                    }
+                    cx.free_pval(pv);
+                    let _ = ty;
+                }
+                cx.b.ret();
+            }
+            HStmt::Break => {
+                let (_, lend) = *cx.loops.last().expect("sema validated loop nesting");
+                cx.b.jump(lend);
+            }
+            HStmt::Continue => {
+                let (lstep, _) = *cx.loops.last().expect("sema validated loop nesting");
+                cx.b.jump(lstep);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expression evaluation ------------------------------------------
+
+    fn eval_expect(&self, cx: &mut FnCtx, e: &HExpr) -> Result<PVal, CompileError> {
+        self.eval(cx, e)?.ok_or_else(|| CompileError {
+            message: "void expression used as a value".to_owned(),
+        })
+    }
+
+    /// Evaluates an rvalue; `None` for void expressions.
+    fn eval(&self, cx: &mut FnCtx, e: &HExpr) -> Result<Option<PVal>, CompileError> {
+        match &e.kind {
+            HExprKind::Int(v) => {
+                let t = cx.alloc()?;
+                cx.b.li(t, *v as u32);
+                Ok(Some(self.wrap_null(cx, &e.ty, t)?))
+            }
+            HExprKind::Str(i) => {
+                let addr = self.str_addrs[*i];
+                let len = self.hir.strings[*i].len() as i32;
+                let t = cx.alloc()?;
+                cx.b.li(t, addr);
+                match self.mode {
+                    Mode::HardBound => {
+                        cx.b.setbound_imm(t, t, len);
+                        Ok(Some(PVal::S(t)))
+                    }
+                    Mode::SoftBound => {
+                        let b = cx.alloc()?;
+                        cx.b.li(b, addr);
+                        let d = cx.alloc()?;
+                        cx.b.li(d, addr.wrapping_add(len as u32));
+                        Ok(Some(PVal::F(t, b, d)))
+                    }
+                    _ => Ok(Some(PVal::S(t))),
+                }
+            }
+            HExprKind::Local(_) | HExprKind::Global(_) | HExprKind::Deref(_)
+            | HExprKind::Index(_, _) | HExprKind::Member(_, _) | HExprKind::Arrow(_, _) => {
+                let addr = self.eval_addr(cx, e)?;
+                let v = self.load_through(cx, addr, &e.ty)?;
+                self.free_addr_keep(cx, addr, v);
+                Ok(Some(v))
+            }
+            HExprKind::Unary(op, inner) => {
+                let v = self.eval_expect(cx, inner)?;
+                let r = v.value();
+                match op {
+                    UnaryOp::Neg => cx.b.bin(BinOp::Sub, r, Reg::ZERO, r),
+                    UnaryOp::Not => cx.b.cmp(CmpOp::Eq, r, r, 0),
+                    UnaryOp::BitNot => cx.b.bin(BinOp::Xor, r, r, -1),
+                }
+                // The result is an integer; drop any fat metadata.
+                Ok(Some(self.demote(cx, v)))
+            }
+            HExprKind::Binary(op, lhs, rhs) => self.eval_binary(cx, e, *op, lhs, rhs),
+            HExprKind::LogicalAnd(a, bb) => self.eval_logical(cx, a, bb, true),
+            HExprKind::LogicalOr(a, bb) => self.eval_logical(cx, a, bb, false),
+            HExprKind::Assign(lhs, rhs) => {
+                let addr = self.eval_addr(cx, lhs)?;
+                let v = self.eval_expect(cx, rhs)?;
+                self.store_through(cx, addr, v, &lhs.ty)?;
+                self.free_addr_keep(cx, addr, v);
+                Ok(Some(v))
+            }
+            HExprKind::Cond(c, t, f) => {
+                let cv = self.eval_expect(cx, c)?;
+                let lelse = cx.b.new_label();
+                let lend = cx.b.new_label();
+                cx.b.branch(CmpOp::Eq, cv.value(), 0, lelse);
+                cx.free_pval(cv);
+                // Allocate the result shape up front so both arms target
+                // the same registers.
+                let result = if self.is_fat(&e.ty) {
+                    PVal::F(cx.alloc()?, cx.alloc()?, cx.alloc()?)
+                } else {
+                    PVal::S(cx.alloc()?)
+                };
+                let tv = self.eval_expect(cx, t)?;
+                self.move_into(cx, result, tv);
+                cx.b.jump(lend);
+                cx.b.bind(lelse);
+                let fv = self.eval_expect(cx, f)?;
+                self.move_into(cx, result, fv);
+                cx.b.bind(lend);
+                Ok(Some(result))
+            }
+            HExprKind::AddrOf(lv) => {
+                let addr = self.eval_addr(cx, lv)?;
+                let size = self.size_of(&lv.ty);
+                let direct = addr.direct_root();
+                let v = self.materialize(cx, addr, size, direct)?;
+                if self.mode == Mode::ObjectTable && direct {
+                    // JK-style schemes track every address-taken object.
+                    cx.b.mov(Reg::A0, v.value());
+                    cx.b.li(Reg::A1, size);
+                    cx.b.sys(SysCall::OtRegister);
+                }
+                Ok(Some(v))
+            }
+            HExprKind::Decay(arr) => {
+                // Array decay: the §3.2 narrowing site — the pointer gets
+                // exactly the array's extent, in every protecting mode.
+                let addr = self.eval_addr(cx, arr)?;
+                let size = self.size_of(&arr.ty);
+                // ObjectTable mode registers whole objects at declaration
+                // (function entry / _start), so decay emits nothing extra:
+                // a member-array pointer checks against its *containing*
+                // object — exactly the §2.2 sub-object blindness.
+                Ok(Some(self.materialize(cx, addr, size, true)?))
+            }
+            HExprKind::Call(idx, args) => self.eval_call(cx, *idx, args, &e.ty),
+            HExprKind::Intrinsic(which, args) => self.eval_intrinsic(cx, *which, args, &e.ty),
+            HExprKind::Cast(inner) => self.eval_cast(cx, inner, &e.ty),
+        }
+    }
+
+    /// Fat null pointers: an integer literal converted to a pointer in
+    /// SoftBound mode carries `{0, 0}` metadata so any dereference fails.
+    fn wrap_null(&self, cx: &mut FnCtx, ty: &Type, t: Reg) -> Result<PVal, CompileError> {
+        if self.is_fat(ty) {
+            let b = cx.alloc()?;
+            cx.b.li(b, 0);
+            let d = cx.alloc()?;
+            cx.b.li(d, 0);
+            Ok(PVal::F(t, b, d))
+        } else {
+            Ok(PVal::S(t))
+        }
+    }
+
+    /// Frees the metadata registers of a fat value, keeping the value.
+    fn demote(&self, cx: &mut FnCtx, v: PVal) -> PVal {
+        match v {
+            PVal::S(r) => PVal::S(r),
+            PVal::F(r, b, d) => {
+                cx.free(d);
+                cx.free(b);
+                PVal::S(r)
+            }
+        }
+    }
+
+    fn move_into(&self, cx: &mut FnCtx, dst: PVal, src: PVal) {
+        match (dst, src) {
+            (PVal::S(d), s) => {
+                cx.b.mov(d, s.value());
+                cx.free_pval(s);
+            }
+            (PVal::F(dv, db, dd), PVal::F(sv, sb, sd)) => {
+                cx.b.mov(dv, sv);
+                cx.b.mov(db, sb);
+                cx.b.mov(dd, sd);
+                cx.free_pval(src);
+                let _ = (dv, db, dd, sv, sb, sd);
+            }
+            (PVal::F(dv, db, dd), PVal::S(sv)) => {
+                // Scalar flowing into a fat slot (e.g. a null literal that
+                // sema already coerced): null metadata.
+                cx.b.mov(dv, sv);
+                cx.b.li(db, 0);
+                cx.b.li(dd, 0);
+                cx.free(sv);
+            }
+        }
+    }
+
+    /// Frees the address temporaries unless they are aliased by `keep`
+    /// (loads reuse the pointer register for the result).
+    fn free_addr_keep(&self, cx: &mut FnCtx, addr: Addr, keep: PVal) {
+        let kept: &[Reg] = match keep {
+            PVal::S(r) => &[r],
+            PVal::F(..) => &[], // fat results never alias the address regs
+        };
+        if let AddrBase::Val(v) = addr.base {
+            match v {
+                PVal::S(r) => {
+                    if !kept.contains(&r) {
+                        cx.free(r);
+                    }
+                }
+                PVal::F(a, b, c) => {
+                    for r in [c, b, a] {
+                        if !kept.contains(&r) {
+                            cx.free(r);
+                        }
+                    }
+                }
+            }
+        }
+        let _ = keep;
+    }
+
+    // ---- lvalue addressing ----------------------------------------------
+
+    fn eval_addr(&self, cx: &mut FnCtx, e: &HExpr) -> Result<Addr, CompileError> {
+        match &e.kind {
+            HExprKind::Local(id) => Ok(Addr {
+                base: AddrBase::Fp,
+                off: cx.local_off[id.0 as usize] as i32,
+                triple_slot: cx.local_fat[id.0 as usize],
+            }),
+            HExprKind::Global(id) => Ok(Addr {
+                base: AddrBase::Gp,
+                off: self.hir.globals[id.0 as usize].offset as i32,
+                triple_slot: false,
+            }),
+            HExprKind::Deref(p) => {
+                let pv = self.eval_expect(cx, p)?;
+                Ok(Addr { base: AddrBase::Val(pv), off: 0, triple_slot: false })
+            }
+            HExprKind::Index(base, index) => {
+                let pv = self.eval_expect(cx, base)?;
+                let elem = self.size_of(&e.ty.clone());
+                if let HExprKind::Int(c) = index.kind {
+                    // Constant index folds into the addressing offset.
+                    let off = c
+                        .checked_mul(i64::from(elem))
+                        .filter(|v| i32::try_from(*v).is_ok())
+                        .ok_or_else(|| CompileError {
+                            message: "constant index overflows addressing".to_owned(),
+                        })?;
+                    return Ok(Addr {
+                        base: AddrBase::Val(pv),
+                        off: off as i32,
+                        triple_slot: false,
+                    });
+                }
+                let iv = self.eval_expect(cx, index)?;
+                let ir = iv.value();
+                self.scale(cx, ir, elem);
+                let checked = self.mode == Mode::ObjectTable && !cx.trusted;
+                if checked {
+                    cx.b.mov(Reg::A0, pv.value());
+                }
+                cx.b.add(ir, pv.value(), ir);
+                if checked {
+                    cx.b.mov(Reg::A1, ir);
+                    cx.b.sys(SysCall::OtCheckArith);
+                }
+                // The sum becomes the new pointer value; keep metadata.
+                let combined = match pv {
+                    PVal::S(r) => {
+                        // Move the sum into the pointer register so the
+                        // hardware's propagation (Figure 3 B) applies —
+                        // and free the index temp.
+                        cx.b.mov(r, ir);
+                        cx.free(ir);
+                        PVal::S(r)
+                    }
+                    PVal::F(r, b, d) => {
+                        cx.b.mov(r, ir);
+                        cx.free(ir);
+                        PVal::F(r, b, d)
+                    }
+                };
+                Ok(Addr { base: AddrBase::Val(combined), off: 0, triple_slot: false })
+            }
+            HExprKind::Member(base, fr) => {
+                let mut addr = self.eval_addr(cx, base)?;
+                addr.off += fr.offset as i32;
+                // A struct field is never a whole pointer-typed local.
+                addr.triple_slot = false;
+                Ok(addr)
+            }
+            HExprKind::Arrow(base, fr) => {
+                let pv = self.eval_expect(cx, base)?;
+                Ok(Addr { base: AddrBase::Val(pv), off: fr.offset as i32, triple_slot: false })
+            }
+            other => Err(CompileError { message: format!("not an lvalue: {other:?}") }),
+        }
+    }
+
+    /// Turns an [`Addr`] into a pointer value, optionally creating bounds.
+    ///
+    /// `narrow` requests bounds creation of `size` bytes in the protecting
+    /// modes; it is `true` at §3.2 instrumentation sites (frame/global
+    /// roots and array decay) and `false` for heap-derived addresses,
+    /// whose bounds already propagate from the original pointer.
+    fn materialize(
+        &self,
+        cx: &mut FnCtx,
+        addr: Addr,
+        size: u32,
+        narrow: bool,
+    ) -> Result<PVal, CompileError> {
+        let v = match addr.base {
+            AddrBase::Fp => {
+                let t = cx.alloc()?;
+                cx.b.addi(t, Reg::FP, addr.off);
+                PVal::S(t)
+            }
+            AddrBase::Gp => {
+                let t = cx.alloc()?;
+                cx.b.addi(t, Reg::GP, addr.off);
+                PVal::S(t)
+            }
+            AddrBase::Val(pv) => {
+                if addr.off != 0 {
+                    cx.b.addi(pv.value(), pv.value(), addr.off);
+                }
+                pv
+            }
+        };
+        if !narrow {
+            // SoftBound still needs *some* metadata on a scalar-shaped
+            // address (possible when taking &local without narrowing —
+            // does not happen today, but keep the shape correct).
+            if self.mode == Mode::SoftBound {
+                if let PVal::S(r) = v {
+                    let b = cx.alloc()?;
+                    cx.b.mov(b, r);
+                    let d = cx.alloc()?;
+                    cx.b.addi(d, r, size as i32);
+                    return Ok(PVal::F(r, b, d));
+                }
+            }
+            return Ok(v);
+        }
+        match self.mode {
+            Mode::HardBound => {
+                let r = v.value();
+                cx.b.setbound_imm(r, r, size as i32);
+                Ok(v)
+            }
+            Mode::SoftBound => match v {
+                PVal::S(r) => {
+                    let b = cx.alloc()?;
+                    cx.b.mov(b, r);
+                    let d = cx.alloc()?;
+                    cx.b.addi(d, r, size as i32);
+                    Ok(PVal::F(r, b, d))
+                }
+                PVal::F(r, b, d) => {
+                    // Narrow existing fat metadata (member-array decay).
+                    cx.b.mov(b, r);
+                    cx.b.addi(d, r, size as i32);
+                    Ok(PVal::F(r, b, d))
+                }
+            },
+            // Baseline, MallocOnly and ObjectTable create no bounds here
+            // (ObjectTable registration is handled at the Decay site).
+            _ => Ok(v),
+        }
+    }
+
+    // ---- loads and stores -----------------------------------------------
+
+    /// Emits the mode-specific checking/advice code for an access at
+    /// `addr` of `width`, leaving the access itself to the caller.
+    /// Returns the effective-address register when one had to be
+    /// materialized (caller must free it).
+    fn check_access(
+        &self,
+        cx: &mut FnCtx,
+        addr: Addr,
+        width: u32,
+    ) -> Result<Option<Reg>, CompileError> {
+        if cx.trusted {
+            return Ok(None);
+        }
+        match (self.mode, addr.base) {
+            (Mode::SoftBound, AddrBase::Val(PVal::F(v, b, d))) => {
+                // if (ea < base || ea + width > bound) abort;
+                let fail = cx.fail_label();
+                let ea = cx.alloc()?;
+                cx.b.addi(ea, v, addr.off);
+                cx.b.branch(CmpOp::LtU, ea, b, fail);
+                cx.b.addi(ea, ea, width as i32);
+                // bound < ea+width  ⇒  out of bounds.
+                cx.b.branch(CmpOp::LtU, d, ea, fail);
+                cx.free(ea);
+                Ok(None)
+            }
+            (Mode::ObjectTable, AddrBase::Val(pv)) => {
+                // Object-table lookup: the effective address must lie in
+                // the object covering the pointer value (JK's
+                // "dereferences fall within the original object").
+                cx.b.mov(Reg::A0, pv.value());
+                cx.b.addi(Reg::A1, pv.value(), addr.off);
+                cx.b.sys(SysCall::OtCheck);
+                Ok(None)
+            }
+            // Frame/global-direct accesses are compiler-generated and
+            // statically safe; software schemes do not check them
+            // (matching CCured's SAFE pointers / JK's source-level
+            // instrumentation). HardBound checks in hardware for free.
+            _ => Ok(None),
+        }
+    }
+
+    fn load_through(&self, cx: &mut FnCtx, addr: Addr, ty: &Type) -> Result<PVal, CompileError> {
+        let width = self.width_of(ty);
+        self.check_access(cx, addr, width.bytes())?;
+        let (base_reg, off) = match addr.base {
+            AddrBase::Fp => (Reg::FP, addr.off),
+            AddrBase::Gp => (Reg::GP, addr.off),
+            AddrBase::Val(pv) => (pv.value(), addr.off),
+        };
+        let t = cx.alloc()?;
+        cx.b.load(width, t, base_reg, off);
+        if !self.is_fat(ty) {
+            return Ok(PVal::S(t));
+        }
+        // SoftBound pointer load: fetch metadata.
+        let b = cx.alloc()?;
+        let d = cx.alloc()?;
+        if addr.triple_slot {
+            // Pointer-typed locals keep their triple in the frame.
+            cx.b.load(Width::Word, b, Reg::FP, off + 4);
+            cx.b.load(Width::Word, d, Reg::FP, off + 8);
+        } else {
+            let sh = self.sw_shadow_reg(cx, addr)?;
+            cx.b.load(Width::Word, b, sh, 0);
+            cx.b.load(Width::Word, d, sh, 4);
+            cx.free(sh);
+        }
+        Ok(PVal::F(t, b, d))
+    }
+
+    fn store_through(
+        &self,
+        cx: &mut FnCtx,
+        addr: Addr,
+        v: PVal,
+        ty: &Type,
+    ) -> Result<(), CompileError> {
+        let width = self.width_of(ty);
+        self.check_access(cx, addr, width.bytes())?;
+        let (base_reg, off) = match addr.base {
+            AddrBase::Fp => (Reg::FP, addr.off),
+            AddrBase::Gp => (Reg::GP, addr.off),
+            AddrBase::Val(pv) => (pv.value(), addr.off),
+        };
+        cx.b.store(width, v.value(), base_reg, off);
+        if let PVal::F(_, b, d) = v {
+            if self.is_fat(ty) {
+                if addr.triple_slot {
+                    cx.b.store(Width::Word, b, Reg::FP, off + 4);
+                    cx.b.store(Width::Word, d, Reg::FP, off + 8);
+                } else {
+                    let sh = self.sw_shadow_reg(cx, addr)?;
+                    cx.b.store(Width::Word, b, sh, 0);
+                    cx.b.store(Width::Word, d, sh, 4);
+                    cx.free(sh);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the software-shadow address for `addr` into a fresh
+    /// register: `SW_SHADOW_BASE + ea * 2` (split metadata, CCured-style).
+    fn sw_shadow_reg(&self, cx: &mut FnCtx, addr: Addr) -> Result<Reg, CompileError> {
+        let t = cx.alloc()?;
+        match addr.base {
+            AddrBase::Fp => cx.b.addi(t, Reg::FP, addr.off),
+            AddrBase::Gp => cx.b.addi(t, Reg::GP, addr.off),
+            AddrBase::Val(pv) => cx.b.addi(t, pv.value(), addr.off),
+        }
+        cx.b.bin(BinOp::Shl, t, t, 1);
+        cx.b.addi(t, t, layout::SW_SHADOW_BASE as i32);
+        Ok(t)
+    }
+
+    // ---- operators --------------------------------------------------------
+
+    fn scale(&self, cx: &mut FnCtx, r: Reg, elem: u32) {
+        if elem == 1 {
+        } else if elem.is_power_of_two() {
+            cx.b.bin(BinOp::Shl, r, r, elem.trailing_zeros() as i32);
+        } else {
+            cx.b.bin(BinOp::Mul, r, r, elem as i32);
+        }
+    }
+
+    fn eval_binary(
+        &self,
+        cx: &mut FnCtx,
+        e: &HExpr,
+        op: BinaryOp,
+        lhs: &HExpr,
+        rhs: &HExpr,
+    ) -> Result<Option<PVal>, CompileError> {
+        use BinaryOp::*;
+        let lt = lhs.ty.decay();
+        let rt = rhs.ty.decay();
+        let lv = self.eval_expect(cx, lhs)?;
+        let rv = self.eval_expect(cx, rhs)?;
+
+        let cmp = |o: BinaryOp| match o {
+            Lt => CmpOp::Lt,
+            Le => CmpOp::Le,
+            Gt => CmpOp::Gt,
+            Ge => CmpOp::Ge,
+            Eq => CmpOp::Eq,
+            Ne => CmpOp::Ne,
+            _ => unreachable!(),
+        };
+
+        match op {
+            Lt | Le | Gt | Ge | Eq | Ne => {
+                // Pointer comparisons use the value only (paper §4.4).
+                let c = if lt.is_ptr() && rt.is_ptr() {
+                    // Unsigned compare for pointers.
+                    match op {
+                        Lt => CmpOp::LtU,
+                        Ge => CmpOp::GeU,
+                        Le | Gt => {
+                            // a <=u b  ⇔  !(b <u a); emit swapped LtU and
+                            // negate via Eq 0 — cheaper: use signed forms,
+                            // fine for our sub-2GB address space.
+                            cmp(op)
+                        }
+                        other => cmp(other),
+                    }
+                } else {
+                    cmp(op)
+                };
+                let lr = lv.value();
+                cx.b.cmp(c, lr, lr, rv.value());
+                cx.free_pval(rv);
+                Ok(Some(self.demote(cx, lv)))
+            }
+            Add | Sub => {
+                let elem_of = |t: &Type| t.pointee().map(|p| self.size_of(p)).unwrap_or(1);
+                match (lt.is_ptr(), rt.is_ptr()) {
+                    (true, true) => {
+                        // Pointer difference: (a - b) / elem.
+                        debug_assert_eq!(op, Sub);
+                        let lr = lv.value();
+                        cx.b.sub(lr, lr, rv.value());
+                        let elem = elem_of(&lt);
+                        if elem > 1 {
+                            if elem.is_power_of_two() {
+                                cx.b.bin(BinOp::Sra, lr, lr, elem.trailing_zeros() as i32);
+                            } else {
+                                cx.b.bin(BinOp::Div, lr, lr, elem as i32);
+                            }
+                        }
+                        cx.free_pval(rv);
+                        Ok(Some(self.demote(cx, lv)))
+                    }
+                    (true, false) => {
+                        let elem = elem_of(&lt);
+                        let rr = rv.value();
+                        self.scale(cx, rr, elem);
+                        let lr = lv.value();
+                        let checked = self.mode == Mode::ObjectTable && !cx.trusted;
+                        if checked {
+                            cx.b.mov(Reg::A0, lr);
+                        }
+                        cx.b.bin(if op == Add { BinOp::Add } else { BinOp::Sub }, lr, lr, rr);
+                        if checked {
+                            // JK checks that pointer arithmetic stays in
+                            // the original object (§2.2).
+                            cx.b.mov(Reg::A1, lr);
+                            cx.b.sys(SysCall::OtCheckArith);
+                        }
+                        cx.free_pval(rv);
+                        Ok(Some(lv))
+                    }
+                    (false, true) => {
+                        debug_assert_eq!(op, Add);
+                        let elem = elem_of(&rt);
+                        let lr = lv.value();
+                        self.scale(cx, lr, elem);
+                        let rr = rv.value();
+                        let checked = self.mode == Mode::ObjectTable && !cx.trusted;
+                        if checked {
+                            cx.b.mov(Reg::A0, rr);
+                        }
+                        cx.b.add(rr, rr, lr);
+                        if checked {
+                            cx.b.mov(Reg::A1, rr);
+                            cx.b.sys(SysCall::OtCheckArith);
+                        }
+                        cx.free_pval(lv);
+                        Ok(Some(rv))
+                    }
+                    (false, false) => {
+                        let lr = lv.value();
+                        cx.b.bin(
+                            if op == Add { BinOp::Add } else { BinOp::Sub },
+                            lr,
+                            lr,
+                            rv.value(),
+                        );
+                        cx.free_pval(rv);
+                        Ok(Some(lv))
+                    }
+                }
+            }
+            Mul | Div | Rem | BitAnd | BitOr | BitXor | Shl | Shr => {
+                let bop = match op {
+                    Mul => BinOp::Mul,
+                    Div => BinOp::Div,
+                    Rem => BinOp::Rem,
+                    BitAnd => BinOp::And,
+                    BitOr => BinOp::Or,
+                    BitXor => BinOp::Xor,
+                    Shl => BinOp::Shl,
+                    Shr => BinOp::Sra, // C's >> on signed int
+                    _ => unreachable!(),
+                };
+                let lr = lv.value();
+                cx.b.bin(bop, lr, lr, rv.value());
+                cx.free_pval(rv);
+                Ok(Some(self.demote(cx, lv)))
+            }
+        }
+        .inspect(|_v| {
+            let _ = e;
+        })
+    }
+
+    fn eval_logical(
+        &self,
+        cx: &mut FnCtx,
+        a: &HExpr,
+        b: &HExpr,
+        is_and: bool,
+    ) -> Result<Option<PVal>, CompileError> {
+        let result = cx.alloc()?;
+        let lshort = cx.b.new_label();
+        let lend = cx.b.new_label();
+        let av = self.eval_expect(cx, a)?;
+        let short_cmp = if is_and { CmpOp::Eq } else { CmpOp::Ne };
+        cx.b.branch(short_cmp, av.value(), 0, lshort);
+        cx.free_pval(av);
+        let bv = self.eval_expect(cx, b)?;
+        cx.b.cmp(CmpOp::Ne, result, bv.value(), 0);
+        cx.free_pval(bv);
+        cx.b.jump(lend);
+        cx.b.bind(lshort);
+        cx.b.li(result, u32::from(!is_and));
+        cx.b.bind(lend);
+        Ok(Some(PVal::S(result)))
+    }
+
+    fn eval_cast(
+        &self,
+        cx: &mut FnCtx,
+        inner: &HExpr,
+        to: &Type,
+    ) -> Result<Option<PVal>, CompileError> {
+        let Some(v) = self.eval(cx, inner)? else {
+            return Ok(None);
+        };
+        match to {
+            Type::Void => {
+                cx.free_pval(v);
+                Ok(None)
+            }
+            Type::Char => {
+                // Truncate to 8 bits (C's (char)x, unsigned char model).
+                let v = self.demote(cx, v);
+                cx.b.bin(BinOp::And, v.value(), v.value(), 0xFF);
+                Ok(Some(v))
+            }
+            Type::Int => {
+                // Pointer-to-int and int-to-int are value-preserving; the
+                // hardware keeps propagating metadata through the register
+                // (paper §6.1's cast walkthrough).
+                Ok(Some(self.demote(cx, v)))
+            }
+            Type::Ptr(_) => {
+                if self.is_fat(to) {
+                    match v {
+                        PVal::F(..) => Ok(Some(v)), // ptr → ptr keeps metadata
+                        PVal::S(r) => {
+                            // int → ptr: null metadata (strict, like
+                            // CCured's runtime behaviour for forged
+                            // pointers).
+                            let b = cx.alloc()?;
+                            cx.b.li(b, 0);
+                            let d = cx.alloc()?;
+                            cx.b.li(d, 0);
+                            Ok(Some(PVal::F(r, b, d)))
+                        }
+                    }
+                } else {
+                    // Casts are no-ops to HardBound (§6.1).
+                    Ok(Some(v))
+                }
+            }
+            other => Err(CompileError { message: format!("unsupported cast target {other}") }),
+        }
+    }
+
+    // ---- calls ------------------------------------------------------------
+
+    fn eval_call(
+        &self,
+        cx: &mut FnCtx,
+        idx: usize,
+        args: &[HExpr],
+        ret: &Type,
+    ) -> Result<Option<PVal>, CompileError> {
+        // Evaluate all arguments into temporaries first.
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval_expect(cx, a)?);
+        }
+        // Marshal: values into argument registers, fat metadata into the
+        // argument-metadata area.
+        for (i, v) in vals.iter().enumerate() {
+            if let PVal::F(_, b, d) = v {
+                let t = cx.alloc()?;
+                cx.b.li(t, self.am_base + 8 * i as u32);
+                cx.b.store(Width::Word, *b, t, 0);
+                cx.b.store(Width::Word, *d, t, 4);
+                cx.free(t);
+            }
+        }
+        for (i, v) in vals.iter().enumerate() {
+            cx.b.mov(Reg::arg(i), v.value());
+        }
+        for v in vals.into_iter().rev() {
+            cx.free_pval(v);
+        }
+        // Spill every live temporary around the call (temps are
+        // caller-saved), call, restore.
+        let held = cx.held.clone();
+        let spill_bytes = (held.len() as u32) * 4;
+        cx.scratch_watermark = cx.scratch_watermark.max(spill_bytes);
+        let base = cx.locals_size as i32;
+        for (i, r) in held.iter().enumerate() {
+            cx.b.store(Width::Word, *r, Reg::FP, base + 4 * i as i32);
+        }
+        cx.b.call(FuncId(idx as u32));
+        for (i, r) in held.iter().enumerate() {
+            cx.b.load(Width::Word, *r, Reg::FP, base + 4 * i as i32);
+        }
+        // Capture the result.
+        if matches!(ret, Type::Void) {
+            return Ok(None);
+        }
+        let t = cx.alloc()?;
+        cx.b.mov(t, Reg::A0);
+        if self.is_fat(ret) {
+            let b = cx.alloc()?;
+            let d = cx.alloc()?;
+            let tt = cx.alloc()?;
+            cx.b.li(tt, self.am_base);
+            cx.b.load(Width::Word, b, tt, 0);
+            cx.b.load(Width::Word, d, tt, 4);
+            cx.free(tt);
+            Ok(Some(PVal::F(t, b, d)))
+        } else {
+            Ok(Some(PVal::S(t)))
+        }
+    }
+
+    fn eval_intrinsic(
+        &self,
+        cx: &mut FnCtx,
+        which: Intrinsic,
+        args: &[HExpr],
+        ret: &Type,
+    ) -> Result<Option<PVal>, CompileError> {
+        match which {
+            Intrinsic::SetBound => {
+                let p = self.eval_expect(cx, &args[0])?;
+                let n = self.eval_expect(cx, &args[1])?;
+                let result = match self.mode {
+                    Mode::Baseline => {
+                        cx.free_pval(n);
+                        p
+                    }
+                    Mode::MallocOnly | Mode::HardBound => {
+                        let r = p.value();
+                        cx.b.setbound(r, r, n.value());
+                        cx.free_pval(n);
+                        p
+                    }
+                    Mode::SoftBound => {
+                        let v = p.value();
+                        let (b, d) = match p {
+                            PVal::F(_, b, d) => (b, d),
+                            PVal::S(_) => (cx.alloc()?, cx.alloc()?),
+                        };
+                        cx.b.mov(b, v);
+                        cx.b.add(d, v, n.value());
+                        cx.free_pval(n);
+                        PVal::F(v, b, d)
+                    }
+                    Mode::ObjectTable => {
+                        cx.b.mov(Reg::A0, p.value());
+                        cx.b.mov(Reg::A1, n.value());
+                        cx.b.sys(SysCall::OtRegister);
+                        cx.free_pval(n);
+                        p
+                    }
+                };
+                Ok(Some(result))
+            }
+            Intrinsic::Unbound => {
+                let p = self.eval_expect(cx, &args[0])?;
+                match self.mode {
+                    Mode::MallocOnly | Mode::HardBound => {
+                        let r = p.value();
+                        cx.b.unbound(r, r);
+                        Ok(Some(p))
+                    }
+                    Mode::SoftBound => {
+                        let v = p.value();
+                        let (b, d) = match p {
+                            PVal::F(_, b, d) => (b, d),
+                            PVal::S(_) => (cx.alloc()?, cx.alloc()?),
+                        };
+                        cx.b.li(b, 0);
+                        cx.b.li(d, u32::MAX);
+                        Ok(Some(PVal::F(v, b, d)))
+                    }
+                    _ => Ok(Some(p)),
+                }
+            }
+            Intrinsic::FreeBound => {
+                let p = self.eval_expect(cx, &args[0])?;
+                if self.mode == Mode::ObjectTable {
+                    cx.b.mov(Reg::A0, p.value());
+                    cx.b.sys(SysCall::OtUnregister);
+                }
+                cx.free_pval(p);
+                Ok(None)
+            }
+            Intrinsic::ReadBase | Intrinsic::ReadBound => {
+                let p = self.eval_expect(cx, &args[0])?;
+                let is_base = which == Intrinsic::ReadBase;
+                match (self.mode, p) {
+                    (Mode::MallocOnly | Mode::HardBound, _) => {
+                        let r = p.value();
+                        if is_base {
+                            cx.b.readbase(r, r);
+                        } else {
+                            cx.b.readbound(r, r);
+                        }
+                        Ok(Some(self.demote(cx, p)))
+                    }
+                    (Mode::SoftBound, PVal::F(v, b, d)) => {
+                        cx.b.mov(v, if is_base { b } else { d });
+                        Ok(Some(self.demote(cx, PVal::F(v, b, d))))
+                    }
+                    _ => {
+                        let r = p.value();
+                        cx.b.li(r, 0);
+                        Ok(Some(self.demote(cx, p)))
+                    }
+                }
+            }
+            Intrinsic::Mulh => {
+                let a = self.eval_expect(cx, &args[0])?;
+                let b = self.eval_expect(cx, &args[1])?;
+                let r = a.value();
+                cx.b.bin(BinOp::Mulh, r, r, b.value());
+                cx.free_pval(b);
+                Ok(Some(a))
+            }
+            Intrinsic::PrintInt | Intrinsic::PrintChar | Intrinsic::Halt => {
+                let v = self.eval_expect(cx, &args[0])?;
+                cx.b.mov(Reg::A0, v.value());
+                cx.free_pval(v);
+                cx.b.sys(match which {
+                    Intrinsic::PrintInt => SysCall::PrintInt,
+                    Intrinsic::PrintChar => SysCall::PrintChar,
+                    _ => SysCall::Halt,
+                });
+                let _ = ret;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Frees `v` (store results are owned by the statement layer; this is
+    /// a naming convenience for the `Init` path).
+    fn free_maybe_temp(&self, cx: &mut FnCtx, v: PVal) {
+        cx.free_pval(v);
+    }
+}

@@ -1,0 +1,526 @@
+//! End-to-end tests: compile Cb programs and execute them on the
+//! HardBound machine under every instrumentation mode.
+
+use std::collections::BTreeMap;
+
+use hardbound_compiler::{compile_program, Mode, Options};
+use hardbound_core::{
+    HardboundConfig, Machine, MachineConfig, ObjectTable, PointerEncoding, RunOutcome, Trap,
+};
+
+/// A minimal object table for tests (interval map over BTreeMap).
+#[derive(Default)]
+struct MapTable {
+    objects: BTreeMap<u32, u32>, // base -> size
+}
+
+impl ObjectTable for MapTable {
+    fn register(&mut self, base: u32, size: u32) -> u64 {
+        self.objects.insert(base, size);
+        10
+    }
+    fn unregister(&mut self, base: u32) -> u64 {
+        self.objects.remove(&base);
+        10
+    }
+    fn check(&mut self, from: u32, to: u32) -> (u64, bool) {
+        let ok = self
+            .objects
+            .range(..=from)
+            .next_back()
+            .is_some_and(|(&b, &s)| from >= b && from < b + s && to >= b && to < b + s);
+        (10, ok)
+    }
+    fn check_arith(&mut self, from: u32, to: u32) -> (u64, bool) {
+        let ok = match self.objects.range(..=from).next_back() {
+            Some((&b, &s)) if from >= b && from < b + s => to >= b && to <= b + s,
+            _ => true,
+        };
+        (10, ok)
+    }
+}
+
+/// Compile and run under `mode` with the matching machine configuration.
+fn run_mode(source: &str, mode: Mode) -> RunOutcome {
+    let program = match compile_program(source, &Options::mode(mode)) {
+        Ok(p) => p,
+        Err(e) => panic!("compilation failed ({mode}): {e}\nsource:\n{source}"),
+    };
+    let cfg = match mode {
+        Mode::Baseline | Mode::SoftBound | Mode::ObjectTable => MachineConfig::baseline(),
+        Mode::MallocOnly => {
+            MachineConfig::hardbound(HardboundConfig::malloc_only(PointerEncoding::Intern4))
+        }
+        Mode::HardBound => {
+            MachineConfig::hardbound(HardboundConfig::full(PointerEncoding::Intern4))
+        }
+    };
+    let mut m = Machine::new(program, cfg);
+    if mode == Mode::ObjectTable {
+        m.set_object_table(Box::new(MapTable::default()));
+    }
+    m.run()
+}
+
+fn run(source: &str) -> RunOutcome {
+    run_mode(source, Mode::HardBound)
+}
+
+/// Asserts the program runs cleanly in every mode and all modes agree on
+/// output and exit code.
+fn assert_all_modes_agree(source: &str) -> RunOutcome {
+    let reference = run_mode(source, Mode::Baseline);
+    assert_eq!(reference.trap, None, "baseline trapped: {:?}", reference.trap);
+    for mode in [Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable] {
+        let out = run_mode(source, mode);
+        assert_eq!(out.trap, None, "{mode} trapped: {:?}\nsource:\n{source}", out.trap);
+        assert_eq!(out.exit_code, reference.exit_code, "{mode} exit code differs");
+        assert_eq!(out.output, reference.output, "{mode} output differs");
+    }
+    reference
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    let out = assert_all_modes_agree(
+        "int main() { return (2 + 3 * 4 - 1) / 2 % 5 + (1 << 4) - (65 >> 2) + (7 & 12) + (1 | 6) ^ 3; }",
+    );
+    let expect = ((2 + 3 * 4 - 1) / 2 % 5 + (1 << 4) - (65 >> 2) + (7 & 12) + (1 | 6)) ^ 3;
+    assert_eq!(out.exit_code, Some(expect));
+}
+
+#[test]
+fn negative_numbers_and_unary() {
+    let out = assert_all_modes_agree("int main() { int x = -7; return -x + !0 + !5 + (~x); }");
+    assert_eq!(out.exit_code, Some((7 + 1) + 6));
+}
+
+#[test]
+fn comparisons_and_logic() {
+    let out = assert_all_modes_agree(
+        "int main() {\n\
+           int a = 3; int b = 5;\n\
+           return (a < b) + (b <= 5)*2 + (a > b)*4 + (a >= 3)*8 + (a == 3)*16 + (a != b)*32\n\
+             + (a < b && b < 10)*64 + (a > b || b == 5)*128;\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some((1 + 2) + 8 + 16 + 32 + 64 + 128));
+}
+
+#[test]
+fn short_circuit_side_effects() {
+    let out = assert_all_modes_agree(
+        "int g = 0;\n\
+         int bump() { g = g + 1; return 1; }\n\
+         int main() {\n\
+           int r = 0 && bump();\n\
+           r = r + (1 || bump());\n\
+           return g * 10 + r;\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some(1), "neither bump() must run");
+}
+
+#[test]
+fn loops_and_control_flow() {
+    let out = assert_all_modes_agree(
+        "int main() {\n\
+           int s = 0;\n\
+           for (int i = 0; i < 10; i = i + 1) {\n\
+             if (i == 3) continue;\n\
+             if (i == 8) break;\n\
+             s = s + i;\n\
+           }\n\
+           int j = 0;\n\
+           while (j < 5) j = j + 1;\n\
+           return s * 10 + j;\n\
+         }",
+    );
+    // 0+1+2+4+5+6+7 = 25
+    assert_eq!(out.exit_code, Some(255));
+}
+
+#[test]
+fn recursion_factorial_fib() {
+    let out = assert_all_modes_agree(
+        "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }\n\
+         int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+         int main() { return fact(6) + fib(10); }",
+    );
+    assert_eq!(out.exit_code, Some(720 + 55));
+}
+
+#[test]
+fn arrays_and_pointer_arithmetic() {
+    let out = assert_all_modes_agree(
+        "int main() {\n\
+           int a[8];\n\
+           for (int i = 0; i < 8; i = i + 1) a[i] = i * i;\n\
+           int *p = a;\n\
+           int s = 0;\n\
+           for (int i = 0; i < 8; i = i + 1) { s = s + *p; p = p + 1; }\n\
+           int *q = &a[5];\n\
+           return s + (q - a) + q[-1];\n\
+         }",
+    );
+    let sum: i32 = (0..8).map(|i| i * i).sum();
+    assert_eq!(out.exit_code, Some(sum + 5 + 16));
+}
+
+#[test]
+fn structs_and_linked_list() {
+    let out = assert_all_modes_agree(
+        "struct node { int v; struct node *next; };\n\
+         int main() {\n\
+           struct node a; struct node b; struct node c;\n\
+           a.v = 1; b.v = 2; c.v = 3;\n\
+           a.next = &b; b.next = &c; c.next = 0;\n\
+           int s = 0;\n\
+           struct node *p = &a;\n\
+           while (p != 0) { s = s * 10 + p->v; p = p->next; }\n\
+           return s;\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some(123));
+}
+
+#[test]
+fn char_arrays_and_strings() {
+    let out = assert_all_modes_agree(
+        "int main() {\n\
+           char buf[8];\n\
+           char *s = \"hi!\";\n\
+           int i = 0;\n\
+           while (s[i] != 0) { buf[i] = s[i]; i = i + 1; }\n\
+           buf[i] = 0;\n\
+           print_char(buf[0]); print_char(buf[1]); print_char(buf[2]);\n\
+           return i;\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some(3));
+    assert_eq!(out.output, "hi!");
+}
+
+#[test]
+fn ternary_and_nested_calls() {
+    let out = assert_all_modes_agree(
+        "int max(int a, int b) { return a > b ? a : b; }\n\
+         int main() { return max(max(1, 5), max(4, 2)) * (0 ? 100 : 3); }",
+    );
+    assert_eq!(out.exit_code, Some(15));
+}
+
+#[test]
+fn global_variables_and_initializers() {
+    let out = assert_all_modes_agree(
+        "int counter = 5;\n\
+         int table[4];\n\
+         int bump(int by) { counter = counter + by; return counter; }\n\
+         int main() {\n\
+           table[0] = bump(1);\n\
+           table[1] = bump(2);\n\
+           return counter * 100 + table[0] * 10 + table[1] - 800;\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some(800 + 60 + 8 - 800));
+}
+
+#[test]
+fn sizeof_and_casts() {
+    let out = assert_all_modes_agree(
+        "struct s { char c; int x; };\n\
+         int main() {\n\
+           int v = 300;\n\
+           char t = (char)v;\n\
+           int back = t;\n\
+           return sizeof(struct s) * 100 + back;\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some(800 + 44));
+}
+
+#[test]
+fn setbound_annotation_roundtrip() {
+    // __setbound works in every mode; the bounded pointer is usable within
+    // its bounds everywhere.
+    let out = assert_all_modes_agree(
+        "int main() {\n\
+           int backing[10];\n\
+           int *p = __setbound(&backing[2], 4 * sizeof(int));\n\
+           p[0] = 7; p[3] = 9;\n\
+           return p[0] + p[3];\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some(16));
+}
+
+#[test]
+fn mulh_fixed_point() {
+    let out = assert_all_modes_agree(
+        // 16.16 fixed-point multiply of 2.5 * 4.0 = 10.0:
+        // (a*b) >> 16 computed as (mulh(a,b) << 16) | ((a*b) >> 16 logical)
+        "int fx_mul(int a, int b) {\n\
+           int hi = __mulh(a, b);\n\
+           int lo = a * b;\n\
+           return (hi << 16) | ((lo >> 16) & 0xFFFF);\n\
+         }\n\
+         int main() { return fx_mul(163840, 262144) >> 16; }",
+    );
+    assert_eq!(out.exit_code, Some(10));
+}
+
+// ---- violation detection ----------------------------------------------
+
+const HEAP_OVERFLOW: &str = "int main() {\n\
+   int backing[64];\n\
+   int *a = __setbound(backing, 8 * sizeof(int));\n\
+   a[2] = 5;\n\
+   a[9] = 7;\n\
+   return a[2];\n\
+ }";
+
+#[test]
+fn overflow_detected_by_hardbound_and_malloc_only() {
+    for mode in [Mode::HardBound, Mode::MallocOnly] {
+        let out = run_mode(HEAP_OVERFLOW, mode);
+        assert!(
+            matches!(out.trap, Some(Trap::BoundsViolation { .. })),
+            "{mode}: {:?}",
+            out.trap
+        );
+    }
+}
+
+#[test]
+fn overflow_detected_by_softbound_as_abort() {
+    let out = run_mode(HEAP_OVERFLOW, Mode::SoftBound);
+    assert!(matches!(out.trap, Some(Trap::SoftwareAbort { .. })), "{:?}", out.trap);
+}
+
+#[test]
+fn overflow_detected_by_object_table() {
+    // The bounded region is the registered object here, so the +9 access
+    // leaves it.
+    let out = run_mode(
+        "int main() {\n\
+           int backing[8];\n\
+           int *a = __setbound(backing, 8 * sizeof(int));\n\
+           a[9] = 7;\n\
+           return 0;\n\
+         }",
+        Mode::ObjectTable,
+    );
+    assert!(matches!(out.trap, Some(Trap::ObjectTableViolation { .. })), "{:?}", out.trap);
+}
+
+#[test]
+fn overflow_missed_by_baseline() {
+    let out = run_mode(HEAP_OVERFLOW, Mode::Baseline);
+    assert_eq!(out.trap, None, "baseline must corrupt silently");
+    assert_eq!(out.exit_code, Some(5));
+}
+
+#[test]
+fn stack_array_overflow_only_in_full_mode() {
+    // Stack arrays are not protected by malloc-only instrumentation
+    // (paper §3.2 footnote 2) but are by full instrumentation.
+    // The overflow happens in a callee frame so it stays inside the stack
+    // region (the whole-stack bounds on fp would otherwise catch an
+    // overflow past the stack top even in malloc-only mode).
+    let src = "int f() { int a[4]; int i = 6; a[i] = 1; return 0; }\n\
+         int main() { int pad[64]; pad[9] = 3; return f() + pad[9] - 3; }";
+    let full = run_mode(src, Mode::HardBound);
+    assert!(matches!(full.trap, Some(Trap::BoundsViolation { .. })), "{:?}", full.trap);
+    let legacy = run_mode(src, Mode::MallocOnly);
+    assert_eq!(legacy.trap, None, "malloc-only does not bound stack arrays");
+}
+
+#[test]
+fn sub_object_overflow_hardbound_yes_objtable_no() {
+    // The paper's §2.2 motivating example: overflowing node.str corrupts
+    // node.x. Object-table schemes cannot see it; HardBound's sub-object
+    // narrowing catches it.
+    let src = "struct node { char str[5]; int x; };\n\
+         int main() {\n\
+           struct node n;\n\
+           n.x = 1234;\n\
+           char *p = n.str;\n\
+           int i = 0;\n\
+           while (i < 10) { p[i] = 65; i = i + 1; }\n\
+           return n.x;\n\
+         }";
+    let hb = run_mode(src, Mode::HardBound);
+    assert!(
+        matches!(hb.trap, Some(Trap::BoundsViolation { .. })),
+        "HardBound must catch the sub-object overflow: {:?}",
+        hb.trap
+    );
+    let sb = run_mode(src, Mode::SoftBound);
+    assert!(matches!(sb.trap, Some(Trap::SoftwareAbort { .. })), "{:?}", sb.trap);
+    let ot = run_mode(src, Mode::ObjectTable);
+    assert_eq!(ot.trap, None, "object tables cannot catch sub-object overflows (§2.2)");
+    // ... and the overflow really did corrupt the neighbouring field.
+    assert_ne!(ot.exit_code, Some(1234));
+}
+
+#[test]
+fn lower_bound_underflow_detected() {
+    let src = "int main() {\n\
+        int backing[16];\n\
+        int *a = __setbound(&backing[8], 4 * sizeof(int));\n\
+        int i = 2;\n\
+        return a[0 - i];\n\
+      }";
+    let out = run_mode(src, Mode::HardBound);
+    assert!(matches!(out.trap, Some(Trap::BoundsViolation { .. })), "{:?}", out.trap);
+    let sb = run_mode(src, Mode::SoftBound);
+    assert!(matches!(sb.trap, Some(Trap::SoftwareAbort { .. })), "{:?}", sb.trap);
+}
+
+#[test]
+fn dangling_style_forged_pointer_fails_in_full_mode() {
+    // Paper §6.1 line 6-7: a pointer manufactured from a constant has no
+    // metadata; dereferencing it raises the non-pointer exception.
+    let out = run(
+        "int main() {\n\
+           int *w = (int*)4096;\n\
+           *w = 42;\n\
+           return 0;\n\
+         }",
+    );
+    assert!(matches!(out.trap, Some(Trap::NonPointerDereference { .. })), "{:?}", out.trap);
+}
+
+#[test]
+fn cast_roundtrip_keeps_bounds() {
+    // Paper §6.1 lines 3-5: ptr → int → ptr keeps metadata (casts are
+    // no-ops to the hardware), so the final write succeeds.
+    let out = run(
+        "int main() {\n\
+           int x = 17;\n\
+           char *z = (char*)&x;\n\
+           int a = (int)z;\n\
+           int *p = (int*)a;\n\
+           *p = 42;\n\
+           return x;\n\
+         }",
+    );
+    assert_eq!(out.trap, None, "{:?}", out.trap);
+    assert_eq!(out.exit_code, Some(42));
+}
+
+#[test]
+fn unbound_escape_hatch_disables_checking() {
+    let out = run(
+        "int main() {\n\
+           int backing[4];\n\
+           int *a = __setbound(backing, sizeof(int));\n\
+           int *u = __unbound(a);\n\
+           u[2] = 5;\n\
+           return u[2];\n\
+         }",
+    );
+    assert_eq!(out.trap, None, "{:?}", out.trap);
+    assert_eq!(out.exit_code, Some(5));
+}
+
+#[test]
+fn readbase_readbound_report_metadata() {
+    let out = run(
+        "int main() {\n\
+           int backing[4];\n\
+           int *a = __setbound(backing, 16);\n\
+           return __readbound(a) - __readbase(a);\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some(16));
+}
+
+#[test]
+fn print_int_output() {
+    let out = assert_all_modes_agree(
+        "int main() { for (int i = 0; i < 3; i = i + 1) print_int(i * 5); return 0; }",
+    );
+    assert_eq!(out.output, "0\n5\n10\n");
+    assert_eq!(out.ints, vec![0, 5, 10]);
+}
+
+#[test]
+fn deep_expression_spills_across_calls() {
+    // Forces many live temporaries across nested calls.
+    let out = assert_all_modes_agree(
+        "int f(int x) { return x + 1; }\n\
+         int main() {\n\
+           return f(1) + f(2) * f(3) + f(4) * (f(5) + f(6) * f(7)) + f(8);\n\
+         }",
+    );
+    let f = |x: i32| x + 1;
+    assert_eq!(out.exit_code, Some(f(1) + f(2) * f(3) + f(4) * (f(5) + f(6) * f(7)) + f(8)));
+}
+
+#[test]
+fn passing_pointers_through_functions() {
+    let out = assert_all_modes_agree(
+        "void fill(int *p, int n, int seed) {\n\
+           for (int i = 0; i < n; i = i + 1) p[i] = seed + i;\n\
+         }\n\
+         int sum(int *p, int n) {\n\
+           int s = 0;\n\
+           for (int i = 0; i < n; i = i + 1) s = s + p[i];\n\
+           return s;\n\
+         }\n\
+         int main() {\n\
+           int a[16];\n\
+           fill(a, 16, 3);\n\
+           return sum(a, 16);\n\
+         }",
+    );
+    assert_eq!(out.exit_code, Some((0..16).map(|i| 3 + i).sum()));
+}
+
+#[test]
+fn pointer_crossing_function_keeps_bounds() {
+    // The callee overruns a buffer the *caller* bounded — detected because
+    // metadata travels with the pointer through the call (in HardBound:
+    // hardware registers; in SoftBound: the argument-metadata area).
+    let src = "void smash(char *p) {\n\
+           int i = 0;\n\
+           while (i < 100) { p[i] = 88; i = i + 1; }\n\
+         }\n\
+         int main() {\n\
+           char buf[64];\n\
+           char *p = __setbound(buf, 8);\n\
+           smash(p);\n\
+           return 0;\n\
+         }";
+    let hb = run_mode(src, Mode::HardBound);
+    assert!(matches!(hb.trap, Some(Trap::BoundsViolation { addr, .. }) if addr > 0), "{:?}", hb.trap);
+    let sb = run_mode(src, Mode::SoftBound);
+    assert!(matches!(sb.trap, Some(Trap::SoftwareAbort { .. })), "{:?}", sb.trap);
+}
+
+#[test]
+fn stats_differ_by_mode() {
+    let src = "int main() {\n\
+        int a[32];\n\
+        int *p = a;\n\
+        int s = 0;\n\
+        for (int i = 0; i < 32; i = i + 1) { p[i] = i; }\n\
+        for (int i = 0; i < 32; i = i + 1) { s = s + p[i]; }\n\
+        return s;\n\
+      }";
+    let base = run_mode(src, Mode::Baseline);
+    let hb = run_mode(src, Mode::HardBound);
+    let sb = run_mode(src, Mode::SoftBound);
+    assert!(hb.stats.uops >= base.stats.uops, "HardBound adds setbound µops");
+    assert!(
+        sb.stats.uops > hb.stats.uops,
+        "software checks cost far more µops than hardware ones: sb={} hb={}",
+        sb.stats.uops,
+        hb.stats.uops
+    );
+    assert!(hb.stats.setbound_uops > 0);
+    assert_eq!(base.stats.setbound_uops, 0);
+    assert_eq!(base.stats.bounds_checks, 0);
+    assert!(hb.stats.bounds_checks > 0);
+}

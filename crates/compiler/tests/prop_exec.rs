@@ -1,0 +1,190 @@
+//! Differential property tests: randomly generated Cb expressions must
+//! evaluate to exactly what a Rust reference evaluator computes, under
+//! every instrumentation mode. This pins down the compiler's arithmetic,
+//! precedence handling and mode-independence in one sweep.
+
+use hardbound_compiler::{compile_program, Mode, Options};
+use hardbound_core::{Machine, MachineConfig};
+use proptest::prelude::*;
+
+/// A tiny expression AST with a Rust evaluator and a Cb renderer.
+#[derive(Clone, Debug)]
+enum E {
+    Lit(i32),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, u8),
+    Shr(Box<E>, u8),
+    Neg(Box<E>),
+    Not(Box<E>),
+    BitNot(Box<E>),
+    Lt(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    Cond(Box<E>, Box<E>, Box<E>),
+}
+
+const NVARS: usize = 4;
+const VAR_VALUES: [i32; NVARS] = [7, -3, 100_000, 0];
+
+impl E {
+    fn eval(&self) -> i32 {
+        match self {
+            E::Lit(v) => *v,
+            E::Var(i) => VAR_VALUES[*i],
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            E::Div(a, b) => {
+                let (x, y) = (a.eval(), b.eval());
+                if y == 0 {
+                    x // guarded in render: divisor is `y == 0 ? 1 : y`
+                } else {
+                    x.wrapping_div(y)
+                }
+            }
+            E::Rem(a, b) => {
+                let (x, y) = (a.eval(), b.eval());
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_rem(y)
+                }
+            }
+            E::And(a, b) => a.eval() & b.eval(),
+            E::Or(a, b) => a.eval() | b.eval(),
+            E::Xor(a, b) => a.eval() ^ b.eval(),
+            E::Shl(a, n) => a.eval().wrapping_shl(u32::from(*n)),
+            E::Shr(a, n) => a.eval().wrapping_shr(u32::from(*n)),
+            E::Neg(a) => a.eval().wrapping_neg(),
+            E::Not(a) => i32::from(a.eval() == 0),
+            E::BitNot(a) => !a.eval(),
+            E::Lt(a, b) => i32::from(a.eval() < b.eval()),
+            E::Eq(a, b) => i32::from(a.eval() == b.eval()),
+            E::Cond(c, t, f) => {
+                if c.eval() != 0 {
+                    t.eval()
+                } else {
+                    f.eval()
+                }
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            E::Lit(v) => {
+                if *v < 0 {
+                    // Cb has no negative literals; spell as 0 - n with the
+                    // positive magnitude (wrapping-safe for i32::MIN).
+                    format!("(0 - {})", (i64::from(*v)).unsigned_abs())
+                } else {
+                    format!("{v}")
+                }
+            }
+            E::Var(i) => format!("v{i}"),
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Div(a, b) => {
+                let d = b.render();
+                format!("({} / (({d}) == 0 ? 1 : ({d})))", a.render())
+            }
+            E::Rem(a, b) => {
+                let d = b.render();
+                format!("((({d}) == 0) ? 0 : ({} % ({d})))", a.render())
+            }
+            E::And(a, b) => format!("({} & {})", a.render(), b.render()),
+            E::Or(a, b) => format!("({} | {})", a.render(), b.render()),
+            E::Xor(a, b) => format!("({} ^ {})", a.render(), b.render()),
+            E::Shl(a, n) => format!("({} << {n})", a.render()),
+            E::Shr(a, n) => format!("({} >> {n})", a.render()),
+            E::Neg(a) => format!("(-{})", a.render()),
+            E::Not(a) => format!("(!{})", a.render()),
+            E::BitNot(a) => format!("(~{})", a.render()),
+            E::Lt(a, b) => format!("({} < {})", a.render(), b.render()),
+            E::Eq(a, b) => format!("({} == {})", a.render(), b.render()),
+            E::Cond(c, t, f) => {
+                format!("(({}) ? ({}) : ({}))", c.render(), t.render(), f.render())
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(E::Lit),
+        (0usize..NVARS).prop_map(E::Var),
+        Just(E::Lit(i32::MAX)),
+        Just(E::Lit(i32::MIN + 1)),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..31).prop_map(|(a, n)| E::Shl(Box::new(a), n)),
+            (inner.clone(), 0u8..31).prop_map(|(a, n)| E::Shr(Box::new(a), n)),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| E::Not(Box::new(a))),
+            inner.clone().prop_map(|a| E::BitNot(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| E::Cond(Box::new(c), Box::new(t), Box::new(f))),
+        ]
+    })
+}
+
+fn run_expr(expr: &E, mode: Mode) -> i32 {
+    let decls: String =
+        (0..NVARS).map(|i| format!("    int v{i} = {};\n", E::Lit(VAR_VALUES[i]).render())).collect();
+    let source = format!(
+        "int main() {{\n{decls}    print_int({});\n    return 0;\n}}\n",
+        expr.render()
+    );
+    let program = compile_program(&source, &Options::mode(mode))
+        .unwrap_or_else(|e| panic!("compile failed: {e}\n{source}"));
+    let cfg = match mode {
+        Mode::HardBound => MachineConfig::default(),
+        _ => MachineConfig::baseline(),
+    };
+    let out = Machine::new(program, cfg).run();
+    assert_eq!(out.trap, None, "trapped on pure arithmetic: {:?}\n{source}", out.trap);
+    out.ints[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The compiled program computes exactly what Rust's wrapping i32
+    /// semantics compute, in baseline mode.
+    #[test]
+    fn expressions_match_reference(expr in arb_expr()) {
+        let expected = expr.eval();
+        let got = run_expr(&expr, Mode::Baseline);
+        prop_assert_eq!(got, expected, "source: {}", expr.render());
+    }
+
+    /// Instrumentation never changes arithmetic results (the paper's
+    /// compatibility claim: metadata is invisible to computation).
+    #[test]
+    fn instrumentation_is_semantically_invisible(expr in arb_expr()) {
+        let expected = expr.eval();
+        for mode in [Mode::HardBound, Mode::SoftBound] {
+            let got = run_expr(&expr, mode);
+            prop_assert_eq!(got, expected, "{}: {}", mode, expr.render());
+        }
+    }
+}

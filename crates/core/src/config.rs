@@ -1,0 +1,152 @@
+use hardbound_cache::HierarchyConfig;
+
+use crate::encoding::PointerEncoding;
+
+/// How much checking the HardBound hardware performs (paper §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SafetyMode {
+    /// Complete spatial safety: dereferencing a word with no metadata
+    /// raises a non-pointer exception (Figure 3's "nonpointer check").
+    /// Requires compiler instrumentation of locals and globals.
+    Full,
+    /// The malloc-only legacy-binary mode: "checks memory accesses only
+    /// when bounds information is present; no checking is performed on the
+    /// non-heap references" (§3.2, footnote 2).
+    MallocOnly,
+}
+
+/// Configuration of the HardBound hardware extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardboundConfig {
+    /// Active compressed pointer encoding (§4.3).
+    pub encoding: PointerEncoding,
+    /// Checking policy.
+    pub mode: SafetyMode,
+    /// §5.4 ablation: charge one extra µop per bounds check of an
+    /// uncompressed pointer ("a more modest implementation might perform
+    /// bounds checking of uncompressed pointers by using shared ALUs").
+    pub check_uop: bool,
+}
+
+impl HardboundConfig {
+    /// Full-safety configuration for `encoding` (the paper's main setup).
+    #[must_use]
+    pub fn full(encoding: PointerEncoding) -> HardboundConfig {
+        HardboundConfig { encoding, mode: SafetyMode::Full, check_uop: false }
+    }
+
+    /// Malloc-only legacy configuration for `encoding`.
+    #[must_use]
+    pub fn malloc_only(encoding: PointerEncoding) -> HardboundConfig {
+        HardboundConfig { encoding, mode: SafetyMode::MallocOnly, check_uop: false }
+    }
+
+    /// Enables the §5.4 extra-check-µop ablation.
+    #[must_use]
+    pub fn with_check_uop(mut self) -> HardboundConfig {
+        self.check_uop = true;
+        self
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// HardBound hardware; `None` disables it entirely (the baseline and
+    /// the software-only comparison schemes run this way).
+    pub hardbound: Option<HardboundConfig>,
+    /// Memory-hierarchy geometry and penalties.
+    pub hierarchy: HierarchyConfig,
+    /// Maximum µops before the run is aborted with `Trap::OutOfFuel`.
+    pub fuel: u64,
+    /// Maximum call depth before `Trap::CallDepthExceeded`.
+    pub max_call_depth: usize,
+}
+
+impl Default for MachineConfig {
+    /// HardBound enabled, full safety, internal 4-bit encoding, the paper's
+    /// memory hierarchy.
+    fn default() -> MachineConfig {
+        MachineConfig::hardbound(HardboundConfig::full(PointerEncoding::Intern4))
+    }
+}
+
+impl MachineConfig {
+    /// A configuration with HardBound enabled; the tag-cache size is set
+    /// from the encoding as in the paper (§5.1).
+    #[must_use]
+    pub fn hardbound(hb: HardboundConfig) -> MachineConfig {
+        let hierarchy =
+            HierarchyConfig::default().with_tag_cache_bytes(hb.encoding.tag_cache_bytes());
+        MachineConfig {
+            hardbound: Some(hb),
+            hierarchy,
+            fuel: 4_000_000_000,
+            max_call_depth: 1 << 20,
+        }
+    }
+
+    /// The baseline machine: HardBound hardware absent.
+    #[must_use]
+    pub fn baseline() -> MachineConfig {
+        MachineConfig {
+            hardbound: None,
+            hierarchy: HierarchyConfig::default(),
+            fuel: 4_000_000_000,
+            max_call_depth: 1 << 20,
+        }
+    }
+
+    /// Replaces the fuel limit.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> MachineConfig {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Replaces the memory hierarchy configuration (used by the tag-cache
+    /// sensitivity ablation).
+    #[must_use]
+    pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> MachineConfig {
+        self.hierarchy = hierarchy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_intern4() {
+        let c = MachineConfig::default();
+        let hb = c.hardbound.expect("hardbound on by default");
+        assert_eq!(hb.encoding, PointerEncoding::Intern4);
+        assert_eq!(hb.mode, SafetyMode::Full);
+        assert!(!hb.check_uop);
+        assert_eq!(c.hierarchy.tag_cache_bytes, 2048);
+    }
+
+    #[test]
+    fn extern4_gets_8kb_tag_cache() {
+        let c = MachineConfig::hardbound(HardboundConfig::full(PointerEncoding::Extern4));
+        assert_eq!(c.hierarchy.tag_cache_bytes, 8192);
+    }
+
+    #[test]
+    fn baseline_has_no_hardbound() {
+        assert!(MachineConfig::baseline().hardbound.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MachineConfig::hardbound(
+            HardboundConfig::malloc_only(PointerEncoding::Intern11).with_check_uop(),
+        )
+        .with_fuel(1000);
+        let hb = c.hardbound.unwrap();
+        assert_eq!(hb.mode, SafetyMode::MallocOnly);
+        assert!(hb.check_uop);
+        assert_eq!(c.fuel, 1000);
+    }
+}

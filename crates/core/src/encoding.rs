@@ -1,0 +1,276 @@
+//! The compressed bounded-pointer encodings of paper §4.3.
+//!
+//! "Many pointers in C programs point to structs or small arrays ... often
+//! the value and base component of a pointer are identical. Furthermore,
+//! most C structs are small" — so HardBound encodes the common case in a
+//! few bits and falls back to the full base/bound shadow entry otherwise.
+//!
+//! Three encodings are evaluated in the paper:
+//!
+//! * **external 4-bit** — the tag metadata space holds 4 bits per word:
+//!   value 0 = non-pointer, 1–14 = a compressed pointer to the beginning of
+//!   an object of `tag * 4` bytes, 15 = uncompressed (full shadow entry).
+//! * **internal 4-bit** — the tag space stays 1 bit per word; the 4
+//!   metadata bits are hijacked from redundant upper bits of the pointer
+//!   itself (eligible when the pointer lies in the lowest/highest 128 MB of
+//!   the virtual address space). Same compressible set as external 4-bit.
+//! * **internal 11-bit** — 11 hijacked bits encode object sizes up to
+//!   `4 * 2^11` = 8 KB; proposed for 64-bit address spaces and simulated by
+//!   the paper on its 32-bit machine just as we do.
+//!
+//! This module implements both the *bit-level* internal encode/decode
+//! (compress/decompress of §4.3, unit- and property-tested) and the
+//! *classification* used by the machine's cost model. The machine keeps the
+//! decompressed value in its data plane and the classification in its tag
+//! plane — an equivalent formulation that preserves the architectural cost
+//! model exactly (compressed metadata travels with the data word; only
+//! uncompressed pointers touch the base/bound shadow space); see DESIGN.md.
+
+use crate::meta::Meta;
+
+/// Which compressed pointer encoding the hardware uses (paper §4.3/§5.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PointerEncoding {
+    /// External 4-bit compressed encoding (tag space: 4 bits/word,
+    /// 8 KB tag metadata cache).
+    Extern4,
+    /// Internal 4-bit compressed encoding (tag space: 1 bit/word,
+    /// 2 KB tag metadata cache).
+    Intern4,
+    /// Internal 11-bit compressed encoding (tag space: 1 bit/word,
+    /// 2 KB tag metadata cache; sizes to 8 KB).
+    Intern11,
+}
+
+impl PointerEncoding {
+    /// All three encodings, in the order the paper's figures present them.
+    pub const ALL: [PointerEncoding; 3] =
+        [PointerEncoding::Extern4, PointerEncoding::Intern4, PointerEncoding::Intern11];
+
+    /// Tag metadata density in bits per 32-bit word (paper §4.2–4.3).
+    #[must_use]
+    pub fn tag_bits(self) -> u32 {
+        match self {
+            PointerEncoding::Extern4 => 4,
+            PointerEncoding::Intern4 | PointerEncoding::Intern11 => 1,
+        }
+    }
+
+    /// Tag metadata cache size the paper pairs with this encoding (§5.1:
+    /// "2KB 4-way SA when HardBound uses a 1-bit encoding; 8KB 4-way SA
+    /// when using a 4-bit external compressed encoding").
+    #[must_use]
+    pub fn tag_cache_bytes(self) -> u64 {
+        match self {
+            PointerEncoding::Extern4 => 8 * 1024,
+            PointerEncoding::Intern4 | PointerEncoding::Intern11 => 2 * 1024,
+        }
+    }
+
+    /// Largest compressible object size in bytes.
+    #[must_use]
+    pub fn max_compressed_size(self) -> u32 {
+        match self {
+            PointerEncoding::Extern4 | PointerEncoding::Intern4 => 56,
+            PointerEncoding::Intern11 => 4 << 11,
+        }
+    }
+
+    /// Whether a pointer with `value` and metadata `meta` is compressible
+    /// under this encoding.
+    ///
+    /// All encodings require the pointer to reference the beginning of its
+    /// object (`value == base`), a size that is a positive multiple of four
+    /// and within the encoding's range; the internal encodings additionally
+    /// require the pointer to lie in the lowest/highest 128 MB of the
+    /// virtual address space (our layout keeps all data in the lowest
+    /// 128 MB — see `hardbound_isa::layout`).
+    #[must_use]
+    pub fn is_compressible(self, value: u32, meta: Meta) -> bool {
+        if !meta.is_pointer() || meta.base != value {
+            return false;
+        }
+        let size = meta.bound.wrapping_sub(meta.base);
+        if size == 0 || !size.is_multiple_of(4) || size > self.max_compressed_size() {
+            return false;
+        }
+        match self {
+            PointerEncoding::Extern4 => true,
+            PointerEncoding::Intern4 => intern_eligible(value),
+            // The paper applies no range restriction when simulating the
+            // 11-bit (64-bit-VA) encoding on its 32-bit machine.
+            PointerEncoding::Intern11 => true,
+        }
+    }
+
+    /// Human-readable name matching the paper's figure labels.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PointerEncoding::Extern4 => "extern-4",
+            PointerEncoding::Intern4 => "intern-4",
+            PointerEncoding::Intern11 => "intern-11",
+        }
+    }
+}
+
+impl std::fmt::Display for PointerEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Eligibility test for internal compression: the pointer's upper bits must
+/// be redundant, i.e. the value lies in the lowest or highest 128 MB of the
+/// 32-bit virtual address space (paper §4.3).
+#[must_use]
+pub fn intern_eligible(value: u32) -> bool {
+    !(0x0800_0000..0xF800_0000).contains(&value)
+}
+
+/// A pointer word as physically stored under the internal 4-bit encoding.
+///
+/// Bit 31 is the compressed flag (it is "stolen" from the address space by
+/// choosing it to select the metadata shadow region, which data pointers
+/// can never reference); bits 30..27 hold the size code (object size / 4,
+/// 1..=14); bit 26 reconstructs the pointer's elided upper bits (0 = lowest
+/// 128 MB, 1 = highest 128 MB); bits 25..0 are the surviving low bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Intern4Word(pub u32);
+
+const FLAG_BIT: u32 = 1 << 31;
+const SIZE_SHIFT: u32 = 27;
+const RECON_BIT: u32 = 1 << 26;
+const LOW_MASK: u32 = (1 << 26) - 1;
+
+/// Compresses `(value, meta)` into an [`Intern4Word`], or `None` when the
+/// pointer is not compressible under the internal 4-bit encoding.
+#[must_use]
+pub fn intern4_compress(value: u32, meta: Meta) -> Option<Intern4Word> {
+    if !PointerEncoding::Intern4.is_compressible(value, meta) {
+        return None;
+    }
+    // Eligibility guarantees bits 31..26 of `value` are all zeros (lowest
+    // 128 MB) or all ones (highest 128 MB).
+    let upper_ones = value >= 0xF800_0000;
+    if upper_ones {
+        debug_assert_eq!(value >> 26, 0x3F);
+    } else if value >> 26 != 0 {
+        // Values in [64 MB, 128 MB) keep bit 26 set; the reconstruction bit
+        // can only restore a uniform prefix, so these are not encodable.
+        return None;
+    }
+    let size_code = meta.size() / 4;
+    debug_assert!((1..=14).contains(&size_code));
+    let recon = if upper_ones { RECON_BIT } else { 0 };
+    Some(Intern4Word(FLAG_BIT | (size_code << SIZE_SHIFT) | recon | (value & LOW_MASK)))
+}
+
+/// Decompresses an [`Intern4Word`] back to `(value, meta)`; `None` if the
+/// word's compressed flag is clear (i.e. it holds an uncompressed pointer).
+#[must_use]
+pub fn intern4_decompress(word: Intern4Word) -> Option<(u32, Meta)> {
+    if word.0 & FLAG_BIT == 0 {
+        return None;
+    }
+    let size = ((word.0 >> SIZE_SHIFT) & 0xF) * 4;
+    let low = word.0 & LOW_MASK;
+    let value = if word.0 & RECON_BIT != 0 { 0xFC00_0000 | low } else { low };
+    Some((value, Meta::object(value, size)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_geometry_matches_paper() {
+        assert_eq!(PointerEncoding::Extern4.tag_bits(), 4);
+        assert_eq!(PointerEncoding::Intern4.tag_bits(), 1);
+        assert_eq!(PointerEncoding::Intern11.tag_bits(), 1);
+        assert_eq!(PointerEncoding::Extern4.tag_cache_bytes(), 8192);
+        assert_eq!(PointerEncoding::Intern4.tag_cache_bytes(), 2048);
+        assert_eq!(PointerEncoding::Intern11.tag_cache_bytes(), 2048);
+    }
+
+    #[test]
+    fn extern4_compressible_set() {
+        let e = PointerEncoding::Extern4;
+        // Beginning-of-object pointers to 4..=56-byte objects compress.
+        for size in (4..=56).step_by(4) {
+            assert!(e.is_compressible(0x1000, Meta::object(0x1000, size)), "size {size}");
+        }
+        // Size not a multiple of 4.
+        assert!(!e.is_compressible(0x1000, Meta::object(0x1000, 5)));
+        // Too large.
+        assert!(!e.is_compressible(0x1000, Meta::object(0x1000, 60)));
+        // Interior pointer (value != base).
+        assert!(!e.is_compressible(0x1004, Meta::object(0x1000, 16)));
+        // Non-pointer and zero-size.
+        assert!(!e.is_compressible(0, Meta::NONE));
+        assert!(!e.is_compressible(0x1000, Meta::object(0x1000, 0)));
+    }
+
+    #[test]
+    fn intern4_requires_low_or_high_region() {
+        let e = PointerEncoding::Intern4;
+        assert!(e.is_compressible(0x0700_0000, Meta::object(0x0700_0000, 8)));
+        assert!(!e.is_compressible(0x0800_0000, Meta::object(0x0800_0000, 8)));
+        assert!(e.is_compressible(0xF800_0000, Meta::object(0xF800_0000, 8)));
+        assert!(!e.is_compressible(0xF7FF_FFF0, Meta::object(0xF7FF_FFF0, 8)));
+    }
+
+    #[test]
+    fn intern11_compresses_up_to_8kb() {
+        let e = PointerEncoding::Intern11;
+        assert!(e.is_compressible(0x1000, Meta::object(0x1000, 8192)));
+        assert!(!e.is_compressible(0x1000, Meta::object(0x1000, 8196)));
+        assert!(e.is_compressible(0x1000, Meta::object(0x1000, 2048)));
+        // Still requires pointer == base.
+        assert!(!e.is_compressible(0x1004, Meta::object(0x1000, 2048)));
+    }
+
+    #[test]
+    fn intern4_bit_roundtrip_low_region() {
+        let meta = Meta::object(0x0123_4560, 24);
+        let word = intern4_compress(0x0123_4560, meta).expect("compressible");
+        assert_ne!(word.0 & FLAG_BIT, 0, "flag bit set");
+        let (value, got) = intern4_decompress(word).expect("flag set");
+        assert_eq!(value, 0x0123_4560);
+        assert_eq!(got, meta);
+    }
+
+    #[test]
+    fn intern4_bit_roundtrip_high_region() {
+        let base = 0xFC12_3450u32;
+        let meta = Meta::object(base, 56);
+        let word = intern4_compress(base, meta).expect("compressible");
+        let (value, got) = intern4_decompress(word).expect("flag set");
+        assert_eq!(value, base);
+        assert_eq!(got, meta);
+    }
+
+    #[test]
+    fn intern4_rejects_64_to_128_mb_with_bit26_loss() {
+        // Values in [64 MB, 128 MB) pass the 128 MB region test but cannot
+        // survive the bit-26 hijack; the bit-level encoder refuses them.
+        let v = 0x0400_0000u32; // 64 MB
+        assert!(intern4_compress(v, Meta::object(v, 8)).is_none());
+        // The classification predicate is deliberately coarser (128 MB per
+        // the paper's prose); the machine's plane model never materializes
+        // the bit-level word, so only the bit-level API enforces this.
+        assert!(PointerEncoding::Intern4.is_compressible(v, Meta::object(v, 8)));
+    }
+
+    #[test]
+    fn uncompressed_word_decodes_to_none() {
+        assert_eq!(intern4_decompress(Intern4Word(0x0123_4567)), None);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(PointerEncoding::Extern4.to_string(), "extern-4");
+        assert_eq!(PointerEncoding::Intern4.to_string(), "intern-4");
+        assert_eq!(PointerEncoding::Intern11.to_string(), "intern-11");
+    }
+}

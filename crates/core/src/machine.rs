@@ -1,0 +1,660 @@
+use hardbound_cache::{AccessClass, Hierarchy};
+use hardbound_isa::layout;
+use hardbound_isa::{BinOp, FuncId, Inst, Operand, Program, Reg, SysCall, Width};
+use hardbound_mem::{Memory, PageTouches};
+
+use crate::config::{MachineConfig, SafetyMode};
+use crate::meta::{propagate_binop, Meta};
+use crate::objtable::ObjectTable;
+use crate::stats::ExecStats;
+use crate::trap::{Pc, Trap};
+
+/// Simulator-internal tag-plane values (the architectural encodings they
+/// correspond to are described in `crate::encoding`).
+const TAG_NONE: u8 = 0;
+const TAG_COMPRESSED: u8 = 1;
+const TAG_UNCOMPRESSED: u8 = 2;
+
+/// Saved caller state for the simulator-side return stack (see DESIGN.md:
+/// the link register is abstracted; `sp`/`fp` save/restore is performed by
+/// the calling sequence identically in every configuration).
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    ret_func: FuncId,
+    ret_pc: u32,
+    saved_sp: u32,
+    saved_sp_meta: Meta,
+    saved_fp: u32,
+    saved_fp_meta: Meta,
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Exit code if the program halted normally (via `sys halt` or
+    /// returning from the entry function).
+    pub exit_code: Option<i32>,
+    /// The trap that stopped the program, if any.
+    pub trap: Option<Trap>,
+    /// Execution statistics (Figure 5 / Figure 6 inputs).
+    pub stats: ExecStats,
+    /// Console output produced by `print_*` syscalls.
+    pub output: String,
+    /// All values passed to `print_int`, for cheap checksum assertions.
+    pub ints: Vec<i32>,
+}
+
+impl RunOutcome {
+    /// `true` when the program halted normally with exit code 0.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.exit_code == Some(0) && self.trap.is_none()
+    }
+}
+
+/// The HardBound machine: an in-order, one-µop-per-cycle 32-bit processor
+/// with sidecar `{base, bound}` metadata on every register and memory word
+/// (paper §3–4).
+///
+/// The HardBound extension is optional ([`MachineConfig::baseline`] models
+/// the unmodified processor); when enabled, every load and store performs
+/// the implicit bounds check of Figure 3, every memory operation consults
+/// the tag metadata cache, and pointer metadata is compressed per the
+/// configured [`crate::PointerEncoding`].
+pub struct Machine {
+    program: Program,
+    cfg: MachineConfig,
+    regs: [u32; Reg::COUNT],
+    metas: [Meta; Reg::COUNT],
+    mem: Memory,
+    hier: Hierarchy,
+    pages: PageTouches,
+    func: FuncId,
+    pc: u32,
+    call_stack: Vec<Frame>,
+    stats: ExecStats,
+    output: String,
+    ints: Vec<i32>,
+    halted: Option<i32>,
+    trap: Option<Trap>,
+    objtable: Option<Box<dyn ObjectTable>>,
+    globals_end: u32,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("func", &self.func)
+            .field("pc", &self.pc)
+            .field("halted", &self.halted)
+            .field("trap", &self.trap)
+            .field("uops", &self.stats.uops)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine ready to execute `program` from its entry
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails [`Program::validate`] — callers are
+    /// expected to compile through `hardbound-compiler`, which always
+    /// produces valid images.
+    #[must_use]
+    pub fn new(program: Program, cfg: MachineConfig) -> Machine {
+        if let Err(e) = program.validate() {
+            panic!("invalid program: {e}");
+        }
+        let mut mem = Memory::new();
+        for init in &program.data {
+            mem.write_bytes(init.addr, &init.bytes);
+        }
+        let globals_end =
+            layout::GLOBALS_BASE + program.globals_size.next_multiple_of(layout::PAGE_SIZE as u32);
+        let entry = program.entry;
+        let mut m = Machine {
+            hier: Hierarchy::new(cfg.hierarchy),
+            cfg,
+            program,
+            regs: [0; Reg::COUNT],
+            metas: [Meta::NONE; Reg::COUNT],
+            mem,
+            pages: PageTouches::new(),
+            func: entry,
+            pc: 0,
+            call_stack: Vec::new(),
+            stats: ExecStats::default(),
+            output: String::new(),
+            ints: Vec::new(),
+            halted: None,
+            trap: None,
+            objtable: None,
+            globals_end,
+        };
+        // Set up the entry function's frame directly (there is no caller).
+        let entry_frame = m.program.functions[entry.0 as usize].frame_size;
+        let sp = layout::STACK_TOP - entry_frame;
+        let smeta = m.stack_reg_meta();
+        m.set(Reg::SP, sp, smeta);
+        m.set(Reg::FP, sp, smeta);
+        let gmeta = if m.cfg.hardbound.is_some() {
+            Meta { base: layout::GLOBALS_BASE, bound: m.globals_end }
+        } else {
+            Meta::NONE
+        };
+        m.set(Reg::GP, layout::GLOBALS_BASE, gmeta);
+        m
+    }
+
+    /// Installs the object-table hook used by the JK/RL/DA comparison mode.
+    pub fn set_object_table(&mut self, table: Box<dyn ObjectTable>) {
+        self.objtable = Some(table);
+    }
+
+    /// Whether the HardBound extension is active.
+    #[must_use]
+    pub fn hardbound_enabled(&self) -> bool {
+        self.cfg.hardbound.is_some()
+    }
+
+    /// Runs until halt, trap, or fuel exhaustion.
+    pub fn run(&mut self) -> RunOutcome {
+        while self.halted.is_none() && self.trap.is_none() {
+            if self.stats.uops >= self.cfg.fuel {
+                self.trap = Some(Trap::OutOfFuel);
+                break;
+            }
+            if let Err(t) = self.step() {
+                self.trap = Some(t);
+            }
+        }
+        self.finalize_stats();
+        RunOutcome {
+            exit_code: self.halted,
+            trap: self.trap,
+            stats: self.stats,
+            output: self.output.clone(),
+            ints: self.ints.clone(),
+        }
+    }
+
+    /// Execution statistics so far (page counts are finalized by
+    /// [`Machine::run`]).
+    #[must_use]
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Console output so far.
+    #[must_use]
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Direct register read (for tests and the Figure 2 walkthrough).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Direct sidecar-metadata read (for tests).
+    #[must_use]
+    pub fn reg_meta(&self, r: Reg) -> Meta {
+        self.metas[r.index()]
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.hierarchy = self.hier.stats();
+        self.stats.data_pages = self.pages.data_pages();
+        self.stats.tag_pages = self.pages.tag_pages();
+        self.stats.shadow_pages = self.pages.shadow_pages();
+    }
+
+    fn r(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    fn m(&self, r: Reg) -> Meta {
+        self.metas[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, value: u32, meta: Meta) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+            self.metas[r.index()] = meta;
+        }
+    }
+
+    fn resolve(&self, op: Operand) -> (u32, Option<Meta>) {
+        match op {
+            Operand::Reg(r) => (self.r(r), Some(self.m(r))),
+            Operand::Imm(i) => (i as u32, None),
+        }
+    }
+
+    fn region_ok(&self, ea: u32, width: u32) -> bool {
+        let start = u64::from(ea);
+        let end = start + u64::from(width);
+        let within = |lo: u32, hi: u32| start >= u64::from(lo) && end <= u64::from(hi);
+        within(layout::GLOBALS_BASE, self.globals_end)
+            || within(layout::HEAP_BASE, layout::HEAP_END)
+            || within(layout::STACK_LIMIT, layout::STACK_TOP)
+            || within(layout::SW_SHADOW_BASE, layout::sw_shadow_addr(layout::STACK_TOP))
+    }
+
+    /// The implicit HardBound dereference check of Figure 3 C/D. Returns
+    /// `Ok(())` when the access may proceed.
+    fn implicit_check(
+        &mut self,
+        fpc: Pc,
+        ea: u32,
+        width: u32,
+        meta: Meta,
+        is_store: bool,
+    ) -> Result<(), Trap> {
+        let Some(hb) = self.cfg.hardbound else { return Ok(()) };
+        if !meta.is_pointer() {
+            return match hb.mode {
+                // Full safety: Figure 3's non-pointer exception.
+                SafetyMode::Full => {
+                    Err(Trap::NonPointerDereference { pc: fpc, addr: ea, is_store })
+                }
+                // Malloc-only: unchecked when no metadata is present.
+                SafetyMode::MallocOnly => Ok(()),
+            };
+        }
+        self.stats.bounds_checks += 1;
+        if hb.check_uop
+            && !hb.encoding.is_compressible(meta.base, meta)
+            && !self.is_region_meta(meta)
+        {
+            // §5.4 ablation: bounds checks of uncompressed pointers borrow
+            // a shared ALU and cost one extra µop. Frame/global-direct
+            // accesses check against constant region bounds held in
+            // dedicated registers and are excluded (see DESIGN.md).
+            self.stats.check_uops += 1;
+            self.stats.uops += 1;
+        }
+        if meta.check(ea, width) {
+            Ok(())
+        } else {
+            Err(Trap::BoundsViolation {
+                pc: fpc,
+                addr: ea,
+                base: meta.base,
+                bound: meta.bound,
+                is_store,
+            })
+        }
+    }
+
+    fn charge_data(&mut self, ea: u32) {
+        self.pages.touch_data(ea);
+        self.hier.access(AccessClass::Data, u64::from(ea));
+    }
+
+    fn charge_tag(&mut self, ea: u32) {
+        let hb = self.cfg.hardbound.expect("tag traffic only with HardBound");
+        let addr = layout::hw_tag_addr(ea, hb.encoding.tag_bits());
+        self.pages.touch_tag(addr);
+        self.hier.access(AccessClass::Tag, addr);
+    }
+
+    fn charge_shadow(&mut self, ea: u32) {
+        let addr = layout::hw_shadow_addr(ea);
+        self.pages.touch_shadow(addr);
+        self.hier.access(AccessClass::Shadow, addr);
+        // "Any load or store of an uncompressed bounded pointer creates an
+        // additional micro-operation to access the bounds metadata" (§5.1).
+        self.stats.meta_uops += 1;
+        self.stats.uops += 1;
+    }
+
+    fn exec_load(
+        &mut self,
+        fpc: Pc,
+        width: Width,
+        rd: Reg,
+        addr: Reg,
+        offset: i32,
+    ) -> Result<(), Trap> {
+        let ea = self.r(addr).wrapping_add(offset as u32);
+        let ameta = self.m(addr);
+        self.implicit_check(fpc, ea, width.bytes(), ameta, false)?;
+        if !self.region_ok(ea, width.bytes()) {
+            return Err(Trap::WildAddress { pc: fpc, addr: ea, is_store: false });
+        }
+        self.stats.loads += 1;
+        self.charge_data(ea);
+        let hb_on = self.cfg.hardbound.is_some();
+        if hb_on {
+            // "This tag metadata is needed by every memory operation" §4.2.
+            self.charge_tag(ea);
+        }
+        match width {
+            Width::Byte => {
+                let v = self.mem.read_u8(ea);
+                self.set(rd, u32::from(v), Meta::NONE);
+            }
+            Width::Word => {
+                let raw = self.mem.read_u32(ea);
+                let mut meta = Meta::NONE;
+                if hb_on && ea.is_multiple_of(4) {
+                    match self.mem.tag(ea) {
+                        TAG_NONE => {}
+                        TAG_COMPRESSED => {
+                            // Metadata travels inside the word/tag — no
+                            // extra traffic (paper §4.3).
+                            meta = self.mem.shadow(ea).into();
+                            self.stats.ptr_loads += 1;
+                            self.stats.compressed_ptr_loads += 1;
+                        }
+                        TAG_UNCOMPRESSED => {
+                            self.charge_shadow(ea);
+                            meta = self.mem.shadow(ea).into();
+                            self.stats.ptr_loads += 1;
+                        }
+                        t => unreachable!("corrupt tag {t}"),
+                    }
+                }
+                self.set(rd, raw, meta);
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_store(
+        &mut self,
+        fpc: Pc,
+        width: Width,
+        src: Reg,
+        addr: Reg,
+        offset: i32,
+    ) -> Result<(), Trap> {
+        let ea = self.r(addr).wrapping_add(offset as u32);
+        let ameta = self.m(addr);
+        self.implicit_check(fpc, ea, width.bytes(), ameta, true)?;
+        if !self.region_ok(ea, width.bytes()) {
+            return Err(Trap::WildAddress { pc: fpc, addr: ea, is_store: true });
+        }
+        self.stats.stores += 1;
+        self.charge_data(ea);
+        let hb_on = self.cfg.hardbound.is_some();
+        if hb_on {
+            self.charge_tag(ea);
+        }
+        let value = self.r(src);
+        match width {
+            Width::Byte => {
+                self.mem.write_u8(ea, value as u8);
+                if hb_on {
+                    // A sub-word store destroys the containing word's
+                    // pointer-ness (conservative, as real hardware must).
+                    self.mem.set_tag(ea, TAG_NONE);
+                }
+            }
+            Width::Word => {
+                self.mem.write_u32(ea, value);
+                if hb_on {
+                    if ea.is_multiple_of(4) {
+                        let meta = self.m(src);
+                        if meta.is_pointer() {
+                            self.stats.ptr_stores += 1;
+                            let hb = self.cfg.hardbound.expect("checked above");
+                            self.mem.set_shadow(ea, (meta.base, meta.bound));
+                            if hb.encoding.is_compressible(value, meta) {
+                                self.stats.compressed_ptr_stores += 1;
+                                self.mem.set_tag(ea, TAG_COMPRESSED);
+                            } else {
+                                self.mem.set_tag(ea, TAG_UNCOMPRESSED);
+                                self.charge_shadow(ea);
+                            }
+                        } else {
+                            self.mem.set_tag(ea, TAG_NONE);
+                        }
+                    } else {
+                        // Unaligned word store: clear both containing words.
+                        self.mem.set_tag(ea, TAG_NONE);
+                        self.mem.set_tag(ea.wrapping_add(3), TAG_NONE);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs the calling sequence: saves the caller's `sp`/`fp`, carves
+    /// the callee's frame out of the stack and points `fp` at it. With
+    /// HardBound enabled, `sp` and `fp` carry whole-stack bounds — the
+    /// compiler narrows pointers to individual stack objects with
+    /// `setbound` (paper §3.2); compiler-generated frame-slot accesses are
+    /// statically safe and check against the stack region only.
+    fn do_call(&mut self, callee: FuncId) -> Result<(), Trap> {
+        if self.call_stack.len() >= self.cfg.max_call_depth {
+            return Err(Trap::CallDepthExceeded);
+        }
+        self.call_stack.push(Frame {
+            ret_func: self.func,
+            ret_pc: self.pc,
+            saved_sp: self.r(Reg::SP),
+            saved_sp_meta: self.m(Reg::SP),
+            saved_fp: self.r(Reg::FP),
+            saved_fp_meta: self.m(Reg::FP),
+        });
+        let frame_size = self.program.functions[callee.0 as usize].frame_size;
+        let new_sp = self.r(Reg::SP).wrapping_sub(frame_size);
+        if !(layout::STACK_LIMIT..=layout::STACK_TOP).contains(&new_sp) {
+            return Err(Trap::StackOverflow);
+        }
+        let meta = self.stack_reg_meta();
+        self.set(Reg::SP, new_sp, meta);
+        self.set(Reg::FP, new_sp, meta);
+        self.func = callee;
+        self.pc = 0;
+        Ok(())
+    }
+
+    /// Whether `meta` is one of the machine-provided region bounds (whole
+    /// stack / whole globals) rather than a software-created pointer.
+    fn is_region_meta(&self, meta: Meta) -> bool {
+        meta == Meta { base: layout::STACK_LIMIT, bound: layout::STACK_TOP }
+            || meta == Meta { base: layout::GLOBALS_BASE, bound: self.globals_end }
+    }
+
+    fn stack_reg_meta(&self) -> Meta {
+        if self.cfg.hardbound.is_some() {
+            Meta { base: layout::STACK_LIMIT, bound: layout::STACK_TOP }
+        } else {
+            Meta::NONE
+        }
+    }
+
+    fn do_ret(&mut self) {
+        match self.call_stack.pop() {
+            Some(frame) => {
+                self.set(Reg::SP, frame.saved_sp, frame.saved_sp_meta);
+                self.set(Reg::FP, frame.saved_fp, frame.saved_fp_meta);
+                self.func = frame.ret_func;
+                self.pc = frame.ret_pc;
+            }
+            None => {
+                // Returning from the entry function exits the program.
+                self.halted = Some(self.r(Reg::A0) as i32);
+            }
+        }
+    }
+
+    fn exec_sys(&mut self, fpc: Pc, call: SysCall) -> Result<(), Trap> {
+        use std::fmt::Write as _;
+        match call {
+            SysCall::PrintInt => {
+                let v = self.r(Reg::A0) as i32;
+                self.ints.push(v);
+                let _ = writeln!(self.output, "{v}");
+            }
+            SysCall::PrintChar => {
+                self.output.push(self.r(Reg::A0) as u8 as char);
+            }
+            SysCall::Halt => {
+                self.halted = Some(self.r(Reg::A0) as i32);
+            }
+            SysCall::Abort => {
+                return Err(Trap::SoftwareAbort { code: self.r(Reg::A0) as i32 });
+            }
+            SysCall::OtRegister => {
+                let (base, size) = (self.r(Reg::A0), self.r(Reg::A1));
+                if let Some(t) = self.objtable.as_mut() {
+                    self.stats.objtable_cycles += t.register(base, size);
+                }
+            }
+            SysCall::OtUnregister => {
+                let base = self.r(Reg::A0);
+                if let Some(t) = self.objtable.as_mut() {
+                    self.stats.objtable_cycles += t.unregister(base);
+                }
+            }
+            SysCall::OtCheck => {
+                let (from, to) = (self.r(Reg::A0), self.r(Reg::A1));
+                if let Some(t) = self.objtable.as_mut() {
+                    let (cost, ok) = t.check(from, to);
+                    self.stats.objtable_cycles += cost;
+                    if !ok {
+                        return Err(Trap::ObjectTableViolation { pc: fpc, addr: to });
+                    }
+                }
+            }
+            SysCall::OtCheckArith => {
+                let (from, to) = (self.r(Reg::A0), self.r(Reg::A1));
+                if let Some(t) = self.objtable.as_mut() {
+                    let (cost, ok) = t.check_arith(from, to);
+                    self.stats.objtable_cycles += cost;
+                    if !ok {
+                        return Err(Trap::ObjectTableViolation { pc: fpc, addr: to });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] raised by the instruction, if any.
+    pub fn step(&mut self) -> Result<(), Trap> {
+        let f = &self.program.functions[self.func.0 as usize];
+        debug_assert!((self.pc as usize) < f.insts.len(), "validated programs never run off");
+        let inst = f.insts[self.pc as usize];
+        let fpc = Pc { func: self.func, index: self.pc };
+        // Pre-advance; branches, calls and returns overwrite.
+        self.pc += 1;
+        self.stats.uops += 1;
+
+        match inst {
+            Inst::Li { rd, imm } => self.set(rd, imm, Meta::NONE),
+            Inst::Mov { rd, rs } => self.set(rd, self.r(rs), self.m(rs)),
+            Inst::Bin { op, rd, rs1, rs2 } => {
+                let a = self.r(rs1);
+                let am = self.m(rs1);
+                let (b, bm) = self.resolve(rs2);
+                let value = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(Trap::DivideByZero { pc: fpc });
+                        }
+                        (a as i32).wrapping_div(b as i32) as u32
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(Trap::DivideByZero { pc: fpc });
+                        }
+                        (a as i32).wrapping_rem(b as i32) as u32
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b),
+                    BinOp::Shr => a.wrapping_shr(b),
+                    BinOp::Sra => ((a as i32).wrapping_shr(b)) as u32,
+                };
+                self.set(rd, value, propagate_binop(op, am, bm));
+            }
+            Inst::Cmp { op, rd, rs1, rs2 } => {
+                let a = self.r(rs1);
+                let (b, _) = self.resolve(rs2);
+                self.set(rd, u32::from(op.eval(a, b)), Meta::NONE);
+            }
+            Inst::Load { width, rd, addr, offset } => {
+                self.exec_load(fpc, width, rd, addr, offset)?;
+            }
+            Inst::Store { width, src, addr, offset } => {
+                self.exec_store(fpc, width, src, addr, offset)?;
+            }
+            Inst::SetBound { rd, rs, size } => {
+                self.stats.setbound_uops += 1;
+                let value = self.r(rs);
+                let (size, _) = self.resolve(size);
+                self.set(rd, value, Meta::object(value, size));
+            }
+            Inst::Unbound { rd, rs } => {
+                // Counted with setbound: both are bounds-manipulation µops
+                // present only in instrumented binaries.
+                self.stats.setbound_uops += 1;
+                self.set(rd, self.r(rs), Meta::UNCHECKED);
+            }
+            Inst::CodePtr { rd, func } => {
+                let meta = if self.cfg.hardbound.is_some() { Meta::CODE } else { Meta::NONE };
+                self.set(rd, func.code_addr(), meta);
+            }
+            Inst::ReadBase { rd, rs } => {
+                let base = self.m(rs).base;
+                self.set(rd, base, Meta::NONE);
+            }
+            Inst::ReadBound { rd, rs } => {
+                let bound = self.m(rs).bound;
+                self.set(rd, bound, Meta::NONE);
+            }
+            Inst::Branch { op, rs1, rs2, target } => {
+                let a = self.r(rs1);
+                let (b, _) = self.resolve(rs2);
+                if op.eval(a, b) {
+                    self.pc = target;
+                }
+            }
+            Inst::Jump { target } => self.pc = target,
+            Inst::Call { func } => self.do_call(func)?,
+            Inst::CallInd { rs } => {
+                let value = self.r(rs);
+                let meta = self.m(rs);
+                if self.cfg.hardbound.is_some() && !meta.is_code() {
+                    // §6.1: only genuine code pointers are callable. In
+                    // malloc-only mode legacy binaries carry no metadata,
+                    // so non-pointers are allowed through.
+                    let malloc_only =
+                        self.cfg.hardbound.map(|h| h.mode) == Some(SafetyMode::MallocOnly);
+                    if !malloc_only || meta.is_pointer() {
+                        return Err(Trap::InvalidCallTarget { pc: fpc, value });
+                    }
+                }
+                let Some(idx) = layout::func_index_of_code_addr(value) else {
+                    return Err(Trap::InvalidCallTarget { pc: fpc, value });
+                };
+                if idx as usize >= self.program.functions.len() {
+                    return Err(Trap::InvalidCallTarget { pc: fpc, value });
+                }
+                self.do_call(FuncId(idx))?;
+            }
+            Inst::Ret => self.do_ret(),
+            Inst::Sys { call } => self.exec_sys(fpc, call)?,
+            Inst::Nop => {}
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,115 @@
+use hardbound_cache::HierarchyStats;
+
+/// Execution statistics with the component attribution used by the paper's
+/// Figure 5.
+///
+/// The paper decomposes HardBound's runtime overhead into four stacked
+/// components: (1) compiler-inserted `setbound` instructions, (2) extra
+/// µops for loading/storing the metadata of uncompressed pointers, (3)
+/// stalls on pointer metadata (tag-cache and base/bound shadow misses), and
+/// (4) additional memory latency — pollution suffered by ordinary data
+/// accesses, computed by differencing against a baseline run. Components
+/// (1)–(3) are direct counters here; (4) is
+/// `data_stall_cycles(instrumented) − data_stall_cycles(baseline)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total µops executed, including `setbound` and metadata µops.
+    pub uops: u64,
+    /// µops that were bounds-manipulation instructions inserted by the
+    /// instrumentation — `setbound` and the rare `unbound` escape hatch
+    /// (Figure 5 component 1).
+    pub setbound_uops: u64,
+    /// Extra µops inserted to move uncompressed-pointer metadata to/from
+    /// the memory hierarchy (Figure 5 component 2; §5.1: "any load or store
+    /// of an uncompressed bounded pointer creates an additional
+    /// micro-operation").
+    pub meta_uops: u64,
+    /// Extra µops charged by the §5.4 check-µop ablation.
+    pub check_uops: u64,
+    /// Implicit bounds checks performed.
+    pub bounds_checks: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Pointer-tagged words stored.
+    pub ptr_stores: u64,
+    /// Pointer stores that used a compressed encoding.
+    pub compressed_ptr_stores: u64,
+    /// Pointer-tagged words loaded.
+    pub ptr_loads: u64,
+    /// Pointer loads that used a compressed encoding.
+    pub compressed_ptr_loads: u64,
+    /// Cycles charged by the object-table comparison hook.
+    pub objtable_cycles: u64,
+    /// Per-class memory stall cycles.
+    pub hierarchy: HierarchyStats,
+    /// Distinct 4 KB data pages touched.
+    pub data_pages: usize,
+    /// Distinct 4 KB tag-metadata pages touched.
+    pub tag_pages: usize,
+    /// Distinct 4 KB base/bound shadow pages touched.
+    pub shadow_pages: usize,
+}
+
+impl ExecStats {
+    /// Total simulated cycles: one per µop, plus memory stalls, plus
+    /// charged object-table time.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.uops + self.hierarchy.total_stall_cycles() + self.objtable_cycles
+    }
+
+    /// Figure 5 component 3: stall cycles attributable to pointer metadata.
+    #[must_use]
+    pub fn metadata_stall_cycles(&self) -> u64 {
+        self.hierarchy.metadata_stall_cycles()
+    }
+
+    /// Fraction of pointer stores that compressed, in `[0, 1]`
+    /// (1.0 when no pointer was ever stored).
+    #[must_use]
+    pub fn store_compression_rate(&self) -> f64 {
+        if self.ptr_stores == 0 {
+            1.0
+        } else {
+            self.compressed_ptr_stores as f64 / self.ptr_stores as f64
+        }
+    }
+
+    /// Extra distinct metadata pages (tag + shadow) — the quantity Figure 6
+    /// stacks on top of the baseline page count.
+    #[must_use]
+    pub fn metadata_pages(&self) -> usize {
+        self.tag_pages + self.shadow_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_compose_uops_and_stalls() {
+        let mut s = ExecStats { uops: 100, objtable_cycles: 7, ..ExecStats::default() };
+        s.hierarchy.data_stall_cycles = 24;
+        s.hierarchy.tag_stall_cycles = 12;
+        s.hierarchy.shadow_stall_cycles = 212;
+        assert_eq!(s.cycles(), 100 + 24 + 12 + 212 + 7);
+        assert_eq!(s.metadata_stall_cycles(), 224);
+    }
+
+    #[test]
+    fn compression_rate_handles_zero() {
+        let s = ExecStats::default();
+        assert_eq!(s.store_compression_rate(), 1.0);
+        let s = ExecStats { ptr_stores: 4, compressed_ptr_stores: 3, ..ExecStats::default() };
+        assert_eq!(s.store_compression_rate(), 0.75);
+    }
+
+    #[test]
+    fn metadata_pages_sum() {
+        let s = ExecStats { tag_pages: 3, shadow_pages: 5, ..ExecStats::default() };
+        assert_eq!(s.metadata_pages(), 8);
+    }
+}

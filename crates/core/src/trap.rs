@@ -1,0 +1,176 @@
+use std::fmt;
+
+use hardbound_isa::FuncId;
+
+/// Program counter snapshot: function and instruction index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Pc {
+    /// Function containing the trapping instruction.
+    pub func: FuncId,
+    /// Instruction index within the function.
+    pub index: u32,
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.func, self.index)
+    }
+}
+
+/// Why the machine stopped abnormally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// The implicit HardBound bounds check failed (paper Figure 3: "raise
+    /// bounds check exception").
+    BoundsViolation {
+        /// Where the faulting access was issued.
+        pc: Pc,
+        /// Effective address of the access.
+        addr: u32,
+        /// The pointer's sidecar base.
+        base: u32,
+        /// The pointer's sidecar bound.
+        bound: u32,
+        /// `true` for stores.
+        is_store: bool,
+    },
+    /// A word with no metadata was dereferenced in full-safety mode (paper
+    /// Figure 3: "raise non-pointer exception").
+    NonPointerDereference {
+        /// Where the faulting access was issued.
+        pc: Pc,
+        /// Effective address of the access.
+        addr: u32,
+        /// `true` for stores.
+        is_store: bool,
+    },
+    /// An indirect call's target was not a valid code pointer (paper §6.1:
+    /// forged function pointers are not callable).
+    InvalidCallTarget {
+        /// Where the call was issued.
+        pc: Pc,
+        /// The register value used as a call target.
+        value: u32,
+    },
+    /// Access outside every mapped region — the simulator's analogue of a
+    /// segmentation fault. Fires in *any* mode (including the baseline), so
+    /// completely wild accesses terminate rather than corrupt the
+    /// simulator's own state.
+    WildAddress {
+        /// Where the faulting access was issued.
+        pc: Pc,
+        /// The wild effective address.
+        addr: u32,
+        /// `true` for stores.
+        is_store: bool,
+    },
+    /// Software-requested abort (SoftBound's explicit checks branch here).
+    SoftwareAbort {
+        /// Abort code (`a0` at the abort).
+        code: i32,
+    },
+    /// The object-table comparison scheme rejected an access.
+    ObjectTableViolation {
+        /// Where the check was issued.
+        pc: Pc,
+        /// The checked address.
+        addr: u32,
+    },
+    /// Integer division by zero.
+    DivideByZero {
+        /// Where the division was issued.
+        pc: Pc,
+    },
+    /// Call stack exceeded the configured limit.
+    CallDepthExceeded,
+    /// The stack pointer left the stack region while carving a frame.
+    StackOverflow,
+    /// The µop budget was exhausted.
+    OutOfFuel,
+}
+
+impl Trap {
+    /// Whether this trap represents a *detected spatial-safety violation*
+    /// (as opposed to a machine/infrastructure fault). The correctness
+    /// suite (§5.2) counts these as detections.
+    #[must_use]
+    pub fn is_spatial_violation(&self) -> bool {
+        matches!(
+            self,
+            Trap::BoundsViolation { .. }
+                | Trap::NonPointerDereference { .. }
+                | Trap::InvalidCallTarget { .. }
+        )
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::BoundsViolation { pc, addr, base, bound, is_store } => write!(
+                f,
+                "bounds violation at {pc}: {} of {addr:#x} outside [{base:#x}, {bound:#x})",
+                if *is_store { "store" } else { "load" },
+            ),
+            Trap::NonPointerDereference { pc, addr, is_store } => write!(
+                f,
+                "non-pointer dereference at {pc}: {} of {addr:#x}",
+                if *is_store { "store" } else { "load" },
+            ),
+            Trap::InvalidCallTarget { pc, value } => {
+                write!(f, "invalid indirect call target {value:#x} at {pc}")
+            }
+            Trap::WildAddress { pc, addr, is_store } => write!(
+                f,
+                "wild {} of unmapped address {addr:#x} at {pc}",
+                if *is_store { "store" } else { "load" },
+            ),
+            Trap::SoftwareAbort { code } => write!(f, "software abort with code {code}"),
+            Trap::ObjectTableViolation { pc, addr } => {
+                write!(f, "object-table violation at {pc}: address {addr:#x}")
+            }
+            Trap::DivideByZero { pc } => write!(f, "divide by zero at {pc}"),
+            Trap::CallDepthExceeded => write!(f, "call depth exceeded"),
+            Trap::StackOverflow => write!(f, "stack overflow"),
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc() -> Pc {
+        Pc { func: FuncId(1), index: 7 }
+    }
+
+    #[test]
+    fn spatial_violation_classification() {
+        assert!(Trap::BoundsViolation { pc: pc(), addr: 0, base: 0, bound: 0, is_store: false }
+            .is_spatial_violation());
+        assert!(Trap::NonPointerDereference { pc: pc(), addr: 0, is_store: true }
+            .is_spatial_violation());
+        assert!(Trap::InvalidCallTarget { pc: pc(), value: 0 }.is_spatial_violation());
+        assert!(!Trap::OutOfFuel.is_spatial_violation());
+        assert!(!Trap::SoftwareAbort { code: 1 }.is_spatial_violation());
+        assert!(!Trap::WildAddress { pc: pc(), addr: 0, is_store: false }.is_spatial_violation());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::BoundsViolation {
+            pc: pc(),
+            addr: 0x1005,
+            base: 0x1000,
+            bound: 0x1004,
+            is_store: false,
+        };
+        let s = t.to_string();
+        assert!(s.contains("0x1005"));
+        assert!(s.contains("0x1000"));
+        assert!(s.contains("fn#1@7"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the HardBound metadata primitives.
+
+use hardbound_core::{
+    intern4_compress, intern4_decompress, propagate_binop, Meta, PointerEncoding,
+};
+use hardbound_isa::BinOp;
+use proptest::prelude::*;
+
+fn arb_meta() -> impl Strategy<Value = Meta> {
+    prop_oneof![
+        Just(Meta::NONE),
+        Just(Meta::UNCHECKED),
+        Just(Meta::CODE),
+        (0u32..0x0700_0000, 1u32..0x10000)
+            .prop_map(|(base, size)| Meta::object(base & !3, size)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// §4.3 invariant: whatever compresses must decompress to itself.
+    #[test]
+    fn intern4_roundtrip(base in 0u32..0x0400_0000u32, size_words in 1u32..=14) {
+        let base = base & !3;
+        let meta = Meta::object(base, size_words * 4);
+        if let Some(word) = intern4_compress(base, meta) {
+            let (value, got) = intern4_decompress(word).expect("compressed word has flag");
+            prop_assert_eq!(value, base);
+            prop_assert_eq!(got, meta);
+        }
+    }
+
+    /// Pointers the predicate rejects never produce a compressed word, and
+    /// pointers it accepts in the bit-eligible region always do.
+    #[test]
+    fn intern4_compress_agrees_with_predicate(value in 0u32..0x0400_0000, size in 0u32..128) {
+        let value = value & !3;
+        let meta = Meta::object(value, size);
+        let predicate = PointerEncoding::Intern4.is_compressible(value, meta);
+        let bit_level = intern4_compress(value, meta).is_some();
+        // Below 64 MB the bit-level encoder and the predicate must agree.
+        prop_assert_eq!(predicate, bit_level);
+    }
+
+    /// The compressibility predicate only ever accepts begin-of-object
+    /// pointers with positive word-multiple sizes in range.
+    #[test]
+    fn compressibility_soundness(value in any::<u32>(), meta in arb_meta()) {
+        for enc in PointerEncoding::ALL {
+            if enc.is_compressible(value, meta) {
+                prop_assert_eq!(meta.base, value);
+                let size = meta.size();
+                prop_assert!(size > 0);
+                prop_assert_eq!(size % 4, 0);
+                prop_assert!(size <= enc.max_compressed_size());
+            }
+        }
+    }
+
+    /// Figure 3's propagation algebra: the result is always one of the
+    /// operands' metadata (or NONE), add/sub never invent bounds, and
+    /// non-pointer ops always clear.
+    #[test]
+    fn propagation_closure(a in arb_meta(), b in arb_meta()) {
+        for op in [BinOp::Add, BinOp::Sub] {
+            let out = propagate_binop(op, a, Some(b));
+            prop_assert!(out == a || out == b || out == Meta::NONE);
+            if a.is_pointer() {
+                prop_assert_eq!(out, a, "first pointer operand wins");
+            } else {
+                prop_assert_eq!(out, b);
+            }
+        }
+        for op in [BinOp::Mul, BinOp::And, BinOp::Xor, BinOp::Shl] {
+            prop_assert_eq!(propagate_binop(op, a, Some(b)), Meta::NONE);
+        }
+    }
+
+    /// The span check is monotone: growing the access can only fail more.
+    #[test]
+    fn check_monotone_in_width(meta in arb_meta(), ea in any::<u32>(), w in 1u32..8) {
+        if meta.check(ea, w + 1) {
+            prop_assert!(meta.check(ea, w));
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Structured construction of [`Function`]s with symbolic labels.
+
+use crate::inst::{BinOp, CmpOp, Inst, Operand, SysCall, Width};
+use crate::program::{FuncId, Function};
+use crate::reg::Reg;
+
+/// A forward-referenceable branch target inside a function under
+/// construction (create with [`FunctionBuilder::new_label`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental builder for a [`Function`].
+///
+/// Labels may be used before they are bound; [`FunctionBuilder::finish`]
+/// patches every branch to the instruction index the label was bound to.
+///
+/// ```
+/// use hardbound_isa::{FunctionBuilder, Reg};
+///
+/// let mut b = FunctionBuilder::new("loop3", 0);
+/// b.li(Reg::A0, 0);
+/// let head = b.bind_label();
+/// b.addi(Reg::A0, Reg::A0, 1);
+/// b.branch(hardbound_isa::CmpOp::Lt, Reg::A0, 3, head);
+/// b.ret();
+/// let f = b.finish();
+/// assert_eq!(f.insts.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    num_args: u8,
+    frame_size: u32,
+    insts: Vec<Inst>,
+    /// Bound position of each label (`u32::MAX` = unbound).
+    labels: Vec<u32>,
+    /// Instruction indices whose branch target is a label id to patch.
+    patches: Vec<(usize, Label)>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with `num_args` register arguments.
+    #[must_use]
+    pub fn new(name: impl Into<String>, num_args: u8) -> FunctionBuilder {
+        FunctionBuilder {
+            name: name.into(),
+            num_args,
+            frame_size: 0,
+            insts: Vec::new(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+        }
+    }
+
+    /// Sets the stack-frame size in bytes (rounded up to 8).
+    pub fn set_frame_size(&mut self, bytes: u32) {
+        self.frame_size = bytes.next_multiple_of(8);
+    }
+
+    /// Current frame size in bytes.
+    #[must_use]
+    pub fn frame_size(&self) -> u32 {
+        self.frame_size
+    }
+
+    /// Creates an unbound label for later [`bind`](Self::bind).
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(u32::MAX);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the *next* emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert_eq!(self.labels[label.0], u32::MAX, "label bound twice");
+        self.labels[label.0] = self.insts.len() as u32;
+    }
+
+    /// Creates a label and binds it at the current position.
+    pub fn bind_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Index of the next instruction to be emitted.
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Emits a raw instruction and returns its index.
+    pub fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    // --- straightforward emit helpers -----------------------------------
+
+    /// `rd ← imm`.
+    pub fn li(&mut self, rd: Reg, imm: u32) {
+        self.emit(Inst::Li { rd, imm });
+    }
+
+    /// `rd ← rs` (copies sidecar metadata).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::Mov { rd, rs });
+    }
+
+    /// `rd ← rs1 op rs2`.
+    pub fn bin(&mut self, op: BinOp, rd: Reg, rs1: Reg, rs2: impl Into<Operand>) {
+        self.emit(Inst::Bin { op, rd, rs1, rs2: rs2.into() });
+    }
+
+    /// `rd ← rs1 + imm` (bounds-propagating).
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.bin(BinOp::Add, rd, rs1, imm);
+    }
+
+    /// `rd ← rs1 + rs2` (bounds-propagating).
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.bin(BinOp::Add, rd, rs1, rs2);
+    }
+
+    /// `rd ← rs1 - rs2ORimm` (bounds-propagating).
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: impl Into<Operand>) {
+        self.bin(BinOp::Sub, rd, rs1, rs2);
+    }
+
+    /// `rd ← (rs1 cmp rs2) ? 1 : 0`.
+    pub fn cmp(&mut self, op: CmpOp, rd: Reg, rs1: Reg, rs2: impl Into<Operand>) {
+        self.emit(Inst::Cmp { op, rd, rs1, rs2: rs2.into() });
+    }
+
+    /// `rd ← Mem[addr+offset]`.
+    pub fn load(&mut self, width: Width, rd: Reg, addr: Reg, offset: i32) {
+        self.emit(Inst::Load { width, rd, addr, offset });
+    }
+
+    /// `Mem[addr+offset] ← src`.
+    pub fn store(&mut self, width: Width, src: Reg, addr: Reg, offset: i32) {
+        self.emit(Inst::Store { width, src, addr, offset });
+    }
+
+    /// `setbound rd ← rs, size-register`.
+    pub fn setbound(&mut self, rd: Reg, rs: Reg, size: Reg) {
+        self.emit(Inst::SetBound { rd, rs, size: size.into() });
+    }
+
+    /// `setbound rd ← rs, size-immediate`.
+    pub fn setbound_imm(&mut self, rd: Reg, rs: Reg, size: i32) {
+        self.emit(Inst::SetBound { rd, rs, size: size.into() });
+    }
+
+    /// The §3.2 escape hatch: `rd` gets `rs`'s value with `{0, MAXINT}`.
+    pub fn unbound(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::Unbound { rd, rs });
+    }
+
+    /// Materializes a function pointer with the code-pointer sidecar.
+    pub fn code_ptr(&mut self, rd: Reg, func: FuncId) {
+        self.emit(Inst::CodePtr { rd, func });
+    }
+
+    /// `rd ← rs.base`.
+    pub fn readbase(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::ReadBase { rd, rs });
+    }
+
+    /// `rd ← rs.bound`.
+    pub fn readbound(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Inst::ReadBound { rd, rs });
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, op: CmpOp, rs1: Reg, rs2: impl Into<Operand>, label: Label) {
+        let idx = self.emit(Inst::Branch { op, rs1, rs2: rs2.into(), target: u32::MAX });
+        self.patches.push((idx, label));
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) {
+        let idx = self.emit(Inst::Jump { target: u32::MAX });
+        self.patches.push((idx, label));
+    }
+
+    /// Direct call.
+    pub fn call(&mut self, func: FuncId) {
+        self.emit(Inst::Call { func });
+    }
+
+    /// Indirect call through `rs`.
+    pub fn call_indirect(&mut self, rs: Reg) {
+        self.emit(Inst::CallInd { rs });
+    }
+
+    /// Return.
+    pub fn ret(&mut self) {
+        self.emit(Inst::Ret);
+    }
+
+    /// Environment call.
+    pub fn sys(&mut self, call: SysCall) {
+        self.emit(Inst::Sys { call });
+    }
+
+    /// `sys halt`.
+    pub fn halt(&mut self) {
+        self.sys(SysCall::Halt);
+    }
+
+    /// Finalizes the function, resolving all label references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn finish(mut self) -> Function {
+        for (idx, label) in std::mem::take(&mut self.patches) {
+            let pos = self.labels[label.0];
+            assert_ne!(pos, u32::MAX, "label {label:?} used but never bound in {}", self.name);
+            match &mut self.insts[idx] {
+                Inst::Branch { target, .. } | Inst::Jump { target } => *target = pos,
+                other => unreachable!("patched non-branch {other:?}"),
+            }
+        }
+        Function {
+            name: self.name,
+            insts: self.insts,
+            frame_size: self.frame_size,
+            num_args: self.num_args,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let end = b.new_label();
+        b.li(Reg::A0, 0); // 0
+        let head = b.bind_label(); // binds at 1
+        b.addi(Reg::A0, Reg::A0, 1); // 1
+        b.branch(CmpOp::Ge, Reg::A0, 10, end); // 2
+        b.jump(head); // 3
+        b.bind(end);
+        b.ret(); // 4
+        let f = b.finish();
+        assert_eq!(f.insts[2], Inst::Branch {
+            op: CmpOp::Ge,
+            rs1: Reg::A0,
+            rs2: Operand::Imm(10),
+            target: 4
+        });
+        assert_eq!(f.insts[3], Inst::Jump { target: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let l = b.new_label();
+        b.jump(l);
+        b.ret();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn frame_size_rounds_to_eight() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.set_frame_size(13);
+        assert_eq!(b.frame_size(), 16);
+        b.set_frame_size(16);
+        assert_eq!(b.frame_size(), 16);
+        b.set_frame_size(0);
+        assert_eq!(b.frame_size(), 0);
+    }
+
+    #[test]
+    fn helpers_emit_expected_instructions() {
+        let mut b = FunctionBuilder::new("f", 2);
+        b.li(Reg::T0, 5);
+        b.mov(Reg::T1, Reg::T0);
+        b.setbound_imm(Reg::T1, Reg::T1, 8);
+        b.unbound(Reg::T2, Reg::T1);
+        b.readbase(Reg::A0, Reg::T1);
+        b.readbound(Reg::A1, Reg::T1);
+        b.cmp(CmpOp::Eq, Reg::A2, Reg::A0, Reg::A1);
+        b.load(Width::Word, Reg::A3, Reg::T1, 0);
+        b.store(Width::Byte, Reg::A3, Reg::T1, 1);
+        b.call(FuncId(0));
+        b.call_indirect(Reg::T1);
+        b.halt();
+        let f = b.finish();
+        assert_eq!(f.num_args, 2);
+        assert_eq!(f.insts.len(), 12);
+        assert!(matches!(f.insts[2], Inst::SetBound { .. }));
+        assert!(matches!(f.insts[3], Inst::Unbound { .. }));
+        assert!(matches!(f.insts.last(), Some(Inst::Sys { call: SysCall::Halt })));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = FunctionBuilder::new("f", 0);
+        assert_eq!(b.here(), 0);
+        b.li(Reg::A0, 1);
+        assert_eq!(b.here(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Instruction-set architecture of the HardBound simulator.
+//!
+//! The paper evaluates HardBound on a simulated in-order 32-bit x86 machine
+//! whose instructions are decoded into micro-operations executed at one µop
+//! per cycle (paper §5.1). The ISA itself only matters through its
+//! pointer-manipulation surface — which instructions create, copy, offset,
+//! load, store and dereference pointers — so this reproduction defines a
+//! compact RISC-like µop ISA with exactly that surface:
+//!
+//! * word-sized arithmetic whose metadata-propagation rules follow the
+//!   paper's Figure 3 (`add`/`sub`/`mov` propagate bounds, `mul`/`div`/
+//!   shifts/logic do not),
+//! * byte and word loads/stores with *implicit* bounds checks,
+//! * the HardBound primitives `setbound`, `readbase` and `readbound`
+//!   (paper §3.1) plus the `unbound` escape hatch of §3.2.
+//!
+//! The crate is purely *definitional*: instruction and program data types, a
+//! structured builder, a disassembler and validation. Execution semantics
+//! live in `hardbound-core`.
+//!
+//! ```
+//! use hardbound_isa::{FunctionBuilder, Program, Reg, Width};
+//!
+//! let mut f = FunctionBuilder::new("main", 0);
+//! f.li(Reg::A0, 0x1000);
+//! f.setbound_imm(Reg::A0, Reg::A0, 4);
+//! f.load(Width::Word, Reg::A1, Reg::A0, 0);
+//! f.halt();
+//! let program = Program::with_entry(vec![f.finish()]);
+//! assert!(program.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod disasm;
+mod inst;
+pub mod layout;
+mod program;
+mod reg;
+
+pub use builder::{FunctionBuilder, Label};
+pub use inst::{BinOp, CmpOp, Inst, Operand, SysCall, Width};
+pub use program::{DataInit, FuncId, Function, Program, ValidateError};
+pub use reg::Reg;

@@ -1,0 +1,274 @@
+//! Abstract syntax of Cb, the C subset used in place of the paper's
+//! CIL/GCC toolchain.
+//!
+//! Cb covers the constructs the Olden benchmarks and the §5.2 violation
+//! corpus need: `int`/`char`/`void`, pointers, fixed-size arrays
+//! (including arrays inside structs — the case object-table schemes cannot
+//! protect, §2.2), structs, the usual statement forms, and C expression
+//! syntax with pointer arithmetic and casts. Omissions relative to C are
+//! listed in DESIGN.md (floats → fixed-point, no function pointers at the
+//! source level, one declarator per declaration).
+
+use std::fmt;
+
+/// A type expression as written in the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int` — 32-bit signed.
+    Int,
+    /// `char` — 8-bit unsigned.
+    Char,
+    /// `void` — only behind pointers or as a return type.
+    Void,
+    /// `struct NAME`.
+    Struct(String),
+    /// `T *`.
+    Ptr(Box<TypeExpr>),
+    /// `T [N]` (arrays of arrays are written `T [N][M]`).
+    Array(Box<TypeExpr>, u32),
+}
+
+impl TypeExpr {
+    /// Convenience: pointer to this type.
+    #[must_use]
+    pub fn ptr(self) -> TypeExpr {
+        TypeExpr::Ptr(Box::new(self))
+    }
+}
+
+/// Binary operators (assignment and short-circuit forms are separate
+/// expression kinds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+` (pointer arithmetic scales by the pointee size).
+    Add,
+    /// `-` (pointer difference divides by the pointee size).
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer (or character) literal.
+    Int(i64),
+    /// String literal.
+    Str(Vec<u8>),
+    /// Variable or function reference.
+    Ident(String),
+    /// `sizeof(T)`.
+    Sizeof(TypeExpr),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// `*e`.
+    Deref(Box<Expr>),
+    /// `&e`.
+    AddrOf(Box<Expr>),
+    /// Binary operator application.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `a && b` (short-circuit).
+    LogicalAnd(Box<Expr>, Box<Expr>),
+    /// `a || b` (short-circuit).
+    LogicalOr(Box<Expr>, Box<Expr>),
+    /// `lhs = rhs` (value is `rhs` after conversion).
+    Assign(Box<Expr>, Box<Expr>),
+    /// `c ? t : e`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field`.
+    Member(Box<Expr>, String),
+    /// `base->field`.
+    Arrow(Box<Expr>, String),
+    /// `callee(args)` — callee is a function name (Cb has no source-level
+    /// function pointers).
+    Call(String, Vec<Expr>),
+    /// `(T) e`.
+    Cast(TypeExpr, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration: `T name = init;`.
+    Decl {
+        /// Declared type.
+        ty: TypeExpr,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init statement (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition (missing = infinite).
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return e;` / `return;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// Lone `;`.
+    Empty,
+}
+
+/// A struct field declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Field type.
+    pub ty: TypeExpr,
+    /// Field name.
+    pub name: String,
+}
+
+/// A struct definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructDecl {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDecl>,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: TypeExpr,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Return type.
+    pub ret: TypeExpr,
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A global variable definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Variable name.
+    pub name: String,
+    /// Optional constant initializer (integer literals only).
+    pub init: Option<Expr>,
+}
+
+/// A whole translation unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Unit {
+    /// Struct definitions.
+    pub structs: Vec<StructDecl>,
+    /// Global variables.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions.
+    pub funcs: Vec<FuncDecl>,
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Int => write!(f, "int"),
+            TypeExpr::Char => write!(f, "char"),
+            TypeExpr::Void => write!(f, "void"),
+            TypeExpr::Struct(n) => write!(f, "struct {n}"),
+            TypeExpr::Ptr(inner) => write!(f, "{inner}*"),
+            TypeExpr::Array(inner, n) => write!(f, "{inner}[{n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        let t = TypeExpr::Struct("node".into()).ptr();
+        assert_eq!(t.to_string(), "struct node*");
+        assert_eq!(
+            TypeExpr::Array(Box::new(TypeExpr::Char), 5).to_string(),
+            "char[5]"
+        );
+    }
+
+    #[test]
+    fn ptr_builder() {
+        assert_eq!(TypeExpr::Int.ptr(), TypeExpr::Ptr(Box::new(TypeExpr::Int)));
+    }
+}

@@ -1,0 +1,713 @@
+//! Recursive-descent parser for Cb.
+
+use std::fmt;
+
+use crate::ast::{
+    BinaryOp, Expr, FieldDecl, FuncDecl, GlobalDecl, Param, Stmt, StructDecl, TypeExpr, UnaryOp,
+    Unit,
+};
+use crate::token::{lex, Span, Tok};
+
+/// A syntax error with its position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Error description.
+    pub message: String,
+    /// Where it occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> ParseError {
+        ParseError { message: e.message, span: e.span }
+    }
+}
+
+/// Parses a Cb translation unit.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(source: &str) -> Result<Unit, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.unit()
+}
+
+struct Parser {
+    tokens: Vec<(Tok, Span)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].0
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { message, span: self.span() }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Is the current token the start of a type?
+    fn at_type(&self) -> bool {
+        matches!(self.peek(), Tok::KwInt | Tok::KwChar | Tok::KwVoid | Tok::KwStruct)
+    }
+
+    /// Parses a base type plus pointer stars: `int **`, `struct s *`.
+    fn type_prefix(&mut self) -> Result<TypeExpr, ParseError> {
+        let mut ty = match self.bump() {
+            Tok::KwInt => TypeExpr::Int,
+            Tok::KwChar => TypeExpr::Char,
+            Tok::KwVoid => TypeExpr::Void,
+            Tok::KwStruct => TypeExpr::Struct(self.ident()?),
+            other => return Err(self.error(format!("expected type, found {other}"))),
+        };
+        while self.eat(&Tok::Star) {
+            ty = ty.ptr();
+        }
+        Ok(ty)
+    }
+
+    /// Applies array suffixes to a declared type: `int a[3][4]` declares an
+    /// array of 3 arrays of 4 ints.
+    fn array_suffixes(&mut self, base: TypeExpr) -> Result<TypeExpr, ParseError> {
+        let mut dims = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            match self.bump() {
+                Tok::Int(n) if n >= 0 && n <= i64::from(u32::MAX) => dims.push(n as u32),
+                other => {
+                    return Err(self.error(format!(
+                        "expected constant array length, found {other}"
+                    )))
+                }
+            }
+            self.expect(&Tok::RBracket)?;
+        }
+        let mut ty = base;
+        for n in dims.into_iter().rev() {
+            ty = TypeExpr::Array(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    fn unit(&mut self) -> Result<Unit, ParseError> {
+        let mut unit = Unit::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            if matches!(self.peek(), Tok::KwStruct)
+                && matches!(self.peek2(), Tok::Ident(_))
+                && matches!(self.tokens.get(self.pos + 2).map(|t| &t.0), Some(Tok::LBrace))
+            {
+                unit.structs.push(self.struct_decl()?);
+                continue;
+            }
+            let ty = self.type_prefix()?;
+            let name = self.ident()?;
+            if self.eat(&Tok::LParen) {
+                unit.funcs.push(self.func_decl(ty, name)?);
+            } else {
+                let ty = self.array_suffixes(ty)?;
+                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                self.expect(&Tok::Semi)?;
+                unit.globals.push(GlobalDecl { ty, name, init });
+            }
+        }
+        Ok(unit)
+    }
+
+    fn struct_decl(&mut self) -> Result<StructDecl, ParseError> {
+        self.expect(&Tok::KwStruct)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let ty = self.type_prefix()?;
+            let fname = self.ident()?;
+            let ty = self.array_suffixes(ty)?;
+            self.expect(&Tok::Semi)?;
+            fields.push(FieldDecl { ty, name: fname });
+        }
+        self.expect(&Tok::Semi)?;
+        Ok(StructDecl { name, fields })
+    }
+
+    fn func_decl(&mut self, ret: TypeExpr, name: String) -> Result<FuncDecl, ParseError> {
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            // Allow `(void)`.
+            if matches!(self.peek(), Tok::KwVoid) && matches!(self.peek2(), Tok::RParen) {
+                self.bump();
+                self.bump();
+            } else {
+                loop {
+                    let ty = self.type_prefix()?;
+                    let pname = self.ident()?;
+                    let ty = self.array_suffixes(ty)?;
+                    // Array parameters decay to pointers, as in C.
+                    let ty = match ty {
+                        TypeExpr::Array(elem, _) => TypeExpr::Ptr(elem),
+                        other => other,
+                    };
+                    params.push(Param { ty, name: pname });
+                    if !self.eat(&Tok::Comma) {
+                        self.expect(&Tok::RParen)?;
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(&Tok::LBrace)?;
+        let body = self.block_body()?;
+        Ok(FuncDecl { ret, name, params, body })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.error("unexpected end of input in block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let ty = self.type_prefix()?;
+        let name = self.ident()?;
+        let ty = self.array_suffixes(ty)?;
+        let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+        self.expect(&Tok::Semi)?;
+        Ok(Stmt::Decl { ty, name, init })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Tok::LBrace => {
+                self.bump();
+                Ok(Stmt::Block(self.block_body()?))
+            }
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = Box::new(self.stmt()?);
+                let els =
+                    if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Stmt::While { cond, body: Box::new(self.stmt()?) })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else if self.at_type() {
+                    Some(Box::new(self.decl_stmt()?))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                let step =
+                    if matches!(self.peek(), Tok::RParen) { None } else { Some(self.expr()?) };
+                self.expect(&Tok::RParen)?;
+                Ok(Stmt::For { init, cond, step, body: Box::new(self.stmt()?) })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            _ if self.at_type() => self.decl_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    // ----- expressions (precedence climbing) ----------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assign()
+    }
+
+    fn assign(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        if self.eat(&Tok::Assign) {
+            let rhs = self.assign()?;
+            Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logical_or()?;
+        if self.eat(&Tok::Question) {
+            let t = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let e = self.ternary()?;
+            Ok(Expr::Cond(Box::new(cond), Box::new(t), Box::new(e)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.logical_and()?;
+        while self.eat(&Tok::PipePipe) {
+            let rhs = self.logical_and()?;
+            e = Expr::LogicalOr(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_or()?;
+        while self.eat(&Tok::AmpAmp) {
+            let rhs = self.bit_or()?;
+            e = Expr::LogicalAnd(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_xor()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.bit_xor()?;
+            e = Expr::Binary(BinaryOp::BitOr, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_and()?;
+        while self.eat(&Tok::Caret) {
+            let rhs = self.bit_and()?;
+            e = Expr::Binary(BinaryOp::BitXor, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while matches!(self.peek(), Tok::Amp) && !matches!(self.peek2(), Tok::Amp) {
+            self.bump();
+            let rhs = self.equality()?;
+            e = Expr::Binary(BinaryOp::BitAnd, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinaryOp::Eq,
+                Tok::NotEq => BinaryOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinaryOp::Lt,
+                Tok::Le => BinaryOp::Le,
+                Tok::Gt => BinaryOp::Gt,
+                Tok::Ge => BinaryOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.shift()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinaryOp::Shl,
+                Tok::Shr => BinaryOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinaryOp::Add,
+                Tok::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinaryOp::Mul,
+                Tok::Slash => BinaryOp::Div,
+                Tok::Percent => BinaryOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    /// Is `( ... )` at the current position a cast?
+    fn at_cast(&self) -> bool {
+        matches!(self.peek(), Tok::LParen)
+            && matches!(
+                self.peek2(),
+                Tok::KwInt | Tok::KwChar | Tok::KwVoid | Tok::KwStruct
+            )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.at_cast() {
+            self.bump(); // (
+            let ty = self.type_prefix()?;
+            self.expect(&Tok::RParen)?;
+            let e = self.unary()?;
+            return Ok(Expr::Cast(ty, Box::new(e)));
+        }
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary()?)))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::BitNot, Box::new(self.unary()?)))
+            }
+            Tok::Star => {
+                self.bump();
+                Ok(Expr::Deref(Box::new(self.unary()?)))
+            }
+            Tok::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf(Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let f = self.ident()?;
+                    e = Expr::Member(Box::new(e), f);
+                }
+                Tok::Arrow => {
+                    self.bump();
+                    let f = self.ident()?;
+                    e = Expr::Arrow(Box::new(e), f);
+                }
+                Tok::LParen => {
+                    let Expr::Ident(name) = e else {
+                        return Err(self.error(
+                            "only named functions are callable (Cb has no function-pointer expressions)"
+                                .into(),
+                        ));
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                self.expect(&Tok::RParen)?;
+                                break;
+                            }
+                        }
+                    }
+                    e = Expr::Call(name, args);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name))
+            }
+            Tok::KwSizeof => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let ty = self.type_prefix()?;
+                let ty = self.array_suffixes(ty)?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Sizeof(ty))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Unit {
+        match parse(src) {
+            Ok(u) => u,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn minimal_main() {
+        let u = parse_ok("int main() { return 0; }");
+        assert_eq!(u.funcs.len(), 1);
+        assert_eq!(u.funcs[0].name, "main");
+        assert_eq!(u.funcs[0].body, vec![Stmt::Return(Some(Expr::Int(0)))]);
+    }
+
+    #[test]
+    fn struct_globals_and_functions() {
+        let u = parse_ok(
+            "struct node { char str[5]; int x; struct node *next; };\n\
+             int g;\n\
+             int arr[10];\n\
+             struct node *head;\n\
+             void f(int a, char *b) { }",
+        );
+        assert_eq!(u.structs.len(), 1);
+        assert_eq!(u.structs[0].fields.len(), 3);
+        assert_eq!(u.structs[0].fields[0].ty, TypeExpr::Array(Box::new(TypeExpr::Char), 5));
+        assert_eq!(u.globals.len(), 3);
+        assert_eq!(u.funcs[0].params.len(), 2);
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        let u = parse_ok("int main() { return 1 + 2 * 3 < 4 == 5 & 6; }");
+        // ((1 + (2*3)) < 4) == 5) & 6
+        let Stmt::Return(Some(e)) = &u.funcs[0].body[0] else { panic!() };
+        let Expr::Binary(BinaryOp::BitAnd, lhs, _) = e else { panic!("got {e:?}") };
+        let Expr::Binary(BinaryOp::Eq, lhs, _) = &**lhs else { panic!() };
+        let Expr::Binary(BinaryOp::Lt, lhs, _) = &**lhs else { panic!() };
+        let Expr::Binary(BinaryOp::Add, _, rhs) = &**lhs else { panic!() };
+        assert!(matches!(&**rhs, Expr::Binary(BinaryOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn casts_vs_parenthesized_expressions() {
+        let u = parse_ok("int main() { int x; x = (int)1; x = (x); x = (int*)0 == 0; return x; }");
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &u.funcs[0].body[1] else { panic!() };
+        assert!(matches!(&**rhs, Expr::Cast(TypeExpr::Int, _)));
+    }
+
+    #[test]
+    fn pointer_and_array_declarators() {
+        let u = parse_ok("int main() { int *p; int **q; char buf[16]; int m[2][3]; return 0; }");
+        let Stmt::Decl { ty, .. } = &u.funcs[0].body[3] else { panic!() };
+        assert_eq!(
+            *ty,
+            TypeExpr::Array(Box::new(TypeExpr::Array(Box::new(TypeExpr::Int), 3)), 2)
+        );
+        let _ = &u;
+    }
+
+    #[test]
+    fn control_flow_forms() {
+        parse_ok(
+            "int main() {\n\
+               int i;\n\
+               for (i = 0; i < 10; i = i + 1) { if (i == 5) break; else continue; }\n\
+               for (int j = 0; j < 3; j = j + 1) ;\n\
+               while (i > 0) i = i - 1;\n\
+               for (;;) break;\n\
+               return 0;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn member_arrow_index_call_chains() {
+        let u = parse_ok("int main() { return f(a->b.c[2], g()); }");
+        let Stmt::Return(Some(Expr::Call(name, args))) = &u.funcs[0].body[0] else { panic!() };
+        assert_eq!(name, "f");
+        assert_eq!(args.len(), 2);
+        assert!(matches!(&args[0], Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn short_circuit_and_ternary() {
+        let u = parse_ok("int main() { return a && b || c ? 1 : 2; }");
+        let Stmt::Return(Some(Expr::Cond(c, _, _))) = &u.funcs[0].body[0] else { panic!() };
+        assert!(matches!(&**c, Expr::LogicalOr(_, _)));
+    }
+
+    #[test]
+    fn address_of_and_bitand_disambiguation() {
+        // `a & &b` would be weird C but `&a` unary vs `a & b` binary must
+        // both parse.
+        let u = parse_ok("int main() { int a; int *p; p = &a; a = a & 3; return *p; }");
+        assert!(matches!(&u.funcs[0].body[2], Stmt::Expr(Expr::Assign(_, rhs))
+            if matches!(&**rhs, Expr::AddrOf(_))));
+    }
+
+    #[test]
+    fn sizeof_forms() {
+        parse_ok("int main() { return sizeof(int) + sizeof(struct n*) + sizeof(char[4]); }");
+    }
+
+    #[test]
+    fn void_parameter_list() {
+        let u = parse_ok("int main(void) { return 0; }");
+        assert!(u.funcs[0].params.is_empty());
+    }
+
+    #[test]
+    fn array_parameters_decay() {
+        let u = parse_ok("int f(int a[10]) { return a[0]; }");
+        assert_eq!(u.funcs[0].params[0].ty, TypeExpr::Int.ptr());
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse("int main() { return 0 }").unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{err}");
+        assert!(parse("int main() { 1(); }").is_err());
+        assert!(parse("struct s { int x }").is_err());
+        assert!(parse("int a[x];").is_err());
+    }
+
+    #[test]
+    fn global_initializers() {
+        let u = parse_ok("int g = 42; int main() { return g; }");
+        assert_eq!(u.globals[0].init, Some(Expr::Int(42)));
+    }
+}

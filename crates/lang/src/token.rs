@@ -1,0 +1,518 @@
+use std::fmt;
+
+/// Position of a token in the source text (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token of the Cb language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (decimal, hex `0x`, or character literal value).
+    Int(i64),
+    /// String literal (unescaped bytes, no terminator).
+    Str(Vec<u8>),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `int`
+    KwInt,
+    /// `char`
+    KwChar,
+    /// `void`
+    KwVoid,
+    /// `struct`
+    KwStruct,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `sizeof`
+    KwSizeof,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `=`
+    Assign,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::KwInt => write!(f, "`int`"),
+            Tok::KwChar => write!(f, "`char`"),
+            Tok::KwVoid => write!(f, "`void`"),
+            Tok::KwStruct => write!(f, "`struct`"),
+            Tok::KwIf => write!(f, "`if`"),
+            Tok::KwElse => write!(f, "`else`"),
+            Tok::KwWhile => write!(f, "`while`"),
+            Tok::KwFor => write!(f, "`for`"),
+            Tok::KwReturn => write!(f, "`return`"),
+            Tok::KwBreak => write!(f, "`break`"),
+            Tok::KwContinue => write!(f, "`continue`"),
+            Tok::KwSizeof => write!(f, "`sizeof`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Tilde => write!(f, "`~`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Shr => write!(f, "`>>`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::AmpAmp => write!(f, "`&&`"),
+            Tok::PipePipe => write!(f, "`||`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Question => write!(f, "`?`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error with its position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Error description.
+    pub message: String,
+    /// Where it occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes Cb source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated literals, bad escapes or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<(Tok, Span)>, LexError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), span: Span { line, col } })
+        };
+    }
+
+    while i < bytes.len() {
+        let span = Span { line, col };
+        let c = bytes[i];
+        let advance = |i: &mut usize, n: usize, col: &mut u32| {
+            *i += n;
+            *col += n as u32;
+        };
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => advance(&mut i, 1, &mut col),
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                        i += 1;
+                    } else {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let value = if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    let hstart = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hstart {
+                        err!("hex literal needs digits");
+                    }
+                    i64::from_str_radix(&source[hstart..i], 16)
+                        .unwrap_or_else(|_| i64::from(u32::MAX))
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    source[start..i].parse::<i64>().unwrap_or(i64::MAX)
+                };
+                col += (i - start) as u32;
+                out.push((Tok::Int(value), span));
+            }
+            b'\'' => {
+                i += 1;
+                col += 1;
+                let v = match bytes.get(i) {
+                    Some(b'\\') => {
+                        i += 1;
+                        col += 1;
+                        let e = match bytes.get(i) {
+                            Some(b'n') => b'\n',
+                            Some(b't') => b'\t',
+                            Some(b'0') => 0,
+                            Some(b'\\') => b'\\',
+                            Some(b'\'') => b'\'',
+                            _ => err!("bad character escape"),
+                        };
+                        i += 1;
+                        col += 1;
+                        e
+                    }
+                    Some(&b) if b != b'\'' => {
+                        i += 1;
+                        col += 1;
+                        b
+                    }
+                    _ => err!("empty character literal"),
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    err!("unterminated character literal");
+                }
+                i += 1;
+                col += 1;
+                out.push((Tok::Int(i64::from(v)), span));
+            }
+            b'"' => {
+                i += 1;
+                col += 1;
+                let mut s = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') => {
+                            i += 1;
+                            col += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            i += 1;
+                            col += 1;
+                            let e = match bytes.get(i) {
+                                Some(b'n') => b'\n',
+                                Some(b't') => b'\t',
+                                Some(b'0') => 0,
+                                Some(b'\\') => b'\\',
+                                Some(b'"') => b'"',
+                                _ => err!("bad string escape"),
+                            };
+                            s.push(e);
+                            i += 1;
+                            col += 1;
+                        }
+                        Some(b'\n') | None => err!("unterminated string literal"),
+                        Some(&b) => {
+                            s.push(b);
+                            i += 1;
+                            col += 1;
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), span));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                col += (i - start) as u32;
+                let word = &source[start..i];
+                let tok = match word {
+                    "int" => Tok::KwInt,
+                    "char" => Tok::KwChar,
+                    "void" => Tok::KwVoid,
+                    "struct" => Tok::KwStruct,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    "sizeof" => Tok::KwSizeof,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push((tok, span));
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let (tok, n) = if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::NotEq, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AmpAmp, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::PipePipe, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b',' => Tok::Comma,
+                        b'.' => Tok::Dot,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'~' => Tok::Tilde,
+                        b'!' => Tok::Bang,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'=' => Tok::Assign,
+                        b'?' => Tok::Question,
+                        b':' => Tok::Colon,
+                        other => err!("unexpected character {:?}", other as char),
+                    };
+                    (t, 1)
+                };
+                i += n;
+                col += n as u32;
+                out.push((tok, span));
+            }
+        }
+    }
+    out.push((Tok::Eof, Span { line, col }));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("int x while whilex"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::KwWhile,
+                Tok::Ident("whilex".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_hex_and_chars() {
+        assert_eq!(
+            toks("42 0x1F '\\n' 'A' '\\0'"),
+            vec![Tok::Int(42), Tok::Int(31), Tok::Int(10), Tok::Int(65), Tok::Int(0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a->b << >= == != && || < <="),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Shl,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            toks(r#""hi\n\t\"x\"""#),
+            vec![Tok::Str(b"hi\n\t\"x\"".to_vec()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\nb /* block\n over lines */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let tokens = lex("int\n  x").unwrap();
+        assert_eq!(tokens[0].1, Span { line: 1, col: 1 });
+        assert_eq!(tokens[1].1, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'a").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("''").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Generative round-trip property: for random expression trees,
+//! `parse(print(e)) == e`. The printer parenthesizes fully and the parser
+//! has no parenthesis node, so the round trip must be exact.
+
+use hardbound_lang::ast::{BinaryOp, Expr, Stmt, TypeExpr, UnaryOp};
+use hardbound_lang::pretty::print_expr;
+use hardbound_lang::parse;
+use proptest::prelude::*;
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Rem),
+        Just(BinaryOp::BitAnd),
+        Just(BinaryOp::BitOr),
+        Just(BinaryOp::BitXor),
+        Just(BinaryOp::Shl),
+        Just(BinaryOp::Shr),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::Le),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::Ge),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Ne),
+    ]
+}
+
+fn arb_type() -> impl Strategy<Value = TypeExpr> {
+    prop_oneof![
+        Just(TypeExpr::Int),
+        Just(TypeExpr::Char),
+        Just(TypeExpr::Int.ptr()),
+        Just(TypeExpr::Char.ptr()),
+        Just(TypeExpr::Ptr(Box::new(TypeExpr::Void))),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let ident = prop_oneof![Just("x"), Just("y"), Just("ptr"), Just("node2")]
+        .prop_map(|s: &str| Expr::Ident(s.to_owned()));
+    let leaf = prop_oneof![
+        (0i64..1_000_000).prop_map(Expr::Int),
+        ident,
+        Just(Expr::Str(b"hi\n".to_vec())),
+        arb_type().prop_map(Expr::Sizeof),
+    ];
+    leaf.prop_recursive(5, 32, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::LogicalAnd(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::LogicalOr(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Unary(UnaryOp::Neg, Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Unary(UnaryOp::Not, Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Unary(UnaryOp::BitNot, Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Deref(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::AddrOf(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, i)| Expr::Index(Box::new(a), Box::new(i))),
+            inner.clone().prop_map(|a| Expr::Member(Box::new(a), "f".to_owned())),
+            inner.clone().prop_map(|a| Expr::Arrow(Box::new(a), "next".to_owned())),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| Expr::Cond(Box::new(c), Box::new(t), Box::new(f))),
+            (arb_type(), inner.clone()).prop_map(|(ty, a)| Expr::Cast(ty, Box::new(a))),
+            prop::collection::vec(inner.clone(), 0..3)
+                .prop_map(|args| Expr::Call("f".to_owned(), args)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Assign(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_print_roundtrip(expr in arb_expr()) {
+        let printed = print_expr(&expr);
+        let src = format!("int main() {{ {printed}; }}");
+        let unit = parse(&src)
+            .unwrap_or_else(|e| panic!("printed expression fails to parse: {e}\n{printed}"));
+        let Stmt::Expr(reparsed) = &unit.funcs[0].body[0] else {
+            panic!("expected expression statement");
+        };
+        prop_assert_eq!(reparsed, &expr, "printed: {}", printed);
+    }
+}

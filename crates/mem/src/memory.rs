@@ -1,0 +1,281 @@
+/// Sidecar metadata of one aligned memory word: the architectural
+/// `{base, bound}` pair of paper §3.1. `(0, 0)` denotes a non-pointer.
+pub type WordMeta = (u32, u32);
+
+const PAGE_BYTES: usize = 4096;
+const WORDS_PER_PAGE: usize = PAGE_BYTES / 4;
+const NUM_PAGES: usize = 1 << 20; // 2^32 / 4096
+
+struct DataPage {
+    bytes: Box<[u8; PAGE_BYTES]>,
+}
+
+struct MetaPage {
+    /// `(base, bound)` per aligned word of the corresponding data page.
+    shadow: Box<[WordMeta; WORDS_PER_PAGE]>,
+    /// Raw tag value per aligned word (meaning assigned by the encoding:
+    /// 0 = non-pointer; for the external 4-bit encoding 1–14 are compressed
+    /// sizes and 15 is "uncompressed"; for 1-bit encodings only 0/1 are
+    /// used).
+    tags: Box<[u8; WORDS_PER_PAGE]>,
+}
+
+/// The simulator's sparse 32-bit memory with HardBound metadata planes.
+///
+/// Data is byte-addressed; metadata (tags and shadow `{base, bound}`) is
+/// keyed by the *aligned word* containing an address, matching the paper's
+/// per-word metadata granularity (§4.1–4.2). Unwritten memory reads as
+/// zero / non-pointer, which mirrors demand-zero page allocation.
+///
+/// This type is pure storage: it never raises bounds errors and performs no
+/// implicit tag updates — the machine in `hardbound-core` implements that
+/// policy, including clearing tags on non-pointer stores.
+pub struct Memory {
+    pages: Vec<Option<DataPage>>,
+    meta: Vec<Option<MetaPage>>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mapped = self.pages.iter().filter(|p| p.is_some()).count();
+        f.debug_struct("Memory").field("mapped_pages", &mapped).finish()
+    }
+}
+
+impl Memory {
+    /// Creates an empty (all-zero, all-non-pointer) memory.
+    #[must_use]
+    pub fn new() -> Memory {
+        let mut pages = Vec::new();
+        pages.resize_with(NUM_PAGES, || None);
+        let mut meta = Vec::new();
+        meta.resize_with(NUM_PAGES, || None);
+        Memory { pages, meta }
+    }
+
+    fn page(&mut self, addr: u32) -> &mut DataPage {
+        let idx = (addr as usize) / PAGE_BYTES;
+        self.pages[idx]
+            .get_or_insert_with(|| DataPage { bytes: Box::new([0u8; PAGE_BYTES]) })
+    }
+
+    fn meta_page(&mut self, addr: u32) -> &mut MetaPage {
+        let idx = (addr as usize) / PAGE_BYTES;
+        self.meta[idx].get_or_insert_with(|| MetaPage {
+            shadow: Box::new([(0, 0); WORDS_PER_PAGE]),
+            tags: Box::new([0u8; WORDS_PER_PAGE]),
+        })
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match &self.pages[(addr as usize) / PAGE_BYTES] {
+            Some(p) => p.bytes[(addr as usize) % PAGE_BYTES],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let off = (addr as usize) % PAGE_BYTES;
+        self.page(addr).bytes[off] = value;
+    }
+
+    /// Reads a little-endian 32-bit word starting at `addr` (any
+    /// alignment; unaligned reads cross into the following bytes exactly as
+    /// on x86).
+    #[must_use]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        if addr as usize % PAGE_BYTES <= PAGE_BYTES - 4 {
+            // Fast path: within one page.
+            match &self.pages[(addr as usize) / PAGE_BYTES] {
+                Some(p) => {
+                    let off = (addr as usize) % PAGE_BYTES;
+                    u32::from_le_bytes([
+                        p.bytes[off],
+                        p.bytes[off + 1],
+                        p.bytes[off + 2],
+                        p.bytes[off + 3],
+                    ])
+                }
+                None => 0,
+            }
+        } else {
+            let b = [
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ];
+            u32::from_le_bytes(b)
+        }
+    }
+
+    /// Writes a little-endian 32-bit word starting at `addr`.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let bytes = value.to_le_bytes();
+        if addr as usize % PAGE_BYTES <= PAGE_BYTES - 4 {
+            let off = (addr as usize) % PAGE_BYTES;
+            let p = self.page(addr);
+            p.bytes[off..off + 4].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `addr` (used by the loader
+    /// for initialized data).
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i as u32))).collect()
+    }
+
+    /// Raw tag value of the aligned word containing `addr`.
+    #[must_use]
+    pub fn tag(&self, addr: u32) -> u8 {
+        match &self.meta[(addr as usize) / PAGE_BYTES] {
+            Some(m) => m.tags[((addr as usize) % PAGE_BYTES) / 4],
+            None => 0,
+        }
+    }
+
+    /// Sets the raw tag value of the aligned word containing `addr`.
+    pub fn set_tag(&mut self, addr: u32, tag: u8) {
+        let word = ((addr as usize) % PAGE_BYTES) / 4;
+        // Avoid materializing a metadata page just to store the default.
+        if tag == 0 && self.meta[(addr as usize) / PAGE_BYTES].is_none() {
+            return;
+        }
+        self.meta_page(addr).tags[word] = tag;
+    }
+
+    /// Shadow `{base, bound}` of the aligned word containing `addr`.
+    #[must_use]
+    pub fn shadow(&self, addr: u32) -> WordMeta {
+        match &self.meta[(addr as usize) / PAGE_BYTES] {
+            Some(m) => m.shadow[((addr as usize) % PAGE_BYTES) / 4],
+            None => (0, 0),
+        }
+    }
+
+    /// Sets the shadow `{base, bound}` of the aligned word containing
+    /// `addr`.
+    pub fn set_shadow(&mut self, addr: u32, meta: WordMeta) {
+        let word = ((addr as usize) % PAGE_BYTES) / 4;
+        if meta == (0, 0) && self.meta[(addr as usize) / PAGE_BYTES].is_none() {
+            return;
+        }
+        self.meta_page(addr).shadow[word] = meta;
+    }
+
+    /// Number of data pages actually materialized (diagnostic).
+    #[must_use]
+    pub fn mapped_data_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0x1234), 0);
+        assert_eq!(m.read_u32(0x1000_0000), 0);
+        assert_eq!(m.tag(0x1000_0000), 0);
+        assert_eq!(m.shadow(0x1000_0000), (0, 0));
+    }
+
+    #[test]
+    fn byte_write_read_roundtrip() {
+        let mut m = Memory::new();
+        m.write_u8(0x4000_0003, 0xAB);
+        assert_eq!(m.read_u8(0x4000_0003), 0xAB);
+        assert_eq!(m.read_u8(0x4000_0002), 0);
+    }
+
+    #[test]
+    fn word_is_little_endian_over_bytes() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 0x01);
+        assert_eq!(m.read_u8(0x101), 0x02);
+        assert_eq!(m.read_u8(0x102), 0x03);
+        assert_eq!(m.read_u8(0x103), 0x04);
+        assert_eq!(m.read_u32(0x100), 0x0403_0201);
+    }
+
+    #[test]
+    fn unaligned_word_access_crosses_page_boundary() {
+        let mut m = Memory::new();
+        m.write_u32(0xFFE, 0xDDCC_BBAA);
+        assert_eq!(m.read_u8(0xFFE), 0xAA);
+        assert_eq!(m.read_u8(0xFFF), 0xBB);
+        assert_eq!(m.read_u8(0x1000), 0xCC);
+        assert_eq!(m.read_u8(0x1001), 0xDD);
+        assert_eq!(m.read_u32(0xFFE), 0xDDCC_BBAA);
+    }
+
+    #[test]
+    fn tags_are_per_aligned_word() {
+        let mut m = Memory::new();
+        m.set_tag(0x2000, 7);
+        for byte in 0..4 {
+            assert_eq!(m.tag(0x2000 + byte), 7);
+        }
+        assert_eq!(m.tag(0x2004), 0);
+    }
+
+    #[test]
+    fn shadow_is_per_aligned_word() {
+        let mut m = Memory::new();
+        m.set_shadow(0x3001, (0x3000, 0x3010));
+        assert_eq!(m.shadow(0x3000), (0x3000, 0x3010));
+        assert_eq!(m.shadow(0x3003), (0x3000, 0x3010));
+        assert_eq!(m.shadow(0x3004), (0, 0));
+    }
+
+    #[test]
+    fn default_stores_do_not_materialize_meta_pages() {
+        let mut m = Memory::new();
+        m.set_tag(0x9000, 0);
+        m.set_shadow(0x9000, (0, 0));
+        assert_eq!(m.meta.iter().filter(|p| p.is_some()).count(), 0);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = Memory::new();
+        let data = b"hello, hardbound";
+        m.write_bytes(0x5000, data);
+        assert_eq!(m.read_bytes(0x5000, data.len()), data);
+    }
+
+    #[test]
+    fn mapped_page_accounting() {
+        let mut m = Memory::new();
+        assert_eq!(m.mapped_data_pages(), 0);
+        m.write_u8(0, 1);
+        m.write_u8(4096, 1);
+        m.write_u8(4097, 1);
+        assert_eq!(m.mapped_data_pages(), 2);
+    }
+}

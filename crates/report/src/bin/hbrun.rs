@@ -1,0 +1,132 @@
+//! `hbrun` — compile and run a Cb program on the HardBound simulator.
+//!
+//! ```sh
+//! cargo run -p hardbound-report --bin hbrun -- program.cb \
+//!     [--mode baseline|malloc-only|hardbound|softbound|objtable] \
+//!     [--encoding extern-4|intern-4|intern-11] [--stats] [--disasm]
+//! ```
+//!
+//! The runtime library (`malloc`, strings, fixed point) is linked in
+//! automatically; the machine configuration is paired to the mode exactly
+//! as in the paper's evaluation.
+
+use std::process::ExitCode;
+
+use hardbound_compiler::Mode;
+use hardbound_core::PointerEncoding;
+use hardbound_runtime::{build_machine, compile};
+
+struct Args {
+    path: String,
+    mode: Mode,
+    encoding: PointerEncoding,
+    stats: bool,
+    disasm: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut path = None;
+    let mut mode = Mode::HardBound;
+    let mut encoding = PointerEncoding::Intern4;
+    let mut stats = false;
+    let mut disasm = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs a value")?;
+                mode = match v.as_str() {
+                    "baseline" => Mode::Baseline,
+                    "malloc-only" => Mode::MallocOnly,
+                    "hardbound" => Mode::HardBound,
+                    "softbound" => Mode::SoftBound,
+                    "objtable" => Mode::ObjectTable,
+                    other => return Err(format!("unknown mode `{other}`")),
+                };
+            }
+            "--encoding" => {
+                let v = it.next().ok_or("--encoding needs a value")?;
+                encoding = match v.as_str() {
+                    "extern-4" => PointerEncoding::Extern4,
+                    "intern-4" => PointerEncoding::Intern4,
+                    "intern-11" => PointerEncoding::Intern11,
+                    other => return Err(format!("unknown encoding `{other}`")),
+                };
+            }
+            "--stats" => stats = true,
+            "--disasm" => disasm = true,
+            "--help" | "-h" => {
+                return Err("usage: hbrun FILE.cb [--mode M] [--encoding E] [--stats] [--disasm]"
+                    .to_owned())
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("no input file (try --help)")?;
+    Ok(Args { path, mode, encoding, stats, disasm })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&args.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.path);
+            return ExitCode::from(2);
+        }
+    };
+    let program = match compile(&source, args.mode) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    if args.disasm {
+        println!("{}", program.disassemble());
+    }
+
+    let mut machine = build_machine(program, args.mode, args.encoding);
+    let out = machine.run();
+    print!("{}", out.output);
+    if let Some(trap) = &out.trap {
+        eprintln!("trap: {trap}");
+    }
+    if args.stats {
+        let s = &out.stats;
+        eprintln!("-- stats ({} mode, {} encoding) --", args.mode, args.encoding);
+        eprintln!("cycles:          {}", s.cycles());
+        eprintln!("µops:            {}", s.uops);
+        eprintln!("setbound µops:   {}", s.setbound_uops);
+        eprintln!("metadata µops:   {}", s.meta_uops);
+        eprintln!("bounds checks:   {}", s.bounds_checks);
+        eprintln!("loads/stores:    {}/{}", s.loads, s.stores);
+        eprintln!(
+            "ptr compression: {}/{} stores ({:.1}%)",
+            s.compressed_ptr_stores,
+            s.ptr_stores,
+            100.0 * s.store_compression_rate()
+        );
+        eprintln!(
+            "pages:           {} data, {} tag, {} base/bound",
+            s.data_pages, s.tag_pages, s.shadow_pages
+        );
+        eprintln!(
+            "stalls:          {} data, {} metadata",
+            s.hierarchy.data_stall_cycles,
+            s.metadata_stall_cycles()
+        );
+    }
+    match out.trap {
+        Some(_) => ExitCode::from(3),
+        None => ExitCode::from(out.exit_code.unwrap_or(0).clamp(0, 255) as u8),
+    }
+}

@@ -1,0 +1,273 @@
+//! Drivers that regenerate each table and figure.
+
+use hardbound_compiler::Mode;
+use hardbound_core::{ExecStats, HardboundConfig, MachineConfig, PointerEncoding, RunOutcome};
+use hardbound_runtime::{build_machine_with_config, compile, machine_config};
+use hardbound_violations::CorpusReport;
+use hardbound_workloads::{all, Scale, Workload};
+
+fn run(w: &Workload, mode: Mode, encoding: PointerEncoding) -> RunOutcome {
+    run_with(w, mode, machine_config(mode, encoding))
+}
+
+fn run_with(w: &Workload, mode: Mode, config: MachineConfig) -> RunOutcome {
+    let program = compile(&w.source, mode)
+        .unwrap_or_else(|e| panic!("{}: compilation failed: {e}", w.name));
+    let out = build_machine_with_config(program, mode, config).run();
+    assert_eq!(out.trap, None, "{} ({mode}) trapped: {:?}", w.name, out.trap);
+    out
+}
+
+/// One bar of Figure 5: a benchmark under one pointer encoding, with the
+/// overhead decomposed into the paper's four stacked components.
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Pointer encoding.
+    pub encoding: PointerEncoding,
+    /// Baseline cycles.
+    pub base_cycles: u64,
+    /// Instrumented cycles.
+    pub hb_cycles: u64,
+    /// Component 1: `setbound` µops.
+    pub setbound_uops: u64,
+    /// Component 2: µops for loading/storing uncompressed bounds.
+    pub meta_uops: u64,
+    /// Component 3: stall cycles on pointer metadata (tag + shadow).
+    pub meta_stall_cycles: u64,
+    /// Component 4: additional memory latency on ordinary data accesses
+    /// (pollution), possibly negative when metadata warms shared levels.
+    pub pollution_cycles: i64,
+    /// Pointer-store compression rate under this encoding.
+    pub compression_rate: f64,
+    /// Full instrumented-run statistics (for auxiliary tables).
+    pub stats: ExecStats,
+}
+
+impl Fig5Row {
+    /// Total relative runtime (`instrumented / baseline`).
+    #[must_use]
+    pub fn relative_runtime(&self) -> f64 {
+        self.hb_cycles as f64 / self.base_cycles as f64
+    }
+
+    /// One overhead component as a fraction of baseline cycles.
+    #[must_use]
+    pub fn frac(&self, cycles: f64) -> f64 {
+        cycles / self.base_cycles as f64
+    }
+}
+
+/// Figure 5: runtime overhead of the three encodings with stacked
+/// component attribution, for every Olden port.
+#[must_use]
+pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    for w in all(scale) {
+        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+        for encoding in PointerEncoding::ALL {
+            let hb = run(&w, Mode::HardBound, encoding);
+            let s = hb.stats;
+            // The decomposition is exact: the instrumented binary differs
+            // from the baseline only by setbound instructions, metadata
+            // µops and memory-system effects (see DESIGN.md).
+            debug_assert_eq!(
+                s.uops,
+                base.stats.uops + s.setbound_uops + s.meta_uops + s.check_uops,
+                "{}: µop identity must hold",
+                w.name
+            );
+            rows.push(Fig5Row {
+                bench: w.name,
+                encoding,
+                base_cycles: base.stats.cycles(),
+                hb_cycles: s.cycles(),
+                setbound_uops: s.setbound_uops,
+                meta_uops: s.meta_uops,
+                meta_stall_cycles: s.metadata_stall_cycles(),
+                pollution_cycles: s.hierarchy.data_stall_cycles as i64
+                    - base.stats.hierarchy.data_stall_cycles as i64,
+                compression_rate: s.store_compression_rate(),
+                stats: s,
+            });
+        }
+    }
+    rows
+}
+
+/// One group of Figure 6: extra distinct 4 KB pages touched.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Pointer encoding.
+    pub encoding: PointerEncoding,
+    /// Pages touched by the baseline run (data only).
+    pub base_pages: usize,
+    /// Tag-metadata pages touched.
+    pub tag_pages: usize,
+    /// Base/bound shadow pages touched.
+    pub shadow_pages: usize,
+}
+
+impl Fig6Row {
+    /// Extra pages as a fraction of the baseline (the paper's y-axis).
+    #[must_use]
+    pub fn extra_fraction(&self) -> f64 {
+        (self.tag_pages + self.shadow_pages) as f64 / self.base_pages as f64
+    }
+}
+
+/// Figure 6: memory-usage overhead in distinct pages.
+#[must_use]
+pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for w in all(scale) {
+        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+        for encoding in PointerEncoding::ALL {
+            let hb = run(&w, Mode::HardBound, encoding);
+            rows.push(Fig6Row {
+                bench: w.name,
+                encoding,
+                base_pages: base.stats.data_pages,
+                tag_pages: hb.stats.tag_pages,
+                shadow_pages: hb.stats.shadow_pages,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of Figure 7: relative runtimes of every scheme on one
+/// benchmark.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Our object-table scheme (JK-style, no static check elision).
+    pub objtable_runtime: f64,
+    /// SoftBound (CCured-style) µop inflation.
+    pub softbound_uops: f64,
+    /// SoftBound relative runtime.
+    pub softbound_runtime: f64,
+    /// HardBound relative runtime per encoding (extern-4, intern-4,
+    /// intern-11).
+    pub hardbound: [f64; 3],
+}
+
+/// Figure 7: the cross-scheme comparison.
+#[must_use]
+pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for w in all(scale) {
+        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+        let bc = base.stats.cycles() as f64;
+        let bu = base.stats.uops as f64;
+        let ot = run(&w, Mode::ObjectTable, PointerEncoding::Intern4);
+        let sb = run(&w, Mode::SoftBound, PointerEncoding::Intern4);
+        let mut hardbound = [0.0; 3];
+        for (i, enc) in PointerEncoding::ALL.into_iter().enumerate() {
+            let hb = run(&w, Mode::HardBound, enc);
+            hardbound[i] = hb.stats.cycles() as f64 / bc;
+        }
+        rows.push(Fig7Row {
+            bench: w.name,
+            objtable_runtime: ot.stats.cycles() as f64 / bc,
+            softbound_uops: sb.stats.uops as f64 / bu,
+            softbound_runtime: sb.stats.cycles() as f64 / bc,
+            hardbound,
+        });
+    }
+    rows
+}
+
+/// One row of the §5.4 check-µop ablation.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Pointer encoding.
+    pub encoding: PointerEncoding,
+    /// Relative runtime with free (parallel) bounds checks.
+    pub parallel_check: f64,
+    /// Relative runtime when uncompressed checks cost one µop.
+    pub shared_alu_check: f64,
+}
+
+/// §5.4: "each bounds check of an uncompressed pointer inserts an
+/// additional µop" — the paper reports roughly +3% average.
+#[must_use]
+pub fn ablation_check_uop(scale: Scale) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for w in all(scale) {
+        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+        let bc = base.stats.cycles() as f64;
+        for encoding in PointerEncoding::ALL {
+            let free = run(&w, Mode::HardBound, encoding);
+            let charged_cfg = MachineConfig::hardbound(
+                HardboundConfig::full(encoding).with_check_uop(),
+            );
+            let charged = run_with(&w, Mode::HardBound, charged_cfg);
+            rows.push(AblationRow {
+                bench: w.name,
+                encoding,
+                parallel_check: free.stats.cycles() as f64 / bc,
+                shared_alu_check: charged.stats.cycles() as f64 / bc,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the tag-cache sensitivity sweep.
+#[derive(Clone, Debug)]
+pub struct TagCacheRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Tag-cache capacity in bytes.
+    pub tag_cache_bytes: u64,
+    /// Relative runtime at this capacity.
+    pub relative_runtime: f64,
+    /// Tag-cache miss ratio observed.
+    pub tag_stall_cycles: u64,
+}
+
+/// Design-choice ablation: sweep the tag metadata cache size (the paper
+/// fixes 2 KB/8 KB; this shows the sensitivity of that choice).
+#[must_use]
+pub fn tag_cache_sweep(scale: Scale, sizes: &[u64]) -> Vec<TagCacheRow> {
+    let mut rows = Vec::new();
+    for w in all(scale) {
+        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+        let bc = base.stats.cycles() as f64;
+        for &bytes in sizes {
+            let cfg = MachineConfig::hardbound(HardboundConfig::full(PointerEncoding::Intern4));
+            let cfg = cfg.clone().with_hierarchy(cfg.hierarchy.with_tag_cache_bytes(bytes));
+            let out = run_with(&w, Mode::HardBound, cfg);
+            rows.push(TagCacheRow {
+                bench: w.name,
+                tag_cache_bytes: bytes,
+                relative_runtime: out.stats.cycles() as f64 / bc,
+                tag_stall_cycles: out.stats.hierarchy.tag_stall_cycles,
+            });
+        }
+    }
+    rows
+}
+
+/// §5.2: the full correctness corpus under full HardBound protection.
+#[must_use]
+pub fn correctness(encoding: PointerEncoding) -> CorpusReport {
+    hardbound_violations::run_corpus(Mode::HardBound, encoding)
+}
+
+/// Average of the relative runtimes in `xs`.
+#[must_use]
+pub fn average(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}

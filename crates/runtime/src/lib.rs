@@ -1,0 +1,339 @@
+//! The simulated C runtime for the HardBound evaluation, and the glue that
+//! pairs each compiler [`Mode`] with the right machine configuration.
+//!
+//! The paper's heap protection story (§3.2) is entirely runtime-driven:
+//! "Heap-allocated objects are bounded by instrumenting `malloc()` and
+//! related runtime-library functions." [`RUNTIME_SOURCE`] is that
+//! instrumented runtime, written in Cb and prepended to every program by
+//! [`link`]; its `malloc` announces allocation extents with
+//! `__setbound(p, n)`, which each compiler mode lowers to its own scheme
+//! (a `setbound` instruction, fat-pointer construction, an object-table
+//! registration, or nothing for the baseline).
+//!
+//! [`SplayTable`] is the object-lookup structure of §2.2 used by the
+//! JK/RL/DA comparison mode.
+//!
+//! ```
+//! use hardbound_compiler::Mode;
+//! use hardbound_core::PointerEncoding;
+//! use hardbound_runtime::compile_and_run;
+//!
+//! let out = compile_and_run(
+//!     r#"
+//!     int main() {
+//!         int *a = (int*)malloc(10 * sizeof(int));
+//!         for (int i = 0; i < 10; i = i + 1) a[i] = i;
+//!         int s = 0;
+//!         for (int i = 0; i < 10; i = i + 1) s = s + a[i];
+//!         free(a);
+//!         return s;
+//!     }
+//!     "#,
+//!     Mode::HardBound,
+//!     PointerEncoding::Intern4,
+//! )?;
+//! assert_eq!(out.exit_code, Some(45));
+//! # Ok::<(), hardbound_compiler::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod source;
+mod splay;
+
+pub use source::RUNTIME_SOURCE;
+pub use splay::SplayTable;
+
+use hardbound_compiler::{compile_program, CompileError, Mode, Options};
+use hardbound_core::{HardboundConfig, Machine, MachineConfig, PointerEncoding, RunOutcome};
+use hardbound_isa::Program;
+
+/// Prepends the runtime library to a user program.
+#[must_use]
+pub fn link(user_source: &str) -> String {
+    format!("{RUNTIME_SOURCE}\n{user_source}")
+}
+
+/// Compiles a user program together with the runtime library.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`]s from the front end or code generator.
+pub fn compile(user_source: &str, mode: Mode) -> Result<Program, CompileError> {
+    // The allocator is trusted runtime code: its header bookkeeping is
+    // exempt from software checks, as an uninstrumented libc would be.
+    let opts = Options::mode(mode).with_unchecked(["malloc", "free"]);
+    compile_program(&link(user_source), &opts)
+}
+
+/// The machine configuration that corresponds to a compiler mode (paper
+/// §5.1): HardBound hardware for the HardBound/MallocOnly modes, the plain
+/// baseline machine for the software-only schemes.
+#[must_use]
+pub fn machine_config(mode: Mode, encoding: PointerEncoding) -> MachineConfig {
+    match mode {
+        Mode::Baseline | Mode::SoftBound | Mode::ObjectTable => MachineConfig::baseline(),
+        Mode::MallocOnly => MachineConfig::hardbound(HardboundConfig::malloc_only(encoding)),
+        Mode::HardBound => MachineConfig::hardbound(HardboundConfig::full(encoding)),
+    }
+}
+
+/// Builds a machine for `program` under `mode`, attaching the splay-tree
+/// object table when the mode needs one.
+#[must_use]
+pub fn build_machine(program: Program, mode: Mode, encoding: PointerEncoding) -> Machine {
+    build_machine_with_config(program, mode, machine_config(mode, encoding))
+}
+
+/// [`build_machine`] with an explicit configuration (used by the ablation
+/// experiments that tweak the hierarchy or enable the check-µop model).
+#[must_use]
+pub fn build_machine_with_config(
+    program: Program,
+    mode: Mode,
+    config: MachineConfig,
+) -> Machine {
+    let mut m = Machine::new(program, config);
+    if mode == Mode::ObjectTable {
+        m.set_object_table(Box::new(SplayTable::new()));
+    }
+    m
+}
+
+/// Compile (with runtime), build the paired machine, and run to completion.
+///
+/// # Errors
+///
+/// Propagates compilation errors; runtime traps are reported in the
+/// returned [`RunOutcome`].
+pub fn compile_and_run(
+    user_source: &str,
+    mode: Mode,
+    encoding: PointerEncoding,
+) -> Result<RunOutcome, CompileError> {
+    let program = compile(user_source, mode)?;
+    Ok(build_machine(program, mode, encoding).run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardbound_core::Trap;
+    use hardbound_isa::layout;
+
+    fn run_all_modes(src: &str) -> RunOutcome {
+        let reference =
+            compile_and_run(src, Mode::Baseline, PointerEncoding::Intern4).expect("compiles");
+        assert_eq!(reference.trap, None, "baseline trapped: {:?}", reference.trap);
+        for mode in [Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable] {
+            let out = compile_and_run(src, mode, PointerEncoding::Intern4).expect("compiles");
+            assert_eq!(out.trap, None, "{mode} trapped: {:?}", out.trap);
+            assert_eq!(out.exit_code, reference.exit_code, "{mode} exit differs");
+            assert_eq!(out.output, reference.output, "{mode} output differs");
+        }
+        reference
+    }
+
+    #[test]
+    fn malloc_returns_heap_pointers_with_exact_bounds() {
+        let out = compile_and_run(
+            "int main() {\n\
+               int *a = (int*)malloc(12);\n\
+               int lo = (int)a >= 0x1000000;\n\
+               int hi = (int)a < 0x5000000;\n\
+               int span = __readbound(a) - __readbase(a);\n\
+               return lo * 100 + hi * 10 + (span == 12);\n\
+             }",
+            Mode::HardBound,
+            PointerEncoding::Intern4,
+        )
+        .unwrap();
+        assert_eq!(out.exit_code, Some(111), "{:?}", out.trap);
+    }
+
+    #[test]
+    fn malloc_free_reuse_cycle() {
+        let out = run_all_modes(
+            "int main() {\n\
+               int *a = (int*)malloc(32);\n\
+               int first = (int)a;\n\
+               a[0] = 7;\n\
+               free(a);\n\
+               int *b = (int*)malloc(32);\n\
+               int second = (int)b;\n\
+               b[0] = 9;\n\
+               return (first == second) * 10 + b[0] - 9;\n\
+             }",
+        );
+        assert_eq!(out.exit_code, Some(10), "free list must recycle the block");
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let out = run_all_modes(
+            "int main() {\n\
+               int *a = (int*)malloc(16);\n\
+               int *b = (int*)malloc(16);\n\
+               for (int i = 0; i < 4; i = i + 1) { a[i] = 1; b[i] = 2; }\n\
+               int s = 0;\n\
+               for (int i = 0; i < 4; i = i + 1) s = s + a[i] * 10 + b[i];\n\
+               return s;\n\
+             }",
+        );
+        assert_eq!(out.exit_code, Some(48));
+    }
+
+    #[test]
+    fn heap_overflow_detected_in_protected_modes() {
+        let src = "int main() {\n\
+            int *a = (int*)malloc(8 * sizeof(int));\n\
+            int i = 9;\n\
+            a[i] = 1;\n\
+            return 0;\n\
+          }";
+        for (mode, expect_hw) in
+            [(Mode::MallocOnly, true), (Mode::HardBound, true), (Mode::SoftBound, false)]
+        {
+            let out = compile_and_run(src, mode, PointerEncoding::Intern4).unwrap();
+            match (expect_hw, out.trap) {
+                (true, Some(Trap::BoundsViolation { .. }))
+                | (false, Some(Trap::SoftwareAbort { .. })) => {}
+                (_, other) => panic!("{mode}: unexpected trap {other:?}"),
+            }
+        }
+        let ot = compile_and_run(src, Mode::ObjectTable, PointerEncoding::Intern4).unwrap();
+        assert!(
+            matches!(ot.trap, Some(Trap::ObjectTableViolation { .. })),
+            "allocation-granularity overflow is visible to the object table: {:?}",
+            ot.trap
+        );
+    }
+
+    #[test]
+    fn use_after_free_unregisters_in_object_table_mode() {
+        // Spatial-only schemes (HardBound included) do NOT catch
+        // use-after-free (paper §6.2); the object table does, as a side
+        // effect of unregistration, when the block is not yet recycled.
+        let src = "int main() {\n\
+            int *a = (int*)malloc(16);\n\
+            free(a);\n\
+            return a[0];\n\
+          }";
+        let ot = compile_and_run(src, Mode::ObjectTable, PointerEncoding::Intern4).unwrap();
+        assert!(matches!(ot.trap, Some(Trap::ObjectTableViolation { .. })));
+        let hb = compile_and_run(src, Mode::HardBound, PointerEncoding::Intern4).unwrap();
+        assert_eq!(hb.trap, None, "HardBound is spatial-only (§6.2)");
+    }
+
+    #[test]
+    fn string_functions() {
+        let out = run_all_modes(
+            "int main() {\n\
+               char *buf = (char*)malloc(16);\n\
+               strcpy(buf, \"hello\");\n\
+               int n = strlen(buf);\n\
+               int c = strcmp(buf, \"hello\");\n\
+               int d = strcmp(buf, \"help\");\n\
+               print_str(buf);\n\
+               char *copy = (char*)malloc(16);\n\
+               memcpy(copy, buf, n + 1);\n\
+               memset(buf, 88, 3);\n\
+               print_char(buf[0]);\n\
+               return n * 100 + (c == 0) * 10 + (d < 0);\n\
+             }",
+        );
+        assert_eq!(out.exit_code, Some(511));
+        assert_eq!(out.output, "helloX");
+    }
+
+    #[test]
+    fn strcpy_overflow_is_the_paper_intro_example() {
+        // §2.2/§3.2: strcpy through a narrowed sub-object pointer.
+        let src = "struct node { char str[5]; int x; };\n\
+             int main() {\n\
+               struct node n;\n\
+               n.x = 42;\n\
+               char *p = n.str;\n\
+               strcpy(p, \"overflow\");\n\
+               return n.x;\n\
+             }";
+        let hb = compile_and_run(src, Mode::HardBound, PointerEncoding::Intern4).unwrap();
+        assert!(
+            matches!(hb.trap, Some(Trap::BoundsViolation { .. })),
+            "HardBound must detect the strcpy overflow inside strcpy: {:?}",
+            hb.trap
+        );
+        let base = compile_and_run(src, Mode::Baseline, PointerEncoding::Intern4).unwrap();
+        assert_eq!(base.trap, None);
+        assert_ne!(base.exit_code, Some(42), "baseline silently corrupts node.x");
+    }
+
+    #[test]
+    fn fixed_point_arithmetic() {
+        let out = run_all_modes(
+            "int main() {\n\
+               int a = fx_from_int(7);\n\
+               int b = fx_from_int(2);\n\
+               int m = fx_to_int(fx_mul(a, b));\n\
+               int d = fx_to_int(fx_div(a, b) + 32768);\n\
+               int s = fx_to_int(fx_sqrt(fx_from_int(16)));\n\
+               int neg = fx_to_int(fx_abs(0 - a));\n\
+               return m * 1000 + d * 100 + s * 10 + neg;\n\
+             }",
+        );
+        // 7*2=14, round(7/2)=4 (3.5+0.5), sqrt(16)=4, |−7|=7.
+        assert_eq!(out.exit_code, Some(14_000 + 400 + 40 + 7));
+    }
+
+    #[test]
+    fn prng_is_deterministic_and_bounded() {
+        let out = run_all_modes(
+            "int main() {\n\
+               rand_seed(42);\n\
+               int ok = 1;\n\
+               for (int i = 0; i < 100; i = i + 1) {\n\
+                 int v = rand_range(10);\n\
+                 if (v < 0) ok = 0;\n\
+                 if (v >= 10) ok = 0;\n\
+               }\n\
+               rand_seed(42);\n\
+               int a = rand_next();\n\
+               rand_seed(42);\n\
+               int b = rand_next();\n\
+               return ok * 10 + (a == b);\n\
+             }",
+        );
+        assert_eq!(out.exit_code, Some(11));
+    }
+
+    #[test]
+    fn many_allocations_stress() {
+        let out = run_all_modes(
+            "struct cell { int v; struct cell *next; };\n\
+             int main() {\n\
+               struct cell *head = 0;\n\
+               for (int i = 0; i < 200; i = i + 1) {\n\
+                 struct cell *c = (struct cell*)malloc(sizeof(struct cell));\n\
+                 c->v = i;\n\
+                 c->next = head;\n\
+                 head = c;\n\
+               }\n\
+               int s = 0;\n\
+               while (head != 0) { s = s + head->v; head = head->next; }\n\
+               return s == 19900;\n\
+             }",
+        );
+        assert_eq!(out.exit_code, Some(1));
+    }
+
+    #[test]
+    fn heap_layout_constants_match_isa_layout() {
+        // The Cb runtime hard-codes the heap range; keep it in lock-step
+        // with the ISA layout constants.
+        assert!(RUNTIME_SOURCE.contains("0x1000000"));
+        assert!(RUNTIME_SOURCE.contains("0x5000000"));
+        assert_eq!(layout::HEAP_BASE, 0x0100_0000);
+        assert_eq!(layout::HEAP_END, 0x0500_0000);
+    }
+}

@@ -1,0 +1,31 @@
+//! The §5.2 experiment as a test: every violation detected, no false
+//! positives, under full HardBound instrumentation.
+
+use hardbound_compiler::Mode;
+use hardbound_core::PointerEncoding;
+use hardbound_violations::run_corpus;
+
+#[test]
+fn hardbound_detects_all_288_with_no_false_positives() {
+    let report = run_corpus(Mode::HardBound, PointerEncoding::Intern4);
+    assert!(
+        report.is_perfect(),
+        "{report}\nmissed: {:?}\nfalse positives: {:?}\nerrors: {:?}",
+        report.missed,
+        report.false_positives,
+        report.errors
+    );
+    assert_eq!(report.total, 288);
+}
+
+#[test]
+fn softbound_also_detects_all() {
+    let report = run_corpus(Mode::SoftBound, PointerEncoding::Intern4);
+    assert!(
+        report.is_perfect(),
+        "{report}\nmissed: {:?}\nfp: {:?}\nerr: {:?}",
+        report.missed,
+        report.false_positives,
+        report.errors
+    );
+}

@@ -1,0 +1,817 @@
+//! Cb sources of the nine Olden benchmark ports.
+//!
+//! The Olden suite (Rogers et al.) is the paper's benchmark set (§5.1):
+//! pointer-intensive programs over dynamic data structures — trees, lists,
+//! quadtrees and bipartite graphs. These ports keep each benchmark's data
+//! structure and access pattern (which is what drives HardBound's
+//! overheads) while scaling inputs to simulator-friendly sizes and
+//! replacing floating point with the runtime's 16.16 fixed-point helpers
+//! (the ISA is integer-only; see DESIGN.md substitutions).
+//!
+//! Every program prints a deterministic checksum with `print_int` and
+//! exits 0, so cross-mode and cross-encoding runs can assert identical
+//! behaviour.
+
+/// `treeadd`: build a balanced binary tree, repeatedly sum it (recursive
+/// tree walk; the simplest pointer-chasing kernel).
+pub fn treeadd(depth: u32, iters: u32) -> String {
+    template(
+        r#"
+struct tree { int val; struct tree *left; struct tree *right; };
+
+struct tree *build(int depth) {
+    if (depth <= 0) return 0;
+    struct tree *t = (struct tree*)malloc(sizeof(struct tree));
+    t->val = depth;
+    t->left = build(depth - 1);
+    t->right = build(depth - 1);
+    return t;
+}
+
+int addtree(struct tree *t) {
+    if (t == 0) return 0;
+    return t->val + addtree(t->left) + addtree(t->right);
+}
+
+int main() {
+    struct tree *root = build(@DEPTH@);
+    int total = 0;
+    for (int i = 0; i < @ITERS@; i = i + 1) {
+        total = total + addtree(root);
+    }
+    print_int(total);
+    return 0;
+}
+"#,
+        &[("@DEPTH@", depth), ("@ITERS@", iters)],
+    )
+}
+
+/// `bisort`: bitonic sort over a balanced binary tree (Olden's
+/// value-swapping `bimerge`/`bisort` recursion).
+pub fn bisort(size: u32) -> String {
+    template(
+        r#"
+struct node { int value; struct node *left; struct node *right; };
+
+struct node *rand_tree(int size) {
+    if (size < 1) return 0;
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    n->value = rand_range(65536);
+    int rest = size - 1;
+    n->left = rand_tree(rest / 2);
+    n->right = rand_tree(rest - rest / 2);
+    return n;
+}
+
+int bimerge(struct node *root, int spr_val, int dir) {
+    int rv = root->value;
+    int rightexchange = rv > spr_val;
+    if (dir) rightexchange = 1 - rightexchange;
+    if (rightexchange) {
+        root->value = spr_val;
+        spr_val = rv;
+    }
+    struct node *pl = root->left;
+    struct node *pr = root->right;
+    while (pl != 0 && pr != 0) {
+        int lv = pl->value;
+        int rv2 = pr->value;
+        int elementexchange = lv > rv2;
+        if (dir) elementexchange = 1 - elementexchange;
+        if (rightexchange) {
+            if (elementexchange) {
+                pl->value = rv2;
+                pr->value = lv;
+                pl = pl->left;
+                pr = pr->left;
+            } else {
+                pl = pl->right;
+                pr = pr->right;
+            }
+        } else {
+            if (elementexchange) {
+                pl->value = rv2;
+                pr->value = lv;
+                pl = pl->right;
+                pr = pr->right;
+            } else {
+                pl = pl->left;
+                pr = pr->left;
+            }
+        }
+    }
+    if (root->left != 0) {
+        root->value = bimerge(root->left, root->value, dir);
+        spr_val = bimerge(root->right, spr_val, dir);
+    }
+    return spr_val;
+}
+
+int bisort(struct node *root, int spr_val, int dir) {
+    if (root->left == 0) {
+        int rv = root->value;
+        int cond = rv > spr_val;
+        if (dir) cond = 1 - cond;
+        if (cond) {
+            root->value = spr_val;
+            spr_val = rv;
+        }
+        return spr_val;
+    }
+    root->value = bisort(root->left, root->value, dir);
+    spr_val = bisort(root->right, spr_val, 1 - dir);
+    spr_val = bimerge(root, spr_val, dir);
+    return spr_val;
+}
+
+int checksum(struct node *t, int depth) {
+    if (t == 0) return 0;
+    return t->value + 3 * checksum(t->left, depth + 1)
+         + 7 * checksum(t->right, depth + 1);
+}
+
+int main() {
+    rand_seed(17);
+    struct node *root = rand_tree(@SIZE@);
+    int sv = bisort(root, 0x7FFFFFFF, 0);
+    sv = bisort(root, 0x7FFFFFFF, 1);
+    print_int(checksum(root, 0) ^ sv);
+    return 0;
+}
+"#,
+        &[("@SIZE@", size)],
+    )
+}
+
+/// `em3d`: electromagnetic wave propagation on a bipartite graph — each
+/// node holds a malloc'd array of neighbor pointers and coefficients.
+pub fn em3d(nodes: u32, degree: u32, iters: u32) -> String {
+    template(
+        r#"
+struct gnode {
+    int value;
+    struct gnode **to;
+    int *coef;
+    int degree;
+    struct gnode *next;
+};
+
+struct gnode *make_list(int n) {
+    struct gnode *head = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        struct gnode *g = (struct gnode*)malloc(sizeof(struct gnode));
+        g->value = rand_range(1024);
+        g->degree = @DEGREE@;
+        g->to = (struct gnode**)malloc(@DEGREE@ * sizeof(struct gnode*));
+        g->coef = (int*)malloc(@DEGREE@ * sizeof(int));
+        g->next = head;
+        head = g;
+    }
+    return head;
+}
+
+struct gnode *pick(struct gnode *list, int n) {
+    int hop = rand_range(n);
+    struct gnode *g = list;
+    while (hop > 0) { g = g->next; hop = hop - 1; }
+    return g;
+}
+
+void connect(struct gnode *from, struct gnode *other, int n) {
+    struct gnode *g = from;
+    while (g != 0) {
+        for (int i = 0; i < g->degree; i = i + 1) {
+            g->to[i] = pick(other, n);
+            g->coef[i] = rand_range(7) + 1;
+        }
+        g = g->next;
+    }
+}
+
+void relax(struct gnode *list) {
+    struct gnode *g = list;
+    while (g != 0) {
+        int acc = g->value;
+        for (int i = 0; i < g->degree; i = i + 1) {
+            acc = acc - (g->coef[i] * g->to[i]->value) / 8;
+        }
+        g->value = acc & 0xFFFF;
+        g = g->next;
+    }
+}
+
+int sum(struct gnode *list) {
+    int s = 0;
+    struct gnode *g = list;
+    while (g != 0) { s = s + g->value; g = g->next; }
+    return s;
+}
+
+int main() {
+    rand_seed(23);
+    struct gnode *e = make_list(@NODES@);
+    struct gnode *h = make_list(@NODES@);
+    connect(e, h, @NODES@);
+    connect(h, e, @NODES@);
+    for (int t = 0; t < @ITERS@; t = t + 1) {
+        relax(e);
+        relax(h);
+    }
+    print_int(sum(e) * 3 + sum(h));
+    return 0;
+}
+"#,
+        &[("@NODES@", nodes), ("@DEGREE@", degree), ("@ITERS@", iters)],
+    )
+}
+
+/// `health`: the Columbian health-care simulation — a 4-ary tree of
+/// villages, each with a linked list of patients that move up the tree.
+pub fn health(levels: u32, steps: u32) -> String {
+    template(
+        r#"
+struct patient {
+    int remaining;
+    int hops;
+    struct patient *next;
+};
+
+struct village {
+    struct village *children[4];
+    struct village *parent;
+    struct patient *waiting;
+    int level;
+    int treated;
+};
+
+struct village *build(int level, struct village *parent) {
+    struct village *v = (struct village*)malloc(sizeof(struct village));
+    v->parent = parent;
+    v->level = level;
+    v->waiting = 0;
+    v->treated = 0;
+    for (int i = 0; i < 4; i = i + 1) {
+        if (level > 1) v->children[i] = build(level - 1, v);
+        else v->children[i] = 0;
+    }
+    return v;
+}
+
+void admit(struct village *v, struct patient *p) {
+    p->next = v->waiting;
+    v->waiting = p;
+}
+
+void step(struct village *v) {
+    if (v == 0) return;
+    for (int i = 0; i < 4; i = i + 1) step(v->children[i]);
+    // New patient arrives at leaf villages with ~1/3 probability.
+    if (v->level == 1 && rand_range(3) == 0) {
+        struct patient *p = (struct patient*)malloc(sizeof(struct patient));
+        p->remaining = rand_range(4) + 1;
+        p->hops = 0;
+        admit(v, p);
+    }
+    // Treat the waiting list: done patients are freed, hard cases are
+    // referred to the parent village.
+    struct patient *cur = v->waiting;
+    v->waiting = 0;
+    while (cur != 0) {
+        struct patient *nxt = cur->next;
+        cur->remaining = cur->remaining - 1;
+        if (cur->remaining <= 0) {
+            v->treated = v->treated + 1;
+            free(cur);
+        } else {
+            if (rand_range(4) == 0 && v->parent != 0) {
+                cur->hops = cur->hops + 1;
+                admit(v->parent, cur);
+            } else {
+                admit(v, cur);
+            }
+        }
+        cur = nxt;
+    }
+}
+
+int total_treated(struct village *v) {
+    if (v == 0) return 0;
+    int s = v->treated;
+    for (int i = 0; i < 4; i = i + 1) s = s + total_treated(v->children[i]);
+    return s;
+}
+
+int main() {
+    rand_seed(31);
+    struct village *top = build(@LEVELS@, 0);
+    for (int t = 0; t < @STEPS@; t = t + 1) step(top);
+    print_int(total_treated(top));
+    return 0;
+}
+"#,
+        &[("@LEVELS@", levels), ("@STEPS@", steps)],
+    )
+}
+
+/// `mst`: minimum spanning tree over a vertex list (Prim's algorithm; the
+/// Olden original keys neighbor distances through per-vertex hash tables —
+/// here a deterministic hash *function* supplies the same weights).
+///
+/// This port also demonstrates the paper's §5.3 `mst` change: the
+/// per-vertex scratch slot is sub-bounded with an explicit `__setbound`,
+/// "better expressing the intended constraints of the program".
+pub fn mst(vertices: u32) -> String {
+    template(
+        r#"
+struct vertex {
+    int id;
+    int mindist;
+    int intree;
+    int *slot;
+    struct vertex *next;
+};
+
+int scratch[@VERTS@];
+
+int weight(int i, int j) {
+    int a = i < j ? i : j;
+    int b = i < j ? j : i;
+    return ((a * 31 + b * 17) & 0x3FFF) + 1;
+}
+
+struct vertex *make_graph(int n) {
+    struct vertex *head = 0;
+    for (int i = n - 1; i >= 0; i = i - 1) {
+        struct vertex *v = (struct vertex*)malloc(sizeof(struct vertex));
+        v->id = i;
+        v->mindist = 0x7FFFFFFF;
+        v->intree = 0;
+        // Paper §5.3: a pointer to one element used exclusively — tighten
+        // its bounds instead of carrying the whole array's.
+        v->slot = __setbound(&scratch[i], sizeof(int));
+        v->next = head;
+        head = v;
+    }
+    return head;
+}
+
+int main() {
+    struct vertex *graph = make_graph(@VERTS@);
+    graph->intree = 1;
+    graph->mindist = 0;
+    struct vertex *last_added = graph;
+    int total = 0;
+    for (int round = 1; round < @VERTS@; round = round + 1) {
+        // Relax distances against the vertex just added.
+        struct vertex *v = graph;
+        while (v != 0) {
+            if (!v->intree) {
+                int w = weight(last_added->id, v->id);
+                if (w < v->mindist) v->mindist = w;
+            }
+            v = v->next;
+        }
+        // Pick the closest fringe vertex.
+        struct vertex *best = 0;
+        v = graph;
+        while (v != 0) {
+            if (!v->intree) {
+                if (best == 0 || v->mindist < best->mindist) best = v;
+            }
+            v = v->next;
+        }
+        best->intree = 1;
+        *(best->slot) = best->mindist;
+        total = total + best->mindist;
+        last_added = best;
+    }
+    print_int(total);
+    return 0;
+}
+"#,
+        &[("@VERTS@", vertices)],
+    )
+}
+
+/// `perimeter`: quadtree image perimeter — builds a region quadtree and
+/// measures the black region's perimeter by point-probing neighbors
+/// through root-to-leaf walks.
+pub fn perimeter(depth: u32) -> String {
+    template(
+        r#"
+struct quad {
+    int color;                 // 0 white, 1 black, 2 gray
+    struct quad *children[4];  // nw, ne, sw, se
+};
+
+int world;
+
+// The image: a filled disc.
+int pixel(int x, int y) {
+    int cx = world / 2;
+    int cy = world / 2;
+    int dx = x - cx;
+    int dy = y - cy;
+    int r = (world * 3) / 8;
+    return dx * dx + dy * dy <= r * r;
+}
+
+struct quad *build(int x, int y, int size) {
+    struct quad *q = (struct quad*)malloc(sizeof(struct quad));
+    if (size == 1) {
+        q->color = pixel(x, y);
+        for (int i = 0; i < 4; i = i + 1) q->children[i] = 0;
+        return q;
+    }
+    int half = size / 2;
+    q->children[0] = build(x, y, half);
+    q->children[1] = build(x + half, y, half);
+    q->children[2] = build(x, y + half, half);
+    q->children[3] = build(x + half, y + half, half);
+    int all_black = 1;
+    int all_white = 1;
+    for (int i = 0; i < 4; i = i + 1) {
+        if (q->children[i]->color != 1) all_black = 0;
+        if (q->children[i]->color != 0) all_white = 0;
+    }
+    if (all_black) q->color = 1;
+    else {
+        if (all_white) q->color = 0;
+        else q->color = 2;
+    }
+    return q;
+}
+
+// Colour at a point, via a root-to-leaf walk.
+int probe(struct quad *root, int x, int y, int size) {
+    if (x < 0 || y < 0 || x >= size || y >= size) return 0;
+    struct quad *q = root;
+    int qx = 0;
+    int qy = 0;
+    while (q->color == 2) {
+        size = size / 2;
+        int idx = 0;
+        if (x >= qx + size) { idx = idx + 1; qx = qx + size; }
+        if (y >= qy + size) { idx = idx + 2; qy = qy + size; }
+        q = q->children[idx];
+    }
+    return q->color == 1;
+}
+
+// Sum, over black unit cells, of exposed edges (probing the 4 neighbors
+// from the root each time — heavy pointer chasing, as in Olden).
+int perim(struct quad *root, struct quad *q, int x, int y, int size) {
+    if (q->color == 0) return 0;
+    if (q->color == 2) {
+        int half = size / 2;
+        int s = perim(root, q->children[0], x, y, half);
+        s = s + perim(root, q->children[1], x + half, y, half);
+        s = s + perim(root, q->children[2], x, y + half, half);
+        s = s + perim(root, q->children[3], x + half, y + half, half);
+        return s;
+    }
+    // Black node of extent `size`: walk its boundary cells.
+    int count = 0;
+    for (int i = 0; i < size; i = i + 1) {
+        if (!probe(root, x + i, y - 1, world)) count = count + 1;
+        if (!probe(root, x + i, y + size, world)) count = count + 1;
+        if (!probe(root, x - 1, y + i, world)) count = count + 1;
+        if (!probe(root, x + size, y + i, world)) count = count + 1;
+    }
+    return count;
+}
+
+int main() {
+    world = 1 << @DEPTH@;
+    struct quad *root = build(0, 0, world);
+    print_int(perim(root, root, 0, 0, world));
+    return 0;
+}
+"#,
+        &[("@DEPTH@", depth)],
+    )
+}
+
+/// `power`: the power-system pricing optimization — a fixed hierarchy
+/// (root → feeders → laterals → branches → leaves) swept top-down and
+/// bottom-up with fixed-point arithmetic standing in for doubles.
+pub fn power(feeders: u32, laterals: u32, branches: u32, iters: u32) -> String {
+    template(
+        r#"
+struct leaf { int demand; };
+struct branch { struct leaf *leaves[4]; int demand; };
+struct lateral { struct branch *branches[@BRANCHES@]; int demand; };
+struct feeder { struct lateral *laterals[@LATERALS@]; int demand; };
+struct root_t { struct feeder *feeders[@FEEDERS@]; int demand; int price; };
+
+struct leaf *mk_leaf() {
+    struct leaf *l = (struct leaf*)malloc(sizeof(struct leaf));
+    l->demand = fx_from_int(1);
+    return l;
+}
+
+struct branch *mk_branch() {
+    struct branch *b = (struct branch*)malloc(sizeof(struct branch));
+    for (int i = 0; i < 4; i = i + 1) b->leaves[i] = mk_leaf();
+    b->demand = 0;
+    return b;
+}
+
+struct lateral *mk_lateral() {
+    struct lateral *l = (struct lateral*)malloc(sizeof(struct lateral));
+    for (int i = 0; i < @BRANCHES@; i = i + 1) l->branches[i] = mk_branch();
+    l->demand = 0;
+    return l;
+}
+
+struct feeder *mk_feeder() {
+    struct feeder *f = (struct feeder*)malloc(sizeof(struct feeder));
+    for (int i = 0; i < @LATERALS@; i = i + 1) f->laterals[i] = mk_lateral();
+    f->demand = 0;
+    return f;
+}
+
+// Leaves adjust demand to the price; demand aggregates upward with line
+// losses; the root adjusts the price toward its capacity.
+int update_leaf(struct leaf *l, int price) {
+    // demand = 2 - price (clamped to [0.25, 2]) in fixed point.
+    int d = fx_from_int(2) - price;
+    if (d < 16384) d = 16384;
+    if (d > fx_from_int(2)) d = fx_from_int(2);
+    l->demand = d;
+    return d;
+}
+
+int update_branch(struct branch *b, int price) {
+    int s = 0;
+    for (int i = 0; i < 4; i = i + 1) s = s + update_leaf(b->leaves[i], price);
+    b->demand = s + fx_mul(s, 3277);   // ~5% line loss
+    return b->demand;
+}
+
+int update_lateral(struct lateral *l, int price) {
+    int s = 0;
+    for (int i = 0; i < @BRANCHES@; i = i + 1) s = s + update_branch(l->branches[i], price);
+    l->demand = s + fx_mul(s, 1638);   // ~2.5% loss
+    return l->demand;
+}
+
+int update_feeder(struct feeder *f, int price) {
+    int s = 0;
+    for (int i = 0; i < @LATERALS@; i = i + 1) s = s + update_lateral(f->laterals[i], price);
+    f->demand = s;
+    return s;
+}
+
+int main() {
+    struct root_t *root = (struct root_t*)malloc(sizeof(struct root_t));
+    for (int i = 0; i < @FEEDERS@; i = i + 1) root->feeders[i] = mk_feeder();
+    root->price = fx_from_int(1);
+    int capacity = fx_from_int(@FEEDERS@ * @LATERALS@ * @BRANCHES@ * 4);
+    for (int t = 0; t < @ITERS@; t = t + 1) {
+        int total = 0;
+        for (int i = 0; i < @FEEDERS@; i = i + 1) {
+            total = total + update_feeder(root->feeders[i], root->price);
+        }
+        root->demand = total;
+        // Price moves proportionally to excess demand.
+        int excess = total - capacity;
+        root->price = root->price + fx_mul(excess / (@FEEDERS@ * @LATERALS@), 655);
+        if (root->price < 0) root->price = 0;
+    }
+    print_int(fx_to_int(root->demand) + fx_to_int(root->price) * 1000);
+    return 0;
+}
+"#,
+        &[
+            ("@FEEDERS@", feeders),
+            ("@LATERALS@", laterals),
+            ("@BRANCHES@", branches),
+            ("@ITERS@", iters),
+        ],
+    )
+}
+
+/// `bh`: Barnes–Hut n-body — a 2-D quadtree of bodies, center-of-mass
+/// aggregation, and θ-approximate force walks, in 16.16 fixed point.
+pub fn bh(bodies: u32, steps: u32) -> String {
+    template(
+        r#"
+struct body {
+    int x; int y;       // position, fx
+    int vx; int vy;     // velocity, fx
+    int mass;           // fx
+    struct body *next;
+};
+
+struct cell {
+    int is_leaf;
+    struct body *b;                // when leaf
+    struct cell *children[4];
+    int cx; int cy; int mass;      // centre of mass, fx
+    int x; int y; int size;        // region (integer grid)
+};
+
+int WORLD;
+
+struct cell *mk_cell(int x, int y, int size) {
+    struct cell *c = (struct cell*)malloc(sizeof(struct cell));
+    c->is_leaf = 1;
+    c->b = 0;
+    for (int i = 0; i < 4; i = i + 1) c->children[i] = 0;
+    c->cx = 0; c->cy = 0; c->mass = 0;
+    c->x = x; c->y = y; c->size = size;
+    return c;
+}
+
+int quadrant_of(struct cell *c, struct body *b) {
+    int half = c->size / 2;
+    int idx = 0;
+    if (fx_to_int(b->x) >= c->x + half) idx = idx + 1;
+    if (fx_to_int(b->y) >= c->y + half) idx = idx + 2;
+    return idx;
+}
+
+void insert(struct cell *c, struct body *b) {
+    while (1) {
+        if (c->is_leaf) {
+            if (c->b == 0) { c->b = b; return; }
+            if (c->size <= 1) { b->next = c->b; c->b = b; return; }
+            // Split: push the resident body down.
+            struct body *old = c->b;
+            c->b = 0;
+            c->is_leaf = 0;
+            int half = c->size / 2;
+            c->children[0] = mk_cell(c->x, c->y, half);
+            c->children[1] = mk_cell(c->x + half, c->y, half);
+            c->children[2] = mk_cell(c->x, c->y + half, half);
+            c->children[3] = mk_cell(c->x + half, c->y + half, half);
+            insert(c->children[quadrant_of(c, old)], old);
+        } else {
+            c = c->children[quadrant_of(c, b)];
+        }
+    }
+}
+
+void summarize(struct cell *c) {
+    if (c == 0) return;
+    if (c->is_leaf) {
+        struct body *b = c->b;
+        while (b != 0) {
+            c->mass = c->mass + b->mass;
+            c->cx = c->cx + fx_mul(b->x, b->mass);
+            c->cy = c->cy + fx_mul(b->y, b->mass);
+            b = b->next;
+        }
+    } else {
+        for (int i = 0; i < 4; i = i + 1) {
+            summarize(c->children[i]);
+            struct cell *ch = c->children[i];
+            c->mass = c->mass + ch->mass;
+            c->cx = c->cx + ch->cx;
+            c->cy = c->cy + ch->cy;
+        }
+    }
+    if (c->mass > 0) {
+        c->cx = fx_div(c->cx, c->mass);
+        c->cy = fx_div(c->cy, c->mass);
+    }
+}
+
+// Accumulate acceleration on `b` from cell `c` (theta = 1: accept a cell
+// when size/dist < 1).
+void force(struct body *b, struct cell *c, int *ax, int *ay) {
+    if (c == 0 || c->mass == 0) return;
+    int dx = c->cx - b->x;
+    int dy = c->cy - b->y;
+    int d2 = fx_mul(dx, dx) + fx_mul(dy, dy) + 4096; // softening
+    int sz2 = fx_from_int(c->size * c->size);
+    if (c->is_leaf || fx_mul(sz2, 65536) < fx_mul(d2, 65536)) {
+        int inv = fx_div(c->mass, d2);
+        *ax = *ax + fx_mul(inv, dx) / 16;
+        *ay = *ay + fx_mul(inv, dy) / 16;
+    } else {
+        for (int i = 0; i < 4; i = i + 1) force(b, c->children[i], ax, ay);
+    }
+}
+
+int main() {
+    WORLD = 64;
+    rand_seed(47);
+    int n = @BODIES@;
+    struct body *all = (struct body*)malloc(n * sizeof(struct body));
+    for (int i = 0; i < n; i = i + 1) {
+        all[i].x = fx_from_int(rand_range(WORLD));
+        all[i].y = fx_from_int(rand_range(WORLD));
+        all[i].vx = 0;
+        all[i].vy = 0;
+        all[i].mass = fx_from_int(rand_range(3) + 1);
+        all[i].next = 0;
+    }
+    for (int t = 0; t < @STEPS@; t = t + 1) {
+        struct cell *root = mk_cell(0, 0, WORLD);
+        for (int i = 0; i < n; i = i + 1) {
+            all[i].next = 0;
+            insert(root, &all[i]);
+        }
+        summarize(root);
+        for (int i = 0; i < n; i = i + 1) {
+            int ax = 0;
+            int ay = 0;
+            force(&all[i], root, &ax, &ay);
+            all[i].vx = all[i].vx + ax;
+            all[i].vy = all[i].vy + ay;
+            all[i].x = all[i].x + all[i].vx / 4;
+            all[i].y = all[i].y + all[i].vy / 4;
+            if (all[i].x < 0) all[i].x = 0;
+            if (all[i].y < 0) all[i].y = 0;
+            if (all[i].x > fx_from_int(WORLD - 1)) all[i].x = fx_from_int(WORLD - 1);
+            if (all[i].y > fx_from_int(WORLD - 1)) all[i].y = fx_from_int(WORLD - 1);
+        }
+    }
+    int check = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        check = check + fx_to_int(all[i].x) * 3 + fx_to_int(all[i].y);
+    }
+    print_int(check);
+    return 0;
+}
+"#,
+        &[("@BODIES@", bodies), ("@STEPS@", steps)],
+    )
+}
+
+/// `tsp`: travelling salesman via the closest-point heuristic over a
+/// linked list of cities with fixed-point coordinates.
+pub fn tsp(cities: u32) -> String {
+    template(
+        r#"
+struct city {
+    int x; int y;        // fx
+    int visited;
+    struct city *next;   // all-cities list
+    struct city *tour;   // tour order
+};
+
+int dist2(struct city *a, struct city *b) {
+    int dx = a->x - b->x;
+    int dy = a->y - b->y;
+    return fx_mul(dx, dx) + fx_mul(dy, dy);
+}
+
+int main() {
+    rand_seed(59);
+    int n = @CITIES@;
+    struct city *head = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        struct city *c = (struct city*)malloc(sizeof(struct city));
+        c->x = fx_from_int(rand_range(64));
+        c->y = fx_from_int(rand_range(64));
+        c->visited = 0;
+        c->next = head;
+        c->tour = 0;
+        head = c;
+    }
+    // Nearest-neighbour tour.
+    struct city *cur = head;
+    cur->visited = 1;
+    struct city *start = cur;
+    int total2 = 0;
+    for (int k = 1; k < n; k = k + 1) {
+        struct city *best = 0;
+        int bestd = 0x7FFFFFFF;
+        struct city *c = head;
+        while (c != 0) {
+            if (!c->visited) {
+                int d = dist2(cur, c);
+                if (d < bestd) { bestd = d; best = c; }
+            }
+            c = c->next;
+        }
+        best->visited = 1;
+        cur->tour = best;
+        total2 = total2 + fx_to_int(fx_sqrt(bestd));
+        cur = best;
+    }
+    total2 = total2 + fx_to_int(fx_sqrt(dist2(cur, start)));
+    // Checksum: tour length plus a walk of the tour pointers.
+    int hops = 0;
+    struct city *c = start;
+    while (c != 0) { hops = hops + 1; c = c->tour; }
+    print_int(total2 * 100 + hops);
+    return 0;
+}
+"#,
+        &[("@CITIES@", cities)],
+    )
+}
+
+fn template(body: &str, substitutions: &[(&str, u32)]) -> String {
+    let mut s = body.to_owned();
+    for (key, value) in substitutions {
+        s = s.replace(key, &value.to_string());
+    }
+    debug_assert!(!s.contains('@'), "unsubstituted parameter in workload source");
+    s
+}

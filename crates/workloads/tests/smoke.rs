@@ -1,0 +1,64 @@
+//! Smoke tests: every Olden port compiles and runs cleanly in every mode
+//! and under every pointer encoding, with identical observable behaviour.
+
+use hardbound_compiler::Mode;
+use hardbound_core::PointerEncoding;
+use hardbound_runtime::compile_and_run;
+use hardbound_workloads::{all, Scale};
+
+#[test]
+fn workloads_agree_across_modes() {
+    for w in all(Scale::Smoke) {
+        let reference = compile_and_run(&w.source, Mode::Baseline, PointerEncoding::Intern4)
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+        assert_eq!(reference.trap, None, "{}: baseline trapped: {:?}", w.name, reference.trap);
+        assert!(!reference.ints.is_empty(), "{}: no checksum printed", w.name);
+        assert_eq!(reference.exit_code, Some(0), "{}", w.name);
+        for mode in [Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable] {
+            let out = compile_and_run(&w.source, mode, PointerEncoding::Intern4)
+                .unwrap_or_else(|e| panic!("{} ({mode}): compile failed: {e}", w.name));
+            assert_eq!(out.trap, None, "{} ({mode}) trapped: {:?}", w.name, out.trap);
+            assert_eq!(out.ints, reference.ints, "{} ({mode}): checksum differs", w.name);
+        }
+    }
+}
+
+#[test]
+fn workloads_agree_across_encodings() {
+    for w in all(Scale::Smoke) {
+        let mut checks = Vec::new();
+        for enc in PointerEncoding::ALL {
+            let out = compile_and_run(&w.source, Mode::HardBound, enc)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(out.trap, None, "{} ({enc}) trapped: {:?}", w.name, out.trap);
+            checks.push(out.ints.clone());
+        }
+        assert!(
+            checks.windows(2).all(|p| p[0] == p[1]),
+            "{}: encodings disagree: {checks:?}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn hardbound_adds_bounded_overhead_on_smoke_inputs() {
+    // Not a performance assertion per se — just that the instrumented run
+    // exercises the HardBound machinery (setbounds, checks, tag traffic).
+    for w in all(Scale::Smoke) {
+        let base = compile_and_run(&w.source, Mode::Baseline, PointerEncoding::Intern4).unwrap();
+        let hb = compile_and_run(&w.source, Mode::HardBound, PointerEncoding::Intern4).unwrap();
+        assert!(hb.stats.setbound_uops > 0, "{}: no setbound executed", w.name);
+        assert!(hb.stats.bounds_checks > 0, "{}: no bounds checks", w.name);
+        assert!(
+            hb.stats.hierarchy.tag_accesses >= hb.stats.loads + hb.stats.stores,
+            "{}: tag metadata must be consulted by every memory op",
+            w.name
+        );
+        assert!(
+            hb.stats.cycles() >= base.stats.cycles(),
+            "{}: protection cannot be faster than baseline",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The §3.2 escape hatch: "Sophisticated programmers can write such code
+//! that is still safe by calling the setbound instruction directly. For
+//! example, a custom memory allocator that hands out chunks of a large
+//! array would follow the strategy of refining the bounds for the pointers
+//! to chunks it hands out."
+//!
+//! This example builds exactly that allocator in Cb: an arena carved out
+//! of one big array, handing out sub-bounded chunks. Chunk overflows are
+//! caught even though the chunks all live inside one legitimate object.
+//!
+//! ```sh
+//! cargo run --example custom_allocator
+//! ```
+
+use hardbound::compiler::Mode;
+use hardbound::core::{PointerEncoding, Trap};
+use hardbound::runtime::compile_and_run;
+
+const ARENA_SOURCE: &str = r#"
+    char arena[1024];
+    int arena_used = 0;
+
+    // A custom allocator: hands out sub-bounded chunks of `arena`.
+    char *arena_alloc(int n) {
+        char *base = __unbound(arena);        // allocator-internal view
+        char *chunk = base + arena_used;
+        arena_used = arena_used + n;
+        return __setbound(chunk, n);          // caller gets exact bounds
+    }
+
+    int main() {
+        char *a = arena_alloc(16);
+        char *b = arena_alloc(16);
+        a[15] = 1;                            // fine: last byte of chunk a
+        b[0] = 2;                             // fine: first byte of chunk b
+        print_int(a[15] + b[0]);
+        a[16] = 3;                            // overflow of chunk a into b!
+        return 0;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = compile_and_run(ARENA_SOURCE, Mode::HardBound, PointerEncoding::Intern4)?;
+    println!("in-bounds work: printed {:?}", out.ints);
+    match out.trap {
+        Some(Trap::BoundsViolation { addr, base, bound, .. }) => println!(
+            "chunk overflow caught: store to {addr:#x} outside chunk [{base:#x}, {bound:#x})\n\
+             — even though the address is still inside the arena array."
+        ),
+        other => println!("unexpected outcome: {other:?}"),
+    }
+
+    // Without sub-bounding the same store silently corrupts chunk b.
+    let unprotected =
+        compile_and_run(ARENA_SOURCE, Mode::Baseline, PointerEncoding::Intern4)?;
+    println!(
+        "baseline for comparison: trap={:?} (the overflow lands in chunk b)",
+        unprotected.trap
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Compares the paper's three compressed pointer encodings (§4.3) on two
+//! Olden kernels, reporting relative runtime, compression rate and
+//! metadata traffic — a miniature of Figure 5.
+//!
+//! ```sh
+//! cargo run --release --example encoding_comparison
+//! ```
+
+use hardbound::compiler::Mode;
+use hardbound::core::PointerEncoding;
+use hardbound::runtime::compile_and_run;
+use hardbound::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>10} | {:>9} {:>9} {:>11} {:>12}",
+        "bench", "encoding", "rel.time", "compress", "meta µops", "shadow pages"
+    );
+    println!("{}", "-".repeat(70));
+    for name in ["treeadd", "em3d", "health"] {
+        let w = by_name(name, Scale::Smoke).expect("workload exists");
+        let base = compile_and_run(&w.source, Mode::Baseline, PointerEncoding::Intern4)?;
+        assert!(base.trap.is_none());
+        for encoding in PointerEncoding::ALL {
+            let out = compile_and_run(&w.source, Mode::HardBound, encoding)?;
+            assert!(out.trap.is_none(), "{name}: {:?}", out.trap);
+            assert_eq!(out.ints, base.ints, "checksums must agree");
+            println!(
+                "{:<10} {:>10} | {:>9.3} {:>8.1}% {:>11} {:>12}",
+                name,
+                encoding.label(),
+                out.stats.cycles() as f64 / base.stats.cycles() as f64,
+                100.0 * out.stats.store_compression_rate(),
+                out.stats.meta_uops,
+                out.stats.shadow_pages,
+            );
+        }
+    }
+    println!(
+        "\nThe 4-bit encodings compress pointers to ≤56-byte objects; the\n\
+         11-bit encoding reaches 8 KB, eliminating most base/bound traffic\n\
+         (the paper's §5.4 result: 9% → 7% → 5% average overhead)."
+    );
+    Ok(())
+}

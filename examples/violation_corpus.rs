@@ -1,0 +1,57 @@
+//! Runs slices of the §5.2 spatial-violation corpus under each protection
+//! scheme and prints a detection matrix — a compact view of what each
+//! scheme can and cannot catch.
+//!
+//! ```sh
+//! cargo run --release --example violation_corpus
+//! ```
+
+use hardbound::compiler::Mode;
+use hardbound::core::PointerEncoding;
+use hardbound::violations::{run_filtered, Addressing, Magnitude, Region};
+
+type SliceFilter = Box<dyn Fn(&hardbound::violations::TestCase) -> bool>;
+
+fn main() {
+    println!(
+        "{:<36} {:>10} {:>10} {:>10} {:>10}",
+        "corpus slice", "malloc-only", "hardbound", "softbound", "objtable"
+    );
+    println!("{}", "-".repeat(82));
+
+    let slices: Vec<(&str, SliceFilter)> = vec![
+        ("heap, whole-object", Box::new(|c| {
+            c.region == Region::Heap && c.addressing != Addressing::SubObject
+        })),
+        ("stack, whole-object", Box::new(|c| {
+            c.region == Region::Stack && c.addressing != Addressing::SubObject
+        })),
+        ("global, whole-object", Box::new(|c| {
+            c.region == Region::Global && c.addressing != Addressing::SubObject
+        })),
+        ("sub-object (array in struct)", Box::new(|c| {
+            c.addressing == Addressing::SubObject && c.magnitude == Magnitude::One
+        })),
+    ];
+
+    for (label, filter) in slices {
+        let mut cells = Vec::new();
+        for mode in
+            [Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable]
+        {
+            let report = run_filtered(mode, PointerEncoding::Intern4, |c| filter(c));
+            cells.push(format!("{}/{}", report.detected, report.total));
+        }
+        println!(
+            "{:<36} {:>10} {:>10} {:>10} {:>10}",
+            label, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!(
+        "\nReadings (paper §2–3): malloc-only covers only the heap; full\n\
+         HardBound and fat-pointer schemes catch everything including\n\
+         sub-objects; object tables are structurally blind to overflows\n\
+         that stay inside the containing object (§2.2)."
+    );
+}

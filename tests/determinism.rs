@@ -1,0 +1,50 @@
+//! The whole stack must be bit-for-bit deterministic: identical programs,
+//! identical cycle counts, identical page counts, run after run. Every
+//! number in EXPERIMENTS.md depends on this.
+
+use hardbound::compiler::Mode;
+use hardbound::core::PointerEncoding;
+use hardbound::runtime::{build_machine, compile};
+use hardbound::workloads::{by_name, Scale};
+
+#[test]
+fn compilation_is_deterministic() {
+    let w = by_name("health", Scale::Smoke).expect("exists");
+    let p1 = compile(&w.source, Mode::HardBound).expect("compiles");
+    let p2 = compile(&w.source, Mode::HardBound).expect("compiles");
+    assert_eq!(p1, p2, "two compilations of the same source must be identical");
+}
+
+#[test]
+fn execution_statistics_are_deterministic() {
+    let w = by_name("em3d", Scale::Smoke).expect("exists");
+    for mode in [Mode::Baseline, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable] {
+        let program = compile(&w.source, mode).expect("compiles");
+        let a = build_machine(program.clone(), mode, PointerEncoding::Extern4).run();
+        let b = build_machine(program, mode, PointerEncoding::Extern4).run();
+        assert_eq!(a.trap, b.trap, "{mode}");
+        assert_eq!(a.ints, b.ints, "{mode}");
+        assert_eq!(a.stats.cycles(), b.stats.cycles(), "{mode}: cycle counts must repeat");
+        assert_eq!(a.stats.uops, b.stats.uops, "{mode}");
+        assert_eq!(a.stats.data_pages, b.stats.data_pages, "{mode}");
+        assert_eq!(a.stats.tag_pages, b.stats.tag_pages, "{mode}");
+        assert_eq!(a.stats.shadow_pages, b.stats.shadow_pages, "{mode}");
+        assert_eq!(
+            a.stats.hierarchy.total_stall_cycles(),
+            b.stats.hierarchy.total_stall_cycles(),
+            "{mode}: cache behaviour must repeat"
+        );
+    }
+}
+
+#[test]
+fn corpus_generation_is_deterministic() {
+    let a = hardbound::violations::corpus();
+    let b = hardbound::violations::corpus();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.bad_source, y.bad_source);
+        assert_eq!(x.ok_source, y.ok_source);
+    }
+}
