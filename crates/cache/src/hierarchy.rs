@@ -293,7 +293,10 @@ mod tests {
         assert_eq!(s.data_accesses, 1);
         assert_eq!(s.tag_accesses, 1);
         assert_eq!(s.shadow_accesses, 1);
-        assert_eq!(s.total_stall_cycles(), s.data_stall_cycles + s.metadata_stall_cycles());
+        assert_eq!(
+            s.total_stall_cycles(),
+            s.data_stall_cycles + s.metadata_stall_cycles()
+        );
     }
 
     #[test]

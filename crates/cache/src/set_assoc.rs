@@ -54,8 +54,14 @@ impl Cache {
     /// blocks, and `ways <= 255`.
     #[must_use]
     pub fn new(size_bytes: u64, ways: usize, block_bytes: u64) -> Cache {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(ways > 0 && ways <= 255);
         let blocks = size_bytes / block_bytes;
         assert!(blocks >= ways as u64, "fewer blocks than ways");
@@ -72,7 +78,10 @@ impl Cache {
     /// Panics unless `num_sets` and `block_bytes` are powers of two.
     #[must_use]
     pub fn with_sets(num_sets: u64, ways: usize, block_bytes: u64) -> Cache {
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(block_bytes.is_power_of_two());
         let total = (num_sets as usize) * ways;
         Cache {
@@ -102,7 +111,10 @@ impl Cache {
 
         if let Some(way) = lines.iter().position(|&t| t == block) {
             // Hit: move `way` to the front of the recency order.
-            let pos = order.iter().position(|&w| w as usize == way).expect("way in order");
+            let pos = order
+                .iter()
+                .position(|&w| w as usize == way)
+                .expect("way in order");
             order[..=pos].rotate_right(1);
             self.stats.hits += 1;
             true

@@ -33,8 +33,7 @@ use hardbound_lang::{HExpr, HExprKind, HFunc, HStmt, Hir, Intrinsic};
 
 use hardbound_isa::layout;
 use hardbound_isa::{
-    BinOp, CmpOp, DataInit, FuncId, Function, FunctionBuilder, Label, Program, Reg, SysCall,
-    Width,
+    BinOp, CmpOp, DataInit, FuncId, Function, FunctionBuilder, Label, Program, Reg, SysCall, Width,
 };
 
 use crate::{CompileError, Mode};
@@ -56,7 +55,10 @@ pub(crate) fn generate(hir: &Hir, opts: &crate::Options) -> Result<Program, Comp
     let mut data = Vec::new();
     for s in &hir.strings {
         str_addrs.push(next);
-        data.push(DataInit { addr: next, bytes: s.clone() });
+        data.push(DataInit {
+            addr: next,
+            bytes: s.clone(),
+        });
         next = (next + s.len() as u32).next_multiple_of(4);
     }
     let globals_size = next - layout::GLOBALS_BASE;
@@ -69,7 +71,13 @@ pub(crate) fn generate(hir: &Hir, opts: &crate::Options) -> Result<Program, Comp
         }
     }
 
-    let cg = Codegen { hir, mode, str_addrs, am_base, unchecked: &opts.unchecked };
+    let cg = Codegen {
+        hir,
+        mode,
+        str_addrs,
+        am_base,
+        unchecked: &opts.unchecked,
+    };
     let mut functions = Vec::new();
     for f in &hir.funcs {
         functions.push(cg.gen_func(f)?);
@@ -77,7 +85,12 @@ pub(crate) fn generate(hir: &Hir, opts: &crate::Options) -> Result<Program, Comp
     functions.push(cg.gen_start());
     let entry = FuncId(functions.len() as u32 - 1);
 
-    Ok(Program { functions, entry, globals_size, data })
+    Ok(Program {
+        functions,
+        entry,
+        globals_size,
+        data,
+    })
 }
 
 struct Codegen<'a> {
@@ -253,7 +266,10 @@ impl<'a> Codegen<'a> {
             let (size, align) = if self.is_fat(&l.ty) {
                 (12, 4) // value/base/bound triple in adjacent slots
             } else {
-                (self.size_of(&l.ty).max(4), self.hir.types.align_of(&l.ty).max(4))
+                (
+                    self.size_of(&l.ty).max(4),
+                    self.hir.types.align_of(&l.ty).max(4),
+                )
             };
             off = off.next_multiple_of(align);
             local_off.push(off);
@@ -458,8 +474,12 @@ impl<'a> Codegen<'a> {
                     _ => Ok(Some(PVal::S(t))),
                 }
             }
-            HExprKind::Local(_) | HExprKind::Global(_) | HExprKind::Deref(_)
-            | HExprKind::Index(_, _) | HExprKind::Member(_, _) | HExprKind::Arrow(_, _) => {
+            HExprKind::Local(_)
+            | HExprKind::Global(_)
+            | HExprKind::Deref(_)
+            | HExprKind::Index(_, _)
+            | HExprKind::Member(_, _)
+            | HExprKind::Arrow(_, _) => {
                 let addr = self.eval_addr(cx, e)?;
                 let v = self.load_through(cx, addr, &e.ty)?;
                 self.free_addr_keep(cx, addr, v);
@@ -630,7 +650,11 @@ impl<'a> Codegen<'a> {
             }),
             HExprKind::Deref(p) => {
                 let pv = self.eval_expect(cx, p)?;
-                Ok(Addr { base: AddrBase::Val(pv), off: 0, triple_slot: false })
+                Ok(Addr {
+                    base: AddrBase::Val(pv),
+                    off: 0,
+                    triple_slot: false,
+                })
             }
             HExprKind::Index(base, index) => {
                 let pv = self.eval_expect(cx, base)?;
@@ -677,7 +701,11 @@ impl<'a> Codegen<'a> {
                         PVal::F(r, b, d)
                     }
                 };
-                Ok(Addr { base: AddrBase::Val(combined), off: 0, triple_slot: false })
+                Ok(Addr {
+                    base: AddrBase::Val(combined),
+                    off: 0,
+                    triple_slot: false,
+                })
             }
             HExprKind::Member(base, fr) => {
                 let mut addr = self.eval_addr(cx, base)?;
@@ -688,9 +716,15 @@ impl<'a> Codegen<'a> {
             }
             HExprKind::Arrow(base, fr) => {
                 let pv = self.eval_expect(cx, base)?;
-                Ok(Addr { base: AddrBase::Val(pv), off: fr.offset as i32, triple_slot: false })
+                Ok(Addr {
+                    base: AddrBase::Val(pv),
+                    off: fr.offset as i32,
+                    triple_slot: false,
+                })
             }
-            other => Err(CompileError { message: format!("not an lvalue: {other:?}") }),
+            other => Err(CompileError {
+                message: format!("not an lvalue: {other:?}"),
+            }),
         }
     }
 
@@ -1107,7 +1141,9 @@ impl<'a> Codegen<'a> {
                     Ok(Some(v))
                 }
             }
-            other => Err(CompileError { message: format!("unsupported cast target {other}") }),
+            other => Err(CompileError {
+                message: format!("unsupported cast target {other}"),
+            }),
         }
     }
 

@@ -55,8 +55,13 @@ pub enum Mode {
 
 impl Mode {
     /// All modes, in comparison-table order.
-    pub const ALL: [Mode; 5] =
-        [Mode::Baseline, Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable];
+    pub const ALL: [Mode; 5] = [
+        Mode::Baseline,
+        Mode::MallocOnly,
+        Mode::HardBound,
+        Mode::SoftBound,
+        Mode::ObjectTable,
+    ];
 
     /// Short label used in reports.
     #[must_use]
@@ -95,7 +100,10 @@ impl Options {
     /// Options with the given mode and defaults otherwise.
     #[must_use]
     pub fn mode(mode: Mode) -> Options {
-        Options { mode, unchecked: std::collections::BTreeSet::new() }
+        Options {
+            mode,
+            unchecked: std::collections::BTreeSet::new(),
+        }
     }
 
     /// Marks `names` as trusted (software checks elided).
@@ -145,6 +153,10 @@ impl From<String> for CompileError {
 pub fn compile_program(source: &str, opts: &Options) -> Result<Program, CompileError> {
     let hir = hardbound_lang::frontend(source)?;
     let program = codegen::generate(&hir, opts)?;
-    debug_assert_eq!(program.validate(), Ok(()), "codegen must produce valid programs");
+    debug_assert_eq!(
+        program.validate(),
+        Ok(()),
+        "codegen must produce valid programs"
+    );
     Ok(program)
 }

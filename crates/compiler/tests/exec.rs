@@ -70,11 +70,27 @@ fn run(source: &str) -> RunOutcome {
 /// output and exit code.
 fn assert_all_modes_agree(source: &str) -> RunOutcome {
     let reference = run_mode(source, Mode::Baseline);
-    assert_eq!(reference.trap, None, "baseline trapped: {:?}", reference.trap);
-    for mode in [Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable] {
+    assert_eq!(
+        reference.trap, None,
+        "baseline trapped: {:?}",
+        reference.trap
+    );
+    for mode in [
+        Mode::MallocOnly,
+        Mode::HardBound,
+        Mode::SoftBound,
+        Mode::ObjectTable,
+    ] {
         let out = run_mode(source, mode);
-        assert_eq!(out.trap, None, "{mode} trapped: {:?}\nsource:\n{source}", out.trap);
-        assert_eq!(out.exit_code, reference.exit_code, "{mode} exit code differs");
+        assert_eq!(
+            out.trap, None,
+            "{mode} trapped: {:?}\nsource:\n{source}",
+            out.trap
+        );
+        assert_eq!(
+            out.exit_code, reference.exit_code,
+            "{mode} exit code differs"
+        );
         assert_eq!(out.output, reference.output, "{mode} output differs");
     }
     reference
@@ -294,7 +310,11 @@ fn overflow_detected_by_hardbound_and_malloc_only() {
 #[test]
 fn overflow_detected_by_softbound_as_abort() {
     let out = run_mode(HEAP_OVERFLOW, Mode::SoftBound);
-    assert!(matches!(out.trap, Some(Trap::SoftwareAbort { .. })), "{:?}", out.trap);
+    assert!(
+        matches!(out.trap, Some(Trap::SoftwareAbort { .. })),
+        "{:?}",
+        out.trap
+    );
 }
 
 #[test]
@@ -310,7 +330,11 @@ fn overflow_detected_by_object_table() {
          }",
         Mode::ObjectTable,
     );
-    assert!(matches!(out.trap, Some(Trap::ObjectTableViolation { .. })), "{:?}", out.trap);
+    assert!(
+        matches!(out.trap, Some(Trap::ObjectTableViolation { .. })),
+        "{:?}",
+        out.trap
+    );
 }
 
 #[test]
@@ -330,7 +354,11 @@ fn stack_array_overflow_only_in_full_mode() {
     let src = "int f() { int a[4]; int i = 6; a[i] = 1; return 0; }\n\
          int main() { int pad[64]; pad[9] = 3; return f() + pad[9] - 3; }";
     let full = run_mode(src, Mode::HardBound);
-    assert!(matches!(full.trap, Some(Trap::BoundsViolation { .. })), "{:?}", full.trap);
+    assert!(
+        matches!(full.trap, Some(Trap::BoundsViolation { .. })),
+        "{:?}",
+        full.trap
+    );
     let legacy = run_mode(src, Mode::MallocOnly);
     assert_eq!(legacy.trap, None, "malloc-only does not bound stack arrays");
 }
@@ -356,9 +384,16 @@ fn sub_object_overflow_hardbound_yes_objtable_no() {
         hb.trap
     );
     let sb = run_mode(src, Mode::SoftBound);
-    assert!(matches!(sb.trap, Some(Trap::SoftwareAbort { .. })), "{:?}", sb.trap);
+    assert!(
+        matches!(sb.trap, Some(Trap::SoftwareAbort { .. })),
+        "{:?}",
+        sb.trap
+    );
     let ot = run_mode(src, Mode::ObjectTable);
-    assert_eq!(ot.trap, None, "object tables cannot catch sub-object overflows (§2.2)");
+    assert_eq!(
+        ot.trap, None,
+        "object tables cannot catch sub-object overflows (§2.2)"
+    );
     // ... and the overflow really did corrupt the neighbouring field.
     assert_ne!(ot.exit_code, Some(1234));
 }
@@ -372,67 +407,71 @@ fn lower_bound_underflow_detected() {
         return a[0 - i];\n\
       }";
     let out = run_mode(src, Mode::HardBound);
-    assert!(matches!(out.trap, Some(Trap::BoundsViolation { .. })), "{:?}", out.trap);
+    assert!(
+        matches!(out.trap, Some(Trap::BoundsViolation { .. })),
+        "{:?}",
+        out.trap
+    );
     let sb = run_mode(src, Mode::SoftBound);
-    assert!(matches!(sb.trap, Some(Trap::SoftwareAbort { .. })), "{:?}", sb.trap);
+    assert!(
+        matches!(sb.trap, Some(Trap::SoftwareAbort { .. })),
+        "{:?}",
+        sb.trap
+    );
 }
 
 #[test]
 fn dangling_style_forged_pointer_fails_in_full_mode() {
     // Paper §6.1 line 6-7: a pointer manufactured from a constant has no
     // metadata; dereferencing it raises the non-pointer exception.
-    let out = run(
-        "int main() {\n\
+    let out = run("int main() {\n\
            int *w = (int*)4096;\n\
            *w = 42;\n\
            return 0;\n\
-         }",
+         }");
+    assert!(
+        matches!(out.trap, Some(Trap::NonPointerDereference { .. })),
+        "{:?}",
+        out.trap
     );
-    assert!(matches!(out.trap, Some(Trap::NonPointerDereference { .. })), "{:?}", out.trap);
 }
 
 #[test]
 fn cast_roundtrip_keeps_bounds() {
     // Paper §6.1 lines 3-5: ptr → int → ptr keeps metadata (casts are
     // no-ops to the hardware), so the final write succeeds.
-    let out = run(
-        "int main() {\n\
+    let out = run("int main() {\n\
            int x = 17;\n\
            char *z = (char*)&x;\n\
            int a = (int)z;\n\
            int *p = (int*)a;\n\
            *p = 42;\n\
            return x;\n\
-         }",
-    );
+         }");
     assert_eq!(out.trap, None, "{:?}", out.trap);
     assert_eq!(out.exit_code, Some(42));
 }
 
 #[test]
 fn unbound_escape_hatch_disables_checking() {
-    let out = run(
-        "int main() {\n\
+    let out = run("int main() {\n\
            int backing[4];\n\
            int *a = __setbound(backing, sizeof(int));\n\
            int *u = __unbound(a);\n\
            u[2] = 5;\n\
            return u[2];\n\
-         }",
-    );
+         }");
     assert_eq!(out.trap, None, "{:?}", out.trap);
     assert_eq!(out.exit_code, Some(5));
 }
 
 #[test]
 fn readbase_readbound_report_metadata() {
-    let out = run(
-        "int main() {\n\
+    let out = run("int main() {\n\
            int backing[4];\n\
            int *a = __setbound(backing, 16);\n\
            return __readbound(a) - __readbase(a);\n\
-         }",
-    );
+         }");
     assert_eq!(out.exit_code, Some(16));
 }
 
@@ -455,7 +494,10 @@ fn deep_expression_spills_across_calls() {
          }",
     );
     let f = |x: i32| x + 1;
-    assert_eq!(out.exit_code, Some(f(1) + f(2) * f(3) + f(4) * (f(5) + f(6) * f(7)) + f(8)));
+    assert_eq!(
+        out.exit_code,
+        Some(f(1) + f(2) * f(3) + f(4) * (f(5) + f(6) * f(7)) + f(8))
+    );
 }
 
 #[test]
@@ -494,9 +536,17 @@ fn pointer_crossing_function_keeps_bounds() {
            return 0;\n\
          }";
     let hb = run_mode(src, Mode::HardBound);
-    assert!(matches!(hb.trap, Some(Trap::BoundsViolation { addr, .. }) if addr > 0), "{:?}", hb.trap);
+    assert!(
+        matches!(hb.trap, Some(Trap::BoundsViolation { addr, .. }) if addr > 0),
+        "{:?}",
+        hb.trap
+    );
     let sb = run_mode(src, Mode::SoftBound);
-    assert!(matches!(sb.trap, Some(Trap::SoftwareAbort { .. })), "{:?}", sb.trap);
+    assert!(
+        matches!(sb.trap, Some(Trap::SoftwareAbort { .. })),
+        "{:?}",
+        sb.trap
+    );
 }
 
 #[test]
@@ -512,7 +562,10 @@ fn stats_differ_by_mode() {
     let base = run_mode(src, Mode::Baseline);
     let hb = run_mode(src, Mode::HardBound);
     let sb = run_mode(src, Mode::SoftBound);
-    assert!(hb.stats.uops >= base.stats.uops, "HardBound adds setbound µops");
+    assert!(
+        hb.stats.uops >= base.stats.uops,
+        "HardBound adds setbound µops"
+    );
     assert!(
         sb.stats.uops > hb.stats.uops,
         "software checks cost far more µops than hardware ones: sb={} hb={}",

@@ -141,15 +141,19 @@ fn arb_expr() -> impl Strategy<Value = E> {
             inner.clone().prop_map(|a| E::BitNot(Box::new(a))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| E::Cond(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| E::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
         ]
     })
 }
 
 fn run_expr(expr: &E, mode: Mode) -> i32 {
-    let decls: String =
-        (0..NVARS).map(|i| format!("    int v{i} = {};\n", E::Lit(VAR_VALUES[i]).render())).collect();
+    let decls: String = (0..NVARS)
+        .map(|i| format!("    int v{i} = {};\n", E::Lit(VAR_VALUES[i]).render()))
+        .collect();
     let source = format!(
         "int main() {{\n{decls}    print_int({});\n    return 0;\n}}\n",
         expr.render()
@@ -161,7 +165,11 @@ fn run_expr(expr: &E, mode: Mode) -> i32 {
         _ => MachineConfig::baseline(),
     };
     let out = Machine::new(program, cfg).run();
-    assert_eq!(out.trap, None, "trapped on pure arithmetic: {:?}\n{source}", out.trap);
+    assert_eq!(
+        out.trap, None,
+        "trapped on pure arithmetic: {:?}\n{source}",
+        out.trap
+    );
     out.ints[0]
 }
 

@@ -32,13 +32,21 @@ impl HardboundConfig {
     /// Full-safety configuration for `encoding` (the paper's main setup).
     #[must_use]
     pub fn full(encoding: PointerEncoding) -> HardboundConfig {
-        HardboundConfig { encoding, mode: SafetyMode::Full, check_uop: false }
+        HardboundConfig {
+            encoding,
+            mode: SafetyMode::Full,
+            check_uop: false,
+        }
     }
 
     /// Malloc-only legacy configuration for `encoding`.
     #[must_use]
     pub fn malloc_only(encoding: PointerEncoding) -> HardboundConfig {
-        HardboundConfig { encoding, mode: SafetyMode::MallocOnly, check_uop: false }
+        HardboundConfig {
+            encoding,
+            mode: SafetyMode::MallocOnly,
+            check_uop: false,
+        }
     }
 
     /// Enables the §5.4 extra-check-µop ablation.

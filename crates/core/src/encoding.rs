@@ -44,8 +44,11 @@ pub enum PointerEncoding {
 
 impl PointerEncoding {
     /// All three encodings, in the order the paper's figures present them.
-    pub const ALL: [PointerEncoding; 3] =
-        [PointerEncoding::Extern4, PointerEncoding::Intern4, PointerEncoding::Intern11];
+    pub const ALL: [PointerEncoding; 3] = [
+        PointerEncoding::Extern4,
+        PointerEncoding::Intern4,
+        PointerEncoding::Intern11,
+    ];
 
     /// Tag metadata density in bits per 32-bit word (paper §4.2–4.3).
     #[must_use]
@@ -163,7 +166,9 @@ pub fn intern4_compress(value: u32, meta: Meta) -> Option<Intern4Word> {
     let size_code = meta.size() / 4;
     debug_assert!((1..=14).contains(&size_code));
     let recon = if upper_ones { RECON_BIT } else { 0 };
-    Some(Intern4Word(FLAG_BIT | (size_code << SIZE_SHIFT) | recon | (value & LOW_MASK)))
+    Some(Intern4Word(
+        FLAG_BIT | (size_code << SIZE_SHIFT) | recon | (value & LOW_MASK),
+    ))
 }
 
 /// Decompresses an [`Intern4Word`] back to `(value, meta)`; `None` if the
@@ -175,7 +180,11 @@ pub fn intern4_decompress(word: Intern4Word) -> Option<(u32, Meta)> {
     }
     let size = ((word.0 >> SIZE_SHIFT) & 0xF) * 4;
     let low = word.0 & LOW_MASK;
-    let value = if word.0 & RECON_BIT != 0 { 0xFC00_0000 | low } else { low };
+    let value = if word.0 & RECON_BIT != 0 {
+        0xFC00_0000 | low
+    } else {
+        low
+    };
     Some((value, Meta::object(value, size)))
 }
 
@@ -198,7 +207,10 @@ mod tests {
         let e = PointerEncoding::Extern4;
         // Beginning-of-object pointers to 4..=56-byte objects compress.
         for size in (4..=56).step_by(4) {
-            assert!(e.is_compressible(0x1000, Meta::object(0x1000, size)), "size {size}");
+            assert!(
+                e.is_compressible(0x1000, Meta::object(0x1000, size)),
+                "size {size}"
+            );
         }
         // Size not a multiple of 4.
         assert!(!e.is_compressible(0x1000, Meta::object(0x1000, 5)));

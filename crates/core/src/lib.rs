@@ -108,7 +108,13 @@ mod tests {
         f.halt();
         let out = run_program(single(f), MachineConfig::default());
         match out.trap {
-            Some(Trap::BoundsViolation { addr, base, bound, is_store, .. }) => {
+            Some(Trap::BoundsViolation {
+                addr,
+                base,
+                bound,
+                is_store,
+                ..
+            }) => {
                 assert_eq!(addr, HEAP + 5);
                 assert_eq!(base, HEAP);
                 assert_eq!(bound, HEAP + 4);
@@ -147,8 +153,7 @@ mod tests {
         f.load(Width::Word, Reg::A1, Reg::A0, 0);
         f.li(Reg::A0, 0);
         f.halt();
-        let cfg =
-            MachineConfig::hardbound(HardboundConfig::malloc_only(PointerEncoding::Intern4));
+        let cfg = MachineConfig::hardbound(HardboundConfig::malloc_only(PointerEncoding::Intern4));
         let out = run_program(single(f), cfg);
         assert!(out.is_success(), "trap: {:?}", out.trap);
     }
@@ -160,8 +165,7 @@ mod tests {
         f.setbound_imm(Reg::A0, Reg::A0, 8);
         f.load(Width::Word, Reg::A1, Reg::A0, 8); // one past the end
         f.halt();
-        let cfg =
-            MachineConfig::hardbound(HardboundConfig::malloc_only(PointerEncoding::Intern4));
+        let cfg = MachineConfig::hardbound(HardboundConfig::malloc_only(PointerEncoding::Intern4));
         let out = run_program(single(f), cfg);
         assert!(matches!(out.trap, Some(Trap::BoundsViolation { .. })));
     }
@@ -188,7 +192,10 @@ mod tests {
         f.load(Width::Word, Reg::A1, Reg::A0, 0);
         f.halt();
         let out = run_program(single(f), MachineConfig::baseline());
-        assert!(matches!(out.trap, Some(Trap::WildAddress { addr: 0x10, .. })));
+        assert!(matches!(
+            out.trap,
+            Some(Trap::WildAddress { addr: 0x10, .. })
+        ));
     }
 
     #[test]
@@ -230,7 +237,10 @@ mod tests {
         assert!(out.is_success());
         assert_eq!(out.stats.ptr_stores, 1);
         assert_eq!(out.stats.compressed_ptr_stores, 1);
-        assert_eq!(out.stats.meta_uops, 0, "compressed stores need no shadow µop");
+        assert_eq!(
+            out.stats.meta_uops, 0,
+            "compressed stores need no shadow µop"
+        );
         assert_eq!(out.stats.shadow_pages, 0);
     }
 
@@ -251,7 +261,10 @@ mod tests {
         assert_eq!(out.stats.compressed_ptr_stores, 0);
         assert_eq!(out.stats.ptr_loads, 1);
         assert_eq!(out.stats.compressed_ptr_loads, 0);
-        assert_eq!(out.stats.meta_uops, 2, "store + load each pay one shadow µop");
+        assert_eq!(
+            out.stats.meta_uops, 2,
+            "store + load each pay one shadow µop"
+        );
         assert!(out.stats.shadow_pages > 0);
     }
 
@@ -290,7 +303,11 @@ mod tests {
         f.load(Width::Word, Reg::A4, Reg::A3, 0); // A3 has no metadata now
         f.halt();
         let out = run_program(single(f), MachineConfig::default());
-        assert!(matches!(out.trap, Some(Trap::NonPointerDereference { .. })), "{:?}", out.trap);
+        assert!(
+            matches!(out.trap, Some(Trap::NonPointerDereference { .. })),
+            "{:?}",
+            out.trap
+        );
     }
 
     #[test]
@@ -320,7 +337,11 @@ mod tests {
         let program = Program::with_entry(vec![main.finish(), callee.finish()]);
         let out = run_program(program, MachineConfig::default());
         assert_eq!(out.ints, vec![42]);
-        assert!(matches!(out.trap, Some(Trap::BoundsViolation { .. })), "{:?}", out.trap);
+        assert!(
+            matches!(out.trap, Some(Trap::BoundsViolation { .. })),
+            "{:?}",
+            out.trap
+        );
     }
 
     #[test]
@@ -440,7 +461,11 @@ mod tests {
         assert!(out.trap.is_none());
         assert_eq!(m.reg(Reg::A1), HEAP);
         assert_eq!(m.reg(Reg::A2), HEAP + 12);
-        assert_eq!(m.reg_meta(Reg::A1), Meta::NONE, "extracted values are plain integers");
+        assert_eq!(
+            m.reg_meta(Reg::A1),
+            Meta::NONE,
+            "extracted values are plain integers"
+        );
     }
 
     #[test]
@@ -529,7 +554,9 @@ mod tests {
         let mut m = Machine::new(single(f), MachineConfig::baseline());
         m.set_object_table(Box::new(Recording(Vec::new())));
         let out = m.run();
-        assert!(matches!(out.trap, Some(Trap::ObjectTableViolation { addr, .. }) if addr == HEAP + 5000));
+        assert!(
+            matches!(out.trap, Some(Trap::ObjectTableViolation { addr, .. }) if addr == HEAP + 5000)
+        );
         assert_eq!(out.stats.objtable_cycles, 3 + 5 + 5);
     }
 

@@ -111,8 +111,10 @@ impl Machine {
         for init in &program.data {
             mem.write_bytes(init.addr, &init.bytes);
         }
-        let globals_end =
-            layout::GLOBALS_BASE + program.globals_size.next_multiple_of(layout::PAGE_SIZE as u32);
+        let globals_end = layout::GLOBALS_BASE
+            + program
+                .globals_size
+                .next_multiple_of(layout::PAGE_SIZE as u32);
         let entry = program.entry;
         let mut m = Machine {
             hier: Hierarchy::new(cfg.hierarchy),
@@ -140,7 +142,10 @@ impl Machine {
         m.set(Reg::SP, sp, smeta);
         m.set(Reg::FP, sp, smeta);
         let gmeta = if m.cfg.hardbound.is_some() {
-            Meta { base: layout::GLOBALS_BASE, bound: m.globals_end }
+            Meta {
+                base: layout::GLOBALS_BASE,
+                bound: m.globals_end,
+            }
         } else {
             Meta::NONE
         };
@@ -241,7 +246,10 @@ impl Machine {
         within(layout::GLOBALS_BASE, self.globals_end)
             || within(layout::HEAP_BASE, layout::HEAP_END)
             || within(layout::STACK_LIMIT, layout::STACK_TOP)
-            || within(layout::SW_SHADOW_BASE, layout::sw_shadow_addr(layout::STACK_TOP))
+            || within(
+                layout::SW_SHADOW_BASE,
+                layout::sw_shadow_addr(layout::STACK_TOP),
+            )
     }
 
     /// The implicit HardBound dereference check of Figure 3 C/D. Returns
@@ -254,13 +262,17 @@ impl Machine {
         meta: Meta,
         is_store: bool,
     ) -> Result<(), Trap> {
-        let Some(hb) = self.cfg.hardbound else { return Ok(()) };
+        let Some(hb) = self.cfg.hardbound else {
+            return Ok(());
+        };
         if !meta.is_pointer() {
             return match hb.mode {
                 // Full safety: Figure 3's non-pointer exception.
-                SafetyMode::Full => {
-                    Err(Trap::NonPointerDereference { pc: fpc, addr: ea, is_store })
-                }
+                SafetyMode::Full => Err(Trap::NonPointerDereference {
+                    pc: fpc,
+                    addr: ea,
+                    is_store,
+                }),
                 // Malloc-only: unchecked when no metadata is present.
                 SafetyMode::MallocOnly => Ok(()),
             };
@@ -324,7 +336,11 @@ impl Machine {
         let ameta = self.m(addr);
         self.implicit_check(fpc, ea, width.bytes(), ameta, false)?;
         if !self.region_ok(ea, width.bytes()) {
-            return Err(Trap::WildAddress { pc: fpc, addr: ea, is_store: false });
+            return Err(Trap::WildAddress {
+                pc: fpc,
+                addr: ea,
+                is_store: false,
+            });
         }
         self.stats.loads += 1;
         self.charge_data(ea);
@@ -377,7 +393,11 @@ impl Machine {
         let ameta = self.m(addr);
         self.implicit_check(fpc, ea, width.bytes(), ameta, true)?;
         if !self.region_ok(ea, width.bytes()) {
-            return Err(Trap::WildAddress { pc: fpc, addr: ea, is_store: true });
+            return Err(Trap::WildAddress {
+                pc: fpc,
+                addr: ea,
+                is_store: true,
+            });
         }
         self.stats.stores += 1;
         self.charge_data(ea);
@@ -459,13 +479,22 @@ impl Machine {
     /// Whether `meta` is one of the machine-provided region bounds (whole
     /// stack / whole globals) rather than a software-created pointer.
     fn is_region_meta(&self, meta: Meta) -> bool {
-        meta == Meta { base: layout::STACK_LIMIT, bound: layout::STACK_TOP }
-            || meta == Meta { base: layout::GLOBALS_BASE, bound: self.globals_end }
+        meta == Meta {
+            base: layout::STACK_LIMIT,
+            bound: layout::STACK_TOP,
+        } || meta
+            == Meta {
+                base: layout::GLOBALS_BASE,
+                bound: self.globals_end,
+            }
     }
 
     fn stack_reg_meta(&self) -> Meta {
         if self.cfg.hardbound.is_some() {
-            Meta { base: layout::STACK_LIMIT, bound: layout::STACK_TOP }
+            Meta {
+                base: layout::STACK_LIMIT,
+                bound: layout::STACK_TOP,
+            }
         } else {
             Meta::NONE
         }
@@ -501,7 +530,9 @@ impl Machine {
                 self.halted = Some(self.r(Reg::A0) as i32);
             }
             SysCall::Abort => {
-                return Err(Trap::SoftwareAbort { code: self.r(Reg::A0) as i32 });
+                return Err(Trap::SoftwareAbort {
+                    code: self.r(Reg::A0) as i32,
+                });
             }
             SysCall::OtRegister => {
                 let (base, size) = (self.r(Reg::A0), self.r(Reg::A1));
@@ -546,9 +577,15 @@ impl Machine {
     /// Returns the [`Trap`] raised by the instruction, if any.
     pub fn step(&mut self) -> Result<(), Trap> {
         let f = &self.program.functions[self.func.0 as usize];
-        debug_assert!((self.pc as usize) < f.insts.len(), "validated programs never run off");
+        debug_assert!(
+            (self.pc as usize) < f.insts.len(),
+            "validated programs never run off"
+        );
         let inst = f.insts[self.pc as usize];
-        let fpc = Pc { func: self.func, index: self.pc };
+        let fpc = Pc {
+            func: self.func,
+            index: self.pc,
+        };
         // Pre-advance; branches, calls and returns overwrite.
         self.pc += 1;
         self.stats.uops += 1;
@@ -591,10 +628,20 @@ impl Machine {
                 let (b, _) = self.resolve(rs2);
                 self.set(rd, u32::from(op.eval(a, b)), Meta::NONE);
             }
-            Inst::Load { width, rd, addr, offset } => {
+            Inst::Load {
+                width,
+                rd,
+                addr,
+                offset,
+            } => {
                 self.exec_load(fpc, width, rd, addr, offset)?;
             }
-            Inst::Store { width, src, addr, offset } => {
+            Inst::Store {
+                width,
+                src,
+                addr,
+                offset,
+            } => {
                 self.exec_store(fpc, width, src, addr, offset)?;
             }
             Inst::SetBound { rd, rs, size } => {
@@ -610,7 +657,11 @@ impl Machine {
                 self.set(rd, self.r(rs), Meta::UNCHECKED);
             }
             Inst::CodePtr { rd, func } => {
-                let meta = if self.cfg.hardbound.is_some() { Meta::CODE } else { Meta::NONE };
+                let meta = if self.cfg.hardbound.is_some() {
+                    Meta::CODE
+                } else {
+                    Meta::NONE
+                };
                 self.set(rd, func.code_addr(), meta);
             }
             Inst::ReadBase { rd, rs } => {
@@ -621,7 +672,12 @@ impl Machine {
                 let bound = self.m(rs).bound;
                 self.set(rd, bound, Meta::NONE);
             }
-            Inst::Branch { op, rs1, rs2, target } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let a = self.r(rs1);
                 let (b, _) = self.resolve(rs2);
                 if op.eval(a, b) {

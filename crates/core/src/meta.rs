@@ -31,16 +31,25 @@ impl Meta {
     /// Non-pointer marker.
     pub const NONE: Meta = Meta { base: 0, bound: 0 };
     /// The escape-hatch pointer that passes every check (§3.2).
-    pub const UNCHECKED: Meta = Meta { base: 0, bound: u32::MAX };
+    pub const UNCHECKED: Meta = Meta {
+        base: 0,
+        bound: u32::MAX,
+    };
     /// Code-pointer marker (§6.1): fails every dereference check but is
     /// accepted by indirect calls.
-    pub const CODE: Meta = Meta { base: u32::MAX, bound: u32::MAX };
+    pub const CODE: Meta = Meta {
+        base: u32::MAX,
+        bound: u32::MAX,
+    };
 
     /// Builds metadata for an object of `size` bytes starting at `base`
     /// (the effect of `setbound`).
     #[must_use]
     pub fn object(base: u32, size: u32) -> Meta {
-        Meta { base, bound: base.wrapping_add(size) }
+        Meta {
+            base,
+            bound: base.wrapping_add(size),
+        }
     }
 
     /// Whether this metadata marks a pointer (anything but `NONE`).
@@ -102,7 +111,13 @@ mod tests {
     #[test]
     fn object_constructor() {
         let m = Meta::object(0x1000, 4);
-        assert_eq!(m, Meta { base: 0x1000, bound: 0x1004 });
+        assert_eq!(
+            m,
+            Meta {
+                base: 0x1000,
+                bound: 0x1004
+            }
+        );
         assert_eq!(m.size(), 4);
         assert!(m.is_pointer());
         assert!(!m.is_code());
@@ -125,7 +140,10 @@ mod tests {
     fn span_check_catches_straddling_word() {
         let m = Meta::object(0x1000, 4);
         assert!(m.check(0x1000, 4));
-        assert!(!m.check(0x1002, 4), "word access straddling the bound must fail");
+        assert!(
+            !m.check(0x1002, 4),
+            "word access straddling the bound must fail"
+        );
         assert!(!m.check(0x0FFF, 4), "access starting below base must fail");
     }
 
@@ -140,7 +158,10 @@ mod tests {
     #[test]
     fn code_pointer_fails_every_dereference() {
         for (ea, w) in [(0u32, 1u32), (0x1000, 4), (u32::MAX, 1)] {
-            assert!(!Meta::CODE.check(ea, w), "code pointers are not dereferenceable");
+            assert!(
+                !Meta::CODE.check(ea, w),
+                "code pointers are not dereferenceable"
+            );
         }
         assert!(Meta::CODE.is_pointer());
         assert!(Meta::CODE.is_code());
@@ -165,7 +186,10 @@ mod tests {
         // pointer + pointer → the first operand wins (paper's if-else).
         assert_eq!(propagate_binop(BinOp::Add, p, Some(q)), p);
         // nonpointer + nonpointer → nonpointer.
-        assert_eq!(propagate_binop(BinOp::Add, Meta::NONE, Some(Meta::NONE)), Meta::NONE);
+        assert_eq!(
+            propagate_binop(BinOp::Add, Meta::NONE, Some(Meta::NONE)),
+            Meta::NONE
+        );
     }
 
     #[test]
@@ -198,6 +222,9 @@ mod tests {
     fn escape_hatch_meta_propagates_through_add() {
         // UNCHECKED has bound != 0, so Figure 3's test treats it as a
         // pointer and propagates it.
-        assert_eq!(propagate_binop(BinOp::Add, Meta::UNCHECKED, Some(Meta::NONE)), Meta::UNCHECKED);
+        assert_eq!(
+            propagate_binop(BinOp::Add, Meta::UNCHECKED, Some(Meta::NONE)),
+            Meta::UNCHECKED
+        );
     }
 }

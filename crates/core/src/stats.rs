@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn cycles_compose_uops_and_stalls() {
-        let mut s = ExecStats { uops: 100, objtable_cycles: 7, ..ExecStats::default() };
+        let mut s = ExecStats {
+            uops: 100,
+            objtable_cycles: 7,
+            ..ExecStats::default()
+        };
         s.hierarchy.data_stall_cycles = 24;
         s.hierarchy.tag_stall_cycles = 12;
         s.hierarchy.shadow_stall_cycles = 212;
@@ -103,13 +107,21 @@ mod tests {
     fn compression_rate_handles_zero() {
         let s = ExecStats::default();
         assert_eq!(s.store_compression_rate(), 1.0);
-        let s = ExecStats { ptr_stores: 4, compressed_ptr_stores: 3, ..ExecStats::default() };
+        let s = ExecStats {
+            ptr_stores: 4,
+            compressed_ptr_stores: 3,
+            ..ExecStats::default()
+        };
         assert_eq!(s.store_compression_rate(), 0.75);
     }
 
     #[test]
     fn metadata_pages_sum() {
-        let s = ExecStats { tag_pages: 3, shadow_pages: 5, ..ExecStats::default() };
+        let s = ExecStats {
+            tag_pages: 3,
+            shadow_pages: 5,
+            ..ExecStats::default()
+        };
         assert_eq!(s.metadata_pages(), 8);
     }
 }

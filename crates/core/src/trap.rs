@@ -107,7 +107,13 @@ impl Trap {
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Trap::BoundsViolation { pc, addr, base, bound, is_store } => write!(
+            Trap::BoundsViolation {
+                pc,
+                addr,
+                base,
+                bound,
+                is_store,
+            } => write!(
                 f,
                 "bounds violation at {pc}: {} of {addr:#x} outside [{base:#x}, {bound:#x})",
                 if *is_store { "store" } else { "load" },
@@ -144,19 +150,37 @@ mod tests {
     use super::*;
 
     fn pc() -> Pc {
-        Pc { func: FuncId(1), index: 7 }
+        Pc {
+            func: FuncId(1),
+            index: 7,
+        }
     }
 
     #[test]
     fn spatial_violation_classification() {
-        assert!(Trap::BoundsViolation { pc: pc(), addr: 0, base: 0, bound: 0, is_store: false }
-            .is_spatial_violation());
-        assert!(Trap::NonPointerDereference { pc: pc(), addr: 0, is_store: true }
-            .is_spatial_violation());
+        assert!(Trap::BoundsViolation {
+            pc: pc(),
+            addr: 0,
+            base: 0,
+            bound: 0,
+            is_store: false
+        }
+        .is_spatial_violation());
+        assert!(Trap::NonPointerDereference {
+            pc: pc(),
+            addr: 0,
+            is_store: true
+        }
+        .is_spatial_violation());
         assert!(Trap::InvalidCallTarget { pc: pc(), value: 0 }.is_spatial_violation());
         assert!(!Trap::OutOfFuel.is_spatial_violation());
         assert!(!Trap::SoftwareAbort { code: 1 }.is_spatial_violation());
-        assert!(!Trap::WildAddress { pc: pc(), addr: 0, is_store: false }.is_spatial_violation());
+        assert!(!Trap::WildAddress {
+            pc: pc(),
+            addr: 0,
+            is_store: false
+        }
+        .is_spatial_violation());
     }
 
     #[test]

@@ -11,8 +11,7 @@ fn arb_meta() -> impl Strategy<Value = Meta> {
         Just(Meta::NONE),
         Just(Meta::UNCHECKED),
         Just(Meta::CODE),
-        (0u32..0x0700_0000, 1u32..0x10000)
-            .prop_map(|(base, size)| Meta::object(base & !3, size)),
+        (0u32..0x0700_0000, 1u32..0x10000).prop_map(|(base, size)| Meta::object(base & !3, size)),
     ]
 }
 

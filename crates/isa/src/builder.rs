@@ -112,7 +112,12 @@ impl FunctionBuilder {
 
     /// `rd ← rs1 op rs2`.
     pub fn bin(&mut self, op: BinOp, rd: Reg, rs1: Reg, rs2: impl Into<Operand>) {
-        self.emit(Inst::Bin { op, rd, rs1, rs2: rs2.into() });
+        self.emit(Inst::Bin {
+            op,
+            rd,
+            rs1,
+            rs2: rs2.into(),
+        });
     }
 
     /// `rd ← rs1 + imm` (bounds-propagating).
@@ -132,27 +137,50 @@ impl FunctionBuilder {
 
     /// `rd ← (rs1 cmp rs2) ? 1 : 0`.
     pub fn cmp(&mut self, op: CmpOp, rd: Reg, rs1: Reg, rs2: impl Into<Operand>) {
-        self.emit(Inst::Cmp { op, rd, rs1, rs2: rs2.into() });
+        self.emit(Inst::Cmp {
+            op,
+            rd,
+            rs1,
+            rs2: rs2.into(),
+        });
     }
 
     /// `rd ← Mem[addr+offset]`.
     pub fn load(&mut self, width: Width, rd: Reg, addr: Reg, offset: i32) {
-        self.emit(Inst::Load { width, rd, addr, offset });
+        self.emit(Inst::Load {
+            width,
+            rd,
+            addr,
+            offset,
+        });
     }
 
     /// `Mem[addr+offset] ← src`.
     pub fn store(&mut self, width: Width, src: Reg, addr: Reg, offset: i32) {
-        self.emit(Inst::Store { width, src, addr, offset });
+        self.emit(Inst::Store {
+            width,
+            src,
+            addr,
+            offset,
+        });
     }
 
     /// `setbound rd ← rs, size-register`.
     pub fn setbound(&mut self, rd: Reg, rs: Reg, size: Reg) {
-        self.emit(Inst::SetBound { rd, rs, size: size.into() });
+        self.emit(Inst::SetBound {
+            rd,
+            rs,
+            size: size.into(),
+        });
     }
 
     /// `setbound rd ← rs, size-immediate`.
     pub fn setbound_imm(&mut self, rd: Reg, rs: Reg, size: i32) {
-        self.emit(Inst::SetBound { rd, rs, size: size.into() });
+        self.emit(Inst::SetBound {
+            rd,
+            rs,
+            size: size.into(),
+        });
     }
 
     /// The §3.2 escape hatch: `rd` gets `rs`'s value with `{0, MAXINT}`.
@@ -177,7 +205,12 @@ impl FunctionBuilder {
 
     /// Conditional branch to `label`.
     pub fn branch(&mut self, op: CmpOp, rs1: Reg, rs2: impl Into<Operand>, label: Label) {
-        let idx = self.emit(Inst::Branch { op, rs1, rs2: rs2.into(), target: u32::MAX });
+        let idx = self.emit(Inst::Branch {
+            op,
+            rs1,
+            rs2: rs2.into(),
+            target: u32::MAX,
+        });
         self.patches.push((idx, label));
     }
 
@@ -221,7 +254,12 @@ impl FunctionBuilder {
     pub fn finish(mut self) -> Function {
         for (idx, label) in std::mem::take(&mut self.patches) {
             let pos = self.labels[label.0];
-            assert_ne!(pos, u32::MAX, "label {label:?} used but never bound in {}", self.name);
+            assert_ne!(
+                pos,
+                u32::MAX,
+                "label {label:?} used but never bound in {}",
+                self.name
+            );
             match &mut self.insts[idx] {
                 Inst::Branch { target, .. } | Inst::Jump { target } => *target = pos,
                 other => unreachable!("patched non-branch {other:?}"),
@@ -252,12 +290,15 @@ mod tests {
         b.bind(end);
         b.ret(); // 4
         let f = b.finish();
-        assert_eq!(f.insts[2], Inst::Branch {
-            op: CmpOp::Ge,
-            rs1: Reg::A0,
-            rs2: Operand::Imm(10),
-            target: 4
-        });
+        assert_eq!(
+            f.insts[2],
+            Inst::Branch {
+                op: CmpOp::Ge,
+                rs1: Reg::A0,
+                rs2: Operand::Imm(10),
+                target: 4
+            }
+        );
         assert_eq!(f.insts[3], Inst::Jump { target: 1 });
     }
 
@@ -311,7 +352,12 @@ mod tests {
         assert_eq!(f.insts.len(), 12);
         assert!(matches!(f.insts[2], Inst::SetBound { .. }));
         assert!(matches!(f.insts[3], Inst::Unbound { .. }));
-        assert!(matches!(f.insts.last(), Some(Inst::Sys { call: SysCall::Halt })));
+        assert!(matches!(
+            f.insts.last(),
+            Some(Inst::Sys {
+                call: SysCall::Halt
+            })
+        ));
     }
 
     #[test]

@@ -72,11 +72,21 @@ impl fmt::Display for Inst {
             Inst::Mov { rd, rs } => write!(f, "mov   {rd}, {rs}"),
             Inst::Bin { op, rd, rs1, rs2 } => write!(f, "{op:<5} {rd}, {rs1}, {rs2}"),
             Inst::Cmp { op, rd, rs1, rs2 } => write!(f, "c{op:<4} {rd}, {rs1}, {rs2}"),
-            Inst::Load { width, rd, addr, offset } => {
+            Inst::Load {
+                width,
+                rd,
+                addr,
+                offset,
+            } => {
                 let w = if width.bytes() == 1 { "lb" } else { "lw" };
                 write!(f, "{w}    {rd}, [{addr}{offset:+}]")
             }
-            Inst::Store { width, src, addr, offset } => {
+            Inst::Store {
+                width,
+                src,
+                addr,
+                offset,
+            } => {
                 let w = if width.bytes() == 1 { "sb" } else { "sw" };
                 write!(f, "{w}    [{addr}{offset:+}], {src}")
             }
@@ -85,7 +95,12 @@ impl fmt::Display for Inst {
             Inst::CodePtr { rd, func } => write!(f, "codeptr {rd}, {func}"),
             Inst::ReadBase { rd, rs } => write!(f, "readbase {rd}, {rs}"),
             Inst::ReadBound { rd, rs } => write!(f, "readbound {rd}, {rs}"),
-            Inst::Branch { op, rs1, rs2, target } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "b{op:<4} {rs1}, {rs2} -> {target}")
             }
             Inst::Jump { target } => write!(f, "jmp   -> {target}"),
@@ -108,26 +123,62 @@ mod tests {
     #[test]
     fn instruction_rendering() {
         let cases: Vec<(Inst, &str)> = vec![
-            (Inst::Li { rd: Reg::A0, imm: 0x1000 }, "li    a0, 0x1000"),
-            (Inst::Mov { rd: Reg::A1, rs: Reg::A0 }, "mov   a1, a0"),
             (
-                Inst::Bin { op: BinOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Operand::Imm(1) },
+                Inst::Li {
+                    rd: Reg::A0,
+                    imm: 0x1000,
+                },
+                "li    a0, 0x1000",
+            ),
+            (
+                Inst::Mov {
+                    rd: Reg::A1,
+                    rs: Reg::A0,
+                },
+                "mov   a1, a0",
+            ),
+            (
+                Inst::Bin {
+                    op: BinOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    rs2: Operand::Imm(1),
+                },
                 "add   a0, a0, 1",
             ),
             (
-                Inst::Load { width: Width::Word, rd: Reg::A2, addr: Reg::A0, offset: 8 },
+                Inst::Load {
+                    width: Width::Word,
+                    rd: Reg::A2,
+                    addr: Reg::A0,
+                    offset: 8,
+                },
                 "lw    a2, [a0+8]",
             ),
             (
-                Inst::Store { width: Width::Byte, src: Reg::A2, addr: Reg::A0, offset: -4 },
+                Inst::Store {
+                    width: Width::Byte,
+                    src: Reg::A2,
+                    addr: Reg::A0,
+                    offset: -4,
+                },
                 "sb    [a0-4], a2",
             ),
             (
-                Inst::SetBound { rd: Reg::A0, rs: Reg::A0, size: Operand::Imm(4) },
+                Inst::SetBound {
+                    rd: Reg::A0,
+                    rs: Reg::A0,
+                    size: Operand::Imm(4),
+                },
                 "setbound a0, a0, 4",
             ),
             (Inst::Call { func: FuncId(2) }, "call  fn#2"),
-            (Inst::Sys { call: SysCall::Halt }, "sys   halt"),
+            (
+                Inst::Sys {
+                    call: SysCall::Halt,
+                },
+                "sys   halt",
+            ),
         ];
         for (inst, expected) in cases {
             assert_eq!(inst.to_string(), expected);
@@ -137,23 +188,72 @@ mod tests {
     #[test]
     fn every_variant_renders_nonempty() {
         let all = vec![
-            Inst::Li { rd: Reg::A0, imm: 0 },
-            Inst::Mov { rd: Reg::A0, rs: Reg::A1 },
-            Inst::Bin { op: BinOp::Xor, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2.into() },
-            Inst::Cmp { op: CmpOp::LtU, rd: Reg::A0, rs1: Reg::A1, rs2: Operand::Imm(3) },
-            Inst::Load { width: Width::Byte, rd: Reg::A0, addr: Reg::A1, offset: 0 },
-            Inst::Store { width: Width::Word, src: Reg::A0, addr: Reg::A1, offset: 0 },
-            Inst::SetBound { rd: Reg::A0, rs: Reg::A1, size: Reg::A2.into() },
-            Inst::Unbound { rd: Reg::A0, rs: Reg::A1 },
-            Inst::CodePtr { rd: Reg::A0, func: FuncId(1) },
-            Inst::ReadBase { rd: Reg::A0, rs: Reg::A1 },
-            Inst::ReadBound { rd: Reg::A0, rs: Reg::A1 },
-            Inst::Branch { op: CmpOp::Eq, rs1: Reg::A0, rs2: Operand::Imm(0), target: 0 },
+            Inst::Li {
+                rd: Reg::A0,
+                imm: 0,
+            },
+            Inst::Mov {
+                rd: Reg::A0,
+                rs: Reg::A1,
+            },
+            Inst::Bin {
+                op: BinOp::Xor,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2.into(),
+            },
+            Inst::Cmp {
+                op: CmpOp::LtU,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Operand::Imm(3),
+            },
+            Inst::Load {
+                width: Width::Byte,
+                rd: Reg::A0,
+                addr: Reg::A1,
+                offset: 0,
+            },
+            Inst::Store {
+                width: Width::Word,
+                src: Reg::A0,
+                addr: Reg::A1,
+                offset: 0,
+            },
+            Inst::SetBound {
+                rd: Reg::A0,
+                rs: Reg::A1,
+                size: Reg::A2.into(),
+            },
+            Inst::Unbound {
+                rd: Reg::A0,
+                rs: Reg::A1,
+            },
+            Inst::CodePtr {
+                rd: Reg::A0,
+                func: FuncId(1),
+            },
+            Inst::ReadBase {
+                rd: Reg::A0,
+                rs: Reg::A1,
+            },
+            Inst::ReadBound {
+                rd: Reg::A0,
+                rs: Reg::A1,
+            },
+            Inst::Branch {
+                op: CmpOp::Eq,
+                rs1: Reg::A0,
+                rs2: Operand::Imm(0),
+                target: 0,
+            },
             Inst::Jump { target: 1 },
             Inst::Call { func: FuncId(0) },
             Inst::CallInd { rs: Reg::A0 },
             Inst::Ret,
-            Inst::Sys { call: SysCall::OtCheck },
+            Inst::Sys {
+                call: SysCall::OtCheck,
+            },
             Inst::Nop,
         ];
         for inst in all {

@@ -414,18 +414,36 @@ mod tests {
 
     #[test]
     fn dest_extraction() {
-        assert_eq!(Inst::Li { rd: Reg::A0, imm: 3 }.dest(), Some(Reg::A0));
+        assert_eq!(
+            Inst::Li {
+                rd: Reg::A0,
+                imm: 3
+            }
+            .dest(),
+            Some(Reg::A0)
+        );
         assert_eq!(Inst::Ret.dest(), None);
         assert_eq!(
-            Inst::Store { width: Width::Word, src: Reg::A0, addr: Reg::A1, offset: 0 }.dest(),
+            Inst::Store {
+                width: Width::Word,
+                src: Reg::A0,
+                addr: Reg::A1,
+                offset: 0
+            }
+            .dest(),
             None
         );
     }
 
     #[test]
     fn memory_op_classification() {
-        assert!(Inst::Load { width: Width::Word, rd: Reg::A0, addr: Reg::A1, offset: 0 }
-            .is_memory_op());
+        assert!(Inst::Load {
+            width: Width::Word,
+            rd: Reg::A0,
+            addr: Reg::A1,
+            offset: 0
+        }
+        .is_memory_op());
         assert!(!Inst::Nop.is_memory_op());
     }
 }

@@ -86,7 +86,8 @@ pub fn code_addr(func_index: u32) -> u32 {
 /// Inverse of [`code_addr`]; `None` if `addr` is not a function handle.
 #[must_use]
 pub fn func_index_of_code_addr(addr: u32) -> Option<u32> {
-    if !(CODE_BASE..GLOBALS_BASE).contains(&addr) || !(addr - CODE_BASE).is_multiple_of(CODE_STRIDE) {
+    if !(CODE_BASE..GLOBALS_BASE).contains(&addr) || !(addr - CODE_BASE).is_multiple_of(CODE_STRIDE)
+    {
         return None;
     }
     Some((addr - CODE_BASE) / CODE_STRIDE)

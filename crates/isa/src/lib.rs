@@ -33,13 +33,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asm;
 mod builder;
 mod disasm;
+pub mod fuzz;
 mod inst;
 pub mod layout;
 mod program;
 mod reg;
 
+pub use asm::{parse_inst, parse_listing, AsmError};
 pub use builder::{FunctionBuilder, Label};
 pub use inst::{BinOp, CmpOp, Inst, Operand, SysCall, Width};
 pub use program::{DataInit, FuncId, Function, Program, ValidateError};

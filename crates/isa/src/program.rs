@@ -118,7 +118,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "{func} inst {inst}: call to nonexistent {callee}")
             }
             ValidateError::TooManyArgs { func, num_args } => {
-                write!(f, "{func}: {num_args} register arguments exceeds ABI limit of 8")
+                write!(
+                    f,
+                    "{func}: {num_args} register arguments exceeds ABI limit of 8"
+                )
             }
             ValidateError::MisalignedFrame { func, frame_size } => {
                 write!(f, "{func}: frame size {frame_size} is not 8-byte aligned")
@@ -136,7 +139,12 @@ impl Program {
     /// Builds a program whose entry point is the *first* function.
     #[must_use]
     pub fn with_entry(functions: Vec<Function>) -> Program {
-        Program { functions, entry: FuncId(0), globals_size: 0, data: Vec::new() }
+        Program {
+            functions,
+            entry: FuncId(0),
+            globals_size: 0,
+            data: Vec::new(),
+        }
     }
 
     /// The function named `name`, if any.
@@ -179,7 +187,10 @@ impl Program {
         for (fi, func) in self.functions.iter().enumerate() {
             let id = FuncId(fi as u32);
             if func.num_args as usize > Reg::NUM_ARG_REGS {
-                return Err(ValidateError::TooManyArgs { func: id, num_args: func.num_args });
+                return Err(ValidateError::TooManyArgs {
+                    func: id,
+                    num_args: func.num_args,
+                });
             }
             if func.frame_size % 8 != 0 {
                 return Err(ValidateError::MisalignedFrame {
@@ -190,18 +201,22 @@ impl Program {
             let n = func.insts.len() as u32;
             for (ii, inst) in func.insts.iter().enumerate() {
                 match *inst {
-                    Inst::Branch { target, .. } | Inst::Jump { target }
-                        if target >= n => {
-                            return Err(ValidateError::BadBranchTarget {
-                                func: id,
-                                inst: ii,
-                                target,
-                            });
-                        }
+                    Inst::Branch { target, .. } | Inst::Jump { target } if target >= n => {
+                        return Err(ValidateError::BadBranchTarget {
+                            func: id,
+                            inst: ii,
+                            target,
+                        });
+                    }
                     Inst::Call { func: callee } | Inst::CodePtr { func: callee, .. }
-                        if callee.0 as usize >= self.functions.len() => {
-                            return Err(ValidateError::BadCallee { func: id, inst: ii, callee });
-                        }
+                        if callee.0 as usize >= self.functions.len() =>
+                    {
+                        return Err(ValidateError::BadCallee {
+                            func: id,
+                            inst: ii,
+                            callee,
+                        });
+                    }
                     _ => {}
                 }
             }
@@ -210,7 +225,9 @@ impl Program {
                 Some(
                     Inst::Ret
                         | Inst::Jump { .. }
-                        | Inst::Sys { call: crate::inst::SysCall::Halt | crate::inst::SysCall::Abort }
+                        | Inst::Sys {
+                            call: crate::inst::SysCall::Halt | crate::inst::SysCall::Abort
+                        }
                 )
             );
             if !terminated {
@@ -250,7 +267,9 @@ mod tests {
     fn halt_fn(name: &str) -> Function {
         Function {
             name: name.to_owned(),
-            insts: vec![Inst::Sys { call: SysCall::Halt }],
+            insts: vec![Inst::Sys {
+                call: SysCall::Halt,
+            }],
             frame_size: 0,
             num_args: 0,
         }
@@ -275,7 +294,10 @@ mod tests {
         let mut f = halt_fn("main");
         f.insts.insert(0, Inst::Jump { target: 9 });
         let p = Program::with_entry(vec![f]);
-        assert!(matches!(p.validate(), Err(ValidateError::BadBranchTarget { target: 9, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::BadBranchTarget { target: 9, .. })
+        ));
     }
 
     #[test]
@@ -283,19 +305,31 @@ mod tests {
         let mut f = halt_fn("main");
         f.insts.insert(0, Inst::Call { func: FuncId(5) });
         let p = Program::with_entry(vec![f]);
-        assert!(matches!(p.validate(), Err(ValidateError::BadCallee { callee: FuncId(5), .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::BadCallee {
+                callee: FuncId(5),
+                ..
+            })
+        ));
     }
 
     #[test]
     fn validate_rejects_falling_off_end() {
         let f = Function {
             name: "f".into(),
-            insts: vec![Inst::Li { rd: Reg::A0, imm: 1 }],
+            insts: vec![Inst::Li {
+                rd: Reg::A0,
+                imm: 1,
+            }],
             frame_size: 0,
             num_args: 0,
         };
         let p = Program::with_entry(vec![f]);
-        assert!(matches!(p.validate(), Err(ValidateError::FallsOffEnd { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::FallsOffEnd { .. })
+        ));
     }
 
     #[test]
@@ -303,7 +337,10 @@ mod tests {
         let mut f = halt_fn("main");
         f.frame_size = 12;
         let p = Program::with_entry(vec![f]);
-        assert!(matches!(p.validate(), Err(ValidateError::MisalignedFrame { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::MisalignedFrame { .. })
+        ));
     }
 
     #[test]
@@ -311,7 +348,10 @@ mod tests {
         let mut f = halt_fn("main");
         f.num_args = 9;
         let p = Program::with_entry(vec![f]);
-        assert!(matches!(p.validate(), Err(ValidateError::TooManyArgs { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::TooManyArgs { .. })
+        ));
     }
 
     #[test]
@@ -328,11 +368,21 @@ mod tests {
         let mut f = halt_fn("main");
         f.insts.insert(
             0,
-            Inst::Bin { op: BinOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Operand::Imm(4) },
+            Inst::Bin {
+                op: BinOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Operand::Imm(4),
+            },
         );
         f.insts.insert(
             1,
-            Inst::Branch { op: CmpOp::Eq, rs1: Reg::A0, rs2: Operand::Reg(Reg::ZERO), target: 2 },
+            Inst::Branch {
+                op: CmpOp::Eq,
+                rs1: Reg::A0,
+                rs2: Operand::Reg(Reg::ZERO),
+                target: 2,
+            },
         );
         let p = Program::with_entry(vec![f, halt_fn("aux")]);
         let text = p.disassemble();

@@ -67,7 +67,10 @@ impl Reg {
     /// Panics if `index >= 32`.
     #[must_use]
     pub fn new(index: u8) -> Reg {
-        assert!((index as usize) < Reg::COUNT, "register index {index} out of range");
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range"
+        );
         Reg(index)
     }
 

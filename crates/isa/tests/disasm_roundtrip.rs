@@ -1,0 +1,240 @@
+//! Golden and generative round-trip tests for the disassembler/assembler
+//! pair: `parse_inst(inst.to_string())` must reproduce the instruction
+//! exactly, and a golden listing pins the concrete text so the rendering
+//! cannot drift silently.
+
+use hardbound_isa::fuzz::{insts, FuzzRng};
+use hardbound_isa::{parse_inst, parse_listing, BinOp, CmpOp, FuncId, Inst, Operand, Reg, Width};
+
+/// The golden listing: one line per instruction variant, exactly as the
+/// disassembler renders it today. Changing `Display` output must break this
+/// test, forcing the assembler (and any downstream golden files) to move in
+/// lockstep.
+const GOLDEN: &[(&str, Inst)] = &[
+    (
+        "li    a0, 0xdeadbeef",
+        Inst::Li {
+            rd: Reg::A0,
+            imm: 0xdead_beef,
+        },
+    ),
+    (
+        "mov   t2, sp",
+        Inst::Mov {
+            rd: Reg::T2,
+            rs: Reg::SP,
+        },
+    ),
+    (
+        "add   a0, a1, a2",
+        Inst::Bin {
+            op: BinOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Operand::Reg(Reg::A2),
+        },
+    ),
+    (
+        "sra   t0, t1, -3",
+        Inst::Bin {
+            op: BinOp::Sra,
+            rd: Reg::T0,
+            rs1: Reg::T1,
+            rs2: Operand::Imm(-3),
+        },
+    ),
+    (
+        "cltu  a0, a1, 3",
+        Inst::Cmp {
+            op: CmpOp::LtU,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Operand::Imm(3),
+        },
+    ),
+    (
+        "lw    a2, [a0+8]",
+        Inst::Load {
+            width: Width::Word,
+            rd: Reg::A2,
+            addr: Reg::A0,
+            offset: 8,
+        },
+    ),
+    (
+        "lb    zero, [gp+0]",
+        Inst::Load {
+            width: Width::Byte,
+            rd: Reg::ZERO,
+            addr: Reg::GP,
+            offset: 0,
+        },
+    ),
+    (
+        "sb    [a0-4], a2",
+        Inst::Store {
+            width: Width::Byte,
+            src: Reg::A2,
+            addr: Reg::A0,
+            offset: -4,
+        },
+    ),
+    (
+        "sw    [fp-12], t0",
+        Inst::Store {
+            width: Width::Word,
+            src: Reg::T0,
+            addr: Reg::FP,
+            offset: -12,
+        },
+    ),
+    (
+        "setbound a0, a0, 16",
+        Inst::SetBound {
+            rd: Reg::A0,
+            rs: Reg::A0,
+            size: Operand::Imm(16),
+        },
+    ),
+    (
+        "unbound a1, a0",
+        Inst::Unbound {
+            rd: Reg::A1,
+            rs: Reg::A0,
+        },
+    ),
+    (
+        "codeptr a0, fn#3",
+        Inst::CodePtr {
+            rd: Reg::A0,
+            func: FuncId(3),
+        },
+    ),
+    (
+        "readbase a1, a0",
+        Inst::ReadBase {
+            rd: Reg::A1,
+            rs: Reg::A0,
+        },
+    ),
+    (
+        "readbound a1, a0",
+        Inst::ReadBound {
+            rd: Reg::A1,
+            rs: Reg::A0,
+        },
+    ),
+    (
+        "bgeu  a0, t1 -> 42",
+        Inst::Branch {
+            op: CmpOp::GeU,
+            rs1: Reg::A0,
+            rs2: Operand::Reg(Reg::T1),
+            target: 42,
+        },
+    ),
+    (
+        "beq   a0, 0 -> 7",
+        Inst::Branch {
+            op: CmpOp::Eq,
+            rs1: Reg::A0,
+            rs2: Operand::Imm(0),
+            target: 7,
+        },
+    ),
+    ("jmp   -> 9", Inst::Jump { target: 9 }),
+    ("call  fn#2", Inst::Call { func: FuncId(2) }),
+    ("calli t1", Inst::CallInd { rs: Reg::T1 }),
+    ("ret", Inst::Ret),
+    (
+        "sys   halt",
+        Inst::Sys {
+            call: hardbound_isa::SysCall::Halt,
+        },
+    ),
+    (
+        "sys   ot_check_arith",
+        Inst::Sys {
+            call: hardbound_isa::SysCall::OtCheckArith,
+        },
+    ),
+    ("nop", Inst::Nop),
+];
+
+#[test]
+fn golden_listing_renders_exactly() {
+    for (text, inst) in GOLDEN {
+        assert_eq!(&inst.to_string(), text, "disassembly drifted for {inst:?}");
+    }
+}
+
+#[test]
+fn golden_listing_reassembles_exactly() {
+    for (text, inst) in GOLDEN {
+        assert_eq!(
+            &parse_inst(text).unwrap(),
+            inst,
+            "assembly drifted for {text:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_listing_parses_as_a_unit() {
+    let listing: String = GOLDEN
+        .iter()
+        .map(|(text, _)| format!("  {text}\n"))
+        .collect();
+    let commented = format!("; golden listing\n\n{listing}");
+    let parsed = parse_listing(&commented).expect("golden listing must assemble");
+    let expected: Vec<Inst> = GOLDEN.iter().map(|&(_, inst)| inst).collect();
+    assert_eq!(parsed, expected);
+}
+
+/// The generative half: for many seeds, every random instruction must
+/// survive disassemble → reassemble with an identical encoding.
+#[test]
+fn random_instructions_roundtrip() {
+    for seed in 0..32u64 {
+        for inst in insts(seed, 512) {
+            let text = inst.to_string();
+            let back = parse_inst(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: unparseable disassembly {text:?}: {e}"));
+            assert_eq!(back, inst, "seed {seed}: round trip diverged via {text:?}");
+        }
+    }
+}
+
+/// `Program::disassemble` output (function headers + indexed instruction
+/// lines, the exact `hbrun --disasm` format) parses back to the program's
+/// instruction stream with no preprocessing.
+#[test]
+fn program_disassembly_roundtrips() {
+    use hardbound_isa::{FunctionBuilder, Program};
+
+    let mut f = FunctionBuilder::new("main", 0);
+    f.li(Reg::A0, 0x1000);
+    f.setbound_imm(Reg::A0, Reg::A0, 4);
+    f.load(Width::Word, Reg::A1, Reg::A0, 0);
+    f.halt();
+    let program = Program::with_entry(vec![f.finish()]);
+
+    let parsed = parse_listing(&program.disassemble()).expect("disassembly assembles");
+    let expected: Vec<Inst> = program
+        .functions
+        .iter()
+        .flat_map(|f| f.insts.clone())
+        .collect();
+    assert_eq!(parsed, expected);
+}
+
+/// Whole random listings round-trip through the multi-line parser too.
+#[test]
+fn random_listings_roundtrip() {
+    let mut rng = FuzzRng::new(0xB0B);
+    for _ in 0..16 {
+        let block: Vec<Inst> = (0..rng.below(64) + 1).map(|_| rng.inst()).collect();
+        let text: String = block.iter().map(|i| format!("{i}\n")).collect();
+        assert_eq!(parse_listing(&text).expect("listing assembles"), block);
+    }
+}

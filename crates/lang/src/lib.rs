@@ -77,10 +77,8 @@ mod tests {
 
     #[test]
     fn self_referential_struct() {
-        let h = hir(
-            "struct list { int value; struct list *next; };\n\
-             int main() { struct list l; l.next = 0; return l.value; }",
-        );
+        let h = hir("struct list { int value; struct list *next; };\n\
+             int main() { struct list l; l.next = 0; return l.value; }");
         let layout = h.types.layout(h.types.struct_id("list").unwrap());
         assert_eq!(layout.size, 8);
         assert_eq!(layout.field("next").unwrap().offset, 4);
@@ -111,15 +109,13 @@ mod tests {
 
     #[test]
     fn pointer_arithmetic_types() {
-        let h = hir(
-            "int main() {\n\
+        let h = hir("int main() {\n\
                int a[10];\n\
                int *p = a + 2;\n\
                int n = p - a;\n\
                p = p - 1;\n\
                return n + *p;\n\
-             }",
-        );
+             }");
         let f = &h.funcs[0];
         assert_eq!(f.locals[1].ty, Type::Int.ptr());
         assert_eq!(f.locals[2].ty, Type::Int);
@@ -128,7 +124,9 @@ mod tests {
     #[test]
     fn array_decay_nodes_are_inserted() {
         let h = hir("int main() { int a[4]; int *p = a; return p[0]; }");
-        let HStmt::Init(_, init) = &h.funcs[0].body[0] else { panic!() };
+        let HStmt::Init(_, init) = &h.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(
             matches!(&init.kind, HExprKind::Decay(_)),
             "array initializer must decay explicitly, got {:?}",
@@ -139,22 +137,22 @@ mod tests {
     #[test]
     fn member_array_decays_for_sub_object_narrowing() {
         // The paper's §3.2 example: char *ptr = node.str;
-        let h = hir(
-            "struct node { char str[5]; int x; };\n\
-             int main() { struct node n; char *p = n.str; return 0; }",
-        );
-        let HStmt::Init(_, init) = &h.funcs[0].body[0] else { panic!() };
-        let HExprKind::Decay(inner) = &init.kind else { panic!("got {:?}", init.kind) };
+        let h = hir("struct node { char str[5]; int x; };\n\
+             int main() { struct node n; char *p = n.str; return 0; }");
+        let HStmt::Init(_, init) = &h.funcs[0].body[0] else {
+            panic!()
+        };
+        let HExprKind::Decay(inner) = &init.kind else {
+            panic!("got {:?}", init.kind)
+        };
         assert!(matches!(inner.kind, HExprKind::Member(_, _)));
         assert_eq!(init.ty, Type::Char.ptr());
     }
 
     #[test]
     fn void_pointer_conversions_are_implicit() {
-        hir(
-            "void *id(void *p) { return p; }\n\
-             int main() { int x; int *p = id(&x); return *p; }",
-        );
+        hir("void *id(void *p) { return p; }\n\
+             int main() { int x; int *p = id(&x); return *p; }");
     }
 
     #[test]
@@ -171,8 +169,7 @@ mod tests {
 
     #[test]
     fn intrinsics_are_typed() {
-        let h = hir(
-            "int main() {\n\
+        let h = hir("int main() {\n\
                int a[4];\n\
                int *p = __setbound(a, 16);\n\
                int *q = __unbound(p);\n\
@@ -182,20 +179,24 @@ mod tests {
                print_int(m);\n\
                print_char(65);\n\
                return b + d + (q == p);\n\
-             }",
-        );
-        let HStmt::Init(_, init) = &h.funcs[0].body[0] else { panic!() };
-        assert!(matches!(init.kind, HExprKind::Intrinsic(Intrinsic::SetBound, _)));
+             }");
+        let HStmt::Init(_, init) = &h.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            init.kind,
+            HExprKind::Intrinsic(Intrinsic::SetBound, _)
+        ));
         assert_eq!(init.ty, Type::Int.ptr());
     }
 
     #[test]
     fn sizeof_folds_to_constants() {
-        let h = hir(
-            "struct node { char str[5]; int x; };\n\
-             int main() { return sizeof(struct node) + sizeof(int*) + sizeof(char); }",
-        );
-        let HStmt::Return(Some(e)) = &h.funcs[0].body[0] else { panic!() };
+        let h = hir("struct node { char str[5]; int x; };\n\
+             int main() { return sizeof(struct node) + sizeof(int*) + sizeof(char); }");
+        let HStmt::Return(Some(e)) = &h.funcs[0].body[0] else {
+            panic!()
+        };
         // 12 + 4 + 1 — all folded to Int literals combined with Add nodes.
         fn sum(e: &HExpr) -> i64 {
             match &e.kind {
@@ -219,30 +220,42 @@ mod tests {
             hir("int main() { int s = 0; for (int i = 0; i < 4; i = i + 1) s = s + i; return s; }");
         fn find_while(stmts: &[HStmt]) -> bool {
             stmts.iter().any(|s| match s {
-                HStmt::While { cond: Some(_), step: Some(_), .. } => true,
+                HStmt::While {
+                    cond: Some(_),
+                    step: Some(_),
+                    ..
+                } => true,
                 HStmt::If { then, els, .. } => find_while(then) || find_while(els),
                 _ => false,
             })
         }
-        assert!(find_while(&h.funcs[0].body), "for must desugar to While with step");
+        assert!(
+            find_while(&h.funcs[0].body),
+            "for must desugar to While with step"
+        );
     }
 
     #[test]
     fn error_cases() {
         assert!(hir_err("int main() { return x; }").contains("unknown variable"));
         assert!(hir_err("int main() { f(); return 0; }").contains("unknown function"));
-        assert!(hir_err("int f(int a) { return a; } int main() { return f(); }")
-            .contains("expects 1"));
+        assert!(
+            hir_err("int f(int a) { return a; } int main() { return f(); }").contains("expects 1")
+        );
         assert!(hir_err("int main() { break; }").contains("outside a loop"));
         assert!(hir_err("int main() { 1 = 2; return 0; }").contains("lvalue"));
         assert!(hir_err("int main() { return *3; }").contains("dereference"));
         assert!(hir_err("void f() { return 1; } int main() { return 0; }")
             .contains("void function returns"));
-        assert!(hir_err("int f() { return 1; } int f() { return 2; } int main() { return 0; }")
-            .contains("duplicate function"));
+        assert!(
+            hir_err("int f() { return 1; } int f() { return 2; } int main() { return 0; }")
+                .contains("duplicate function")
+        );
         assert!(hir_err("int g() { return 1; }").contains("no `main`"));
-        assert!(hir_err("struct s { int x; }; int main() { struct s v; return v.y; }")
-            .contains("no field"));
+        assert!(
+            hir_err("struct s { int x; }; int main() { struct s v; return v.y; }")
+                .contains("no field")
+        );
         assert!(hir_err("int main() { int x; return x.y; }").contains("non-struct"));
         assert!(hir_err("int main() { void v; return 0; }").contains("void"));
     }
@@ -254,39 +267,33 @@ mod tests {
 
     #[test]
     fn char_and_int_interconvert() {
-        hir(
-            "int main() {\n\
+        hir("int main() {\n\
                char c = 65;\n\
                int i = c + 1;\n\
                c = i;\n\
                char buf[4];\n\
                buf[0] = c;\n\
                return buf[0];\n\
-             }",
-        );
+             }");
     }
 
     #[test]
     fn struct_pointer_navigation() {
-        hir(
-            "struct tree { int v; struct tree *l; struct tree *r; };\n\
+        hir("struct tree { int v; struct tree *l; struct tree *r; };\n\
              int sum(struct tree *t) {\n\
                if (t == 0) return 0;\n\
                return t->v + sum(t->l) + sum(t->r);\n\
              }\n\
-             int main() { return sum(0); }",
-        );
+             int main() { return sum(0); }");
     }
 
     #[test]
     fn shadowing_in_nested_scopes() {
-        hir(
-            "int main() {\n\
+        hir("int main() {\n\
                int x = 1;\n\
                { int x = 2; print_int(x); }\n\
                return x;\n\
-             }",
-        );
+             }");
         assert!(hir_err("int main() { int x; int x; return 0; }").contains("duplicate variable"));
     }
 }

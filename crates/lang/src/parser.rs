@@ -27,7 +27,10 @@ impl std::error::Error for ParseError {}
 
 impl From<crate::token::LexError> for ParseError {
     fn from(e: crate::token::LexError) -> ParseError {
-        ParseError { message: e.message, span: e.span }
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
     }
 }
 
@@ -86,7 +89,10 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, span: self.span() }
+        ParseError {
+            message,
+            span: self.span(),
+        }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -101,7 +107,10 @@ impl Parser {
 
     /// Is the current token the start of a type?
     fn at_type(&self) -> bool {
-        matches!(self.peek(), Tok::KwInt | Tok::KwChar | Tok::KwVoid | Tok::KwStruct)
+        matches!(
+            self.peek(),
+            Tok::KwInt | Tok::KwChar | Tok::KwVoid | Tok::KwStruct
+        )
     }
 
     /// Parses a base type plus pointer stars: `int **`, `struct s *`.
@@ -127,9 +136,7 @@ impl Parser {
             match self.bump() {
                 Tok::Int(n) if n >= 0 && n <= i64::from(u32::MAX) => dims.push(n as u32),
                 other => {
-                    return Err(self.error(format!(
-                        "expected constant array length, found {other}"
-                    )))
+                    return Err(self.error(format!("expected constant array length, found {other}")))
                 }
             }
             self.expect(&Tok::RBracket)?;
@@ -146,7 +153,10 @@ impl Parser {
         while !matches!(self.peek(), Tok::Eof) {
             if matches!(self.peek(), Tok::KwStruct)
                 && matches!(self.peek2(), Tok::Ident(_))
-                && matches!(self.tokens.get(self.pos + 2).map(|t| &t.0), Some(Tok::LBrace))
+                && matches!(
+                    self.tokens.get(self.pos + 2).map(|t| &t.0),
+                    Some(Tok::LBrace)
+                )
             {
                 unit.structs.push(self.struct_decl()?);
                 continue;
@@ -157,7 +167,11 @@ impl Parser {
                 unit.funcs.push(self.func_decl(ty, name)?);
             } else {
                 let ty = self.array_suffixes(ty)?;
-                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect(&Tok::Semi)?;
                 unit.globals.push(GlobalDecl { ty, name, init });
             }
@@ -208,7 +222,12 @@ impl Parser {
         }
         self.expect(&Tok::LBrace)?;
         let body = self.block_body()?;
-        Ok(FuncDecl { ret, name, params, body })
+        Ok(FuncDecl {
+            ret,
+            name,
+            params,
+            body,
+        })
     }
 
     fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -226,7 +245,11 @@ impl Parser {
         let ty = self.type_prefix()?;
         let name = self.ident()?;
         let ty = self.array_suffixes(ty)?;
-        let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.expect(&Tok::Semi)?;
         Ok(Stmt::Decl { ty, name, init })
     }
@@ -247,8 +270,11 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let then = Box::new(self.stmt()?);
-                let els =
-                    if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
+                let els = if self.eat(&Tok::KwElse) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
                 Ok(Stmt::If { cond, then, els })
             }
             Tok::KwWhile => {
@@ -256,7 +282,10 @@ impl Parser {
                 self.expect(&Tok::LParen)?;
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
-                Ok(Stmt::While { cond, body: Box::new(self.stmt()?) })
+                Ok(Stmt::While {
+                    cond,
+                    body: Box::new(self.stmt()?),
+                })
             }
             Tok::KwFor => {
                 self.bump();
@@ -270,16 +299,32 @@ impl Parser {
                     self.expect(&Tok::Semi)?;
                     Some(Box::new(Stmt::Expr(e)))
                 };
-                let cond = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                let cond = if matches!(self.peek(), Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
-                let step =
-                    if matches!(self.peek(), Tok::RParen) { None } else { Some(self.expr()?) };
+                let step = if matches!(self.peek(), Tok::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::RParen)?;
-                Ok(Stmt::For { init, cond, step, body: Box::new(self.stmt()?) })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body: Box::new(self.stmt()?),
+                })
             }
             Tok::KwReturn => {
                 self.bump();
-                let value = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                let value = if matches!(self.peek(), Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
                 Ok(Stmt::Return(value))
             }
@@ -605,7 +650,10 @@ mod tests {
         );
         assert_eq!(u.structs.len(), 1);
         assert_eq!(u.structs[0].fields.len(), 3);
-        assert_eq!(u.structs[0].fields[0].ty, TypeExpr::Array(Box::new(TypeExpr::Char), 5));
+        assert_eq!(
+            u.structs[0].fields[0].ty,
+            TypeExpr::Array(Box::new(TypeExpr::Char), 5)
+        );
         assert_eq!(u.globals.len(), 3);
         assert_eq!(u.funcs[0].params.len(), 2);
     }
@@ -614,25 +662,39 @@ mod tests {
     fn precedence_and_associativity() {
         let u = parse_ok("int main() { return 1 + 2 * 3 < 4 == 5 & 6; }");
         // ((1 + (2*3)) < 4) == 5) & 6
-        let Stmt::Return(Some(e)) = &u.funcs[0].body[0] else { panic!() };
-        let Expr::Binary(BinaryOp::BitAnd, lhs, _) = e else { panic!("got {e:?}") };
-        let Expr::Binary(BinaryOp::Eq, lhs, _) = &**lhs else { panic!() };
-        let Expr::Binary(BinaryOp::Lt, lhs, _) = &**lhs else { panic!() };
-        let Expr::Binary(BinaryOp::Add, _, rhs) = &**lhs else { panic!() };
+        let Stmt::Return(Some(e)) = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        let Expr::Binary(BinaryOp::BitAnd, lhs, _) = e else {
+            panic!("got {e:?}")
+        };
+        let Expr::Binary(BinaryOp::Eq, lhs, _) = &**lhs else {
+            panic!()
+        };
+        let Expr::Binary(BinaryOp::Lt, lhs, _) = &**lhs else {
+            panic!()
+        };
+        let Expr::Binary(BinaryOp::Add, _, rhs) = &**lhs else {
+            panic!()
+        };
         assert!(matches!(&**rhs, Expr::Binary(BinaryOp::Mul, _, _)));
     }
 
     #[test]
     fn casts_vs_parenthesized_expressions() {
         let u = parse_ok("int main() { int x; x = (int)1; x = (x); x = (int*)0 == 0; return x; }");
-        let Stmt::Expr(Expr::Assign(_, rhs)) = &u.funcs[0].body[1] else { panic!() };
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &u.funcs[0].body[1] else {
+            panic!()
+        };
         assert!(matches!(&**rhs, Expr::Cast(TypeExpr::Int, _)));
     }
 
     #[test]
     fn pointer_and_array_declarators() {
         let u = parse_ok("int main() { int *p; int **q; char buf[16]; int m[2][3]; return 0; }");
-        let Stmt::Decl { ty, .. } = &u.funcs[0].body[3] else { panic!() };
+        let Stmt::Decl { ty, .. } = &u.funcs[0].body[3] else {
+            panic!()
+        };
         assert_eq!(
             *ty,
             TypeExpr::Array(Box::new(TypeExpr::Array(Box::new(TypeExpr::Int), 3)), 2)
@@ -657,7 +719,9 @@ mod tests {
     #[test]
     fn member_arrow_index_call_chains() {
         let u = parse_ok("int main() { return f(a->b.c[2], g()); }");
-        let Stmt::Return(Some(Expr::Call(name, args))) = &u.funcs[0].body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Call(name, args))) = &u.funcs[0].body[0] else {
+            panic!()
+        };
         assert_eq!(name, "f");
         assert_eq!(args.len(), 2);
         assert!(matches!(&args[0], Expr::Index(_, _)));
@@ -666,7 +730,9 @@ mod tests {
     #[test]
     fn short_circuit_and_ternary() {
         let u = parse_ok("int main() { return a && b || c ? 1 : 2; }");
-        let Stmt::Return(Some(Expr::Cond(c, _, _))) = &u.funcs[0].body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Cond(c, _, _))) = &u.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(&**c, Expr::LogicalOr(_, _)));
     }
 
@@ -675,8 +741,10 @@ mod tests {
         // `a & &b` would be weird C but `&a` unary vs `a & b` binary must
         // both parse.
         let u = parse_ok("int main() { int a; int *p; p = &a; a = a & 3; return *p; }");
-        assert!(matches!(&u.funcs[0].body[2], Stmt::Expr(Expr::Assign(_, rhs))
-            if matches!(&**rhs, Expr::AddrOf(_))));
+        assert!(
+            matches!(&u.funcs[0].body[2], Stmt::Expr(Expr::Assign(_, rhs))
+            if matches!(&**rhs, Expr::AddrOf(_)))
+        );
     }
 
     #[test]

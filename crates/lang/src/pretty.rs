@@ -6,7 +6,9 @@
 
 use std::fmt::Write as _;
 
-use crate::ast::{BinaryOp, Expr, FuncDecl, GlobalDecl, Param, Stmt, StructDecl, TypeExpr, Unit, UnaryOp};
+use crate::ast::{
+    BinaryOp, Expr, FuncDecl, GlobalDecl, Param, Stmt, StructDecl, TypeExpr, UnaryOp, Unit,
+};
 
 /// Renders a whole translation unit as Cb source.
 #[must_use]
@@ -35,7 +37,12 @@ fn print_struct(out: &mut String, s: &StructDecl) {
 fn print_global(out: &mut String, g: &GlobalDecl) {
     match &g.init {
         Some(init) => {
-            let _ = writeln!(out, "{} = {};", declarator(&g.ty, &g.name), print_expr(init));
+            let _ = writeln!(
+                out,
+                "{} = {};",
+                declarator(&g.ty, &g.name),
+                print_expr(init)
+            );
         }
         None => {
             let _ = writeln!(out, "{};", declarator(&g.ty, &g.name));
@@ -47,7 +54,11 @@ fn print_func(out: &mut String, f: &FuncDecl) {
     let params = if f.params.is_empty() {
         String::new()
     } else {
-        f.params.iter().map(|Param { ty, name }| declarator(ty, name)).collect::<Vec<_>>().join(", ")
+        f.params
+            .iter()
+            .map(|Param { ty, name }| declarator(ty, name))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let _ = writeln!(out, "{} {}({params}) {{", type_prefix(&f.ret), f.name);
     for s in &f.body {
@@ -131,7 +142,12 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
             indent(out, depth);
             let _ = writeln!(out, "}}");
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let init_s = match init {
                 Some(s) => {
                     let mut tmp = String::new();
@@ -249,7 +265,12 @@ pub fn print_expr(e: &Expr) -> String {
         Expr::LogicalOr(a, b) => format!("({} || {})", print_expr(a), print_expr(b)),
         Expr::Assign(a, b) => format!("({} = {})", print_expr(a), print_expr(b)),
         Expr::Cond(c, t, f) => {
-            format!("({} ? {} : {})", print_expr(c), print_expr(t), print_expr(f))
+            format!(
+                "({} ? {} : {})",
+                print_expr(c),
+                print_expr(t),
+                print_expr(f)
+            )
         }
         Expr::Index(a, i) => format!("{}[{}]", print_expr(a), print_expr(i)),
         Expr::Member(a, f) => format!("{}.{f}", print_expr(a)),

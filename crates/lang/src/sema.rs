@@ -286,7 +286,9 @@ impl Checker {
         } else {
             format!("in `{}`: ", self.current_fn)
         };
-        Err(SemaError { message: format!("{prefix}{msg}") })
+        Err(SemaError {
+            message: format!("{prefix}{msg}"),
+        })
     }
 
     fn resolve_type(&self, te: &TypeExpr) -> Result<Type, SemaError> {
@@ -323,9 +325,9 @@ impl Checker {
                 size: 0,
                 align: 1,
             };
-            self.types
-                .add_struct(placeholder)
-                .map_err(|e| SemaError { message: e.to_string() })?;
+            self.types.add_struct(placeholder).map_err(|e| SemaError {
+                message: e.to_string(),
+            })?;
         }
         for s in &unit.structs {
             let mut fields = Vec::new();
@@ -347,7 +349,9 @@ impl Checker {
             let laid = self
                 .types
                 .lay_out(&s.name, &fields)
-                .map_err(|e| SemaError { message: e.to_string() })?;
+                .map_err(|e| SemaError {
+                    message: e.to_string(),
+                })?;
             let id = self.types.struct_id(&s.name).expect("registered above");
             self.types.replace_struct(id, laid);
         }
@@ -376,7 +380,12 @@ impl Checker {
             self.globals_size = offset + size;
             let id = GlobalId(self.globals.len() as u32);
             self.global_ids.insert(g.name.clone(), id);
-            self.globals.push(HGlobal { name: g.name.clone(), ty, offset, init });
+            self.globals.push(HGlobal {
+                name: g.name.clone(),
+                ty,
+                offset,
+                init,
+            });
         }
 
         // Function signatures (two-pass so order does not matter).
@@ -454,7 +463,10 @@ impl Checker {
         }
         let id = LocalId(self.locals.len() as u32);
         self.scopes.last_mut().unwrap().insert(name.to_owned(), id);
-        self.locals.push(HLocal { name: name.to_owned(), ty });
+        self.locals.push(HLocal {
+            name: name.to_owned(),
+            ty,
+        });
         Ok(id)
     }
 
@@ -510,9 +522,18 @@ impl Checker {
                 self.loop_depth += 1;
                 let body = self.check_stmt_as_block(body)?;
                 self.loop_depth -= 1;
-                out.push(HStmt::While { cond: Some(cond), body, step: None });
+                out.push(HStmt::While {
+                    cond: Some(cond),
+                    body,
+                    step: None,
+                });
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 let mut prologue = Vec::new();
                 if let Some(init) = init {
@@ -567,7 +588,10 @@ impl Checker {
             Stmt::Block(stmts) => {
                 let inner = self.check_block(stmts)?;
                 out.push(HStmt::If {
-                    cond: HExpr { ty: Type::Int, kind: HExprKind::Int(1) },
+                    cond: HExpr {
+                        ty: Type::Int,
+                        kind: HExprKind::Int(1),
+                    },
                     then: inner,
                     els: Vec::new(),
                 });
@@ -610,9 +634,7 @@ impl Checker {
             // int ↔ char, both directions (C's usual conversions).
             (a, b) if a.is_integer() && b.is_integer() => true,
             // void* ↔ T*.
-            (Type::Ptr(a), Type::Ptr(b)) => {
-                matches!(**a, Type::Void) || matches!(**b, Type::Void)
-            }
+            (Type::Ptr(a), Type::Ptr(b)) => matches!(**a, Type::Void) || matches!(**b, Type::Void),
             // Integer zero to pointer (NULL).
             (a, Type::Ptr(_)) if a.is_integer() && matches!(e.kind, HExprKind::Int(0)) => true,
             _ => false,
@@ -620,27 +642,42 @@ impl Checker {
         if !ok {
             return self.err(format_args!("cannot convert {} to {}", e.ty, target));
         }
-        Ok(HExpr { ty: target.clone(), kind: HExprKind::Cast(Box::new(decay_expr(e))) })
+        Ok(HExpr {
+            ty: target.clone(),
+            kind: HExprKind::Cast(Box::new(decay_expr(e))),
+        })
     }
 
     fn check_expr(&mut self, e: &Expr) -> Result<HExpr, SemaError> {
         match e {
-            Expr::Int(v) => Ok(HExpr { ty: Type::Int, kind: HExprKind::Int(*v) }),
+            Expr::Int(v) => Ok(HExpr {
+                ty: Type::Int,
+                kind: HExprKind::Int(*v),
+            }),
             Expr::Str(s) => {
                 let mut bytes = s.clone();
                 bytes.push(0);
                 let idx = self.strings.len();
                 self.strings.push(bytes);
-                Ok(HExpr { ty: Type::Char.ptr(), kind: HExprKind::Str(idx) })
+                Ok(HExpr {
+                    ty: Type::Char.ptr(),
+                    kind: HExprKind::Str(idx),
+                })
             }
             Expr::Ident(name) => {
                 if let Some(id) = self.lookup_local(name) {
                     let ty = self.locals[id.0 as usize].ty.clone();
-                    return Ok(HExpr { ty, kind: HExprKind::Local(id) });
+                    return Ok(HExpr {
+                        ty,
+                        kind: HExprKind::Local(id),
+                    });
                 }
                 if let Some(&id) = self.global_ids.get(name) {
                     let ty = self.globals[id.0 as usize].ty.clone();
-                    return Ok(HExpr { ty, kind: HExprKind::Global(id) });
+                    return Ok(HExpr {
+                        ty,
+                        kind: HExprKind::Global(id),
+                    });
                 }
                 self.err(format_args!("unknown variable `{name}`"))
             }
@@ -650,7 +687,10 @@ impl Checker {
                     return self.err("sizeof(void) is not allowed");
                 }
                 let size = self.types.size_of(&ty);
-                Ok(HExpr { ty: Type::Int, kind: HExprKind::Int(i64::from(size)) })
+                Ok(HExpr {
+                    ty: Type::Int,
+                    kind: HExprKind::Int(i64::from(size)),
+                })
             }
             Expr::Unary(op, inner) => {
                 let inner = self.check_expr(inner)?;
@@ -685,7 +725,10 @@ impl Checker {
                 if matches!(pointee, Type::Void) {
                     return self.err("cannot dereference void*");
                 }
-                Ok(HExpr { ty: pointee, kind: HExprKind::Deref(Box::new(decay_expr(inner))) })
+                Ok(HExpr {
+                    ty: pointee,
+                    kind: HExprKind::Deref(Box::new(decay_expr(inner))),
+                })
             }
             Expr::AddrOf(inner) => {
                 let inner = self.check_expr(inner)?;
@@ -693,7 +736,10 @@ impl Checker {
                     return self.err("`&` needs an lvalue");
                 }
                 let ty = inner.ty.clone().ptr();
-                Ok(HExpr { ty, kind: HExprKind::AddrOf(Box::new(inner)) })
+                Ok(HExpr {
+                    ty,
+                    kind: HExprKind::AddrOf(Box::new(inner)),
+                })
             }
             Expr::Binary(op, lhs, rhs) => self.check_binary(*op, lhs, rhs),
             Expr::LogicalAnd(a, b) => {
@@ -707,7 +753,10 @@ impl Checker {
             Expr::LogicalOr(a, b) => {
                 let a = self.check_condition(a)?;
                 let b = self.check_condition(b)?;
-                Ok(HExpr { ty: Type::Int, kind: HExprKind::LogicalOr(Box::new(a), Box::new(b)) })
+                Ok(HExpr {
+                    ty: Type::Int,
+                    kind: HExprKind::LogicalOr(Box::new(a), Box::new(b)),
+                })
             }
             Expr::Assign(lhs, rhs) => {
                 let lhs = self.check_expr(lhs)?;
@@ -720,7 +769,10 @@ impl Checker {
                 let target = lhs.ty.clone();
                 let rv = self.check_expr(rhs)?;
                 let rhs = self.coerce(rv, &target)?;
-                Ok(HExpr { ty: target, kind: HExprKind::Assign(Box::new(lhs), Box::new(rhs)) })
+                Ok(HExpr {
+                    ty: target,
+                    kind: HExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+                })
             }
             Expr::Cond(c, t, f) => {
                 let c = self.check_condition(c)?;
@@ -760,10 +812,7 @@ impl Checker {
                 }
                 Ok(HExpr {
                     ty: elem,
-                    kind: HExprKind::Index(
-                        Box::new(decay_expr(base)),
-                        Box::new(decay_expr(index)),
-                    ),
+                    kind: HExprKind::Index(Box::new(decay_expr(base)), Box::new(decay_expr(index))),
                 })
             }
             Expr::Member(base, field) => {
@@ -776,7 +825,10 @@ impl Checker {
                 }
                 let fr = self.field_ref(sid, field)?;
                 let ty = fr.ty.clone();
-                Ok(HExpr { ty, kind: HExprKind::Member(Box::new(base), fr) })
+                Ok(HExpr {
+                    ty,
+                    kind: HExprKind::Member(Box::new(base), fr),
+                })
             }
             Expr::Arrow(base, field) => {
                 let base = self.check_expr(base)?;
@@ -787,7 +839,10 @@ impl Checker {
                 };
                 let fr = self.field_ref(sid, field)?;
                 let ty = fr.ty.clone();
-                Ok(HExpr { ty, kind: HExprKind::Arrow(Box::new(decay_expr(base)), fr) })
+                Ok(HExpr {
+                    ty,
+                    kind: HExprKind::Arrow(Box::new(decay_expr(base)), fr),
+                })
             }
             Expr::Call(name, args) => self.check_call(name, args),
             Expr::Cast(te, inner) => {
@@ -802,7 +857,10 @@ impl Checker {
                 if !ok {
                     return self.err(format_args!("invalid cast from {} to {}", inner.ty, target));
                 }
-                Ok(HExpr { ty: target, kind: HExprKind::Cast(Box::new(decay_expr(inner))) })
+                Ok(HExpr {
+                    ty: target,
+                    kind: HExprKind::Cast(Box::new(decay_expr(inner))),
+                })
             }
         }
     }
@@ -810,7 +868,10 @@ impl Checker {
     fn field_ref(&self, sid: StructId, field: &str) -> Result<FieldRef, SemaError> {
         let layout = self.types.layout(sid);
         match layout.field(field) {
-            Some(f) => Ok(FieldRef { offset: f.offset, ty: f.ty.clone() }),
+            Some(f) => Ok(FieldRef {
+                offset: f.offset,
+                ty: f.ty.clone(),
+            }),
             None => self.err(format_args!(
                 "struct `{}` has no field `{field}`",
                 layout.name
@@ -924,7 +985,10 @@ impl Checker {
                     Type::Void
                 }
             };
-            return Ok(HExpr { ty, kind: HExprKind::Intrinsic(which, hargs) });
+            return Ok(HExpr {
+                ty,
+                kind: HExprKind::Intrinsic(which, hargs),
+            });
         }
 
         let Some(&idx) = self.func_ids.get(name) else {
@@ -944,7 +1008,10 @@ impl Checker {
             let ha = self.check_expr(a)?;
             hargs.push(self.coerce(ha, pty)?);
         }
-        Ok(HExpr { ty: ret, kind: HExprKind::Call(idx, hargs) })
+        Ok(HExpr {
+            ty: ret,
+            kind: HExprKind::Call(idx, hargs),
+        })
     }
 }
 
@@ -956,7 +1023,10 @@ fn decay_expr(e: HExpr) -> HExpr {
     match &e.ty {
         Type::Array(_, _) => {
             let ty = e.ty.decay();
-            HExpr { ty, kind: HExprKind::Decay(Box::new(e)) }
+            HExpr {
+                ty,
+                kind: HExprKind::Decay(Box::new(e)),
+            }
         }
         _ => e,
     }

@@ -344,9 +344,7 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Span)>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 col += (i - start) as u32;
@@ -433,7 +431,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|(t, _)| t).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
     }
 
     #[test]
@@ -454,7 +456,14 @@ mod tests {
     fn numbers_hex_and_chars() {
         assert_eq!(
             toks("42 0x1F '\\n' 'A' '\\0'"),
-            vec![Tok::Int(42), Tok::Int(31), Tok::Int(10), Tok::Int(65), Tok::Int(0), Tok::Eof]
+            vec![
+                Tok::Int(42),
+                Tok::Int(31),
+                Tok::Int(10),
+                Tok::Int(65),
+                Tok::Int(0),
+                Tok::Eof
+            ]
         );
     }
 

@@ -216,16 +216,27 @@ impl TypeTable {
         let mut align = 1u32;
         for (fname, fty) in fields {
             if laid.iter().any(|f: &FieldLayout| &f.name == fname) {
-                return Err(LayoutError(format!("duplicate field `{fname}` in `{name}`")));
+                return Err(LayoutError(format!(
+                    "duplicate field `{fname}` in `{name}`"
+                )));
             }
             let fa = self.align_of(fty);
             let fs = self.size_of(fty);
             offset = offset.next_multiple_of(fa);
-            laid.push(FieldLayout { name: fname.clone(), ty: fty.clone(), offset });
+            laid.push(FieldLayout {
+                name: fname.clone(),
+                ty: fty.clone(),
+                offset,
+            });
             offset += fs;
             align = align.max(fa);
         }
-        Ok(StructLayout { name: name.to_owned(), fields: laid, size: offset.next_multiple_of(align), align })
+        Ok(StructLayout {
+            name: name.to_owned(),
+            fields: laid,
+            size: offset.next_multiple_of(align),
+            align,
+        })
     }
 
     /// Number of registered structs.
@@ -293,7 +304,9 @@ mod tests {
     #[test]
     fn char_only_struct_is_byte_aligned() {
         let t = TypeTable::new();
-        let l = t.lay_out("s", &[("a".into(), Type::Char), ("b".into(), Type::Char)]).unwrap();
+        let l = t
+            .lay_out("s", &[("a".into(), Type::Char), ("b".into(), Type::Char)])
+            .unwrap();
         assert_eq!(l.size, 2);
         assert_eq!(l.align, 1);
     }
@@ -306,7 +319,10 @@ mod tests {
         let outer = t
             .lay_out(
                 "outer",
-                &[("c".into(), Type::Char), ("i".into(), Type::Struct(inner_id))],
+                &[
+                    ("c".into(), Type::Char),
+                    ("i".into(), Type::Struct(inner_id)),
+                ],
             )
             .unwrap();
         assert_eq!(outer.field("i").unwrap().offset, 4);

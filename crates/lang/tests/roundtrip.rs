@@ -3,8 +3,8 @@
 //! has no parenthesis node, so the round trip must be exact.
 
 use hardbound_lang::ast::{BinaryOp, Expr, Stmt, TypeExpr, UnaryOp};
-use hardbound_lang::pretty::print_expr;
 use hardbound_lang::parse;
+use hardbound_lang::pretty::print_expr;
 use proptest::prelude::*;
 
 fn arb_binop() -> impl Strategy<Value = BinaryOp> {
@@ -49,23 +49,38 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(5, 32, 3, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::LogicalAnd(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::LogicalOr(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Expr::Unary(UnaryOp::Neg, Box::new(a))),
-            inner.clone().prop_map(|a| Expr::Unary(UnaryOp::Not, Box::new(a))),
-            inner.clone().prop_map(|a| Expr::Unary(UnaryOp::BitNot, Box::new(a))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnaryOp::Neg, Box::new(a))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnaryOp::Not, Box::new(a))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnaryOp::BitNot, Box::new(a))),
             inner.clone().prop_map(|a| Expr::Deref(Box::new(a))),
             inner.clone().prop_map(|a| Expr::AddrOf(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, i)| Expr::Index(Box::new(a), Box::new(i))),
-            inner.clone().prop_map(|a| Expr::Member(Box::new(a), "f".to_owned())),
-            inner.clone().prop_map(|a| Expr::Arrow(Box::new(a), "next".to_owned())),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| Expr::Cond(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, i)| Expr::Index(Box::new(a), Box::new(i))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Member(Box::new(a), "f".to_owned())),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Arrow(Box::new(a), "next".to_owned())),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
             (arb_type(), inner.clone()).prop_map(|(ty, a)| Expr::Cast(ty, Box::new(a))),
             prop::collection::vec(inner.clone(), 0..3)
                 .prop_map(|args| Expr::Call("f".to_owned(), args)),

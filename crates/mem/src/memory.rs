@@ -44,7 +44,9 @@ impl Default for Memory {
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mapped = self.pages.iter().filter(|p| p.is_some()).count();
-        f.debug_struct("Memory").field("mapped_pages", &mapped).finish()
+        f.debug_struct("Memory")
+            .field("mapped_pages", &mapped)
+            .finish()
     }
 }
 
@@ -61,8 +63,9 @@ impl Memory {
 
     fn page(&mut self, addr: u32) -> &mut DataPage {
         let idx = (addr as usize) / PAGE_BYTES;
-        self.pages[idx]
-            .get_or_insert_with(|| DataPage { bytes: Box::new([0u8; PAGE_BYTES]) })
+        self.pages[idx].get_or_insert_with(|| DataPage {
+            bytes: Box::new([0u8; PAGE_BYTES]),
+        })
     }
 
     fn meta_page(&mut self, addr: u32) -> &mut MetaPage {
@@ -143,7 +146,9 @@ impl Memory {
     /// Reads `len` bytes starting at `addr`.
     #[must_use]
     pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr.wrapping_add(i as u32))).collect()
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
     }
 
     /// Raw tag value of the aligned word containing `addr`.

@@ -15,7 +15,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     // Confine addresses to a few pages so operations actually collide.
-    let addr = prop_oneof![0u32..0x3000, 0x0FFC_u32..0x1004, 0x1000_0000u32..0x1000_0100];
+    let addr = prop_oneof![
+        0u32..0x3000,
+        0x0FFC_u32..0x1004,
+        0x1000_0000u32..0x1000_0100
+    ];
     prop_oneof![
         (addr.clone(), any::<u8>()).prop_map(|(a, v)| Op::WriteByte(a, v)),
         (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::WriteWord(a, v)),

@@ -57,15 +57,23 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => stats = true,
             "--disasm" => disasm = true,
             "--help" | "-h" => {
-                return Err("usage: hbrun FILE.cb [--mode M] [--encoding E] [--stats] [--disasm]"
-                    .to_owned())
+                return Err(
+                    "usage: hbrun FILE.cb [--mode M] [--encoding E] [--stats] [--disasm]"
+                        .to_owned(),
+                )
             }
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     let path = path.ok_or("no input file (try --help)")?;
-    Ok(Args { path, mode, encoding, stats, disasm })
+    Ok(Args {
+        path,
+        mode,
+        encoding,
+        stats,
+        disasm,
+    })
 }
 
 fn main() -> ExitCode {
@@ -102,7 +110,10 @@ fn main() -> ExitCode {
     }
     if args.stats {
         let s = &out.stats;
-        eprintln!("-- stats ({} mode, {} encoding) --", args.mode, args.encoding);
+        eprintln!(
+            "-- stats ({} mode, {} encoding) --",
+            args.mode, args.encoding
+        );
         eprintln!("cycles:          {}", s.cycles());
         eprintln!("µops:            {}", s.uops);
         eprintln!("setbound µops:   {}", s.setbound_uops);

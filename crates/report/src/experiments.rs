@@ -11,10 +11,14 @@ fn run(w: &Workload, mode: Mode, encoding: PointerEncoding) -> RunOutcome {
 }
 
 fn run_with(w: &Workload, mode: Mode, config: MachineConfig) -> RunOutcome {
-    let program = compile(&w.source, mode)
-        .unwrap_or_else(|e| panic!("{}: compilation failed: {e}", w.name));
+    let program =
+        compile(&w.source, mode).unwrap_or_else(|e| panic!("{}: compilation failed: {e}", w.name));
     let out = build_machine_with_config(program, mode, config).run();
-    assert_eq!(out.trap, None, "{} ({mode}) trapped: {:?}", w.name, out.trap);
+    assert_eq!(
+        out.trap, None,
+        "{} ({mode}) trapped: {:?}",
+        w.name, out.trap
+    );
     out
 }
 
@@ -205,9 +209,8 @@ pub fn ablation_check_uop(scale: Scale) -> Vec<AblationRow> {
         let bc = base.stats.cycles() as f64;
         for encoding in PointerEncoding::ALL {
             let free = run(&w, Mode::HardBound, encoding);
-            let charged_cfg = MachineConfig::hardbound(
-                HardboundConfig::full(encoding).with_check_uop(),
-            );
+            let charged_cfg =
+                MachineConfig::hardbound(HardboundConfig::full(encoding).with_check_uop());
             let charged = run_with(&w, Mode::HardBound, charged_cfg);
             rows.push(AblationRow {
                 bench: w.name,
@@ -243,7 +246,9 @@ pub fn tag_cache_sweep(scale: Scale, sizes: &[u64]) -> Vec<TagCacheRow> {
         let bc = base.stats.cycles() as f64;
         for &bytes in sizes {
             let cfg = MachineConfig::hardbound(HardboundConfig::full(PointerEncoding::Intern4));
-            let cfg = cfg.clone().with_hierarchy(cfg.hierarchy.with_tag_cache_bytes(bytes));
+            let cfg = cfg
+                .clone()
+                .with_hierarchy(cfg.hierarchy.with_tag_cache_bytes(bytes));
             let out = run_with(&w, Mode::HardBound, cfg);
             rows.push(TagCacheRow {
                 bench: w.name,

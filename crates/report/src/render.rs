@@ -39,7 +39,9 @@ pub fn fig5_table(rows: &[Fig5Row]) -> String {
     }
     for enc in PointerEncoding::ALL {
         let avg = average(
-            rows.iter().filter(|r| r.encoding == enc).map(Fig5Row::relative_runtime),
+            rows.iter()
+                .filter(|r| r.encoding == enc)
+                .map(Fig5Row::relative_runtime),
         );
         let _ = writeln!(
             out,
@@ -81,8 +83,11 @@ pub fn fig6_table(rows: &[Fig6Row]) -> String {
         );
     }
     for enc in PointerEncoding::ALL {
-        let avg =
-            average(rows.iter().filter(|r| r.encoding == enc).map(Fig6Row::extra_fraction));
+        let avg = average(
+            rows.iter()
+                .filter(|r| r.encoding == enc)
+                .map(Fig6Row::extra_fraction),
+        );
         let _ = writeln!(
             out,
             "average extra pages {:>10}: {:>6.1}%  (paper: extern-4 55%, intern-11 10%)",

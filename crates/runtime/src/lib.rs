@@ -89,11 +89,7 @@ pub fn build_machine(program: Program, mode: Mode, encoding: PointerEncoding) ->
 /// [`build_machine`] with an explicit configuration (used by the ablation
 /// experiments that tweak the hierarchy or enable the check-µop model).
 #[must_use]
-pub fn build_machine_with_config(
-    program: Program,
-    mode: Mode,
-    config: MachineConfig,
-) -> Machine {
+pub fn build_machine_with_config(program: Program, mode: Mode, config: MachineConfig) -> Machine {
     let mut m = Machine::new(program, config);
     if mode == Mode::ObjectTable {
         m.set_object_table(Box::new(SplayTable::new()));
@@ -125,8 +121,17 @@ mod tests {
     fn run_all_modes(src: &str) -> RunOutcome {
         let reference =
             compile_and_run(src, Mode::Baseline, PointerEncoding::Intern4).expect("compiles");
-        assert_eq!(reference.trap, None, "baseline trapped: {:?}", reference.trap);
-        for mode in [Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable] {
+        assert_eq!(
+            reference.trap, None,
+            "baseline trapped: {:?}",
+            reference.trap
+        );
+        for mode in [
+            Mode::MallocOnly,
+            Mode::HardBound,
+            Mode::SoftBound,
+            Mode::ObjectTable,
+        ] {
             let out = compile_and_run(src, mode, PointerEncoding::Intern4).expect("compiles");
             assert_eq!(out.trap, None, "{mode} trapped: {:?}", out.trap);
             assert_eq!(out.exit_code, reference.exit_code, "{mode} exit differs");
@@ -192,9 +197,11 @@ mod tests {
             a[i] = 1;\n\
             return 0;\n\
           }";
-        for (mode, expect_hw) in
-            [(Mode::MallocOnly, true), (Mode::HardBound, true), (Mode::SoftBound, false)]
-        {
+        for (mode, expect_hw) in [
+            (Mode::MallocOnly, true),
+            (Mode::HardBound, true),
+            (Mode::SoftBound, false),
+        ] {
             let out = compile_and_run(src, mode, PointerEncoding::Intern4).unwrap();
             match (expect_hw, out.trap) {
                 (true, Some(Trap::BoundsViolation { .. }))
@@ -266,7 +273,11 @@ mod tests {
         );
         let base = compile_and_run(src, Mode::Baseline, PointerEncoding::Intern4).unwrap();
         assert_eq!(base.trap, None);
-        assert_ne!(base.exit_code, Some(42), "baseline silently corrupts node.x");
+        assert_ne!(
+            base.exit_code,
+            Some(42),
+            "baseline silently corrupts node.x"
+        );
     }
 
     #[test]

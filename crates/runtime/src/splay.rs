@@ -63,7 +63,9 @@ impl SplayTable {
     /// degenerate chains are path-halved and amortized costs stay
     /// logarithmic.
     fn splay_le(&mut self, key: u32) -> u64 {
-        let Some(root) = self.root.take() else { return 0 };
+        let Some(root) = self.root.take() else {
+            return 0;
+        };
         let mut visited = 1u64;
 
         let mut left_spine: Vec<Box<Node>> = Vec::new();
@@ -71,7 +73,9 @@ impl SplayTable {
         let mut cur = root;
         loop {
             if key < cur.base {
-                let Some(mut child) = cur.left.take() else { break };
+                let Some(mut child) = cur.left.take() else {
+                    break;
+                };
                 visited += 1;
                 if key < child.base {
                     // Zig-zig: rotate right before linking.
@@ -89,7 +93,9 @@ impl SplayTable {
                 right_spine.push(cur);
                 cur = child;
             } else if key > cur.base {
-                let Some(mut child) = cur.right.take() else { break };
+                let Some(mut child) = cur.right.take() else {
+                    break;
+                };
                 visited += 1;
                 if key > child.base {
                     // Zig-zig: rotate left before linking.
@@ -132,7 +138,11 @@ impl SplayTable {
                 // Splay the left subtree's maximum to its root (re-using
                 // the zig-zig loop via a scratch table so the walk also
                 // path-halves), then hoist it above `cur`.
-                let mut sub = SplayTable { root: Some(l), len: 0, nodes_visited: 0 };
+                let mut sub = SplayTable {
+                    root: Some(l),
+                    len: 0,
+                    nodes_visited: 0,
+                };
                 visited += sub.splay_le(u32::MAX);
                 let mut l = sub.root.take().expect("subtree nonempty");
                 debug_assert!(l.right.is_none(), "max node has no right child");
@@ -150,7 +160,12 @@ impl SplayTable {
         let visited = self.splay_le(base);
         match self.root.take() {
             None => {
-                self.root = Some(Box::new(Node { base, size, left: None, right: None }));
+                self.root = Some(Box::new(Node {
+                    base,
+                    size,
+                    left: None,
+                    right: None,
+                }));
                 self.len += 1;
                 visited.max(1)
             }
@@ -161,14 +176,23 @@ impl SplayTable {
                     visited
                 } else if r.base < base {
                     let right = r.right.take();
-                    let node = Box::new(Node { base, size, left: Some(r), right });
+                    let node = Box::new(Node {
+                        base,
+                        size,
+                        left: Some(r),
+                        right,
+                    });
                     self.root = Some(node);
                     self.len += 1;
                     visited
                 } else {
                     // Root is the least node and still greater than `base`.
-                    let node =
-                        Box::new(Node { base, size, left: None, right: Some(r) });
+                    let node = Box::new(Node {
+                        base,
+                        size,
+                        left: None,
+                        right: Some(r),
+                    });
                     self.root = Some(node);
                     self.len += 1;
                     visited
@@ -243,9 +267,7 @@ impl ObjectTable for SplayTable {
         // One-past-the-end arithmetic is legal C; unknown pointers pass
         // (the scheme cannot judge what it never registered).
         let ok = match hit {
-            Some((base, size)) => {
-                to >= base && u64::from(to) <= u64::from(base) + u64::from(size)
-            }
+            Some((base, size)) => to >= base && u64::from(to) <= u64::from(base) + u64::from(size),
             None => true,
         };
         (COST_BASE + COST_PER_NODE * visited, ok)
@@ -286,7 +308,10 @@ mod tests {
         assert!(t.check(0x100F, 0x100F).1);
         assert!(!t.check(0x1010, 0x1010).1);
         assert!(t.check(0x201F, 0x201F).1);
-        assert!(!t.check(0x1800, 0x1800).1, "gap between objects is uncovered");
+        assert!(
+            !t.check(0x1800, 0x1800).1,
+            "gap between objects is uncovered"
+        );
     }
 
     #[test]
@@ -352,7 +377,10 @@ mod tests {
             let _ = t.check(32 * 64 + 1, 32 * 64 + 1);
         }
         let (c, _) = t.check(32 * 64 + 1, 32 * 64 + 1);
-        assert!(c < COST_BASE + COST_PER_NODE * 12, "warm cost {c} unexpectedly large");
+        assert!(
+            c < COST_BASE + COST_PER_NODE * 12,
+            "warm cost {c} unexpectedly large"
+        );
         // And the amortized bound holds over a sweep.
         let mut total = 0;
         for i in 0..1000u32 {

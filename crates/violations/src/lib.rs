@@ -139,7 +139,9 @@ fn build_source(
     // Object declaration (and helper) prologue.
     match addressing {
         Addressing::SubObject => {
-            s.push_str(&format!("struct box {{ {ty} arr[{ELEMS}]; int sentinel; }};\n"));
+            s.push_str(&format!(
+                "struct box {{ {ty} arr[{ELEMS}]; int sentinel; }};\n"
+            ));
             if region == Region::Global {
                 s.push_str("struct box g_box;\n");
             }
@@ -229,9 +231,7 @@ fn build_source(
         }
     };
     s.push_str(&stmt);
-    if matches!(access, Access::Write)
-        && !matches!(addressing, Addressing::ViaFunction)
-    {
+    if matches!(access, Access::Write) && !matches!(addressing, Addressing::ViaFunction) {
         s.push_str("    int v = 0;\n");
     }
     s.push_str("    print_int(v + 1);\n");
@@ -353,7 +353,9 @@ pub fn run_filtered(
             Ok(out) => match out.trap {
                 Some(t) if is_detection(mode, &t) => report.detected += 1,
                 Some(other) => {
-                    report.errors.push(format!("{}: unexpected trap {other:?}", case.id));
+                    report
+                        .errors
+                        .push(format!("{}: unexpected trap {other:?}", case.id));
                 }
                 None => report.missed.push(case.id.clone()),
             },
@@ -412,8 +414,13 @@ mod tests {
             n += 1;
             n % 13 == 0
         });
-        assert!(report.is_perfect(), "{report}\nmissed: {:?}\nfp: {:?}\nerr: {:?}",
-            report.missed, report.false_positives, report.errors);
+        assert!(
+            report.is_perfect(),
+            "{report}\nmissed: {:?}\nfp: {:?}\nerr: {:?}",
+            report.missed,
+            report.false_positives,
+            report.errors
+        );
         assert!(report.total > 10);
     }
 
@@ -451,7 +458,14 @@ mod tests {
                 "object table should only miss sub-object cases, missed {miss}"
             );
         }
-        assert!(!report.missed.is_empty(), "§2.2: sub-object overflows are invisible");
-        assert!(report.false_positives.is_empty(), "{:?}", report.false_positives);
+        assert!(
+            !report.missed.is_empty(),
+            "§2.2: sub-object overflows are invisible"
+        );
+        assert!(
+            report.false_positives.is_empty(),
+            "{:?}",
+            report.false_positives
+        );
     }
 }

@@ -75,8 +75,17 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
 /// our measurements.
 pub mod published {
     /// Benchmark order used by every row table here and in the paper.
-    pub const BENCHMARKS: [&str; 9] =
-        ["bh", "bisort", "em3d", "health", "mst", "perimeter", "power", "treeadd", "tsp"];
+    pub const BENCHMARKS: [&str; 9] = [
+        "bh",
+        "bisort",
+        "em3d",
+        "health",
+        "mst",
+        "perimeter",
+        "power",
+        "treeadd",
+        "tsp",
+    ];
 
     /// JK/RL/DA published relative runtimes (Fig. 7 col. 1).
     pub const JK_RL_DA: [f64; 9] = [1.00, 1.00, 1.68, 1.44, 1.26, 0.99, 1.00, 0.98, 1.03];
@@ -88,8 +97,7 @@ pub mod published {
     pub const CCURED_SIM_UOPS: [f64; 9] = [1.74, 1.22, 1.64, 1.23, 1.39, 1.58, 1.80, 1.16, 1.09];
 
     /// CCured runtime under the paper's simulator (Fig. 7 col. 7).
-    pub const CCURED_SIM_RUNTIME: [f64; 9] =
-        [1.72, 1.20, 1.31, 1.11, 1.06, 1.51, 1.79, 1.09, 1.07];
+    pub const CCURED_SIM_RUNTIME: [f64; 9] = [1.72, 1.20, 1.31, 1.11, 1.06, 1.51, 1.79, 1.09, 1.07];
 
     /// HardBound external 4-bit encoding (Fig. 7 col. 8).
     pub const HB_EXTERN4: [f64; 9] = [1.22, 1.01, 1.18, 1.17, 1.16, 1.02, 1.05, 1.03, 1.02];
@@ -126,8 +134,16 @@ mod tests {
     #[test]
     fn sources_are_fully_substituted() {
         for w in all(Scale::Full) {
-            assert!(!w.source.contains('@'), "{} has unsubstituted params", w.name);
-            assert!(w.source.contains("print_int"), "{} must print a checksum", w.name);
+            assert!(
+                !w.source.contains('@'),
+                "{} has unsubstituted params",
+                w.name
+            );
+            assert!(
+                w.source.contains("print_int"),
+                "{} must print a checksum",
+                w.name
+            );
         }
     }
 

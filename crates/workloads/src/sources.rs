@@ -812,6 +812,9 @@ fn template(body: &str, substitutions: &[(&str, u32)]) -> String {
     for (key, value) in substitutions {
         s = s.replace(key, &value.to_string());
     }
-    debug_assert!(!s.contains('@'), "unsubstituted parameter in workload source");
+    debug_assert!(
+        !s.contains('@'),
+        "unsubstituted parameter in workload source"
+    );
     s
 }

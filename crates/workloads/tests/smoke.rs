@@ -11,14 +11,35 @@ fn workloads_agree_across_modes() {
     for w in all(Scale::Smoke) {
         let reference = compile_and_run(&w.source, Mode::Baseline, PointerEncoding::Intern4)
             .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
-        assert_eq!(reference.trap, None, "{}: baseline trapped: {:?}", w.name, reference.trap);
-        assert!(!reference.ints.is_empty(), "{}: no checksum printed", w.name);
+        assert_eq!(
+            reference.trap, None,
+            "{}: baseline trapped: {:?}",
+            w.name, reference.trap
+        );
+        assert!(
+            !reference.ints.is_empty(),
+            "{}: no checksum printed",
+            w.name
+        );
         assert_eq!(reference.exit_code, Some(0), "{}", w.name);
-        for mode in [Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable] {
+        for mode in [
+            Mode::MallocOnly,
+            Mode::HardBound,
+            Mode::SoftBound,
+            Mode::ObjectTable,
+        ] {
             let out = compile_and_run(&w.source, mode, PointerEncoding::Intern4)
                 .unwrap_or_else(|e| panic!("{} ({mode}): compile failed: {e}", w.name));
-            assert_eq!(out.trap, None, "{} ({mode}) trapped: {:?}", w.name, out.trap);
-            assert_eq!(out.ints, reference.ints, "{} ({mode}): checksum differs", w.name);
+            assert_eq!(
+                out.trap, None,
+                "{} ({mode}) trapped: {:?}",
+                w.name, out.trap
+            );
+            assert_eq!(
+                out.ints, reference.ints,
+                "{} ({mode}): checksum differs",
+                w.name
+            );
         }
     }
 }
@@ -48,7 +69,11 @@ fn hardbound_adds_bounded_overhead_on_smoke_inputs() {
     for w in all(Scale::Smoke) {
         let base = compile_and_run(&w.source, Mode::Baseline, PointerEncoding::Intern4).unwrap();
         let hb = compile_and_run(&w.source, Mode::HardBound, PointerEncoding::Intern4).unwrap();
-        assert!(hb.stats.setbound_uops > 0, "{}: no setbound executed", w.name);
+        assert!(
+            hb.stats.setbound_uops > 0,
+            "{}: no setbound executed",
+            w.name
+        );
         assert!(hb.stats.bounds_checks > 0, "{}: no bounds checks", w.name);
         assert!(
             hb.stats.hierarchy.tag_accesses >= hb.stats.loads + hb.stats.stores,

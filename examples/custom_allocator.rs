@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = compile_and_run(ARENA_SOURCE, Mode::HardBound, PointerEncoding::Intern4)?;
     println!("in-bounds work: printed {:?}", out.ints);
     match out.trap {
-        Some(Trap::BoundsViolation { addr, base, bound, .. }) => println!(
+        Some(Trap::BoundsViolation {
+            addr, base, bound, ..
+        }) => println!(
             "chunk overflow caught: store to {addr:#x} outside chunk [{base:#x}, {bound:#x})\n\
              — even though the address is still inside the arena array."
         ),
@@ -51,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Without sub-bounding the same store silently corrupts chunk b.
-    let unprotected =
-        compile_and_run(ARENA_SOURCE, Mode::Baseline, PointerEncoding::Intern4)?;
+    let unprotected = compile_and_run(ARENA_SOURCE, Mode::Baseline, PointerEncoding::Intern4)?;
     println!(
         "baseline for comparison: trap={:?} (the overflow lands in chunk b)",
         unprotected.trap

@@ -27,17 +27,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The unprotected baseline corrupts silently.
     let baseline = compile_and_run(source, Mode::Baseline, PointerEncoding::Intern4)?;
-    println!("baseline:  exit={:?} trap={:?}", baseline.exit_code, baseline.trap);
+    println!(
+        "baseline:  exit={:?} trap={:?}",
+        baseline.exit_code, baseline.trap
+    );
 
     // HardBound's malloc-instrumented runtime bounds every allocation; the
     // hardware checks each dereference implicitly (paper §3.1).
     let hardbound = compile_and_run(source, Mode::HardBound, PointerEncoding::Intern4)?;
     println!("hardbound: exit={:?}", hardbound.exit_code);
     match hardbound.trap {
-        Some(Trap::BoundsViolation { addr, base, bound, .. }) => {
-            println!(
-                "hardbound: caught! store to {addr:#x} outside [{base:#x}, {bound:#x})"
-            );
+        Some(Trap::BoundsViolation {
+            addr, base, bound, ..
+        }) => {
+            println!("hardbound: caught! store to {addr:#x} outside [{base:#x}, {bound:#x})");
         }
         other => println!("unexpected outcome: {other:?}"),
     }

@@ -20,25 +20,32 @@ fn main() {
     println!("{}", "-".repeat(82));
 
     let slices: Vec<(&str, SliceFilter)> = vec![
-        ("heap, whole-object", Box::new(|c| {
-            c.region == Region::Heap && c.addressing != Addressing::SubObject
-        })),
-        ("stack, whole-object", Box::new(|c| {
-            c.region == Region::Stack && c.addressing != Addressing::SubObject
-        })),
-        ("global, whole-object", Box::new(|c| {
-            c.region == Region::Global && c.addressing != Addressing::SubObject
-        })),
-        ("sub-object (array in struct)", Box::new(|c| {
-            c.addressing == Addressing::SubObject && c.magnitude == Magnitude::One
-        })),
+        (
+            "heap, whole-object",
+            Box::new(|c| c.region == Region::Heap && c.addressing != Addressing::SubObject),
+        ),
+        (
+            "stack, whole-object",
+            Box::new(|c| c.region == Region::Stack && c.addressing != Addressing::SubObject),
+        ),
+        (
+            "global, whole-object",
+            Box::new(|c| c.region == Region::Global && c.addressing != Addressing::SubObject),
+        ),
+        (
+            "sub-object (array in struct)",
+            Box::new(|c| c.addressing == Addressing::SubObject && c.magnitude == Magnitude::One),
+        ),
     ];
 
     for (label, filter) in slices {
         let mut cells = Vec::new();
-        for mode in
-            [Mode::MallocOnly, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable]
-        {
+        for mode in [
+            Mode::MallocOnly,
+            Mode::HardBound,
+            Mode::SoftBound,
+            Mode::ObjectTable,
+        ] {
             let report = run_filtered(mode, PointerEncoding::Intern4, |c| filter(c));
             cells.push(format!("{}/{}", report.detected, report.total));
         }

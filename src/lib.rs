@@ -25,6 +25,8 @@
 //! * [`workloads`] — ports of the nine Olden benchmarks used in §5.
 //! * [`violations`] — the spatial-violation corpus generator of §5.2.
 //! * [`report`] — experiment drivers that regenerate every table and figure.
+//! * [`bench`] — bench-harness support (`cargo bench` targets regenerate
+//!   the paper artefacts; `HB_SCALE=smoke` shrinks inputs for CI).
 //!
 //! ## Quick start
 //!
@@ -46,6 +48,7 @@
 //! # Ok::<(), hardbound::compiler::CompileError>(())
 //! ```
 
+pub use hardbound_bench as bench;
 pub use hardbound_cache as cache;
 pub use hardbound_compiler as compiler;
 pub use hardbound_core as core;

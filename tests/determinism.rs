@@ -12,19 +12,31 @@ fn compilation_is_deterministic() {
     let w = by_name("health", Scale::Smoke).expect("exists");
     let p1 = compile(&w.source, Mode::HardBound).expect("compiles");
     let p2 = compile(&w.source, Mode::HardBound).expect("compiles");
-    assert_eq!(p1, p2, "two compilations of the same source must be identical");
+    assert_eq!(
+        p1, p2,
+        "two compilations of the same source must be identical"
+    );
 }
 
 #[test]
 fn execution_statistics_are_deterministic() {
     let w = by_name("em3d", Scale::Smoke).expect("exists");
-    for mode in [Mode::Baseline, Mode::HardBound, Mode::SoftBound, Mode::ObjectTable] {
+    for mode in [
+        Mode::Baseline,
+        Mode::HardBound,
+        Mode::SoftBound,
+        Mode::ObjectTable,
+    ] {
         let program = compile(&w.source, mode).expect("compiles");
         let a = build_machine(program.clone(), mode, PointerEncoding::Extern4).run();
         let b = build_machine(program, mode, PointerEncoding::Extern4).run();
         assert_eq!(a.trap, b.trap, "{mode}");
         assert_eq!(a.ints, b.ints, "{mode}");
-        assert_eq!(a.stats.cycles(), b.stats.cycles(), "{mode}: cycle counts must repeat");
+        assert_eq!(
+            a.stats.cycles(),
+            b.stats.cycles(),
+            "{mode}: cycle counts must repeat"
+        );
         assert_eq!(a.stats.uops, b.stats.uops, "{mode}");
         assert_eq!(a.stats.data_pages, b.stats.data_pages, "{mode}");
         assert_eq!(a.stats.tag_pages, b.stats.tag_pages, "{mode}");

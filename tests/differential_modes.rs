@@ -1,0 +1,309 @@
+//! Differential execution across instrumentation modes (the CGuard /
+//! Checked C validation methodology): instrumented and uninstrumented
+//! builds of the same program must be observationally identical on
+//! non-violating programs, and only instrumented builds may trap on the
+//! violation corpus.
+//!
+//! Covers paper §3 (metadata is invisible to computation) and §5.2 (the
+//! detection experiment), as a cross-mode agreement property rather than a
+//! per-mode count.
+
+use hardbound::compiler::Mode;
+use hardbound::core::{PointerEncoding, Trap};
+use hardbound::runtime::compile_and_run;
+use hardbound::violations::{corpus, Addressing, Boundary, Magnitude, Region};
+
+/// The shared non-violating corpus: small Cb programs exercising the
+/// language surface (arithmetic, control flow, heap allocation, strings,
+/// structs, recursion, pointer arithmetic) without any spatial violation.
+const BENIGN_CORPUS: &[(&str, &str)] = &[
+    (
+        "arith-loops",
+        r#"
+        int main() {
+            int acc = 0;
+            for (int i = 1; i <= 10; i = i + 1) {
+                if (i % 2 == 0) acc = acc + i * i;
+                else acc = acc - i;
+            }
+            print_int(acc);
+            return acc % 7;
+        }
+        "#,
+    ),
+    (
+        "heap-array-sum",
+        r#"
+        int main() {
+            int n = 16;
+            int *a = (int*)malloc(n * sizeof(int));
+            for (int i = 0; i < n; i = i + 1) a[i] = i * 3;
+            int sum = 0;
+            for (int i = 0; i < n; i = i + 1) sum = sum + a[i];
+            free(a);
+            print_int(sum);
+            return 0;
+        }
+        "#,
+    ),
+    (
+        "string-bytes",
+        r#"
+        int main() {
+            char *s = (char*)malloc(6);
+            s[0] = 104; s[1] = 98; s[2] = 111; s[3] = 117; s[4] = 110; s[5] = 100;
+            int h = 0;
+            for (int i = 0; i < 6; i = i + 1) h = h * 31 + s[i];
+            print_int(h);
+            free(s);
+            return 0;
+        }
+        "#,
+    ),
+    (
+        "linked-list",
+        r#"
+        struct node { int v; struct node *next; };
+        int main() {
+            struct node *head = 0;
+            for (int i = 0; i < 12; i = i + 1) {
+                struct node *n = (struct node*)malloc(sizeof(struct node));
+                n->v = i;
+                n->next = head;
+                head = n;
+            }
+            int sum = 0;
+            for (struct node *p = head; p != 0; p = p->next) sum = sum + p->v;
+            print_int(sum);
+            return 0;
+        }
+        "#,
+    ),
+    (
+        "recursion",
+        r#"
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() {
+            print_int(fib(15));
+            return 0;
+        }
+        "#,
+    ),
+    (
+        "pointer-walk",
+        r#"
+        int main() {
+            int *a = (int*)malloc(8 * sizeof(int));
+            int *p = a;
+            for (int i = 0; i < 8; i = i + 1) {
+                *p = i + 100;
+                p = p + 1;
+            }
+            int total = 0;
+            for (int i = 7; i >= 0; i = i - 1) {
+                int *q = a + i;
+                total = total + *q;
+            }
+            print_int(total);
+            free(a);
+            return 0;
+        }
+        "#,
+    ),
+    (
+        "globals-and-stack",
+        r#"
+        int g_table[10];
+        int main() {
+            int local[5];
+            for (int i = 0; i < 10; i = i + 1) g_table[i] = i * i;
+            for (int i = 0; i < 5; i = i + 1) local[i] = g_table[i + 3];
+            int s = 0;
+            for (int i = 0; i < 5; i = i + 1) s = s + local[i];
+            print_int(s);
+            return 0;
+        }
+        "#,
+    ),
+];
+
+/// What the differential harness compares: everything a Cb program can
+/// externally observe.
+fn observe(name: &str, mode: Mode) -> (Option<i32>, Option<Trap>, String, Vec<i32>) {
+    let source = BENIGN_CORPUS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| *s)
+        .expect("corpus entry exists");
+    let out = compile_and_run(source, mode, PointerEncoding::Intern4)
+        .unwrap_or_else(|e| panic!("{name} failed to compile under {mode}: {e}"));
+    (out.exit_code, out.trap, out.output, out.ints)
+}
+
+/// All five modes must agree bit-for-bit on observable behaviour of every
+/// benign program, and none may trap.
+#[test]
+fn benign_corpus_agrees_across_all_modes() {
+    for (name, _) in BENIGN_CORPUS {
+        let reference = observe(name, Mode::Baseline);
+        assert_eq!(
+            reference.1, None,
+            "{name}: baseline trapped: {:?}",
+            reference.1
+        );
+        assert!(reference.0.is_some(), "{name}: baseline did not halt");
+        for mode in [
+            Mode::MallocOnly,
+            Mode::HardBound,
+            Mode::SoftBound,
+            Mode::ObjectTable,
+        ] {
+            let got = observe(name, mode);
+            assert_eq!(
+                got, reference,
+                "{name}: {mode} observably diverges from baseline"
+            );
+        }
+    }
+}
+
+/// Benign programs agree across all three compressed pointer encodings
+/// under full HardBound (§4.3: encodings change cost, never semantics).
+#[test]
+fn benign_corpus_agrees_across_encodings() {
+    for (name, source) in BENIGN_CORPUS {
+        let mut outcomes = PointerEncoding::ALL.iter().map(|&enc| {
+            let out = compile_and_run(source, Mode::HardBound, enc)
+                .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+            (out.exit_code, out.trap, out.output, out.ints)
+        });
+        let reference = outcomes.next().expect("at least one encoding");
+        assert_eq!(
+            reference.1, None,
+            "{name}: HardBound trapped on benign program"
+        );
+        for got in outcomes {
+            assert_eq!(got, reference, "{name}: encodings disagree");
+        }
+    }
+}
+
+/// A one-element-past violation sample: silent in the baseline, detected by
+/// every instrumented mode with that mode's own trap kind; the in-bounds
+/// twin never traps anywhere.
+#[test]
+fn violation_corpus_traps_only_under_instrumentation() {
+    // Off-by-one cases stay inside mapped memory, so the unprotected
+    // baseline is guaranteed to corrupt silently rather than wild-trap.
+    let sample: Vec<_> = corpus()
+        .into_iter()
+        .filter(|c| c.magnitude == Magnitude::One)
+        .step_by(11)
+        .collect();
+    assert!(
+        sample.len() >= 10,
+        "sample unexpectedly small: {}",
+        sample.len()
+    );
+
+    for case in &sample {
+        let run = |source: &str, mode: Mode| {
+            compile_and_run(source, mode, PointerEncoding::Intern4)
+                .unwrap_or_else(|e| panic!("{}: compile failed under {mode}: {e}", case.id))
+        };
+
+        let baseline = run(&case.bad_source, Mode::Baseline);
+        assert_eq!(
+            baseline.trap, None,
+            "{}: uninstrumented baseline must run the violation silently",
+            case.id
+        );
+
+        let hb = run(&case.bad_source, Mode::HardBound);
+        assert!(
+            hb.trap.is_some_and(|t| t.is_spatial_violation()),
+            "{}: HardBound missed the violation (trap: {:?})",
+            case.id,
+            hb.trap
+        );
+
+        let sb = run(&case.bad_source, Mode::SoftBound);
+        assert!(
+            matches!(sb.trap, Some(Trap::SoftwareAbort { .. })),
+            "{}: SoftBound missed the violation (trap: {:?})",
+            case.id,
+            sb.trap
+        );
+
+        // Object-granular schemes cannot see an overflow that stays inside
+        // the allocation: overrunning `arr` into the struct's trailing
+        // sentinel is invisible to them (paper §6 — sub-object protection
+        // is what distinguishes HardBound/CCured-strength schemes from
+        // object-table ones). Underflowing `arr`, the first field, leaves
+        // the whole object and is caught. Assert the limitation rather
+        // than skip it, so a behaviour change here is loud.
+        let inside_allocation =
+            case.addressing == Addressing::SubObject && case.boundary == Boundary::Upper;
+        let ot = run(&case.bad_source, Mode::ObjectTable);
+        if inside_allocation {
+            assert_eq!(
+                ot.trap, None,
+                "{}: object-granular scheme unexpectedly saw a sub-object overflow",
+                case.id
+            );
+        } else {
+            assert!(
+                matches!(ot.trap, Some(Trap::ObjectTableViolation { .. })),
+                "{}: ObjectTable missed the violation (trap: {:?})",
+                case.id,
+                ot.trap
+            );
+        }
+
+        // Malloc-only hardware protection (§3.2) covers exactly the heap,
+        // at malloc granularity.
+        if case.region == Region::Heap && !inside_allocation {
+            let mo = run(&case.bad_source, Mode::MallocOnly);
+            assert!(
+                mo.trap.is_some_and(|t| t.is_spatial_violation()),
+                "{}: MallocOnly missed a heap violation (trap: {:?})",
+                case.id,
+                mo.trap
+            );
+        }
+
+        // The in-bounds twin is clean everywhere and all modes agree on it.
+        let reference = run(&case.ok_source, Mode::Baseline);
+        assert_eq!(
+            reference.trap, None,
+            "{}: benign twin trapped in baseline",
+            case.id
+        );
+        for mode in [
+            Mode::MallocOnly,
+            Mode::HardBound,
+            Mode::SoftBound,
+            Mode::ObjectTable,
+        ] {
+            let got = run(&case.ok_source, mode);
+            assert_eq!(
+                got.trap, None,
+                "{}: benign twin trapped under {mode}",
+                case.id
+            );
+            assert_eq!(
+                (got.exit_code, got.output, got.ints),
+                (
+                    reference.exit_code,
+                    reference.output.clone(),
+                    reference.ints.clone()
+                ),
+                "{}: benign twin diverges under {mode}",
+                case.id
+            );
+        }
+    }
+}

@@ -32,12 +32,14 @@ fn section_6_1_cast_walkthrough() {
     let ok_src = format!("{prologue}\n return 0; }}");
     let out = compile_and_run(&ok_src, Mode::HardBound, PointerEncoding::Intern4).unwrap();
     assert_eq!(out.trap, None, "{:?}", out.trap);
-    assert_eq!(out.ints, vec![42, 17], "x updated through the cast chain; y = (char)17");
+    assert_eq!(
+        out.ints,
+        vec![42, 17],
+        "x updated through the cast chain; y = (char)17"
+    );
 
     // Then: the manufactured pointer fails.
-    let bad_src = format!(
-        "{prologue}\n int *w = (int*)0x1000;\n *w = 42;\n return 0; }}"
-    );
+    let bad_src = format!("{prologue}\n int *w = (int*)0x1000;\n *w = 42;\n return 0; }}");
     let out = compile_and_run(&bad_src, Mode::HardBound, PointerEncoding::Intern4).unwrap();
     assert!(
         matches!(out.trap, Some(Trap::NonPointerDereference { .. })),
@@ -68,7 +70,11 @@ fn node_str_overflow_story() {
     // HardBound: the compiler narrows ptr to node.str's extent (§3.2), so
     // the violation is detected *inside* strcpy.
     let hb = compile_and_run(src, Mode::HardBound, PointerEncoding::Intern4).unwrap();
-    assert!(matches!(hb.trap, Some(Trap::BoundsViolation { .. })), "{:?}", hb.trap);
+    assert!(
+        matches!(hb.trap, Some(Trap::BoundsViolation { .. })),
+        "{:?}",
+        hb.trap
+    );
 
     // Object table: indistinguishable pointers, single table entry — the
     // overflow is invisible (§2.2's criticism).

@@ -1,0 +1,185 @@
+//! A minimal, dependency-free, offline re-implementation of the subset of
+//! [criterion](https://crates.io/crates/criterion) this workspace uses.
+//!
+//! The build container has no crates.io access, so the real criterion cannot
+//! be fetched. This keeps `benches/simulator_throughput.rs` source-compatible
+//! and still useful: each benchmark runs a short warm-up, then `sample_size`
+//! timed samples, and prints min/mean wall-clock per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_samples(self.default_sample_size, &mut f);
+        print_report(name, &report);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let report = run_samples(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        print_report(&label, &report);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        let report = run_samples(self.sample_size, &mut f);
+        print_report(&label, &report);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<D: Display>(param: D) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+
+    pub fn new<D: Display>(name: &str, param: D) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+/// Times closures handed to `Bencher::iter`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let elapsed = start.elapsed() / self.iters_per_sample as u32;
+        self.samples.push(elapsed);
+    }
+}
+
+/// Opaque value sink; prevents the optimizer from deleting the benchmarked
+/// computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+struct Report {
+    min: Duration,
+    mean: Duration,
+    samples: usize,
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(sample_size: usize, f: &mut F) -> Report {
+    // Warm-up sample, discarded.
+    let mut warmup = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut warmup);
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let samples = bencher.samples;
+    let min = samples.iter().copied().min().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = if samples.is_empty() {
+        Duration::ZERO
+    } else {
+        total / samples.len() as u32
+    };
+    Report {
+        min,
+        mean,
+        samples: samples.len(),
+    }
+}
+
+fn print_report(label: &str, report: &Report) {
+    println!(
+        "{label:<44} min {:>10.2?}  mean {:>10.2?}  ({} samples)",
+        report.min, report.mean, report.samples
+    );
+}
+
+/// Collects benchmark functions into a single runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

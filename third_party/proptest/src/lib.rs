@@ -1,0 +1,103 @@
+//! A minimal, dependency-free, offline re-implementation of the subset of
+//! [proptest](https://crates.io/crates/proptest) that this workspace uses.
+//!
+//! The container that builds this repository has no access to crates.io, so
+//! the real proptest cannot be fetched. This crate keeps the five property
+//! suites source-compatible:
+//!
+//! * `proptest! { #![proptest_config(..)] #[test] fn f(x in strat, ..) {..} }`
+//! * `Strategy` with `prop_map`, `prop_recursive`, `boxed`
+//! * `prop_oneof![..]`, `Just(..)`, `any::<T>()`, integer ranges, tuples
+//! * `prop::collection::vec(strat, len_range)`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! * `ProptestConfig::with_cases(n)` — overridable via the `PROPTEST_CASES`
+//!   environment variable so CI stays fast while local runs can go deep
+//! * failing seeds are persisted to `<crate>/proptest-regressions/` and
+//!   replayed before fresh cases on the next run
+//!
+//! It generates random values but does **not** shrink failures; the
+//! persisted seed reproduces the failing case exactly, which is enough for
+//! debugging a deterministic simulator.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! What `use proptest::prelude::*` is expected to bring into scope.
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assertion macros: the real proptest threads a `Result` through the test
+/// body; here a plain panic is caught by the runner, which persists the
+/// failing seed before propagating the panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies that share a `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The test-defining macro. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller and passed
+/// through) that replays persisted regression seeds and then runs
+/// `config.cases` freshly seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_proptest(
+                    &$cfg,
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                    |__proptest_rng| {
+                        let ($($arg,)+) = {
+                            let __strats = ($(($strat),)+);
+                            let ($(ref $arg,)+) = __strats;
+                            ($($crate::strategy::Strategy::generate($arg, __proptest_rng),)+)
+                        };
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}

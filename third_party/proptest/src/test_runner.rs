@@ -1,0 +1,185 @@
+//! The case-running half: deterministic seeding, the `PROPTEST_CASES`
+//! override, and regression-seed persistence compatible in spirit with the
+//! real proptest's `proptest-regressions/` files.
+
+use std::fs;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Per-suite configuration. Only `cases` is meaningful in this subset; the
+/// struct is non-exhaustive-by-convention so `..ProptestConfig::default()`
+/// update syntax keeps working if suites adopt it.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable, when set, overrides every suite's baked-in count so CI can
+    /// stay fast while local soak runs go deep.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(s) => s.trim().parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Splitmix64: tiny, seedable, and good enough to scatter test inputs.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (modulo bias is irrelevant at test scale).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Deterministic per-test base seed so runs are reproducible without any
+/// wall-clock or OS entropy; case `i` uses `base + i * GOLDEN`.
+fn base_seed(file: &str, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes().chain([b'#']).chain(name.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn regression_path(manifest_dir: &str, file: &str, name: &str) -> PathBuf {
+    let stem = Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("suite");
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}-{name}.txt"))
+}
+
+fn load_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let hex = line.strip_prefix("seed 0x")?;
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .collect()
+}
+
+fn persist_seed(path: &Path, seed: u64) {
+    if load_seeds(path).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let mut text = fs::read_to_string(path).unwrap_or_else(|_| {
+        "# proptest regression seeds — replayed before fresh cases; one `seed 0x<hex>` per line\n"
+            .to_owned()
+    });
+    text.push_str(&format!("seed {seed:#018x}\n"));
+    let _ = fs::write(path, text);
+}
+
+/// Replay persisted failures first, then run `cases` fresh seeds. On panic
+/// the seed is persisted and the panic is re-raised so the harness reports
+/// the test as failed with the original message.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    file: &str,
+    name: &str,
+    run: impl Fn(&mut TestRng),
+) {
+    let path = regression_path(manifest_dir, file, name);
+    for seed in load_seeds(&path) {
+        run_one(&path, seed, &run, "persisted regression");
+    }
+    let base = base_seed(file, name);
+    for case in 0..u64::from(config.effective_cases()) {
+        let seed = base.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        run_one(&path, seed, &run, "fresh case");
+    }
+}
+
+fn run_one(path: &Path, seed: u64, run: &impl Fn(&mut TestRng), kind: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut rng = TestRng::new(seed);
+        run(&mut rng);
+    }));
+    if let Err(panic) = outcome {
+        persist_seed(path, seed);
+        eprintln!(
+            "proptest: {kind} failed with seed {seed:#018x} (persisted to {})",
+            path.display()
+        );
+        resume_unwind(panic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = TestRng::new(43).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn env_override_parses() {
+        let cfg = ProptestConfig::with_cases(64);
+        // No env set in unit tests: falls through to the baked-in count.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cfg.effective_cases(), 64);
+        }
+    }
+}
