@@ -1,13 +1,36 @@
 //! Criterion wall-clock benchmarks of the simulator infrastructure itself
-//! (not a paper artefact): how fast the machine executes instrumented vs
-//! baseline binaries, and how expensive compilation is.
+//! (not a paper artefact): how fast the two execution paths — the
+//! one-µop-per-step interpreter and the pre-decoded basic-block engine —
+//! run instrumented vs baseline binaries, and how expensive compilation is.
+//!
+//! Ends with the engine-vs-interpreter throughput report at `HB_SCALE`
+//! (default `Full`):
+//!
+//! 1. **dispatch-bound** — a call/ALU-heavy microloop where instruction
+//!    dispatch dominates; the block engine's home turf,
+//! 2. **per-workload** — Olden ports, where the shared memory-hierarchy
+//!    simulation (identical on both paths by construction) bounds the gap,
+//! 3. **fleet** — the whole Olden suite, serial interpreter vs the
+//!    `exec::batch` parallel engine driver: the configuration every figure
+//!    pipeline actually runs.
+//!
+//! Set `HB_ENGINE_GATE=<ratio>` to turn the report into a hard gate: the
+//! dispatch-bound speedup must reach `<ratio>` (CI pins `1.8` — the ≥ 2×
+//! acceptance threshold minus 10% runner-noise headroom) and the fleet
+//! must never fall below 0.9× of the serial interpreter, so an engine-path
+//! throughput regression of more than 10% fails the build.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+
+use hardbound_bench::scale_from_env;
 use hardbound_compiler::Mode;
-use hardbound_core::PointerEncoding;
+use hardbound_core::{Machine, MachineConfig, PointerEncoding};
+use hardbound_exec::{batch, Engine};
+use hardbound_isa::{BinOp, CmpOp, FuncId, FunctionBuilder, Program, Reg};
 use hardbound_runtime::{build_machine, compile};
-use hardbound_workloads::{by_name, Scale};
+use hardbound_workloads::{all, by_name, Scale};
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_treeadd_smoke");
@@ -15,9 +38,17 @@ fn bench_simulation(c: &mut Criterion) {
     let w = by_name("treeadd", Scale::Smoke).expect("treeadd exists");
     for mode in [Mode::Baseline, Mode::HardBound, Mode::SoftBound] {
         let program = compile(&w.source, mode).expect("compiles");
-        group.bench_with_input(BenchmarkId::from_parameter(mode), &program, |b, p| {
+        group.bench_with_input(BenchmarkId::new("interp", mode), &program, |b, p| {
             b.iter(|| {
                 let out = build_machine(p.clone(), mode, PointerEncoding::Intern4).run();
+                assert!(out.trap.is_none());
+                out.stats.cycles()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("engine", mode), &program, |b, p| {
+            b.iter(|| {
+                let machine = build_machine(p.clone(), mode, PointerEncoding::Intern4);
+                let out = Engine::new(machine).run();
                 assert!(out.trap.is_none());
                 out.stats.cycles()
             });
@@ -33,5 +64,163 @@ fn bench_compilation(c: &mut Criterion) {
     });
 }
 
+/// Best-of-N wall times of two closures, sampled interleaved so slow
+/// machine phases (frequency scaling, noisy neighbours) hit both sides
+/// equally instead of skewing the ratio.
+fn compare<R>(
+    n: usize,
+    mut a: impl FnMut() -> R,
+    mut b: impl FnMut() -> R,
+) -> (Duration, Duration) {
+    let mut best_a = Duration::MAX;
+    let mut best_b = Duration::MAX;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        black_box(a());
+        best_a = best_a.min(t0.elapsed());
+        let t0 = Instant::now();
+        black_box(b());
+        best_b = best_b.min(t0.elapsed());
+    }
+    (best_a, best_b)
+}
+
+/// A dispatch-bound microloop: leaf calls + straight ALU runs, the shape
+/// where per-instruction decode/dispatch dominates simulated time.
+fn dispatch_loop(iters: i32) -> Program {
+    let mut leaf = FunctionBuilder::new("leaf", 0);
+    leaf.addi(Reg::A1, Reg::A1, 3);
+    leaf.ret();
+    let mut main = FunctionBuilder::new("main", 0);
+    main.li(Reg::A0, 0);
+    main.li(Reg::A1, 1);
+    let head = main.bind_label();
+    main.call(FuncId(1));
+    main.addi(Reg::A2, Reg::A1, 5);
+    main.bin(BinOp::Xor, Reg::A3, Reg::A2, Reg::A1);
+    main.bin(BinOp::And, Reg::A4, Reg::A3, Reg::A2);
+    main.bin(BinOp::Or, Reg::A5, Reg::A4, Reg::A2);
+    main.mov(Reg::A6, Reg::A5);
+    main.addi(Reg::A0, Reg::A0, 1);
+    let done = main.new_label();
+    main.branch(CmpOp::Ge, Reg::A0, iters, done);
+    main.jump(head);
+    main.bind(done);
+    main.li(Reg::A0, 0);
+    main.halt();
+    Program::with_entry(vec![main.finish(), leaf.finish()])
+}
+
+/// The engine-vs-interpreter throughput comparison (and optional CI gate).
+fn engine_speedup_report() {
+    let scale = scale_from_env();
+    let gate: Option<f64> = std::env::var("HB_ENGINE_GATE")
+        .ok()
+        .map(|v| v.parse().expect("HB_ENGINE_GATE must be a ratio like 1.8"));
+    let samples = match scale {
+        Scale::Smoke => 10,
+        Scale::Full => 3,
+    };
+    println!("\nengine vs interpreter throughput ({scale:?} inputs):");
+
+    // 1. Dispatch-bound microloop — the gated engine-vs-interpreter
+    //    number (single-machine, so it holds on single-core runners too).
+    let p = dispatch_loop(1_000_000);
+    let (interp, engine) = compare(
+        5,
+        || {
+            let out = Machine::new(p.clone(), MachineConfig::default()).run();
+            assert!(out.is_success());
+        },
+        || {
+            let out = Engine::new(Machine::new(p.clone(), MachineConfig::default())).run();
+            assert!(out.is_success());
+        },
+    );
+    let dispatch_speedup = interp.as_secs_f64() / engine.as_secs_f64();
+    println!(
+        "  {:<24} interp {interp:>10.2?}  engine {engine:>10.2?}  speedup {dispatch_speedup:>5.2}x",
+        "dispatch-bound loop"
+    );
+
+    // 2. Individual Olden ports (shared memory-hierarchy simulation
+    //    bounds the single-machine gap).
+    for (bench, mode) in [("treeadd", Mode::HardBound), ("em3d", Mode::HardBound)] {
+        let w = by_name(bench, scale).expect("workload exists");
+        let program = compile(&w.source, mode).expect("compiles");
+        let (interp, engine) = compare(
+            samples,
+            || {
+                let out = build_machine(program.clone(), mode, PointerEncoding::Intern4).run();
+                assert!(out.trap.is_none());
+            },
+            || {
+                let machine = build_machine(program.clone(), mode, PointerEncoding::Intern4);
+                let out = Engine::new(machine).run();
+                assert!(out.trap.is_none());
+            },
+        );
+        println!(
+            "  {:<24} interp {interp:>10.2?}  engine {engine:>10.2?}  speedup {:>5.2}x",
+            format!("{bench}/{mode}"),
+            interp.as_secs_f64() / engine.as_secs_f64()
+        );
+    }
+
+    // 3. The fleet: all nine Olden ports under full HardBound — serial
+    //    interpreter vs the parallel engine batch driver (what the figure
+    //    pipelines run). This is the gated number.
+    let programs: Vec<Program> = all(scale)
+        .iter()
+        .map(|w| compile(&w.source, Mode::HardBound).expect("compiles"))
+        .collect();
+    let (serial_interp, parallel_engine) = compare(
+        3,
+        || {
+            for p in &programs {
+                let out = build_machine(p.clone(), Mode::HardBound, PointerEncoding::Intern4).run();
+                assert!(out.trap.is_none());
+            }
+        },
+        || {
+            let outs = batch::map(programs.clone(), |_, p| {
+                Engine::new(build_machine(p, Mode::HardBound, PointerEncoding::Intern4)).run()
+            });
+            assert!(outs.iter().all(|o| o.trap.is_none()));
+        },
+    );
+    let fleet_speedup = serial_interp.as_secs_f64() / parallel_engine.as_secs_f64();
+    println!(
+        "  {:<24} interp {serial_interp:>10.2?}  engine {parallel_engine:>10.2?}  speedup {fleet_speedup:>5.2}x  ({} workers)",
+        "fleet (9 workloads)",
+        batch::default_workers()
+    );
+
+    if let Some(required) = gate {
+        // The dispatch-bound ratio is core-count independent; the fleet
+        // ratio scales with workers, so it is gated only against outright
+        // regression (engine path more than 10% slower than the serial
+        // interpreter would be a bug even on one core).
+        assert!(
+            dispatch_speedup >= required,
+            "engine throughput gate: dispatch-bound speedup {dispatch_speedup:.2}x \
+             below the required {required:.2}x"
+        );
+        assert!(
+            fleet_speedup >= 0.9,
+            "engine throughput gate: parallel-engine fleet is {fleet_speedup:.2}x \
+             of the serial interpreter — a >10% regression of the engine path"
+        );
+        println!(
+            "  gate: dispatch {dispatch_speedup:.2}x >= {required:.2}x, \
+             fleet {fleet_speedup:.2}x >= 0.90x — ok"
+        );
+    }
+}
+
 criterion_group!(benches, bench_simulation, bench_compilation);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    engine_speedup_report();
+}

@@ -186,6 +186,25 @@ impl Hierarchy {
         stall
     }
 
+    /// Charges a data access that is a proven repeat of the previous data
+    /// access's block (with no intervening dTLB/L1 traffic): both
+    /// first-level structures hit, zero stall, identical statistics to the
+    /// full [`Hierarchy::access`] walk.
+    #[inline]
+    pub fn note_data_repeat(&mut self) {
+        self.dtlb.note_hit();
+        self.l1d.note_hit();
+        self.stats.data_accesses += 1;
+    }
+
+    /// [`Hierarchy::note_data_repeat`] for the tag-metadata structures.
+    #[inline]
+    pub fn note_tag_repeat(&mut self) {
+        self.tag_tlb.note_hit();
+        self.tag_cache.note_hit();
+        self.stats.tag_accesses += 1;
+    }
+
     /// Accumulated per-class stall statistics.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {

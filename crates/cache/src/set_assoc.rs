@@ -34,13 +34,31 @@ impl CacheStats {
 #[derive(Clone, Debug)]
 pub struct Cache {
     block_bits: u32,
-    num_sets: u64,
+    /// `num_sets - 1`; set counts are asserted powers of two, so indexing
+    /// is a mask, never a hardware division (the set-index `%` was the
+    /// single hottest operation in the whole simulator).
+    set_mask: u64,
     ways: usize,
-    /// `sets[set * ways + way]` = block tag, or `u64::MAX` when invalid.
+    /// `lines[set * ways + way]` = block tag **plus one**, or `0` when
+    /// invalid. The +1 encoding makes the all-invalid initial state
+    /// all-zeroes, so construction is one `calloc` (lazily faulted pages)
+    /// instead of a multi-megabyte sentinel memset per machine.
     lines: Vec<u64>,
-    /// LRU ordering per set: `order[set * ways + i]` is the way index of
-    /// the i-th most recently used line.
-    order: Vec<u8>,
+    /// Last-use timestamp per line; the eviction victim is the line with
+    /// the smallest stamp (0 = never used, so invalid ways fill first).
+    /// This implements exactly the true-LRU policy the previous
+    /// recency-order encoding did — same hits, same misses, same victims
+    /// among valid lines — with a one-store hit path.
+    stamps: Vec<u64>,
+    /// Monotonic use counter feeding `stamps` (64-bit: never wraps).
+    clock: u64,
+    /// The most recently accessed block (`u64::MAX` = none yet). After any
+    /// access the block is resident and most-recently-used in its set, so
+    /// a repeat access is a guaranteed hit — the simulator's hot loops
+    /// overwhelmingly re-touch the same block, and this memo answers them
+    /// without the set scan. Exact: stats and replacement state evolve
+    /// identically with or without it.
+    last_block: u64,
     stats: CacheStats,
 }
 
@@ -86,10 +104,12 @@ impl Cache {
         let total = (num_sets as usize) * ways;
         Cache {
             block_bits: block_bytes.trailing_zeros(),
-            num_sets,
+            set_mask: num_sets - 1,
             ways,
-            lines: vec![u64::MAX; total],
-            order: (0..total).map(|i| (i % ways) as u8).collect(),
+            lines: vec![0; total],
+            stamps: vec![0; total],
+            clock: 0,
+            last_block: u64::MAX,
             stats: CacheStats::default(),
         }
     }
@@ -102,31 +122,53 @@ impl Cache {
 
     /// Looks up the block containing `addr`, filling on miss. Returns
     /// `true` on hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let block = addr >> self.block_bits;
-        let set = (block % self.num_sets) as usize;
+        if block == self.last_block {
+            self.stats.hits += 1;
+            return true;
+        }
+        self.access_cold(block)
+    }
+
+    fn access_cold(&mut self, block: u64) -> bool {
+        self.last_block = block;
+        let set = (block & self.set_mask) as usize;
         let base = set * self.ways;
         let lines = &mut self.lines[base..base + self.ways];
-        let order = &mut self.order[base..base + self.ways];
+        let stamps = &mut self.stamps[base..base + self.ways];
+        self.clock += 1;
+        let tag = block + 1;
 
-        if let Some(way) = lines.iter().position(|&t| t == block) {
-            // Hit: move `way` to the front of the recency order.
-            let pos = order
-                .iter()
-                .position(|&w| w as usize == way)
-                .expect("way in order");
-            order[..=pos].rotate_right(1);
+        if let Some(way) = lines.iter().position(|&t| t == tag) {
+            stamps[way] = self.clock;
             self.stats.hits += 1;
             true
         } else {
-            // Miss: evict the LRU way (last in the order).
-            let victim = order[self.ways - 1] as usize;
-            lines[victim] = block;
-            order.rotate_right(1);
-            debug_assert_eq!(order[0] as usize, victim);
+            // Miss: evict the least-recently-used way (smallest stamp;
+            // never-used ways carry stamp 0 and fill first).
+            let victim = stamps
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &s)| s)
+                .map(|(w, _)| w)
+                .expect("ways > 0");
+            lines[victim] = tag;
+            stamps[victim] = self.clock;
             self.stats.misses += 1;
             false
         }
+    }
+
+    /// Records a hit without a lookup. Callers (the hierarchy's
+    /// repeat-access fast path) use this only when the hit is already
+    /// proven — the block was the most recent access and nothing touched
+    /// this cache since — so the LRU rotation is a no-op and only the
+    /// counter moves.
+    #[inline]
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
     }
 
     /// Whether the block containing `addr` is currently resident (no state
@@ -134,9 +176,9 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
         let block = addr >> self.block_bits;
-        let set = (block % self.num_sets) as usize;
+        let set = (block & self.set_mask) as usize;
         let base = set * self.ways;
-        self.lines[base..base + self.ways].contains(&block)
+        self.lines[base..base + self.ways].contains(&(block + 1))
     }
 
     /// Accumulated hit/miss counters.
@@ -148,7 +190,7 @@ impl Cache {
     /// Capacity in blocks (diagnostic).
     #[must_use]
     pub fn num_blocks(&self) -> u64 {
-        self.num_sets * self.ways as u64
+        (self.set_mask + 1) * self.ways as u64
     }
 
     /// Block size in bytes.

@@ -54,7 +54,7 @@ pub use config::{HardboundConfig, MachineConfig, SafetyMode};
 pub use encoding::{
     intern4_compress, intern4_decompress, intern_eligible, Intern4Word, PointerEncoding,
 };
-pub use machine::{Machine, RunOutcome};
+pub use machine::{ExecState, Machine, RunOutcome};
 pub use meta::{propagate_binop, Meta};
 pub use objtable::{NullObjectTable, ObjectTable};
 pub use stats::ExecStats;

@@ -79,6 +79,23 @@ pub struct Machine {
     trap: Option<Trap>,
     objtable: Option<Box<dyn ObjectTable>>,
     globals_end: u32,
+    /// L1/tag-cache block shift, cached from the hierarchy configuration.
+    block_shift: u32,
+    /// Right-shift mapping a data address to its tag-byte offset (5 for
+    /// 1-bit tags, 3 for 4-bit tags); meaningless when HardBound is off.
+    tag_down_shift: u32,
+    /// Memo of the last data access's cache block (`u64::MAX` = none).
+    /// Consecutive same-block data accesses are guaranteed TLB/L1 hits
+    /// with a no-op LRU update, so they bypass the full hierarchy walk;
+    /// shadow traffic shares those structures and invalidates the memo.
+    last_data_block: u64,
+    /// Same memo for the tag-metadata plane (tag TLB + tag cache are only
+    /// ever touched by tag accesses, so no invalidation is needed).
+    last_tag_block: u64,
+    /// Page whose accesses are known `region_ok` (`u32::MAX` = none).
+    /// Region boundaries are all page-aligned, so one passing check
+    /// whitelists the whole page for non-straddling accesses.
+    last_ok_page: u32,
 }
 
 impl std::fmt::Debug for Machine {
@@ -118,6 +135,13 @@ impl Machine {
         let entry = program.entry;
         let mut m = Machine {
             hier: Hierarchy::new(cfg.hierarchy),
+            block_shift: cfg.hierarchy.block_bytes.trailing_zeros(),
+            tag_down_shift: cfg
+                .hardbound
+                .map_or(5, |hb| (32 / hb.encoding.tag_bits()).trailing_zeros()),
+            last_data_block: u64::MAX,
+            last_tag_block: u64::MAX,
+            last_ok_page: u32::MAX,
             cfg,
             program,
             regs: [0; Reg::COUNT],
@@ -175,6 +199,14 @@ impl Machine {
                 self.trap = Some(t);
             }
         }
+        self.finish_outcome()
+    }
+
+    /// Finalizes page/stall accounting and assembles the [`RunOutcome`] for
+    /// the machine's current state. [`Machine::run`] ends with this; the
+    /// block engine (`hardbound-exec`) drives the machine through
+    /// [`ExecState`] and calls it directly.
+    pub fn finish_outcome(&mut self) -> RunOutcome {
         self.finalize_stats();
         RunOutcome {
             exit_code: self.halted,
@@ -183,6 +215,25 @@ impl Machine {
             output: self.output.clone(),
             ints: self.ints.clone(),
         }
+    }
+
+    /// The program image this machine executes.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The active machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The narrow state interface the block execution engine drives; see
+    /// [`ExecState`].
+    #[must_use]
+    pub fn exec_state(&mut self) -> ExecState<'_> {
+        ExecState { m: self }
     }
 
     /// Execution statistics so far (page counts are finalized by
@@ -217,14 +268,17 @@ impl Machine {
         self.stats.shadow_pages = self.pages.shadow_pages();
     }
 
+    #[inline]
     fn r(&self, r: Reg) -> u32 {
         self.regs[r.index()]
     }
 
+    #[inline]
     fn m(&self, r: Reg) -> Meta {
         self.metas[r.index()]
     }
 
+    #[inline]
     fn set(&mut self, r: Reg, value: u32, meta: Meta) {
         if !r.is_zero() {
             self.regs[r.index()] = value;
@@ -239,7 +293,24 @@ impl Machine {
         }
     }
 
-    fn region_ok(&self, ea: u32, width: u32) -> bool {
+    #[inline]
+    fn region_ok(&mut self, ea: u32, width: u32) -> bool {
+        // Every region boundary (globals end included — it is rounded to a
+        // page multiple) is 4 KB-aligned, so a page either lies entirely in
+        // a region or entirely outside all of them: one passing check
+        // whitelists its whole page for accesses that do not straddle it.
+        let in_page = (ea & 4095) + width <= 4096;
+        if in_page && ea >> 12 == self.last_ok_page {
+            return true;
+        }
+        let ok = self.region_ok_slow(ea, width);
+        if ok && in_page {
+            self.last_ok_page = ea >> 12;
+        }
+        ok
+    }
+
+    fn region_ok_slow(&self, ea: u32, width: u32) -> bool {
         let start = u64::from(ea);
         let end = start + u64::from(width);
         let within = |lo: u32, hi: u32| start >= u64::from(lo) && end <= u64::from(hi);
@@ -254,6 +325,7 @@ impl Machine {
 
     /// The implicit HardBound dereference check of Figure 3 C/D. Returns
     /// `Ok(())` when the access may proceed.
+    #[inline]
     fn implicit_check(
         &mut self,
         fpc: Pc,
@@ -302,19 +374,46 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn charge_data(&mut self, ea: u32) {
+        let block = u64::from(ea) >> self.block_shift;
+        if block == self.last_data_block {
+            // Same block as the previous data access with nothing between
+            // on the shared structures: guaranteed dTLB + L1 hits, zero
+            // stall, no replacement-state change.
+            self.hier.note_data_repeat();
+            return;
+        }
+        self.last_data_block = block;
         self.pages.touch_data(ea);
         self.hier.access(AccessClass::Data, u64::from(ea));
     }
 
+    #[inline]
     fn charge_tag(&mut self, ea: u32) {
-        let hb = self.cfg.hardbound.expect("tag traffic only with HardBound");
-        let addr = layout::hw_tag_addr(ea, hb.encoding.tag_bits());
+        debug_assert!(
+            self.cfg.hardbound.is_some(),
+            "tag traffic only with HardBound"
+        );
+        let addr = layout::HW_TAG_BASE + u64::from(ea >> self.tag_down_shift);
+        debug_assert_eq!(
+            addr,
+            layout::hw_tag_addr(ea, self.cfg.hardbound.expect("checked").encoding.tag_bits())
+        );
+        let block = addr >> self.block_shift;
+        if block == self.last_tag_block {
+            self.hier.note_tag_repeat();
+            return;
+        }
+        self.last_tag_block = block;
         self.pages.touch_tag(addr);
         self.hier.access(AccessClass::Tag, addr);
     }
 
     fn charge_shadow(&mut self, ea: u32) {
+        // Shadow traffic shares the dTLB and L1 with ordinary data, so the
+        // data-repeat memo no longer proves anything.
+        self.last_data_block = u64::MAX;
         let addr = layout::hw_shadow_addr(ea);
         self.pages.touch_shadow(addr);
         self.hier.access(AccessClass::Shadow, addr);
@@ -332,9 +431,32 @@ impl Machine {
         addr: Reg,
         offset: i32,
     ) -> Result<(), Trap> {
+        if self.cfg.hardbound.is_some() {
+            self.exec_load_g::<true>(fpc, width, rd, addr, offset)
+        } else {
+            self.exec_load_g::<false>(fpc, width, rd, addr, offset)
+        }
+    }
+
+    /// Load semantics, monomorphized over "is the HardBound extension
+    /// active". The interpreter dispatches on the configuration each step;
+    /// the block engine resolves `HB` once at decode time and calls the
+    /// right instantiation directly (paper §4.4's µop-insertion pipeline,
+    /// applied per static instruction).
+    fn exec_load_g<const HB: bool>(
+        &mut self,
+        fpc: Pc,
+        width: Width,
+        rd: Reg,
+        addr: Reg,
+        offset: i32,
+    ) -> Result<(), Trap> {
+        debug_assert_eq!(HB, self.cfg.hardbound.is_some());
         let ea = self.r(addr).wrapping_add(offset as u32);
-        let ameta = self.m(addr);
-        self.implicit_check(fpc, ea, width.bytes(), ameta, false)?;
+        if HB {
+            let ameta = self.m(addr);
+            self.implicit_check(fpc, ea, width.bytes(), ameta, false)?;
+        }
         if !self.region_ok(ea, width.bytes()) {
             return Err(Trap::WildAddress {
                 pc: fpc,
@@ -344,8 +466,7 @@ impl Machine {
         }
         self.stats.loads += 1;
         self.charge_data(ea);
-        let hb_on = self.cfg.hardbound.is_some();
-        if hb_on {
+        if HB {
             // "This tag metadata is needed by every memory operation" §4.2.
             self.charge_tag(ea);
         }
@@ -355,27 +476,30 @@ impl Machine {
                 self.set(rd, u32::from(v), Meta::NONE);
             }
             Width::Word => {
-                let raw = self.mem.read_u32(ea);
-                let mut meta = Meta::NONE;
-                if hb_on && ea.is_multiple_of(4) {
-                    match self.mem.tag(ea) {
+                if HB && ea.is_multiple_of(4) {
+                    let (raw, tag, shadow) = self.mem.read_word_full(ea);
+                    let mut meta = Meta::NONE;
+                    match tag {
                         TAG_NONE => {}
                         TAG_COMPRESSED => {
                             // Metadata travels inside the word/tag — no
                             // extra traffic (paper §4.3).
-                            meta = self.mem.shadow(ea).into();
+                            meta = shadow.into();
                             self.stats.ptr_loads += 1;
                             self.stats.compressed_ptr_loads += 1;
                         }
                         TAG_UNCOMPRESSED => {
                             self.charge_shadow(ea);
-                            meta = self.mem.shadow(ea).into();
+                            meta = shadow.into();
                             self.stats.ptr_loads += 1;
                         }
                         t => unreachable!("corrupt tag {t}"),
                     }
+                    self.set(rd, raw, meta);
+                } else {
+                    let raw = self.mem.read_u32(ea);
+                    self.set(rd, raw, Meta::NONE);
                 }
-                self.set(rd, raw, meta);
             }
         }
         Ok(())
@@ -389,9 +513,28 @@ impl Machine {
         addr: Reg,
         offset: i32,
     ) -> Result<(), Trap> {
+        if self.cfg.hardbound.is_some() {
+            self.exec_store_g::<true>(fpc, width, src, addr, offset)
+        } else {
+            self.exec_store_g::<false>(fpc, width, src, addr, offset)
+        }
+    }
+
+    /// Store semantics, monomorphized like [`Machine::exec_load_g`].
+    fn exec_store_g<const HB: bool>(
+        &mut self,
+        fpc: Pc,
+        width: Width,
+        src: Reg,
+        addr: Reg,
+        offset: i32,
+    ) -> Result<(), Trap> {
+        debug_assert_eq!(HB, self.cfg.hardbound.is_some());
         let ea = self.r(addr).wrapping_add(offset as u32);
-        let ameta = self.m(addr);
-        self.implicit_check(fpc, ea, width.bytes(), ameta, true)?;
+        if HB {
+            let ameta = self.m(addr);
+            self.implicit_check(fpc, ea, width.bytes(), ameta, true)?;
+        }
         if !self.region_ok(ea, width.bytes()) {
             return Err(Trap::WildAddress {
                 pc: fpc,
@@ -401,44 +544,54 @@ impl Machine {
         }
         self.stats.stores += 1;
         self.charge_data(ea);
-        let hb_on = self.cfg.hardbound.is_some();
-        if hb_on {
+        if HB {
             self.charge_tag(ea);
         }
         let value = self.r(src);
         match width {
             Width::Byte => {
                 self.mem.write_u8(ea, value as u8);
-                if hb_on {
+                if HB {
                     // A sub-word store destroys the containing word's
                     // pointer-ness (conservative, as real hardware must).
                     self.mem.set_tag(ea, TAG_NONE);
                 }
             }
             Width::Word => {
-                self.mem.write_u32(ea, value);
-                if hb_on {
+                if HB {
                     if ea.is_multiple_of(4) {
                         let meta = self.m(src);
                         if meta.is_pointer() {
                             self.stats.ptr_stores += 1;
                             let hb = self.cfg.hardbound.expect("checked above");
-                            self.mem.set_shadow(ea, (meta.base, meta.bound));
                             if hb.encoding.is_compressible(value, meta) {
                                 self.stats.compressed_ptr_stores += 1;
-                                self.mem.set_tag(ea, TAG_COMPRESSED);
+                                self.mem.write_word_pointer(
+                                    ea,
+                                    value,
+                                    TAG_COMPRESSED,
+                                    (meta.base, meta.bound),
+                                );
                             } else {
-                                self.mem.set_tag(ea, TAG_UNCOMPRESSED);
+                                self.mem.write_word_pointer(
+                                    ea,
+                                    value,
+                                    TAG_UNCOMPRESSED,
+                                    (meta.base, meta.bound),
+                                );
                                 self.charge_shadow(ea);
                             }
                         } else {
-                            self.mem.set_tag(ea, TAG_NONE);
+                            self.mem.write_word_tagged(ea, value, TAG_NONE);
                         }
                     } else {
                         // Unaligned word store: clear both containing words.
+                        self.mem.write_u32(ea, value);
                         self.mem.set_tag(ea, TAG_NONE);
                         self.mem.set_tag(ea.wrapping_add(3), TAG_NONE);
                     }
+                } else {
+                    self.mem.write_u32(ea, value);
                 }
             }
         }
@@ -712,5 +865,195 @@ impl Machine {
             Inst::Nop => {}
         }
         Ok(())
+    }
+}
+
+/// The narrow mutable interface the basic-block execution engine
+/// (`hardbound-exec`) drives.
+///
+/// The engine owns instruction *dispatch* (pre-decoded µop blocks); the
+/// machine keeps sole ownership of *semantics* — register/metadata state,
+/// the memory planes, the cache hierarchy, statistics, and trap plumbing.
+/// Everything here delegates to exactly the code [`Machine::step`] runs, so
+/// the two execution paths cannot drift: the engine-vs-interpreter
+/// differential suite holds them observationally identical (output, traps,
+/// and every [`ExecStats`](crate::ExecStats) counter).
+pub struct ExecState<'m> {
+    m: &'m mut Machine,
+}
+
+impl ExecState<'_> {
+    /// Register value.
+    #[inline]
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.m.regs[r.index()]
+    }
+
+    /// Register sidecar metadata.
+    #[inline]
+    #[must_use]
+    pub fn reg_meta(&self, r: Reg) -> Meta {
+        self.m.metas[r.index()]
+    }
+
+    /// Writes a register and its sidecar metadata (writes to `zero` are
+    /// discarded, as in the interpreter).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u32, meta: Meta) {
+        self.m.set(r, value, meta);
+    }
+
+    /// Current control-flow position.
+    #[inline]
+    #[must_use]
+    pub fn pc(&self) -> (FuncId, u32) {
+        (self.m.func, self.m.pc)
+    }
+
+    /// Moves control to `pc` within `func`. The engine uses this to commit
+    /// block-local control flow and to position the machine before a
+    /// [`Machine::step`] fallback.
+    #[inline]
+    pub fn set_pc(&mut self, func: FuncId, pc: u32) {
+        self.m.func = func;
+        self.m.pc = pc;
+    }
+
+    /// Exit code if the machine has halted.
+    #[inline]
+    #[must_use]
+    pub fn halted(&self) -> Option<i32> {
+        self.m.halted
+    }
+
+    /// The pending trap, if any.
+    #[inline]
+    #[must_use]
+    pub fn trap(&self) -> Option<Trap> {
+        self.m.trap
+    }
+
+    /// Records a trap, stopping the run (mirrors [`Machine::run`]'s
+    /// handling of a `step` error).
+    #[inline]
+    pub fn set_trap(&mut self, trap: Trap) {
+        self.m.trap = Some(trap);
+    }
+
+    /// µops retired so far (the fuel meter reading).
+    #[inline]
+    #[must_use]
+    pub fn uops(&self) -> u64 {
+        self.m.stats.uops
+    }
+
+    /// The configured fuel limit.
+    #[inline]
+    #[must_use]
+    pub fn fuel(&self) -> u64 {
+        self.m.cfg.fuel
+    }
+
+    /// Retires `n` µops at once (the engine batches a block's worth of
+    /// straight-line µops into one counter update).
+    #[inline]
+    pub fn retire_uops(&mut self, n: u64) {
+        self.m.stats.uops += n;
+    }
+
+    /// Counts one bounds-manipulation µop (`setbound` / `unbound`).
+    #[inline]
+    pub fn count_setbound(&mut self) {
+        self.m.stats.setbound_uops += 1;
+    }
+
+    /// Load with the HardBound extension statically known inactive
+    /// (decode-time resolution of the baseline configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] the access raises, if any.
+    #[inline]
+    pub fn load_raw(
+        &mut self,
+        fpc: Pc,
+        width: Width,
+        rd: Reg,
+        addr: Reg,
+        offset: i32,
+    ) -> Result<(), Trap> {
+        self.m.exec_load_g::<false>(fpc, width, rd, addr, offset)
+    }
+
+    /// Load with the HardBound extension statically known active.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] the access raises, if any.
+    #[inline]
+    pub fn load_hb(
+        &mut self,
+        fpc: Pc,
+        width: Width,
+        rd: Reg,
+        addr: Reg,
+        offset: i32,
+    ) -> Result<(), Trap> {
+        self.m.exec_load_g::<true>(fpc, width, rd, addr, offset)
+    }
+
+    /// Store with the HardBound extension statically known inactive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] the access raises, if any.
+    #[inline]
+    pub fn store_raw(
+        &mut self,
+        fpc: Pc,
+        width: Width,
+        src: Reg,
+        addr: Reg,
+        offset: i32,
+    ) -> Result<(), Trap> {
+        self.m.exec_store_g::<false>(fpc, width, src, addr, offset)
+    }
+
+    /// Store with the HardBound extension statically known active.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] the access raises, if any.
+    #[inline]
+    pub fn store_hb(
+        &mut self,
+        fpc: Pc,
+        width: Width,
+        src: Reg,
+        addr: Reg,
+        offset: i32,
+    ) -> Result<(), Trap> {
+        self.m.exec_store_g::<true>(fpc, width, src, addr, offset)
+    }
+
+    /// Performs the calling sequence into `callee`. The return address is
+    /// the machine's current position, so the engine must
+    /// [`ExecState::set_pc`] to the instruction *after* the call first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::CallDepthExceeded`] / [`Trap::StackOverflow`].
+    #[inline]
+    pub fn call(&mut self, callee: FuncId) -> Result<(), Trap> {
+        self.m.do_call(callee)
+    }
+
+    /// Returns from the current function. Reports whether the machine
+    /// halted (i.e. the entry function returned).
+    #[inline]
+    pub fn ret(&mut self) -> bool {
+        self.m.do_ret();
+        self.m.halted.is_some()
     }
 }

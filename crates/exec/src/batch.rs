@@ -1,0 +1,129 @@
+//! Deterministic parallel batch driver.
+//!
+//! The evaluation's outer loops — 288 violation pairs × modes, 9 Olden
+//! ports × encodings — are embarrassingly parallel: every job compiles and
+//! simulates its own machine with zero shared state. [`map`] fans a job
+//! list across `std::thread` workers and returns results **in input
+//! order**, so a parallelized driver produces byte-identical reports to the
+//! serial loop it replaces.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `HB_JOBS` if set (≥ 1), else the machine's available
+/// parallelism.
+#[must_use]
+pub fn default_workers() -> usize {
+    if let Some(n) = std::env::var("HB_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on [`default_workers`] threads, preserving
+/// input order in the results.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (a panicking job poisons
+/// nothing: each job owns its slot).
+pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    map_with_workers(items, default_workers(), f)
+}
+
+/// [`map`] with an explicit worker count (`1` degrades to the plain serial
+/// loop — the `--interp`-style escape hatch for debugging).
+pub fn map_with_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    // Work-stealing by atomic index: each job's input and output live in
+    // dedicated slots, so result order is the input order regardless of
+    // which worker ran what.
+    let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = queue[i]
+                    .lock()
+                    .expect("job slot lock")
+                    .take()
+                    .expect("each slot is taken once");
+                let r = f(i, item);
+                *results[i].lock().expect("result slot lock") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("every job completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = map(items.clone(), |i, x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_the_serial_path_exactly() {
+        let items: Vec<u32> = (0..100).rev().collect();
+        let serial = map_with_workers(items.clone(), 1, |i, x| (i, x.wrapping_mul(2654435761)));
+        let parallel = map_with_workers(items, 8, |i, x| (i, x.wrapping_mul(2654435761)));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map(empty, |_, x: u8| x).is_empty());
+        assert_eq!(map(vec![7u8], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_honors_env_floor() {
+        assert!(default_workers() >= 1);
+    }
+}

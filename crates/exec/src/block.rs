@@ -1,0 +1,258 @@
+//! The decoded-block cache.
+//!
+//! Blocks are keyed by entry point `(function, instruction index)`. The
+//! index is a dense per-function table rather than a hash map — a lookup on
+//! the block-transition path is two array reads. Decoded blocks may overlap
+//! (jumping into the middle of a previously decoded run simply decodes a
+//! new block starting there); this keeps decode single-pass with no leader
+//! analysis, exactly like a hardware µop trace cache.
+
+use hardbound_isa::{FuncId, Program};
+
+use crate::uop::Uop;
+
+/// A decoded basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Owning function.
+    pub func: FuncId,
+    /// Entry instruction index within the function.
+    pub entry: u32,
+    /// Pre-decoded µops; one per instruction, terminator last.
+    pub uops: Box<[Uop]>,
+}
+
+/// Counters describing the cache's behaviour over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Lookups that found a resident decoded block.
+    pub hits: u64,
+    /// Blocks decoded (== lookup misses).
+    pub decoded: u64,
+    /// Blocks discarded by a capacity flush.
+    pub evicted: u64,
+    /// Blocks discarded by explicit invalidation.
+    pub invalidated: u64,
+}
+
+impl BlockCacheStats {
+    /// Lookup hit ratio in `[0, 1]`; `0` with no lookups.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.decoded;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Decoded blocks indexed by entry PC, with bounded capacity.
+#[derive(Debug)]
+pub struct BlockCache {
+    /// `index[func][pc]` = block id + 1; `0` = not decoded.
+    index: Vec<Vec<u32>>,
+    blocks: Vec<Block>,
+    capacity: usize,
+    stats: BlockCacheStats,
+}
+
+impl BlockCache {
+    /// Default capacity in blocks; far beyond any single program image, so
+    /// capacity flushes only occur when a caller asks for a small cache.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates an empty cache shaped for `program`.
+    #[must_use]
+    pub fn new(program: &Program, capacity: usize) -> BlockCache {
+        assert!(capacity > 0, "block cache needs room for at least 1 block");
+        BlockCache {
+            index: program
+                .functions
+                .iter()
+                .map(|f| vec![0; f.insts.len()])
+                .collect(),
+            blocks: Vec::new(),
+            capacity,
+            stats: BlockCacheStats::default(),
+        }
+    }
+
+    /// Id of the resident block decoded at `(func, pc)`, if any. Counts a
+    /// hit. Ids are only stable until the next insert or invalidation —
+    /// resolve them with [`BlockCache::block`] immediately.
+    #[inline]
+    pub fn lookup(&mut self, func: FuncId, pc: u32) -> Option<usize> {
+        let id = self.index[func.0 as usize][pc as usize];
+        if id == 0 {
+            return None;
+        }
+        self.stats.hits += 1;
+        Some(id as usize - 1)
+    }
+
+    /// Inserts a freshly decoded block and returns its id. Counts a
+    /// decode; flushes everything first when at capacity.
+    pub fn insert(&mut self, func: FuncId, entry: u32, uops: Box<[Uop]>) -> usize {
+        if self.blocks.len() >= self.capacity {
+            self.stats.evicted += self.blocks.len() as u64;
+            self.flush();
+        }
+        self.stats.decoded += 1;
+        self.blocks.push(Block { func, entry, uops });
+        let id = self.blocks.len() as u32; // id + 1 encoding
+        self.index[func.0 as usize][entry as usize] = id;
+        id as usize - 1
+    }
+
+    /// The block for an id returned by [`BlockCache::lookup`] /
+    /// [`BlockCache::insert`].
+    #[inline]
+    #[must_use]
+    pub fn block(&self, id: usize) -> &Block {
+        &self.blocks[id]
+    }
+
+    /// Drops every decoded block containing `func`'s code (e.g. after
+    /// patching a function image), counting them as invalidated. That
+    /// includes blocks of *other* functions that inlined `func` as a
+    /// straight-line leaf callee ([`Uop::InlineCall`]) — their µop arrays
+    /// embed `func`'s decoded body.
+    pub fn invalidate_function(&mut self, func: FuncId) {
+        let before = self.blocks.len();
+        self.blocks.retain(|b| {
+            b.func != func
+                && !b
+                    .uops
+                    .iter()
+                    .any(|u| matches!(u, Uop::InlineCall { func: f, .. } if *f == func))
+        });
+        self.stats.invalidated += (before - self.blocks.len()) as u64;
+        self.rebuild_index();
+    }
+
+    /// Drops every decoded block, counting them as invalidated.
+    pub fn invalidate_all(&mut self) {
+        self.stats.invalidated += self.blocks.len() as u64;
+        self.flush();
+    }
+
+    fn flush(&mut self) {
+        self.blocks.clear();
+        for per_fn in &mut self.index {
+            per_fn.fill(0);
+        }
+    }
+
+    fn rebuild_index(&mut self) {
+        for per_fn in &mut self.index {
+            per_fn.fill(0);
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            self.index[b.func.0 as usize][b.entry as usize] = i as u32 + 1;
+        }
+    }
+
+    /// Number of resident decoded blocks.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Accumulated cache counters.
+    #[must_use]
+    pub fn stats(&self) -> BlockCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardbound_isa::{FunctionBuilder, Reg};
+
+    fn two_function_program() -> Program {
+        let mut a = FunctionBuilder::new("a", 0);
+        a.li(Reg::A0, 1);
+        a.halt();
+        let mut b = FunctionBuilder::new("b", 0);
+        b.li(Reg::A0, 2);
+        b.ret();
+        Program::with_entry(vec![a.finish(), b.finish()])
+    }
+
+    fn uops() -> Box<[Uop]> {
+        vec![Uop::Nop, Uop::Ret].into_boxed_slice()
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let p = two_function_program();
+        let mut c = BlockCache::new(&p, 8);
+        assert!(c.lookup(FuncId(0), 0).is_none());
+        let id = c.insert(FuncId(0), 0, uops());
+        assert_eq!(c.lookup(FuncId(0), 0), Some(id));
+        assert_eq!(c.block(id).entry, 0);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().decoded, 1);
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_flush_counts_evictions() {
+        let p = two_function_program();
+        let mut c = BlockCache::new(&p, 1);
+        c.insert(FuncId(0), 0, uops());
+        c.insert(FuncId(0), 1, uops());
+        assert_eq!(c.stats().evicted, 1);
+        assert_eq!(c.resident(), 1);
+        assert!(c.lookup(FuncId(0), 0).is_none(), "flushed block is gone");
+        assert!(c.lookup(FuncId(0), 1).is_some());
+    }
+
+    #[test]
+    fn function_invalidation_is_selective() {
+        let p = two_function_program();
+        let mut c = BlockCache::new(&p, 8);
+        c.insert(FuncId(0), 0, uops());
+        c.insert(FuncId(1), 0, uops());
+        c.invalidate_function(FuncId(0));
+        assert_eq!(c.stats().invalidated, 1);
+        assert!(c.lookup(FuncId(0), 0).is_none());
+        assert!(c.lookup(FuncId(1), 0).is_some());
+        c.invalidate_all();
+        assert_eq!(c.stats().invalidated, 2);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn invalidation_covers_inlined_leaf_bodies() {
+        let p = two_function_program();
+        let mut c = BlockCache::new(&p, 8);
+        // A block of fn#0 whose superblock inlined fn#1's body.
+        c.insert(
+            FuncId(0),
+            0,
+            vec![
+                Uop::InlineCall {
+                    func: FuncId(1),
+                    ret: 1,
+                },
+                Uop::Nop,
+                Uop::InlineRet,
+                Uop::Ret,
+            ]
+            .into_boxed_slice(),
+        );
+        c.insert(FuncId(0), 1, uops());
+        c.invalidate_function(FuncId(1));
+        assert_eq!(
+            c.stats().invalidated,
+            1,
+            "the inlining block embeds fn#1's code and must go"
+        );
+        assert!(c.lookup(FuncId(0), 0).is_none());
+        assert!(c.lookup(FuncId(0), 1).is_some(), "unrelated blocks survive");
+    }
+}

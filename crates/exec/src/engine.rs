@@ -1,0 +1,559 @@
+//! The basic-block execution engine.
+//!
+//! [`Engine::run`] is a drop-in replacement for
+//! [`Machine::run`](hardbound_core::Machine::run): identical observable
+//! behaviour (output, ints, exit code, traps *including their program
+//! counters*, and every [`ExecStats`](hardbound_core::ExecStats) counter),
+//! reached by dispatching pre-decoded µop superblocks instead of
+//! re-decoding one instruction per step. Semantics stay in
+//! `hardbound-core` behind the [`ExecState`] interface; anything the block
+//! path cannot express — indirect calls, environment calls, runs near the
+//! fuel limit — falls back to the interpreter's own [`Machine::step`].
+
+use hardbound_core::{ExecState, Machine, MachineConfig, Meta, Pc, RunOutcome, Trap};
+use hardbound_isa::{BinOp, FuncId, Program};
+
+use crate::block::{BlockCache, BlockCacheStats};
+use crate::uop::{decode_block, Uop};
+
+/// Counters describing how a run was executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Block-cache behaviour (decodes, hits, evictions, invalidations).
+    pub cache: BlockCacheStats,
+    /// Blocks dispatched through the fast path.
+    pub blocks_executed: u64,
+    /// µops retired by the block dispatch loop.
+    pub fast_uops: u64,
+    /// Instructions executed via the `Machine::step` fallback (indirect
+    /// calls, environment calls, and fuel-limited tails).
+    pub stepped_insts: u64,
+}
+
+/// A machine driven through pre-decoded basic blocks.
+pub struct Engine {
+    machine: Machine,
+    cache: BlockCache,
+    blocks_executed: u64,
+    fast_uops: u64,
+    stepped_insts: u64,
+}
+
+impl Engine {
+    /// Wraps `machine` with a default-capacity block cache.
+    #[must_use]
+    pub fn new(machine: Machine) -> Engine {
+        Engine::with_block_capacity(machine, BlockCache::DEFAULT_CAPACITY)
+    }
+
+    /// Wraps `machine` with a block cache holding at most `capacity`
+    /// decoded blocks (smaller caches exercise the eviction path).
+    #[must_use]
+    pub fn with_block_capacity(machine: Machine, capacity: usize) -> Engine {
+        let cache = BlockCache::new(machine.program(), capacity);
+        Engine {
+            machine,
+            cache,
+            blocks_executed: 0,
+            fast_uops: 0,
+            stepped_insts: 0,
+        }
+    }
+
+    /// Runs to halt, trap, or fuel exhaustion — observationally identical
+    /// to [`Machine::run`].
+    pub fn run(&mut self) -> RunOutcome {
+        // After a block that ended in pure intra-function control flow
+        // (branch/jump, or a call that entered its callee cleanly), the
+        // machine cannot have halted or trapped, so the state re-check is
+        // skipped — only the fuel gate runs.
+        let mut check_state = true;
+        loop {
+            let gate = {
+                let mut st = self.machine.exec_state();
+                if check_state && (st.halted().is_some() || st.trap().is_some()) {
+                    None
+                } else if st.uops() >= st.fuel() {
+                    st.set_trap(Trap::OutOfFuel);
+                    None
+                } else {
+                    let (func, pc) = st.pc();
+                    Some((func, pc, st.fuel() - st.uops()))
+                }
+            };
+            let Some((func, pc, budget)) = gate else {
+                break;
+            };
+            let id = self.lookup_or_decode(func, pc);
+            let len = self.cache.block(id).uops.len() as u64;
+            // A memory µop can retire up to two extra µops (metadata +
+            // check); 3×len over-approximates the block's fuel draw. Runs
+            // that close to the limit finish on the interpreter so the
+            // per-step fuel accounting (and the exact µop count inside an
+            // `OutOfFuel` outcome) matches `Machine::run` bit for bit.
+            if 3 * len >= budget {
+                self.interp_tail();
+                break;
+            }
+            check_state = !self.exec_block(id, func);
+        }
+        self.machine.finish_outcome()
+    }
+
+    /// Engine-level counters for the run so far.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache: self.cache.stats(),
+            blocks_executed: self.blocks_executed,
+            fast_uops: self.fast_uops,
+            stepped_insts: self.stepped_insts,
+        }
+    }
+
+    /// The wrapped machine (for post-run register/statistics inspection).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The decoded-block cache (tests and diagnostics; invalidation is
+    /// exposed here).
+    pub fn block_cache_mut(&mut self) -> &mut BlockCache {
+        &mut self.cache
+    }
+
+    fn lookup_or_decode(&mut self, func: FuncId, pc: u32) -> usize {
+        if let Some(id) = self.cache.lookup(func, pc) {
+            return id;
+        }
+        let uops = decode_block(self.machine.program(), func, pc, self.machine.config());
+        self.cache.insert(func, pc, uops)
+    }
+
+    /// Dispatches one decoded block. The caller has already guaranteed the
+    /// fuel budget covers the block's worst case. Returns `true` when the
+    /// block ended in pure control flow that cannot have halted or trapped
+    /// the machine.
+    fn exec_block(&mut self, id: usize, func: FuncId) -> bool {
+        let Engine {
+            machine,
+            cache,
+            blocks_executed,
+            fast_uops,
+            stepped_insts,
+        } = self;
+        *blocks_executed += 1;
+        let uops = &cache.block(id).uops;
+        let n = uops.len();
+        let mut st = machine.exec_state();
+
+        // Straight-line µops: everything but the terminator.
+        for (i, &u) in uops[..n - 1].iter().enumerate() {
+            if let Err(t) = exec_straight(&mut st, u, func) {
+                // Mirror the interpreter: the trapping µop retires and the
+                // pc is left pre-advanced past it.
+                st.retire_uops(i as u64 + 1);
+                *fast_uops += i as u64 + 1;
+                if let Some(pc) = trap_pc(&t) {
+                    st.set_pc(pc.func, pc.index + 1);
+                }
+                st.set_trap(t);
+                return false;
+            }
+        }
+
+        match uops[n - 1] {
+            Uop::BranchRR {
+                op,
+                rs1,
+                rs2,
+                target,
+                fall,
+            } => {
+                st.retire_uops(n as u64);
+                *fast_uops += n as u64;
+                let taken = op.eval(st.reg(rs1), st.reg(rs2));
+                st.set_pc(func, if taken { target } else { fall });
+                true
+            }
+            Uop::BranchRI {
+                op,
+                rs1,
+                imm,
+                target,
+                fall,
+            } => {
+                st.retire_uops(n as u64);
+                *fast_uops += n as u64;
+                let taken = op.eval(st.reg(rs1), imm);
+                st.set_pc(func, if taken { target } else { fall });
+                true
+            }
+            Uop::Jump { target } => {
+                st.retire_uops(n as u64);
+                *fast_uops += n as u64;
+                st.set_pc(func, target);
+                true
+            }
+            Uop::Fall { target } => {
+                // Synthesized by a superblock-cap cut: no dynamic µop.
+                st.retire_uops(n as u64 - 1);
+                *fast_uops += n as u64 - 1;
+                st.set_pc(func, target);
+                true
+            }
+            Uop::Call { func: callee, ret } => {
+                st.retire_uops(n as u64);
+                *fast_uops += n as u64;
+                st.set_pc(func, ret);
+                if let Err(t) = st.call(callee) {
+                    st.set_trap(t);
+                    false
+                } else {
+                    true
+                }
+            }
+            Uop::Ret => {
+                st.retire_uops(n as u64);
+                *fast_uops += n as u64;
+                // A non-halting return is pure control flow: skip the gate.
+                !st.ret()
+            }
+            Uop::Step { idx } => {
+                st.retire_uops(n as u64 - 1);
+                *fast_uops += n as u64 - 1;
+                st.set_pc(func, idx);
+                drop(st);
+                *stepped_insts += 1;
+                if let Err(t) = machine.step() {
+                    machine.exec_state().set_trap(t);
+                }
+                false
+            }
+            u => unreachable!("non-terminator {u:?} at block end"),
+        }
+    }
+
+    /// Finishes the run on the interpreter — the exact `Machine::run` loop.
+    fn interp_tail(&mut self) {
+        loop {
+            let mut st = self.machine.exec_state();
+            if st.halted().is_some() || st.trap().is_some() {
+                return;
+            }
+            if st.uops() >= st.fuel() {
+                st.set_trap(Trap::OutOfFuel);
+                return;
+            }
+            drop(st);
+            self.stepped_insts += 1;
+            if let Err(t) = self.machine.step() {
+                self.machine.exec_state().set_trap(t);
+            }
+        }
+    }
+}
+
+/// Builds a machine for `program` under `cfg` and runs it through the
+/// engine.
+///
+/// # Panics
+///
+/// Panics if the program fails validation (as [`Machine::new`] does).
+#[must_use]
+pub fn run_program(program: Program, cfg: MachineConfig) -> RunOutcome {
+    Engine::new(Machine::new(program, cfg)).run()
+}
+
+/// The faulting position of a trap raised by a straight-line µop.
+fn trap_pc(t: &Trap) -> Option<Pc> {
+    match t {
+        Trap::BoundsViolation { pc, .. }
+        | Trap::NonPointerDereference { pc, .. }
+        | Trap::WildAddress { pc, .. }
+        | Trap::DivideByZero { pc } => Some(*pc),
+        _ => None,
+    }
+}
+
+/// Executes one straight-line (non-terminator) µop.
+#[inline(always)]
+fn exec_straight(st: &mut ExecState<'_>, u: Uop, func: FuncId) -> Result<(), Trap> {
+    match u {
+        Uop::Li { rd, imm } => st.set_reg(rd, imm, Meta::NONE),
+        Uop::Mov { rd, rs } => st.set_reg(rd, st.reg(rs), st.reg_meta(rs)),
+        Uop::AddRR { rd, rs1, rs2 } => {
+            let a = st.reg(rs1);
+            let am = st.reg_meta(rs1);
+            let b = st.reg(rs2);
+            // Figure 3 A/B: the first pointer operand's bounds win.
+            let meta = if am != Meta::NONE {
+                am
+            } else {
+                st.reg_meta(rs2)
+            };
+            st.set_reg(rd, a.wrapping_add(b), meta);
+        }
+        Uop::AddRI { rd, rs1, imm } => {
+            let a = st.reg(rs1);
+            let am = st.reg_meta(rs1);
+            st.set_reg(rd, a.wrapping_add(imm), am);
+        }
+        Uop::SubRR { rd, rs1, rs2 } => {
+            let a = st.reg(rs1);
+            let am = st.reg_meta(rs1);
+            let b = st.reg(rs2);
+            let meta = if am != Meta::NONE {
+                am
+            } else {
+                st.reg_meta(rs2)
+            };
+            st.set_reg(rd, a.wrapping_sub(b), meta);
+        }
+        Uop::SubRI { rd, rs1, imm } => {
+            let a = st.reg(rs1);
+            let am = st.reg_meta(rs1);
+            st.set_reg(rd, a.wrapping_sub(imm), am);
+        }
+        Uop::BinRR {
+            op,
+            rd,
+            rs1,
+            rs2,
+            pc,
+        } => {
+            let v = bin_value(op, st.reg(rs1), st.reg(rs2), pc)?;
+            st.set_reg(rd, v, Meta::NONE);
+        }
+        Uop::BinRI {
+            op,
+            rd,
+            rs1,
+            imm,
+            pc,
+        } => {
+            let v = bin_value(op, st.reg(rs1), imm, pc)?;
+            st.set_reg(rd, v, Meta::NONE);
+        }
+        Uop::CmpRR { op, rd, rs1, rs2 } => {
+            let flag = op.eval(st.reg(rs1), st.reg(rs2));
+            st.set_reg(rd, u32::from(flag), Meta::NONE);
+        }
+        Uop::CmpRI { op, rd, rs1, imm } => {
+            let flag = op.eval(st.reg(rs1), imm);
+            st.set_reg(rd, u32::from(flag), Meta::NONE);
+        }
+        Uop::LoadRaw {
+            width,
+            rd,
+            addr,
+            offset,
+            pc,
+        } => st.load_raw(pc, width, rd, addr, offset)?,
+        Uop::LoadHb {
+            width,
+            rd,
+            addr,
+            offset,
+            pc,
+        } => st.load_hb(pc, width, rd, addr, offset)?,
+        Uop::StoreRaw {
+            width,
+            src,
+            addr,
+            offset,
+            pc,
+        } => st.store_raw(pc, width, src, addr, offset)?,
+        Uop::StoreHb {
+            width,
+            src,
+            addr,
+            offset,
+            pc,
+        } => st.store_hb(pc, width, src, addr, offset)?,
+        Uop::SetBoundRR { rd, rs, size } => {
+            st.count_setbound();
+            let value = st.reg(rs);
+            let size = st.reg(size);
+            st.set_reg(rd, value, Meta::object(value, size));
+        }
+        Uop::SetBoundRI { rd, rs, size } => {
+            st.count_setbound();
+            let value = st.reg(rs);
+            st.set_reg(rd, value, Meta::object(value, size));
+        }
+        Uop::Unbound { rd, rs } => {
+            st.count_setbound();
+            st.set_reg(rd, st.reg(rs), Meta::UNCHECKED);
+        }
+        Uop::CodePtr { rd, value, meta } => st.set_reg(rd, value, meta),
+        Uop::ReadBase { rd, rs } => {
+            let base = st.reg_meta(rs).base;
+            st.set_reg(rd, base, Meta::NONE);
+        }
+        Uop::ReadBound { rd, rs } => {
+            let bound = st.reg_meta(rs).bound;
+            st.set_reg(rd, bound, Meta::NONE);
+        }
+        Uop::InlineCall { func: callee, ret } => {
+            // The full calling sequence runs; only the block transition is
+            // elided. The return point is in the *calling* function.
+            st.set_pc(func, ret);
+            st.call(callee)?;
+        }
+        Uop::InlineRet => {
+            // Pops the frame its InlineCall pushed; the frame is always
+            // there, so this can never halt the machine.
+            let halted = st.ret();
+            debug_assert!(!halted, "inlined leaf returns cannot halt");
+        }
+        Uop::Nop | Uop::FollowedJump => {}
+        u => unreachable!("terminator {u:?} mid-block"),
+    }
+    Ok(())
+}
+
+/// Value of a non-propagating ALU op — the interpreter's expressions,
+/// verbatim.
+#[inline(always)]
+fn bin_value(op: BinOp, a: u32, b: u32, pc: Pc) -> Result<u32, Trap> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        BinOp::Div => {
+            if b == 0 {
+                return Err(Trap::DivideByZero { pc });
+            }
+            (a as i32).wrapping_div(b as i32) as u32
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(Trap::DivideByZero { pc });
+            }
+            (a as i32).wrapping_rem(b as i32) as u32
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b),
+        BinOp::Shr => a.wrapping_shr(b),
+        BinOp::Sra => ((a as i32).wrapping_shr(b)) as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardbound_isa::{CmpOp, FunctionBuilder, Reg, Width};
+
+    fn engine_for(f: FunctionBuilder) -> Engine {
+        let program = Program::with_entry(vec![f.finish()]);
+        Engine::new(Machine::new(program, MachineConfig::default()))
+    }
+
+    #[test]
+    fn figure2_runs_identically_under_the_engine() {
+        let build = || {
+            let mut f = FunctionBuilder::new("fig2", 0);
+            f.li(Reg::A0, hardbound_isa::layout::HEAP_BASE);
+            f.setbound_imm(Reg::A1, Reg::A0, 4);
+            f.load(Width::Byte, Reg::A2, Reg::A1, 2);
+            f.load(Width::Byte, Reg::A2, Reg::A1, 5); // out of bounds
+            f.halt();
+            Program::with_entry(vec![f.finish()])
+        };
+        let interp = Machine::new(build(), MachineConfig::default()).run();
+        let engine = run_program(build(), MachineConfig::default());
+        assert_eq!(engine.trap, interp.trap);
+        assert_eq!(engine.stats, interp.stats);
+    }
+
+    #[test]
+    fn loops_hit_the_block_cache() {
+        let mut f = FunctionBuilder::new("loop", 0);
+        f.li(Reg::A0, 0);
+        let head = f.bind_label();
+        f.addi(Reg::A0, Reg::A0, 1);
+        let done = f.new_label();
+        f.branch(CmpOp::Ge, Reg::A0, 100, done);
+        f.jump(head);
+        f.bind(done);
+        f.li(Reg::A0, 0);
+        f.halt();
+        let mut e = engine_for(f);
+        let out = e.run();
+        assert!(out.is_success(), "trap: {:?}", out.trap);
+        let s = e.stats();
+        assert!(s.cache.hits > 90, "loop iterations must hit: {s:?}");
+        assert!(s.cache.decoded <= 4, "few static blocks: {s:?}");
+        assert!(s.blocks_executed > 100);
+        assert!(s.fast_uops > 300);
+    }
+
+    #[test]
+    fn tiny_block_cache_exercises_eviction() {
+        let mut f = FunctionBuilder::new("evict", 0);
+        f.li(Reg::A0, 0);
+        let head = f.bind_label();
+        f.addi(Reg::A0, Reg::A0, 1);
+        let done = f.new_label();
+        f.branch(CmpOp::Ge, Reg::A0, 10, done);
+        f.jump(head);
+        f.bind(done);
+        f.li(Reg::A0, 0);
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let mut e = Engine::with_block_capacity(Machine::new(program, MachineConfig::default()), 1);
+        let out = e.run();
+        assert!(out.is_success());
+        assert!(e.stats().cache.evicted > 0, "{:?}", e.stats());
+    }
+
+    #[test]
+    fn fuel_exhaustion_matches_interpreter_exactly() {
+        let build = || {
+            let mut f = FunctionBuilder::new("spin", 0);
+            let head = f.bind_label();
+            f.jump(head);
+            Program::with_entry(vec![f.finish()])
+        };
+        let cfg = MachineConfig::default().with_fuel(1000);
+        let interp = Machine::new(build(), cfg.clone()).run();
+        let engine = run_program(build(), cfg);
+        assert_eq!(engine.trap, Some(Trap::OutOfFuel));
+        assert_eq!(engine.stats.uops, interp.stats.uops);
+    }
+
+    #[test]
+    fn explicit_invalidation_forces_redecode() {
+        let mut f = FunctionBuilder::new("inv", 0);
+        f.li(Reg::A0, 0);
+        f.halt();
+        let mut e = engine_for(f);
+        let _ = e.run();
+        let decoded_before = e.stats().cache.decoded;
+        e.block_cache_mut().invalidate_all();
+        assert!(e.stats().cache.invalidated >= decoded_before);
+    }
+
+    #[test]
+    fn mid_block_trap_counts_uops_like_the_interpreter() {
+        let build = || {
+            let mut f = FunctionBuilder::new("div0", 0);
+            f.li(Reg::A0, 10);
+            f.li(Reg::A1, 0);
+            f.bin(BinOp::Div, Reg::A2, Reg::A0, Reg::A1);
+            f.li(Reg::A3, 1); // never reached
+            f.halt();
+            Program::with_entry(vec![f.finish()])
+        };
+        let interp = Machine::new(build(), MachineConfig::default()).run();
+        let engine = run_program(build(), MachineConfig::default());
+        assert_eq!(engine.trap, interp.trap);
+        assert_eq!(engine.stats.uops, interp.stats.uops);
+        assert!(matches!(engine.trap, Some(Trap::DivideByZero { pc }) if pc.index == 2));
+    }
+}

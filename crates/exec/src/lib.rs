@@ -1,0 +1,53 @@
+//! `hardbound-exec` — the pre-decoded basic-block execution engine and the
+//! parallel corpus driver.
+//!
+//! The interpreter in `hardbound-core` re-decodes and re-dispatches every
+//! dynamic µop, re-deriving per-step facts that are static under a fixed
+//! [`MachineConfig`](hardbound_core::MachineConfig): operand shapes,
+//! whether the HardBound extension is active, which check µops a memory
+//! operation needs. This crate resolves all of that once per *basic block*
+//! — mirroring the paper's decode-time µop-insertion pipeline (§4.4) — and
+//! then executes cached blocks in a tight dispatch loop:
+//!
+//! 1. [`uop`] pre-decodes instructions into configuration-resolved
+//!    micro-operations,
+//! 2. [`block`] caches decoded blocks keyed by entry PC (with eviction and
+//!    invalidation accounting),
+//! 3. [`engine`] dispatches blocks against the machine state through the
+//!    narrow [`ExecState`](hardbound_core::ExecState) interface, falling
+//!    back to [`Machine::step`](hardbound_core::Machine::step) for
+//!    indirect calls, environment calls and fuel-limited tails, and
+//! 4. [`batch`] fans independent simulations (the 288-pair violation
+//!    corpus, the 9 Olden ports × 3 encodings) across threads with
+//!    deterministic, input-ordered results.
+//!
+//! The engine is observationally identical to the interpreter — same
+//! output, same traps at the same program counters, same
+//! [`ExecStats`](hardbound_core::ExecStats) to the last counter — which the
+//! engine-vs-interpreter differential suite (`tests/engine_differential.rs`
+//! at the workspace root) enforces across every safety mode and pointer
+//! encoding.
+//!
+//! ```
+//! use hardbound_core::MachineConfig;
+//! use hardbound_isa::{FunctionBuilder, Program, Reg};
+//!
+//! let mut f = FunctionBuilder::new("main", 0);
+//! f.li(Reg::A0, 0);
+//! f.halt();
+//! let program = Program::with_entry(vec![f.finish()]);
+//! let out = hardbound_exec::run_program(program, MachineConfig::default());
+//! assert!(out.is_success());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod block;
+pub mod engine;
+pub mod uop;
+
+pub use block::{Block, BlockCache, BlockCacheStats};
+pub use engine::{run_program, Engine, EngineStats};
+pub use uop::{decode_block, decode_inst, Uop};

@@ -1,0 +1,42 @@
+//! Developer probe (ignored by default): per-workload engine vs
+//! interpreter wall-clock with block-cache statistics, doubling as a
+//! statistics-identity differential over the whole Olden suite. Run with
+//! `cargo test --release -p hardbound_exec --test perf_probe -- --ignored
+//! --nocapture`.
+
+use hardbound_compiler::Mode;
+use hardbound_core::PointerEncoding;
+use hardbound_exec::Engine;
+use hardbound_runtime::{build_machine, compile};
+use hardbound_workloads::{all, Scale};
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore]
+fn per_workload() {
+    for w in all(Scale::Smoke) {
+        let p = compile(&w.source, Mode::HardBound).unwrap();
+        let mut interp = Duration::MAX;
+        let mut engine = Duration::MAX;
+        let mut es = None;
+        for _ in 0..5 {
+            let mut m = build_machine(p.clone(), Mode::HardBound, PointerEncoding::Intern4);
+            let t0 = Instant::now();
+            let a = m.run();
+            interp = interp.min(t0.elapsed());
+            let mut e = Engine::new(build_machine(
+                p.clone(),
+                Mode::HardBound,
+                PointerEncoding::Intern4,
+            ));
+            let t0 = Instant::now();
+            let b = e.run();
+            engine = engine.min(t0.elapsed());
+            assert_eq!(a.stats, b.stats, "{}", w.name);
+            es = Some(e.stats());
+        }
+        let es = es.unwrap();
+        println!("{:10} interp {interp:>9.1?} engine {engine:>9.1?} ratio {:4.2} decoded {:>5} hits {:>8} stepped {:>6} blocks {:>8}",
+            w.name, interp.as_secs_f64()/engine.as_secs_f64(), es.cache.decoded, es.cache.hits, es.stepped_insts, es.blocks_executed);
+    }
+}

@@ -6,7 +6,7 @@
 use std::fmt;
 
 use crate::inst::{BinOp, CmpOp, Inst, Operand, SysCall, Width};
-use crate::program::FuncId;
+use crate::program::{FuncId, Function, Program};
 use crate::reg::Reg;
 
 /// Why a line of assembly failed to parse.
@@ -245,6 +245,133 @@ pub fn parse_listing(text: &str) -> Result<Vec<Inst>, AsmError> {
         .collect()
 }
 
+/// Parses a whole-program listing — the grammar `Program::disassemble`
+/// emits — back into a [`Program`].
+///
+/// Function boundaries come from `fn#N <name> (args=A, frame=F):` header
+/// lines; an optional `; entry: fn#N` comment (the disassembler always
+/// writes one) selects the entry point, defaulting to a function named
+/// `main`, then to `fn#0`. A headerless listing becomes a single
+/// zero-frame function named `main` — so a bare `parse_listing`-style µop
+/// listing is also a valid program.
+///
+/// Only code and the entry point round-trip: initialized data sections and
+/// the globals reservation are not part of the listing.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on the first malformed line, or if the listing
+/// contains no instructions. The returned program is **not** validated —
+/// callers run [`Program::validate`] for structural checks.
+pub fn parse_program(text: &str) -> Result<Program, AsmError> {
+    let mut functions: Vec<Function> = Vec::new();
+    let mut current: Option<Function> = None;
+    let mut entry: Option<FuncId> = None;
+    let mut globals_size = 0;
+    let mut data = Vec::new();
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            let comment = comment.trim();
+            if let Some(e) = comment.strip_prefix("entry:") {
+                entry = Some(parse_func(line, e.trim())?);
+            } else if let Some(g) = comment.strip_prefix("globals:") {
+                globals_size = parse_u32(line, g.trim())?;
+            } else if let Some(d) = comment.strip_prefix("data ") {
+                data.push(parse_data_line(line, d)?);
+            }
+            continue;
+        }
+        if line.ends_with(':') {
+            if line.starts_with("fn#") {
+                functions.extend(current.take());
+                current = Some(parse_func_header(line)?);
+            }
+            // Other label-like lines are skipped, as in `parse_listing`.
+            continue;
+        }
+        // Strip the optional `NN:` instruction-index prefix.
+        let body = match line.split_once(':') {
+            Some((idx, rest)) if idx.trim().parse::<u32>().is_ok() => rest.trim(),
+            _ => line,
+        };
+        let inst = parse_inst(body)?;
+        current
+            .get_or_insert_with(|| Function {
+                name: "main".to_owned(),
+                insts: Vec::new(),
+                frame_size: 0,
+                num_args: 0,
+            })
+            .insts
+            .push(inst);
+    }
+    functions.extend(current.take());
+    if functions.is_empty() {
+        return Err(err(text.trim(), "listing contains no instructions"));
+    }
+    let entry = entry
+        .or_else(|| {
+            functions
+                .iter()
+                .position(|f| f.name == "main")
+                .map(|i| FuncId(i as u32))
+        })
+        .unwrap_or(FuncId(0));
+    Ok(Program {
+        functions,
+        entry,
+        globals_size,
+        data,
+    })
+}
+
+/// Parses the tail of a `; data 0xADDR: hh hh …` line.
+fn parse_data_line(line: &str, tail: &str) -> Result<crate::program::DataInit, AsmError> {
+    let (addr, hex) = tail
+        .split_once(':')
+        .ok_or_else(|| err(line, "data line lacks `:`"))?;
+    let addr = parse_u32(line, addr.trim())?;
+    let bytes = hex
+        .split_whitespace()
+        .map(|h| u8::from_str_radix(h, 16).map_err(|_| err(line, format!("bad data byte `{h}`"))))
+        .collect::<Result<Vec<u8>, AsmError>>()?;
+    Ok(crate::program::DataInit { addr, bytes })
+}
+
+/// Parses a `fn#N <name> (args=A, frame=F):` function-header line.
+fn parse_func_header(line: &str) -> Result<Function, AsmError> {
+    let bad = |msg: &str| err(line, msg);
+    let name = line
+        .split_once('<')
+        .and_then(|(_, rest)| rest.split_once('>'))
+        .map(|(name, _)| name.to_owned())
+        .ok_or_else(|| bad("function header lacks a `<name>`"))?;
+    let field = |key: &str| -> Result<u32, AsmError> {
+        let tail = line
+            .split_once(&format!("{key}="))
+            .map(|(_, t)| t)
+            .ok_or_else(|| err(line, format!("function header lacks `{key}=`")))?;
+        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        parse_u32(line, &digits)
+    };
+    let num_args = field("args")?;
+    let frame_size = field("frame")?;
+    if num_args > u32::from(u8::MAX) {
+        return Err(bad("args out of range"));
+    }
+    Ok(Function {
+        name,
+        insts: Vec::new(),
+        frame_size,
+        num_args: num_args as u8,
+    })
+}
+
 fn parse_binop(m: &str) -> Option<BinOp> {
     Some(match m {
         "add" => BinOp::Add,
@@ -414,5 +541,45 @@ mod tests {
     fn listing_skips_comments_and_blanks() {
         let insts = parse_listing("; prologue\n\nnop\n  ret\n").unwrap();
         assert_eq!(insts, vec![Inst::Nop, Inst::Ret]);
+    }
+
+    #[test]
+    fn program_listing_roundtrips_disassembly() {
+        use crate::builder::FunctionBuilder;
+        use crate::program::Program;
+
+        let mut helper = FunctionBuilder::new("helper", 2);
+        helper.set_frame_size(16);
+        helper.li(Reg::A0, 7);
+        helper.ret();
+        let mut main = FunctionBuilder::new("main", 0);
+        main.call(FuncId(0));
+        main.halt();
+        let mut p = Program::with_entry(vec![helper.finish(), main.finish()]);
+        p.entry = FuncId(1);
+        p.globals_size = 24;
+        p.data.push(crate::program::DataInit {
+            addr: 0x0001_0000,
+            bytes: vec![0xde, 0xad, 0xbe, 0xef],
+        });
+
+        let text = p.disassemble();
+        let back = parse_program(&text).expect("disassembly must re-assemble");
+        assert_eq!(back, p);
+        assert_eq!(back.validate(), Ok(()));
+    }
+
+    #[test]
+    fn headerless_listing_becomes_single_main() {
+        let p = parse_program("li a0, 3\nsys halt\n").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+        assert_eq!(p.entry, FuncId(0));
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn empty_listing_is_an_error() {
+        assert!(parse_program("; nothing here\n").is_err());
     }
 }

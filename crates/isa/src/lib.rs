@@ -42,7 +42,7 @@ pub mod layout;
 mod program;
 mod reg;
 
-pub use asm::{parse_inst, parse_listing, AsmError};
+pub use asm::{parse_inst, parse_listing, parse_program, AsmError};
 pub use builder::{FunctionBuilder, Label};
 pub use inst::{BinOp, CmpOp, Inst, Operand, SysCall, Width};
 pub use program::{DataInit, FuncId, Function, Program, ValidateError};

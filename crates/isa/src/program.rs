@@ -238,10 +238,27 @@ impl Program {
     }
 
     /// Renders the whole program as annotated assembly text.
+    ///
+    /// The output fully round-trips through
+    /// [`crate::asm::parse_program`]: the entry point, the globals
+    /// reservation, and initialized data ride along as structured `;`
+    /// comments, so `hbrun --disasm prog.cb > prog.s && hbrun prog.s`
+    /// reproduces the program image.
     #[must_use]
     pub fn disassemble(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        let _ = writeln!(out, "; entry: {}", self.entry);
+        if self.globals_size != 0 {
+            let _ = writeln!(out, "; globals: {}", self.globals_size);
+        }
+        for init in &self.data {
+            let _ = write!(out, "; data {:#010x}:", init.addr);
+            for b in &init.bytes {
+                let _ = write!(out, " {b:02x}");
+            }
+            let _ = writeln!(out);
+        }
         for (fi, func) in self.functions.iter().enumerate() {
             let _ = writeln!(
                 out,

@@ -6,12 +6,18 @@ const PAGE_BYTES: usize = 4096;
 const WORDS_PER_PAGE: usize = PAGE_BYTES / 4;
 const NUM_PAGES: usize = 1 << 20; // 2^32 / 4096
 
-struct DataPage {
-    bytes: Box<[u8; PAGE_BYTES]>,
-}
+/// Pages per second-level chunk of the page table. A flat page vector
+/// would be 8 MB of `Option`s zeroed on every `Memory::new` — three orders
+/// of magnitude more than any simulated program touches. The two-level
+/// radix keeps construction at one small vector and allocates interior
+/// chunks on demand.
+const CHUNK_PAGES: usize = 1 << 10;
+const NUM_CHUNKS: usize = NUM_PAGES / CHUNK_PAGES;
 
-struct MetaPage {
-    /// `(base, bound)` per aligned word of the corresponding data page.
+/// Metadata arrays of one page, allocated only once a tag or shadow entry
+/// is actually written (most pages never hold a pointer).
+struct MetaPlane {
+    /// `(base, bound)` per aligned word of the page.
     shadow: Box<[WordMeta; WORDS_PER_PAGE]>,
     /// Raw tag value per aligned word (meaning assigned by the encoding:
     /// 0 = non-pointer; for the external 4-bit encoding 1–14 are compressed
@@ -19,6 +25,33 @@ struct MetaPage {
     /// used).
     tags: Box<[u8; WORDS_PER_PAGE]>,
 }
+
+/// One 4 KB page: data bytes plus (lazily materialized) metadata planes.
+/// Keeping the planes behind one page-table walk lets a tagged word load —
+/// the HardBound machine's single hottest memory operation — resolve data
+/// and tag with one lookup.
+struct Page {
+    bytes: Box<[u8; PAGE_BYTES]>,
+    meta: Option<MetaPlane>,
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            bytes: Box::new([0u8; PAGE_BYTES]),
+            meta: None,
+        }
+    }
+
+    fn meta_mut(&mut self) -> &mut MetaPlane {
+        self.meta.get_or_insert_with(|| MetaPlane {
+            shadow: Box::new([(0, 0); WORDS_PER_PAGE]),
+            tags: Box::new([0u8; WORDS_PER_PAGE]),
+        })
+    }
+}
+
+type Chunk = Box<[Option<Page>; CHUNK_PAGES]>;
 
 /// The simulator's sparse 32-bit memory with HardBound metadata planes.
 ///
@@ -31,8 +64,7 @@ struct MetaPage {
 /// implicit tag updates — the machine in `hardbound-core` implements that
 /// policy, including clearing tags on non-pointer stores.
 pub struct Memory {
-    pages: Vec<Option<DataPage>>,
-    meta: Vec<Option<MetaPage>>,
+    chunks: Vec<Option<Chunk>>,
 }
 
 impl Default for Memory {
@@ -43,9 +75,8 @@ impl Default for Memory {
 
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mapped = self.pages.iter().filter(|p| p.is_some()).count();
         f.debug_struct("Memory")
-            .field("mapped_pages", &mapped)
+            .field("mapped_pages", &self.mapped_data_pages())
             .finish()
     }
 }
@@ -54,32 +85,29 @@ impl Memory {
     /// Creates an empty (all-zero, all-non-pointer) memory.
     #[must_use]
     pub fn new() -> Memory {
-        let mut pages = Vec::new();
-        pages.resize_with(NUM_PAGES, || None);
-        let mut meta = Vec::new();
-        meta.resize_with(NUM_PAGES, || None);
-        Memory { pages, meta }
+        let mut chunks = Vec::new();
+        chunks.resize_with(NUM_CHUNKS, || None);
+        Memory { chunks }
     }
 
-    fn page(&mut self, addr: u32) -> &mut DataPage {
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&Page> {
         let idx = (addr as usize) / PAGE_BYTES;
-        self.pages[idx].get_or_insert_with(|| DataPage {
-            bytes: Box::new([0u8; PAGE_BYTES]),
-        })
+        self.chunks[idx / CHUNK_PAGES].as_ref()?[idx % CHUNK_PAGES].as_ref()
     }
 
-    fn meta_page(&mut self, addr: u32) -> &mut MetaPage {
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut Page {
         let idx = (addr as usize) / PAGE_BYTES;
-        self.meta[idx].get_or_insert_with(|| MetaPage {
-            shadow: Box::new([(0, 0); WORDS_PER_PAGE]),
-            tags: Box::new([0u8; WORDS_PER_PAGE]),
-        })
+        let chunk = self.chunks[idx / CHUNK_PAGES]
+            .get_or_insert_with(|| Box::new(std::array::from_fn(|_| None)));
+        chunk[idx % CHUNK_PAGES].get_or_insert_with(Page::new)
     }
 
     /// Reads one byte.
     #[must_use]
     pub fn read_u8(&self, addr: u32) -> u8 {
-        match &self.pages[(addr as usize) / PAGE_BYTES] {
+        match self.page(addr) {
             Some(p) => p.bytes[(addr as usize) % PAGE_BYTES],
             None => 0,
         }
@@ -88,7 +116,7 @@ impl Memory {
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u32, value: u8) {
         let off = (addr as usize) % PAGE_BYTES;
-        self.page(addr).bytes[off] = value;
+        self.page_mut(addr).bytes[off] = value;
     }
 
     /// Reads a little-endian 32-bit word starting at `addr` (any
@@ -98,7 +126,7 @@ impl Memory {
     pub fn read_u32(&self, addr: u32) -> u32 {
         if addr as usize % PAGE_BYTES <= PAGE_BYTES - 4 {
             // Fast path: within one page.
-            match &self.pages[(addr as usize) / PAGE_BYTES] {
+            match self.page(addr) {
                 Some(p) => {
                     let off = (addr as usize) % PAGE_BYTES;
                     u32::from_le_bytes([
@@ -121,12 +149,106 @@ impl Memory {
         }
     }
 
+    /// Reads the aligned word containing `addr` together with its tag —
+    /// one page-table walk instead of two.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts 4-byte alignment.
+    #[inline]
+    #[must_use]
+    pub fn read_word_tagged(&self, addr: u32) -> (u32, u8) {
+        debug_assert!(addr % 4 == 0, "read_word_tagged wants aligned words");
+        match self.page(addr) {
+            Some(p) => {
+                let off = (addr as usize) % PAGE_BYTES;
+                let word = u32::from_le_bytes([
+                    p.bytes[off],
+                    p.bytes[off + 1],
+                    p.bytes[off + 2],
+                    p.bytes[off + 3],
+                ]);
+                let tag = match &p.meta {
+                    Some(m) => m.tags[off / 4],
+                    None => 0,
+                };
+                (word, tag)
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Reads the aligned word containing `addr` together with its tag and
+    /// shadow `{base, bound}` — one page-table walk for the pointer-load
+    /// hot path (shadow reads as `(0, 0)` when no metadata exists).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts 4-byte alignment.
+    #[inline]
+    #[must_use]
+    pub fn read_word_full(&self, addr: u32) -> (u32, u8, WordMeta) {
+        debug_assert!(addr % 4 == 0, "read_word_full wants aligned words");
+        match self.page(addr) {
+            Some(p) => {
+                let off = (addr as usize) % PAGE_BYTES;
+                let word = u32::from_le_bytes([
+                    p.bytes[off],
+                    p.bytes[off + 1],
+                    p.bytes[off + 2],
+                    p.bytes[off + 3],
+                ]);
+                match &p.meta {
+                    Some(m) => (word, m.tags[off / 4], m.shadow[off / 4]),
+                    None => (word, 0, (0, 0)),
+                }
+            }
+            None => (0, 0, (0, 0)),
+        }
+    }
+
+    /// Writes the aligned word containing `addr` and sets its tag in one
+    /// page-table walk (`tag == 0` never materializes metadata arrays).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts 4-byte alignment.
+    #[inline]
+    pub fn write_word_tagged(&mut self, addr: u32, value: u32, tag: u8) {
+        debug_assert!(addr % 4 == 0, "write_word_tagged wants aligned words");
+        let off = (addr as usize) % PAGE_BYTES;
+        let page = self.page_mut(addr);
+        page.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        if let Some(m) = &mut page.meta {
+            m.tags[off / 4] = tag;
+        } else if tag != 0 {
+            page.meta_mut().tags[off / 4] = tag;
+        }
+    }
+
+    /// Writes an aligned pointer word: value, tag, and shadow `{base,
+    /// bound}` in one page-table walk.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts 4-byte alignment.
+    #[inline]
+    pub fn write_word_pointer(&mut self, addr: u32, value: u32, tag: u8, shadow: WordMeta) {
+        debug_assert!(addr % 4 == 0, "write_word_pointer wants aligned words");
+        let off = (addr as usize) % PAGE_BYTES;
+        let page = self.page_mut(addr);
+        page.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        let meta = page.meta_mut();
+        meta.tags[off / 4] = tag;
+        meta.shadow[off / 4] = shadow;
+    }
+
     /// Writes a little-endian 32-bit word starting at `addr`.
     pub fn write_u32(&mut self, addr: u32, value: u32) {
         let bytes = value.to_le_bytes();
         if addr as usize % PAGE_BYTES <= PAGE_BYTES - 4 {
             let off = (addr as usize) % PAGE_BYTES;
-            let p = self.page(addr);
+            let p = self.page_mut(addr);
             p.bytes[off..off + 4].copy_from_slice(&bytes);
         } else {
             for (i, b) in bytes.iter().enumerate() {
@@ -154,7 +276,7 @@ impl Memory {
     /// Raw tag value of the aligned word containing `addr`.
     #[must_use]
     pub fn tag(&self, addr: u32) -> u8 {
-        match &self.meta[(addr as usize) / PAGE_BYTES] {
+        match self.page(addr).and_then(|p| p.meta.as_ref()) {
             Some(m) => m.tags[((addr as usize) % PAGE_BYTES) / 4],
             None => 0,
         }
@@ -163,17 +285,17 @@ impl Memory {
     /// Sets the raw tag value of the aligned word containing `addr`.
     pub fn set_tag(&mut self, addr: u32, tag: u8) {
         let word = ((addr as usize) % PAGE_BYTES) / 4;
-        // Avoid materializing a metadata page just to store the default.
-        if tag == 0 && self.meta[(addr as usize) / PAGE_BYTES].is_none() {
+        // Avoid materializing metadata arrays just to store the default.
+        if tag == 0 && self.page(addr).is_none_or(|p| p.meta.is_none()) {
             return;
         }
-        self.meta_page(addr).tags[word] = tag;
+        self.page_mut(addr).meta_mut().tags[word] = tag;
     }
 
     /// Shadow `{base, bound}` of the aligned word containing `addr`.
     #[must_use]
     pub fn shadow(&self, addr: u32) -> WordMeta {
-        match &self.meta[(addr as usize) / PAGE_BYTES] {
+        match self.page(addr).and_then(|p| p.meta.as_ref()) {
             Some(m) => m.shadow[((addr as usize) % PAGE_BYTES) / 4],
             None => (0, 0),
         }
@@ -183,16 +305,20 @@ impl Memory {
     /// `addr`.
     pub fn set_shadow(&mut self, addr: u32, meta: WordMeta) {
         let word = ((addr as usize) % PAGE_BYTES) / 4;
-        if meta == (0, 0) && self.meta[(addr as usize) / PAGE_BYTES].is_none() {
+        if meta == (0, 0) && self.page(addr).is_none_or(|p| p.meta.is_none()) {
             return;
         }
-        self.meta_page(addr).shadow[word] = meta;
+        self.page_mut(addr).meta_mut().shadow[word] = meta;
     }
 
     /// Number of data pages actually materialized (diagnostic).
     #[must_use]
     pub fn mapped_data_pages(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
+        self.chunks
+            .iter()
+            .flatten()
+            .map(|chunk| chunk.iter().filter(|p| p.is_some()).count())
+            .sum()
     }
 }
 
@@ -207,6 +333,7 @@ mod tests {
         assert_eq!(m.read_u32(0x1000_0000), 0);
         assert_eq!(m.tag(0x1000_0000), 0);
         assert_eq!(m.shadow(0x1000_0000), (0, 0));
+        assert_eq!(m.read_word_tagged(0x1000_0000), (0, 0));
     }
 
     #[test]
@@ -263,7 +390,33 @@ mod tests {
         let mut m = Memory::new();
         m.set_tag(0x9000, 0);
         m.set_shadow(0x9000, (0, 0));
-        assert_eq!(m.meta.iter().filter(|p| p.is_some()).count(), 0);
+        assert_eq!(m.mapped_data_pages(), 0);
+        // Even on a data-mapped page, default metadata stays lazy.
+        m.write_u8(0x9000, 1);
+        m.set_tag(0x9000, 0);
+        assert!(m.page(0x9000).unwrap().meta.is_none());
+    }
+
+    #[test]
+    fn combined_word_apis_match_the_granular_ones() {
+        let mut m = Memory::new();
+        m.write_word_tagged(0x5000, 0xDEAD_BEEF, 0);
+        assert_eq!(m.read_word_tagged(0x5000), (0xDEAD_BEEF, 0));
+        assert_eq!(m.read_u32(0x5000), 0xDEAD_BEEF);
+
+        m.write_word_pointer(0x5004, 0x0100_0000, 2, (0x0100_0000, 0x0100_0040));
+        assert_eq!(m.read_word_tagged(0x5004), (0x0100_0000, 2));
+        assert_eq!(m.tag(0x5004), 2);
+        assert_eq!(m.shadow(0x5004), (0x0100_0000, 0x0100_0040));
+
+        // Tagged write over a pointer clears via the same path set_tag uses.
+        m.write_word_tagged(0x5004, 7, 0);
+        assert_eq!(m.read_word_tagged(0x5004), (7, 0));
+        assert_eq!(
+            m.shadow(0x5004),
+            (0x0100_0000, 0x0100_0040),
+            "shadow is stale but tag gates it"
+        );
     }
 
     #[test]

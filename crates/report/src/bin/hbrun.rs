@@ -1,20 +1,32 @@
-//! `hbrun` — compile and run a Cb program on the HardBound simulator.
+//! `hbrun` — compile and run a Cb program (or a `.s` µop listing) on the
+//! HardBound simulator.
 //!
 //! ```sh
 //! cargo run -p hardbound-report --bin hbrun -- program.cb \
 //!     [--mode baseline|malloc-only|hardbound|softbound|objtable] \
-//!     [--encoding extern-4|intern-4|intern-11] [--stats] [--disasm]
+//!     [--encoding extern-4|intern-4|intern-11] [--stats] [--disasm] \
+//!     [--engine|--interp]
 //! ```
 //!
-//! The runtime library (`malloc`, strings, fixed point) is linked in
-//! automatically; the machine configuration is paired to the mode exactly
-//! as in the paper's evaluation.
+//! Inputs ending in `.s` are treated as assembly listings in the
+//! disassembler's grammar (`isa::parse_program`) and run directly —
+//! `hbrun --disasm prog.cb > prog.s && hbrun prog.s` round-trips the code
+//! image. Everything else is compiled as Cb with the runtime library
+//! (`malloc`, strings, fixed point) linked in; the machine configuration
+//! is paired to the mode exactly as in the paper's evaluation.
+//!
+//! `--disasm` prints the listing (and nothing else) instead of running.
+//! Execution goes through the pre-decoded basic-block engine by default;
+//! `--interp` selects the one-µop-per-step interpreter (the two are
+//! observationally identical — see `tests/engine_differential.rs`).
 
 use std::process::ExitCode;
 
 use hardbound_compiler::Mode;
 use hardbound_core::PointerEncoding;
-use hardbound_runtime::{build_machine, compile};
+use hardbound_exec::Engine;
+use hardbound_isa::Program;
+use hardbound_runtime::{build_machine, compile, engine_default};
 
 struct Args {
     path: String,
@@ -22,6 +34,7 @@ struct Args {
     encoding: PointerEncoding,
     stats: bool,
     disasm: bool,
+    engine: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
     let mut encoding = PointerEncoding::Intern4;
     let mut stats = false;
     let mut disasm = false;
+    // `HB_INTERP=1` flips the default; the flags below override both.
+    let mut engine = engine_default();
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -56,9 +71,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stats" => stats = true,
             "--disasm" => disasm = true,
+            "--engine" => engine = true,
+            "--interp" => engine = false,
             "--help" | "-h" => {
                 return Err(
-                    "usage: hbrun FILE.cb [--mode M] [--encoding E] [--stats] [--disasm]"
+                    "usage: hbrun FILE.{cb,s} [--mode M] [--encoding E] [--stats] \
+                     [--disasm] [--engine|--interp]"
                         .to_owned(),
                 )
             }
@@ -73,7 +91,25 @@ fn parse_args() -> Result<Args, String> {
         encoding,
         stats,
         disasm,
+        engine,
     })
+}
+
+/// Loads the program image: `.s` listings assemble directly, anything else
+/// compiles as Cb with the runtime linked in.
+fn load(args: &Args, source: &str) -> Result<Program, String> {
+    if std::path::Path::new(&args.path)
+        .extension()
+        .is_some_and(|e| e == "s")
+    {
+        let program = hardbound_isa::parse_program(source).map_err(|e| e.to_string())?;
+        program
+            .validate()
+            .map_err(|e| format!("invalid listing: {e}"))?;
+        Ok(program)
+    } else {
+        compile(source, args.mode).map_err(|e| e.to_string())
+    }
 }
 
 fn main() -> ExitCode {
@@ -91,7 +127,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let program = match compile(&source, args.mode) {
+    let program = match load(&args, &source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -99,11 +135,20 @@ fn main() -> ExitCode {
         }
     };
     if args.disasm {
-        println!("{}", program.disassemble());
+        // Print the listing and stop: stdout then carries only the `.s`
+        // grammar, so `hbrun --disasm prog.cb > prog.s && hbrun prog.s`
+        // round-trips.
+        print!("{}", program.disassemble());
+        return ExitCode::SUCCESS;
     }
 
-    let mut machine = build_machine(program, args.mode, args.encoding);
-    let out = machine.run();
+    let machine = build_machine(program, args.mode, args.encoding);
+    let out = if args.engine {
+        Engine::new(machine).run()
+    } else {
+        let mut machine = machine;
+        machine.run()
+    };
     print!("{}", out.output);
     if let Some(trap) = &out.trap {
         eprintln!("trap: {trap}");
@@ -111,8 +156,10 @@ fn main() -> ExitCode {
     if args.stats {
         let s = &out.stats;
         eprintln!(
-            "-- stats ({} mode, {} encoding) --",
-            args.mode, args.encoding
+            "-- stats ({} mode, {} encoding, {}) --",
+            args.mode,
+            args.encoding,
+            if args.engine { "engine" } else { "interpreter" }
         );
         eprintln!("cycles:          {}", s.cycles());
         eprintln!("µops:            {}", s.uops);

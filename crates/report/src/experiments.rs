@@ -1,9 +1,17 @@
 //! Drivers that regenerate each table and figure.
+//!
+//! Every driver executes through [`hardbound_runtime::run_machine`] — the
+//! basic-block engine by default, the interpreter under `HB_INTERP` — and
+//! fans its embarrassingly-parallel outer loop (benchmarks × encodings, or
+//! the 288-pair corpus) across threads with [`hardbound_exec::batch`].
+//! Results are aggregated in input order, so the parallel drivers emit
+//! byte-identical tables to the serial loops they replaced.
 
 use hardbound_compiler::Mode;
 use hardbound_core::{ExecStats, HardboundConfig, MachineConfig, PointerEncoding, RunOutcome};
-use hardbound_runtime::{build_machine_with_config, compile, machine_config};
-use hardbound_violations::CorpusReport;
+use hardbound_exec::batch;
+use hardbound_runtime::{build_machine_with_config, compile, machine_config, run_machine};
+use hardbound_violations::{corpus, Addressing, CorpusReport};
 use hardbound_workloads::{all, Scale, Workload};
 
 fn run(w: &Workload, mode: Mode, encoding: PointerEncoding) -> RunOutcome {
@@ -13,13 +21,22 @@ fn run(w: &Workload, mode: Mode, encoding: PointerEncoding) -> RunOutcome {
 fn run_with(w: &Workload, mode: Mode, config: MachineConfig) -> RunOutcome {
     let program =
         compile(&w.source, mode).unwrap_or_else(|e| panic!("{}: compilation failed: {e}", w.name));
-    let out = build_machine_with_config(program, mode, config).run();
+    let out = run_machine(build_machine_with_config(program, mode, config));
     assert_eq!(
         out.trap, None,
         "{} ({mode}) trapped: {:?}",
         w.name, out.trap
     );
     out
+}
+
+/// Fans `f` over the workloads of `scale` in parallel and flattens the
+/// per-workload row groups in workload order.
+fn per_workload<R: Send>(scale: Scale, f: impl Fn(&Workload) -> Vec<R> + Sync) -> Vec<R> {
+    batch::map(all(scale), |_, w| f(&w))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// One bar of Figure 5: a benchmark under one pointer encoding, with the
@@ -67,11 +84,11 @@ impl Fig5Row {
 /// component attribution, for every Olden port.
 #[must_use]
 pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
-    let mut rows = Vec::new();
-    for w in all(scale) {
-        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+    per_workload(scale, |w| {
+        let mut rows = Vec::new();
+        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
         for encoding in PointerEncoding::ALL {
-            let hb = run(&w, Mode::HardBound, encoding);
+            let hb = run(w, Mode::HardBound, encoding);
             let s = hb.stats;
             // The decomposition is exact: the instrumented binary differs
             // from the baseline only by setbound instructions, metadata
@@ -96,8 +113,8 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
                 stats: s,
             });
         }
-    }
-    rows
+        rows
+    })
 }
 
 /// One group of Figure 6: extra distinct 4 KB pages touched.
@@ -126,21 +143,22 @@ impl Fig6Row {
 /// Figure 6: memory-usage overhead in distinct pages.
 #[must_use]
 pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
-    for w in all(scale) {
-        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
-        for encoding in PointerEncoding::ALL {
-            let hb = run(&w, Mode::HardBound, encoding);
-            rows.push(Fig6Row {
-                bench: w.name,
-                encoding,
-                base_pages: base.stats.data_pages,
-                tag_pages: hb.stats.tag_pages,
-                shadow_pages: hb.stats.shadow_pages,
-            });
-        }
-    }
-    rows
+    per_workload(scale, |w| {
+        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
+        PointerEncoding::ALL
+            .into_iter()
+            .map(|encoding| {
+                let hb = run(w, Mode::HardBound, encoding);
+                Fig6Row {
+                    bench: w.name,
+                    encoding,
+                    base_pages: base.stats.data_pages,
+                    tag_pages: hb.stats.tag_pages,
+                    shadow_pages: hb.stats.shadow_pages,
+                }
+            })
+            .collect()
+    })
 }
 
 /// One row of Figure 7: relative runtimes of every scheme on one
@@ -163,27 +181,25 @@ pub struct Fig7Row {
 /// Figure 7: the cross-scheme comparison.
 #[must_use]
 pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
-    let mut rows = Vec::new();
-    for w in all(scale) {
-        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+    per_workload(scale, |w| {
+        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
         let bc = base.stats.cycles() as f64;
         let bu = base.stats.uops as f64;
-        let ot = run(&w, Mode::ObjectTable, PointerEncoding::Intern4);
-        let sb = run(&w, Mode::SoftBound, PointerEncoding::Intern4);
+        let ot = run(w, Mode::ObjectTable, PointerEncoding::Intern4);
+        let sb = run(w, Mode::SoftBound, PointerEncoding::Intern4);
         let mut hardbound = [0.0; 3];
         for (i, enc) in PointerEncoding::ALL.into_iter().enumerate() {
-            let hb = run(&w, Mode::HardBound, enc);
+            let hb = run(w, Mode::HardBound, enc);
             hardbound[i] = hb.stats.cycles() as f64 / bc;
         }
-        rows.push(Fig7Row {
+        vec![Fig7Row {
             bench: w.name,
             objtable_runtime: ot.stats.cycles() as f64 / bc,
             softbound_uops: sb.stats.uops as f64 / bu,
             softbound_runtime: sb.stats.cycles() as f64 / bc,
             hardbound,
-        });
-    }
-    rows
+        }]
+    })
 }
 
 /// One row of the §5.4 check-µop ablation.
@@ -203,24 +219,25 @@ pub struct AblationRow {
 /// additional µop" — the paper reports roughly +3% average.
 #[must_use]
 pub fn ablation_check_uop(scale: Scale) -> Vec<AblationRow> {
-    let mut rows = Vec::new();
-    for w in all(scale) {
-        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+    per_workload(scale, |w| {
+        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
         let bc = base.stats.cycles() as f64;
-        for encoding in PointerEncoding::ALL {
-            let free = run(&w, Mode::HardBound, encoding);
-            let charged_cfg =
-                MachineConfig::hardbound(HardboundConfig::full(encoding).with_check_uop());
-            let charged = run_with(&w, Mode::HardBound, charged_cfg);
-            rows.push(AblationRow {
-                bench: w.name,
-                encoding,
-                parallel_check: free.stats.cycles() as f64 / bc,
-                shared_alu_check: charged.stats.cycles() as f64 / bc,
-            });
-        }
-    }
-    rows
+        PointerEncoding::ALL
+            .into_iter()
+            .map(|encoding| {
+                let free = run(w, Mode::HardBound, encoding);
+                let charged_cfg =
+                    MachineConfig::hardbound(HardboundConfig::full(encoding).with_check_uop());
+                let charged = run_with(w, Mode::HardBound, charged_cfg);
+                AblationRow {
+                    bench: w.name,
+                    encoding,
+                    parallel_check: free.stats.cycles() as f64 / bc,
+                    shared_alu_check: charged.stats.cycles() as f64 / bc,
+                }
+            })
+            .collect()
+    })
 }
 
 /// One row of the tag-cache sensitivity sweep.
@@ -240,31 +257,126 @@ pub struct TagCacheRow {
 /// fixes 2 KB/8 KB; this shows the sensitivity of that choice).
 #[must_use]
 pub fn tag_cache_sweep(scale: Scale, sizes: &[u64]) -> Vec<TagCacheRow> {
-    let mut rows = Vec::new();
-    for w in all(scale) {
-        let base = run(&w, Mode::Baseline, PointerEncoding::Intern4);
+    per_workload(scale, |w| {
+        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
         let bc = base.stats.cycles() as f64;
-        for &bytes in sizes {
-            let cfg = MachineConfig::hardbound(HardboundConfig::full(PointerEncoding::Intern4));
-            let cfg = cfg
-                .clone()
-                .with_hierarchy(cfg.hierarchy.with_tag_cache_bytes(bytes));
-            let out = run_with(&w, Mode::HardBound, cfg);
-            rows.push(TagCacheRow {
-                bench: w.name,
-                tag_cache_bytes: bytes,
-                relative_runtime: out.stats.cycles() as f64 / bc,
-                tag_stall_cycles: out.stats.hierarchy.tag_stall_cycles,
-            });
-        }
-    }
-    rows
+        sizes
+            .iter()
+            .map(|&bytes| {
+                let cfg = MachineConfig::hardbound(HardboundConfig::full(PointerEncoding::Intern4));
+                let cfg = cfg
+                    .clone()
+                    .with_hierarchy(cfg.hierarchy.with_tag_cache_bytes(bytes));
+                let out = run_with(w, Mode::HardBound, cfg);
+                TagCacheRow {
+                    bench: w.name,
+                    tag_cache_bytes: bytes,
+                    relative_runtime: out.stats.cycles() as f64 / bc,
+                    tag_stall_cycles: out.stats.hierarchy.tag_stall_cycles,
+                }
+            })
+            .collect()
+    })
+}
+
+/// §5.2: the full correctness corpus under one protection scheme, fanned
+/// across threads one violation/benign pair at a time. Results aggregate
+/// in corpus order, so the report is byte-identical to the serial run.
+#[must_use]
+pub fn corpus_report(mode: Mode, encoding: PointerEncoding) -> CorpusReport {
+    CorpusReport::collect(batch::map(corpus(), |_, case| {
+        hardbound_violations::run_case(&case, mode, encoding)
+    }))
 }
 
 /// §5.2: the full correctness corpus under full HardBound protection.
 #[must_use]
 pub fn correctness(encoding: PointerEncoding) -> CorpusReport {
-    hardbound_violations::run_corpus(Mode::HardBound, encoding)
+    corpus_report(Mode::HardBound, encoding)
+}
+
+/// One row of the protection-granularity contrast table (§6): how one
+/// scheme fares on the violation corpus, split into the sub-object cases
+/// (an array inside a struct overflowing into a sibling field) and every
+/// other case.
+#[derive(Clone, Debug)]
+pub struct GranularityRow {
+    /// Scheme label, e.g. `hardbound (word)`.
+    pub scheme: &'static str,
+    /// Protection granularity description.
+    pub granularity: &'static str,
+    /// Sub-object violations detected.
+    pub subobject_detected: usize,
+    /// Sub-object violation pairs run.
+    pub subobject_total: usize,
+    /// All other violations detected.
+    pub other_detected: usize,
+    /// All other violation pairs run.
+    pub other_total: usize,
+    /// Benign twins that trapped (must be 0 for every scheme).
+    pub false_positives: usize,
+}
+
+impl GranularityRow {
+    /// Detection rate over the sub-object slice, in `[0, 1]`.
+    #[must_use]
+    pub fn subobject_rate(&self) -> f64 {
+        self.subobject_detected as f64 / self.subobject_total.max(1) as f64
+    }
+
+    /// Detection rate over the rest of the corpus, in `[0, 1]`.
+    #[must_use]
+    pub fn other_rate(&self) -> f64 {
+        self.other_detected as f64 / self.other_total.max(1) as f64
+    }
+}
+
+/// The §6 granularity contrast: word-granular HardBound vs the
+/// object-granular table vs malloc-only hardware, across the full
+/// violation corpus. Documents the sub-object blind spot — overflows that
+/// stay inside an allocation are invisible to object- and malloc-granular
+/// schemes but caught at word granularity.
+#[must_use]
+pub fn granularity(encoding: PointerEncoding) -> Vec<GranularityRow> {
+    let schemes: [(&'static str, &'static str, Mode); 3] = [
+        ("hardbound", "word (setbound)", Mode::HardBound),
+        ("objtable", "object (allocation)", Mode::ObjectTable),
+        ("malloc-only", "malloc'd objects", Mode::MallocOnly),
+    ];
+    let cases = corpus();
+    schemes
+        .into_iter()
+        .map(|(scheme, granularity, mode)| {
+            let results = batch::map(cases.clone(), |_, case| {
+                let r = hardbound_violations::run_case(&case, mode, encoding);
+                (case.addressing == Addressing::SubObject, r)
+            });
+            let mut row = GranularityRow {
+                scheme,
+                granularity,
+                subobject_detected: 0,
+                subobject_total: 0,
+                other_detected: 0,
+                other_total: 0,
+                false_positives: 0,
+            };
+            for (subobject, r) in results {
+                let (detected, total) = if subobject {
+                    (&mut row.subobject_detected, &mut row.subobject_total)
+                } else {
+                    (&mut row.other_detected, &mut row.other_total)
+                };
+                *total += 1;
+                if r.detected {
+                    *detected += 1;
+                }
+                if r.false_positive.is_some() {
+                    row.false_positives += 1;
+                }
+            }
+            row
+        })
+        .collect()
 }
 
 /// Average of the relative runtimes in `xs`.

@@ -6,7 +6,9 @@ use std::fmt::Write as _;
 use hardbound_core::PointerEncoding;
 use hardbound_workloads::published;
 
-use crate::experiments::{average, AblationRow, Fig5Row, Fig6Row, Fig7Row, TagCacheRow};
+use crate::experiments::{
+    average, AblationRow, Fig5Row, Fig6Row, Fig7Row, GranularityRow, TagCacheRow,
+};
 
 /// Figure 5 as a text table: one row per benchmark × encoding, with the
 /// four stacked overhead components as percentages of the baseline.
@@ -220,6 +222,42 @@ pub fn tag_cache_table(rows: &[TagCacheRow]) -> String {
             r.tag_cache_bytes / 1024,
             r.relative_runtime,
             r.tag_stall_cycles,
+        );
+    }
+    out
+}
+
+/// The §6 protection-granularity contrast as a text table.
+#[must_use]
+pub fn granularity_table(rows: &[GranularityRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "§6 — protection granularity across the violation corpus\n\
+         (sub-object = an array inside a struct overflowing into a sibling\n\
+          field: the access stays inside the allocation, so object- and\n\
+          malloc-granular schemes cannot see it; word-granular `setbound`\n\
+          bounds the array itself and traps)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:<20} | {:>15} {:>15} | {:>6}",
+        "scheme", "granularity", "sub-object", "other", "false+"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<20} | {:>7}/{:<4} {:>3.0}% {:>7}/{:<4} {:>3.0}% | {:>6}",
+            r.scheme,
+            r.granularity,
+            r.subobject_detected,
+            r.subobject_total,
+            100.0 * r.subobject_rate(),
+            r.other_detected,
+            r.other_total,
+            100.0 * r.other_rate(),
+            r.false_positives,
         );
     }
     out

@@ -1,0 +1,96 @@
+//! End-to-end smoke tests of the `hbrun` binary: `.s` listing input and
+//! the `--disasm` → `.s` → run round trip, plus the `--interp` escape
+//! hatch agreeing with the default engine path.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn hbrun(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hbrun"))
+        .args(args)
+        .output()
+        .expect("hbrun spawns")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("hbrun-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file writes");
+    path
+}
+
+const COUNTDOWN_CB: &str = r"
+    int main() {
+        int *a = (int*)malloc(3 * sizeof(int));
+        a[0] = 5; a[1] = 6; a[2] = 7;
+        print_int(a[0] + a[1] + a[2]);
+        free(a);
+        return 0;
+    }
+";
+
+#[test]
+fn runs_a_handwritten_s_listing() {
+    let path = write_temp(
+        "hand.s",
+        "; a bare µop listing: print 42 and exit 0\n\
+         li    a0, 42\n\
+         sys   print_int\n\
+         li    a0, 0\n\
+         sys   halt\n",
+    );
+    let out = hbrun(&[path.to_str().unwrap(), "--mode", "baseline"]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "42\n");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn rejects_a_malformed_listing() {
+    let path = write_temp("bad.s", "frobnicate a0\n");
+    let out = hbrun(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("frobnicate"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn disasm_listing_round_trips_through_dot_s() {
+    // The documented round trip, verbatim:
+    //   hbrun --disasm prog.cb > prog.s && hbrun prog.s
+    let cb = write_temp("rt.cb", COUNTDOWN_CB);
+    let disasm = hbrun(&[cb.to_str().unwrap(), "--disasm"]);
+    assert!(disasm.status.success(), "{disasm:?}");
+    let listing = String::from_utf8(disasm.stdout).expect("utf-8 listing");
+    assert!(
+        listing.starts_with("; entry:"),
+        "--disasm stdout is the bare listing"
+    );
+    let s = write_temp("rt.s", &listing);
+
+    let from_cb = hbrun(&[cb.to_str().unwrap()]);
+    let from_s = hbrun(&[s.to_str().unwrap()]);
+    assert!(from_cb.status.success(), "{:?}", from_cb);
+    assert!(from_s.status.success(), "{:?}", from_s);
+    assert_eq!(
+        from_cb.stdout, from_s.stdout,
+        "listing must reproduce the run"
+    );
+    assert_eq!(String::from_utf8_lossy(&from_cb.stdout), "18\n");
+
+    // The escape hatch agrees with the engine default.
+    let interp = hbrun(&[s.to_str().unwrap(), "--interp", "--stats"]);
+    let engine = hbrun(&[s.to_str().unwrap(), "--engine", "--stats"]);
+    assert!(interp.status.success());
+    assert_eq!(interp.stdout, engine.stdout);
+    let strip = |o: &Output| {
+        String::from_utf8_lossy(&o.stderr)
+            .lines()
+            .skip(1) // the header names the execution path
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&interp), strip(&engine), "stats must be identical");
+
+    let _ = std::fs::remove_file(cb);
+    let _ = std::fs::remove_file(s);
+}

@@ -97,7 +97,10 @@ pub fn build_machine_with_config(program: Program, mode: Mode, config: MachineCo
     m
 }
 
-/// Compile (with runtime), build the paired machine, and run to completion.
+/// Compile (with runtime), build the paired machine, and run to completion
+/// **on the interpreter**. This is the semantic reference the
+/// engine-vs-interpreter differential suite compares against; use
+/// [`run_machine`] / [`compile_and_run_default`] for the fast path.
 ///
 /// # Errors
 ///
@@ -110,6 +113,50 @@ pub fn compile_and_run(
 ) -> Result<RunOutcome, CompileError> {
     let program = compile(user_source, mode)?;
     Ok(build_machine(program, mode, encoding).run())
+}
+
+/// Whether the block execution engine is the default execution path.
+/// Setting `HB_INTERP=1` (any value except `0`, `false`, or empty) in the
+/// environment is the global `--interp` escape hatch: every driver that
+/// runs through [`run_machine`] falls back to the one-µop-per-step
+/// interpreter.
+#[must_use]
+pub fn engine_default() -> bool {
+    !matches!(
+        std::env::var("HB_INTERP").as_deref(),
+        Ok(v) if !v.is_empty() && v != "0" && v != "false"
+    )
+}
+
+/// Runs a prepared machine on the default execution path: the basic-block
+/// engine (`hardbound-exec`), or the interpreter when `HB_INTERP` is set.
+/// The two paths are observationally identical (enforced by the
+/// differential suite), so every figure pipeline and corpus driver routes
+/// through here.
+#[must_use]
+pub fn run_machine(machine: Machine) -> RunOutcome {
+    if engine_default() {
+        hardbound_exec::Engine::new(machine).run()
+    } else {
+        let mut machine = machine;
+        machine.run()
+    }
+}
+
+/// [`compile_and_run`] on the default execution path (see
+/// [`run_machine`]).
+///
+/// # Errors
+///
+/// Propagates compilation errors; runtime traps are reported in the
+/// returned [`RunOutcome`].
+pub fn compile_and_run_default(
+    user_source: &str,
+    mode: Mode,
+    encoding: PointerEncoding,
+) -> Result<RunOutcome, CompileError> {
+    let program = compile(user_source, mode)?;
+    Ok(run_machine(build_machine(program, mode, encoding)))
 }
 
 #[cfg(test)]

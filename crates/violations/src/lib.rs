@@ -19,7 +19,7 @@ use std::fmt;
 
 use hardbound_compiler::Mode;
 use hardbound_core::{PointerEncoding, Trap};
-use hardbound_runtime::compile_and_run;
+use hardbound_runtime::compile_and_run_default;
 
 /// Which data segment holds the overflowed object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -331,12 +331,80 @@ impl fmt::Display for CorpusReport {
 }
 
 /// Is this trap an acceptable "detection" for `mode`?
-fn is_detection(mode: Mode, trap: &Trap) -> bool {
+#[must_use]
+pub fn is_detection(mode: Mode, trap: &Trap) -> bool {
     match mode {
         Mode::HardBound | Mode::MallocOnly => trap.is_spatial_violation(),
         Mode::SoftBound => matches!(trap, Trap::SoftwareAbort { .. }),
         Mode::ObjectTable => matches!(trap, Trap::ObjectTableViolation { .. }),
         Mode::Baseline => false,
+    }
+}
+
+/// Outcome of one violation/benign pair under one scheme — the unit the
+/// parallel corpus drivers (`report::experiments` via `exec::batch`) fan
+/// out, aggregated in corpus order by [`CorpusReport::collect`] so the
+/// parallel report is byte-identical to the serial one.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// The violating twin trapped with `mode`'s own detection trap.
+    pub detected: bool,
+    /// Case id, if the violation ran to completion undetected.
+    pub missed: Option<String>,
+    /// Description, if the benign twin trapped.
+    pub false_positive: Option<String>,
+    /// Compilation / unexpected-trap failures.
+    pub errors: Vec<String>,
+}
+
+/// Runs one violation/benign pair under `mode`/`encoding` on the default
+/// execution path (the block engine unless `HB_INTERP` is set).
+#[must_use]
+pub fn run_case(case: &TestCase, mode: Mode, encoding: PointerEncoding) -> CaseResult {
+    let mut r = CaseResult {
+        detected: false,
+        missed: None,
+        false_positive: None,
+        errors: Vec::new(),
+    };
+    match compile_and_run_default(&case.bad_source, mode, encoding) {
+        Ok(out) => match out.trap {
+            Some(t) if is_detection(mode, &t) => r.detected = true,
+            Some(other) => r
+                .errors
+                .push(format!("{}: unexpected trap {other:?}", case.id)),
+            None => r.missed = Some(case.id.clone()),
+        },
+        Err(e) => r.errors.push(format!("{}: {e}", case.id)),
+    }
+    match compile_and_run_default(&case.ok_source, mode, encoding) {
+        Ok(out) => {
+            if let Some(t) = out.trap {
+                r.false_positive = Some(format!("{}: {t}", case.id));
+            }
+        }
+        Err(e) => r.errors.push(format!("{} (ok twin): {e}", case.id)),
+    }
+    r
+}
+
+impl CorpusReport {
+    /// Aggregates per-case results **in iteration order**, so a
+    /// parallelized driver that preserves input order reproduces the
+    /// serial report exactly.
+    #[must_use]
+    pub fn collect(results: impl IntoIterator<Item = CaseResult>) -> CorpusReport {
+        let mut report = CorpusReport::default();
+        for r in results {
+            report.total += 1;
+            if r.detected {
+                report.detected += 1;
+            }
+            report.missed.extend(r.missed);
+            report.false_positives.extend(r.false_positive);
+            report.errors.extend(r.errors);
+        }
+        report
     }
 }
 
@@ -346,31 +414,12 @@ pub fn run_filtered(
     encoding: PointerEncoding,
     mut filter: impl FnMut(&TestCase) -> bool,
 ) -> CorpusReport {
-    let mut report = CorpusReport::default();
-    for case in corpus().iter().filter(|c| filter(c)) {
-        report.total += 1;
-        match compile_and_run(&case.bad_source, mode, encoding) {
-            Ok(out) => match out.trap {
-                Some(t) if is_detection(mode, &t) => report.detected += 1,
-                Some(other) => {
-                    report
-                        .errors
-                        .push(format!("{}: unexpected trap {other:?}", case.id));
-                }
-                None => report.missed.push(case.id.clone()),
-            },
-            Err(e) => report.errors.push(format!("{}: {e}", case.id)),
-        }
-        match compile_and_run(&case.ok_source, mode, encoding) {
-            Ok(out) => {
-                if let Some(t) = out.trap {
-                    report.false_positives.push(format!("{}: {t}", case.id));
-                }
-            }
-            Err(e) => report.errors.push(format!("{} (ok twin): {e}", case.id)),
-        }
-    }
-    report
+    CorpusReport::collect(
+        corpus()
+            .iter()
+            .filter(|c| filter(c))
+            .map(|case| run_case(case, mode, encoding)),
+    )
 }
 
 /// Runs the entire corpus under `mode`/`encoding` (the §5.2 experiment).

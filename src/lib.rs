@@ -15,6 +15,9 @@
 //! * [`core`] — the HardBound machine: sidecar register metadata, implicit
 //!   bounds checks, metadata propagation, and the three compressed pointer
 //!   encodings (`extern-4`, `intern-4`, `intern-11`).
+//! * [`exec`] — the pre-decoded basic-block execution engine (block cache +
+//!   tight dispatch loop, observationally identical to the interpreter) and
+//!   the deterministic parallel batch driver.
 //! * [`lang`] — the *Cb* language front end (a C subset) used in place of
 //!   the paper's CIL/GCC toolchain.
 //! * [`compiler`] — Cb → ISA code generation with four instrumentation
@@ -52,6 +55,7 @@ pub use hardbound_bench as bench;
 pub use hardbound_cache as cache;
 pub use hardbound_compiler as compiler;
 pub use hardbound_core as core;
+pub use hardbound_exec as exec;
 pub use hardbound_isa as isa;
 pub use hardbound_lang as lang;
 pub use hardbound_mem as mem;

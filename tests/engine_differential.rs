@@ -1,0 +1,231 @@
+//! The engine-vs-interpreter differential suite: the pre-decoded
+//! basic-block engine (`hardbound-exec`) must be observationally identical
+//! to `Machine::run` — same exit code, same console output, same traps at
+//! the same program counters, and the same `ExecStats` down to every
+//! counter (µops, bounds checks, stall cycles, distinct pages) — across
+//! **all 15 mode × encoding configurations**, over benign programs, the
+//! violation corpus, compiled workloads, and sanitized fuzz programs.
+
+use hardbound::compiler::Mode;
+use hardbound::core::{Machine, MachineConfig, PointerEncoding, RunOutcome};
+use hardbound::exec::Engine;
+use hardbound::isa::{fuzz, FuncId, Function, Inst, Program, SysCall};
+use hardbound::runtime::{build_machine, compile};
+use hardbound::workloads::{by_name, Scale};
+
+const ALL_MODES: [Mode; 5] = [
+    Mode::Baseline,
+    Mode::MallocOnly,
+    Mode::HardBound,
+    Mode::SoftBound,
+    Mode::ObjectTable,
+];
+
+/// Every mode × encoding pair (5 × 3 = 15 configurations).
+fn all_configs() -> impl Iterator<Item = (Mode, PointerEncoding)> {
+    ALL_MODES
+        .into_iter()
+        .flat_map(|m| PointerEncoding::ALL.into_iter().map(move |e| (m, e)))
+}
+
+fn assert_identical(label: &str, interp: &RunOutcome, engine: &RunOutcome) {
+    assert_eq!(engine.exit_code, interp.exit_code, "{label}: exit code");
+    assert_eq!(engine.trap, interp.trap, "{label}: trap (incl. pc)");
+    assert_eq!(engine.output, interp.output, "{label}: console output");
+    assert_eq!(engine.ints, interp.ints, "{label}: print_int stream");
+    assert_eq!(engine.stats, interp.stats, "{label}: ExecStats");
+}
+
+/// Compiles `source` under `mode` and runs it on both paths.
+fn differential_cb(label: &str, source: &str, mode: Mode, encoding: PointerEncoding) {
+    let program = compile(source, mode)
+        .unwrap_or_else(|e| panic!("{label}: compile failed under {mode}: {e}"));
+    let interp = build_machine(program.clone(), mode, encoding).run();
+    let engine = Engine::new(build_machine(program, mode, encoding)).run();
+    assert_identical(&format!("{label}/{mode}/{encoding}"), &interp, &engine);
+}
+
+const BENIGN: &[(&str, &str)] = &[
+    (
+        "heap-sum",
+        r"
+        int main() {
+            int n = 12;
+            int *a = (int*)malloc(n * sizeof(int));
+            for (int i = 0; i < n; i = i + 1) a[i] = i * 3;
+            int sum = 0;
+            for (int i = 0; i < n; i = i + 1) sum = sum + a[i];
+            free(a);
+            print_int(sum);
+            return 0;
+        }
+        ",
+    ),
+    (
+        "linked-list",
+        r"
+        struct node { int v; struct node *next; };
+        int main() {
+            struct node *head = 0;
+            for (int i = 0; i < 9; i = i + 1) {
+                struct node *n = (struct node*)malloc(sizeof(struct node));
+                n->v = i; n->next = head; head = n;
+            }
+            int sum = 0;
+            for (struct node *p = head; p != 0; p = p->next) sum = sum + p->v;
+            print_int(sum);
+            return 0;
+        }
+        ",
+    ),
+    (
+        "recursion-and-globals",
+        r"
+        int g_hits[8];
+        int fib(int n) {
+            if (n < 8) g_hits[n] = g_hits[n] + 1;
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() {
+            print_int(fib(12));
+            int s = 0;
+            for (int i = 0; i < 8; i = i + 1) s = s + g_hits[i];
+            print_int(s);
+            return 0;
+        }
+        ",
+    ),
+];
+
+#[test]
+fn benign_programs_agree_on_all_15_configurations() {
+    for (name, source) in BENIGN {
+        for (mode, encoding) in all_configs() {
+            differential_cb(name, source, mode, encoding);
+        }
+    }
+}
+
+#[test]
+fn violation_corpus_sample_agrees_on_all_15_configurations() {
+    let cases: Vec<_> = hardbound::violations::corpus()
+        .into_iter()
+        .step_by(41) // 8 cases spanning every dimension
+        .collect();
+    assert!(cases.len() >= 7);
+    for case in &cases {
+        for (mode, encoding) in all_configs() {
+            differential_cb(
+                &format!("{}-bad", case.id),
+                &case.bad_source,
+                mode,
+                encoding,
+            );
+            differential_cb(&format!("{}-ok", case.id), &case.ok_source, mode, encoding);
+        }
+    }
+}
+
+#[test]
+fn workloads_agree_on_all_15_configurations() {
+    for bench in ["treeadd", "health"] {
+        let w = by_name(bench, Scale::Smoke).expect("workload exists");
+        for (mode, encoding) in all_configs() {
+            differential_cb(bench, &w.source, mode, encoding);
+        }
+    }
+}
+
+/// Builds a structurally valid program from a raw fuzz instruction stream:
+/// control-flow targets are clamped into range and a terminating halt is
+/// appended. Everything else (wild addresses, bad call targets, divide by
+/// zero, runaway recursion) is left in — the two execution paths must agree
+/// on every trap.
+fn fuzz_program(seed: u64) -> Program {
+    let mut insts = fuzz::insts(seed, 48);
+    let len = insts.len() as u32 + 1; // + the appended halt
+    for inst in &mut insts {
+        match inst {
+            Inst::Branch { target, .. } | Inst::Jump { target } => *target %= len,
+            Inst::Call { func } | Inst::CodePtr { func, .. } => *func = FuncId(func.0 % 2),
+            _ => {}
+        }
+    }
+    insts.push(Inst::Sys {
+        call: SysCall::Halt,
+    });
+    let helper = Function {
+        name: "helper".into(),
+        insts: vec![
+            Inst::Li {
+                rd: hardbound::isa::Reg::A0,
+                imm: 7,
+            },
+            Inst::Ret,
+        ],
+        frame_size: 0,
+        num_args: 0,
+    };
+    let main = Function {
+        name: "main".into(),
+        insts,
+        frame_size: 0,
+        num_args: 0,
+    };
+    let program = Program::with_entry(vec![main, helper]);
+    program
+        .validate()
+        .expect("sanitized fuzz programs validate");
+    program
+}
+
+#[test]
+fn fuzz_programs_agree_across_modes_and_encodings() {
+    for seed in 0..48 {
+        let program = fuzz_program(seed);
+        for (mode, encoding) in all_configs() {
+            // Fuzz programs are raw µop streams — the compiler mode only
+            // matters through the machine configuration, so pair each
+            // config via the runtime glue as the drivers do.
+            let cfg = hardbound::runtime::machine_config(mode, encoding).with_fuel(100_000);
+            let interp = Machine::new(program.clone(), cfg.clone()).run();
+            let engine = Engine::new(Machine::new(program.clone(), cfg)).run();
+            assert_identical(&format!("fuzz-{seed}/{mode}/{encoding}"), &interp, &engine);
+        }
+    }
+}
+
+#[test]
+fn engine_stats_expose_the_block_cache() {
+    let w = by_name("treeadd", Scale::Smoke).expect("workload exists");
+    let program = compile(&w.source, Mode::HardBound).expect("compiles");
+    let mut engine = Engine::new(build_machine(
+        program,
+        Mode::HardBound,
+        PointerEncoding::Intern4,
+    ));
+    let out = engine.run();
+    assert!(out.trap.is_none());
+    let stats = engine.stats();
+    assert!(stats.cache.decoded > 0, "{stats:?}");
+    assert!(
+        stats.cache.hit_ratio() > 0.9,
+        "hot loops must hit the block cache: {stats:?}"
+    );
+    assert!(stats.fast_uops > out.stats.uops / 2, "{stats:?}");
+}
+
+/// A machine configuration differential at tiny fuel: the engine's
+/// interpreter fallback near the fuel limit must count µops exactly.
+#[test]
+fn fuel_edge_agrees_at_every_limit() {
+    let w = by_name("power", Scale::Smoke).expect("workload exists");
+    let program = compile(&w.source, Mode::HardBound).expect("compiles");
+    for fuel in [1, 7, 63, 512, 4093] {
+        let cfg = MachineConfig::default().with_fuel(fuel);
+        let interp = Machine::new(program.clone(), cfg.clone()).run();
+        let engine = Engine::new(Machine::new(program.clone(), cfg)).run();
+        assert_identical(&format!("fuel={fuel}"), &interp, &engine);
+    }
+}
