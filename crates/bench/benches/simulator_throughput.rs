@@ -19,6 +19,12 @@
 //! acceptance threshold minus 10% runner-noise headroom) and the fleet
 //! must never fall below 0.9× of the serial interpreter, so an engine-path
 //! throughput regression of more than 10% fails the build.
+//!
+//! Set `HB_META_GATE=<ratio>` to gate the **metadata fast path**: a
+//! tag-sparse Olden-style workload must run at least `<ratio>`× faster on
+//! the engine with the fast path on (`MetaPath::Summary`) than with it
+//! off (`MetaPath::Charge`, every memory op charging tag traffic), so
+//! metadata-walk skipping can never silently regress.
 
 use std::time::{Duration, Instant};
 
@@ -26,10 +32,10 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 
 use hardbound_bench::scale_from_env;
 use hardbound_compiler::Mode;
-use hardbound_core::{Machine, MachineConfig, PointerEncoding};
+use hardbound_core::{Machine, MachineConfig, MetaPath, PointerEncoding};
 use hardbound_exec::{batch, Engine};
 use hardbound_isa::{BinOp, CmpOp, FuncId, FunctionBuilder, Program, Reg};
-use hardbound_runtime::{build_machine, compile};
+use hardbound_runtime::{build_machine, compile, env_parse, machine_config};
 use hardbound_workloads::{all, by_name, Scale};
 
 fn bench_simulation(c: &mut Criterion) {
@@ -111,12 +117,92 @@ fn dispatch_loop(iters: i32) -> Program {
     Program::with_entry(vec![main.finish(), leaf.finish()])
 }
 
+/// A tag-sparse Olden-style workload (em3d-shaped): an irregular gather
+/// through an index array, with the working pointers held in bounded
+/// registers — so, like em3d's node sweep, every memory access lands on
+/// data pages that never hold a pointer. The random access pattern defeats
+/// the same-block memos: with the fast path off every access pays the
+/// full tag-metadata charge; with it on, the page summaries prove there is
+/// nothing to fetch.
+fn tag_sparse_gather(n: u32, rounds: i32) -> Program {
+    use hardbound_isa::{layout, Width};
+    assert!(n.is_power_of_two());
+    let mut f = FunctionBuilder::new("gather", 0);
+    // A0 = data (bounded), A1 = idx (bounded), A2 = i, A3 = s, A4 = n.
+    f.li(Reg::A0, layout::HEAP_BASE);
+    f.setbound_imm(Reg::A0, Reg::A0, (n * 4) as i32);
+    f.li(Reg::A1, layout::HEAP_BASE + n * 4);
+    f.setbound_imm(Reg::A1, Reg::A1, (n * 4) as i32);
+    f.li(Reg::A4, n);
+    // Init: data[i] = i; idx[i] = lcg(i) & (n - 1).
+    f.li(Reg::A2, 0);
+    f.li(Reg::temp(3), 7);
+    let init = f.bind_label();
+    f.bin(BinOp::Shl, Reg::temp(0), Reg::A2, 2);
+    f.add(Reg::temp(1), Reg::A0, Reg::temp(0));
+    f.store(Width::Word, Reg::A2, Reg::temp(1), 0);
+    f.bin(BinOp::Mul, Reg::temp(3), Reg::temp(3), 1_103_515_245);
+    f.addi(Reg::temp(3), Reg::temp(3), 12345);
+    f.bin(BinOp::And, Reg::temp(2), Reg::temp(3), (n - 1) as i32);
+    f.add(Reg::temp(1), Reg::A1, Reg::temp(0));
+    f.store(Width::Word, Reg::temp(2), Reg::temp(1), 0);
+    f.addi(Reg::A2, Reg::A2, 1);
+    f.branch(CmpOp::Lt, Reg::A2, Reg::A4, init);
+    // Gather: s += data[idx[i]], `rounds` passes.
+    f.li(Reg::A3, 0);
+    f.li(Reg::temp(4), rounds as u32);
+    let outer = f.bind_label();
+    f.li(Reg::A2, 0);
+    let inner = f.bind_label();
+    f.bin(BinOp::Shl, Reg::temp(0), Reg::A2, 2);
+    f.add(Reg::temp(1), Reg::A1, Reg::temp(0));
+    f.load(Width::Word, Reg::temp(2), Reg::temp(1), 0); // idx[i]: sequential
+    f.bin(BinOp::Shl, Reg::temp(2), Reg::temp(2), 2);
+    f.add(Reg::temp(1), Reg::A0, Reg::temp(2));
+    f.load(Width::Word, Reg::temp(2), Reg::temp(1), 0); // data[idx[i]]: random
+    f.add(Reg::A3, Reg::A3, Reg::temp(2));
+    f.addi(Reg::A2, Reg::A2, 1);
+    f.branch(CmpOp::Lt, Reg::A2, Reg::A4, inner);
+    f.addi(Reg::temp(4), Reg::temp(4), -1);
+    f.branch(CmpOp::Gt, Reg::temp(4), 0, outer);
+    f.li(Reg::A0, 0);
+    f.halt();
+    Program::with_entry(vec![f.finish()])
+}
+
+/// The metadata-fast-path throughput comparison (and optional CI gate):
+/// engine runs of the tag-sparse gather, `MetaPath::Summary` vs
+/// `MetaPath::Charge`.
+fn meta_fast_path_report() {
+    let gate = env_parse::<f64>("HB_META_GATE").unwrap_or_else(|e| panic!("{e}"));
+    let program = tag_sparse_gather(32768, 6);
+    let run = |meta: MetaPath| {
+        let cfg = machine_config(Mode::HardBound, PointerEncoding::Intern4).with_meta_path(meta);
+        let out = Engine::new(Machine::new(program.clone(), cfg)).run();
+        assert!(out.is_success(), "{:?}", out.trap);
+        out.stats.cycles()
+    };
+    let (charge, fast) = compare(5, || run(MetaPath::Charge), || run(MetaPath::Summary));
+    let speedup = charge.as_secs_f64() / fast.as_secs_f64();
+    println!("\nmetadata fast path (tag-sparse gather, engine):");
+    println!(
+        "  {:<24} charge {charge:>10.2?}  summary {fast:>10.2?}  speedup {speedup:>5.2}x",
+        "tag-sparse gather"
+    );
+    if let Some(required) = gate {
+        assert!(
+            speedup >= required,
+            "metadata fast-path gate: tag-sparse speedup {speedup:.2}x \
+             below the required {required:.2}x"
+        );
+        println!("  gate: {speedup:.2}x >= {required:.2}x — ok");
+    }
+}
+
 /// The engine-vs-interpreter throughput comparison (and optional CI gate).
 fn engine_speedup_report() {
     let scale = scale_from_env();
-    let gate: Option<f64> = std::env::var("HB_ENGINE_GATE")
-        .ok()
-        .map(|v| v.parse().expect("HB_ENGINE_GATE must be a ratio like 1.8"));
+    let gate = env_parse::<f64>("HB_ENGINE_GATE").unwrap_or_else(|e| panic!("{e}"));
     let samples = match scale {
         Scale::Smoke => 10,
         Scale::Full => 3,
@@ -223,4 +309,5 @@ criterion_group!(benches, bench_simulation, bench_compilation);
 fn main() {
     benches();
     engine_speedup_report();
+    meta_fast_path_report();
 }

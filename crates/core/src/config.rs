@@ -57,6 +57,35 @@ impl HardboundConfig {
     }
 }
 
+/// How the machine answers "does this page hold any tagged word?" before
+/// charging tag-metadata traffic — the **metadata fast path**.
+///
+/// Most pages of real programs never hold a bounded pointer, so their
+/// accesses need neither the tag walk nor the `Tag`/`Shadow` hierarchy
+/// charge: the page-table entry (cached in the dTLB the access consults
+/// anyway) carries a summary bit saying so. [`MetaPath::Summary`] and
+/// [`MetaPath::Walk`] implement that architecture two ways with
+/// byte-identical statistics — maintained per-page counters vs. walking
+/// the page's tag plane on every access — which the identity proptests
+/// pin against each other. [`MetaPath::Charge`] disables the fast path
+/// entirely, restoring the paper's §4.2 model where *every* memory
+/// operation generates tag traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MetaPath {
+    /// Skip tag traffic for tag-free pages, deciding via the maintained
+    /// per-page summary counters (the default fast path).
+    #[default]
+    Summary,
+    /// Same architecture, unsummarized: decide by walking the page's tag
+    /// plane on every access. Slow reference implementation; exists so the
+    /// summary bookkeeping can be proven exact.
+    Walk,
+    /// No fast path: every memory operation charges tag traffic (paper
+    /// §4.2 verbatim). The `HB_META_FAST=0` escape hatch and the baseline
+    /// the `HB_META_GATE` throughput gate measures the fast path against.
+    Charge,
+}
+
 /// Full machine configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -69,6 +98,8 @@ pub struct MachineConfig {
     pub fuel: u64,
     /// Maximum call depth before `Trap::CallDepthExceeded`.
     pub max_call_depth: usize,
+    /// Metadata fast-path implementation (see [`MetaPath`]).
+    pub meta_path: MetaPath,
 }
 
 impl Default for MachineConfig {
@@ -91,6 +122,7 @@ impl MachineConfig {
             hierarchy,
             fuel: 4_000_000_000,
             max_call_depth: 1 << 20,
+            meta_path: MetaPath::Summary,
         }
     }
 
@@ -102,6 +134,7 @@ impl MachineConfig {
             hierarchy: HierarchyConfig::default(),
             fuel: 4_000_000_000,
             max_call_depth: 1 << 20,
+            meta_path: MetaPath::Summary,
         }
     }
 
@@ -119,6 +152,13 @@ impl MachineConfig {
         self.hierarchy = hierarchy;
         self
     }
+
+    /// Replaces the metadata fast-path implementation.
+    #[must_use]
+    pub fn with_meta_path(mut self, meta_path: MetaPath) -> MachineConfig {
+        self.meta_path = meta_path;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +173,7 @@ mod tests {
         assert_eq!(hb.mode, SafetyMode::Full);
         assert!(!hb.check_uop);
         assert_eq!(c.hierarchy.tag_cache_bytes, 2048);
+        assert_eq!(c.meta_path, MetaPath::Summary);
     }
 
     #[test]
@@ -151,10 +192,12 @@ mod tests {
         let c = MachineConfig::hardbound(
             HardboundConfig::malloc_only(PointerEncoding::Intern11).with_check_uop(),
         )
-        .with_fuel(1000);
+        .with_fuel(1000)
+        .with_meta_path(MetaPath::Walk);
         let hb = c.hardbound.unwrap();
         assert_eq!(hb.mode, SafetyMode::MallocOnly);
         assert!(hb.check_uop);
         assert_eq!(c.fuel, 1000);
+        assert_eq!(c.meta_path, MetaPath::Walk);
     }
 }

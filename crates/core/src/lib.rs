@@ -50,7 +50,7 @@ mod objtable;
 mod stats;
 mod trap;
 
-pub use config::{HardboundConfig, MachineConfig, SafetyMode};
+pub use config::{HardboundConfig, MachineConfig, MetaPath, SafetyMode};
 pub use encoding::{
     intern4_compress, intern4_decompress, intern_eligible, Intern4Word, PointerEncoding,
 };
@@ -508,7 +508,10 @@ mod tests {
             let mut f = FunctionBuilder::new("traffic", 0);
             f.li(Reg::A0, HEAP);
             f.setbound_imm(Reg::A0, Reg::A0, 64);
-            for i in 0..8 {
+            // Spill the pointer itself so the page holds a tagged word and
+            // the later stores cannot take the tag-free fast path.
+            f.store(Width::Word, Reg::A0, Reg::A0, 0);
+            for i in 1..8 {
                 f.store(Width::Word, Reg::ZERO, Reg::A0, i * 4);
             }
             f.li(Reg::A0, 0);
@@ -521,6 +524,86 @@ mod tests {
         assert_eq!(base.stats.hierarchy.tag_accesses, 0);
         assert_eq!(base.stats.tag_pages, 0);
         assert!(hb.stats.tag_pages > 0);
+    }
+
+    #[test]
+    fn tag_free_pages_skip_tag_traffic() {
+        // Stores and loads of plain integers through a bounded pointer
+        // touch pages that never hold a tagged word: the metadata fast
+        // path elides their tag traffic entirely, identically under the
+        // summary and the unsummarized walk, while the always-charge model
+        // still pays it.
+        let build = || {
+            let mut f = FunctionBuilder::new("sparse", 0);
+            f.li(Reg::A0, HEAP);
+            f.setbound_imm(Reg::A0, Reg::A0, 64);
+            for i in 0..8 {
+                f.store(Width::Word, Reg::ZERO, Reg::A0, i * 4);
+            }
+            for i in 0..8 {
+                f.load(Width::Word, Reg::A1, Reg::A0, i * 4);
+            }
+            f.li(Reg::A0, 0);
+            f.halt();
+            single(f)
+        };
+        let summary = run_program(build(), MachineConfig::default());
+        let walk = run_program(
+            build(),
+            MachineConfig::default().with_meta_path(MetaPath::Walk),
+        );
+        let charge = run_program(
+            build(),
+            MachineConfig::default().with_meta_path(MetaPath::Charge),
+        );
+        assert!(summary.is_success());
+        assert_eq!(summary.stats, walk.stats, "summary ≡ walk, byte for byte");
+        assert_eq!(summary.stats.hierarchy.tag_accesses, 0);
+        assert_eq!(summary.stats.tag_pages, 0);
+        assert_eq!(
+            charge.stats.hierarchy.tag_accesses,
+            charge.stats.loads + charge.stats.stores,
+            "the always-charge model consults tags on every memory op"
+        );
+        assert_eq!(charge.exit_code, summary.exit_code);
+        assert_eq!(charge.stats.uops, summary.stats.uops, "µops never differ");
+    }
+
+    #[test]
+    fn tagged_pages_still_charge_and_match_the_walk() {
+        // A pointer spilled mid-run flips its page from tag-free to
+        // tagged; accesses before the spill skip, accesses after pay —
+        // and the summary memo must notice the transition (summary ≡ walk
+        // even across it). Clearing the tag back makes the page tag-free
+        // again.
+        let build = || {
+            let mut f = FunctionBuilder::new("transition", 0);
+            f.li(Reg::A0, HEAP);
+            f.setbound_imm(Reg::A0, Reg::A0, 64);
+            f.store(Width::Word, Reg::ZERO, Reg::A0, 0); // tag-free: skip
+            f.store(Width::Word, Reg::A0, Reg::A0, 8); // spills a pointer
+            f.load(Width::Word, Reg::A1, Reg::A0, 8); // tagged page: charged
+            f.li(Reg::A2, 1);
+            f.store(Width::Word, Reg::A2, Reg::A0, 8); // clears the tag
+            f.load(Width::Word, Reg::A3, Reg::A0, 4); // tag-free again: skip
+            f.li(Reg::A0, 0);
+            f.halt();
+            single(f)
+        };
+        let summary = run_program(build(), MachineConfig::default());
+        let walk = run_program(
+            build(),
+            MachineConfig::default().with_meta_path(MetaPath::Walk),
+        );
+        assert!(summary.is_success(), "{:?}", summary.trap);
+        assert_eq!(summary.stats, walk.stats);
+        assert!(summary.stats.hierarchy.tag_accesses > 0);
+        assert!(
+            summary.stats.hierarchy.tag_accesses < summary.stats.loads + summary.stats.stores,
+            "tag-free accesses before/after the spill must skip: {:?}",
+            summary.stats.hierarchy
+        );
+        assert_eq!(summary.stats.ptr_loads, 1, "reloaded pointer keeps meta");
     }
 
     #[test]

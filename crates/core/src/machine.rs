@@ -3,7 +3,7 @@ use hardbound_isa::layout;
 use hardbound_isa::{BinOp, FuncId, Inst, Operand, Program, Reg, SysCall, Width};
 use hardbound_mem::{Memory, PageTouches};
 
-use crate::config::{MachineConfig, SafetyMode};
+use crate::config::{MachineConfig, MetaPath, SafetyMode};
 use crate::meta::{propagate_binop, Meta};
 use crate::objtable::ObjectTable;
 use crate::stats::ExecStats;
@@ -92,11 +92,27 @@ pub struct Machine {
     /// Same memo for the tag-metadata plane (tag TLB + tag cache are only
     /// ever touched by tag accesses, so no invalidation is needed).
     last_tag_block: u64,
-    /// Page whose accesses are known `region_ok` (`u32::MAX` = none).
-    /// Region boundaries are all page-aligned, so one passing check
-    /// whitelists the whole page for non-straddling accesses.
-    last_ok_page: u32,
+    /// Direct-mapped memo of pages known `region_ok`
+    /// (`entry[page & MASK] == page`; `u32::MAX` = empty). Region
+    /// boundaries are all page-aligned, so one passing check whitelists
+    /// the whole page for non-straddling accesses; several entries keep
+    /// loops that alternate between a few regions (two arrays, the frame)
+    /// from thrashing the memo.
+    ok_pages: [u32; TAG_FREE_MEMO_SIZE],
+    /// Metadata fast path ([`MetaPath`]), cached from the configuration.
+    meta_path: MetaPath,
+    /// Direct-mapped memo of pages known to hold no tagged words
+    /// (`entry[page & MASK] == page`; `u32::MAX` = empty), valid only
+    /// under [`MetaPath::Summary`]. Tags are created exclusively by
+    /// pointer stores, which drop the stored page's entry; everything else
+    /// can only clear tags, which keeps a tag-free page tag-free. A few
+    /// entries matter: real loops alternate between a handful of pages
+    /// (two arrays, the frame), and a single-entry memo thrashes.
+    tag_free_pages: [u32; TAG_FREE_MEMO_SIZE],
 }
+
+/// Entries in the machine's direct-mapped tag-free-page memo.
+const TAG_FREE_MEMO_SIZE: usize = 64;
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -141,7 +157,9 @@ impl Machine {
                 .map_or(5, |hb| (32 / hb.encoding.tag_bits()).trailing_zeros()),
             last_data_block: u64::MAX,
             last_tag_block: u64::MAX,
-            last_ok_page: u32::MAX,
+            ok_pages: [u32::MAX; TAG_FREE_MEMO_SIZE],
+            meta_path: cfg.meta_path,
+            tag_free_pages: [u32::MAX; TAG_FREE_MEMO_SIZE],
             cfg,
             program,
             regs: [0; Reg::COUNT],
@@ -300,12 +318,13 @@ impl Machine {
         // a region or entirely outside all of them: one passing check
         // whitelists its whole page for accesses that do not straddle it.
         let in_page = (ea & 4095) + width <= 4096;
-        if in_page && ea >> 12 == self.last_ok_page {
+        let page = ea >> 12;
+        if in_page && self.ok_pages[page as usize % TAG_FREE_MEMO_SIZE] == page {
             return true;
         }
         let ok = self.region_ok_slow(ea, width);
         if ok && in_page {
-            self.last_ok_page = ea >> 12;
+            self.ok_pages[page as usize % TAG_FREE_MEMO_SIZE] = page;
         }
         ok
     }
@@ -389,25 +408,76 @@ impl Machine {
         self.hier.access(AccessClass::Data, u64::from(ea));
     }
 
+    /// The metadata fast path's skip predicate: whether the access at
+    /// `[ea, ea + width)` touches a page known to hold no tagged words, so
+    /// the tag walk and the `Tag` hierarchy charge can be skipped. Accesses
+    /// that straddle a page boundary take the full path. Under
+    /// [`MetaPath::Summary`] the answer comes from the per-page counters
+    /// (memoized per page); under [`MetaPath::Walk`] it is recomputed by
+    /// walking the page's tag plane — same decision, proven identical by
+    /// the identity suites; under [`MetaPath::Charge`] it is always
+    /// `false`.
     #[inline]
-    fn charge_tag(&mut self, ea: u32) {
+    fn tag_free_page(&mut self, ea: u32, width: u32) -> bool {
+        if (ea & 4095) + width > 4096 {
+            return false;
+        }
+        match self.meta_path {
+            MetaPath::Charge => false,
+            MetaPath::Walk => self.mem.page_tag_free_walk(ea),
+            MetaPath::Summary => {
+                let page = ea >> 12;
+                if self.tag_free_pages[page as usize % TAG_FREE_MEMO_SIZE] == page {
+                    return true;
+                }
+                let free = self.mem.page_tag_free(ea);
+                if free {
+                    self.tag_free_pages[page as usize % TAG_FREE_MEMO_SIZE] = page;
+                }
+                free
+            }
+        }
+    }
+
+    /// Charges one data access and its tag-metadata access in a single
+    /// fused walk — statistics and replacement state evolve exactly as the
+    /// separate data and tag charges always have (the memos resolve first,
+    /// and a double miss takes [`Hierarchy::access_pair`]).
+    #[inline]
+    fn charge_data_and_tag(&mut self, ea: u32) {
         debug_assert!(
             self.cfg.hardbound.is_some(),
             "tag traffic only with HardBound"
         );
-        let addr = layout::HW_TAG_BASE + u64::from(ea >> self.tag_down_shift);
+        let tag_addr = layout::HW_TAG_BASE + u64::from(ea >> self.tag_down_shift);
         debug_assert_eq!(
-            addr,
+            tag_addr,
             layout::hw_tag_addr(ea, self.cfg.hardbound.expect("checked").encoding.tag_bits())
         );
-        let block = addr >> self.block_shift;
-        if block == self.last_tag_block {
+        let data_block = u64::from(ea) >> self.block_shift;
+        let tag_block = tag_addr >> self.block_shift;
+        let data_repeat = data_block == self.last_data_block;
+        let tag_repeat = tag_block == self.last_tag_block;
+        if data_repeat {
+            self.hier.note_data_repeat();
+        } else {
+            self.last_data_block = data_block;
+            self.pages.touch_data(ea);
+        }
+        if tag_repeat {
+            if !data_repeat {
+                self.hier.access(AccessClass::Data, u64::from(ea));
+            }
             self.hier.note_tag_repeat();
             return;
         }
-        self.last_tag_block = block;
-        self.pages.touch_tag(addr);
-        self.hier.access(AccessClass::Tag, addr);
+        self.last_tag_block = tag_block;
+        self.pages.touch_tag(tag_addr);
+        if data_repeat {
+            self.hier.access(AccessClass::Tag, tag_addr);
+        } else {
+            self.hier.access_pair(u64::from(ea), tag_addr);
+        }
     }
 
     fn charge_shadow(&mut self, ea: u32) {
@@ -465,10 +535,14 @@ impl Machine {
             });
         }
         self.stats.loads += 1;
-        self.charge_data(ea);
-        if HB {
-            // "This tag metadata is needed by every memory operation" §4.2.
-            self.charge_tag(ea);
+        // "This tag metadata is needed by every memory operation" (§4.2) —
+        // unless the page summary proves there is none to find, in which
+        // case the whole tag walk and charge are skipped.
+        let skip_tag = HB && self.tag_free_page(ea, width.bytes());
+        if HB && !skip_tag {
+            self.charge_data_and_tag(ea);
+        } else {
+            self.charge_data(ea);
         }
         match width {
             Width::Byte => {
@@ -476,7 +550,7 @@ impl Machine {
                 self.set(rd, u32::from(v), Meta::NONE);
             }
             Width::Word => {
-                if HB && ea.is_multiple_of(4) {
+                if HB && !skip_tag && ea.is_multiple_of(4) {
                     let (raw, tag, shadow) = self.mem.read_word_full(ea);
                     let mut meta = Meta::NONE;
                     match tag {
@@ -497,6 +571,11 @@ impl Machine {
                     }
                     self.set(rd, raw, meta);
                 } else {
+                    // Baseline load, unaligned load, or a tag-free page —
+                    // where the word's tag is zero by the summary
+                    // invariant, so the metadata planes need not be
+                    // consulted at all.
+                    debug_assert!(!skip_tag || self.mem.tag(ea) == 0);
                     let raw = self.mem.read_u32(ea);
                     self.set(rd, raw, Meta::NONE);
                 }
@@ -543,15 +622,23 @@ impl Machine {
             });
         }
         self.stats.stores += 1;
-        self.charge_data(ea);
-        if HB {
-            self.charge_tag(ea);
+        // A store writes a tag exactly when it spills a pointer word; every
+        // other store only *clears* tags — a no-op on a page the summary
+        // proves tag-free, so both the clear and the tag charge are
+        // skipped. The decision is made before the write mutates the page.
+        let tagging =
+            HB && width == Width::Word && ea.is_multiple_of(4) && self.m(src).is_pointer();
+        let skip_tag = HB && !tagging && self.tag_free_page(ea, width.bytes());
+        if HB && !skip_tag {
+            self.charge_data_and_tag(ea);
+        } else {
+            self.charge_data(ea);
         }
         let value = self.r(src);
         match width {
             Width::Byte => {
                 self.mem.write_u8(ea, value as u8);
-                if HB {
+                if HB && !skip_tag {
                     // A sub-word store destroys the containing word's
                     // pointer-ness (conservative, as real hardware must).
                     self.mem.set_tag(ea, TAG_NONE);
@@ -562,6 +649,10 @@ impl Machine {
                     if ea.is_multiple_of(4) {
                         let meta = self.m(src);
                         if meta.is_pointer() {
+                            // The page gains a tag: the tag-free memo can
+                            // no longer vouch for it.
+                            self.tag_free_pages[(ea >> 12) as usize % TAG_FREE_MEMO_SIZE] =
+                                u32::MAX;
                             self.stats.ptr_stores += 1;
                             let hb = self.cfg.hardbound.expect("checked above");
                             if hb.encoding.is_compressible(value, meta) {
@@ -581,14 +672,21 @@ impl Machine {
                                 );
                                 self.charge_shadow(ea);
                             }
+                        } else if skip_tag {
+                            // Tag-free page: the word's tag is already
+                            // zero; plain data write, no metadata touch.
+                            debug_assert_eq!(self.mem.tag(ea), 0);
+                            self.mem.write_u32(ea, value);
                         } else {
                             self.mem.write_word_tagged(ea, value, TAG_NONE);
                         }
                     } else {
                         // Unaligned word store: clear both containing words.
                         self.mem.write_u32(ea, value);
-                        self.mem.set_tag(ea, TAG_NONE);
-                        self.mem.set_tag(ea.wrapping_add(3), TAG_NONE);
+                        if !skip_tag {
+                            self.mem.set_tag(ea, TAG_NONE);
+                            self.mem.set_tag(ea.wrapping_add(3), TAG_NONE);
+                        }
                     }
                 } else {
                     self.mem.write_u32(ea, value);

@@ -11,20 +11,48 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Parses an `HB_JOBS`-style worker-count value: `None`/empty means "not
+/// set" (fall back to available parallelism), otherwise the value must be
+/// an integer ≥ 1.
+///
+/// # Errors
+///
+/// Returns a diagnostic for unparseable or zero values — the old behaviour
+/// of silently falling through to `available_parallelism` turned typos
+/// (`HB_JOBS=abc`) and impossible requests (`HB_JOBS=0`) into surprise
+/// full-width parallelism.
+pub fn parse_jobs(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(v) = value else { return Ok(None) };
+    let v = v.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    match v.parse::<usize>() {
+        Ok(0) => Err("HB_JOBS must be at least 1 (set HB_JOBS=1 for a serial run)".to_owned()),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "HB_JOBS must be a positive integer worker count, got `{v}`"
+        )),
+    }
+}
+
 /// Worker count: `HB_JOBS` if set (≥ 1), else the machine's available
 /// parallelism.
+///
+/// # Panics
+///
+/// Panics with a clear diagnostic when `HB_JOBS` is set but not a positive
+/// integer (see [`parse_jobs`]).
 #[must_use]
 pub fn default_workers() -> usize {
-    if let Some(n) = std::env::var("HB_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    let jobs = std::env::var("HB_JOBS").ok();
+    match parse_jobs(jobs.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        Err(e) => panic!("{e}"),
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
 }
 
 /// Applies `f` to every item on [`default_workers`] threads, preserving
@@ -125,5 +153,21 @@ mod tests {
     #[test]
     fn worker_count_honors_env_floor() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn jobs_parsing_rejects_invalid_values() {
+        assert_eq!(parse_jobs(None), Ok(None));
+        assert_eq!(parse_jobs(Some("")), Ok(None));
+        assert_eq!(parse_jobs(Some("  ")), Ok(None));
+        assert_eq!(parse_jobs(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_jobs(Some(" 8 ")), Ok(Some(8)));
+        let zero = parse_jobs(Some("0")).expect_err("0 workers is impossible");
+        assert!(zero.contains("at least 1"), "{zero}");
+        for bad in ["abc", "-2", "1.5", "4x"] {
+            let err = parse_jobs(Some(bad)).expect_err(bad);
+            assert!(err.contains(bad), "diagnostic must quote the value: {err}");
+            assert!(err.contains("HB_JOBS"), "{err}");
+        }
     }
 }

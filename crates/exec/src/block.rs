@@ -6,10 +6,20 @@
 //! (jumping into the middle of a previously decoded run simply decodes a
 //! new block starting there); this keeps decode single-pass with no leader
 //! analysis, exactly like a hardware µop trace cache.
+//!
+//! Residency is managed by a **segmented LRU**: freshly decoded blocks
+//! enter a probationary segment and are promoted to a protected segment on
+//! their first re-use, so one-shot decode streams (a long straight-line
+//! prologue, a cold error path) cannot wash a long-lived engine's hot
+//! loops out of the cache. Capacity pressure evicts one probationary LRU
+//! block at a time — never the whole cache, as the old whole-flush did.
+//! Invalidation after a code write is **range-precise**: every block
+//! records the instruction ranges it covers ([`CodeSpan`], inlined leaf
+//! bodies included), and only blocks overlapping the written range die.
 
-use hardbound_isa::{FuncId, Program};
+use hardbound_isa::{layout, FuncId, Program};
 
-use crate::uop::Uop;
+use crate::uop::{CodeSpan, DecodedBlock, Uop};
 
 /// A decoded basic block.
 #[derive(Clone, Debug)]
@@ -20,6 +30,9 @@ pub struct Block {
     pub entry: u32,
     /// Pre-decoded µops; one per instruction, terminator last.
     pub uops: Box<[Uop]>,
+    /// Instruction ranges this block covers (own function's hull plus the
+    /// full body of every inlined leaf callee).
+    pub spans: Box<[CodeSpan]>,
 }
 
 /// Counters describing the cache's behaviour over a run.
@@ -29,7 +42,7 @@ pub struct BlockCacheStats {
     pub hits: u64,
     /// Blocks decoded (== lookup misses).
     pub decoded: u64,
-    /// Blocks discarded by a capacity flush.
+    /// Blocks discarded by capacity eviction (segmented-LRU victims).
     pub evicted: u64,
     /// Blocks discarded by explicit invalidation.
     pub invalidated: u64,
@@ -48,22 +61,75 @@ impl BlockCacheStats {
     }
 }
 
-/// Decoded blocks indexed by entry PC, with bounded capacity.
+/// Which segmented-LRU list a resident block lives on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Segment {
+    /// Freshly decoded, not yet re-used.
+    Probation,
+    /// Re-used at least once; evicted only when probation is empty.
+    Protected,
+}
+
+/// Sentinel for "no slot" in the intrusive lists.
+const NONE: u32 = u32::MAX;
+
+/// One slab slot: a resident block threaded onto its segment's intrusive
+/// doubly-linked recency list (head = MRU, tail = LRU).
+#[derive(Debug)]
+struct Slot {
+    block: Block,
+    seg: Segment,
+    prev: u32,
+    next: u32,
+}
+
+/// Head/tail/length of one segment's recency list.
+#[derive(Clone, Copy, Debug)]
+struct List {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl List {
+    const EMPTY: List = List {
+        head: NONE,
+        tail: NONE,
+        len: 0,
+    };
+}
+
+/// Decoded blocks indexed by entry PC, with bounded capacity and
+/// segmented-LRU replacement.
 #[derive(Debug)]
 pub struct BlockCache {
-    /// `index[func][pc]` = block id + 1; `0` = not decoded.
+    /// `index[func][pc]` = slot id + 1; `0` = not decoded.
     index: Vec<Vec<u32>>,
-    blocks: Vec<Block>,
+    /// Slab of slots; freed slots are recycled through `free`, so resident
+    /// slot ids are stable across unrelated evictions.
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    resident: usize,
     capacity: usize,
+    /// Maximum blocks in the protected segment (the classic SLRU ~¾
+    /// split); promotion past this demotes the protected LRU back to
+    /// probation instead of evicting it.
+    protected_cap: usize,
+    probation: List,
+    protected: List,
     stats: BlockCacheStats,
 }
 
 impl BlockCache {
     /// Default capacity in blocks; far beyond any single program image, so
-    /// capacity flushes only occur when a caller asks for a small cache.
+    /// capacity evictions only occur when a caller asks for a small cache.
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
     /// Creates an empty cache shaped for `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
     #[must_use]
     pub fn new(program: &Program, capacity: usize) -> BlockCache {
         assert!(capacity > 0, "block cache needs room for at least 1 block");
@@ -73,91 +139,239 @@ impl BlockCache {
                 .iter()
                 .map(|f| vec![0; f.insts.len()])
                 .collect(),
-            blocks: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            resident: 0,
             capacity,
+            protected_cap: capacity * 3 / 4,
+            probation: List::EMPTY,
+            protected: List::EMPTY,
             stats: BlockCacheStats::default(),
         }
     }
 
+    fn list_mut(&mut self, seg: Segment) -> &mut List {
+        match seg {
+            Segment::Probation => &mut self.probation,
+            Segment::Protected => &mut self.protected,
+        }
+    }
+
+    fn slot(&self, id: u32) -> &Slot {
+        self.slots[id as usize].as_ref().expect("resident slot")
+    }
+
+    fn slot_mut(&mut self, id: u32) -> &mut Slot {
+        self.slots[id as usize].as_mut().expect("resident slot")
+    }
+
+    /// Unthreads `id` from its segment list.
+    fn unlink(&mut self, id: u32) {
+        let (seg, prev, next) = {
+            let s = self.slot(id);
+            (s.seg, s.prev, s.next)
+        };
+        if prev == NONE {
+            self.list_mut(seg).head = next;
+        } else {
+            self.slot_mut(prev).next = next;
+        }
+        if next == NONE {
+            self.list_mut(seg).tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+        self.list_mut(seg).len -= 1;
+    }
+
+    /// Threads `id` onto the MRU end of `seg`.
+    fn push_front(&mut self, seg: Segment, id: u32) {
+        let head = self.list_mut(seg).head;
+        {
+            let s = self.slot_mut(id);
+            s.seg = seg;
+            s.prev = NONE;
+            s.next = head;
+        }
+        if head != NONE {
+            self.slot_mut(head).prev = id;
+        }
+        let list = self.list_mut(seg);
+        list.head = id;
+        if list.tail == NONE {
+            list.tail = id;
+        }
+        list.len += 1;
+    }
+
+    /// Removes the block in slot `id` entirely (index entry, list, slab).
+    fn remove(&mut self, id: u32) {
+        self.unlink(id);
+        let slot = self.slots[id as usize].take().expect("resident slot");
+        self.index[slot.block.func.0 as usize][slot.block.entry as usize] = 0;
+        self.free.push(id);
+        self.resident -= 1;
+    }
+
+    /// Evicts one block to make room: the probationary LRU if any, else
+    /// the protected LRU.
+    fn evict_one(&mut self) {
+        let victim = if self.probation.tail != NONE {
+            self.probation.tail
+        } else {
+            self.protected.tail
+        };
+        debug_assert_ne!(victim, NONE, "evicting from an empty cache");
+        self.remove(victim);
+        self.stats.evicted += 1;
+    }
+
     /// Id of the resident block decoded at `(func, pc)`, if any. Counts a
-    /// hit. Ids are only stable until the next insert or invalidation —
-    /// resolve them with [`BlockCache::block`] immediately.
+    /// hit and touches the block's recency: probationary blocks are
+    /// promoted to the protected segment, protected blocks move to its MRU
+    /// position. Ids are only stable until the next insert or
+    /// invalidation — resolve them with [`BlockCache::block`] immediately.
     #[inline]
     pub fn lookup(&mut self, func: FuncId, pc: u32) -> Option<usize> {
         let id = self.index[func.0 as usize][pc as usize];
         if id == 0 {
             return None;
         }
+        let id = id - 1;
         self.stats.hits += 1;
-        Some(id as usize - 1)
+        self.touch(id);
+        Some(id as usize)
+    }
+
+    fn touch(&mut self, id: u32) {
+        self.unlink(id);
+        self.push_front(Segment::Protected, id);
+        // Keep the protected segment within its share by demoting its LRU
+        // back to probation (it stays resident and ahead of cold blocks).
+        while self.protected.len > self.protected_cap.max(1) {
+            let lru = self.protected.tail;
+            self.unlink(lru);
+            self.push_front(Segment::Probation, lru);
+        }
     }
 
     /// Inserts a freshly decoded block and returns its id. Counts a
-    /// decode; flushes everything first when at capacity.
-    pub fn insert(&mut self, func: FuncId, entry: u32, uops: Box<[Uop]>) -> usize {
-        if self.blocks.len() >= self.capacity {
-            self.stats.evicted += self.blocks.len() as u64;
-            self.flush();
+    /// decode; evicts segmented-LRU victims one at a time when at
+    /// capacity.
+    pub fn insert(&mut self, func: FuncId, entry: u32, decoded: DecodedBlock) -> usize {
+        while self.resident >= self.capacity {
+            self.evict_one();
         }
         self.stats.decoded += 1;
-        self.blocks.push(Block { func, entry, uops });
-        let id = self.blocks.len() as u32; // id + 1 encoding
-        self.index[func.0 as usize][entry as usize] = id;
-        id as usize - 1
+        let slot = Slot {
+            block: Block {
+                func,
+                entry,
+                uops: decoded.uops,
+                spans: decoded.spans,
+            },
+            seg: Segment::Probation,
+            prev: NONE,
+            next: NONE,
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(slot);
+                id
+            }
+            None => {
+                self.slots.push(Some(slot));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.push_front(Segment::Probation, id);
+        self.index[func.0 as usize][entry as usize] = id + 1;
+        self.resident += 1;
+        id as usize
     }
 
     /// The block for an id returned by [`BlockCache::lookup`] /
     /// [`BlockCache::insert`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not resident.
     #[inline]
     #[must_use]
     pub fn block(&self, id: usize) -> &Block {
-        &self.blocks[id]
+        &self.slot(id as u32).block
+    }
+
+    /// Removes every resident block matching `pred`, counting the removals
+    /// as invalidations.
+    fn invalidate_matching(&mut self, pred: impl Fn(&Block) -> bool) {
+        let victims: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&id| {
+                self.slots[id as usize]
+                    .as_ref()
+                    .is_some_and(|s| pred(&s.block))
+            })
+            .collect();
+        self.stats.invalidated += victims.len() as u64;
+        for id in victims {
+            self.remove(id);
+        }
     }
 
     /// Drops every decoded block containing `func`'s code (e.g. after
     /// patching a function image), counting them as invalidated. That
     /// includes blocks of *other* functions that inlined `func` as a
-    /// straight-line leaf callee ([`Uop::InlineCall`]) — their µop arrays
-    /// embed `func`'s decoded body.
+    /// straight-line leaf callee — their µop arrays embed `func`'s decoded
+    /// body, which the block's [`CodeSpan`]s record.
     pub fn invalidate_function(&mut self, func: FuncId) {
-        let before = self.blocks.len();
-        self.blocks.retain(|b| {
-            b.func != func
-                && !b
-                    .uops
-                    .iter()
-                    .any(|u| matches!(u, Uop::InlineCall { func: f, .. } if *f == func))
-        });
-        self.stats.invalidated += (before - self.blocks.len()) as u64;
-        self.rebuild_index();
+        self.invalidate_matching(|b| b.spans.iter().any(|s| s.func == func));
+    }
+
+    /// Range-precise invalidation: drops exactly the blocks whose covered
+    /// instruction ranges intersect `[lo, hi)` of `func` (inlined copies
+    /// included). Blocks of untouched code survive.
+    pub fn invalidate_span(&mut self, func: FuncId, lo: u32, hi: u32) {
+        self.invalidate_matching(|b| b.spans.iter().any(|s| s.overlaps(func, lo, hi)));
+    }
+
+    /// Range-precise invalidation keyed by *code addresses*: drops the
+    /// blocks embedding code of any function whose handle range
+    /// (`[code_addr(f), code_addr(f) + CODE_STRIDE)`) overlaps the written
+    /// byte range `[lo, hi)`. Writes that touch no code — the common case:
+    /// every data store — invalidate nothing, where the old design flushed
+    /// every decoded block.
+    pub fn invalidate_code_range(&mut self, lo: u32, hi: u32) {
+        let (code_lo, code_hi) = (
+            layout::CODE_BASE,
+            layout::code_addr(self.index.len() as u32),
+        );
+        let lo = lo.max(code_lo);
+        let hi = hi.min(code_hi);
+        if lo >= hi {
+            return; // nowhere near code
+        }
+        let first = (lo - code_lo) / layout::CODE_STRIDE;
+        let last = (hi - 1 - code_lo) / layout::CODE_STRIDE;
+        self.invalidate_matching(|b| b.spans.iter().any(|s| (first..=last).contains(&s.func.0)));
     }
 
     /// Drops every decoded block, counting them as invalidated.
     pub fn invalidate_all(&mut self) {
-        self.stats.invalidated += self.blocks.len() as u64;
-        self.flush();
-    }
-
-    fn flush(&mut self) {
-        self.blocks.clear();
+        self.stats.invalidated += self.resident as u64;
+        self.slots.clear();
+        self.free.clear();
+        self.resident = 0;
+        self.probation = List::EMPTY;
+        self.protected = List::EMPTY;
         for per_fn in &mut self.index {
             per_fn.fill(0);
-        }
-    }
-
-    fn rebuild_index(&mut self) {
-        for per_fn in &mut self.index {
-            per_fn.fill(0);
-        }
-        for (i, b) in self.blocks.iter().enumerate() {
-            self.index[b.func.0 as usize][b.entry as usize] = i as u32 + 1;
         }
     }
 
     /// Number of resident decoded blocks.
     #[must_use]
     pub fn resident(&self) -> usize {
-        self.blocks.len()
+        self.resident
     }
 
     /// Accumulated cache counters.
@@ -182,8 +396,19 @@ mod tests {
         Program::with_entry(vec![a.finish(), b.finish()])
     }
 
-    fn uops() -> Box<[Uop]> {
-        vec![Uop::Nop, Uop::Ret].into_boxed_slice()
+    fn decoded(spans: &[CodeSpan]) -> DecodedBlock {
+        DecodedBlock {
+            uops: vec![Uop::Nop, Uop::Ret].into_boxed_slice(),
+            spans: spans.to_vec().into_boxed_slice(),
+        }
+    }
+
+    fn own_span(func: FuncId, entry: u32) -> DecodedBlock {
+        decoded(&[CodeSpan {
+            func,
+            lo: entry,
+            hi: entry + 2,
+        }])
     }
 
     #[test]
@@ -191,7 +416,7 @@ mod tests {
         let p = two_function_program();
         let mut c = BlockCache::new(&p, 8);
         assert!(c.lookup(FuncId(0), 0).is_none());
-        let id = c.insert(FuncId(0), 0, uops());
+        let id = c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
         assert_eq!(c.lookup(FuncId(0), 0), Some(id));
         assert_eq!(c.block(id).entry, 0);
         assert_eq!(c.stats().hits, 1);
@@ -200,23 +425,49 @@ mod tests {
     }
 
     #[test]
-    fn capacity_flush_counts_evictions() {
+    fn capacity_evicts_one_block_not_everything() {
         let p = two_function_program();
         let mut c = BlockCache::new(&p, 1);
-        c.insert(FuncId(0), 0, uops());
-        c.insert(FuncId(0), 1, uops());
+        c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
+        c.insert(FuncId(0), 1, own_span(FuncId(0), 1));
         assert_eq!(c.stats().evicted, 1);
         assert_eq!(c.resident(), 1);
-        assert!(c.lookup(FuncId(0), 0).is_none(), "flushed block is gone");
+        assert!(c.lookup(FuncId(0), 0).is_none(), "evicted block is gone");
         assert!(c.lookup(FuncId(0), 1).is_some());
+    }
+
+    #[test]
+    fn reused_blocks_survive_a_cold_decode_stream() {
+        // The segmented-LRU point: a re-used (promoted) block outlives an
+        // arbitrarily long stream of never-reused insertions, which a
+        // whole-flush (or plain LRU of this size) would have destroyed.
+        let mut f = FunctionBuilder::new("big", 0);
+        for _ in 0..63 {
+            f.li(Reg::A0, 0);
+        }
+        f.halt();
+        let p = Program::with_entry(vec![f.finish()]);
+        let mut c = BlockCache::new(&p, 4);
+        let hot = c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
+        assert_eq!(c.lookup(FuncId(0), 0), Some(hot), "promote to protected");
+        for e in 1..40 {
+            c.insert(FuncId(0), e, own_span(FuncId(0), e));
+        }
+        assert!(
+            c.lookup(FuncId(0), 0).is_some(),
+            "hot block must survive the scan: {:?}",
+            c.stats()
+        );
+        assert_eq!(c.resident(), 4);
+        assert_eq!(c.stats().evicted, 36);
     }
 
     #[test]
     fn function_invalidation_is_selective() {
         let p = two_function_program();
         let mut c = BlockCache::new(&p, 8);
-        c.insert(FuncId(0), 0, uops());
-        c.insert(FuncId(1), 0, uops());
+        c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
+        c.insert(FuncId(1), 0, own_span(FuncId(1), 0));
         c.invalidate_function(FuncId(0));
         assert_eq!(c.stats().invalidated, 1);
         assert!(c.lookup(FuncId(0), 0).is_none());
@@ -230,22 +481,25 @@ mod tests {
     fn invalidation_covers_inlined_leaf_bodies() {
         let p = two_function_program();
         let mut c = BlockCache::new(&p, 8);
-        // A block of fn#0 whose superblock inlined fn#1's body.
+        // A block of fn#0 whose superblock inlined fn#1's body: its spans
+        // cover both functions.
         c.insert(
             FuncId(0),
             0,
-            vec![
-                Uop::InlineCall {
-                    func: FuncId(1),
-                    ret: 1,
+            decoded(&[
+                CodeSpan {
+                    func: FuncId(0),
+                    lo: 0,
+                    hi: 2,
                 },
-                Uop::Nop,
-                Uop::InlineRet,
-                Uop::Ret,
-            ]
-            .into_boxed_slice(),
+                CodeSpan {
+                    func: FuncId(1),
+                    lo: 0,
+                    hi: 2,
+                },
+            ]),
         );
-        c.insert(FuncId(0), 1, uops());
+        c.insert(FuncId(0), 1, own_span(FuncId(0), 1));
         c.invalidate_function(FuncId(1));
         assert_eq!(
             c.stats().invalidated,
@@ -254,5 +508,42 @@ mod tests {
         );
         assert!(c.lookup(FuncId(0), 0).is_none());
         assert!(c.lookup(FuncId(0), 1).is_some(), "unrelated blocks survive");
+    }
+
+    #[test]
+    fn span_invalidation_is_instruction_precise() {
+        let mut f = FunctionBuilder::new("wide", 0);
+        for _ in 0..7 {
+            f.li(Reg::A0, 1);
+        }
+        f.halt();
+        let p = Program::with_entry(vec![f.finish()]);
+        let mut c = BlockCache::new(&p, 8);
+        c.insert(FuncId(0), 0, own_span(FuncId(0), 0)); // covers [0, 2)
+        c.insert(FuncId(0), 4, own_span(FuncId(0), 4)); // covers [4, 6)
+        c.invalidate_span(FuncId(0), 2, 4); // the gap: nothing overlaps
+        assert_eq!(c.stats().invalidated, 0);
+        c.invalidate_span(FuncId(0), 5, 9);
+        assert_eq!(c.stats().invalidated, 1);
+        assert!(c.lookup(FuncId(0), 0).is_some());
+        assert!(c.lookup(FuncId(0), 4).is_none());
+    }
+
+    #[test]
+    fn code_range_invalidation_ignores_data_addresses() {
+        let p = two_function_program();
+        let mut c = BlockCache::new(&p, 8);
+        c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
+        c.insert(FuncId(1), 0, own_span(FuncId(1), 0));
+        // Data writes: heap, globals, stack — zero blocks die.
+        c.invalidate_code_range(0x0100_0000, 0x0100_0040);
+        c.invalidate_code_range(layout::GLOBALS_BASE, layout::GLOBALS_BASE + 4);
+        assert_eq!(c.stats().invalidated, 0);
+        // Overwrite fn#1's handle: exactly its block dies.
+        let f1 = layout::code_addr(1);
+        c.invalidate_code_range(f1, f1 + 4);
+        assert_eq!(c.stats().invalidated, 1);
+        assert!(c.lookup(FuncId(0), 0).is_some());
+        assert!(c.lookup(FuncId(1), 0).is_none());
     }
 }

@@ -123,12 +123,24 @@ impl Engine {
         &mut self.cache
     }
 
+    /// Hook for hosts that patch the program image (simulated stores never
+    /// reach the code region — `region_ok` wild-faults them): reacts to a
+    /// write of `len` bytes at `addr` by dropping exactly the decoded
+    /// blocks embedding code the write overlaps. A write range covering
+    /// only data invalidates nothing, so a long-lived engine keeps its
+    /// decode work where the pre-span API offered only the
+    /// whole-function/whole-cache invalidations.
+    pub fn note_code_write(&mut self, addr: u32, len: u32) {
+        self.cache
+            .invalidate_code_range(addr, addr.saturating_add(len));
+    }
+
     fn lookup_or_decode(&mut self, func: FuncId, pc: u32) -> usize {
         if let Some(id) = self.cache.lookup(func, pc) {
             return id;
         }
-        let uops = decode_block(self.machine.program(), func, pc, self.machine.config());
-        self.cache.insert(func, pc, uops)
+        let decoded = decode_block(self.machine.program(), func, pc, self.machine.config());
+        self.cache.insert(func, pc, decoded)
     }
 
     /// Dispatches one decoded block. The caller has already guaranteed the
@@ -537,6 +549,92 @@ mod tests {
         let decoded_before = e.stats().cache.decoded;
         e.block_cache_mut().invalidate_all();
         assert!(e.stats().cache.invalidated >= decoded_before);
+    }
+
+    #[test]
+    fn data_stores_invalidate_no_blocks_code_writes_only_theirs() {
+        // The over-kill regression: a store anywhere near code used to
+        // flush every decoded block. Now a data-only write invalidates
+        // zero blocks, and a true code overwrite kills exactly the blocks
+        // embedding the overwritten function — inlined copies included.
+        let mut leaf = FunctionBuilder::new("leaf", 0);
+        leaf.li(Reg::A1, 9);
+        leaf.ret();
+        // Branchy, so the decoder gives it its own block instead of
+        // inlining it into main's superblock.
+        let mut other = FunctionBuilder::new("other", 0);
+        other.li(Reg::A2, 3);
+        let out = other.new_label();
+        other.branch(CmpOp::Ge, Reg::A2, 0, out);
+        other.li(Reg::A2, 4);
+        other.bind(out);
+        other.ret();
+        let mut main = FunctionBuilder::new("main", 0);
+        main.call(FuncId(1)); // inlined into main's superblock
+        main.call(FuncId(2));
+        main.li(Reg::A0, 0);
+        main.halt();
+        let program = Program::with_entry(vec![main.finish(), leaf.finish(), other.finish()]);
+        let mut e = Engine::new(Machine::new(program, MachineConfig::default()));
+        assert!(e.run().is_success());
+        let resident = e.block_cache_mut().resident();
+        assert!(resident >= 2, "main + other blocks stay resident");
+
+        // Data-only stores: heap, globals, stack. Zero invalidations.
+        e.note_code_write(hardbound_isa::layout::HEAP_BASE, 4);
+        e.note_code_write(hardbound_isa::layout::GLOBALS_BASE + 128, 64);
+        e.note_code_write(hardbound_isa::layout::STACK_TOP - 64, 4);
+        assert_eq!(e.stats().cache.invalidated, 0, "data stores are free");
+        assert_eq!(e.block_cache_mut().resident(), resident);
+
+        // Overwrite the inlined leaf's code: the block that embeds it
+        // (main's superblock) dies; `other`'s block survives.
+        e.note_code_write(hardbound_isa::layout::code_addr(1), 4);
+        let invalidated = e.stats().cache.invalidated;
+        assert!(invalidated >= 1, "{:?}", e.stats());
+        assert!(
+            invalidated < resident as u64,
+            "only overlapping blocks die: {:?}",
+            e.stats()
+        );
+        assert!(
+            e.block_cache_mut().lookup(FuncId(2), 0).is_some(),
+            "unrelated function's block survives the code write"
+        );
+        assert!(
+            e.block_cache_mut().lookup(FuncId(0), 0).is_none(),
+            "the superblock inlining the overwritten leaf must redecode"
+        );
+    }
+
+    #[test]
+    fn hot_loop_blocks_survive_cold_code_under_pressure() {
+        // Segmented LRU under the engine: a loop body re-used every
+        // iteration is promoted to the protected segment and keeps its
+        // decode work even when a tiny cache thrashes on one-shot blocks.
+        let mut f = FunctionBuilder::new("mix", 0);
+        f.li(Reg::A0, 0);
+        let head = f.bind_label();
+        f.addi(Reg::A0, Reg::A0, 1);
+        let done = f.new_label();
+        f.branch(CmpOp::Ge, Reg::A0, 50, done);
+        f.jump(head);
+        f.bind(done);
+        f.li(Reg::A0, 0);
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let mut e = Engine::with_block_capacity(Machine::new(program, MachineConfig::default()), 2);
+        let out = e.run();
+        assert!(out.is_success());
+        let s = e.stats();
+        assert!(
+            s.cache.hits > 45,
+            "the promoted loop block must keep hitting: {s:?}"
+        );
+        assert!(
+            s.cache.decoded <= 4,
+            "no whole-flush redecode storms: {s:?}"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@ enum Op {
     WriteWord(u32, u32),
     SetTag(u32, u8),
     SetShadow(u32, u32, u32),
+    WriteWordTagged(u32, u32, u8),
+    WriteWordPointer(u32, u32, u8, u32, u32),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -20,11 +22,16 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         0x0FFC_u32..0x1004,
         0x1000_0000u32..0x1000_0100
     ];
+    let word_addr = addr.clone().prop_map(|a| a & !3);
     prop_oneof![
         (addr.clone(), any::<u8>()).prop_map(|(a, v)| Op::WriteByte(a, v)),
         (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::WriteWord(a, v)),
         (addr.clone(), 0u8..16).prop_map(|(a, t)| Op::SetTag(a, t)),
         (addr, any::<u32>(), any::<u32>()).prop_map(|(a, b, d)| Op::SetShadow(a, b, d)),
+        (word_addr.clone(), any::<u32>(), 0u8..3)
+            .prop_map(|(a, v, t)| Op::WriteWordTagged(a, v, t)),
+        (word_addr, any::<u32>(), 1u8..3, any::<u32>(), any::<u32>())
+            .prop_map(|(a, v, t, b, d)| Op::WriteWordPointer(a, v, t, b, d)),
     ]
 }
 
@@ -58,6 +65,21 @@ proptest! {
                     mem.set_shadow(a, (b, d));
                     ref_shadow.insert(a & !3, (b, d));
                 }
+                Op::WriteWordTagged(a, v, t) => {
+                    mem.write_word_tagged(a, v, t);
+                    for (i, b) in v.to_le_bytes().iter().enumerate() {
+                        ref_bytes.insert(a + i as u32, *b);
+                    }
+                    ref_tags.insert(a, t);
+                }
+                Op::WriteWordPointer(a, v, t, b, d) => {
+                    mem.write_word_pointer(a, v, t, (b, d));
+                    for (i, byte) in v.to_le_bytes().iter().enumerate() {
+                        ref_bytes.insert(a + i as u32, *byte);
+                    }
+                    ref_tags.insert(a, t);
+                    ref_shadow.insert(a, (b, d));
+                }
             }
         }
 
@@ -70,6 +92,42 @@ proptest! {
         }
         for (&a, &s) in &ref_shadow {
             prop_assert_eq!(mem.shadow(a), s);
+        }
+
+        // The per-page summaries must agree with a from-scratch scan of the
+        // reference model — counts exact, tag-freeness identical to the
+        // unsummarized walk.
+        let mut tag_count: HashMap<u32, u32> = HashMap::new();
+        for (&a, &t) in &ref_tags {
+            if t != 0 {
+                *tag_count.entry(a / 4096).or_insert(0) += 1;
+            }
+        }
+        let mut shadow_count: HashMap<u32, u32> = HashMap::new();
+        for (&a, &s) in &ref_shadow {
+            if s != (0, 0) {
+                *shadow_count.entry(a / 4096).or_insert(0) += 1;
+            }
+        }
+        let pages: std::collections::HashSet<u32> = ref_bytes
+            .keys()
+            .chain(ref_tags.keys())
+            .chain(ref_shadow.keys())
+            .map(|a| a / 4096)
+            .collect();
+        for &page in &pages {
+            let a = page * 4096;
+            let want_tags = tag_count.get(&page).copied().unwrap_or(0);
+            let want_shadow = shadow_count.get(&page).copied().unwrap_or(0);
+            prop_assert_eq!(mem.page_tag_words(a), want_tags, "page {:#x}", a);
+            prop_assert_eq!(mem.page_shadow_words(a), want_shadow, "page {:#x}", a);
+            prop_assert_eq!(mem.page_tag_free(a), want_tags == 0, "page {:#x}", a);
+            prop_assert_eq!(
+                mem.page_tag_free(a),
+                mem.page_tag_free_walk(a),
+                "summary vs walk on page {:#x}",
+                a
+            );
         }
     }
 

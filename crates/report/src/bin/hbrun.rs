@@ -23,10 +23,10 @@
 use std::process::ExitCode;
 
 use hardbound_compiler::Mode;
-use hardbound_core::PointerEncoding;
+use hardbound_core::{MetaPath, PointerEncoding};
 use hardbound_exec::Engine;
 use hardbound_isa::Program;
-use hardbound_runtime::{build_machine, compile, engine_default};
+use hardbound_runtime::{build_machine_with_config, compile, engine_default, machine_config};
 
 struct Args {
     path: String,
@@ -35,6 +35,7 @@ struct Args {
     stats: bool,
     disasm: bool,
     engine: bool,
+    meta: Option<MetaPath>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +46,8 @@ fn parse_args() -> Result<Args, String> {
     let mut disasm = false;
     // `HB_INTERP=1` flips the default; the flags below override both.
     let mut engine = engine_default();
+    // `HB_META_FAST=0` flips the metadata fast path; `--meta` overrides.
+    let mut meta = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -69,6 +72,15 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown encoding `{other}`")),
                 };
             }
+            "--meta" => {
+                let v = it.next().ok_or("--meta needs a value")?;
+                meta = Some(match v.as_str() {
+                    "summary" => MetaPath::Summary,
+                    "walk" => MetaPath::Walk,
+                    "charge" => MetaPath::Charge,
+                    other => return Err(format!("unknown meta path `{other}`")),
+                });
+            }
             "--stats" => stats = true,
             "--disasm" => disasm = true,
             "--engine" => engine = true,
@@ -76,7 +88,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: hbrun FILE.{cb,s} [--mode M] [--encoding E] [--stats] \
-                     [--disasm] [--engine|--interp]"
+                     [--disasm] [--engine|--interp] [--meta summary|walk|charge]"
                         .to_owned(),
                 )
             }
@@ -92,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
         stats,
         disasm,
         engine,
+        meta,
     })
 }
 
@@ -142,7 +155,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let machine = build_machine(program, args.mode, args.encoding);
+    let mut config = machine_config(args.mode, args.encoding);
+    if let Some(meta) = args.meta {
+        config = config.with_meta_path(meta);
+    }
+    let machine = build_machine_with_config(program, args.mode, config);
     let out = if args.engine {
         Engine::new(machine).run()
     } else {

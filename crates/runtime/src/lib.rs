@@ -46,8 +46,47 @@ pub use source::RUNTIME_SOURCE;
 pub use splay::SplayTable;
 
 use hardbound_compiler::{compile_program, CompileError, Mode, Options};
-use hardbound_core::{HardboundConfig, Machine, MachineConfig, PointerEncoding, RunOutcome};
+use hardbound_core::{
+    HardboundConfig, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome,
+};
 use hardbound_isa::Program;
+
+/// Parses one `HB_*` boolean flag value: `0`, `false` (any case) and the
+/// empty string mean *off*; anything else means *on*. This is the one
+/// shared definition every flag-shaped environment variable routes
+/// through, so `HB_INTERP=FALSE` and `HB_INTERP=false` can never drift
+/// apart again.
+#[must_use]
+pub fn parse_flag(value: &str) -> bool {
+    let v = value.trim();
+    !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+}
+
+/// Reads the environment flag `name`: `None` when unset, otherwise
+/// [`parse_flag`] of its value.
+#[must_use]
+pub fn env_flag(name: &str) -> Option<bool> {
+    std::env::var(name).ok().map(|v| parse_flag(&v))
+}
+
+/// Reads and parses the environment variable `name` as a `T`: `Ok(None)`
+/// when unset or empty, `Err` with a diagnostic naming the variable and
+/// quoting the value when it does not parse — never a silent fallback.
+///
+/// # Errors
+///
+/// Returns the diagnostic described above on unparseable values.
+pub fn env_parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(v) if v.trim().is_empty() => Ok(None),
+        Ok(v) => v
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name} must be a {}, got `{v}`", std::any::type_name::<T>())),
+    }
+}
 
 /// Prepends the runtime library to a user program.
 #[must_use]
@@ -67,16 +106,30 @@ pub fn compile(user_source: &str, mode: Mode) -> Result<Program, CompileError> {
     compile_program(&link(user_source), &opts)
 }
 
+/// The default [`MetaPath`]: the summary fast path, unless `HB_META_FAST`
+/// is explicitly turned off — the escape hatch restoring the paper's §4.2
+/// model where every memory operation generates tag traffic.
+#[must_use]
+pub fn meta_path_default() -> MetaPath {
+    if env_flag("HB_META_FAST").unwrap_or(true) {
+        MetaPath::Summary
+    } else {
+        MetaPath::Charge
+    }
+}
+
 /// The machine configuration that corresponds to a compiler mode (paper
 /// §5.1): HardBound hardware for the HardBound/MallocOnly modes, the plain
-/// baseline machine for the software-only schemes.
+/// baseline machine for the software-only schemes. The metadata fast path
+/// follows [`meta_path_default`].
 #[must_use]
 pub fn machine_config(mode: Mode, encoding: PointerEncoding) -> MachineConfig {
-    match mode {
+    let cfg = match mode {
         Mode::Baseline | Mode::SoftBound | Mode::ObjectTable => MachineConfig::baseline(),
         Mode::MallocOnly => MachineConfig::hardbound(HardboundConfig::malloc_only(encoding)),
         Mode::HardBound => MachineConfig::hardbound(HardboundConfig::full(encoding)),
-    }
+    };
+    cfg.with_meta_path(meta_path_default())
 }
 
 /// Builds a machine for `program` under `mode`, attaching the splay-tree
@@ -116,16 +169,13 @@ pub fn compile_and_run(
 }
 
 /// Whether the block execution engine is the default execution path.
-/// Setting `HB_INTERP=1` (any value except `0`, `false`, or empty) in the
-/// environment is the global `--interp` escape hatch: every driver that
-/// runs through [`run_machine`] falls back to the one-µop-per-step
-/// interpreter.
+/// Setting `HB_INTERP=1` (any value except `0`, `false` in any case, or
+/// empty — see [`parse_flag`]) in the environment is the global `--interp`
+/// escape hatch: every driver that runs through [`run_machine`] falls back
+/// to the one-µop-per-step interpreter.
 #[must_use]
 pub fn engine_default() -> bool {
-    !matches!(
-        std::env::var("HB_INTERP").as_deref(),
-        Ok(v) if !v.is_empty() && v != "0" && v != "false"
-    )
+    !env_flag("HB_INTERP").unwrap_or(false)
 }
 
 /// Runs a prepared machine on the default execution path: the basic-block
@@ -185,6 +235,39 @@ mod tests {
             assert_eq!(out.output, reference.output, "{mode} output differs");
         }
         reference
+    }
+
+    #[test]
+    fn flag_parsing_is_case_insensitive_and_matches_the_docs() {
+        // "any value except `0`, `false`, or empty" — in any case, with
+        // surrounding whitespace tolerated. `HB_INTERP=FALSE` used to
+        // enable the interpreter because the comparison was case-sensitive.
+        for off in ["", "0", "false", "FALSE", "False", " false ", " 0 "] {
+            assert!(!parse_flag(off), "`{off}` must read as off");
+        }
+        for on in ["1", "true", "TRUE", "yes", "on", "2", "x"] {
+            assert!(parse_flag(on), "`{on}` must read as on");
+        }
+    }
+
+    #[test]
+    fn env_parse_reports_unparseable_values() {
+        // Unset variables read as None.
+        assert_eq!(env_parse::<f64>("HB_TEST_UNSET_NO_SUCH_VAR"), Ok(None));
+        // A set-but-invalid value takes the error path, and the diagnostic
+        // names the variable and quotes the value. The variable name is
+        // unique to this test, so no other test can race on it.
+        std::env::set_var("HB_TEST_ENV_PARSE_INVALID", "1.x");
+        let err =
+            env_parse::<f64>("HB_TEST_ENV_PARSE_INVALID").expect_err("`1.x` must not parse as f64");
+        assert!(err.contains("HB_TEST_ENV_PARSE_INVALID"), "{err}");
+        assert!(err.contains("1.x"), "{err}");
+        // Valid and empty values parse through the same path.
+        std::env::set_var("HB_TEST_ENV_PARSE_INVALID", "2.5");
+        assert_eq!(env_parse::<f64>("HB_TEST_ENV_PARSE_INVALID"), Ok(Some(2.5)));
+        std::env::set_var("HB_TEST_ENV_PARSE_INVALID", "");
+        assert_eq!(env_parse::<f64>("HB_TEST_ENV_PARSE_INVALID"), Ok(None));
+        std::env::remove_var("HB_TEST_ENV_PARSE_INVALID");
     }
 
     #[test]

@@ -75,9 +75,17 @@ fn hardbound_adds_bounded_overhead_on_smoke_inputs() {
             w.name
         );
         assert!(hb.stats.bounds_checks > 0, "{}: no bounds checks", w.name);
+        // Every memory op to a page holding tagged words consults the tag
+        // metadata; tag-free pages skip it entirely (the metadata fast
+        // path), so the count is bounded by — not equal to — the op count.
         assert!(
-            hb.stats.hierarchy.tag_accesses >= hb.stats.loads + hb.stats.stores,
-            "{}: tag metadata must be consulted by every memory op",
+            hb.stats.hierarchy.tag_accesses > 0,
+            "{}: pointer-bearing pages must generate tag traffic",
+            w.name
+        );
+        assert!(
+            hb.stats.hierarchy.tag_accesses <= hb.stats.loads + hb.stats.stores,
+            "{}: at most one tag access per memory op",
             w.name
         );
         assert!(

@@ -5,12 +5,18 @@
 //! counter (µops, bounds checks, stall cycles, distinct pages) — across
 //! **all 15 mode × encoding configurations**, over benign programs, the
 //! violation corpus, compiled workloads, and sanitized fuzz programs.
+//!
+//! The same four-way matrix additionally pins the **metadata fast path**:
+//! each program runs under `MetaPath::Summary` (per-page counters) and
+//! `MetaPath::Walk` (the unsummarized tag-plane walk), on both execution
+//! paths, and all four outcomes must be byte-identical — `ExecStats` and
+//! `HierarchyStats` included.
 
 use hardbound::compiler::Mode;
-use hardbound::core::{Machine, MachineConfig, PointerEncoding, RunOutcome};
+use hardbound::core::{Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome};
 use hardbound::exec::Engine;
 use hardbound::isa::{fuzz, FuncId, Function, Inst, Program, SysCall};
-use hardbound::runtime::{build_machine, compile};
+use hardbound::runtime::{build_machine, build_machine_with_config, compile, machine_config};
 use hardbound::workloads::{by_name, Scale};
 
 const ALL_MODES: [Mode; 5] = [
@@ -36,13 +42,30 @@ fn assert_identical(label: &str, interp: &RunOutcome, engine: &RunOutcome) {
     assert_eq!(engine.stats, interp.stats, "{label}: ExecStats");
 }
 
-/// Compiles `source` under `mode` and runs it on both paths.
+/// Compiles `source` under `mode` and runs it four ways — interpreter and
+/// engine, each under the summary fast path and the unsummarized walk —
+/// asserting all four outcomes identical.
 fn differential_cb(label: &str, source: &str, mode: Mode, encoding: PointerEncoding) {
     let program = compile(source, mode)
         .unwrap_or_else(|e| panic!("{label}: compile failed under {mode}: {e}"));
-    let interp = build_machine(program.clone(), mode, encoding).run();
-    let engine = Engine::new(build_machine(program, mode, encoding)).run();
-    assert_identical(&format!("{label}/{mode}/{encoding}"), &interp, &engine);
+    let cfg = |meta| machine_config(mode, encoding).with_meta_path(meta);
+    let build = |meta| build_machine_with_config(program.clone(), mode, cfg(meta));
+    let interp = build(MetaPath::Summary).run();
+    let engine = Engine::new(build(MetaPath::Summary)).run();
+    let interp_walk = build(MetaPath::Walk).run();
+    let engine_walk = Engine::new(build(MetaPath::Walk)).run();
+    let label = format!("{label}/{mode}/{encoding}");
+    assert_identical(&label, &interp, &engine);
+    assert_identical(
+        &format!("{label}/interp summary-vs-walk"),
+        &interp,
+        &interp_walk,
+    );
+    assert_identical(
+        &format!("{label}/engine summary-vs-walk"),
+        &engine,
+        &engine_walk,
+    );
 }
 
 const BENIGN: &[(&str, &str)] = &[
@@ -187,11 +210,16 @@ fn fuzz_programs_agree_across_modes_and_encodings() {
         for (mode, encoding) in all_configs() {
             // Fuzz programs are raw µop streams — the compiler mode only
             // matters through the machine configuration, so pair each
-            // config via the runtime glue as the drivers do.
-            let cfg = hardbound::runtime::machine_config(mode, encoding).with_fuel(100_000);
+            // config via the runtime glue as the drivers do. The walk
+            // variant re-checks the fast-path identity on hostile inputs.
+            let cfg = machine_config(mode, encoding).with_fuel(100_000);
+            let walk_cfg = cfg.clone().with_meta_path(MetaPath::Walk);
             let interp = Machine::new(program.clone(), cfg.clone()).run();
             let engine = Engine::new(Machine::new(program.clone(), cfg)).run();
-            assert_identical(&format!("fuzz-{seed}/{mode}/{encoding}"), &interp, &engine);
+            let engine_walk = Engine::new(Machine::new(program.clone(), walk_cfg)).run();
+            let label = format!("fuzz-{seed}/{mode}/{encoding}");
+            assert_identical(&label, &interp, &engine);
+            assert_identical(&format!("{label}/summary-vs-walk"), &engine, &engine_walk);
         }
     }
 }

@@ -1,0 +1,231 @@
+//! Property suite for the metadata fast path: per-page tag summaries must
+//! never change a single statistic relative to the unsummarized walk.
+//!
+//! Generated programs mix pointer spills (which tag pages), integer and
+//! byte stores (which clear tags), unaligned stores, and loads, over a
+//! multi-page region — in a *tag-sparse* flavour (pointer ops rare, most
+//! pages never tagged: the fast path's home turf) and a *tag-dense* one
+//! (pointer ops everywhere: the fast path must constantly re-decide).
+//! Every generated program runs under all **15 mode × encoding
+//! configurations**, on the interpreter and the block engine, under
+//! `MetaPath::Summary` and `MetaPath::Walk`; the full `RunOutcome` —
+//! `ExecStats` and `HierarchyStats` down to the last counter — must be
+//! byte-identical between the summary and the walk on both execution
+//! paths.
+
+use hardbound::compiler::Mode;
+use hardbound::core::{Machine, MetaPath, PointerEncoding, RunOutcome};
+use hardbound::exec::Engine;
+use hardbound::isa::{layout, FunctionBuilder, Program, Reg, Width};
+use hardbound::runtime::machine_config;
+use proptest::prelude::*;
+
+const ALL_MODES: [Mode; 5] = [
+    Mode::Baseline,
+    Mode::MallocOnly,
+    Mode::HardBound,
+    Mode::SoftBound,
+    Mode::ObjectTable,
+];
+
+/// Words in the generated programs' working region (3 pages + one word so
+/// page-transition behaviour is exercised at both boundaries).
+const REGION_WORDS: u32 = 3 * 1024 + 1;
+const REGION_BYTES: u32 = REGION_WORDS * 4;
+
+/// One generated memory operation over the bounded working region.
+#[derive(Clone, Copy, Debug)]
+enum MOp {
+    /// Store an integer word at `slot`.
+    StoreInt(u32, u32),
+    /// Store a pointer (bounds `[HEAP + 4 * target, … + size)`) at `slot`;
+    /// small sizes compress, large ones spill to the shadow space.
+    StorePtr { slot: u32, target: u32, size: u32 },
+    /// Store one byte into word `slot` (clears its tag).
+    StoreByte(u32, u8),
+    /// Store an unaligned word at `slot * 4 + 1` (clears two tags).
+    StoreUnaligned(u32, u32),
+    /// Load the word at `slot`.
+    LoadWord(u32),
+    /// Load one byte of word `slot`.
+    LoadByte(u32),
+}
+
+fn slot() -> impl Strategy<Value = u32> {
+    // Bias toward page-boundary slots so summaries flip where it hurts.
+    prop_oneof![
+        0u32..REGION_WORDS,
+        0u32..REGION_WORDS,
+        0u32..REGION_WORDS,
+        1020u32..1030,
+        2044u32..2054,
+    ]
+}
+
+/// Weighted op mix; `ptr_weight` copies of the pointer-spill arm emulate
+/// weighting on top of the vendored uniform union (tag-sparse callers pass
+/// 1 against ~13 other arms; tag-dense callers pass 8).
+fn op(ptr_weight: usize) -> impl Strategy<Value = MOp> {
+    let mut arms: Vec<BoxedStrategy<MOp>> = Vec::new();
+    for _ in 0..4 {
+        arms.push(
+            (slot(), any::<u32>())
+                .prop_map(|(s, v)| MOp::StoreInt(s, v))
+                .boxed(),
+        );
+    }
+    for _ in 0..ptr_weight {
+        arms.push(
+            (
+                slot(),
+                0u32..REGION_WORDS,
+                prop_oneof![4u32..64, 4000u32..6000],
+            )
+                .prop_map(|(slot, target, size)| MOp::StorePtr { slot, target, size })
+                .boxed(),
+        );
+    }
+    for _ in 0..2 {
+        arms.push(
+            (slot(), any::<u8>())
+                .prop_map(|(s, v)| MOp::StoreByte(s, v))
+                .boxed(),
+        );
+    }
+    arms.push(
+        (0u32..REGION_WORDS - 2, any::<u32>())
+            .prop_map(|(s, v)| MOp::StoreUnaligned(s, v))
+            .boxed(),
+    );
+    for _ in 0..4 {
+        arms.push(slot().prop_map(MOp::LoadWord).boxed());
+    }
+    for _ in 0..2 {
+        arms.push(slot().prop_map(MOp::LoadByte).boxed());
+    }
+    Union::new(arms)
+}
+
+/// Lowers an op list to a program: `A0` holds the region pointer the whole
+/// time, `A1` is the scratch value/pointer register, `A2` the load sink.
+fn build_program(ops: &[MOp]) -> Program {
+    let mut f = FunctionBuilder::new("generated", 0);
+    f.li(Reg::A0, layout::HEAP_BASE);
+    f.setbound_imm(Reg::A0, Reg::A0, REGION_BYTES as i32);
+    for &o in ops {
+        match o {
+            MOp::StoreInt(slot, v) => {
+                f.li(Reg::A1, v);
+                f.store(Width::Word, Reg::A1, Reg::A0, (slot * 4) as i32);
+            }
+            MOp::StorePtr { slot, target, size } => {
+                f.li(Reg::A1, layout::HEAP_BASE + target * 4);
+                f.setbound_imm(Reg::A1, Reg::A1, size as i32);
+                f.store(Width::Word, Reg::A1, Reg::A0, (slot * 4) as i32);
+            }
+            MOp::StoreByte(slot, v) => {
+                f.li(Reg::A1, u32::from(v));
+                f.store(Width::Byte, Reg::A1, Reg::A0, (slot * 4) as i32);
+            }
+            MOp::StoreUnaligned(slot, v) => {
+                f.li(Reg::A1, v);
+                f.store(Width::Word, Reg::A1, Reg::A0, (slot * 4 + 1) as i32);
+            }
+            MOp::LoadWord(slot) => {
+                f.load(Width::Word, Reg::A2, Reg::A0, (slot * 4) as i32);
+            }
+            MOp::LoadByte(slot) => {
+                f.load(Width::Byte, Reg::A2, Reg::A0, (slot * 4) as i32);
+            }
+        }
+    }
+    f.li(Reg::A0, 0);
+    f.halt();
+    Program::with_entry(vec![f.finish()])
+}
+
+fn assert_identical(label: &str, a: &RunOutcome, b: &RunOutcome) {
+    assert_eq!(a.exit_code, b.exit_code, "{label}: exit code");
+    assert_eq!(a.trap, b.trap, "{label}: trap");
+    assert_eq!(a.output, b.output, "{label}: output");
+    assert_eq!(
+        a.stats, b.stats,
+        "{label}: ExecStats/HierarchyStats must be byte-identical"
+    );
+}
+
+/// Runs `program` under every mode × encoding, asserting the summary and
+/// the walk agree on both execution paths.
+fn check_all_configs(program: &Program) {
+    for mode in ALL_MODES {
+        for encoding in PointerEncoding::ALL {
+            let cfg = machine_config(mode, encoding).with_fuel(2_000_000);
+            let run = |meta: MetaPath, engine: bool| {
+                let machine = Machine::new(program.clone(), cfg.clone().with_meta_path(meta));
+                if engine {
+                    Engine::new(machine).run()
+                } else {
+                    let mut m = machine;
+                    m.run()
+                }
+            };
+            let interp_summary = run(MetaPath::Summary, false);
+            let interp_walk = run(MetaPath::Walk, false);
+            let engine_summary = run(MetaPath::Summary, true);
+            let engine_walk = run(MetaPath::Walk, true);
+            let label = format!("{mode}/{encoding}");
+            assert_identical(&format!("{label}/interp"), &interp_summary, &interp_walk);
+            assert_identical(&format!("{label}/engine"), &engine_summary, &engine_walk);
+            assert_identical(
+                &format!("{label}/interp-vs-engine"),
+                &interp_summary,
+                &engine_summary,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tag-sparse programs: pointer spills are rare, so most accesses ride
+    /// the fast path — the summary must skip exactly where the walk skips.
+    #[test]
+    fn tag_sparse_programs_summary_never_changes_stats(
+        ops in prop::collection::vec(op(1), 1..60),
+    ) {
+        check_all_configs(&build_program(&ops));
+    }
+
+    /// Tag-dense programs: pointers land on every page, pages flip between
+    /// tagged and tag-free as stores overwrite them — the bookkeeping must
+    /// track every transition.
+    #[test]
+    fn tag_dense_programs_summary_never_changes_stats(
+        ops in prop::collection::vec(op(8), 1..60),
+    ) {
+        check_all_configs(&build_program(&ops));
+    }
+}
+
+/// A deterministic worst case on top of the random sweep: one page tagged
+/// and fully untagged again, repeatedly, interleaved with loads — the
+/// summary memo must notice every flip (a stale memo here is the bug class
+/// this suite exists to catch).
+#[test]
+fn page_flip_stress_matches_walk() {
+    let mut ops = Vec::new();
+    for round in 0..12u32 {
+        let slot = (round % 3) * 1024 + round;
+        ops.push(MOp::StorePtr {
+            slot,
+            target: 0,
+            size: 16,
+        });
+        ops.push(MOp::LoadWord(slot));
+        ops.push(MOp::StoreInt(slot, round));
+        ops.push(MOp::LoadWord(slot));
+        ops.push(MOp::LoadWord(slot + 1));
+    }
+    check_all_configs(&build_program(&ops));
+}
