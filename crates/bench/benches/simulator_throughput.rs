@@ -33,7 +33,7 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use hardbound_bench::scale_from_env;
 use hardbound_compiler::Mode;
 use hardbound_core::{Machine, MachineConfig, MetaPath, PointerEncoding};
-use hardbound_exec::{batch, Engine};
+use hardbound_exec::{batch, CorpusService, Engine, Job};
 use hardbound_isa::{BinOp, CmpOp, FuncId, FunctionBuilder, Program, Reg};
 use hardbound_runtime::{build_machine, compile, env_parse, machine_config};
 use hardbound_workloads::{all, by_name, Scale};
@@ -269,8 +269,13 @@ fn engine_speedup_report() {
             }
         },
         || {
-            let outs = batch::map(programs.clone(), |_, p| {
-                Engine::new(build_machine(p, Mode::HardBound, PointerEncoding::Intern4)).run()
+            let outs = batch::map(&programs, |_, p| {
+                Engine::new(build_machine(
+                    p.clone(),
+                    Mode::HardBound,
+                    PointerEncoding::Intern4,
+                ))
+                .run()
             });
             assert!(outs.iter().all(|o| o.trap.is_none()));
         },
@@ -304,10 +309,85 @@ fn engine_speedup_report() {
     }
 }
 
+/// The corpus-service warm-vs-cold comparison (and optional CI gate): the
+/// full figure-style grid — every workload × (baseline + HardBound per
+/// encoding) — runs twice on one fresh [`CorpusService`]. The cold pass
+/// simulates every cell; the warm pass must replay each one from the
+/// program-hash result store, byte-identically and (gated via
+/// `HB_SERVICE_GATE=<ratio>`, CI pins `2`) at least `<ratio>`× faster.
+fn service_warm_cold_report() {
+    let gate = env_parse::<f64>("HB_SERVICE_GATE").unwrap_or_else(|e| panic!("{e}"));
+    let scale = scale_from_env();
+    let workloads = all(scale);
+    let mut specs = vec![(Mode::Baseline, PointerEncoding::Intern4)];
+    for encoding in PointerEncoding::ALL {
+        specs.push((Mode::HardBound, encoding));
+    }
+    let jobs: Vec<Job<Mode>> = workloads
+        .iter()
+        .flat_map(|w| {
+            specs.iter().map(|&(mode, encoding)| Job {
+                program: compile(&w.source, mode).expect("compiles"),
+                config: machine_config(mode, encoding),
+                salt: mode as u64,
+                tag: mode,
+            })
+        })
+        .collect();
+    let build = |program, config, &mode: &Mode| {
+        hardbound_runtime::build_machine_with_config(program, mode, config)
+    };
+
+    let mut svc = CorpusService::new(batch::default_workers());
+    let t0 = Instant::now();
+    let cold_outs = svc.run_batch(&jobs, build);
+    let cold = t0.elapsed();
+    let after_cold = svc.stats();
+    let t1 = Instant::now();
+    let warm_outs = svc.run_batch(&jobs, build);
+    let warm = t1.elapsed().max(Duration::from_nanos(1));
+    let after_warm = svc.stats();
+
+    assert_eq!(cold_outs, warm_outs, "warm replay must be byte-identical");
+    let replayed = after_warm.store.hits - after_cold.store.hits;
+    assert!(
+        replayed >= jobs.len() as u64,
+        "warm re-run must replay every cell from the result store \
+         ({replayed} hits for {} cells)",
+        jobs.len()
+    );
+    assert_eq!(
+        after_warm.cache.decoded, after_cold.cache.decoded,
+        "warm re-run must add no decode work"
+    );
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64();
+    println!(
+        "\ncorpus service warm vs cold ({scale:?} inputs, {} cells):",
+        jobs.len()
+    );
+    println!(
+        "  {:<24} cold {cold:>10.2?}  warm {warm:>10.2?}  speedup {speedup:>5.2}x",
+        "figure grid"
+    );
+    println!(
+        "  store: {} executed cold, {replayed} replayed warm; shards decoded {} blocks",
+        after_cold.store.misses, after_cold.cache.decoded
+    );
+    if let Some(required) = gate {
+        assert!(
+            speedup >= required,
+            "service gate: warm corpus re-run speedup {speedup:.2}x \
+             below the required {required:.2}x"
+        );
+        println!("  gate: {speedup:.2}x >= {required:.2}x — ok");
+    }
+}
+
 criterion_group!(benches, bench_simulation, bench_compilation);
 
 fn main() {
     benches();
     engine_speedup_report();
     meta_fast_path_report();
+    service_warm_cold_report();
 }

@@ -21,7 +21,7 @@ pub enum AccessClass {
 }
 
 /// Geometry and penalties of the simulated memory system.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct HierarchyConfig {
     /// L1 data cache capacity in bytes (paper: 32 KB).
     pub l1_bytes: u64,

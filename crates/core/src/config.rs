@@ -16,7 +16,7 @@ pub enum SafetyMode {
 }
 
 /// Configuration of the HardBound hardware extension.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct HardboundConfig {
     /// Active compressed pointer encoding (§4.3).
     pub encoding: PointerEncoding,
@@ -87,7 +87,11 @@ pub enum MetaPath {
 }
 
 /// Full machine configuration.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Hash` covers every field, so a hash of a `MachineConfig` fingerprints
+/// the complete simulated hardware — the corpus-service result store keys
+/// on it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// HardBound hardware; `None` disables it entirely (the baseline and
     /// the software-only comparison schemes run this way).

@@ -29,7 +29,13 @@ struct Frame {
 }
 
 /// Result of a completed run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every observable field — exit code, trap (with
+/// program counter), full [`ExecStats`], console output and the
+/// `print_int` stream — so outcome equality *is* observational identity,
+/// which the corpus-service result store and the differential suites rely
+/// on.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
     /// Exit code if the program halted normally (via `sys halt` or
     /// returning from the entry function).

@@ -6,10 +6,22 @@
 //! list across `std::thread` workers and returns results **in input
 //! order**, so a parallelized driver produces byte-identical reports to the
 //! serial loop it replaces.
+//!
+//! Scheduling is a **lock-free claimed-by-atomic-index** design: jobs are
+//! claimed by a single `fetch_add` on a shared cursor (dynamic load
+//! balancing — a worker stuck on a slow job never strands queued work),
+//! inputs are read straight from the shared slice, and each result lands
+//! in its own write-once [`OnceLock`] slot. The previous scheme took two
+//! `Mutex` locks per job (one to take the input, one to store the output)
+//! even though neither slot was ever contended.
+//!
+//! [`map_with_states`] additionally threads a per-worker mutable state
+//! through the claim loop — the corpus service hands each worker its own
+//! [`SharedBlockCache`](crate::SharedBlockCache) shard this way.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 /// Parses an `HB_JOBS`-style worker-count value: `None`/empty means "not
 /// set" (fall back to available parallelism), otherwise the value must be
@@ -60,64 +72,77 @@ pub fn default_workers() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates the first panic raised by `f` (a panicking job poisons
-/// nothing: each job owns its slot).
-pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// Propagates a panic raised by `f` (a panicking job poisons nothing:
+/// every slot is independent).
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
 {
     map_with_workers(items, default_workers(), f)
 }
 
 /// [`map`] with an explicit worker count (`1` degrades to the plain serial
 /// loop — the `--interp`-style escape hatch for debugging).
-pub fn map_with_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+pub fn map_with_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
 {
+    let mut states = vec![(); workers.clamp(1, items.len().max(1))];
+    map_with_states(items, &mut states, |(), i, t| f(i, t))
+}
+
+/// [`map`] with one mutable state per worker: `states.len()` workers run,
+/// each claiming jobs off the shared cursor and threading its own `&mut S`
+/// through every job it claims. Results are still returned in input
+/// order, and — because job results must not depend on which worker ran
+/// them — a state may only carry *transparent* mutable context (caches,
+/// scratch buffers, statistics).
+///
+/// # Panics
+///
+/// Panics if `states` is empty; propagates a panic raised by `f`.
+pub fn map_with_states<S, T, R, F>(items: &[T], states: &mut [S], f: F) -> Vec<R>
+where
+    S: Send,
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    assert!(!states.is_empty(), "need at least one worker state");
     let n = items.len();
-    let workers = workers.max(1).min(n);
-    if workers <= 1 {
+    if states.len() == 1 || n <= 1 {
+        let state = &mut states[0];
         return items
-            .into_iter()
+            .iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| f(state, i, t))
             .collect();
     }
-    // Work-stealing by atomic index: each job's input and output live in
-    // dedicated slots, so result order is the input order regardless of
-    // which worker ran what.
-    let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = queue[i]
-                    .lock()
-                    .expect("job slot lock")
-                    .take()
-                    .expect("each slot is taken once");
-                let r = f(i, item);
-                *results[i].lock().expect("result slot lock") = Some(r);
-            });
-        }
-    });
+    let results: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    {
+        let (next, results, f, items) = (&next, &results, &f, items);
+        std::thread::scope(|scope| {
+            for state in states.iter_mut() {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(state, i, &items[i]);
+                    // `i` was claimed exactly once, so the slot is empty.
+                    assert!(results[i].set(r).is_ok(), "job slot set twice");
+                });
+            }
+        });
+    }
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result lock")
-                .expect("every job completed")
-        })
+        .map(|slot| slot.into_inner().expect("every job completed"))
         .collect()
 }
 
@@ -128,7 +153,7 @@ mod tests {
     #[test]
     fn preserves_input_order() {
         let items: Vec<u64> = (0..257).collect();
-        let out = map(items.clone(), |i, x| {
+        let out = map(&items, |i, &x| {
             assert_eq!(i as u64, x);
             x * x
         });
@@ -138,16 +163,42 @@ mod tests {
     #[test]
     fn matches_the_serial_path_exactly() {
         let items: Vec<u32> = (0..100).rev().collect();
-        let serial = map_with_workers(items.clone(), 1, |i, x| (i, x.wrapping_mul(2654435761)));
-        let parallel = map_with_workers(items, 8, |i, x| (i, x.wrapping_mul(2654435761)));
+        let serial = map_with_workers(&items, 1, |i, x| (i, x.wrapping_mul(2654435761)));
+        let parallel = map_with_workers(&items, 8, |i, x| (i, x.wrapping_mul(2654435761)));
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn empty_and_single_item_batches() {
         let empty: Vec<u8> = Vec::new();
-        assert!(map(empty, |_, x: u8| x).is_empty());
-        assert_eq!(map(vec![7u8], |_, x| x + 1), vec![8]);
+        assert!(map(&empty, |_, &x| x).is_empty());
+        assert_eq!(map(&[7u8], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn per_worker_states_cover_every_job_exactly_once() {
+        let items: Vec<usize> = (0..500).collect();
+        let mut tallies = vec![0usize; 4];
+        let out = map_with_states(&items, &mut tallies, |count, i, &x| {
+            assert_eq!(i, x);
+            *count += 1;
+            x + 1
+        });
+        assert_eq!(out, (1..=500).collect::<Vec<_>>());
+        assert_eq!(
+            tallies.iter().sum::<usize>(),
+            500,
+            "each job touched exactly one worker's state: {tallies:?}"
+        );
+    }
+
+    #[test]
+    fn more_states_than_items_is_fine() {
+        let mut states = vec![(); 16];
+        assert_eq!(
+            map_with_states(&[1, 2], &mut states, |(), _, &x| x * 10),
+            vec![10, 20]
+        );
     }
 
     #[test]

@@ -1,29 +1,106 @@
-//! The decoded-block cache.
+//! The shared decoded-block cache.
 //!
-//! Blocks are keyed by entry point `(function, instruction index)`. The
-//! index is a dense per-function table rather than a hash map — a lookup on
-//! the block-transition path is two array reads. Decoded blocks may overlap
-//! (jumping into the middle of a previously decoded run simply decodes a
-//! new block starting there); this keeps decode single-pass with no leader
-//! analysis, exactly like a hardware µop trace cache.
+//! Blocks are keyed by `(program, entry point)`: a [`ProgramId`] — a
+//! content hash of the program image plus the decode-relevant
+//! configuration — and the entry `(function, instruction index)`. One
+//! cache therefore serves **many machines and many programs**: a corpus
+//! service re-running the same image under a new fuel limit, or a second
+//! machine of the same program, finds the decode work already done.
+//! Within a program the index is a dense per-function table rather than a
+//! hash map — a lookup on the block-transition path is three array reads
+//! (the engine resolves its program's dense handle once at bind time).
+//! Decoded blocks may overlap (jumping into the middle of a previously
+//! decoded run simply decodes a new block starting there); this keeps
+//! decode single-pass with no leader analysis, exactly like a hardware µop
+//! trace cache.
 //!
-//! Residency is managed by a **segmented LRU**: freshly decoded blocks
-//! enter a probationary segment and are promoted to a protected segment on
-//! their first re-use, so one-shot decode streams (a long straight-line
-//! prologue, a cold error path) cannot wash a long-lived engine's hot
-//! loops out of the cache. Capacity pressure evicts one probationary LRU
-//! block at a time — never the whole cache, as the old whole-flush did.
-//! Invalidation after a code write is **range-precise**: every block
-//! records the instruction ranges it covers ([`CodeSpan`], inlined leaf
-//! bodies included), and only blocks overlapping the written range die.
+//! Residency is managed by a **segmented LRU** shared across programs:
+//! freshly decoded blocks enter a probationary segment and are promoted to
+//! a protected segment on their first re-use, so one-shot decode streams
+//! (a long straight-line prologue, a cold error path, a sweep of one-run
+//! corpus programs) cannot wash a long-lived service's hot loops out of
+//! the cache. Capacity pressure evicts one probationary LRU block at a
+//! time — never the whole cache. Invalidation after a code write is
+//! **range-precise and program-scoped**: every block records the
+//! instruction ranges it covers ([`CodeSpan`], inlined leaf bodies
+//! included), and only the written program's overlapping blocks die.
 
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use hardbound_core::MachineConfig;
 use hardbound_isa::{layout, FuncId, Program};
 
 use crate::uop::{CodeSpan, DecodedBlock, Uop};
 
+/// A 64-bit FNV-1a [`Hasher`]: tiny, dependency-free, and — unlike
+/// `DefaultHasher` — free of per-process random state, so fingerprints
+/// are deterministic for a given build. Note the *mixing* is the only
+/// specified half: identities are fed through `#[derive(Hash)]`, whose
+/// byte encoding (length prefixes, endianness) Rust does not promise
+/// across toolchains or platforms — persisting fingerprints would first
+/// need a pinned serialization of the hashed inputs.
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Content-hash identity of a program *as the decoder sees it*: the full
+/// program image (functions, entry, globals, data) plus the
+/// decode-facing configuration — the HardBound extension
+/// (encoding/mode/check-µop ablation) and the metadata path. Two
+/// machines with equal `ProgramId`s decode byte-identical blocks and may
+/// share them; configurations that differ only in run-time knobs (fuel,
+/// call depth, hierarchy geometry) map to the *same* `ProgramId` and
+/// reuse each other's decode work.
+///
+/// The keying is deliberately **conservative**: today's decoder
+/// specializes only on whether the extension is present (checked vs raw
+/// memory µops), so hashing the full extension config splits some
+/// byte-identical µop streams — e.g. the three encodings of one image
+/// decode separately. That costs a bounded amount of re-decode across an
+/// encoding sweep and in exchange no future decoder specialization
+/// (per-encoding check fusion is the obvious one) can silently alias
+/// blocks across configurations it has started to distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId(pub u64);
+
+impl ProgramId {
+    /// Fingerprints `program` under `cfg` (see the type docs for what is
+    /// — and deliberately is not — part of the identity).
+    #[must_use]
+    pub fn of(program: &Program, cfg: &MachineConfig) -> ProgramId {
+        let mut h = Fnv64::default();
+        program.hash(&mut h);
+        cfg.hardbound.hash(&mut h);
+        cfg.meta_path.hash(&mut h);
+        ProgramId(h.finish())
+    }
+}
+
 /// A decoded basic block.
 #[derive(Clone, Debug)]
 pub struct Block {
+    /// Dense handle of the owning program (see
+    /// [`SharedBlockCache::register`]).
+    pub prog: u32,
     /// Owning function.
     pub func: FuncId,
     /// Entry instruction index within the function.
@@ -35,7 +112,7 @@ pub struct Block {
     pub spans: Box<[CodeSpan]>,
 }
 
-/// Counters describing the cache's behaviour over a run.
+/// Counters describing the cache's behaviour over its lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BlockCacheStats {
     /// Lookups that found a resident decoded block.
@@ -58,6 +135,15 @@ impl BlockCacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Accumulates `other` into `self` (the corpus service sums its
+    /// per-worker shards this way).
+    pub fn absorb(&mut self, other: BlockCacheStats) {
+        self.hits += other.hits;
+        self.decoded += other.decoded;
+        self.evicted += other.evicted;
+        self.invalidated += other.invalidated;
     }
 }
 
@@ -99,12 +185,32 @@ impl List {
     };
 }
 
-/// Decoded blocks indexed by entry PC, with bounded capacity and
-/// segmented-LRU replacement.
+/// One registered program: its dense entry-PC index (the identity lives
+/// in the cache's `by_id` map).
 #[derive(Debug)]
-pub struct BlockCache {
+struct ProgramEntry {
     /// `index[func][pc]` = slot id + 1; `0` = not decoded.
     index: Vec<Vec<u32>>,
+}
+
+/// Decoded blocks for any number of programs, indexed by
+/// `(program, entry PC)`, with bounded capacity and segmented-LRU
+/// replacement shared across all of them.
+///
+/// Programs are registered once ([`SharedBlockCache::register`]) and
+/// addressed by the returned dense handle on the hot path; registration is
+/// idempotent per [`ProgramId`], which is how a long-lived cache hands a
+/// second run of the same image its warm blocks.
+/// [`SharedBlockCache::invalidate_program`] *unregisters*, recycling the
+/// handle and the per-instruction index table, so an open-ended sweep
+/// that retires programs does not accumulate dead registrations.
+#[derive(Debug)]
+pub struct SharedBlockCache {
+    by_id: HashMap<ProgramId, u32>,
+    /// Registered programs by dense handle; unregistered slots are `None`
+    /// and recycled through `free_programs`.
+    programs: Vec<Option<ProgramEntry>>,
+    free_programs: Vec<u32>,
     /// Slab of slots; freed slots are recycled through `free`, so resident
     /// slot ids are stable across unrelated evictions.
     slots: Vec<Option<Slot>>,
@@ -120,25 +226,25 @@ pub struct BlockCache {
     stats: BlockCacheStats,
 }
 
-impl BlockCache {
+impl SharedBlockCache {
     /// Default capacity in blocks; far beyond any single program image, so
-    /// capacity evictions only occur when a caller asks for a small cache.
+    /// capacity evictions only matter to long-lived corpus services (and
+    /// callers that ask for a small cache to exercise eviction).
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
-    /// Creates an empty cache shaped for `program`.
+    /// Creates an empty cache holding at most `capacity` decoded blocks
+    /// across all registered programs.
     ///
     /// # Panics
     ///
     /// Panics when `capacity` is zero.
     #[must_use]
-    pub fn new(program: &Program, capacity: usize) -> BlockCache {
+    pub fn new(capacity: usize) -> SharedBlockCache {
         assert!(capacity > 0, "block cache needs room for at least 1 block");
-        BlockCache {
-            index: program
-                .functions
-                .iter()
-                .map(|f| vec![0; f.insts.len()])
-                .collect(),
+        SharedBlockCache {
+            by_id: HashMap::new(),
+            programs: Vec::new(),
+            free_programs: Vec::new(),
             slots: Vec::new(),
             free: Vec::new(),
             resident: 0,
@@ -148,6 +254,74 @@ impl BlockCache {
             protected: List::EMPTY,
             stats: BlockCacheStats::default(),
         }
+    }
+
+    /// Registers `program` under `pid` and returns its dense handle; a
+    /// `pid` seen before returns the existing handle (and its resident
+    /// blocks) without touching the shape.
+    pub fn register(&mut self, pid: ProgramId, program: &Program) -> u32 {
+        if let Some(&h) = self.by_id.get(&pid) {
+            // The 64-bit fingerprint is trusted as the identity; at least
+            // catch shape-diverging collisions (which would otherwise
+            // surface as out-of-bounds panics deep in lookup/insert, or
+            // as silently shared blocks) where the check is free.
+            debug_assert!(
+                {
+                    let entry = self.entry(h);
+                    entry.index.len() == program.functions.len()
+                        && entry
+                            .index
+                            .iter()
+                            .zip(&program.functions)
+                            .all(|(per_fn, f)| per_fn.len() == f.insts.len())
+                },
+                "ProgramId collision: {pid:?} maps to a different image shape"
+            );
+            return h;
+        }
+        let entry = ProgramEntry {
+            index: program
+                .functions
+                .iter()
+                .map(|f| vec![0; f.insts.len()])
+                .collect(),
+        };
+        let h = match self.free_programs.pop() {
+            Some(h) => {
+                self.programs[h as usize] = Some(entry);
+                h
+            }
+            None => {
+                self.programs.push(Some(entry));
+                (self.programs.len() - 1) as u32
+            }
+        };
+        self.by_id.insert(pid, h);
+        h
+    }
+
+    fn entry(&self, prog: u32) -> &ProgramEntry {
+        self.programs[prog as usize]
+            .as_ref()
+            .expect("registered program")
+    }
+
+    fn entry_mut(&mut self, prog: u32) -> &mut ProgramEntry {
+        self.programs[prog as usize]
+            .as_mut()
+            .expect("registered program")
+    }
+
+    /// The dense handle for `pid`, if registered.
+    #[must_use]
+    pub fn handle(&self, pid: ProgramId) -> Option<u32> {
+        self.by_id.get(&pid).copied()
+    }
+
+    /// Number of currently registered programs.
+    #[must_use]
+    pub fn program_count(&self) -> usize {
+        self.by_id.len()
     }
 
     fn list_mut(&mut self, seg: Segment) -> &mut List {
@@ -208,7 +382,8 @@ impl BlockCache {
     fn remove(&mut self, id: u32) {
         self.unlink(id);
         let slot = self.slots[id as usize].take().expect("resident slot");
-        self.index[slot.block.func.0 as usize][slot.block.entry as usize] = 0;
+        let b = &slot.block;
+        self.entry_mut(b.prog).index[b.func.0 as usize][b.entry as usize] = 0;
         self.free.push(id);
         self.resident -= 1;
     }
@@ -226,14 +401,15 @@ impl BlockCache {
         self.stats.evicted += 1;
     }
 
-    /// Id of the resident block decoded at `(func, pc)`, if any. Counts a
-    /// hit and touches the block's recency: probationary blocks are
-    /// promoted to the protected segment, protected blocks move to its MRU
-    /// position. Ids are only stable until the next insert or
-    /// invalidation — resolve them with [`BlockCache::block`] immediately.
+    /// Id of the resident block of program handle `prog` decoded at
+    /// `(func, pc)`, if any. Counts a hit and touches the block's recency:
+    /// probationary blocks are promoted to the protected segment,
+    /// protected blocks move to its MRU position. Ids are only stable
+    /// until the next insert or invalidation — resolve them with
+    /// [`SharedBlockCache::block`] immediately.
     #[inline]
-    pub fn lookup(&mut self, func: FuncId, pc: u32) -> Option<usize> {
-        let id = self.index[func.0 as usize][pc as usize];
+    pub fn lookup(&mut self, prog: u32, func: FuncId, pc: u32) -> Option<usize> {
+        let id = self.entry(prog).index[func.0 as usize][pc as usize];
         if id == 0 {
             return None;
         }
@@ -255,16 +431,17 @@ impl BlockCache {
         }
     }
 
-    /// Inserts a freshly decoded block and returns its id. Counts a
-    /// decode; evicts segmented-LRU victims one at a time when at
-    /// capacity.
-    pub fn insert(&mut self, func: FuncId, entry: u32, decoded: DecodedBlock) -> usize {
+    /// Inserts a freshly decoded block for program handle `prog` and
+    /// returns its id. Counts a decode; evicts segmented-LRU victims one
+    /// at a time when at capacity.
+    pub fn insert(&mut self, prog: u32, func: FuncId, entry: u32, decoded: DecodedBlock) -> usize {
         while self.resident >= self.capacity {
             self.evict_one();
         }
         self.stats.decoded += 1;
         let slot = Slot {
             block: Block {
+                prog,
                 func,
                 entry,
                 uops: decoded.uops,
@@ -285,13 +462,13 @@ impl BlockCache {
             }
         };
         self.push_front(Segment::Probation, id);
-        self.index[func.0 as usize][entry as usize] = id + 1;
+        self.entry_mut(prog).index[func.0 as usize][entry as usize] = id + 1;
         self.resident += 1;
         id as usize
     }
 
-    /// The block for an id returned by [`BlockCache::lookup`] /
-    /// [`BlockCache::insert`].
+    /// The block for an id returned by [`SharedBlockCache::lookup`] /
+    /// [`SharedBlockCache::insert`].
     ///
     /// # Panics
     ///
@@ -318,33 +495,34 @@ impl BlockCache {
         }
     }
 
-    /// Drops every decoded block containing `func`'s code (e.g. after
-    /// patching a function image), counting them as invalidated. That
-    /// includes blocks of *other* functions that inlined `func` as a
-    /// straight-line leaf callee — their µop arrays embed `func`'s decoded
-    /// body, which the block's [`CodeSpan`]s record.
-    pub fn invalidate_function(&mut self, func: FuncId) {
-        self.invalidate_matching(|b| b.spans.iter().any(|s| s.func == func));
+    /// Drops every decoded block of program handle `prog` containing
+    /// `func`'s code (e.g. after patching a function image), counting them
+    /// as invalidated. That includes blocks of *other* functions that
+    /// inlined `func` as a straight-line leaf callee — their µop arrays
+    /// embed `func`'s decoded body, which the block's [`CodeSpan`]s
+    /// record. Other programs' blocks are untouched.
+    pub fn invalidate_function(&mut self, prog: u32, func: FuncId) {
+        self.invalidate_matching(|b| b.prog == prog && b.spans.iter().any(|s| s.func == func));
     }
 
-    /// Range-precise invalidation: drops exactly the blocks whose covered
-    /// instruction ranges intersect `[lo, hi)` of `func` (inlined copies
-    /// included). Blocks of untouched code survive.
-    pub fn invalidate_span(&mut self, func: FuncId, lo: u32, hi: u32) {
-        self.invalidate_matching(|b| b.spans.iter().any(|s| s.overlaps(func, lo, hi)));
+    /// Range-precise invalidation: drops exactly program handle `prog`'s
+    /// blocks whose covered instruction ranges intersect `[lo, hi)` of
+    /// `func` (inlined copies included). Blocks of untouched code — and of
+    /// every other program — survive.
+    pub fn invalidate_span(&mut self, prog: u32, func: FuncId, lo: u32, hi: u32) {
+        self.invalidate_matching(|b| {
+            b.prog == prog && b.spans.iter().any(|s| s.overlaps(func, lo, hi))
+        });
     }
 
-    /// Range-precise invalidation keyed by *code addresses*: drops the
-    /// blocks embedding code of any function whose handle range
-    /// (`[code_addr(f), code_addr(f) + CODE_STRIDE)`) overlaps the written
-    /// byte range `[lo, hi)`. Writes that touch no code — the common case:
-    /// every data store — invalidate nothing, where the old design flushed
-    /// every decoded block.
-    pub fn invalidate_code_range(&mut self, lo: u32, hi: u32) {
-        let (code_lo, code_hi) = (
-            layout::CODE_BASE,
-            layout::code_addr(self.index.len() as u32),
-        );
+    /// Range-precise invalidation keyed by *code addresses*: drops program
+    /// handle `prog`'s blocks embedding code of any function whose handle
+    /// range (`[code_addr(f), code_addr(f) + CODE_STRIDE)`) overlaps the
+    /// written byte range `[lo, hi)`. Writes that touch no code — the
+    /// common case: every data store — invalidate nothing.
+    pub fn invalidate_code_range(&mut self, prog: u32, lo: u32, hi: u32) {
+        let funcs = self.entry(prog).index.len() as u32;
+        let (code_lo, code_hi) = (layout::CODE_BASE, layout::code_addr(funcs));
         let lo = lo.max(code_lo);
         let hi = hi.min(code_hi);
         if lo >= hi {
@@ -352,10 +530,31 @@ impl BlockCache {
         }
         let first = (lo - code_lo) / layout::CODE_STRIDE;
         let last = (hi - 1 - code_lo) / layout::CODE_STRIDE;
-        self.invalidate_matching(|b| b.spans.iter().any(|s| (first..=last).contains(&s.func.0)));
+        self.invalidate_matching(|b| {
+            b.prog == prog && b.spans.iter().any(|s| (first..=last).contains(&s.func.0))
+        });
     }
 
-    /// Drops every decoded block, counting them as invalidated.
+    /// Drops every decoded block of the program registered as `pid`
+    /// (counting them as invalidated) **and unregisters it** — the handle
+    /// and its per-instruction index table are recycled, so a long-lived
+    /// cache sweeping an open-ended stream of programs can retire them
+    /// without accumulating dead registrations. Returns how many blocks
+    /// died; a later run of the image simply re-registers.
+    pub fn invalidate_program(&mut self, pid: ProgramId) -> u64 {
+        let Some(prog) = self.handle(pid) else {
+            return 0;
+        };
+        let before = self.stats.invalidated;
+        self.invalidate_matching(|b| b.prog == prog);
+        self.by_id.remove(&pid);
+        self.programs[prog as usize] = None;
+        self.free_programs.push(prog);
+        self.stats.invalidated - before
+    }
+
+    /// Drops every decoded block of every program, counting them as
+    /// invalidated. Registrations survive.
     pub fn invalidate_all(&mut self) {
         self.stats.invalidated += self.resident as u64;
         self.slots.clear();
@@ -363,15 +562,30 @@ impl BlockCache {
         self.resident = 0;
         self.probation = List::EMPTY;
         self.protected = List::EMPTY;
-        for per_fn in &mut self.index {
-            per_fn.fill(0);
+        for entry in self.programs.iter_mut().flatten() {
+            for per_fn in &mut entry.index {
+                per_fn.fill(0);
+            }
         }
     }
 
-    /// Number of resident decoded blocks.
+    /// Number of resident decoded blocks (across all programs).
     #[must_use]
     pub fn resident(&self) -> usize {
         self.resident
+    }
+
+    /// Number of resident decoded blocks belonging to `pid`.
+    #[must_use]
+    pub fn resident_of(&self, pid: ProgramId) -> usize {
+        let Some(prog) = self.handle(pid) else {
+            return 0;
+        };
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.block.prog == prog)
+            .count()
     }
 
     /// Accumulated cache counters.
@@ -396,6 +610,10 @@ mod tests {
         Program::with_entry(vec![a.finish(), b.finish()])
     }
 
+    fn pid(n: u64) -> ProgramId {
+        ProgramId(n)
+    }
+
     fn decoded(spans: &[CodeSpan]) -> DecodedBlock {
         DecodedBlock {
             uops: vec![Uop::Nop, Uop::Ret].into_boxed_slice(),
@@ -412,12 +630,49 @@ mod tests {
     }
 
     #[test]
-    fn insert_then_lookup_hits() {
+    fn program_id_covers_image_and_decode_config() {
         let p = two_function_program();
-        let mut c = BlockCache::new(&p, 8);
-        assert!(c.lookup(FuncId(0), 0).is_none());
-        let id = c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
-        assert_eq!(c.lookup(FuncId(0), 0), Some(id));
+        let cfg = MachineConfig::default();
+        assert_eq!(ProgramId::of(&p, &cfg), ProgramId::of(&p, &cfg));
+        // Run-time knobs do not split the decode identity…
+        assert_eq!(
+            ProgramId::of(&p, &cfg),
+            ProgramId::of(&p, &cfg.clone().with_fuel(10)),
+        );
+        // …but the HardBound extension (checked vs raw memory µops) does,
+        // and so does the image.
+        assert_ne!(
+            ProgramId::of(&p, &cfg),
+            ProgramId::of(&p, &MachineConfig::baseline())
+        );
+        let mut q = p.clone();
+        q.functions[0].name.push('x');
+        assert_ne!(ProgramId::of(&p, &cfg), ProgramId::of(&q, &cfg));
+    }
+
+    #[test]
+    fn register_is_idempotent_per_pid() {
+        let p = two_function_program();
+        let mut c = SharedBlockCache::new(8);
+        let h = c.register(pid(1), &p);
+        assert_eq!(c.register(pid(1), &p), h);
+        assert_ne!(c.register(pid(2), &p), h);
+        assert_eq!(c.program_count(), 2);
+    }
+
+    #[test]
+    fn insert_then_lookup_hits_per_program() {
+        let p = two_function_program();
+        let mut c = SharedBlockCache::new(8);
+        let pa = c.register(pid(1), &p);
+        let pb = c.register(pid(2), &p);
+        assert!(c.lookup(pa, FuncId(0), 0).is_none());
+        let id = c.insert(pa, FuncId(0), 0, own_span(FuncId(0), 0));
+        assert_eq!(c.lookup(pa, FuncId(0), 0), Some(id));
+        assert!(
+            c.lookup(pb, FuncId(0), 0).is_none(),
+            "programs do not alias each other's entries"
+        );
         assert_eq!(c.block(id).entry, 0);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().decoded, 1);
@@ -427,34 +682,42 @@ mod tests {
     #[test]
     fn capacity_evicts_one_block_not_everything() {
         let p = two_function_program();
-        let mut c = BlockCache::new(&p, 1);
-        c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
-        c.insert(FuncId(0), 1, own_span(FuncId(0), 1));
+        let mut c = SharedBlockCache::new(1);
+        let h = c.register(pid(1), &p);
+        c.insert(h, FuncId(0), 0, own_span(FuncId(0), 0));
+        c.insert(h, FuncId(0), 1, own_span(FuncId(0), 1));
         assert_eq!(c.stats().evicted, 1);
         assert_eq!(c.resident(), 1);
-        assert!(c.lookup(FuncId(0), 0).is_none(), "evicted block is gone");
-        assert!(c.lookup(FuncId(0), 1).is_some());
+        assert!(c.lookup(h, FuncId(0), 0).is_none(), "evicted block is gone");
+        assert!(c.lookup(h, FuncId(0), 1).is_some());
     }
 
     #[test]
     fn reused_blocks_survive_a_cold_decode_stream() {
-        // The segmented-LRU point: a re-used (promoted) block outlives an
-        // arbitrarily long stream of never-reused insertions, which a
-        // whole-flush (or plain LRU of this size) would have destroyed.
+        // The segmented-LRU point, now across programs: a re-used
+        // (promoted) block of one program outlives an arbitrarily long
+        // stream of never-reused insertions from *another* program — the
+        // corpus-sweep shape a shared cache must not thrash on.
         let mut f = FunctionBuilder::new("big", 0);
         for _ in 0..63 {
             f.li(Reg::A0, 0);
         }
         f.halt();
-        let p = Program::with_entry(vec![f.finish()]);
-        let mut c = BlockCache::new(&p, 4);
-        let hot = c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
-        assert_eq!(c.lookup(FuncId(0), 0), Some(hot), "promote to protected");
+        let big = Program::with_entry(vec![f.finish()]);
+        let mut c = SharedBlockCache::new(4);
+        let hot_prog = c.register(pid(1), &big);
+        let cold_prog = c.register(pid(2), &big);
+        let hot = c.insert(hot_prog, FuncId(0), 0, own_span(FuncId(0), 0));
+        assert_eq!(
+            c.lookup(hot_prog, FuncId(0), 0),
+            Some(hot),
+            "promote to protected"
+        );
         for e in 1..40 {
-            c.insert(FuncId(0), e, own_span(FuncId(0), e));
+            c.insert(cold_prog, FuncId(0), e, own_span(FuncId(0), e));
         }
         assert!(
-            c.lookup(FuncId(0), 0).is_some(),
+            c.lookup(hot_prog, FuncId(0), 0).is_some(),
             "hot block must survive the scan: {:?}",
             c.stats()
         );
@@ -463,27 +726,36 @@ mod tests {
     }
 
     #[test]
-    fn function_invalidation_is_selective() {
+    fn function_invalidation_is_selective_and_program_scoped() {
         let p = two_function_program();
-        let mut c = BlockCache::new(&p, 8);
-        c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
-        c.insert(FuncId(1), 0, own_span(FuncId(1), 0));
-        c.invalidate_function(FuncId(0));
+        let mut c = SharedBlockCache::new(8);
+        let pa = c.register(pid(1), &p);
+        let pb = c.register(pid(2), &p);
+        c.insert(pa, FuncId(0), 0, own_span(FuncId(0), 0));
+        c.insert(pa, FuncId(1), 0, own_span(FuncId(1), 0));
+        c.insert(pb, FuncId(0), 0, own_span(FuncId(0), 0));
+        c.invalidate_function(pa, FuncId(0));
         assert_eq!(c.stats().invalidated, 1);
-        assert!(c.lookup(FuncId(0), 0).is_none());
-        assert!(c.lookup(FuncId(1), 0).is_some());
+        assert!(c.lookup(pa, FuncId(0), 0).is_none());
+        assert!(c.lookup(pa, FuncId(1), 0).is_some());
+        assert!(
+            c.lookup(pb, FuncId(0), 0).is_some(),
+            "another program's fn#0 block survives"
+        );
         c.invalidate_all();
-        assert_eq!(c.stats().invalidated, 2);
+        assert_eq!(c.stats().invalidated, 3);
         assert_eq!(c.resident(), 0);
     }
 
     #[test]
     fn invalidation_covers_inlined_leaf_bodies() {
         let p = two_function_program();
-        let mut c = BlockCache::new(&p, 8);
+        let mut c = SharedBlockCache::new(8);
+        let h = c.register(pid(1), &p);
         // A block of fn#0 whose superblock inlined fn#1's body: its spans
         // cover both functions.
         c.insert(
+            h,
             FuncId(0),
             0,
             decoded(&[
@@ -499,15 +771,18 @@ mod tests {
                 },
             ]),
         );
-        c.insert(FuncId(0), 1, own_span(FuncId(0), 1));
-        c.invalidate_function(FuncId(1));
+        c.insert(h, FuncId(0), 1, own_span(FuncId(0), 1));
+        c.invalidate_function(h, FuncId(1));
         assert_eq!(
             c.stats().invalidated,
             1,
             "the inlining block embeds fn#1's code and must go"
         );
-        assert!(c.lookup(FuncId(0), 0).is_none());
-        assert!(c.lookup(FuncId(0), 1).is_some(), "unrelated blocks survive");
+        assert!(c.lookup(h, FuncId(0), 0).is_none());
+        assert!(
+            c.lookup(h, FuncId(0), 1).is_some(),
+            "unrelated blocks survive"
+        );
     }
 
     #[test]
@@ -518,32 +793,66 @@ mod tests {
         }
         f.halt();
         let p = Program::with_entry(vec![f.finish()]);
-        let mut c = BlockCache::new(&p, 8);
-        c.insert(FuncId(0), 0, own_span(FuncId(0), 0)); // covers [0, 2)
-        c.insert(FuncId(0), 4, own_span(FuncId(0), 4)); // covers [4, 6)
-        c.invalidate_span(FuncId(0), 2, 4); // the gap: nothing overlaps
+        let mut c = SharedBlockCache::new(8);
+        let h = c.register(pid(1), &p);
+        c.insert(h, FuncId(0), 0, own_span(FuncId(0), 0)); // covers [0, 2)
+        c.insert(h, FuncId(0), 4, own_span(FuncId(0), 4)); // covers [4, 6)
+        c.invalidate_span(h, FuncId(0), 2, 4); // the gap: nothing overlaps
         assert_eq!(c.stats().invalidated, 0);
-        c.invalidate_span(FuncId(0), 5, 9);
+        c.invalidate_span(h, FuncId(0), 5, 9);
         assert_eq!(c.stats().invalidated, 1);
-        assert!(c.lookup(FuncId(0), 0).is_some());
-        assert!(c.lookup(FuncId(0), 4).is_none());
+        assert!(c.lookup(h, FuncId(0), 0).is_some());
+        assert!(c.lookup(h, FuncId(0), 4).is_none());
     }
 
     #[test]
-    fn code_range_invalidation_ignores_data_addresses() {
+    fn code_range_invalidation_ignores_data_and_other_programs() {
         let p = two_function_program();
-        let mut c = BlockCache::new(&p, 8);
-        c.insert(FuncId(0), 0, own_span(FuncId(0), 0));
-        c.insert(FuncId(1), 0, own_span(FuncId(1), 0));
-        // Data writes: heap, globals, stack — zero blocks die.
-        c.invalidate_code_range(0x0100_0000, 0x0100_0040);
-        c.invalidate_code_range(layout::GLOBALS_BASE, layout::GLOBALS_BASE + 4);
+        let mut c = SharedBlockCache::new(8);
+        let pa = c.register(pid(1), &p);
+        let pb = c.register(pid(2), &p);
+        c.insert(pa, FuncId(0), 0, own_span(FuncId(0), 0));
+        c.insert(pa, FuncId(1), 0, own_span(FuncId(1), 0));
+        c.insert(pb, FuncId(1), 0, own_span(FuncId(1), 0));
+        // Data writes: heap, globals — zero blocks die.
+        c.invalidate_code_range(pa, 0x0100_0000, 0x0100_0040);
+        c.invalidate_code_range(pa, layout::GLOBALS_BASE, layout::GLOBALS_BASE + 4);
         assert_eq!(c.stats().invalidated, 0);
-        // Overwrite fn#1's handle: exactly its block dies.
+        // Overwrite fn#1's handle in program A: exactly A's block dies.
         let f1 = layout::code_addr(1);
-        c.invalidate_code_range(f1, f1 + 4);
+        c.invalidate_code_range(pa, f1, f1 + 4);
         assert_eq!(c.stats().invalidated, 1);
-        assert!(c.lookup(FuncId(0), 0).is_some());
-        assert!(c.lookup(FuncId(1), 0).is_none());
+        assert!(c.lookup(pa, FuncId(0), 0).is_some());
+        assert!(c.lookup(pa, FuncId(1), 0).is_none());
+        assert!(
+            c.lookup(pb, FuncId(1), 0).is_some(),
+            "the write was scoped to program A"
+        );
+    }
+
+    #[test]
+    fn program_invalidation_drops_exactly_that_programs_blocks() {
+        let p = two_function_program();
+        let mut c = SharedBlockCache::new(8);
+        let pa = c.register(pid(1), &p);
+        let pb = c.register(pid(2), &p);
+        c.insert(pa, FuncId(0), 0, own_span(FuncId(0), 0));
+        c.insert(pa, FuncId(1), 0, own_span(FuncId(1), 0));
+        c.insert(pb, FuncId(0), 0, own_span(FuncId(0), 0));
+        assert_eq!(c.resident_of(pid(1)), 2);
+        assert_eq!(c.invalidate_program(pid(1)), 2);
+        assert_eq!(c.resident_of(pid(1)), 0);
+        assert_eq!(c.resident_of(pid(2)), 1);
+        assert_eq!(c.invalidate_program(pid(777)), 0, "unknown pid is a no-op");
+        assert!(c.lookup(pb, FuncId(0), 0).is_some());
+
+        // Invalidation unregisters: the handle is recycled and the pid is
+        // gone until the image runs again.
+        assert_eq!(c.handle(pid(1)), None);
+        assert_eq!(c.program_count(), 1);
+        let pc2 = c.register(pid(3), &p);
+        assert_eq!(pc2, pa, "retired handles are recycled");
+        assert_eq!(c.program_count(), 2);
+        assert!(c.lookup(pc2, FuncId(0), 0).is_none(), "fresh index");
     }
 }

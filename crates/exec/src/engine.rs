@@ -13,13 +13,15 @@
 use hardbound_core::{ExecState, Machine, MachineConfig, Meta, Pc, RunOutcome, Trap};
 use hardbound_isa::{BinOp, FuncId, Program};
 
-use crate::block::{BlockCache, BlockCacheStats};
+use crate::block::{BlockCacheStats, ProgramId, SharedBlockCache};
 use crate::uop::{decode_block, Uop};
 
 /// Counters describing how a run was executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Block-cache behaviour (decodes, hits, evictions, invalidations).
+    /// Behaviour of the cache the engine is bound to (decodes, hits,
+    /// evictions, invalidations) — lifetime counters of that cache, which
+    /// a shared cache accumulates across every engine bound to it.
     pub cache: BlockCacheStats,
     /// Blocks dispatched through the fast path.
     pub blocks_executed: u64,
@@ -30,34 +32,91 @@ pub struct EngineStats {
     pub stepped_insts: u64,
 }
 
+/// The engine's cache: its own private [`SharedBlockCache`], or a borrowed
+/// long-lived one (a corpus-service shard) whose warm blocks outlive the
+/// engine.
+enum CacheBinding<'c> {
+    Owned(Box<SharedBlockCache>),
+    Shared(&'c mut SharedBlockCache),
+}
+
+impl CacheBinding<'_> {
+    fn get(&self) -> &SharedBlockCache {
+        match self {
+            CacheBinding::Owned(c) => c,
+            CacheBinding::Shared(c) => c,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut SharedBlockCache {
+        match self {
+            CacheBinding::Owned(c) => c,
+            CacheBinding::Shared(c) => c,
+        }
+    }
+}
+
 /// A machine driven through pre-decoded basic blocks.
-pub struct Engine {
+///
+/// The lifetime parameter is the borrow of a shared block cache
+/// ([`Engine::with_shared_cache`]); engines that own their cache
+/// ([`Engine::new`]) are `Engine<'static>`.
+pub struct Engine<'c> {
     machine: Machine,
-    cache: BlockCache,
+    cache: CacheBinding<'c>,
+    /// Dense handle of this machine's program in the bound cache.
+    prog: u32,
+    pid: ProgramId,
     blocks_executed: u64,
     fast_uops: u64,
     stepped_insts: u64,
 }
 
-impl Engine {
-    /// Wraps `machine` with a default-capacity block cache.
+impl Engine<'static> {
+    /// Wraps `machine` with its own default-capacity block cache.
     #[must_use]
-    pub fn new(machine: Machine) -> Engine {
-        Engine::with_block_capacity(machine, BlockCache::DEFAULT_CAPACITY)
+    pub fn new(machine: Machine) -> Engine<'static> {
+        Engine::with_block_capacity(machine, SharedBlockCache::DEFAULT_CAPACITY)
     }
 
-    /// Wraps `machine` with a block cache holding at most `capacity`
+    /// Wraps `machine` with its own block cache holding at most `capacity`
     /// decoded blocks (smaller caches exercise the eviction path).
     #[must_use]
-    pub fn with_block_capacity(machine: Machine, capacity: usize) -> Engine {
-        let cache = BlockCache::new(machine.program(), capacity);
+    pub fn with_block_capacity(machine: Machine, capacity: usize) -> Engine<'static> {
+        let cache = Box::new(SharedBlockCache::new(capacity));
+        Engine::bind(machine, CacheBinding::Owned(cache))
+    }
+}
+
+impl<'c> Engine<'c> {
+    /// Binds `machine` to a long-lived shared cache: the machine's program
+    /// is registered under its [`ProgramId`] (idempotently — a cache that
+    /// has run this image before hands back its warm decoded blocks), and
+    /// all decode work this run produces stays in `cache` for the next
+    /// engine bound to it.
+    #[must_use]
+    pub fn with_shared_cache(machine: Machine, cache: &'c mut SharedBlockCache) -> Engine<'c> {
+        Engine::bind(machine, CacheBinding::Shared(cache))
+    }
+
+    fn bind(machine: Machine, mut cache: CacheBinding<'c>) -> Engine<'c> {
+        let pid = ProgramId::of(machine.program(), machine.config());
+        let prog = cache.get_mut().register(pid, machine.program());
         Engine {
             machine,
             cache,
+            prog,
+            pid,
             blocks_executed: 0,
             fast_uops: 0,
             stepped_insts: 0,
         }
+    }
+
+    /// The content-hash identity this engine's program is cached under.
+    #[must_use]
+    pub fn program_id(&self) -> ProgramId {
+        self.pid
     }
 
     /// Runs to halt, trap, or fuel exhaustion — observationally identical
@@ -85,7 +144,7 @@ impl Engine {
                 break;
             };
             let id = self.lookup_or_decode(func, pc);
-            let len = self.cache.block(id).uops.len() as u64;
+            let len = self.cache.get().block(id).uops.len() as u64;
             // A memory µop can retire up to two extra µops (metadata +
             // check); 3×len over-approximates the block's fuel draw. Runs
             // that close to the limit finish on the interpreter so the
@@ -104,7 +163,7 @@ impl Engine {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            cache: self.cache.stats(),
+            cache: self.cache.get().stats(),
             blocks_executed: self.blocks_executed,
             fast_uops: self.fast_uops,
             stepped_insts: self.stepped_insts,
@@ -117,30 +176,39 @@ impl Engine {
         &self.machine
     }
 
-    /// The decoded-block cache (tests and diagnostics; invalidation is
-    /// exposed here).
-    pub fn block_cache_mut(&mut self) -> &mut BlockCache {
-        &mut self.cache
+    /// The decoded-block cache the engine is bound to (tests and
+    /// diagnostics; invalidation is exposed here).
+    pub fn block_cache_mut(&mut self) -> &mut SharedBlockCache {
+        self.cache.get_mut()
+    }
+
+    /// Dense handle of this engine's program in the bound cache (pairs
+    /// with the program-scoped [`SharedBlockCache`] invalidation API).
+    #[must_use]
+    pub fn program_handle(&self) -> u32 {
+        self.prog
     }
 
     /// Hook for hosts that patch the program image (simulated stores never
     /// reach the code region — `region_ok` wild-faults them): reacts to a
     /// write of `len` bytes at `addr` by dropping exactly the decoded
-    /// blocks embedding code the write overlaps. A write range covering
-    /// only data invalidates nothing, so a long-lived engine keeps its
-    /// decode work where the pre-span API offered only the
+    /// blocks embedding code the write overlaps — *this program's* blocks;
+    /// a shared cache's other programs are untouched. A write range
+    /// covering only data invalidates nothing, so a long-lived engine
+    /// keeps its decode work where the pre-span API offered only the
     /// whole-function/whole-cache invalidations.
     pub fn note_code_write(&mut self, addr: u32, len: u32) {
         self.cache
-            .invalidate_code_range(addr, addr.saturating_add(len));
+            .get_mut()
+            .invalidate_code_range(self.prog, addr, addr.saturating_add(len));
     }
 
     fn lookup_or_decode(&mut self, func: FuncId, pc: u32) -> usize {
-        if let Some(id) = self.cache.lookup(func, pc) {
+        if let Some(id) = self.cache.get_mut().lookup(self.prog, func, pc) {
             return id;
         }
         let decoded = decode_block(self.machine.program(), func, pc, self.machine.config());
-        self.cache.insert(func, pc, decoded)
+        self.cache.get_mut().insert(self.prog, func, pc, decoded)
     }
 
     /// Dispatches one decoded block. The caller has already guaranteed the
@@ -154,9 +222,10 @@ impl Engine {
             blocks_executed,
             fast_uops,
             stepped_insts,
+            ..
         } = self;
         *blocks_executed += 1;
-        let uops = &cache.block(id).uops;
+        let uops = &cache.get().block(id).uops;
         let n = uops.len();
         let mut st = machine.exec_state();
 
@@ -461,7 +530,7 @@ mod tests {
     use super::*;
     use hardbound_isa::{CmpOp, FunctionBuilder, Reg, Width};
 
-    fn engine_for(f: FunctionBuilder) -> Engine {
+    fn engine_for(f: FunctionBuilder) -> Engine<'static> {
         let program = Program::with_entry(vec![f.finish()]);
         Engine::new(Machine::new(program, MachineConfig::default()))
     }
@@ -597,14 +666,66 @@ mod tests {
             "only overlapping blocks die: {:?}",
             e.stats()
         );
+        let h = e.program_handle();
         assert!(
-            e.block_cache_mut().lookup(FuncId(2), 0).is_some(),
+            e.block_cache_mut().lookup(h, FuncId(2), 0).is_some(),
             "unrelated function's block survives the code write"
         );
         assert!(
-            e.block_cache_mut().lookup(FuncId(0), 0).is_none(),
+            e.block_cache_mut().lookup(h, FuncId(0), 0).is_none(),
             "the superblock inlining the overwritten leaf must redecode"
         );
+    }
+
+    #[test]
+    fn shared_cache_hands_warm_blocks_to_the_next_engine() {
+        let build = || {
+            let mut f = FunctionBuilder::new("main", 0);
+            f.li(Reg::A0, 0);
+            let head = f.bind_label();
+            f.addi(Reg::A0, Reg::A0, 1);
+            let done = f.new_label();
+            f.branch(CmpOp::Ge, Reg::A0, 20, done);
+            f.jump(head);
+            f.bind(done);
+            f.li(Reg::A0, 0);
+            f.halt();
+            Program::with_entry(vec![f.finish()])
+        };
+        let mut cache = SharedBlockCache::new(SharedBlockCache::DEFAULT_CAPACITY);
+        let first = {
+            let m = Machine::new(build(), MachineConfig::default());
+            let mut e = Engine::with_shared_cache(m, &mut cache);
+            let out = e.run();
+            assert!(out.is_success());
+            out
+        };
+        let decoded_cold = cache.stats().decoded;
+        assert!(decoded_cold > 0);
+        let second = {
+            let m = Machine::new(build(), MachineConfig::default());
+            let mut e = Engine::with_shared_cache(m, &mut cache);
+            let out = e.run();
+            assert!(out.is_success());
+            out
+        };
+        assert_eq!(
+            cache.stats().decoded,
+            decoded_cold,
+            "the second run of the same image must decode nothing"
+        );
+        assert_eq!(first, second, "warm blocks change nothing observable");
+
+        // A different decode identity (baseline hardware) shares the cache
+        // but not the blocks.
+        let m = Machine::new(build(), MachineConfig::baseline());
+        let mut e = Engine::with_shared_cache(m, &mut cache);
+        assert!(e.run().is_success());
+        assert!(
+            cache.stats().decoded > decoded_cold,
+            "a new decode configuration decodes its own blocks"
+        );
+        assert_eq!(cache.program_count(), 2);
     }
 
     #[test]

@@ -11,15 +11,24 @@
 //!
 //! 1. [`uop`] pre-decodes instructions into configuration-resolved
 //!    micro-operations,
-//! 2. [`block`] caches decoded blocks keyed by entry PC (with eviction and
-//!    invalidation accounting),
+//! 2. [`block`] caches decoded blocks in a [`SharedBlockCache`] keyed by
+//!    `(`[`ProgramId`]`, entry PC)` — one segmented-LRU cache serving any
+//!    number of machines and programs, with eviction and program-scoped
+//!    range-precise invalidation,
 //! 3. [`engine`] dispatches blocks against the machine state through the
-//!    narrow [`ExecState`](hardbound_core::ExecState) interface, falling
-//!    back to [`Machine::step`](hardbound_core::Machine::step) for
-//!    indirect calls, environment calls and fuel-limited tails, and
+//!    narrow [`ExecState`](hardbound_core::ExecState) interface — owning a
+//!    private cache or borrowing a long-lived shared one — falling back to
+//!    [`Machine::step`](hardbound_core::Machine::step) for indirect calls,
+//!    environment calls and fuel-limited tails,
 //! 4. [`batch`] fans independent simulations (the 288-pair violation
-//!    corpus, the 9 Olden ports × 3 encodings) across threads with
-//!    deterministic, input-ordered results.
+//!    corpus, the 9 Olden ports × 3 encodings) across threads with a
+//!    lock-free claimed-by-atomic-index scheduler and deterministic,
+//!    input-ordered results, and
+//! 5. [`service`] turns the one-shot simulator into a long-lived corpus
+//!    backend: per-worker shared decode-cache shards plus a
+//!    [`ResultStore`](service::ResultStore) keyed by program hash, so a
+//!    warm corpus re-run replays identical cells instead of simulating
+//!    them and incremental re-runs execute only invalidated keys.
 //!
 //! The engine is observationally identical to the interpreter — same
 //! output, same traps at the same program counters, same
@@ -46,8 +55,10 @@
 pub mod batch;
 pub mod block;
 pub mod engine;
+pub mod service;
 pub mod uop;
 
-pub use block::{Block, BlockCache, BlockCacheStats};
+pub use block::{Block, BlockCacheStats, ProgramId, SharedBlockCache};
 pub use engine::{run_program, Engine, EngineStats};
+pub use service::{CorpusService, Job, ResultStore, ServiceStats};
 pub use uop::{decode_block, decode_inst, Uop};

@@ -1,0 +1,524 @@
+//! The corpus service: a long-lived, cache-warm execution backend.
+//!
+//! The paper's evaluation is corpus-shaped — hundreds of violation pairs
+//! and nine Olden ports re-simulated under every mode × encoding — yet a
+//! bare [`Engine`](crate::Engine) treats each run as a throwaway: decode
+//! work and results are rediscovered from scratch on every job, every
+//! figure, every CI invocation. [`CorpusService`] amortizes both:
+//!
+//! * a **shared decode cache** — one segmented-LRU
+//!   [`SharedBlockCache`] *shard per worker*, so every machine a worker
+//!   runs reuses the blocks of every image that worker has decoded before
+//!   (no cross-thread locking on the block-transition path), and
+//! * a **result store** — a map from `(`[`ProgramId`]`, configuration
+//!   fingerprint)` to the full [`RunOutcome`], so re-running a corpus
+//!   replays identical cells instead of simulating them. Execution is
+//!   deterministic in the key, which makes replay *byte-identical* to
+//!   recomputation — pinned by the service differential suite and the
+//!   result-store proptests at the workspace root.
+//!
+//! The **incremental re-run** story falls out of the keying: after one
+//! scheme or program changes, only the keys it invalidates miss the store
+//! ([`CorpusService::invalidate_program`] drops exactly one image's
+//! results and decoded blocks); everything else replays. Batches run on
+//! the lock-free [`batch`] scheduler with a deterministic, input-ordered
+//! merge of store hits and fresh executions.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use hardbound_core::{Machine, MachineConfig, RunOutcome};
+use hardbound_isa::Program;
+
+use crate::batch;
+use crate::block::{BlockCacheStats, Fnv64, ProgramId, SharedBlockCache};
+use crate::engine::Engine;
+
+/// Fingerprint of everything *besides the program image* that determines a
+/// run's outcome: the full [`MachineConfig`] (hierarchy geometry, fuel,
+/// call depth, metadata path, HardBound extension) plus a caller-supplied
+/// salt for machine construction the config cannot see (the runtime layer
+/// salts with its compiler `Mode`, which decides e.g. whether an object
+/// table is attached).
+#[must_use]
+pub fn config_fingerprint(config: &MachineConfig, salt: u64) -> u64 {
+    let mut h = Fnv64::default();
+    config.hash(&mut h);
+    salt.hash(&mut h);
+    h.finish()
+}
+
+/// Counters describing the result store's behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResultStoreStats {
+    /// Lookups answered from the store (simulations avoided).
+    pub hits: u64,
+    /// Lookups that had to execute.
+    pub misses: u64,
+    /// Outcomes inserted.
+    pub stored: u64,
+    /// Entries dropped by program invalidation.
+    pub invalidated: u64,
+    /// Entries dropped by capacity eviction (oldest first).
+    pub evicted: u64,
+}
+
+/// The program-hash result store: `(ProgramId, config fingerprint)` →
+/// the complete [`RunOutcome`] of that cell.
+///
+/// Residency is **bounded**: the store lives for the whole process inside
+/// a long-lived service, so unchecked growth across an open-ended corpus
+/// sweep would be a leak. Past [`ResultStore::DEFAULT_CAPACITY`] (or the
+/// explicit [`ResultStore::with_capacity`] bound) the oldest entries are
+/// evicted first — a corpus is re-run front to back, so FIFO age order
+/// approximates re-use order at a fraction of an LRU's bookkeeping.
+#[derive(Debug)]
+pub struct ResultStore {
+    map: HashMap<(ProgramId, u64), RunOutcome>,
+    /// Insertion order for FIFO eviction: exactly one occurrence per live
+    /// key (invalidation purges its keys from here too, so a re-inserted
+    /// entry re-enters at the back instead of inheriting a stale front
+    /// position that would get it evicted first).
+    order: std::collections::VecDeque<(ProgramId, u64)>,
+    capacity: usize,
+    stats: ResultStoreStats,
+}
+
+impl Default for ResultStore {
+    fn default() -> ResultStore {
+        ResultStore::with_capacity(ResultStore::DEFAULT_CAPACITY)
+    }
+}
+
+impl ResultStore {
+    /// Default capacity in stored outcomes — far beyond one full figure
+    /// pipeline (a few thousand cells), small enough that a process
+    /// sweeping unbounded fresh programs stays bounded.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// An empty store holding at most `capacity` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> ResultStore {
+        assert!(capacity > 0, "result store needs room for at least 1 entry");
+        ResultStore {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity,
+            stats: ResultStoreStats::default(),
+        }
+    }
+    /// The stored outcome for `key`, if any; counts a hit or a miss.
+    pub fn lookup(&mut self, key: (ProgramId, u64)) -> Option<RunOutcome> {
+        match self.map.get(&key) {
+            Some(out) => {
+                self.stats.hits += 1;
+                Some(out.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `outcome` under `key` (last write wins; identical keys can
+    /// only ever carry identical outcomes), evicting the oldest entries
+    /// past capacity.
+    pub fn insert(&mut self, key: (ProgramId, u64), outcome: RunOutcome) {
+        self.stats.stored += 1;
+        if self.map.insert(key, outcome).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("order tracks every live key");
+            if self.map.remove(&oldest).is_some() {
+                self.stats.evicted += 1;
+            }
+        }
+    }
+
+    /// Drops every entry of program `pid` — and nothing else — returning
+    /// how many died.
+    pub fn invalidate_program(&mut self, pid: ProgramId) -> usize {
+        let before = self.map.len();
+        self.map.retain(|(p, _), _| *p != pid);
+        // Purge the eviction queue too: a re-inserted key would otherwise
+        // sit behind its own stale occurrence and be evicted as if it
+        // were the oldest entry in the store.
+        self.order.retain(|(p, _)| *p != pid);
+        let dropped = before - self.map.len();
+        self.stats.invalidated += dropped as u64;
+        dropped
+    }
+
+    /// Number of stored results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> ResultStoreStats {
+        self.stats
+    }
+}
+
+/// One unit of corpus work: a program image, the machine configuration to
+/// run it under, a construction salt (see [`config_fingerprint`]) and an
+/// opaque tag handed back to the machine builder (the runtime layer passes
+/// its compiler `Mode` here).
+#[derive(Clone, Debug)]
+pub struct Job<T> {
+    /// The program image.
+    pub program: Program,
+    /// Full machine configuration.
+    pub config: MachineConfig,
+    /// Key salt for builder-side state the config cannot express.
+    pub salt: u64,
+    /// Opaque context for the machine builder.
+    pub tag: T,
+}
+
+impl<T> Job<T> {
+    /// The result-store key this job executes (or replays) under.
+    #[must_use]
+    pub fn key(&self) -> (ProgramId, u64) {
+        (
+            ProgramId::of(&self.program, &self.config),
+            config_fingerprint(&self.config, self.salt),
+        )
+    }
+}
+
+/// A point-in-time snapshot of the service's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Result-store behaviour (replays vs executions).
+    pub store: ResultStoreStats,
+    /// Stored results currently resident.
+    pub store_len: usize,
+    /// Block-cache behaviour summed over all worker shards.
+    pub cache: BlockCacheStats,
+    /// Programs registered across all shards (an image a second worker
+    /// runs registers again in that worker's shard).
+    pub programs: usize,
+    /// Decoded blocks resident across all shards.
+    pub blocks_resident: usize,
+}
+
+/// The long-lived multi-program execution service (see the module docs).
+#[derive(Debug)]
+pub struct CorpusService {
+    shards: Vec<SharedBlockCache>,
+    store: ResultStore,
+    result_cache: bool,
+}
+
+impl CorpusService {
+    /// A service with `workers` block-cache shards of default capacity and
+    /// the result store enabled.
+    #[must_use]
+    pub fn new(workers: usize) -> CorpusService {
+        CorpusService::with_capacity(workers, SharedBlockCache::DEFAULT_CAPACITY)
+    }
+
+    /// [`CorpusService::new`] with an explicit per-shard block capacity
+    /// (small capacities exercise eviction under corpus pressure).
+    #[must_use]
+    pub fn with_capacity(workers: usize, blocks_per_shard: usize) -> CorpusService {
+        let workers = workers.max(1);
+        CorpusService {
+            shards: (0..workers)
+                .map(|_| SharedBlockCache::new(blocks_per_shard))
+                .collect(),
+            store: ResultStore::default(),
+            result_cache: true,
+        }
+    }
+
+    /// Enables or disables the result store (`HB_RESULT_CACHE`). Disabled,
+    /// every job executes — the shared decode cache still applies — and
+    /// the store is neither consulted nor grown.
+    pub fn set_result_cache(&mut self, on: bool) {
+        self.result_cache = on;
+    }
+
+    /// Whether the result store is consulted.
+    #[must_use]
+    pub fn result_cache(&self) -> bool {
+        self.result_cache
+    }
+
+    /// Read access to the result store (tests and diagnostics).
+    #[must_use]
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Runs `jobs` and returns their outcomes in input order: store hits
+    /// replay, misses execute on the per-worker shards via the lock-free
+    /// batch scheduler, and fresh outcomes are stored for next time.
+    /// Duplicate keys *within* the batch execute once and replay for the
+    /// other occurrences (counted as store hits). `build` constructs the
+    /// machine for a missing cell (attach object tables etc. according to
+    /// the job's tag).
+    pub fn run_batch<T, F>(&mut self, jobs: &[Job<T>], build: F) -> Vec<RunOutcome>
+    where
+        T: Sync,
+        F: Fn(Program, MachineConfig, &T) -> Machine + Sync,
+    {
+        let keys: Vec<(ProgramId, u64)> = jobs.iter().map(Job::key).collect();
+        let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        let mut first_of: HashMap<(ProgramId, u64), usize> = HashMap::new();
+        let mut replay_of: Vec<Option<usize>> = vec![None; jobs.len()];
+        for (i, &key) in keys.iter().enumerate() {
+            match self.result_cache.then(|| self.store.lookup(key)).flatten() {
+                Some(out) => results[i] = Some(out),
+                None if self.result_cache => match first_of.get(&key) {
+                    // A duplicate of a cell already executing in this
+                    // batch: replay its outcome instead of re-simulating.
+                    // The store lookup above counted it as a miss;
+                    // reclassify, since no simulation happens for it.
+                    Some(&j) => {
+                        self.store.stats.misses -= 1;
+                        self.store.stats.hits += 1;
+                        replay_of[i] = Some(j);
+                    }
+                    None => {
+                        first_of.insert(key, i);
+                        missing.push(i);
+                    }
+                },
+                None => missing.push(i),
+            }
+        }
+        let fresh = batch::map_with_states(&missing, &mut self.shards, |shard, _, &i| {
+            let job = &jobs[i];
+            let machine = build(job.program.clone(), job.config.clone(), &job.tag);
+            Engine::with_shared_cache(machine, shard).run()
+        });
+        for (&i, out) in missing.iter().zip(fresh) {
+            if self.result_cache {
+                self.store.insert(keys[i], out.clone());
+            }
+            results[i] = Some(out);
+        }
+        for i in 0..jobs.len() {
+            if let Some(j) = replay_of[i] {
+                results[i] = results[j].clone();
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job resolved"))
+            .collect()
+    }
+
+    /// [`CorpusService::run_batch`] for a single job.
+    pub fn run_one<T, F>(&mut self, job: &Job<T>, build: F) -> RunOutcome
+    where
+        T: Sync,
+        F: Fn(Program, MachineConfig, &T) -> Machine + Sync,
+    {
+        self.run_batch(std::slice::from_ref(job), build)
+            .pop()
+            .expect("one job, one outcome")
+    }
+
+    /// Invalidates one program image everywhere: its stored results (every
+    /// configuration) and its decoded blocks in every shard. Other
+    /// programs' keys are untouched — this is the incremental-re-run
+    /// primitive: after mutating one program, re-running the corpus
+    /// executes only its cells and replays the rest.
+    ///
+    /// Returns `(stored results dropped, decoded blocks dropped)`.
+    pub fn invalidate_program(&mut self, pid: ProgramId) -> (usize, u64) {
+        let results = self.store.invalidate_program(pid);
+        let blocks = self
+            .shards
+            .iter_mut()
+            .map(|s| s.invalidate_program(pid))
+            .sum();
+        (results, blocks)
+    }
+
+    /// Snapshot of the service's counters (store + shards).
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let mut cache = BlockCacheStats::default();
+        let mut programs = 0;
+        let mut blocks_resident = 0;
+        for s in &self.shards {
+            cache.absorb(s.stats());
+            programs += s.program_count();
+            blocks_resident += s.resident();
+        }
+        ServiceStats {
+            store: self.store.stats(),
+            store_len: self.store.len(),
+            cache,
+            programs,
+            blocks_resident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardbound_isa::{CmpOp, FunctionBuilder, Program, Reg};
+
+    fn counting_program(limit: i32) -> Program {
+        let mut f = FunctionBuilder::new("main", 0);
+        f.li(Reg::A0, 0);
+        let head = f.bind_label();
+        f.addi(Reg::A0, Reg::A0, 1);
+        let done = f.new_label();
+        f.branch(CmpOp::Ge, Reg::A0, limit, done);
+        f.jump(head);
+        f.bind(done);
+        f.li(Reg::A0, 0);
+        f.halt();
+        Program::with_entry(vec![f.finish()])
+    }
+
+    fn job(limit: i32, fuel: u64) -> Job<()> {
+        Job {
+            program: counting_program(limit),
+            config: MachineConfig::default().with_fuel(fuel),
+            salt: 0,
+            tag: (),
+        }
+    }
+
+    fn build(p: Program, cfg: MachineConfig, (): &()) -> Machine {
+        Machine::new(p, cfg)
+    }
+
+    #[test]
+    fn warm_batch_replays_from_the_store() {
+        let jobs: Vec<Job<()>> = (0..8).map(|k| job(10 + k, 1_000_000)).collect();
+        let mut svc = CorpusService::new(4);
+        let cold = svc.run_batch(&jobs, build);
+        let after_cold = svc.stats();
+        assert_eq!(after_cold.store.hits, 0);
+        assert_eq!(after_cold.store.misses, 8);
+        assert_eq!(after_cold.store_len, 8);
+        let warm = svc.run_batch(&jobs, build);
+        assert_eq!(cold, warm, "replay must be byte-identical");
+        let after_warm = svc.stats();
+        assert_eq!(after_warm.store.hits, 8, "warm run is pure replay");
+        assert_eq!(after_warm.store.misses, 8, "no new executions");
+        assert_eq!(
+            after_warm.cache.decoded, after_cold.cache.decoded,
+            "no new decode work either"
+        );
+    }
+
+    #[test]
+    fn distinct_configs_are_distinct_cells() {
+        let mut svc = CorpusService::new(1);
+        let a = job(10, 1_000_000);
+        let mut b = job(10, 1_000_000);
+        b.config = b.config.clone().with_fuel(999_999);
+        assert_ne!(a.key(), b.key(), "fuel is part of the result identity");
+        assert_eq!(
+            a.key().0,
+            b.key().0,
+            "…but not of the decode identity (blocks are shared)"
+        );
+        svc.run_one(&a, build);
+        svc.run_one(&b, build);
+        assert_eq!(svc.stats().store_len, 2);
+        assert!(svc.stats().cache.decoded > 0);
+        // The same image under both fuels decoded once.
+        assert_eq!(svc.stats().programs, 1);
+    }
+
+    #[test]
+    fn salt_splits_otherwise_identical_cells() {
+        let a = job(10, 1_000_000);
+        let mut b = job(10, 1_000_000);
+        b.salt = 1;
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn result_cache_off_executes_every_time() {
+        let jobs = vec![job(10, 1_000_000)];
+        let mut svc = CorpusService::new(2);
+        svc.set_result_cache(false);
+        let first = svc.run_batch(&jobs, build);
+        let second = svc.run_batch(&jobs, build);
+        assert_eq!(first, second);
+        let s = svc.stats();
+        assert_eq!(s.store_len, 0, "store is bypassed entirely");
+        assert_eq!(s.store.hits, 0);
+        assert!(
+            s.cache.hits > 0,
+            "the shared decode cache still serves the second run: {s:?}"
+        );
+    }
+
+    #[test]
+    fn store_capacity_evicts_oldest_first() {
+        let mut store = ResultStore::with_capacity(2);
+        let out = |limit| {
+            let mut svc = CorpusService::new(1);
+            svc.run_one(&job(limit, 1_000_000), build)
+        };
+        let keys: Vec<(ProgramId, u64)> = (0..3).map(|k| job(10 + k, 1_000_000).key()).collect();
+        for (k, &key) in keys.iter().enumerate() {
+            store.insert(key, out(10 + k as i32));
+        }
+        assert_eq!(store.len(), 2, "capacity bound holds");
+        assert_eq!(store.stats().evicted, 1);
+        assert!(store.lookup(keys[0]).is_none(), "oldest entry evicted");
+        assert!(store.lookup(keys[1]).is_some());
+        assert!(store.lookup(keys[2]).is_some());
+        // Re-insertion after invalidation must enter at the *back* of the
+        // eviction order: the next capacity eviction takes the genuinely
+        // oldest survivor, not the freshly recomputed entry (which a
+        // stale leftover queue position would doom first).
+        store.invalidate_program(keys[1].0);
+        store.insert(keys[0], out(10));
+        assert_eq!(store.len(), 2);
+        let fresh = job(99, 1_000_000).key();
+        store.insert(fresh, out(99));
+        assert_eq!(store.stats().evicted, 2);
+        assert!(store.lookup(keys[2]).is_none(), "oldest survivor evicted");
+        assert!(
+            store.lookup(keys[0]).is_some(),
+            "the re-inserted entry is the youngest, not the first victim"
+        );
+        assert!(store.lookup(fresh).is_some());
+    }
+
+    #[test]
+    fn invalidation_is_per_program() {
+        let a = job(10, 1_000_000);
+        let b = job(20, 1_000_000);
+        let mut svc = CorpusService::new(1);
+        svc.run_batch(&[a.clone(), b.clone()], build);
+        assert_eq!(svc.stats().store_len, 2);
+        let (results, blocks) = svc.invalidate_program(a.key().0);
+        assert_eq!(results, 1, "exactly a's stored result dies");
+        assert!(blocks > 0, "a's decoded blocks die with it");
+        svc.run_batch(&[a, b], build);
+        let s = svc.stats();
+        assert_eq!(s.store.hits, 1, "b replays");
+        assert_eq!(s.store.misses, 3, "a re-executes (2 cold + 1 after inval)");
+    }
+}

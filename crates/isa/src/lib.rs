@@ -39,11 +39,13 @@ mod disasm;
 pub mod fuzz;
 mod inst;
 pub mod layout;
+mod link;
 mod program;
 mod reg;
 
 pub use asm::{parse_inst, parse_listing, parse_program, AsmError};
 pub use builder::{FunctionBuilder, Label};
 pub use inst::{BinOp, CmpOp, Inst, Operand, SysCall, Width};
+pub use link::{merge_programs, LinkError};
 pub use program::{DataInit, FuncId, Function, Program, ValidateError};
 pub use reg::Reg;

@@ -1,0 +1,532 @@
+//! A linker-style merger for parsed `.s` listings.
+//!
+//! `hbrun --disasm` emits one self-contained listing per program; real
+//! builds want to split code across files — a hand-written `main.s` calling
+//! into a shared `lib.s`, or a program dump next to a runtime dump.
+//! [`merge_programs`] combines any number of parsed [`Program`]s into one
+//! image with the classic static-linker moves:
+//!
+//! * **Renumbering** — each part's local `fn#N` references ([`Inst::Call`]
+//!   and [`Inst::CodePtr`]) are rewritten to the merged function table.
+//! * **Symbol resolution** — a function header with an *empty body*
+//!   (`fn#1 <double_it> (args=1, frame=0):` followed by no instructions)
+//!   is an undefined-symbol stub: references to it bind to the function of
+//!   the same name defined in another part, or the link fails with
+//!   [`LinkError::Undefined`].
+//! * **Duplicate folding** — two parts defining the same name link only if
+//!   their bodies are identical *after* reference resolution (the
+//!   shared-runtime-prefix case: dumps of different programs agree on the
+//!   runtime's code); the copies fold into one. Bodies that resolve
+//!   differently — even when textually identical, since `fn#N` means
+//!   different things in different parts — are a [`LinkError::Duplicate`].
+//! * **Entry selection** — the merged entry is the first part whose entry
+//!   function is named `main`, falling back to the first part's entry
+//!   (which may itself be a stub: the resolved definition becomes the
+//!   entry).
+//! * **Data/globals union** — initialized data regions are unioned
+//!   (identical duplicates fold, overlapping disagreements are a
+//!   [`LinkError::DataConflict`]); the globals reservation is the maximum
+//!   of the parts' reservations. Listings address globals absolutely, so
+//!   parts must already agree on a layout — the linker merges images, it
+//!   does not relocate them.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::program::{DataInit, FuncId, Function, Program};
+
+/// Why a multi-listing link failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkError {
+    /// No parts were given.
+    Empty,
+    /// `name` is defined in two parts with different bodies.
+    Duplicate {
+        /// The multiply-defined symbol.
+        name: String,
+    },
+    /// A stub references `name`, but no part defines it.
+    Undefined {
+        /// The unresolved symbol.
+        name: String,
+    },
+    /// A stub's declared argument count disagrees with the definition it
+    /// resolved to.
+    SignatureMismatch {
+        /// The symbol whose stub and definition disagree.
+        name: String,
+    },
+    /// A function body references a `fn#N` outside its own listing's
+    /// function table (cross-listing references go through named stubs).
+    BadReference {
+        /// The function containing the reference.
+        func: String,
+        /// The out-of-range local function id.
+        reference: u32,
+    },
+    /// Two parts initialize overlapping data with different bytes.
+    DataConflict {
+        /// Start address of the conflicting region.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Empty => write!(f, "nothing to link"),
+            LinkError::Duplicate { name } => {
+                write!(f, "duplicate symbol `{name}` with differing bodies")
+            }
+            LinkError::Undefined { name } => write!(f, "undefined symbol `{name}`"),
+            LinkError::SignatureMismatch { name } => {
+                write!(
+                    f,
+                    "stub for `{name}` declares a different argument count than its definition"
+                )
+            }
+            LinkError::BadReference { func, reference } => {
+                write!(
+                    f,
+                    "`{func}` references fn#{reference} outside its own listing \
+                     (declare a named stub for cross-listing calls)"
+                )
+            }
+            LinkError::DataConflict { addr } => {
+                write!(f, "conflicting data initializers at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Whether `f` is an undefined-symbol stub (a header with no body).
+fn is_stub(f: &Function) -> bool {
+    f.insts.is_empty()
+}
+
+/// Rewrites every function reference in `insts` through `map` (one entry
+/// per local function of the listing that defined them).
+///
+/// # Errors
+///
+/// [`LinkError::BadReference`] when a reference falls outside the
+/// listing's own function table — individual listings are *not* validated
+/// before linking, so the stale id could otherwise land in range of the
+/// merged table and silently call the wrong function.
+fn remap_insts(insts: &[Inst], map: &[FuncId], owner: &str) -> Result<Vec<Inst>, LinkError> {
+    let mut out = insts.to_vec();
+    for inst in &mut out {
+        if let Inst::Call { func } | Inst::CodePtr { func, .. } = inst {
+            let local = func.0 as usize;
+            if local >= map.len() {
+                return Err(LinkError::BadReference {
+                    func: owner.to_owned(),
+                    reference: func.0,
+                });
+            }
+            *func = map[local];
+        }
+    }
+    Ok(out)
+}
+
+/// Links `parts` into one program (see the module docs for the rules).
+///
+/// # Errors
+///
+/// Returns the first [`LinkError`] found: duplicate definitions that
+/// differ *after* reference resolution, unresolved or mis-declared stubs,
+/// out-of-range function references, or conflicting data initializers.
+pub fn merge_programs(parts: Vec<Program>) -> Result<Program, LinkError> {
+    if parts.is_empty() {
+        return Err(LinkError::Empty);
+    }
+
+    // Pass 1: build the merged function table (bodies still un-remapped)
+    // and each part's local-id → merged-id map. Stubs get a placeholder
+    // resolved in pass 2, once every definition is known; same-named
+    // definitions fold tentatively onto the first one, with the semantic
+    // equality check deferred to pass 4 (raw bodies cannot be compared —
+    // their `fn#N` references mean different things in different parts).
+    const UNRESOLVED: u32 = u32::MAX;
+    let mut functions: Vec<Function> = Vec::new();
+    let mut by_name: HashMap<String, FuncId> = HashMap::new();
+    let mut maps: Vec<Vec<FuncId>> = Vec::with_capacity(parts.len());
+    let mut stub_names: Vec<Vec<Option<String>>> = Vec::with_capacity(parts.len());
+    let mut folds: Vec<(u32, usize, usize)> = Vec::new(); // (kept id, part, fn)
+    for (pi, part) in parts.iter().enumerate() {
+        let mut map = Vec::with_capacity(part.functions.len());
+        let mut stubs = Vec::with_capacity(part.functions.len());
+        for (fi, f) in part.functions.iter().enumerate() {
+            if is_stub(f) {
+                map.push(FuncId(UNRESOLVED));
+                stubs.push(Some(f.name.clone()));
+                continue;
+            }
+            stubs.push(None);
+            match by_name.get(&f.name) {
+                Some(&kept) => {
+                    let k = &functions[kept.0 as usize];
+                    if k.frame_size == f.frame_size && k.num_args == f.num_args {
+                        map.push(kept);
+                        folds.push((kept.0, pi, fi));
+                    } else {
+                        return Err(LinkError::Duplicate {
+                            name: f.name.clone(),
+                        });
+                    }
+                }
+                None => {
+                    let id = FuncId(functions.len() as u32);
+                    by_name.insert(f.name.clone(), id);
+                    map.push(id);
+                    functions.push(f.clone());
+                }
+            }
+        }
+        maps.push(map);
+        stub_names.push(stubs);
+    }
+
+    // Pass 2: resolve stubs by name, holding each to the argument count
+    // it declared (a stub's frame size is ignored — frames belong to the
+    // definition, not the call contract).
+    for (pi, (map, stubs)) in maps.iter_mut().zip(&stub_names).enumerate() {
+        for (fi, (slot, stub)) in map.iter_mut().zip(stubs).enumerate() {
+            if let Some(name) = stub {
+                let resolved = *by_name
+                    .get(name)
+                    .ok_or_else(|| LinkError::Undefined { name: name.clone() })?;
+                if parts[pi].functions[fi].num_args != functions[resolved.0 as usize].num_args {
+                    return Err(LinkError::SignatureMismatch { name: name.clone() });
+                }
+                *slot = resolved;
+            }
+        }
+    }
+
+    // Pass 3: rewrite every kept body's function references through its
+    // defining part's map.
+    let mut owner: Vec<Option<usize>> = vec![None; functions.len()];
+    for (pi, part) in parts.iter().enumerate() {
+        for (fi, f) in part.functions.iter().enumerate() {
+            if !is_stub(f) {
+                let id = maps[pi][fi].0 as usize;
+                owner[id].get_or_insert(pi);
+            }
+        }
+    }
+    for (id, f) in functions.iter_mut().enumerate() {
+        let map = &maps[owner[id].expect("every kept function has a defining part")];
+        f.insts = remap_insts(&f.insts, map, &f.name)?;
+    }
+
+    // Pass 4: verify every tentative fold *semantically* — the duplicate's
+    // body, remapped through its own part's map, must equal the kept
+    // (already remapped) body. Textually identical bodies whose `fn#N`
+    // references resolve to different functions are rejected here; bodies
+    // that differ only in local numbering but resolve identically fold.
+    for &(kept, pi, fi) in &folds {
+        let dup = &parts[pi].functions[fi];
+        let remapped = remap_insts(&dup.insts, &maps[pi], &dup.name)?;
+        if remapped != functions[kept as usize].insts {
+            return Err(LinkError::Duplicate {
+                name: dup.name.clone(),
+            });
+        }
+    }
+
+    // Entry: the first part whose entry resolves to `main`, else the
+    // first part's resolved entry. Stub entries resolve through the stub
+    // (pass 2 already bound them); an out-of-range entry id is an error,
+    // never a silent fall-back to an arbitrary function.
+    let resolve_entry = |pi: usize| -> Option<FuncId> {
+        let local = parts[pi].entry.0 as usize;
+        (local < maps[pi].len()).then(|| maps[pi][local])
+    };
+    let entry = match (0..parts.len())
+        .filter_map(|pi| resolve_entry(pi).filter(|e| functions[e.0 as usize].name == "main"))
+        .next()
+    {
+        Some(main) => main,
+        None => resolve_entry(0).ok_or(LinkError::BadReference {
+            func: "<entry of the first listing>".to_owned(),
+            reference: parts[0].entry.0,
+        })?,
+    };
+
+    // Data union with conflict detection; globals reservation is the max.
+    // Ranges are compared in u64 — a data line near the top of the address
+    // space must not wrap `addr + len` into a false non-overlap.
+    let mut data: Vec<DataInit> = Vec::new();
+    for init in parts.iter().flat_map(|p| &p.data) {
+        let lo = u64::from(init.addr);
+        let hi = lo + init.bytes.len() as u64;
+        let mut duplicate = false;
+        for seen in &data {
+            let s_lo = u64::from(seen.addr);
+            let s_hi = s_lo + seen.bytes.len() as u64;
+            if seen.addr == init.addr && seen.bytes == init.bytes {
+                duplicate = true;
+                break;
+            }
+            if lo < s_hi && s_lo < hi {
+                return Err(LinkError::DataConflict {
+                    addr: init.addr.max(seen.addr),
+                });
+            }
+        }
+        if !duplicate {
+            data.push(init.clone());
+        }
+    }
+
+    Ok(Program {
+        functions,
+        entry,
+        globals_size: parts.iter().map(|p| p.globals_size).max().unwrap_or(0),
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::reg::Reg;
+
+    fn leaf(name: &str, value: u32) -> Function {
+        let mut f = FunctionBuilder::new(name, 0);
+        f.li(Reg::A0, value);
+        f.ret();
+        f.finish()
+    }
+
+    fn main_calling(callee: FuncId) -> Function {
+        let mut f = FunctionBuilder::new("main", 0);
+        f.call(callee);
+        f.halt();
+        f.finish()
+    }
+
+    fn stub(name: &str) -> Function {
+        Function {
+            name: name.to_owned(),
+            insts: Vec::new(),
+            frame_size: 0,
+            num_args: 0,
+        }
+    }
+
+    #[test]
+    fn stub_resolves_against_other_part() {
+        // main.s: main calls fn#1, declared as a stub for `double_it`.
+        let main_part = Program::with_entry(vec![main_calling(FuncId(1)), stub("double_it")]);
+        let lib_part = Program::with_entry(vec![leaf("double_it", 7)]);
+        let merged = merge_programs(vec![main_part, lib_part]).expect("links");
+        assert_eq!(merged.validate(), Ok(()));
+        assert_eq!(merged.functions.len(), 2);
+        assert_eq!(merged.functions[0].name, "main");
+        assert_eq!(merged.functions[1].name, "double_it");
+        assert_eq!(
+            merged.functions[0].insts[0],
+            Inst::Call { func: FuncId(1) },
+            "the stub reference binds to the lib definition"
+        );
+        assert_eq!(merged.entry, FuncId(0));
+    }
+
+    #[test]
+    fn references_are_renumbered_across_parts() {
+        // Part 0: a lone library function. Part 1: main + its own helper,
+        // locally fn#0/fn#1 — both shift by one in the merged table.
+        let lib = Program::with_entry(vec![leaf("helper_a", 1)]);
+        let mut prog = Program::with_entry(vec![main_calling(FuncId(1)), leaf("helper_b", 2)]);
+        prog.entry = FuncId(0);
+        let merged = merge_programs(vec![lib, prog]).expect("links");
+        assert_eq!(merged.validate(), Ok(()));
+        let (main_id, main_fn) = merged.function_named("main").expect("main kept");
+        assert_eq!(
+            main_fn.insts[0],
+            Inst::Call { func: FuncId(2) },
+            "local fn#1 remaps to the merged helper_b slot"
+        );
+        assert_eq!(merged.entry, main_id, "entry follows the part with main");
+    }
+
+    #[test]
+    fn identical_duplicates_fold_differing_ones_error() {
+        let a = Program::with_entry(vec![main_calling(FuncId(1)), leaf("shared", 3)]);
+        let b = Program::with_entry(vec![leaf("shared", 3)]);
+        let merged = merge_programs(vec![a.clone(), b]).expect("identical bodies fold");
+        assert_eq!(merged.functions.len(), 2);
+
+        let conflicting = Program::with_entry(vec![leaf("shared", 4)]);
+        assert_eq!(
+            merge_programs(vec![a, conflicting]),
+            Err(LinkError::Duplicate {
+                name: "shared".to_owned()
+            })
+        );
+    }
+
+    /// A caller function `name` whose body is exactly `call callee; ret`.
+    fn caller(name: &str, callee: FuncId) -> Function {
+        let mut f = FunctionBuilder::new(name, 0);
+        f.call(callee);
+        f.ret();
+        f.finish()
+    }
+
+    #[test]
+    fn duplicate_folding_is_semantic_not_textual() {
+        // Textually identical bodies whose `fn#1` references resolve to
+        // *different* helpers must not silently fold.
+        let a = Program::with_entry(vec![caller("shared", FuncId(1)), leaf("helper_a", 1)]);
+        let b = Program::with_entry(vec![caller("shared", FuncId(1)), leaf("helper_b", 2)]);
+        assert_eq!(
+            merge_programs(vec![a, b]),
+            Err(LinkError::Duplicate {
+                name: "shared".to_owned()
+            })
+        );
+
+        // Conversely: bodies that differ in local numbering but resolve to
+        // the same merged callee fold cleanly.
+        let c = Program::with_entry(vec![caller("shared", FuncId(1)), leaf("helper", 1)]);
+        let d = Program::with_entry(vec![
+            leaf("other", 9),
+            caller("shared", FuncId(2)), // locally fn#2 …
+            leaf("helper", 1),           // … which is the same `helper`
+        ]);
+        let merged = merge_programs(vec![c, d]).expect("semantically equal bodies fold");
+        let shared = merged.function_named("shared").expect("kept").1;
+        let helper_id = merged.function_named("helper").expect("kept").0;
+        assert_eq!(shared.insts[0], Inst::Call { func: helper_id });
+    }
+
+    #[test]
+    fn out_of_range_references_are_rejected() {
+        // parse_program does not validate parts, so a stale `call fn#5`
+        // could land in range of the merged table — the linker must reject
+        // it rather than silently binding it to an unrelated function.
+        let broken = Program::with_entry(vec![main_calling(FuncId(5))]);
+        let filler = Program::with_entry(vec![
+            leaf("a", 1),
+            leaf("b", 2),
+            leaf("c", 3),
+            leaf("d", 4),
+            leaf("e", 5),
+            leaf("f", 6),
+        ]);
+        assert_eq!(
+            merge_programs(vec![broken, filler]),
+            Err(LinkError::BadReference {
+                func: "main".to_owned(),
+                reference: 5
+            })
+        );
+    }
+
+    #[test]
+    fn stub_signature_mismatch_is_rejected() {
+        let mut wrong = stub("double_it");
+        wrong.num_args = 2;
+        let main_part = Program::with_entry(vec![main_calling(FuncId(1)), wrong]);
+        let mut lib_fn = leaf("double_it", 7);
+        lib_fn.num_args = 1;
+        let lib_part = Program::with_entry(vec![lib_fn]);
+        assert_eq!(
+            merge_programs(vec![main_part, lib_part]),
+            Err(LinkError::SignatureMismatch {
+                name: "double_it".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn stub_entry_resolves_through_the_stub() {
+        // The first listing's entry is a body-less stub for `boot`,
+        // defined in the second; neither entry is named `main`. The
+        // merged entry must be `boot`'s definition, not fn#0.
+        let first = Program::with_entry(vec![stub("boot"), leaf("aux", 1)]);
+        let second = Program::with_entry(vec![leaf("boot", 5)]);
+        let merged = merge_programs(vec![first, second]).expect("links");
+        let (boot, _) = merged.function_named("boot").expect("boot kept");
+        assert_eq!(merged.entry, boot);
+        assert_eq!(merged.validate(), Ok(()));
+    }
+
+    #[test]
+    fn undefined_stub_is_an_error() {
+        let p = Program::with_entry(vec![main_calling(FuncId(1)), stub("missing")]);
+        assert_eq!(
+            merge_programs(vec![p]),
+            Err(LinkError::Undefined {
+                name: "missing".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn data_and_globals_union() {
+        let mut a = Program::with_entry(vec![main_calling(FuncId(1)), stub("lib")]);
+        a.globals_size = 16;
+        a.data.push(DataInit {
+            addr: 0x0080_0000,
+            bytes: vec![1, 2, 3],
+        });
+        let mut b = Program::with_entry(vec![leaf("lib", 9)]);
+        b.globals_size = 64;
+        b.data.push(DataInit {
+            addr: 0x0080_0000,
+            bytes: vec![1, 2, 3], // identical: folds
+        });
+        b.data.push(DataInit {
+            addr: 0x0080_0100,
+            bytes: vec![4],
+        });
+        let merged = merge_programs(vec![a.clone(), b]).expect("links");
+        assert_eq!(merged.globals_size, 64);
+        assert_eq!(merged.data.len(), 2);
+
+        let mut clash = Program::with_entry(vec![leaf("lib", 9)]);
+        clash.data.push(DataInit {
+            addr: 0x0080_0001,
+            bytes: vec![9, 9],
+        });
+        assert_eq!(
+            merge_programs(vec![a, clash]),
+            Err(LinkError::DataConflict { addr: 0x0080_0001 })
+        );
+    }
+
+    #[test]
+    fn data_overlap_near_address_space_top_is_still_detected() {
+        // `addr + len` must not wrap in u32: two genuinely overlapping
+        // regions at the top of the address space are a conflict, not a
+        // silent union (and not a debug-build arithmetic panic).
+        let mut a = Program::with_entry(vec![leaf("x", 1)]);
+        a.data.push(DataInit {
+            addr: u32::MAX - 1,
+            bytes: vec![1, 2],
+        });
+        let mut b = Program::with_entry(vec![leaf("y", 2)]);
+        b.data.push(DataInit {
+            addr: u32::MAX,
+            bytes: vec![9],
+        });
+        assert_eq!(
+            merge_programs(vec![a, b]),
+            Err(LinkError::DataConflict { addr: u32::MAX })
+        );
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(merge_programs(Vec::new()), Err(LinkError::Empty));
+    }
+}

@@ -25,7 +25,7 @@ impl fmt::Display for FuncId {
 
 /// A compiled function: a straight-line vector of µops with intra-function
 /// branch targets expressed as instruction indices.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Function {
     /// Symbol name (for diagnostics and disassembly).
     pub name: String,
@@ -40,7 +40,7 @@ pub struct Function {
 
 /// An initialized data region copied into memory before execution (string
 /// literals, initialized globals).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct DataInit {
     /// Destination virtual address.
     pub addr: u32,
@@ -49,7 +49,12 @@ pub struct DataInit {
 }
 
 /// A complete executable image for the simulator.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Hash` covers the full image — functions (names, bodies, frames), the
+/// entry point, the globals reservation and initialized data — so a hash
+/// of a `Program` is a content fingerprint of everything execution can
+/// observe (the basis of `hardbound-exec`'s `ProgramId`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Program {
     /// All functions; [`FuncId`] indexes this vector.
     pub functions: Vec<Function>,

@@ -1,4 +1,4 @@
-//! `hbrun` — compile and run a Cb program (or a `.s` µop listing) on the
+//! `hbrun` — compile and run Cb programs (or `.s` µop listings) on the
 //! HardBound simulator.
 //!
 //! ```sh
@@ -11,14 +11,23 @@
 //! Inputs ending in `.s` are treated as assembly listings in the
 //! disassembler's grammar (`isa::parse_program`) and run directly —
 //! `hbrun --disasm prog.cb > prog.s && hbrun prog.s` round-trips the code
-//! image. Everything else is compiled as Cb with the runtime library
-//! (`malloc`, strings, fixed point) linked in; the machine configuration
-//! is paired to the mode exactly as in the paper's evaluation.
+//! image. **Several inputs link**: `hbrun main.s lib.s` merges the
+//! listings with `isa::merge_programs` (function renumbering, named
+//! stub resolution, duplicate folding, data/globals union), and several
+//! `.cb` files concatenate into one translation unit before compilation.
+//! Mixing the two kinds is an error. Everything else is compiled as Cb
+//! with the runtime library (`malloc`, strings, fixed point) linked in;
+//! the machine configuration is paired to the mode exactly as in the
+//! paper's evaluation.
 //!
-//! `--disasm` prints the listing (and nothing else) instead of running.
-//! Execution goes through the pre-decoded basic-block engine by default;
-//! `--interp` selects the one-µop-per-step interpreter (the two are
-//! observationally identical — see `tests/engine_differential.rs`).
+//! `--disasm` prints the (merged) listing and nothing else instead of
+//! running. Execution goes through the corpus service by default — the
+//! pre-decoded basic-block engine plus the process-wide decode cache and
+//! result store (`HB_SERVICE=0` and `HB_RESULT_CACHE=0` opt out layer by
+//! layer); `--interp` selects the one-µop-per-step interpreter (all paths
+//! are observationally identical — see `tests/engine_differential.rs` and
+//! `tests/service_differential.rs`). With `--stats`, service runs also
+//! report result-store and block-cache counters.
 
 use std::process::ExitCode;
 
@@ -26,10 +35,13 @@ use hardbound_compiler::Mode;
 use hardbound_core::{MetaPath, PointerEncoding};
 use hardbound_exec::Engine;
 use hardbound_isa::Program;
-use hardbound_runtime::{build_machine_with_config, compile, engine_default, machine_config};
+use hardbound_runtime::{
+    build_machine_with_config, compile, engine_default, env_flag, machine_config, run_job,
+    service_stats,
+};
 
 struct Args {
-    path: String,
+    paths: Vec<String>,
     mode: Mode,
     encoding: PointerEncoding,
     stats: bool,
@@ -39,7 +51,7 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut path = None;
+    let mut paths = Vec::new();
     let mut mode = Mode::HardBound;
     let mut encoding = PointerEncoding::Intern4;
     let mut stats = false;
@@ -87,18 +99,20 @@ fn parse_args() -> Result<Args, String> {
             "--interp" => engine = false,
             "--help" | "-h" => {
                 return Err(
-                    "usage: hbrun FILE.{cb,s} [--mode M] [--encoding E] [--stats] \
-                     [--disasm] [--engine|--interp] [--meta summary|walk|charge]"
+                    "usage: hbrun FILE.{cb,s} [FILE.{cb,s} ...] [--mode M] [--encoding E] \
+                     [--stats] [--disasm] [--engine|--interp] [--meta summary|walk|charge]"
                         .to_owned(),
                 )
             }
-            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other if !other.starts_with('-') => paths.push(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let path = path.ok_or("no input file (try --help)")?;
+    if paths.is_empty() {
+        return Err("no input file (try --help)".to_owned());
+    }
     Ok(Args {
-        path,
+        paths,
         mode,
         encoding,
         stats,
@@ -108,20 +122,39 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-/// Loads the program image: `.s` listings assemble directly, anything else
-/// compiles as Cb with the runtime linked in.
-fn load(args: &Args, source: &str) -> Result<Program, String> {
-    if std::path::Path::new(&args.path)
+fn is_listing(path: &str) -> bool {
+    std::path::Path::new(path)
         .extension()
         .is_some_and(|e| e == "s")
-    {
-        let program = hardbound_isa::parse_program(source).map_err(|e| e.to_string())?;
+}
+
+/// Loads the program image. All-`.s` inputs parse individually and link
+/// with the listing merger; all-`.cb` inputs concatenate into one
+/// translation unit compiled with the runtime linked in.
+fn load(args: &Args, sources: &[(String, String)]) -> Result<Program, String> {
+    let listings = sources.iter().filter(|(p, _)| is_listing(p)).count();
+    if listings != 0 && listings != sources.len() {
+        return Err("cannot mix .s listings and Cb sources in one run".to_owned());
+    }
+    if listings != 0 {
+        let parts = sources
+            .iter()
+            .map(|(path, text)| {
+                hardbound_isa::parse_program(text).map_err(|e| format!("{path}: {e}"))
+            })
+            .collect::<Result<Vec<Program>, String>>()?;
+        let program = hardbound_isa::merge_programs(parts).map_err(|e| e.to_string())?;
         program
             .validate()
-            .map_err(|e| format!("invalid listing: {e}"))?;
+            .map_err(|e| format!("invalid linked listing: {e}"))?;
         Ok(program)
     } else {
-        compile(source, args.mode).map_err(|e| e.to_string())
+        let combined = sources
+            .iter()
+            .map(|(_, text)| text.as_str())
+            .collect::<Vec<&str>>()
+            .join("\n");
+        compile(&combined, args.mode).map_err(|e| e.to_string())
     }
 }
 
@@ -133,14 +166,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let source = match std::fs::read_to_string(&args.path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", args.path);
-            return ExitCode::from(2);
+    let mut sources = Vec::new();
+    for path in &args.paths {
+        match std::fs::read_to_string(path) {
+            Ok(s) => sources.push((path.clone(), s)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
         }
-    };
-    let program = match load(&args, &source) {
+    }
+    let program = match load(&args, &sources) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -159,12 +195,23 @@ fn main() -> ExitCode {
     if let Some(meta) = args.meta {
         config = config.with_meta_path(meta);
     }
-    let machine = build_machine_with_config(program, args.mode, config);
-    let out = if args.engine {
-        Engine::new(machine).run()
+    // Three execution paths, outermost first: the corpus service (engine +
+    // shared decode cache + result store), the bare engine, and the
+    // interpreter. All observationally identical. `args.engine` already
+    // folds in HB_INTERP *and* the --engine/--interp overrides, so only
+    // HB_SERVICE is consulted here — `service_enabled()` would re-read
+    // HB_INTERP and silently defeat an explicit `--engine`.
+    let through_service = args.engine && env_flag("HB_SERVICE").unwrap_or(true);
+    let out = if through_service {
+        run_job(program, args.mode, config)
     } else {
-        let mut machine = machine;
-        machine.run()
+        let machine = build_machine_with_config(program, args.mode, config);
+        if args.engine {
+            Engine::new(machine).run()
+        } else {
+            let mut machine = machine;
+            machine.run()
+        }
     };
     print!("{}", out.output);
     if let Some(trap) = &out.trap {
@@ -176,7 +223,13 @@ fn main() -> ExitCode {
             "-- stats ({} mode, {} encoding, {}) --",
             args.mode,
             args.encoding,
-            if args.engine { "engine" } else { "interpreter" }
+            if through_service {
+                "service"
+            } else if args.engine {
+                "engine"
+            } else {
+                "interpreter"
+            }
         );
         eprintln!("cycles:          {}", s.cycles());
         eprintln!("µops:            {}", s.uops);
@@ -199,6 +252,21 @@ fn main() -> ExitCode {
             s.hierarchy.data_stall_cycles,
             s.metadata_stall_cycles()
         );
+        if through_service {
+            let svc = service_stats();
+            eprintln!(
+                "result store:    {} hits, {} misses, {} stored",
+                svc.store.hits, svc.store.misses, svc.store_len
+            );
+            eprintln!(
+                "block cache:     {} hits, {} decoded, {} evicted, {} invalidated",
+                svc.cache.hits, svc.cache.decoded, svc.cache.evicted, svc.cache.invalidated
+            );
+            eprintln!(
+                "programs:        {} registered, {} blocks resident",
+                svc.programs, svc.blocks_resident
+            );
+        }
     }
     match out.trap {
         Some(_) => ExitCode::from(3),

@@ -1,42 +1,85 @@
 //! Drivers that regenerate each table and figure.
 //!
-//! Every driver executes through [`hardbound_runtime::run_machine`] — the
-//! basic-block engine by default, the interpreter under `HB_INTERP` — and
-//! fans its embarrassingly-parallel outer loop (benchmarks × encodings, or
-//! the 288-pair corpus) across threads with [`hardbound_exec::batch`].
-//! Results are aggregated in input order, so the parallel drivers emit
-//! byte-identical tables to the serial loops they replaced.
+//! Every driver is a **corpus-cell pipeline**: it lays out its grid of
+//! `(program, mode, machine configuration)` cells in a deterministic
+//! order, compiles the distinct `(workload, mode)` images once each (in
+//! parallel, on [`hardbound_exec::batch`]), and hands the whole grid to
+//! [`hardbound_runtime::run_jobs`] — the process-wide corpus service.
+//! Cells shared between figures (every figure re-simulates the baseline
+//! and full-HardBound runs of every Olden port) therefore execute **once
+//! per process**: the second figure replays them from the service's
+//! program-hash result store. `HB_SERVICE=0` restores the direct
+//! one-machine-one-engine path; both paths aggregate in input order and
+//! emit byte-identical tables (pinned by `tests/service_differential.rs`).
 
 use hardbound_compiler::Mode;
 use hardbound_core::{ExecStats, HardboundConfig, MachineConfig, PointerEncoding, RunOutcome};
 use hardbound_exec::batch;
-use hardbound_runtime::{build_machine_with_config, compile, machine_config, run_machine};
-use hardbound_violations::{corpus, Addressing, CorpusReport};
+use hardbound_runtime::{compile, machine_config, meta_path_default, run_jobs, SimJob};
+use hardbound_violations::{corpus, Addressing, CaseResult, CorpusReport, TestCase};
 use hardbound_workloads::{all, Scale, Workload};
 
-fn run(w: &Workload, mode: Mode, encoding: PointerEncoding) -> RunOutcome {
-    run_with(w, mode, machine_config(mode, encoding))
+/// Compiles each workload under every distinct mode of `specs` (once per
+/// `(workload, mode)`), runs the full `workloads × specs` grid through
+/// the corpus service, and returns each workload's outcomes in spec
+/// order. Workload cells must not trap — these are the paper's benign
+/// benchmark runs — so any trap panics with the offending cell.
+fn run_grid(workloads: &[Workload], specs: &[(Mode, MachineConfig)]) -> Vec<Vec<RunOutcome>> {
+    let mut modes: Vec<Mode> = Vec::new();
+    for (mode, _) in specs {
+        if !modes.contains(mode) {
+            modes.push(*mode);
+        }
+    }
+    let pairs: Vec<(usize, Mode)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| modes.iter().map(move |&m| (wi, m)))
+        .collect();
+    let programs = batch::map(&pairs, |_, &(wi, mode)| {
+        let w = &workloads[wi];
+        compile(&w.source, mode)
+            .unwrap_or_else(|e| panic!("{}: compilation failed under {mode}: {e}", w.name))
+    });
+    let mut jobs = Vec::with_capacity(workloads.len() * specs.len());
+    for wi in 0..workloads.len() {
+        for (mode, config) in specs {
+            let mi = modes.iter().position(|m| m == mode).expect("mode present");
+            jobs.push(SimJob {
+                program: programs[wi * modes.len() + mi].clone(),
+                mode: *mode,
+                config: config.clone(),
+            });
+        }
+    }
+    let outs = run_jobs(jobs);
+    let rows: Vec<Vec<RunOutcome>> = outs
+        .chunks(specs.len())
+        .map(<[RunOutcome]>::to_vec)
+        .collect();
+    for (w, row) in workloads.iter().zip(&rows) {
+        for ((mode, _), out) in specs.iter().zip(row) {
+            assert_eq!(
+                out.trap, None,
+                "{} ({mode}) trapped: {:?}",
+                w.name, out.trap
+            );
+        }
+    }
+    rows
 }
 
-fn run_with(w: &Workload, mode: Mode, config: MachineConfig) -> RunOutcome {
-    let program =
-        compile(&w.source, mode).unwrap_or_else(|e| panic!("{}: compilation failed: {e}", w.name));
-    let out = run_machine(build_machine_with_config(program, mode, config));
-    assert_eq!(
-        out.trap, None,
-        "{} ({mode}) trapped: {:?}",
-        w.name, out.trap
-    );
-    out
-}
-
-/// Fans `f` over the workloads of `scale` in parallel and flattens the
-/// per-workload row groups in workload order.
-fn per_workload<R: Send>(scale: Scale, f: impl Fn(&Workload) -> Vec<R> + Sync) -> Vec<R> {
-    batch::map(all(scale), |_, w| f(&w))
-        .into_iter()
-        .flatten()
-        .collect()
+/// The standard figure grid: the baseline run followed by one
+/// full-HardBound run per pointer encoding.
+fn base_plus_hardbound() -> Vec<(Mode, MachineConfig)> {
+    let mut specs = vec![(
+        Mode::Baseline,
+        machine_config(Mode::Baseline, PointerEncoding::Intern4),
+    )];
+    for encoding in PointerEncoding::ALL {
+        specs.push((Mode::HardBound, machine_config(Mode::HardBound, encoding)));
+    }
+    specs
 }
 
 /// One bar of Figure 5: a benchmark under one pointer encoding, with the
@@ -84,12 +127,13 @@ impl Fig5Row {
 /// component attribution, for every Olden port.
 #[must_use]
 pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
-    per_workload(scale, |w| {
-        let mut rows = Vec::new();
-        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
-        for encoding in PointerEncoding::ALL {
-            let hb = run(w, Mode::HardBound, encoding);
-            let s = hb.stats;
+    let workloads = all(scale);
+    let runs = run_grid(&workloads, &base_plus_hardbound());
+    let mut rows = Vec::new();
+    for (w, outs) in workloads.iter().zip(runs) {
+        let base = &outs[0];
+        for (i, encoding) in PointerEncoding::ALL.into_iter().enumerate() {
+            let s = outs[1 + i].stats;
             // The decomposition is exact: the instrumented binary differs
             // from the baseline only by setbound instructions, metadata
             // µops and memory-system effects (see DESIGN.md).
@@ -113,8 +157,8 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
                 stats: s,
             });
         }
-        rows
-    })
+    }
+    rows
 }
 
 /// One group of Figure 6: extra distinct 4 KB pages touched.
@@ -143,22 +187,23 @@ impl Fig6Row {
 /// Figure 6: memory-usage overhead in distinct pages.
 #[must_use]
 pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
-    per_workload(scale, |w| {
-        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
-        PointerEncoding::ALL
-            .into_iter()
-            .map(|encoding| {
-                let hb = run(w, Mode::HardBound, encoding);
-                Fig6Row {
-                    bench: w.name,
-                    encoding,
-                    base_pages: base.stats.data_pages,
-                    tag_pages: hb.stats.tag_pages,
-                    shadow_pages: hb.stats.shadow_pages,
-                }
-            })
-            .collect()
-    })
+    let workloads = all(scale);
+    let runs = run_grid(&workloads, &base_plus_hardbound());
+    let mut rows = Vec::new();
+    for (w, outs) in workloads.iter().zip(runs) {
+        let base = &outs[0];
+        for (i, encoding) in PointerEncoding::ALL.into_iter().enumerate() {
+            let hb = &outs[1 + i];
+            rows.push(Fig6Row {
+                bench: w.name,
+                encoding,
+                base_pages: base.stats.data_pages,
+                tag_pages: hb.stats.tag_pages,
+                shadow_pages: hb.stats.shadow_pages,
+            });
+        }
+    }
+    rows
 }
 
 /// One row of Figure 7: relative runtimes of every scheme on one
@@ -181,25 +226,44 @@ pub struct Fig7Row {
 /// Figure 7: the cross-scheme comparison.
 #[must_use]
 pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
-    per_workload(scale, |w| {
-        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
-        let bc = base.stats.cycles() as f64;
-        let bu = base.stats.uops as f64;
-        let ot = run(w, Mode::ObjectTable, PointerEncoding::Intern4);
-        let sb = run(w, Mode::SoftBound, PointerEncoding::Intern4);
-        let mut hardbound = [0.0; 3];
-        for (i, enc) in PointerEncoding::ALL.into_iter().enumerate() {
-            let hb = run(w, Mode::HardBound, enc);
-            hardbound[i] = hb.stats.cycles() as f64 / bc;
-        }
-        vec![Fig7Row {
-            bench: w.name,
-            objtable_runtime: ot.stats.cycles() as f64 / bc,
-            softbound_uops: sb.stats.uops as f64 / bu,
-            softbound_runtime: sb.stats.cycles() as f64 / bc,
-            hardbound,
-        }]
-    })
+    let workloads = all(scale);
+    let mut specs = vec![
+        (
+            Mode::Baseline,
+            machine_config(Mode::Baseline, PointerEncoding::Intern4),
+        ),
+        (
+            Mode::ObjectTable,
+            machine_config(Mode::ObjectTable, PointerEncoding::Intern4),
+        ),
+        (
+            Mode::SoftBound,
+            machine_config(Mode::SoftBound, PointerEncoding::Intern4),
+        ),
+    ];
+    for encoding in PointerEncoding::ALL {
+        specs.push((Mode::HardBound, machine_config(Mode::HardBound, encoding)));
+    }
+    let runs = run_grid(&workloads, &specs);
+    workloads
+        .iter()
+        .zip(runs)
+        .map(|(w, outs)| {
+            let bc = outs[0].stats.cycles() as f64;
+            let bu = outs[0].stats.uops as f64;
+            let mut hardbound = [0.0; 3];
+            for (i, h) in hardbound.iter_mut().enumerate() {
+                *h = outs[3 + i].stats.cycles() as f64 / bc;
+            }
+            Fig7Row {
+                bench: w.name,
+                objtable_runtime: outs[1].stats.cycles() as f64 / bc,
+                softbound_uops: outs[2].stats.uops as f64 / bu,
+                softbound_runtime: outs[2].stats.cycles() as f64 / bc,
+                hardbound,
+            }
+        })
+        .collect()
 }
 
 /// One row of the §5.4 check-µop ablation.
@@ -219,25 +283,37 @@ pub struct AblationRow {
 /// additional µop" — the paper reports roughly +3% average.
 #[must_use]
 pub fn ablation_check_uop(scale: Scale) -> Vec<AblationRow> {
-    per_workload(scale, |w| {
-        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
-        let bc = base.stats.cycles() as f64;
-        PointerEncoding::ALL
-            .into_iter()
-            .map(|encoding| {
-                let free = run(w, Mode::HardBound, encoding);
-                let charged_cfg =
-                    MachineConfig::hardbound(HardboundConfig::full(encoding).with_check_uop());
-                let charged = run_with(w, Mode::HardBound, charged_cfg);
-                AblationRow {
-                    bench: w.name,
-                    encoding,
-                    parallel_check: free.stats.cycles() as f64 / bc,
-                    shared_alu_check: charged.stats.cycles() as f64 / bc,
-                }
-            })
-            .collect()
-    })
+    let workloads = all(scale);
+    let mut specs = vec![(
+        Mode::Baseline,
+        machine_config(Mode::Baseline, PointerEncoding::Intern4),
+    )];
+    for encoding in PointerEncoding::ALL {
+        specs.push((Mode::HardBound, machine_config(Mode::HardBound, encoding)));
+        // The charged cell must share the standard cells' metadata path
+        // (machine_config applies it; the raw constructor does not), or
+        // an HB_META_FAST override would compare the two check models
+        // under two different metadata-cost models.
+        specs.push((
+            Mode::HardBound,
+            MachineConfig::hardbound(HardboundConfig::full(encoding).with_check_uop())
+                .with_meta_path(meta_path_default()),
+        ));
+    }
+    let runs = run_grid(&workloads, &specs);
+    let mut rows = Vec::new();
+    for (w, outs) in workloads.iter().zip(runs) {
+        let bc = outs[0].stats.cycles() as f64;
+        for (i, encoding) in PointerEncoding::ALL.into_iter().enumerate() {
+            rows.push(AblationRow {
+                bench: w.name,
+                encoding,
+                parallel_check: outs[1 + 2 * i].stats.cycles() as f64 / bc,
+                shared_alu_check: outs[2 + 2 * i].stats.cycles() as f64 / bc,
+            });
+        }
+    }
+    rows
 }
 
 /// One row of the tag-cache sensitivity sweep.
@@ -257,36 +333,90 @@ pub struct TagCacheRow {
 /// fixes 2 KB/8 KB; this shows the sensitivity of that choice).
 #[must_use]
 pub fn tag_cache_sweep(scale: Scale, sizes: &[u64]) -> Vec<TagCacheRow> {
-    per_workload(scale, |w| {
-        let base = run(w, Mode::Baseline, PointerEncoding::Intern4);
-        let bc = base.stats.cycles() as f64;
-        sizes
-            .iter()
-            .map(|&bytes| {
-                let cfg = MachineConfig::hardbound(HardboundConfig::full(PointerEncoding::Intern4));
-                let cfg = cfg
-                    .clone()
-                    .with_hierarchy(cfg.hierarchy.with_tag_cache_bytes(bytes));
-                let out = run_with(w, Mode::HardBound, cfg);
-                TagCacheRow {
-                    bench: w.name,
-                    tag_cache_bytes: bytes,
-                    relative_runtime: out.stats.cycles() as f64 / bc,
-                    tag_stall_cycles: out.stats.hierarchy.tag_stall_cycles,
-                }
-            })
-            .collect()
-    })
+    let workloads = all(scale);
+    let mut specs = vec![(
+        Mode::Baseline,
+        machine_config(Mode::Baseline, PointerEncoding::Intern4),
+    )];
+    for &bytes in sizes {
+        let cfg = machine_config(Mode::HardBound, PointerEncoding::Intern4);
+        let cfg = cfg
+            .clone()
+            .with_hierarchy(cfg.hierarchy.with_tag_cache_bytes(bytes));
+        specs.push((Mode::HardBound, cfg));
+    }
+    let runs = run_grid(&workloads, &specs);
+    let mut rows = Vec::new();
+    for (w, outs) in workloads.iter().zip(runs) {
+        let bc = outs[0].stats.cycles() as f64;
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let out = &outs[1 + i];
+            rows.push(TagCacheRow {
+                bench: w.name,
+                tag_cache_bytes: bytes,
+                relative_runtime: out.stats.cycles() as f64 / bc,
+                tag_stall_cycles: out.stats.hierarchy.tag_stall_cycles,
+            });
+        }
+    }
+    rows
+}
+
+/// Compiles and executes the full violation corpus under one scheme
+/// through the corpus service — both twins of every pair, in corpus order
+/// — and judges each pair. The fan-out unit is the *cell* (one program,
+/// one configuration), so the service deduplicates and replays at the
+/// same granularity as the figure pipelines.
+fn corpus_results(mode: Mode, encoding: PointerEncoding) -> Vec<(TestCase, CaseResult)> {
+    let cases = corpus();
+    let config = machine_config(mode, encoding);
+    let compiled = batch::map(&cases, |_, case| {
+        (
+            compile(&case.bad_source, mode).map_err(|e| e.to_string()),
+            compile(&case.ok_source, mode).map_err(|e| e.to_string()),
+        )
+    });
+    let mut jobs = Vec::new();
+    for (bad, ok) in &compiled {
+        for p in [bad, ok] {
+            if let Ok(p) = p {
+                jobs.push(SimJob {
+                    program: p.clone(),
+                    mode,
+                    config: config.clone(),
+                });
+            }
+        }
+    }
+    let outs = run_jobs(jobs);
+    let mut next = outs.iter();
+    cases
+        .into_iter()
+        .zip(compiled)
+        .map(|(case, (bad, ok))| {
+            let bad = bad
+                .as_ref()
+                .map(|_| next.next().expect("outcome per compiled cell"));
+            let ok = ok
+                .as_ref()
+                .map(|_| next.next().expect("outcome per compiled cell"));
+            let result = hardbound_violations::judge_pair(
+                &case,
+                mode,
+                bad.map_err(String::as_str),
+                ok.map_err(String::as_str),
+            );
+            (case, result)
+        })
+        .collect()
 }
 
 /// §5.2: the full correctness corpus under one protection scheme, fanned
-/// across threads one violation/benign pair at a time. Results aggregate
-/// in corpus order, so the report is byte-identical to the serial run.
+/// across the corpus service one cell at a time. Results aggregate in
+/// corpus order, so the report is byte-identical to the serial run.
 #[must_use]
 pub fn corpus_report(mode: Mode, encoding: PointerEncoding) -> CorpusReport {
-    CorpusReport::collect(batch::map(corpus(), |_, case| {
-        hardbound_violations::run_case(&case, mode, encoding)
-    }))
+    CorpusReport::collect(corpus_results(mode, encoding).into_iter().map(|(_, r)| r))
 }
 
 /// §5.2: the full correctness corpus under full HardBound protection.
@@ -343,14 +473,9 @@ pub fn granularity(encoding: PointerEncoding) -> Vec<GranularityRow> {
         ("objtable", "object (allocation)", Mode::ObjectTable),
         ("malloc-only", "malloc'd objects", Mode::MallocOnly),
     ];
-    let cases = corpus();
     schemes
         .into_iter()
         .map(|(scheme, granularity, mode)| {
-            let results = batch::map(cases.clone(), |_, case| {
-                let r = hardbound_violations::run_case(&case, mode, encoding);
-                (case.addressing == Addressing::SubObject, r)
-            });
             let mut row = GranularityRow {
                 scheme,
                 granularity,
@@ -360,8 +485,8 @@ pub fn granularity(encoding: PointerEncoding) -> Vec<GranularityRow> {
                 other_total: 0,
                 false_positives: 0,
             };
-            for (subobject, r) in results {
-                let (detected, total) = if subobject {
+            for (case, r) in corpus_results(mode, encoding) {
+                let (detected, total) = if case.addressing == Addressing::SubObject {
                     (&mut row.subobject_detected, &mut row.subobject_total)
                 } else {
                     (&mut row.other_detected, &mut row.other_total)

@@ -77,7 +77,9 @@ fn disasm_listing_round_trips_through_dot_s() {
     );
     assert_eq!(String::from_utf8_lossy(&from_cb.stdout), "18\n");
 
-    // The escape hatch agrees with the engine default.
+    // The escape hatch agrees with the engine default (the service path
+    // appends its own counters — result store, block cache — which the
+    // interpreter path does not have; the simulated stats must agree).
     let interp = hbrun(&[s.to_str().unwrap(), "--interp", "--stats"]);
     let engine = hbrun(&[s.to_str().unwrap(), "--engine", "--stats"]);
     assert!(interp.status.success());
@@ -86,11 +88,75 @@ fn disasm_listing_round_trips_through_dot_s() {
         String::from_utf8_lossy(&o.stderr)
             .lines()
             .skip(1) // the header names the execution path
+            .filter(|l| {
+                !l.starts_with("result store:")
+                    && !l.starts_with("block cache:")
+                    && !l.starts_with("programs:")
+            })
             .collect::<Vec<_>>()
             .join("\n")
     };
     assert_eq!(strip(&interp), strip(&engine), "stats must be identical");
+    assert!(
+        String::from_utf8_lossy(&engine.stderr).contains("result store:"),
+        "the service path surfaces its counters under --stats: {:?}",
+        engine.stderr
+    );
 
+    let _ = std::fs::remove_file(cb);
+    let _ = std::fs::remove_file(s);
+}
+
+#[test]
+fn links_multiple_listings_with_stub_resolution() {
+    // main.s calls fn#1, declared as a body-less stub named `triple`;
+    // lib.s provides the definition. `hbrun main.s lib.s` links them.
+    let main_s = write_temp(
+        "link-main.s",
+        "; entry: fn#0\n\
+         fn#0 <main> (args=0, frame=0):\n\
+           li    a0, 14\n\
+           call  fn#1\n\
+           sys   print_int\n\
+           li    a0, 0\n\
+           sys   halt\n\
+         fn#1 <triple> (args=1, frame=0):\n",
+    );
+    let lib_s = write_temp(
+        "link-lib.s",
+        "fn#0 <triple> (args=1, frame=0):\n\
+           mul   a0, a0, 3\n\
+           ret\n",
+    );
+    let out = hbrun(&[
+        main_s.to_str().unwrap(),
+        lib_s.to_str().unwrap(),
+        "--mode",
+        "baseline",
+    ]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "42\n");
+
+    // The unresolved stub alone fails with a linker diagnostic.
+    let alone = hbrun(&[main_s.to_str().unwrap(), "--mode", "baseline"]);
+    assert_eq!(alone.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&alone.stderr).contains("undefined symbol `triple`"),
+        "stderr: {:?}",
+        alone.stderr
+    );
+
+    let _ = std::fs::remove_file(main_s);
+    let _ = std::fs::remove_file(lib_s);
+}
+
+#[test]
+fn mixing_listing_and_cb_inputs_is_rejected() {
+    let cb = write_temp("mix.cb", COUNTDOWN_CB);
+    let s = write_temp("mix.s", "li a0, 0\nsys halt\n");
+    let out = hbrun(&[cb.to_str().unwrap(), s.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot mix"));
     let _ = std::fs::remove_file(cb);
     let _ = std::fs::remove_file(s);
 }

@@ -45,10 +45,14 @@ mod splay;
 pub use source::RUNTIME_SOURCE;
 pub use splay::SplayTable;
 
+use std::sync::{Mutex, OnceLock, PoisonError};
+
 use hardbound_compiler::{compile_program, CompileError, Mode, Options};
 use hardbound_core::{
     HardboundConfig, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome,
 };
+use hardbound_exec::service::{CorpusService, Job};
+use hardbound_exec::{batch, ServiceStats};
 use hardbound_isa::Program;
 
 /// Parses one `HB_*` boolean flag value: `0`, `false` (any case) and the
@@ -181,8 +185,9 @@ pub fn engine_default() -> bool {
 /// Runs a prepared machine on the default execution path: the basic-block
 /// engine (`hardbound-exec`), or the interpreter when `HB_INTERP` is set.
 /// The two paths are observationally identical (enforced by the
-/// differential suite), so every figure pipeline and corpus driver routes
-/// through here.
+/// differential suite). One-shot callers route through here; the corpus
+/// drivers go through [`run_jobs`], which adds the shared decode cache and
+/// the program-hash result store on top of the same engine.
 #[must_use]
 pub fn run_machine(machine: Machine) -> RunOutcome {
     if engine_default() {
@@ -191,6 +196,116 @@ pub fn run_machine(machine: Machine) -> RunOutcome {
         let mut machine = machine;
         machine.run()
     }
+}
+
+/// Whether corpus work routes through the process-wide [`CorpusService`]
+/// (shared decode cache + program-hash result store). On by default;
+/// `HB_SERVICE=0` is the escape hatch that restores the direct
+/// one-machine-one-engine path (and `HB_INTERP` implies it — the service
+/// is an engine-path construct).
+#[must_use]
+pub fn service_enabled() -> bool {
+    engine_default() && env_flag("HB_SERVICE").unwrap_or(true)
+}
+
+/// Whether the service's result store is consulted and grown
+/// (`HB_RESULT_CACHE`, on by default). With the store off the service
+/// still shares decode work across jobs; it just re-executes every cell.
+#[must_use]
+pub fn result_cache_enabled() -> bool {
+    env_flag("HB_RESULT_CACHE").unwrap_or(true)
+}
+
+/// The process-wide corpus service: one shared decode-cache shard per
+/// [`batch::default_workers`] worker plus the result store, living for the
+/// whole process so every figure driver, corpus sweep and CI invocation
+/// in it reuses earlier work.
+fn service() -> &'static Mutex<CorpusService> {
+    static SERVICE: OnceLock<Mutex<CorpusService>> = OnceLock::new();
+    SERVICE.get_or_init(|| Mutex::new(CorpusService::new(batch::default_workers())))
+}
+
+/// One corpus cell: a compiled program to simulate under a mode-paired
+/// machine configuration.
+#[derive(Clone, Debug)]
+pub struct SimJob {
+    /// The compiled image.
+    pub program: Program,
+    /// Compiler mode (decides machine extras such as the object table).
+    pub mode: Mode,
+    /// Full machine configuration.
+    pub config: MachineConfig,
+}
+
+impl SimJob {
+    /// A job for `program` under the standard mode-paired configuration
+    /// (see [`machine_config`]).
+    #[must_use]
+    pub fn new(program: Program, mode: Mode, encoding: PointerEncoding) -> SimJob {
+        SimJob {
+            program,
+            mode,
+            config: machine_config(mode, encoding),
+        }
+    }
+}
+
+/// Runs a batch of corpus cells, returning outcomes in input order.
+///
+/// This is the drivers' front door: with the service enabled (the
+/// default), cells execute through the process-wide [`CorpusService`] —
+/// result-store hits replay, misses run on per-worker shared-cache shards
+/// — and with `HB_SERVICE=0` (or `HB_INTERP`) each cell runs the direct
+/// [`run_machine`] path in a plain parallel batch. Both paths are
+/// byte-identical (pinned by `tests/service_differential.rs`).
+#[must_use]
+pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
+    if !service_enabled() {
+        return batch::map(&jobs, |_, j| {
+            run_machine(build_machine_with_config(
+                j.program.clone(),
+                j.mode,
+                j.config.clone(),
+            ))
+        });
+    }
+    let jobs: Vec<Job<Mode>> = jobs
+        .into_iter()
+        .map(|j| Job {
+            program: j.program,
+            config: j.config,
+            salt: j.mode as u64,
+            tag: j.mode,
+        })
+        .collect();
+    let mut svc = service().lock().unwrap_or_else(PoisonError::into_inner);
+    svc.set_result_cache(result_cache_enabled());
+    svc.run_batch(&jobs, |program, config, &mode| {
+        build_machine_with_config(program, mode, config)
+    })
+}
+
+/// [`run_jobs`] for a single cell (`hbrun`, one-shot tools).
+#[must_use]
+pub fn run_job(program: Program, mode: Mode, config: MachineConfig) -> RunOutcome {
+    run_jobs(vec![SimJob {
+        program,
+        mode,
+        config,
+    }])
+    .pop()
+    .expect("one job, one outcome")
+}
+
+/// Snapshot of the process-wide service's counters (result-store
+/// hits/misses, block-cache behaviour over all shards) — surfaced by
+/// `hbrun --stats` and the bench harness.
+#[must_use]
+pub fn service_stats() -> ServiceStats {
+    service()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .stats()
 }
 
 /// [`compile_and_run`] on the default execution path (see

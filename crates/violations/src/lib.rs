@@ -357,19 +357,28 @@ pub struct CaseResult {
     pub errors: Vec<String>,
 }
 
-/// Runs one violation/benign pair under `mode`/`encoding` on the default
-/// execution path (the block engine unless `HB_INTERP` is set).
+/// Classifies the outcomes of one violation/benign pair under `mode` into
+/// a [`CaseResult`]. Outcomes arrive as `Result`s so compilation failures
+/// (`Err` carries the diagnostic) land in the error list exactly as the
+/// all-in-one [`run_case`] reports them — which lets drivers that execute
+/// the pair elsewhere (the corpus service) share one judging function with
+/// the direct path.
 #[must_use]
-pub fn run_case(case: &TestCase, mode: Mode, encoding: PointerEncoding) -> CaseResult {
+pub fn judge_pair(
+    case: &TestCase,
+    mode: Mode,
+    bad: Result<&hardbound_core::RunOutcome, &str>,
+    ok: Result<&hardbound_core::RunOutcome, &str>,
+) -> CaseResult {
     let mut r = CaseResult {
         detected: false,
         missed: None,
         false_positive: None,
         errors: Vec::new(),
     };
-    match compile_and_run_default(&case.bad_source, mode, encoding) {
-        Ok(out) => match out.trap {
-            Some(t) if is_detection(mode, &t) => r.detected = true,
+    match bad {
+        Ok(out) => match &out.trap {
+            Some(t) if is_detection(mode, t) => r.detected = true,
             Some(other) => r
                 .errors
                 .push(format!("{}: unexpected trap {other:?}", case.id)),
@@ -377,15 +386,29 @@ pub fn run_case(case: &TestCase, mode: Mode, encoding: PointerEncoding) -> CaseR
         },
         Err(e) => r.errors.push(format!("{}: {e}", case.id)),
     }
-    match compile_and_run_default(&case.ok_source, mode, encoding) {
+    match ok {
         Ok(out) => {
-            if let Some(t) = out.trap {
+            if let Some(t) = &out.trap {
                 r.false_positive = Some(format!("{}: {t}", case.id));
             }
         }
         Err(e) => r.errors.push(format!("{} (ok twin): {e}", case.id)),
     }
     r
+}
+
+/// Runs one violation/benign pair under `mode`/`encoding` on the default
+/// execution path (the block engine unless `HB_INTERP` is set).
+#[must_use]
+pub fn run_case(case: &TestCase, mode: Mode, encoding: PointerEncoding) -> CaseResult {
+    let bad = compile_and_run_default(&case.bad_source, mode, encoding).map_err(|e| e.to_string());
+    let ok = compile_and_run_default(&case.ok_source, mode, encoding).map_err(|e| e.to_string());
+    judge_pair(
+        case,
+        mode,
+        bad.as_ref().map_err(String::as_str),
+        ok.as_ref().map_err(String::as_str),
+    )
 }
 
 impl CorpusReport {

@@ -1,0 +1,62 @@
+//! The figure-pipeline half of the corpus-service differential: every
+//! rendered table must come out byte-identical with the service on
+//! (`HB_SERVICE=1`, the default) and off (`HB_SERVICE=0`, the direct
+//! path) — and identical again on a warm second pass served from the
+//! result store, which must report replays.
+//!
+//! This binary intentionally holds **exactly one `#[test]`**: it flips
+//! process-global environment variables, and a sibling test reading the
+//! environment concurrently (every driver consults `HB_*` flags) would
+//! race `setenv` against `getenv` — undefined behaviour on glibc. Keep it
+//! that way; new service tests belong in `tests/service_differential.rs`.
+
+use hardbound::core::PointerEncoding;
+use hardbound::report::{ablation_check_uop, fig5, fig6, fig7, granularity, render};
+use hardbound::workloads::Scale;
+
+/// Renders every figure artefact the drivers produce into one string.
+fn render_all(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str(&render::fig5_table(&fig5(scale)));
+    out.push_str(&render::fig6_table(&fig6(scale)));
+    out.push_str(&render::fig7_table(&fig7(scale)));
+    out.push_str(&render::ablation_table(&ablation_check_uop(scale)));
+    out.push_str(&render::granularity_table(&granularity(
+        PointerEncoding::Intern4,
+    )));
+    out
+}
+
+#[test]
+fn figure_pipelines_are_byte_identical_with_and_without_the_service() {
+    std::env::set_var("HB_SERVICE", "0");
+    let direct = render_all(Scale::Smoke);
+    std::env::set_var("HB_SERVICE", "1");
+    let service_cold = render_all(Scale::Smoke);
+    let after_cold = hardbound::runtime::service_stats();
+    let service_warm = render_all(Scale::Smoke);
+    let after_warm = hardbound::runtime::service_stats();
+    std::env::remove_var("HB_SERVICE");
+
+    assert_eq!(
+        direct, service_cold,
+        "service-routed figures must be byte-identical to the direct path"
+    );
+    assert_eq!(
+        service_cold, service_warm,
+        "warm replays must reproduce the figures byte-for-byte"
+    );
+    assert!(
+        after_cold.store.hits > 0,
+        "the figure grids share (program, config) cells — the cold pass \
+         itself must already replay some: {after_cold:?}"
+    );
+    assert!(
+        after_warm.store.hits > after_cold.store.hits,
+        "the warm pass must replay from the store: {after_warm:?}"
+    );
+    assert!(
+        after_warm.store.misses == after_cold.store.misses,
+        "the warm pass must execute nothing new: {after_warm:?} vs {after_cold:?}"
+    );
+}
