@@ -66,7 +66,11 @@ fn bench_simulation(c: &mut Criterion) {
 fn bench_compilation(c: &mut Criterion) {
     let w = by_name("bh", Scale::Smoke).expect("bh exists");
     c.bench_function("compile_bh_hardbound", |b| {
-        b.iter(|| compile(&w.source, Mode::HardBound).expect("compiles"));
+        // The uncached path: with the process-wide compile memo in front
+        // of `compile`, the memoized call would measure a HashMap hit.
+        b.iter(|| {
+            hardbound_runtime::compile_uncached(&w.source, Mode::HardBound).expect("compiles")
+        });
     });
 }
 
@@ -383,6 +387,97 @@ fn service_warm_cold_report() {
     }
 }
 
+/// The persistent-store warm-start comparison (and optional CI gate): a
+/// figure-style grid runs cold on a [`PersistentService`] backed by a
+/// fresh store file; the service is then **dropped and reopened from
+/// disk** — every byte of warm state crosses the serialization boundary,
+/// the same boundary a process restart crosses — and the grid re-runs.
+/// The warm pass must replay every distinct cell from the persisted
+/// store (zero re-simulated cells), byte-identically, and (gated via
+/// `HB_PERSIST_GATE=<ratio>`, CI pins `2`) at least `<ratio>`× faster
+/// than the cold pass. Compile memoization makes the warm pass
+/// compile-free as well, which is part of what the gate measures.
+fn persist_warm_report() {
+    use hardbound_serve::PersistentService;
+    let gate = env_parse::<f64>("HB_PERSIST_GATE").unwrap_or_else(|e| panic!("{e}"));
+    let scale = scale_from_env();
+    let workloads = all(scale);
+    let mut specs = vec![(Mode::Baseline, PointerEncoding::Intern4)];
+    for encoding in PointerEncoding::ALL {
+        specs.push((Mode::HardBound, encoding));
+    }
+    let build = |program, config, &mode: &Mode| {
+        hardbound_runtime::build_machine_with_config(program, mode, config)
+    };
+    let make_jobs = || -> Vec<Job<Mode>> {
+        workloads
+            .iter()
+            .flat_map(|w| {
+                specs.iter().map(|&(mode, encoding)| Job {
+                    program: compile(&w.source, mode).expect("compiles"),
+                    config: machine_config(mode, encoding),
+                    salt: mode as u64,
+                    tag: mode,
+                })
+            })
+            .collect()
+    };
+
+    let path = std::env::temp_dir().join(format!("hb-persist-bench-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let workers = batch::default_workers();
+
+    let t0 = Instant::now();
+    let mut svc = PersistentService::open(workers, &path).expect("store opens");
+    let cold_outs = svc.run_batch(&make_jobs(), build);
+    let after_cold = svc.stats();
+    drop(svc); // flush; all warm state now lives in the file
+    let cold = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut svc = PersistentService::open(workers, &path).expect("store reopens");
+    let warm_outs = svc.run_batch(&make_jobs(), build);
+    let warm = t1.elapsed().max(Duration::from_nanos(1));
+    let after_warm = svc.stats();
+
+    assert_eq!(
+        cold_outs, warm_outs,
+        "disk warm replay must be byte-identical"
+    );
+    assert_eq!(
+        after_warm.service.store.misses, 0,
+        "a warm start must re-simulate zero cells: {after_warm:?}"
+    );
+    assert_eq!(
+        after_warm.service.cache.decoded, 0,
+        "a pure replay decodes nothing"
+    );
+    let loaded = after_warm.log.expect("persistent").loaded;
+    assert_eq!(
+        loaded, after_cold.service.store.misses,
+        "every executed cell must round-trip through the log"
+    );
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64();
+    println!(
+        "\npersistent store warm start ({scale:?} inputs, {} cells, {} persisted):",
+        cold_outs.len(),
+        loaded
+    );
+    println!(
+        "  {:<24} cold {cold:>10.2?}  warm {warm:>10.2?}  speedup {speedup:>5.2}x",
+        "figure grid (restart)"
+    );
+    if let Some(required) = gate {
+        assert!(
+            speedup >= required,
+            "persist gate: cross-process warm start speedup {speedup:.2}x \
+             below the required {required:.2}x"
+        );
+        println!("  gate: {speedup:.2}x >= {required:.2}x — ok");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 criterion_group!(benches, bench_simulation, bench_compilation);
 
 fn main() {
@@ -390,4 +485,5 @@ fn main() {
     engine_speedup_report();
     meta_fast_path_report();
     service_warm_cold_report();
+    persist_warm_report();
 }

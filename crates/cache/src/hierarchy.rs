@@ -78,6 +78,98 @@ impl HierarchyConfig {
         self.tag_cache_bytes = bytes;
         self
     }
+
+    /// Every field as a `u64`, in **pinned declaration order** — the one
+    /// list both the stable fingerprint and the wire codec serialize, so
+    /// a new field added here (and in [`HierarchyConfig::from_words`])
+    /// automatically reaches both byte formats. Changing the order or
+    /// length is a format change: bump the fingerprint and wire versions.
+    #[must_use]
+    pub fn to_words(&self) -> [u64; 12] {
+        [
+            self.l1_bytes,
+            self.l1_ways as u64,
+            self.l1_miss_penalty,
+            self.l2_bytes,
+            self.l2_ways as u64,
+            self.l2_miss_penalty,
+            self.block_bytes,
+            self.tlb_entries,
+            self.tlb_ways as u64,
+            self.tlb_miss_penalty,
+            self.tag_cache_bytes,
+            self.tag_cache_ways as u64,
+        ]
+    }
+
+    /// Checks the invariants [`Hierarchy::new`] (and the [`Cache`]
+    /// constructors under it) would otherwise `assert!`: every cache's
+    /// size and the block size are powers of two, way counts are in
+    /// `1..=255` and divide the block count, and the TLB's set count is a
+    /// power of two. Untrusted configurations (the `hbserve` wire
+    /// protocol) are validated with this before any machine is built, so
+    /// a malformed request is a rejection, not a worker panic.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let cache = |name: &str, bytes: u64, ways: usize| -> Result<(), String> {
+            if !bytes.is_power_of_two() {
+                return Err(format!("{name} size {bytes} is not a power of two"));
+            }
+            if !self.block_bytes.is_power_of_two() {
+                return Err(format!(
+                    "block size {} is not a power of two",
+                    self.block_bytes
+                ));
+            }
+            if ways == 0 || ways > 255 {
+                return Err(format!("{name} way count {ways} outside 1..=255"));
+            }
+            let blocks = bytes / self.block_bytes;
+            if blocks < ways as u64 || blocks % ways as u64 != 0 {
+                return Err(format!(
+                    "{name}: {blocks} blocks do not fill {ways}-way sets"
+                ));
+            }
+            Ok(())
+        };
+        cache("L1", self.l1_bytes, self.l1_ways)?;
+        cache("tag cache", self.tag_cache_bytes, self.tag_cache_ways)?;
+        cache("L2", self.l2_bytes, self.l2_ways)?;
+        if self.tlb_ways == 0 || self.tlb_ways > 255 {
+            return Err(format!("TLB way count {} outside 1..=255", self.tlb_ways));
+        }
+        let sets = self.tlb_entries / self.tlb_ways as u64;
+        if !sets.is_power_of_two() {
+            return Err(format!(
+                "TLB set count {sets} ({} entries / {} ways) is not a power of two",
+                self.tlb_entries, self.tlb_ways
+            ));
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`HierarchyConfig::to_words`]; `None` when a
+    /// way-count word does not fit this target's `usize`.
+    #[must_use]
+    pub fn from_words(words: [u64; 12]) -> Option<HierarchyConfig> {
+        Some(HierarchyConfig {
+            l1_bytes: words[0],
+            l1_ways: usize::try_from(words[1]).ok()?,
+            l1_miss_penalty: words[2],
+            l2_bytes: words[3],
+            l2_ways: usize::try_from(words[4]).ok()?,
+            l2_miss_penalty: words[5],
+            block_bytes: words[6],
+            tlb_entries: words[7],
+            tlb_ways: usize::try_from(words[8]).ok()?,
+            tlb_miss_penalty: words[9],
+            tag_cache_bytes: words[10],
+            tag_cache_ways: usize::try_from(words[11]).ok()?,
+        })
+    }
 }
 
 /// Per-class stall accounting.

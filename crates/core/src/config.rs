@@ -15,6 +15,26 @@ pub enum SafetyMode {
     MallocOnly,
 }
 
+impl SafetyMode {
+    /// The pinned one-byte tag shared by the stable fingerprint and the
+    /// wire codec (see [`crate::PointerEncoding::wire_tag`]).
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            SafetyMode::Full => 0,
+            SafetyMode::MallocOnly => 1,
+        }
+    }
+
+    /// Inverse of [`SafetyMode::wire_tag`].
+    #[must_use]
+    pub fn from_wire_tag(tag: u8) -> Option<SafetyMode> {
+        [SafetyMode::Full, SafetyMode::MallocOnly]
+            .into_iter()
+            .find(|m| m.wire_tag() == tag)
+    }
+}
+
 /// Configuration of the HardBound hardware extension.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct HardboundConfig {
@@ -84,6 +104,27 @@ pub enum MetaPath {
     /// §4.2 verbatim). The `HB_META_FAST=0` escape hatch and the baseline
     /// the `HB_META_GATE` throughput gate measures the fast path against.
     Charge,
+}
+
+impl MetaPath {
+    /// The pinned one-byte tag shared by the stable fingerprint and the
+    /// wire codec (see [`crate::PointerEncoding::wire_tag`]).
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            MetaPath::Summary => 0,
+            MetaPath::Walk => 1,
+            MetaPath::Charge => 2,
+        }
+    }
+
+    /// Inverse of [`MetaPath::wire_tag`].
+    #[must_use]
+    pub fn from_wire_tag(tag: u8) -> Option<MetaPath> {
+        [MetaPath::Summary, MetaPath::Walk, MetaPath::Charge]
+            .into_iter()
+            .find(|m| m.wire_tag() == tag)
+    }
 }
 
 /// Full machine configuration.

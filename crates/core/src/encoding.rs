@@ -50,6 +50,27 @@ impl PointerEncoding {
         PointerEncoding::Intern11,
     ];
 
+    /// The pinned one-byte tag used by **both** the stable fingerprint
+    /// and the wire codec — one mapping, so the two byte formats cannot
+    /// drift apart. Changing a value is a format change (bump
+    /// `FINGERPRINT_VERSION` and `WIRE_VERSION`).
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            PointerEncoding::Extern4 => 0,
+            PointerEncoding::Intern4 => 1,
+            PointerEncoding::Intern11 => 2,
+        }
+    }
+
+    /// Inverse of [`PointerEncoding::wire_tag`].
+    #[must_use]
+    pub fn from_wire_tag(tag: u8) -> Option<PointerEncoding> {
+        PointerEncoding::ALL
+            .into_iter()
+            .find(|e| e.wire_tag() == tag)
+    }
+
     /// Tag metadata density in bits per 32-bit word (paper §4.2–4.3).
     #[must_use]
     pub fn tag_bits(self) -> u32 {

@@ -44,6 +44,7 @@
 
 mod config;
 mod encoding;
+pub mod fingerprint;
 mod machine;
 mod meta;
 mod objtable;
@@ -54,6 +55,8 @@ pub use config::{HardboundConfig, MachineConfig, MetaPath, SafetyMode};
 pub use encoding::{
     intern4_compress, intern4_decompress, intern_eligible, Intern4Word, PointerEncoding,
 };
+pub use fingerprint::{stable_fingerprint, Fnv64, StableHash, FINGERPRINT_VERSION};
+pub use hardbound_cache::{HierarchyConfig, HierarchyStats};
 pub use machine::{ExecState, Machine, RunOutcome};
 pub use meta::{propagate_binop, Meta};
 pub use objtable::{NullObjectTable, ObjectTable};

@@ -26,41 +26,17 @@
 //! included), and only the written program's overlapping blocks die.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
-use hardbound_core::MachineConfig;
+use hardbound_core::{MachineConfig, StableHash, FINGERPRINT_VERSION};
 use hardbound_isa::{layout, FuncId, Program};
 
 use crate::uop::{CodeSpan, DecodedBlock, Uop};
 
-/// A 64-bit FNV-1a [`Hasher`]: tiny, dependency-free, and — unlike
-/// `DefaultHasher` — free of per-process random state, so fingerprints
-/// are deterministic for a given build. Note the *mixing* is the only
-/// specified half: identities are fed through `#[derive(Hash)]`, whose
-/// byte encoding (length prefixes, endianness) Rust does not promise
-/// across toolchains or platforms — persisting fingerprints would first
-/// need a pinned serialization of the hashed inputs.
-#[derive(Clone, Debug)]
-pub struct Fnv64(u64);
-
-impl Default for Fnv64 {
-    fn default() -> Fnv64 {
-        Fnv64(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Hasher for Fnv64 {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-}
+// Identities used to be mixed through `#[derive(Hash)]`, whose byte
+// encoding Rust does not promise across toolchains; now that fingerprints
+// are persisted (`HB_STORE_PATH`) and shipped over sockets (`hbserve`),
+// they run on the pinned serialization in `hardbound_core::fingerprint`.
+pub use hardbound_core::Fnv64;
 
 /// Content-hash identity of a program *as the decoder sees it*: the full
 /// program image (functions, entry, globals, data) plus the
@@ -82,16 +58,72 @@ impl Hasher for Fnv64 {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProgramId(pub u64);
 
+/// Process-local memo of the **stable** program hash (FNV-1a over the
+/// assembly listing — see `core::fingerprint`), keyed by the cheap
+/// structural `#[derive(Hash)]` walk. Rendering a multi-thousand-line
+/// listing per [`ProgramId::of`] call would tax exactly the path the
+/// result store exists to make cheap (key computation on warm replays),
+/// so each distinct image is rendered once per process. The structural
+/// key is process-internal only — nothing derived from it is persisted —
+/// and its 64-bit collision exposure matches what the pre-stable
+/// `ProgramId` itself carried.
+fn stable_program_hash(program: &Program) -> u64 {
+    use std::collections::hash_map::Entry;
+    use std::hash::{Hash, Hasher};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    /// Distinct images memoized before the memo resets (fuzz sweeps over
+    /// unbounded generated programs must not leak).
+    const MEMO_CAP: usize = 1 << 14;
+
+    let mut fast = Fnv64::default();
+    program.hash(&mut fast);
+    let fast = fast.finish();
+
+    static MEMO: OnceLock<Mutex<HashMap<u64, u64>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&stable) = memo
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&fast)
+    {
+        return stable;
+    }
+    // Render outside the lock: a figure grid's parallel compiles must not
+    // serialize on each other's listing formatting.
+    let mut h = Fnv64::default();
+    program.stable_hash(&mut h);
+    let stable = h.value();
+    let mut memo = memo.lock().unwrap_or_else(PoisonError::into_inner);
+    if memo.len() >= MEMO_CAP {
+        memo.clear();
+    }
+    if let Entry::Vacant(slot) = memo.entry(fast) {
+        slot.insert(stable);
+    }
+    stable
+}
+
 impl ProgramId {
     /// Fingerprints `program` under `cfg` (see the type docs for what is
     /// — and deliberately is not — part of the identity).
+    ///
+    /// The hash runs on the **stable serialization**
+    /// (`hardbound_core::fingerprint`): the program contributes the
+    /// FNV-1a of its assembly listing (memoized per distinct image —
+    /// see [`stable_program_hash`]) and the configuration is mixed field
+    /// by field, with the format version folded in — so a `ProgramId`
+    /// computed by another process, another toolchain, or the far side
+    /// of an `hbserve` socket is byte-identical, which is what lets the
+    /// result store persist and the wire protocol dedup against it.
     #[must_use]
     pub fn of(program: &Program, cfg: &MachineConfig) -> ProgramId {
         let mut h = Fnv64::default();
-        program.hash(&mut h);
-        cfg.hardbound.hash(&mut h);
-        cfg.meta_path.hash(&mut h);
-        ProgramId(h.finish())
+        h.mix_u32(FINGERPRINT_VERSION);
+        h.mix_u64(stable_program_hash(program));
+        cfg.hardbound.stable_hash(&mut h);
+        cfg.meta_path.stable_hash(&mut h);
+        ProgramId(h.value())
     }
 }
 

@@ -56,9 +56,12 @@ pub mod batch;
 pub mod block;
 pub mod engine;
 pub mod service;
+mod slru;
 pub mod uop;
 
-pub use block::{Block, BlockCacheStats, ProgramId, SharedBlockCache};
+pub use block::{Block, BlockCacheStats, Fnv64, ProgramId, SharedBlockCache};
 pub use engine::{run_program, Engine, EngineStats};
-pub use service::{CorpusService, Job, ResultStore, ServiceStats};
+pub use service::{
+    config_fingerprint, CorpusService, Job, ResultStore, ResultStoreStats, ServiceStats, StoreKey,
+};
 pub use uop::{decode_block, decode_inst, Uop};

@@ -25,14 +25,14 @@
 //! merge of store hits and fresh executions.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
-use hardbound_core::{Machine, MachineConfig, RunOutcome};
+use hardbound_core::{stable_fingerprint, Machine, MachineConfig, RunOutcome};
 use hardbound_isa::Program;
 
 use crate::batch;
-use crate::block::{BlockCacheStats, Fnv64, ProgramId, SharedBlockCache};
+use crate::block::{BlockCacheStats, ProgramId, SharedBlockCache};
 use crate::engine::Engine;
+use crate::slru::SlruIndex;
 
 /// Fingerprint of everything *besides the program image* that determines a
 /// run's outcome: the full [`MachineConfig`] (hierarchy geometry, fuel,
@@ -40,13 +40,20 @@ use crate::engine::Engine;
 /// salt for machine construction the config cannot see (the runtime layer
 /// salts with its compiler `Mode`, which decides e.g. whether an object
 /// table is attached).
+///
+/// Computed on the pinned serialization of
+/// `hardbound_core::fingerprint` (explicit field-by-field FNV mixing with
+/// a format version tag), so the fingerprint is identical across
+/// processes and toolchains — the property the persistent store and the
+/// `hbserve` protocol key on.
 #[must_use]
 pub fn config_fingerprint(config: &MachineConfig, salt: u64) -> u64 {
-    let mut h = Fnv64::default();
-    config.hash(&mut h);
-    salt.hash(&mut h);
-    h.finish()
+    stable_fingerprint(config, salt)
 }
+
+/// A result-store key: the program's decode identity plus the full
+/// configuration fingerprint (see [`config_fingerprint`]).
+pub type StoreKey = (ProgramId, u64);
 
 /// Counters describing the result store's behaviour.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,19 +76,32 @@ pub struct ResultStoreStats {
 /// Residency is **bounded**: the store lives for the whole process inside
 /// a long-lived service, so unchecked growth across an open-ended corpus
 /// sweep would be a leak. Past [`ResultStore::DEFAULT_CAPACITY`] (or the
-/// explicit [`ResultStore::with_capacity`] bound) the oldest entries are
-/// evicted first — a corpus is re-run front to back, so FIFO age order
-/// approximates re-use order at a fraction of an LRU's bookkeeping.
+/// explicit [`ResultStore::with_capacity`] bound) entries are evicted by
+/// **segmented LRU** — the probation/protected scheme of the decoded-block
+/// cache ([`crate::slru`]): fresh results sit in a probationary segment
+/// and are promoted on their first replay, so a figure grid's re-used
+/// cells outlive an arbitrarily long one-shot sweep that a FIFO order
+/// would let wash them out.
+///
+/// For persistence (`hardbound-serve`), the store exposes a write
+/// **journal** ([`ResultStore::set_journal`] /
+/// [`ResultStore::take_dirty`]) recording freshly inserted keys, a
+/// non-counting [`ResultStore::peek`], and [`ResultStore::seed`] for
+/// loading entries from disk without perturbing the counters.
 #[derive(Debug)]
 pub struct ResultStore {
-    map: HashMap<(ProgramId, u64), RunOutcome>,
-    /// Insertion order for FIFO eviction: exactly one occurrence per live
-    /// key (invalidation purges its keys from here too, so a re-inserted
-    /// entry re-enters at the back instead of inheriting a stale front
-    /// position that would get it evicted first).
-    order: std::collections::VecDeque<(ProgramId, u64)>,
+    /// Key → slab slot id.
+    map: HashMap<StoreKey, u32>,
+    /// Slab of live entries; freed slots recycle through `free`.
+    slots: Vec<Option<(StoreKey, RunOutcome)>>,
+    free: Vec<u32>,
+    recency: SlruIndex,
     capacity: usize,
     stats: ResultStoreStats,
+    /// Keys inserted since the last [`ResultStore::take_dirty`] — `Some`
+    /// only when a persistence layer enabled journaling, so standalone
+    /// stores pay nothing.
+    journal: Option<Vec<StoreKey>>,
 }
 
 impl Default for ResultStore {
@@ -106,16 +126,24 @@ impl ResultStore {
         assert!(capacity > 0, "result store needs room for at least 1 entry");
         ResultStore {
             map: HashMap::new(),
-            order: std::collections::VecDeque::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            recency: SlruIndex::new(capacity),
             capacity,
             stats: ResultStoreStats::default(),
+            journal: None,
         }
     }
-    /// The stored outcome for `key`, if any; counts a hit or a miss.
-    pub fn lookup(&mut self, key: (ProgramId, u64)) -> Option<RunOutcome> {
+
+    /// The stored outcome for `key`, if any; counts a hit or a miss and
+    /// touches the entry's recency (first replay promotes it to the
+    /// protected segment).
+    pub fn lookup(&mut self, key: StoreKey) -> Option<RunOutcome> {
         match self.map.get(&key) {
-            Some(out) => {
+            Some(&id) => {
                 self.stats.hits += 1;
+                self.recency.touch(id);
+                let (_, out) = self.slots[id as usize].as_ref().expect("live slot");
                 Some(out.clone())
             }
             None => {
@@ -125,34 +153,111 @@ impl ResultStore {
         }
     }
 
-    /// Stores `outcome` under `key` (last write wins; identical keys can
-    /// only ever carry identical outcomes), evicting the oldest entries
-    /// past capacity.
-    pub fn insert(&mut self, key: (ProgramId, u64), outcome: RunOutcome) {
-        self.stats.stored += 1;
-        if self.map.insert(key, outcome).is_none() {
-            self.order.push_back(key);
-        }
-        while self.map.len() > self.capacity {
-            let oldest = self.order.pop_front().expect("order tracks every live key");
-            if self.map.remove(&oldest).is_some() {
-                self.stats.evicted += 1;
+    /// The stored outcome for `key` without touching counters or recency
+    /// (diagnostics and the persistence layer's journal drain).
+    #[must_use]
+    pub fn peek(&self, key: &StoreKey) -> Option<&RunOutcome> {
+        self.map
+            .get(key)
+            .map(|&id| &self.slots[id as usize].as_ref().expect("live slot").1)
+    }
+
+    /// Places `(key, outcome)` into the slab and the maps; the caller has
+    /// already ensured the key is absent.
+    fn place(&mut self, key: StoreKey, outcome: RunOutcome) {
+        let slot = Some((key, outcome));
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = slot;
+                id
             }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.map.insert(key, id);
+        self.recency.insert(id);
+        while self.map.len() > self.capacity {
+            let victim = self.recency.victim().expect("store is non-empty");
+            self.drop_slot(victim);
+            self.stats.evicted += 1;
         }
+    }
+
+    /// Removes slot `victim` from the slab, map and recency index.
+    fn drop_slot(&mut self, victim: u32) {
+        let (key, _) = self.slots[victim as usize].take().expect("live slot");
+        self.map.remove(&key);
+        self.recency.remove(victim);
+        self.free.push(victim);
+    }
+
+    /// Stores `outcome` under `key` (last write wins; identical keys can
+    /// only ever carry identical outcomes), evicting segmented-LRU
+    /// victims past capacity and journaling the key when persistence is
+    /// on.
+    pub fn insert(&mut self, key: StoreKey, outcome: RunOutcome) {
+        self.stats.stored += 1;
+        if let Some(journal) = &mut self.journal {
+            journal.push(key);
+        }
+        if let Some(&id) = self.map.get(&key) {
+            self.slots[id as usize] = Some((key, outcome));
+            self.recency.touch(id);
+            return;
+        }
+        self.place(key, outcome);
+    }
+
+    /// Loads `(key, outcome)` from a persistent log: like
+    /// [`ResultStore::insert`], but neither counted as `stored` nor
+    /// journaled — seeded entries are already on disk.
+    pub fn seed(&mut self, key: StoreKey, outcome: RunOutcome) {
+        if let Some(&id) = self.map.get(&key) {
+            self.slots[id as usize] = Some((key, outcome));
+            return;
+        }
+        self.place(key, outcome);
+    }
+
+    /// Enables (or disables) the insert journal the persistence layer
+    /// drains; flipping it clears any pending keys.
+    pub fn set_journal(&mut self, on: bool) {
+        self.journal = on.then(Vec::new);
+    }
+
+    /// Drains the journal: every key inserted since the last drain, in
+    /// insertion order (empty when journaling is off). Keys whose entries
+    /// were since evicted or invalidated resolve to `None` under
+    /// [`ResultStore::peek`]; skip them.
+    pub fn take_dirty(&mut self) -> Vec<StoreKey> {
+        match &mut self.journal {
+            Some(journal) => std::mem::take(journal),
+            None => Vec::new(),
+        }
+    }
+
+    /// Iterates every live `(key, outcome)` (compaction snapshots).
+    pub fn entries(&self) -> impl Iterator<Item = (&StoreKey, &RunOutcome)> {
+        self.slots.iter().flatten().map(|(k, o)| (k, o))
     }
 
     /// Drops every entry of program `pid` — and nothing else — returning
     /// how many died.
     pub fn invalidate_program(&mut self, pid: ProgramId) -> usize {
-        let before = self.map.len();
-        self.map.retain(|(p, _), _| *p != pid);
-        // Purge the eviction queue too: a re-inserted key would otherwise
-        // sit behind its own stale occurrence and be evicted as if it
-        // were the oldest entry in the store.
-        self.order.retain(|(p, _)| *p != pid);
-        let dropped = before - self.map.len();
-        self.stats.invalidated += dropped as u64;
-        dropped
+        let victims: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&id| {
+                self.slots[id as usize]
+                    .as_ref()
+                    .is_some_and(|((p, _), _)| *p == pid)
+            })
+            .collect();
+        for &id in &victims {
+            self.drop_slot(id);
+        }
+        self.stats.invalidated += victims.len() as u64;
+        victims.len()
     }
 
     /// Number of stored results.
@@ -264,6 +369,14 @@ impl CorpusService {
     #[must_use]
     pub fn store(&self) -> &ResultStore {
         &self.store
+    }
+
+    /// Mutable access to the result store — the persistence layer
+    /// (`hardbound-serve`) seeds loaded entries and drains the insert
+    /// journal through here.
+    #[must_use]
+    pub fn store_mut(&mut self) -> &mut ResultStore {
+        &mut self.store
     }
 
     /// Runs `jobs` and returns their outcomes in input order: store hits
@@ -473,37 +586,96 @@ mod tests {
     }
 
     #[test]
-    fn store_capacity_evicts_oldest_first() {
+    fn store_capacity_evicts_untouched_oldest_first() {
         let mut store = ResultStore::with_capacity(2);
         let out = |limit| {
             let mut svc = CorpusService::new(1);
             svc.run_one(&job(limit, 1_000_000), build)
         };
-        let keys: Vec<(ProgramId, u64)> = (0..3).map(|k| job(10 + k, 1_000_000).key()).collect();
+        let keys: Vec<StoreKey> = (0..3).map(|k| job(10 + k, 1_000_000).key()).collect();
         for (k, &key) in keys.iter().enumerate() {
             store.insert(key, out(10 + k as i32));
         }
+        // Never-replayed entries are all probationary, so eviction order
+        // degrades to insertion order: the oldest insert dies first.
         assert_eq!(store.len(), 2, "capacity bound holds");
         assert_eq!(store.stats().evicted, 1);
         assert!(store.lookup(keys[0]).is_none(), "oldest entry evicted");
         assert!(store.lookup(keys[1]).is_some());
         assert!(store.lookup(keys[2]).is_some());
-        // Re-insertion after invalidation must enter at the *back* of the
-        // eviction order: the next capacity eviction takes the genuinely
-        // oldest survivor, not the freshly recomputed entry (which a
-        // stale leftover queue position would doom first).
+        // Re-insertion after invalidation enters probation: with keys[1]
+        // and keys[2] protected by their replays above, the fresh insert
+        // beyond capacity evicts the probationary re-insert, not them.
         store.invalidate_program(keys[1].0);
         store.insert(keys[0], out(10));
         assert_eq!(store.len(), 2);
         let fresh = job(99, 1_000_000).key();
         store.insert(fresh, out(99));
         assert_eq!(store.stats().evicted, 2);
-        assert!(store.lookup(keys[2]).is_none(), "oldest survivor evicted");
         assert!(
-            store.lookup(keys[0]).is_some(),
-            "the re-inserted entry is the youngest, not the first victim"
+            store.lookup(keys[2]).is_some(),
+            "replayed (protected) entry survives"
+        );
+        assert!(
+            store.lookup(keys[0]).is_none(),
+            "the probationary re-insert is the victim"
         );
         assert!(store.lookup(fresh).is_some());
+    }
+
+    /// The segmented-LRU hit-rate regression test: a replayed (hot) cell
+    /// must survive an arbitrarily long one-shot sweep that exceeds the
+    /// store's capacity many times over — the exact pattern the old FIFO
+    /// order thrashed on (the hot cell aged to the front and died after
+    /// `capacity` fresh inserts, taking its warm replay with it).
+    #[test]
+    fn replayed_cells_survive_a_one_shot_sweep() {
+        let mut store = ResultStore::with_capacity(8);
+        let mut svc = CorpusService::new(1);
+        let hot = job(10, 1_000_000);
+        let hot_out = svc.run_one(&hot, build);
+        store.insert(hot.key(), hot_out.clone());
+        assert_eq!(store.lookup(hot.key()), Some(hot_out.clone()), "promote");
+        for k in 0..64 {
+            // 8× capacity of never-replayed sweep cells.
+            store.insert(job(100 + k, 1_000_000).key(), hot_out.clone());
+        }
+        assert_eq!(
+            store.lookup(hot.key()),
+            Some(hot_out),
+            "hot cell must out-live the sweep: {:?}",
+            store.stats()
+        );
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.stats().evicted, 64 - 7);
+        assert_eq!(store.stats().hits, 2, "both hot probes hit");
+        assert_eq!(store.stats().misses, 0, "a 100% hot-cell hit rate");
+    }
+
+    #[test]
+    fn journal_records_inserts_not_seeds() {
+        let mut store = ResultStore::with_capacity(8);
+        let out = {
+            let mut svc = CorpusService::new(1);
+            svc.run_one(&job(10, 1_000_000), build)
+        };
+        let a = job(10, 1_000_000).key();
+        let b = job(11, 1_000_000).key();
+        store.insert(a, out.clone());
+        assert!(
+            store.take_dirty().is_empty(),
+            "journaling off: nothing recorded"
+        );
+        store.set_journal(true);
+        store.seed(b, out.clone());
+        assert!(store.take_dirty().is_empty(), "seeds are already on disk");
+        store.insert(a, out.clone());
+        store.insert(b, out.clone());
+        assert_eq!(store.take_dirty(), vec![a, b]);
+        assert!(store.take_dirty().is_empty(), "drain empties the journal");
+        assert_eq!(store.peek(&a), Some(&out), "peek is count-free");
+        let stats = store.stats();
+        assert_eq!(stats.hits + stats.misses, 0, "peek/seed never count");
     }
 
     #[test]

@@ -251,33 +251,51 @@ impl Program {
     /// reproduces the program image.
     #[must_use]
     pub fn disassemble(&self) -> String {
-        use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "; entry: {}", self.entry);
+        let _ = self.write_listing(&mut out);
+        out
+    }
+
+    /// Streams the annotated assembly listing of [`Program::disassemble`]
+    /// into any [`std::fmt::Write`] sink, without materializing the string.
+    ///
+    /// Because the listing fully round-trips through
+    /// [`crate::asm::parse_program`], its text uniquely determines the
+    /// program image — which makes it a *pinned serialization* of the
+    /// program: consumers that need a toolchain-stable byte encoding (the
+    /// corpus service's persistent `ProgramId` fingerprints, the `hbserve`
+    /// wire protocol) hash or ship exactly these bytes. Changing this
+    /// format changes every persisted program fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the sink (infallible for `String`).
+    pub fn write_listing<W: std::fmt::Write>(&self, out: &mut W) -> std::fmt::Result {
+        writeln!(out, "; entry: {}", self.entry)?;
         if self.globals_size != 0 {
-            let _ = writeln!(out, "; globals: {}", self.globals_size);
+            writeln!(out, "; globals: {}", self.globals_size)?;
         }
         for init in &self.data {
-            let _ = write!(out, "; data {:#010x}:", init.addr);
+            write!(out, "; data {:#010x}:", init.addr)?;
             for b in &init.bytes {
-                let _ = write!(out, " {b:02x}");
+                write!(out, " {b:02x}")?;
             }
-            let _ = writeln!(out);
+            writeln!(out)?;
         }
         for (fi, func) in self.functions.iter().enumerate() {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "{} <{}> (args={}, frame={}):",
                 FuncId(fi as u32),
                 func.name,
                 func.num_args,
                 func.frame_size
-            );
+            )?;
             for (ii, inst) in func.insts.iter().enumerate() {
-                let _ = writeln!(out, "  {ii:4}: {inst}");
+                writeln!(out, "  {ii:4}: {inst}")?;
             }
         }
-        out
+        Ok(())
     }
 }
 

@@ -36,8 +36,8 @@ use hardbound_core::{MetaPath, PointerEncoding};
 use hardbound_exec::Engine;
 use hardbound_isa::Program;
 use hardbound_runtime::{
-    build_machine_with_config, compile, engine_default, env_flag, machine_config, run_job,
-    service_stats,
+    build_machine_with_config, compile, compile_cache_stats, engine_default, env_flag,
+    machine_config, remote_stats, run_job, service_stats, store_log_stats,
 };
 
 struct Args {
@@ -252,20 +252,56 @@ fn main() -> ExitCode {
             s.hierarchy.data_stall_cycles,
             s.metadata_stall_cycles()
         );
+        let cc = compile_cache_stats();
+        eprintln!("compile cache:   {} hits, {} misses", cc.hits, cc.misses);
         if through_service {
-            let svc = service_stats();
-            eprintln!(
-                "result store:    {} hits, {} misses, {} stored",
-                svc.store.hits, svc.store.misses, svc.store_len
-            );
-            eprintln!(
-                "block cache:     {} hits, {} decoded, {} evicted, {} invalidated",
-                svc.cache.hits, svc.cache.decoded, svc.cache.evicted, svc.cache.invalidated
-            );
-            eprintln!(
-                "programs:        {} registered, {} blocks resident",
-                svc.programs, svc.blocks_resident
-            );
+            let remote = remote_stats();
+            if remote.round_trips > 0 {
+                // The run was offloaded (`HB_SERVE_ADDR`); the store and
+                // cache counters live in the server's process, not here.
+                eprintln!(
+                    "remote server:   {} round-trips, {} cells shipped",
+                    remote.round_trips, remote.cells
+                );
+            } else {
+                let svc = service_stats();
+                eprintln!(
+                    "result store:    {} hits, {} misses, {} stored, {} evicted",
+                    svc.store.hits, svc.store.misses, svc.store_len, svc.store.evicted
+                );
+                if let Some(log) = store_log_stats() {
+                    eprintln!(
+                        "store log:       {} loaded, {} appended, {} flushes, {} compactions{}{}{}",
+                        log.loaded,
+                        log.appended,
+                        log.flushes,
+                        log.compactions,
+                        if log.read_only > 0 {
+                            " [READ-ONLY: another process holds the lock]"
+                        } else {
+                            ""
+                        },
+                        if log.cold_start > 0 {
+                            " [cold start: version/format mismatch]"
+                        } else {
+                            ""
+                        },
+                        if log.dropped_bytes > 0 {
+                            " [corrupt tail truncated]"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+                eprintln!(
+                    "block cache:     {} hits, {} decoded, {} evicted, {} invalidated",
+                    svc.cache.hits, svc.cache.decoded, svc.cache.evicted, svc.cache.invalidated
+                );
+                eprintln!(
+                    "programs:        {} registered, {} blocks resident",
+                    svc.programs, svc.blocks_resident
+                );
+            }
         }
     }
     match out.trap {

@@ -1,0 +1,147 @@
+//! `hbserve` — the networked corpus service.
+//!
+//! ```sh
+//! cargo run -p hardbound_report --bin hbserve -- \
+//!     [--listen 127.0.0.1:7878] [--store PATH] [--workers N]
+//! ```
+//!
+//! Binds a TCP front end around one shared (optionally persistent)
+//! corpus service: clients submit cell grids over the length-prefixed
+//! `hardbound_serve` protocol, the server dedups each cell against the
+//! store, drains misses through the lock-free batch scheduler, and
+//! streams results back in chunks. Every figure/corpus driver becomes a
+//! client transparently by setting `HB_SERVE_ADDR` to this server's
+//! address — so one long-lived warm server amortizes simulation across
+//! any number of `hbrun`s, bench runs and CI processes.
+//!
+//! * `--listen ADDR` — bind address (default `127.0.0.1:0`, an ephemeral
+//!   port). The bound address is printed as the first stdout line
+//!   (`hbserve listening on ADDR`), so wrappers can parse it.
+//! * `--store PATH` — persist the result store at `PATH` (defaults to
+//!   `HB_STORE_PATH` when set); the log is compacted on shutdown.
+//! * `--workers N` — execution worker shards (default: `HB_JOBS` or all
+//!   cores).
+//!
+//! The server runs until a client sends the protocol `SHUTDOWN` request;
+//! it then checkpoints the store and exits 0.
+
+use std::process::ExitCode;
+use std::sync::{Arc, PoisonError};
+
+use hardbound_compiler::Mode;
+use hardbound_exec::batch;
+use hardbound_runtime::{build_machine_with_config, store_path};
+use hardbound_serve::net::{Builder, TagCheck};
+use hardbound_serve::{PersistentService, Server};
+
+struct Args {
+    listen: String,
+    store: Option<String>,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut listen = "127.0.0.1:0".to_owned();
+    let mut store = store_path();
+    let mut workers = batch::default_workers();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => listen = it.next().ok_or("--listen needs an address")?,
+            "--store" => store = Some(it.next().ok_or("--store needs a path")?),
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                workers =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--workers must be a positive integer, got `{v}`")
+                    })?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: hbserve [--listen ADDR] [--store PATH] [--workers N]".to_owned(),
+                )
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        listen,
+        store,
+        workers,
+    })
+}
+
+/// Decodes the wire tag back to a compiler mode (the client sends
+/// `mode as u64`, exactly the salt the in-process service uses — so the
+/// remote store keys match local ones bit for bit).
+fn mode_of(tag: u64) -> Option<Mode> {
+    Mode::ALL.into_iter().find(|&m| m as u64 == tag)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let svc = match &args.store {
+        Some(path) => match PersistentService::open(args.workers, path) {
+            Ok(svc) => svc,
+            Err(e) => {
+                eprintln!("cannot open store {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => PersistentService::new(args.workers),
+    };
+    let build: Arc<Builder> = Arc::new(|program, config, tag| {
+        let mode = mode_of(tag).expect("tags are validated before any build");
+        build_machine_with_config(program, mode, config)
+    });
+    let tag_ok: Arc<TagCheck> = Arc::new(|tag| mode_of(tag).is_some());
+    let server = match Server::bind(&args.listen, svc, build, tag_ok) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.listen);
+            return ExitCode::from(2);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // The first stdout line is the contract wrappers parse; flush
+            // so a piped reader sees it before the first request.
+            println!("hbserve listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let shared = server.service();
+    if let Err(e) = server.run() {
+        eprintln!("accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Shutdown: compact the persistent log and report the totals.
+    let mut svc = shared.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Err(e) = svc.checkpoint() {
+        eprintln!("checkpoint failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stats = svc.stats();
+    eprintln!(
+        "hbserve: served {} hits / {} misses, {} results resident{}",
+        stats.service.store.hits,
+        stats.service.store.misses,
+        stats.service.store_len,
+        match stats.log {
+            Some(log) => format!(", {} log records appended", log.appended),
+            None => String::new(),
+        }
+    );
+    ExitCode::SUCCESS
+}

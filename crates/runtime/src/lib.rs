@@ -45,15 +45,18 @@ mod splay;
 pub use source::RUNTIME_SOURCE;
 pub use splay::SplayTable;
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 use hardbound_compiler::{compile_program, CompileError, Mode, Options};
 use hardbound_core::{
-    HardboundConfig, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome,
+    Fnv64, HardboundConfig, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome,
 };
-use hardbound_exec::service::{CorpusService, Job};
+use hardbound_exec::service::Job;
 use hardbound_exec::{batch, ServiceStats};
 use hardbound_isa::Program;
+use hardbound_serve::{Client, PersistentService, StoreLogStats, WireJob};
 
 /// Parses one `HB_*` boolean flag value: `0`, `false` (any case) and the
 /// empty string mean *off*; anything else means *on*. This is the one
@@ -98,16 +101,90 @@ pub fn link(user_source: &str) -> String {
     format!("{RUNTIME_SOURCE}\n{user_source}")
 }
 
-/// Compiles a user program together with the runtime library.
+/// Compiles a user program together with the runtime library, memoized by
+/// `(source hash, mode)` in a process-wide cache — figure passes compile
+/// each distinct `(workload, mode)` once per process, and a warm pass
+/// (every figure after the first, warm service replays) is compile-free.
+/// `HB_COMPILE_CACHE=0` opts out; see [`compile_uncached`] for the
+/// underlying compilation.
 ///
 /// # Errors
 ///
-/// Propagates [`CompileError`]s from the front end or code generator.
+/// Propagates [`CompileError`]s from the front end or code generator
+/// (errors are never cached — a fixed source recompiles).
 pub fn compile(user_source: &str, mode: Mode) -> Result<Program, CompileError> {
+    if !env_flag("HB_COMPILE_CACHE").unwrap_or(true) {
+        return compile_uncached(user_source, mode);
+    }
+    let mut h = Fnv64::default();
+    h.mix_bytes(user_source.as_bytes());
+    let key = (h.value(), mode);
+    {
+        let cache = compile_cache()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(program) = cache.get(&key) {
+            COMPILE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(program.clone());
+        }
+    }
+    // Compile outside the lock: parallel drivers (`batch::map` over
+    // (workload, mode) pairs) must not serialize their cold compiles.
+    COMPILE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let program = compile_uncached(user_source, mode)?;
+    let mut cache = compile_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if cache.len() >= COMPILE_CACHE_CAP {
+        // Crude but bounded: a process sweeping unbounded generated
+        // sources (fuzzers) must not leak. Real corpora hold a few
+        // thousand distinct translation units at most.
+        cache.clear();
+    }
+    cache.insert(key, program.clone());
+    Ok(program)
+}
+
+/// [`compile`] without the memo: always runs the front end and code
+/// generator.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`]s.
+pub fn compile_uncached(user_source: &str, mode: Mode) -> Result<Program, CompileError> {
     // The allocator is trusted runtime code: its header bookkeeping is
     // exempt from software checks, as an uninstrumented libc would be.
     let opts = Options::mode(mode).with_unchecked(["malloc", "free"]);
     compile_program(&link(user_source), &opts)
+}
+
+/// Upper bound on memoized compilations before the cache resets.
+const COMPILE_CACHE_CAP: usize = 1 << 12;
+
+static COMPILE_HITS: AtomicU64 = AtomicU64::new(0);
+static COMPILE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn compile_cache() -> &'static Mutex<HashMap<(u64, Mode), Program>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, Mode), Program>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Counters of the compile memo (surfaced by `hbrun --stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileCacheStats {
+    /// Compilations answered from the memo.
+    pub hits: u64,
+    /// Compilations that ran the front end and code generator.
+    pub misses: u64,
+}
+
+/// Snapshot of the process-wide compile-memo counters.
+#[must_use]
+pub fn compile_cache_stats() -> CompileCacheStats {
+    CompileCacheStats {
+        hits: COMPILE_HITS.load(Ordering::Relaxed),
+        misses: COMPILE_MISSES.load(Ordering::Relaxed),
+    }
 }
 
 /// The default [`MetaPath`]: the summary fast path, unless `HB_META_FAST`
@@ -216,13 +293,95 @@ pub fn result_cache_enabled() -> bool {
     env_flag("HB_RESULT_CACHE").unwrap_or(true)
 }
 
+/// The persistent-store path (`HB_STORE_PATH`): when set, the process-wide
+/// service's result store loads from — and appends to — this file, so warm
+/// starts survive process boundaries (and CI runs). Corrupt or
+/// version-mismatched files recover per `hardbound_serve::StoreLog`.
+#[must_use]
+pub fn store_path() -> Option<String> {
+    let v = std::env::var("HB_STORE_PATH").ok()?;
+    let v = v.trim();
+    (!v.is_empty()).then(|| v.to_owned())
+}
+
+/// The remote corpus server (`HB_SERVE_ADDR`): when set, [`run_jobs`]
+/// offloads cell grids to that `hbserve` instance instead of the local
+/// service, so many processes share one warm store.
+#[must_use]
+pub fn serve_addr() -> Option<String> {
+    let v = std::env::var("HB_SERVE_ADDR").ok()?;
+    let v = v.trim();
+    (!v.is_empty()).then(|| v.to_owned())
+}
+
 /// The process-wide corpus service: one shared decode-cache shard per
 /// [`batch::default_workers`] worker plus the result store, living for the
 /// whole process so every figure driver, corpus sweep and CI invocation
-/// in it reuses earlier work.
-fn service() -> &'static Mutex<CorpusService> {
-    static SERVICE: OnceLock<Mutex<CorpusService>> = OnceLock::new();
-    SERVICE.get_or_init(|| Mutex::new(CorpusService::new(batch::default_workers())))
+/// in it reuses earlier work. With `HB_STORE_PATH` set the store is
+/// persistent — loaded here once, appended after every batch.
+///
+/// # Panics
+///
+/// Panics with a diagnostic when `HB_STORE_PATH` is set but unusable
+/// (permissions, missing parent directory) — a silent fall-back to a
+/// volatile store would defeat the warm-start contract without a trace.
+fn service() -> &'static Mutex<PersistentService> {
+    static SERVICE: OnceLock<Mutex<PersistentService>> = OnceLock::new();
+    SERVICE.get_or_init(|| {
+        let workers = batch::default_workers();
+        let svc = match store_path() {
+            Some(path) => PersistentService::open(workers, &path)
+                .unwrap_or_else(|e| panic!("HB_STORE_PATH={path}: cannot open store: {e}")),
+            None => PersistentService::new(workers),
+        };
+        Mutex::new(svc)
+    })
+}
+
+static REMOTE_ROUND_TRIPS: AtomicU64 = AtomicU64::new(0);
+static REMOTE_CELLS: AtomicU64 = AtomicU64::new(0);
+
+/// Counters of the remote-offload client path (`HB_SERVE_ADDR`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Submissions sent to the server.
+    pub round_trips: u64,
+    /// Cells shipped across all submissions.
+    pub cells: u64,
+}
+
+/// Snapshot of this process's remote-offload counters.
+#[must_use]
+pub fn remote_stats() -> RemoteStats {
+    RemoteStats {
+        round_trips: REMOTE_ROUND_TRIPS.load(Ordering::Relaxed),
+        cells: REMOTE_CELLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Snapshot of the persistent store log's counters — `None` when the
+/// process runs without `HB_STORE_PATH`.
+#[must_use]
+pub fn store_log_stats() -> Option<StoreLogStats> {
+    service()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .stats()
+        .log
+}
+
+/// Compacts the persistent store log down to the live store entries (an
+/// atomic rewrite; see `hardbound_serve::PersistentService::checkpoint`).
+/// A no-op without `HB_STORE_PATH`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the rewrite.
+pub fn checkpoint_store() -> std::io::Result<()> {
+    service()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .checkpoint()
 }
 
 /// One corpus cell: a compiled program to simulate under a mode-paired
@@ -252,12 +411,25 @@ impl SimJob {
 
 /// Runs a batch of corpus cells, returning outcomes in input order.
 ///
-/// This is the drivers' front door: with the service enabled (the
-/// default), cells execute through the process-wide [`CorpusService`] —
-/// result-store hits replay, misses run on per-worker shared-cache shards
-/// — and with `HB_SERVICE=0` (or `HB_INTERP`) each cell runs the direct
-/// [`run_machine`] path in a plain parallel batch. Both paths are
-/// byte-identical (pinned by `tests/service_differential.rs`).
+/// This is the drivers' front door, choosing among three byte-identical
+/// paths (pinned by `tests/service_differential.rs` and the `hbserve`
+/// smoke suite):
+///
+/// 1. **Remote** — `HB_SERVE_ADDR` set: the grid ships to that `hbserve`
+///    server (programs as listings, configs on the wire), which dedups
+///    against its shared warm store and streams outcomes back.
+/// 2. **Local service** (default) — the process-wide persistent
+///    [`PersistentService`]: result-store hits replay, misses run on
+///    per-worker shared-cache shards, fresh outcomes append to
+///    `HB_STORE_PATH` when set.
+/// 3. **Direct** — `HB_SERVICE=0` (or `HB_INTERP`): each cell runs the
+///    plain [`run_machine`] path in a parallel batch.
+///
+/// # Panics
+///
+/// Panics with a diagnostic when `HB_SERVE_ADDR` is set but the server is
+/// unreachable or rejects the submission — a silent local fallback would
+/// hide that the warm server is not being used.
 #[must_use]
 pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
     if !service_enabled() {
@@ -268,6 +440,9 @@ pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
                 j.config.clone(),
             ))
         });
+    }
+    if let Some(addr) = serve_addr() {
+        return run_jobs_remote(&addr, &jobs);
     }
     let jobs: Vec<Job<Mode>> = jobs
         .into_iter()
@@ -285,6 +460,25 @@ pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
     })
 }
 
+/// The `HB_SERVE_ADDR` client path: ship the grid, collect the stream.
+fn run_jobs_remote(addr: &str, jobs: &[SimJob]) -> Vec<RunOutcome> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let wire_jobs: Vec<WireJob> = jobs
+        .iter()
+        .map(|j| WireJob::new(&j.program, j.config.clone(), j.mode as u64, j.mode as u64))
+        .collect();
+    let mut client = Client::connect(addr)
+        .unwrap_or_else(|e| panic!("HB_SERVE_ADDR={addr}: cannot reach hbserve: {e}"));
+    let outs = client
+        .run_jobs(&wire_jobs)
+        .unwrap_or_else(|e| panic!("HB_SERVE_ADDR={addr}: remote batch failed: {e}"));
+    REMOTE_ROUND_TRIPS.fetch_add(1, Ordering::Relaxed);
+    REMOTE_CELLS.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    outs
+}
+
 /// [`run_jobs`] for a single cell (`hbrun`, one-shot tools).
 #[must_use]
 pub fn run_job(program: Program, mode: Mode, config: MachineConfig) -> RunOutcome {
@@ -298,14 +492,16 @@ pub fn run_job(program: Program, mode: Mode, config: MachineConfig) -> RunOutcom
 }
 
 /// Snapshot of the process-wide service's counters (result-store
-/// hits/misses, block-cache behaviour over all shards) — surfaced by
-/// `hbrun --stats` and the bench harness.
+/// hits/misses/evictions, block-cache behaviour over all shards) —
+/// surfaced by `hbrun --stats` and the bench harness. The persistent
+/// log's counters ride along via [`store_log_stats`].
 #[must_use]
 pub fn service_stats() -> ServiceStats {
     service()
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .stats()
+        .service
 }
 
 /// [`compile_and_run`] on the default execution path (see
@@ -383,6 +579,29 @@ mod tests {
         std::env::set_var("HB_TEST_ENV_PARSE_INVALID", "");
         assert_eq!(env_parse::<f64>("HB_TEST_ENV_PARSE_INVALID"), Ok(None));
         std::env::remove_var("HB_TEST_ENV_PARSE_INVALID");
+    }
+
+    #[test]
+    fn compile_memo_returns_identical_images_and_counts_hits() {
+        let src = "int main() { return 41 + 1; }";
+        // A unique source so parallel sibling tests cannot pre-warm it.
+        let src = format!("{src} // memo-test-{}", std::process::id());
+        let before = compile_cache_stats();
+        let a = compile(&src, Mode::HardBound).expect("compiles");
+        let b = compile(&src, Mode::HardBound).expect("compiles");
+        assert_eq!(a, b, "memoized image must be identical");
+        let after = compile_cache_stats();
+        assert!(after.misses > before.misses, "first compile misses");
+        assert!(after.hits > before.hits, "second compile hits the memo");
+        // A different mode is a different key — and a different image.
+        let base = compile(&src, Mode::Baseline).expect("compiles");
+        assert_ne!(a, base, "modes must not alias in the memo");
+        // The memo is an optimization only: the uncached path agrees.
+        assert_eq!(
+            a,
+            compile_uncached(&src, Mode::HardBound).expect("compiles"),
+            "memoized and fresh compilations must be identical"
+        );
     }
 
     #[test]

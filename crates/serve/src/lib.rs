@@ -1,0 +1,47 @@
+//! `hardbound-serve` — the corpus service across process and machine
+//! boundaries.
+//!
+//! The corpus service (`hardbound_exec::service`) amortizes decode work
+//! and whole-run results *within* one process; every fresh `hbrun` and
+//! every CI invocation still starts cold. This crate extends the service
+//! across the two remaining boundaries:
+//!
+//! * [`wire`] — a pinned, versioned **binary codec** (std-only; the build
+//!   container has no serde) for [`RunOutcome`](hardbound_core::RunOutcome),
+//!   [`MachineConfig`](hardbound_core::MachineConfig) and store records.
+//!   Together with the stable fingerprints of
+//!   `hardbound_core::fingerprint`, bytes written by one process mean the
+//!   same thing to every other.
+//! * [`store`] — an **append-only log** backing the result store
+//!   (`HB_STORE_PATH`): corruption-tolerant load (truncate at the first
+//!   bad record), version/salt mismatch → clean cold start, and atomic
+//!   rewrite-compaction.
+//! * [`persist`] — [`PersistentService`], a
+//!   [`CorpusService`](hardbound_exec::CorpusService) whose store survives
+//!   the process: entries load at open, fresh results append after every
+//!   batch, and the log flushes on drop and on an explicit
+//!   [`PersistentService::checkpoint`].
+//! * [`net`] — a `TcpListener` front end speaking a length-prefixed
+//!   request/response protocol with work-queue semantics: clients submit
+//!   cell grids, the server dedups against the store and drains misses
+//!   through the lock-free `exec::batch` scheduler, and results stream
+//!   back in chunks. `hbserve` (in `hardbound-report`) is the binary;
+//!   `hardbound_runtime::run_jobs` is the transparent client
+//!   (`HB_SERVE_ADDR`).
+//!
+//! Replay — from disk or from the far side of a socket — is
+//! **byte-identical** to in-process execution; the differential suites at
+//! the workspace root and in `crates/report/tests` pin it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod persist;
+pub mod store;
+pub mod wire;
+
+pub use net::{Client, RemoteServerStats, ServeError, Server, WireJob};
+pub use persist::{PersistStats, PersistentService};
+pub use store::{StoreLog, StoreLogStats};
+pub use wire::{Reader, WireError, Writer, WIRE_VERSION};

@@ -1,0 +1,653 @@
+//! The `hbserve` socket protocol: a length-prefixed request/response
+//! framing over TCP with **work-queue semantics**.
+//!
+//! A client submits a grid of cells in one frame; the server dedups each
+//! cell against the shared (persistent) result store, drains the misses
+//! through the existing lock-free `exec::batch` scheduler in bounded
+//! **chunks**, and streams each chunk's outcomes back as soon as it
+//! completes — the client consumes results incrementally while later
+//! chunks still execute, and concurrent clients interleave at chunk
+//! granularity because the service lock is released between chunks.
+//! Cross-client dedup falls out of the shared store: a cell one client
+//! computed replays for every later submitter.
+//!
+//! ## Frames
+//!
+//! Every frame is `length (u32, LE) | kind (u8) | payload`; the length
+//! counts the kind byte plus the payload. Requests:
+//!
+//! | kind | payload |
+//! |---|---|
+//! | `SUBMIT` | job count (u32), then per job: program listing (str), [`MachineConfig`], salt (u64), tag (u64) |
+//! | `STATS` | empty |
+//! | `SHUTDOWN` | empty |
+//!
+//! Responses: `RESULTS` (start index u32, count u32, then `count` encoded
+//! [`RunOutcome`]s), `DONE` (total results u32), `STATS` (counters), and
+//! `ERR` (diagnostic string — the whole submission is rejected; nothing
+//! executed).
+//!
+//! Programs travel as their **assembly listing** — the workspace's pinned
+//! program serialization (round-trips through `isa::parse_program`, and
+//! its bytes are exactly what `ProgramId` hashes), so a re-parsed program
+//! lands on the same store keys as the client's and byte-identity holds
+//! end to end.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use hardbound_core::{Machine, MachineConfig, RunOutcome};
+use hardbound_exec::service::Job;
+use hardbound_isa::Program;
+
+use crate::persist::PersistentService;
+use crate::wire::{
+    decode_config, decode_outcome, encode_config, encode_outcome, Reader, WireError, Writer,
+};
+
+/// Request kinds (client → server).
+const REQ_SUBMIT: u8 = 1;
+const REQ_STATS: u8 = 2;
+const REQ_SHUTDOWN: u8 = 3;
+/// Response kinds (server → client).
+const RESP_RESULTS: u8 = 16;
+const RESP_DONE: u8 = 17;
+const RESP_STATS: u8 = 18;
+const RESP_ERR: u8 = 19;
+
+/// Cells executed (and streamed) per service-lock acquisition: small
+/// enough that results flow back while the tail still runs and that
+/// concurrent clients interleave, large enough to amortize the lock.
+const CHUNK: usize = 32;
+
+/// Sanity cap on one frame (a submission of thousands of cells fits in a
+/// few MB; anything past this is a protocol error, not data).
+const MAX_FRAME: u32 = 1 << 30;
+
+/// One cell of a remote submission.
+#[derive(Clone, Debug)]
+pub struct WireJob {
+    /// The program as its assembly listing (`Program::disassemble`).
+    pub listing: String,
+    /// Full machine configuration.
+    pub config: MachineConfig,
+    /// Result-store key salt (see `exec::service::config_fingerprint`).
+    pub salt: u64,
+    /// Opaque machine-builder tag (the runtime sends its compiler mode).
+    pub tag: u64,
+}
+
+impl WireJob {
+    /// A wire job for `program` (rendered to its listing here).
+    #[must_use]
+    pub fn new(program: &Program, config: MachineConfig, salt: u64, tag: u64) -> WireJob {
+        WireJob {
+            listing: program.disassemble(),
+            config,
+            salt,
+            tag,
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// A frame failed to decode.
+    Wire(WireError),
+    /// The server rejected the request with a diagnostic.
+    Server(String),
+    /// The server violated the protocol (wrong frame kind/shape).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Wire(e) => write!(f, "malformed frame: {e}"),
+            ServeError::Server(msg) => write!(f, "server error: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> ServeError {
+        ServeError::Wire(e)
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> io::Result<()> {
+    let len = (payload.len() + 1) as u32;
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+fn read_frame(stream: &mut TcpStream) -> Result<Option<(u8, Vec<u8>)>, ServeError> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len);
+    if len == 0 || len > MAX_FRAME {
+        return Err(ServeError::Protocol("frame length out of range"));
+    }
+    // The kind byte is read separately so the (possibly multi-MB) payload
+    // lands directly at offset 0 — no shift-by-one memmove afterwards.
+    let mut kind = [0u8; 1];
+    stream.read_exact(&mut kind)?;
+    let mut payload = vec![0u8; len as usize - 1];
+    stream.read_exact(&mut payload)?;
+    Ok(Some((kind[0], payload)))
+}
+
+/// Builds the machine for one remote cell; `hbserve` maps the tag back to
+/// a compiler mode and attaches mode-specific extras (object tables).
+pub type Builder = dyn Fn(Program, MachineConfig, u64) -> Machine + Send + Sync;
+
+/// Validates a tag before any cell executes; unknown tags reject the
+/// whole submission with a diagnostic instead of a builder panic.
+pub type TagCheck = dyn Fn(u64) -> bool + Send + Sync;
+
+/// Store/server counters as reported over the wire by a `STATS` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemoteServerStats {
+    /// Result-store hits (cells answered without simulation).
+    pub hits: u64,
+    /// Result-store misses (cells executed).
+    pub misses: u64,
+    /// Store entries evicted.
+    pub evicted: u64,
+    /// Stored results currently resident.
+    pub store_len: u64,
+    /// Log records appended since the server opened its store.
+    pub log_appended: u64,
+    /// Log flushes.
+    pub log_flushes: u64,
+}
+
+/// The `hbserve` TCP front end: owns the shared [`PersistentService`]
+/// and serves until a `SHUTDOWN` request.
+pub struct Server {
+    listener: TcpListener,
+    svc: Arc<Mutex<PersistentService>>,
+    build: Arc<Builder>,
+    tag_ok: Arc<TagCheck>,
+    shutdown: Arc<AtomicBool>,
+    /// Requests currently being served (not idle connections); `run`
+    /// drains this to zero after the accept loop stops, so a shutdown
+    /// never cuts another client's in-flight submission mid-stream.
+    busy: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+/// Decrements the busy count when a request finishes (however it ends).
+struct BusyGuard<'a>(&'a std::sync::atomic::AtomicUsize);
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) around `svc`.
+    /// `build` constructs the machine for a missing cell; `tag_ok`
+    /// pre-validates job tags.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        svc: PersistentService,
+        build: Arc<Builder>,
+        tag_ok: Arc<TagCheck>,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            svc: Arc::new(Mutex::new(svc)),
+            build,
+            tag_ok,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            busy: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query error.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared handle to the service (checkpointing at exit, tests).
+    #[must_use]
+    pub fn service(&self) -> Arc<Mutex<PersistentService>> {
+        Arc::clone(&self.svc)
+    }
+
+    /// Accepts and serves connections (one thread each) until a client
+    /// sends `SHUTDOWN`, then waits for every in-flight connection to
+    /// finish — a shutdown never cuts another client's submission
+    /// mid-stream, and the caller can checkpoint safely after `run`
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors.
+    pub fn run(&self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = conn?;
+            let svc = Arc::clone(&self.svc);
+            let build = Arc::clone(&self.build);
+            let tag_ok = Arc::clone(&self.tag_ok);
+            let shutdown = Arc::clone(&self.shutdown);
+            let wake = self.listener.local_addr();
+            let busy = Arc::clone(&self.busy);
+            std::thread::spawn(move || {
+                handle_conn(stream, &svc, &build, &tag_ok, &shutdown, &busy, wake);
+            });
+        }
+        // Drain in-flight requests. Handlers increment `busy` *before*
+        // re-checking the shutdown flag, so once this loop reads zero
+        // after the flag is set, any later request observes the flag and
+        // is rejected — no request can slip past the drain. Idle
+        // connections (no request in flight) are simply abandoned; their
+        // clients see EOF at a frame boundary.
+        while self.busy.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection until EOF or shutdown.
+fn handle_conn(
+    mut stream: TcpStream,
+    svc: &Mutex<PersistentService>,
+    build: &Arc<Builder>,
+    tag_ok: &Arc<TagCheck>,
+    shutdown: &AtomicBool,
+    busy: &std::sync::atomic::AtomicUsize,
+    wake: io::Result<std::net::SocketAddr>,
+) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let (kind, payload) = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        // Mark the request in flight *before* re-checking the shutdown
+        // flag: the drain loop in `Server::run` reads the counter after
+        // setting the flag, so either it sees this request and waits, or
+        // this check sees the flag and rejects — never both missed.
+        busy.fetch_add(1, Ordering::SeqCst);
+        let _busy = BusyGuard(busy);
+        if shutdown.load(Ordering::SeqCst) && kind != REQ_SHUTDOWN {
+            let mut w = Writer::new();
+            w.put_str("server is shutting down");
+            let _ = write_frame(&mut stream, RESP_ERR, &w.into_bytes());
+            return;
+        }
+        let result = match kind {
+            REQ_SUBMIT => serve_submission(&mut stream, svc, build, tag_ok, &payload),
+            REQ_STATS => serve_stats(&mut stream, svc),
+            REQ_SHUTDOWN => {
+                shutdown.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut stream, RESP_DONE, &0u32.to_le_bytes());
+                // The accept loop is blocked in `accept`; poke it so it
+                // observes the flag and exits.
+                if let Ok(addr) = wake {
+                    let _ = TcpStream::connect(addr);
+                }
+                return;
+            }
+            _ => {
+                let mut w = Writer::new();
+                w.put_str("unknown request kind");
+                write_frame(&mut stream, RESP_ERR, &w.into_bytes()).map_err(ServeError::from)
+            }
+        };
+        if result.is_err() {
+            return; // connection is broken; nothing left to report
+        }
+    }
+}
+
+fn serve_stats(stream: &mut TcpStream, svc: &Mutex<PersistentService>) -> Result<(), ServeError> {
+    let stats = svc.lock().unwrap_or_else(PoisonError::into_inner).stats();
+    let log = stats.log.unwrap_or_default();
+    let mut w = Writer::new();
+    w.put_u64(stats.service.store.hits);
+    w.put_u64(stats.service.store.misses);
+    w.put_u64(stats.service.store.evicted);
+    w.put_u64(stats.service.store_len as u64);
+    w.put_u64(log.appended);
+    w.put_u64(log.flushes);
+    write_frame(stream, RESP_STATS, &w.into_bytes())?;
+    Ok(())
+}
+
+/// Decodes, validates and executes one submission, streaming results in
+/// chunk-sized `RESULTS` frames and a final `DONE`.
+fn serve_submission(
+    stream: &mut TcpStream,
+    svc: &Mutex<PersistentService>,
+    build: &Arc<Builder>,
+    tag_ok: &Arc<TagCheck>,
+    payload: &[u8],
+) -> Result<(), ServeError> {
+    let jobs = match decode_submission(payload, tag_ok) {
+        Ok(jobs) => jobs,
+        Err(msg) => {
+            let mut w = Writer::new();
+            w.put_str(&msg);
+            write_frame(stream, RESP_ERR, &w.into_bytes())?;
+            return Ok(());
+        }
+    };
+    let mut sent = 0u32;
+    for chunk in jobs.chunks(CHUNK) {
+        let outs = {
+            let mut svc = svc.lock().unwrap_or_else(PoisonError::into_inner);
+            svc.run_batch(chunk, |program, config, &tag| build(program, config, tag))
+        };
+        let mut w = Writer::new();
+        w.put_u32(sent);
+        w.put_u32(outs.len() as u32);
+        for out in &outs {
+            encode_outcome(&mut w, out);
+        }
+        write_frame(stream, RESP_RESULTS, &w.into_bytes())?;
+        sent += outs.len() as u32;
+    }
+    write_frame(stream, RESP_DONE, &sent.to_le_bytes())?;
+    Ok(())
+}
+
+/// Decodes a `SUBMIT` payload into service jobs, validating programs and
+/// tags up front (reject-before-execute).
+fn decode_submission(payload: &[u8], tag_ok: &Arc<TagCheck>) -> Result<Vec<Job<u64>>, String> {
+    let mut r = Reader::new(payload);
+    let count = r.get_u32().map_err(|e| e.to_string())?;
+    let mut jobs = Vec::with_capacity(count.min(4096) as usize);
+    for i in 0..count {
+        let listing = r.get_str().map_err(|e| format!("job {i}: {e}"))?;
+        let program = hardbound_isa::parse_program(listing)
+            .map_err(|e| format!("job {i}: unparseable program listing: {e}"))?;
+        program
+            .validate()
+            .map_err(|e| format!("job {i}: invalid program: {e}"))?;
+        let config = decode_config(&mut r).map_err(|e| format!("job {i}: {e}"))?;
+        // Reject-before-execute covers the config too: geometry the
+        // hierarchy constructors would `assert!` on must come back as an
+        // ERR frame, not a worker panic under the service lock.
+        config
+            .hierarchy
+            .validate()
+            .map_err(|e| format!("job {i}: invalid hierarchy config: {e}"))?;
+        let salt = r.get_u64().map_err(|e| format!("job {i}: {e}"))?;
+        let tag = r.get_u64().map_err(|e| format!("job {i}: {e}"))?;
+        if !tag_ok(tag) {
+            return Err(format!("job {i}: unknown machine-builder tag {tag}"));
+        }
+        jobs.push(Job {
+            program,
+            config,
+            salt,
+            tag,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err("trailing bytes after the last job".to_owned());
+    }
+    Ok(jobs)
+}
+
+/// A client connection to an `hbserve` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (the `HB_SERVE_ADDR` value).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Submits `jobs` and collects the streamed outcomes, in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket failures, malformed frames, or a server
+    /// rejection.
+    pub fn run_jobs(&mut self, jobs: &[WireJob]) -> Result<Vec<RunOutcome>, ServeError> {
+        let mut w = Writer::new();
+        w.put_u32(jobs.len() as u32);
+        for job in jobs {
+            w.put_str(&job.listing);
+            encode_config(&mut w, &job.config);
+            w.put_u64(job.salt);
+            w.put_u64(job.tag);
+        }
+        write_frame(&mut self.stream, REQ_SUBMIT, &w.into_bytes())?;
+
+        let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+        loop {
+            let (kind, payload) = read_frame(&mut self.stream)?
+                .ok_or(ServeError::Protocol("server closed mid-submission"))?;
+            match kind {
+                RESP_RESULTS => {
+                    let mut r = Reader::new(&payload);
+                    let start = r.get_u32()? as usize;
+                    let count = r.get_u32()? as usize;
+                    if start + count > results.len() {
+                        return Err(ServeError::Protocol("result indices out of range"));
+                    }
+                    for slot in &mut results[start..start + count] {
+                        *slot = Some(decode_outcome(&mut r)?);
+                    }
+                }
+                RESP_DONE => break,
+                RESP_ERR => {
+                    let mut r = Reader::new(&payload);
+                    return Err(ServeError::Server(r.get_str()?.to_owned()));
+                }
+                _ => return Err(ServeError::Protocol("unexpected frame kind")),
+            }
+        }
+        results
+            .into_iter()
+            .collect::<Option<Vec<RunOutcome>>>()
+            .ok_or(ServeError::Protocol("server omitted results"))
+    }
+
+    /// Fetches the server's store/log counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket failures or malformed frames.
+    pub fn stats(&mut self) -> Result<RemoteServerStats, ServeError> {
+        write_frame(&mut self.stream, REQ_STATS, &[])?;
+        let (kind, payload) =
+            read_frame(&mut self.stream)?.ok_or(ServeError::Protocol("server closed"))?;
+        if kind != RESP_STATS {
+            return Err(ServeError::Protocol("expected a STATS response"));
+        }
+        let mut r = Reader::new(&payload);
+        Ok(RemoteServerStats {
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            evicted: r.get_u64()?,
+            store_len: r.get_u64()?,
+            log_appended: r.get_u64()?,
+            log_flushes: r.get_u64()?,
+        })
+    }
+
+    /// Asks the server to shut down after in-flight connections finish.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket failures.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        write_frame(&mut self.stream, REQ_SHUTDOWN, &[])?;
+        let (kind, _) =
+            read_frame(&mut self.stream)?.ok_or(ServeError::Protocol("server closed"))?;
+        if kind != RESP_DONE {
+            return Err(ServeError::Protocol("expected a DONE response"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardbound_isa::{CmpOp, FunctionBuilder, Reg};
+
+    fn counting_program(limit: i32) -> Program {
+        let mut f = FunctionBuilder::new("main", 0);
+        f.li(Reg::A0, 0);
+        let head = f.bind_label();
+        f.addi(Reg::A0, Reg::A0, 1);
+        let done = f.new_label();
+        f.branch(CmpOp::Ge, Reg::A0, limit, done);
+        f.jump(head);
+        f.bind(done);
+        f.sys(hardbound_isa::SysCall::PrintInt);
+        f.li(Reg::A0, 0);
+        f.halt();
+        Program::with_entry(vec![f.finish()])
+    }
+
+    fn spawn_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let svc = PersistentService::new(2);
+        let build: Arc<Builder> = Arc::new(|p, cfg, _tag| Machine::new(p, cfg));
+        let tag_ok: Arc<TagCheck> = Arc::new(|tag| tag < 5);
+        let server = Server::bind("127.0.0.1:0", svc, build, tag_ok).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    #[test]
+    fn submit_streams_byte_identical_results_and_replays_warm() {
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs: Vec<WireJob> =
+            (0..67) // > 2 chunks
+                .map(|k| WireJob::new(&counting_program(5 + k), cfg.clone(), 0, 0))
+                .collect();
+        let expected: Vec<RunOutcome> = jobs
+            .iter()
+            .map(|j| {
+                let p = hardbound_isa::parse_program(&j.listing).unwrap();
+                hardbound_exec::Engine::new(Machine::new(p, j.config.clone())).run()
+            })
+            .collect();
+
+        let mut client = Client::connect(addr).unwrap();
+        let cold = client.run_jobs(&jobs).unwrap();
+        assert_eq!(cold, expected, "remote execution must be byte-identical");
+        let warm = client.run_jobs(&jobs).unwrap();
+        assert_eq!(warm, expected, "warm replay must be byte-identical");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.misses, 67, "cold pass executed every cell");
+        assert_eq!(stats.hits, 67, "warm pass replayed every cell");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_without_executing() {
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default();
+        let mut client = Client::connect(addr).unwrap();
+
+        let mut bad_tag = vec![WireJob::new(&counting_program(3), cfg.clone(), 0, 99)];
+        match client.run_jobs(&bad_tag).unwrap_err() {
+            ServeError::Server(msg) => assert!(msg.contains("tag 99"), "{msg}"),
+            other => panic!("expected a server rejection, got {other}"),
+        }
+        bad_tag[0].tag = 0;
+        bad_tag[0].listing = "frobnicate a0\n".to_owned();
+        match client.run_jobs(&bad_tag).unwrap_err() {
+            ServeError::Server(msg) => assert!(msg.contains("unparseable"), "{msg}"),
+            other => panic!("expected a server rejection, got {other}"),
+        }
+        // A config whose geometry would panic the cache constructors is
+        // rejected up front, not executed.
+        bad_tag[0].listing = counting_program(3).disassemble();
+        bad_tag[0].config.hierarchy.l1_ways = 0;
+        match client.run_jobs(&bad_tag).unwrap_err() {
+            ServeError::Server(msg) => assert!(msg.contains("invalid hierarchy"), "{msg}"),
+            other => panic!("expected a server rejection, got {other}"),
+        }
+        bad_tag[0].config.hierarchy.l1_ways = 4;
+        bad_tag[0].config.hierarchy.l1_bytes = 12345; // not a power of two
+        match client.run_jobs(&bad_tag).unwrap_err() {
+            ServeError::Server(msg) => assert!(msg.contains("power of two"), "{msg}"),
+            other => panic!("expected a server rejection, got {other}"),
+        }
+
+        // The connection survives rejections; a good job still runs.
+        let good = vec![WireJob::new(&counting_program(3), cfg, 0, 0)];
+        let outs = client.run_jobs(&good).unwrap();
+        assert_eq!(outs[0].ints, vec![3]);
+        assert_eq!(client.stats().unwrap().misses, 1, "rejections ran nothing");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn two_clients_share_the_store() {
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs = vec![WireJob::new(&counting_program(9), cfg, 0, 0)];
+        let mut a = Client::connect(addr).unwrap();
+        let mut b = Client::connect(addr).unwrap();
+        let out_a = a.run_jobs(&jobs).unwrap();
+        let out_b = b.run_jobs(&jobs).unwrap();
+        assert_eq!(out_a, out_b);
+        let stats = a.stats().unwrap();
+        assert_eq!(stats.misses, 1, "second client replays the first's cell");
+        assert_eq!(stats.hits, 1);
+        a.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,639 @@
+//! The append-only log behind the persistent result store.
+//!
+//! Layout (all integers little-endian, written via [`crate::wire`]):
+//!
+//! ```text
+//! header:  "HBSTORE\x01" (8B magic) | wire version (u32)
+//!          | fingerprint version (u32) | format salt (u64)
+//! record:  payload length (u32) | FNV-1a checksum of payload (u64)
+//!          | payload = ProgramId (u64) | config fingerprint (u64)
+//!          | encoded RunOutcome
+//! ```
+//!
+//! Robustness rules, in order:
+//!
+//! * **Version/salt mismatch → clean cold start.** A log written under
+//!   another wire or fingerprint version (or a foreign file at the path)
+//!   is discarded wholesale — its keys could alias current ones — and the
+//!   file is rewritten with a fresh header.
+//! * **Corruption-tolerant load.** Records are read until the first bad
+//!   one (truncated frame, checksum mismatch, undecodable payload); the
+//!   file is truncated at the last good byte, so a crash mid-append (or a
+//!   flipped bit) costs exactly the damaged tail, never the whole store.
+//! * **Atomic rewrite-compaction.** [`StoreLog::compact`] writes a
+//!   temporary file next to the log and `rename`s it over — readers and
+//!   crashes observe either the old log or the new one, never a torn mix.
+//! * **Single writer.** A sibling `.lock` file (holder PID inside)
+//!   guards the log: the first opener owns appends; a concurrent opener
+//!   **degrades to read-only** — it seeds from the log but appends
+//!   nothing, so overlapping processes share warm state instead of
+//!   appending at stale offsets and truncating each other's live file.
+//!   A lock whose holder PID is dead (crash) is stolen.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use hardbound_core::{Fnv64, RunOutcome, FINGERPRINT_VERSION};
+use hardbound_exec::{ProgramId, StoreKey};
+
+use crate::wire::{decode_outcome, encode_outcome, Reader, Writer, WIRE_VERSION};
+
+/// The 8-byte file magic.
+const MAGIC: &[u8; 8] = b"HBSTORE\x01";
+/// Header length in bytes: magic + two version words + salt.
+const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+/// Per-record frame overhead: length word + checksum.
+const FRAME_LEN: usize = 4 + 8;
+/// Sanity cap on one record's payload (a RunOutcome is kilobytes; a
+/// length beyond this means corruption, not data).
+const MAX_RECORD: u32 = 64 << 20;
+
+/// The format salt folded into the header: any change to either version
+/// changes it, so a mismatched log cold-starts instead of aliasing keys.
+#[must_use]
+fn format_salt() -> u64 {
+    let mut h = Fnv64::default();
+    h.mix_u32(WIRE_VERSION);
+    h.mix_u32(FINGERPRINT_VERSION);
+    h.value()
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv64::default();
+    h.mix_raw(payload);
+    h.value()
+}
+
+/// Counters describing the log's lifetime behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreLogStats {
+    /// Records loaded at open (seeded into the store).
+    pub loaded: u64,
+    /// Bytes dropped at open because the tail was corrupt or truncated.
+    pub dropped_bytes: u64,
+    /// `1` when the log cold-started (missing file, bad magic, or a
+    /// version/salt mismatch).
+    pub cold_start: u64,
+    /// Records appended since open.
+    pub appended: u64,
+    /// Explicit flushes of the append buffer.
+    pub flushes: u64,
+    /// Rewrite-compactions performed.
+    pub compactions: u64,
+    /// `1` when another live process holds the log's lock: this handle
+    /// seeded from the file but appends/compactions are no-ops.
+    pub read_only: u64,
+}
+
+/// The result of [`StoreLog::open`]: the log handle (positioned for
+/// appends) plus every record that survived the load.
+#[derive(Debug)]
+pub struct LoadedStore {
+    /// The open log.
+    pub log: StoreLog,
+    /// Surviving `(key, outcome)` records in file order (later duplicates
+    /// of a key supersede earlier ones when seeded in order).
+    pub entries: Vec<(StoreKey, RunOutcome)>,
+}
+
+/// An open append-only store log (see the module docs).
+#[derive(Debug)]
+pub struct StoreLog {
+    path: PathBuf,
+    /// `None` when another live process holds the lock: reads seeded,
+    /// writes are no-ops.
+    writer: Option<BufWriter<File>>,
+    /// The lock file this handle owns (removed on drop), if any.
+    lock: Option<PathBuf>,
+    stats: StoreLogStats,
+}
+
+/// Tries to take the sibling lock file, writing this process's PID into
+/// it. `Ok(true)` on ownership; `Ok(false)` when another **live** process
+/// holds it. A lock whose recorded PID no longer exists (the holder
+/// crashed) is stolen; an unreadable lock is treated as stale too.
+fn acquire_lock(lock_path: &Path) -> io::Result<bool> {
+    for _ in 0..2 {
+        match OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(lock_path)
+        {
+            Ok(mut f) => {
+                let _ = write!(f, "{}", std::process::id());
+                return Ok(true);
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                let alive = match holder {
+                    // PID liveness via /proc is Linux-only; elsewhere be
+                    // conservative and treat a recorded holder as live.
+                    Some(pid) if cfg!(target_os = "linux") => {
+                        Path::new(&format!("/proc/{pid}")).exists()
+                    }
+                    Some(_) => true,
+                    // No PID yet: most likely we raced the owner in the
+                    // microseconds between its `create_new` and its PID
+                    // write — deleting its lock here would let two live
+                    // writers loose on one log. Treat the lock as live
+                    // unless it has stayed unreadable for several
+                    // seconds (the owner crashed in that tiny window).
+                    None => std::fs::metadata(lock_path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_none_or(|age| age < std::time::Duration::from_secs(10)),
+                };
+                if alive {
+                    return Ok(false);
+                }
+                // Stale: remove and retry once (a racing second stealer
+                // loses `create_new` and lands in the live check above).
+                let _ = std::fs::remove_file(lock_path);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(false)
+}
+
+impl StoreLog {
+    /// Opens (or creates) the log at `path`, returning the handle and the
+    /// surviving records. Corrupt tails are truncated in place;
+    /// version-mismatched or foreign files cold-start (see module docs).
+    /// When another live process holds the log's lock the handle is
+    /// **read-only**: it seeds from the current file contents (without
+    /// truncating anything out from under the owner) and every write is
+    /// a counted no-op.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors only (permissions, missing parent directory);
+    /// corruption and lock contention are handled, not reported.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<LoadedStore> {
+        let path = path.as_ref().to_path_buf();
+        let lock_path = path.with_extension("lock");
+        let owns_lock = acquire_lock(&lock_path)?;
+        let mut stats = StoreLogStats::default();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+
+        let mut entries = Vec::new();
+        let mut good_end = 0usize;
+        let header_ok = bytes.len() >= HEADER_LEN && {
+            let mut r = Reader::new(&bytes[..HEADER_LEN]);
+            let mut magic = [0u8; 8];
+            for m in &mut magic {
+                *m = r.get_u8().expect("header length checked");
+            }
+            magic == *MAGIC
+                && r.get_u32().expect("header") == WIRE_VERSION
+                && r.get_u32().expect("header") == FINGERPRINT_VERSION
+                && r.get_u64().expect("header") == format_salt()
+        };
+
+        if header_ok {
+            good_end = HEADER_LEN;
+            let mut pos = HEADER_LEN;
+            while pos < bytes.len() {
+                let Some(record) = read_record(&bytes[pos..]) else {
+                    break;
+                };
+                let (consumed, key, outcome) = record;
+                entries.push((key, outcome));
+                pos += consumed;
+                good_end = pos;
+            }
+            stats.loaded = entries.len() as u64;
+            stats.dropped_bytes = (bytes.len() - good_end) as u64;
+        } else {
+            // A missing/empty file is a first run, not a recovery event;
+            // a non-empty file with a foreign or mismatched header is the
+            // version/salt cold start. Both get a fresh header below.
+            stats.cold_start = u64::from(!bytes.is_empty());
+        }
+
+        if !owns_lock {
+            // Another live process owns appends: seed from what parsed
+            // and leave the file strictly alone (its owner may be
+            // mid-append past our snapshot).
+            stats.read_only = 1;
+            stats.dropped_bytes = 0;
+            let log = StoreLog {
+                path,
+                writer: None,
+                lock: None,
+                stats,
+            };
+            return Ok(LoadedStore { log, entries });
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        if header_ok {
+            // Drop the corrupt tail (no-op when the whole file was good).
+            file.set_len(good_end as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        } else {
+            file.set_len(0)?;
+            file.write_all(&header_bytes())?;
+        }
+        let log = StoreLog {
+            path,
+            writer: Some(BufWriter::new(file)),
+            lock: Some(lock_path),
+            stats,
+        };
+        Ok(LoadedStore { log, entries })
+    }
+
+    /// Whether this handle owns the log (can append); `false` for the
+    /// read-only degraded mode under lock contention.
+    #[must_use]
+    pub fn is_writable(&self) -> bool {
+        self.writer.is_some()
+    }
+
+    /// Appends one `(key, outcome)` record to the buffered writer (call
+    /// [`StoreLog::flush`] to make it durable). A no-op on a read-only
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn append(&mut self, key: StoreKey, outcome: &RunOutcome) -> io::Result<()> {
+        let Some(writer) = &mut self.writer else {
+            return self.no_writer();
+        };
+        let payload = record_payload(key, outcome);
+        writer.write_all(&frame(&payload))?;
+        self.stats.appended += 1;
+        Ok(())
+    }
+
+    /// The no-writer outcome: a benign no-op for the read-only degraded
+    /// mode, a **loud error** for an owned log whose writer was lost by a
+    /// failed compaction reopen — silence there would masquerade as
+    /// persistence while every record lands in an unlinked inode.
+    fn no_writer(&self) -> io::Result<()> {
+        if self.lock.is_some() {
+            return Err(io::Error::other(
+                "store log writer lost after a failed compaction reopen",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered appends to the file. A no-op on a read-only
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let Some(writer) = &mut self.writer else {
+            return self.no_writer();
+        };
+        writer.flush()?;
+        self.stats.flushes += 1;
+        Ok(())
+    }
+
+    /// Atomically rewrites the log to hold exactly `entries`: writes a
+    /// sibling temporary file and renames it over the log, then reopens
+    /// the append handle. Drops records superseded by invalidation and
+    /// duplicate appends — the log's steady-state size becomes the store's
+    /// live size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the original log survives any failure
+    /// before the rename.
+    pub fn compact<'a>(
+        &mut self,
+        entries: impl Iterator<Item = (StoreKey, &'a RunOutcome)>,
+    ) -> io::Result<()> {
+        let Some(writer) = &mut self.writer else {
+            // Read-only handles never rewrite the owner's file; a broken
+            // owned handle reports itself instead.
+            return self.no_writer();
+        };
+        let tmp_path = self.path.with_extension("tmp");
+        {
+            let mut tmp = BufWriter::new(File::create(&tmp_path)?);
+            tmp.write_all(&header_bytes())?;
+            for (key, outcome) in entries {
+                tmp.write_all(&frame(&record_payload(key, outcome)))?;
+            }
+            tmp.flush()?;
+        }
+        // Make sure nothing buffered lands *after* the rename and corrupts
+        // the fresh file's tail through the stale handle.
+        writer.flush()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        // From here the old handle points at an unlinked inode: the
+        // writer MUST be replaced or dropped, never kept — appends
+        // through it would "succeed" into a file that vanishes at exit.
+        self.writer = None;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.writer = Some(BufWriter::new(file));
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// The log's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreLogStats {
+        self.stats
+    }
+}
+
+impl Drop for StoreLog {
+    /// Releases the lock file (owned handles only) so the next process
+    /// can take ownership without waiting for staleness detection.
+    fn drop(&mut self) {
+        if let Some(lock) = &self.lock {
+            let _ = std::fs::remove_file(lock);
+        }
+    }
+}
+
+fn header_bytes() -> Vec<u8> {
+    let mut w = Writer::new();
+    for &b in MAGIC {
+        w.put_u8(b);
+    }
+    w.put_u32(WIRE_VERSION);
+    w.put_u32(FINGERPRINT_VERSION);
+    w.put_u64(format_salt());
+    w.into_bytes()
+}
+
+fn record_payload(key: StoreKey, outcome: &RunOutcome) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(key.0 .0);
+    w.put_u64(key.1);
+    encode_outcome(&mut w, outcome);
+    w.into_bytes()
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(payload.len() as u32);
+    w.put_u64(checksum(payload));
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Parses one record at the start of `bytes`: `Some((bytes consumed, key,
+/// outcome))`, or `None` when the frame is truncated, the checksum fails,
+/// or the payload does not decode — the load stops (and truncates) there.
+fn read_record(bytes: &[u8]) -> Option<(usize, StoreKey, RunOutcome)> {
+    if bytes.len() < FRAME_LEN {
+        return None;
+    }
+    let mut r = Reader::new(bytes);
+    let len = r.get_u32().ok()?;
+    if len > MAX_RECORD {
+        return None;
+    }
+    let sum = r.get_u64().ok()?;
+    let total = FRAME_LEN + len as usize;
+    if bytes.len() < total {
+        return None;
+    }
+    let payload = &bytes[FRAME_LEN..total];
+    if checksum(payload) != sum {
+        return None;
+    }
+    let mut r = Reader::new(payload);
+    let pid = ProgramId(r.get_u64().ok()?);
+    let fp = r.get_u64().ok()?;
+    let outcome = decode_outcome(&mut r).ok()?;
+    if !r.is_exhausted() {
+        return None; // trailing garbage inside a framed record
+    }
+    Some((total, (pid, fp), outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardbound_core::ExecStats;
+
+    fn outcome(n: i32) -> RunOutcome {
+        RunOutcome {
+            exit_code: Some(n),
+            trap: None,
+            stats: ExecStats {
+                uops: n as u64 * 10,
+                ..ExecStats::default()
+            },
+            output: format!("out{n}"),
+            ints: vec![n],
+        }
+    }
+
+    fn key(n: u64) -> StoreKey {
+        (ProgramId(n), n.wrapping_mul(0x9e37_79b9))
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hb-storelog-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn append_flush_reload_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut loaded = StoreLog::open(&path).unwrap();
+            assert_eq!(loaded.entries.len(), 0);
+            assert_eq!(loaded.log.stats().cold_start, 0, "fresh file, not cold");
+            for n in 0..5 {
+                loaded.log.append(key(n), &outcome(n as i32)).unwrap();
+            }
+            loaded.log.flush().unwrap();
+        }
+        let loaded = StoreLog::open(&path).unwrap();
+        assert_eq!(loaded.log.stats().loaded, 5);
+        assert_eq!(loaded.log.stats().dropped_bytes, 0);
+        for (n, (k, out)) in loaded.entries.iter().enumerate() {
+            assert_eq!(*k, key(n as u64));
+            assert_eq!(*out, outcome(n as i32));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_not_fatal() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut loaded = StoreLog::open(&path).unwrap();
+            for n in 0..3 {
+                loaded.log.append(key(n), &outcome(n as i32)).unwrap();
+            }
+            loaded.log.flush().unwrap();
+        }
+        // Flip one byte inside the last record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let loaded = StoreLog::open(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 2, "last record dropped");
+        assert!(loaded.log.stats().dropped_bytes > 0);
+        assert_eq!(loaded.log.stats().cold_start, 0);
+        // The file was truncated in place: a reload sees a clean log.
+        drop(loaded);
+        let reloaded = StoreLog::open(&path).unwrap();
+        assert_eq!(reloaded.entries.len(), 2);
+        assert_eq!(reloaded.log.stats().dropped_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_mid_record_recovers_the_prefix() {
+        let path = temp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut loaded = StoreLog::open(&path).unwrap();
+            for n in 0..3 {
+                loaded.log.append(key(n), &outcome(n as i32)).unwrap();
+            }
+            loaded.log.flush().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let loaded = StoreLog::open(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 2, "the torn record is lost, no more");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_cold_starts() {
+        let path = temp_path("version");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut loaded = StoreLog::open(&path).unwrap();
+            loaded.log.append(key(1), &outcome(1)).unwrap();
+            loaded.log.flush().unwrap();
+        }
+        // Corrupt the header's version word.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = StoreLog::open(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 0, "foreign format is discarded");
+        assert_eq!(loaded.log.stats().cold_start, 1);
+        // The file is now a clean current-format log again.
+        drop(loaded);
+        let reloaded = StoreLog::open(&path).unwrap();
+        assert_eq!(reloaded.log.stats().cold_start, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_opener_degrades_to_read_only() {
+        let path = temp_path("locked");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("lock"));
+        let mut owner = StoreLog::open(&path).unwrap();
+        assert!(owner.log.is_writable());
+        owner.log.append(key(1), &outcome(1)).unwrap();
+        owner.log.flush().unwrap();
+
+        // A second handle while the owner lives: seeded, but read-only —
+        // its writes are no-ops and the owner's file is untouched.
+        let mut second = StoreLog::open(&path).unwrap();
+        assert!(!second.log.is_writable());
+        assert_eq!(second.log.stats().read_only, 1);
+        assert_eq!(second.entries, vec![(key(1), outcome(1))]);
+        let before = std::fs::metadata(&path).unwrap().len();
+        second.log.append(key(2), &outcome(2)).unwrap();
+        second.log.flush().unwrap();
+        second.log.compact(std::iter::empty()).unwrap();
+        assert_eq!(second.log.stats().appended, 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+
+        // The owner keeps appending safely; dropping it releases the
+        // lock, so a fresh open owns the log again.
+        owner.log.append(key(3), &outcome(3)).unwrap();
+        owner.log.flush().unwrap();
+        drop(second);
+        drop(owner);
+        let reopened = StoreLog::open(&path).unwrap();
+        assert!(reopened.log.is_writable(), "released lock is re-acquired");
+        assert_eq!(reopened.entries.len(), 2);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("lock"));
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_stolen() {
+        let path = temp_path("stale");
+        let _ = std::fs::remove_file(&path);
+        let lock = path.with_extension("lock");
+        // A PID that cannot be a live process (PID_MAX_LIMIT is 2^22).
+        std::fs::write(&lock, "4194999").unwrap();
+        let loaded = StoreLog::open(&path).unwrap();
+        assert!(
+            loaded.log.is_writable(),
+            "a dead holder's lock must be stolen"
+        );
+        drop(loaded);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&lock);
+    }
+
+    #[test]
+    fn compaction_rewrites_atomically_and_appends_continue() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut loaded = StoreLog::open(&path).unwrap();
+        for n in 0..10 {
+            loaded.log.append(key(n % 2), &outcome(n as i32)).unwrap();
+        }
+        loaded.log.flush().unwrap();
+        let fat = std::fs::metadata(&path).unwrap().len();
+
+        let live = [(key(0), outcome(8)), (key(1), outcome(9))];
+        loaded
+            .log
+            .compact(live.iter().map(|(k, o)| (*k, o)))
+            .unwrap();
+        assert!(std::fs::metadata(&path).unwrap().len() < fat);
+        loaded.log.append(key(7), &outcome(7)).unwrap();
+        loaded.log.flush().unwrap();
+
+        let reloaded = StoreLog::open(&path).unwrap();
+        assert_eq!(
+            reloaded.entries,
+            vec![
+                (key(0), outcome(8)),
+                (key(1), outcome(9)),
+                (key(7), outcome(7)),
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -28,6 +28,9 @@
 //! * [`workloads`] — ports of the nine Olden benchmarks used in §5.
 //! * [`violations`] — the spatial-violation corpus generator of §5.2.
 //! * [`report`] — experiment drivers that regenerate every table and figure.
+//! * [`serve`] — the persistent result store (`HB_STORE_PATH`) and the
+//!   `hbserve` networked corpus service (wire codec, append-only log,
+//!   TCP work-queue front end).
 //! * [`bench`] — bench-harness support (`cargo bench` targets regenerate
 //!   the paper artefacts; `HB_SCALE=smoke` shrinks inputs for CI).
 //!
@@ -61,5 +64,6 @@ pub use hardbound_lang as lang;
 pub use hardbound_mem as mem;
 pub use hardbound_report as report;
 pub use hardbound_runtime as runtime;
+pub use hardbound_serve as serve;
 pub use hardbound_violations as violations;
 pub use hardbound_workloads as workloads;
