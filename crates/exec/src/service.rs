@@ -25,6 +25,7 @@
 //! merge of store hits and fresh executions.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use hardbound_core::{stable_fingerprint, Machine, MachineConfig, RunOutcome};
 use hardbound_isa::Program;
@@ -68,6 +69,8 @@ pub struct ResultStoreStats {
     pub invalidated: u64,
     /// Entries dropped by capacity eviction (oldest first).
     pub evicted: u64,
+    /// Entries dropped by idle-TTL expiry (see [`ResultStore::set_ttl`]).
+    pub expired: u64,
 }
 
 /// The program-hash result store: `(ProgramId, config fingerprint)` →
@@ -97,6 +100,12 @@ pub struct ResultStore {
     free: Vec<u32>,
     recency: SlruIndex,
     capacity: usize,
+    /// Last-touched stamp per slab slot (insert, seed or hit refreshes);
+    /// only consulted when a TTL is set.
+    stamps: Vec<Instant>,
+    /// Idle time after which an untouched entry is collectable by
+    /// [`ResultStore::gc_expired`]; `None` disables expiry.
+    ttl: Option<Duration>,
     stats: ResultStoreStats,
     /// Keys inserted since the last [`ResultStore::take_dirty`] — `Some`
     /// only when a persistence layer enabled journaling, so standalone
@@ -130,6 +139,8 @@ impl ResultStore {
             free: Vec::new(),
             recency: SlruIndex::new(capacity),
             capacity,
+            stamps: Vec::new(),
+            ttl: None,
             stats: ResultStoreStats::default(),
             journal: None,
         }
@@ -143,6 +154,7 @@ impl ResultStore {
             Some(&id) => {
                 self.stats.hits += 1;
                 self.recency.touch(id);
+                self.stamps[id as usize] = Instant::now();
                 let (_, out) = self.slots[id as usize].as_ref().expect("live slot");
                 Some(out.clone())
             }
@@ -169,10 +181,12 @@ impl ResultStore {
         let id = match self.free.pop() {
             Some(id) => {
                 self.slots[id as usize] = slot;
+                self.stamps[id as usize] = Instant::now();
                 id
             }
             None => {
                 self.slots.push(slot);
+                self.stamps.push(Instant::now());
                 (self.slots.len() - 1) as u32
             }
         };
@@ -205,6 +219,7 @@ impl ResultStore {
         if let Some(&id) = self.map.get(&key) {
             self.slots[id as usize] = Some((key, outcome));
             self.recency.touch(id);
+            self.stamps[id as usize] = Instant::now();
             return;
         }
         self.place(key, outcome);
@@ -216,9 +231,37 @@ impl ResultStore {
     pub fn seed(&mut self, key: StoreKey, outcome: RunOutcome) {
         if let Some(&id) = self.map.get(&key) {
             self.slots[id as usize] = Some((key, outcome));
+            self.stamps[id as usize] = Instant::now();
             return;
         }
         self.place(key, outcome);
+    }
+
+    /// Sets the idle TTL: entries untouched (no hit, insert or seed) for
+    /// at least `ttl` are dropped by the next [`ResultStore::gc_expired`]
+    /// sweep. `None` (the default) disables expiry — capacity eviction is
+    /// then the only bound. A long-lived `hbserve` shard sets this from
+    /// `HB_STORE_TTL` so one hot week of corpus traffic cannot pin a
+    /// month of stale results.
+    pub fn set_ttl(&mut self, ttl: Option<Duration>) {
+        self.ttl = ttl;
+    }
+
+    /// Drops every entry idle for at least the configured TTL, returning
+    /// how many died (0 without a TTL). Counted under `expired`, not
+    /// `evicted` — distinct pressure, distinct counter.
+    pub fn gc_expired(&mut self) -> usize {
+        let Some(ttl) = self.ttl else { return 0 };
+        let victims: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&id| {
+                self.slots[id as usize].is_some() && self.stamps[id as usize].elapsed() >= ttl
+            })
+            .collect();
+        for &id in &victims {
+            self.drop_slot(id);
+        }
+        self.stats.expired += victims.len() as u64;
+        victims.len()
     }
 
     /// Enables (or disables) the insert journal the persistence layer
@@ -365,6 +408,13 @@ impl CorpusService {
         self.result_cache
     }
 
+    /// Sets the result store's idle TTL (`HB_STORE_TTL`); expired entries
+    /// are garbage-collected at the start of every batch. See
+    /// [`ResultStore::set_ttl`].
+    pub fn set_ttl(&mut self, ttl: Option<Duration>) {
+        self.store.set_ttl(ttl);
+    }
+
     /// Read access to the result store (tests and diagnostics).
     #[must_use]
     pub fn store(&self) -> &ResultStore {
@@ -391,6 +441,9 @@ impl CorpusService {
         T: Sync,
         F: Fn(Program, MachineConfig, &T) -> Machine + Sync,
     {
+        if self.result_cache {
+            self.store.gc_expired();
+        }
         let keys: Vec<(ProgramId, u64)> = jobs.iter().map(Job::key).collect();
         let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
         let mut missing: Vec<usize> = Vec::new();
@@ -676,6 +729,45 @@ mod tests {
         assert_eq!(store.peek(&a), Some(&out), "peek is count-free");
         let stats = store.stats();
         assert_eq!(stats.hits + stats.misses, 0, "peek/seed never count");
+    }
+
+    #[test]
+    fn ttl_expires_idle_entries_and_none_disables_expiry() {
+        // A zero TTL makes every entry expired at the next sweep —
+        // deterministic without sleeping.
+        let mut store = ResultStore::with_capacity(8);
+        let out = {
+            let mut svc = CorpusService::new(1);
+            svc.run_one(&job(10, 1_000_000), build)
+        };
+        let a = job(10, 1_000_000).key();
+        let b = job(11, 1_000_000).key();
+        store.insert(a, out.clone());
+        store.insert(b, out.clone());
+        assert_eq!(store.gc_expired(), 0, "no TTL, no expiry");
+        store.set_ttl(Some(Duration::from_secs(3600)));
+        assert_eq!(store.gc_expired(), 0, "nothing idle for an hour yet");
+        store.set_ttl(Some(Duration::ZERO));
+        assert_eq!(store.gc_expired(), 2, "zero TTL expires everything");
+        assert_eq!(store.len(), 0);
+        let stats = store.stats();
+        assert_eq!(stats.expired, 2);
+        assert_eq!(stats.evicted, 0, "expiry is not capacity eviction");
+    }
+
+    #[test]
+    fn service_gc_runs_at_batch_start() {
+        let jobs = vec![job(10, 1_000_000)];
+        let mut svc = CorpusService::new(1);
+        svc.set_ttl(Some(Duration::ZERO));
+        svc.run_batch(&jobs, build);
+        assert_eq!(svc.stats().store_len, 1, "the fresh result is stored");
+        // The next batch's sweep expires it, so the cell re-executes.
+        svc.run_batch(&jobs, build);
+        let s = svc.stats();
+        assert_eq!(s.store.hits, 0, "expired entries never replay");
+        assert_eq!(s.store.misses, 2);
+        assert_eq!(s.store.expired, 1);
     }
 
     #[test]

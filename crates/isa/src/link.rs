@@ -25,10 +25,13 @@
 //!   entry).
 //! * **Data/globals union** — initialized data regions are unioned
 //!   (identical duplicates fold, overlapping disagreements are a
-//!   [`LinkError::DataConflict`]); the globals reservation is the maximum
-//!   of the parts' reservations. Listings address globals absolutely, so
-//!   parts must already agree on a layout — the linker merges images, it
-//!   does not relocate them.
+//!   [`LinkError::DataConflict`]). Listings address globals absolutely, so
+//!   at most one part with code may reserve globals — a second defining
+//!   reservation would alias the first's slots and is a
+//!   [`LinkError::GlobalsConflict`]. Pure-stub listings (header-file
+//!   analogues) may additionally *declare* the layout; the merged
+//!   reservation is the maximum of definition and declarations. The
+//!   linker merges images, it does not relocate them.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -70,6 +73,17 @@ pub enum LinkError {
         /// Start address of the conflicting region.
         addr: u32,
     },
+    /// Two parts with code both reserve globals. Listings address globals
+    /// absolutely from slot 0, so two independently compiled parts'
+    /// reservations alias the same slots — only a **pure-stub** listing
+    /// (every function a body-less stub: the header-file analogue) may
+    /// *declare* a globals layout alongside the one part that defines it.
+    GlobalsConflict {
+        /// The reservation of the first defining part.
+        first: u32,
+        /// The reservation of the second defining part.
+        second: u32,
+    },
 }
 
 impl fmt::Display for LinkError {
@@ -95,6 +109,14 @@ impl fmt::Display for LinkError {
             }
             LinkError::DataConflict { addr } => {
                 write!(f, "conflicting data initializers at {addr:#010x}")
+            }
+            LinkError::GlobalsConflict { first, second } => {
+                write!(
+                    f,
+                    "two non-stub listings reserve globals ({first} and {second} bytes): \
+                     their absolute slots would alias (keep globals in one listing, or \
+                     declare them from a pure-stub listing)"
+                )
             }
         }
     }
@@ -257,6 +279,26 @@ pub fn merge_programs(parts: Vec<Program>) -> Result<Program, LinkError> {
             reference: parts[0].entry.0,
         })?,
     };
+
+    // Globals: listings address their globals absolutely from slot 0, so
+    // two parts that each *define* code and reserve globals would alias
+    // each other's slots — silently, since the union is just a size. Only
+    // a pure-stub listing (the header-file analogue) may carry a globals
+    // reservation alongside the one defining part: its reservation is a
+    // layout *declaration*, and the max below keeps declaration and
+    // definition honest with each other.
+    let mut defined_globals: Option<u32> = None;
+    for part in &parts {
+        if part.globals_size > 0 && !part.functions.iter().all(is_stub) {
+            if let Some(first) = defined_globals {
+                return Err(LinkError::GlobalsConflict {
+                    first,
+                    second: part.globals_size,
+                });
+            }
+            defined_globals = Some(part.globals_size);
+        }
+    }
 
     // Data union with conflict detection; globals reservation is the max.
     // Ranges are compared in u64 — a data line near the top of the address
@@ -480,7 +522,6 @@ mod tests {
             bytes: vec![1, 2, 3],
         });
         let mut b = Program::with_entry(vec![leaf("lib", 9)]);
-        b.globals_size = 64;
         b.data.push(DataInit {
             addr: 0x0080_0000,
             bytes: vec![1, 2, 3], // identical: folds
@@ -489,7 +530,11 @@ mod tests {
             addr: 0x0080_0100,
             bytes: vec![4],
         });
-        let merged = merge_programs(vec![a.clone(), b]).expect("links");
+        // A pure-stub "header" listing may over-declare the layout: its
+        // reservation maxes with the defining part's without conflicting.
+        let mut header = Program::with_entry(vec![stub("lib")]);
+        header.globals_size = 64;
+        let merged = merge_programs(vec![a.clone(), b, header]).expect("links");
         assert_eq!(merged.globals_size, 64);
         assert_eq!(merged.data.len(), 2);
 
@@ -502,6 +547,38 @@ mod tests {
             merge_programs(vec![a, clash]),
             Err(LinkError::DataConflict { addr: 0x0080_0001 })
         );
+    }
+
+    #[test]
+    fn globals_in_two_defining_parts_conflict() {
+        // Both listings carry code *and* a globals reservation: each
+        // compiled its globals at absolute slots from 0, so merging by max
+        // would silently alias them — the old behaviour this pins out.
+        let mut a = Program::with_entry(vec![main_calling(FuncId(1)), stub("lib")]);
+        a.globals_size = 16;
+        let mut b = Program::with_entry(vec![leaf("lib", 9)]);
+        b.globals_size = 64;
+        assert_eq!(
+            merge_programs(vec![a.clone(), b.clone()]),
+            Err(LinkError::GlobalsConflict {
+                first: 16,
+                second: 64
+            })
+        );
+        // Same sizes alias just the same.
+        let mut c = b.clone();
+        c.globals_size = 16;
+        assert_eq!(
+            merge_programs(vec![a.clone(), c]),
+            Err(LinkError::GlobalsConflict {
+                first: 16,
+                second: 16
+            })
+        );
+        // Dropping one side's reservation links fine.
+        b.globals_size = 0;
+        let merged = merge_programs(vec![a, b]).expect("links");
+        assert_eq!(merged.globals_size, 16);
     }
 
     #[test]

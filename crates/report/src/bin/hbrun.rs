@@ -263,6 +263,12 @@ fn main() -> ExitCode {
                     "remote server:   {} round-trips, {} cells shipped",
                     remote.round_trips, remote.cells
                 );
+                if remote.retries + remote.reroutes > 0 {
+                    eprintln!(
+                        "remote failover: {} retries, {} re-routed submissions",
+                        remote.retries, remote.reroutes
+                    );
+                }
             } else {
                 let svc = service_stats();
                 eprintln!(

@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! cargo run -p hardbound_report --bin hbserve -- \
-//!     [--listen 127.0.0.1:7878] [--store PATH] [--workers N]
+//!     [--listen 127.0.0.1:7878] [--store PATH] [--workers N] \
+//!     [--shard K/N] [--ttl SECS]
 //! ```
 //!
 //! Binds a TCP front end around one shared (optionally persistent)
@@ -21,6 +22,12 @@
 //!   `HB_STORE_PATH` when set); the log is compacted on shutdown.
 //! * `--workers N` — execution worker shards (default: `HB_JOBS` or all
 //!   cores).
+//! * `--shard K/N` — declare this server shard *K* of an *N*-shard
+//!   cluster (`K` in `0..N`): submitted cells are classified as owned vs
+//!   foreign in the stats. Routing is advisory — foreign cells still
+//!   execute, which is exactly how clients fail over a dead shard.
+//! * `--ttl SECS` — expire store entries idle for `SECS` seconds
+//!   (defaults to `HB_STORE_TTL` when set; off otherwise).
 //!
 //! The server runs until a client sends the protocol `SHUTDOWN` request;
 //! it then checkpoints the store and exits 0.
@@ -30,7 +37,7 @@ use std::sync::{Arc, PoisonError};
 
 use hardbound_compiler::Mode;
 use hardbound_exec::batch;
-use hardbound_runtime::{build_machine_with_config, store_path};
+use hardbound_runtime::{build_machine_with_config, store_path, store_ttl};
 use hardbound_serve::net::{Builder, TagCheck};
 use hardbound_serve::{PersistentService, Server};
 
@@ -38,12 +45,24 @@ struct Args {
     listen: String,
     store: Option<String>,
     workers: usize,
+    shard: Option<(usize, usize)>,
+    ttl: Option<std::time::Duration>,
+}
+
+/// Parses `K/N` with `K < N` (the `--shard` form).
+fn parse_shard(v: &str) -> Option<(usize, usize)> {
+    let (k, n) = v.split_once('/')?;
+    let k = k.trim().parse::<usize>().ok()?;
+    let n = n.trim().parse::<usize>().ok()?;
+    (k < n).then_some((k, n))
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut listen = "127.0.0.1:0".to_owned();
     let mut store = store_path();
     let mut workers = batch::default_workers();
+    let mut shard = None;
+    let mut ttl = store_ttl();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -56,9 +75,23 @@ fn parse_args() -> Result<Args, String> {
                         format!("--workers must be a positive integer, got `{v}`")
                     })?;
             }
+            "--shard" => {
+                let v = it.next().ok_or("--shard needs K/N")?;
+                shard = Some(parse_shard(&v).ok_or_else(|| {
+                    format!("--shard must be K/N with K < N (e.g. 0/3), got `{v}`")
+                })?);
+            }
+            "--ttl" => {
+                let v = it.next().ok_or("--ttl needs seconds")?;
+                ttl = Some(std::time::Duration::from_secs(v.parse::<u64>().map_err(
+                    |_| format!("--ttl must be a whole number of seconds, got `{v}`"),
+                )?));
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: hbserve [--listen ADDR] [--store PATH] [--workers N]".to_owned(),
+                    "usage: hbserve [--listen ADDR] [--store PATH] [--workers N] \
+                     [--shard K/N] [--ttl SECS]"
+                        .to_owned(),
                 )
             }
             other => return Err(format!("unexpected argument `{other}`")),
@@ -68,6 +101,8 @@ fn parse_args() -> Result<Args, String> {
         listen,
         store,
         workers,
+        shard,
+        ttl,
     })
 }
 
@@ -86,7 +121,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let svc = match &args.store {
+    let mut svc = match &args.store {
         Some(path) => match PersistentService::open(args.workers, path) {
             Ok(svc) => svc,
             Err(e) => {
@@ -96,18 +131,22 @@ fn main() -> ExitCode {
         },
         None => PersistentService::new(args.workers),
     };
+    svc.set_ttl(args.ttl);
     let build: Arc<Builder> = Arc::new(|program, config, tag| {
         let mode = mode_of(tag).expect("tags are validated before any build");
         build_machine_with_config(program, mode, config)
     });
     let tag_ok: Arc<TagCheck> = Arc::new(|tag| mode_of(tag).is_some());
-    let server = match Server::bind(&args.listen, svc, build, tag_ok) {
+    let mut server = match Server::bind(&args.listen, svc, build, tag_ok) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {}: {e}", args.listen);
             return ExitCode::from(2);
         }
     };
+    if let Some((index, count)) = args.shard {
+        server.set_shard(index, count);
+    }
     match server.local_addr() {
         Ok(addr) => {
             // The first stdout line is the contract wrappers parse; flush

@@ -1,0 +1,251 @@
+//! End-to-end smoke tests of the **sharded hbserve cluster**: spawn real
+//! `hbserve --shard k/n` processes, scatter a figure grid across them via
+//! the runtime's consistent-hash client, and hold the cluster
+//! **byte-identical** to a single in-process run — including with one
+//! shard dead (the failover acceptance criterion: retry/re-route, never a
+//! panic, never a wrong or missing cell).
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use hardbound_compiler::Mode;
+use hardbound_core::{PointerEncoding, RunOutcome};
+use hardbound_exec::CorpusService;
+use hardbound_runtime::{
+    build_machine_with_config, compile, machine_config, remote_stats, run_jobs_remote_to, SimJob,
+};
+use hardbound_serve::Client;
+
+/// An `hbserve` child that dies with the test.
+struct ServerGuard {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server(extra: &[&str]) -> ServerGuard {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbserve"))
+        .args(["--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("hbserve spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("hbserve prints its address");
+    let addr = line
+        .trim()
+        .strip_prefix("hbserve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_owned();
+    ServerGuard { child, addr }
+}
+
+/// Spawns an `n`-shard cluster, each member told its ring position.
+fn spawn_cluster(n: usize) -> Vec<ServerGuard> {
+    (0..n)
+        .map(|k| spawn_server(&["--shard", &format!("{k}/{n}")]))
+        .collect()
+}
+
+fn addrs_of(cluster: &[ServerGuard]) -> Vec<String> {
+    cluster.iter().map(|s| s.addr.clone()).collect()
+}
+
+const PROGRAMS: &[&str] = &[
+    r"
+    struct node { int v; struct node *next; };
+    int main() {
+        struct node *head = 0;
+        for (int i = 0; i < 9; i = i + 1) {
+            struct node *n = (struct node*)malloc(sizeof(struct node));
+            n->v = i * 3; n->next = head; head = n;
+        }
+        int s = 0;
+        for (struct node *p = head; p != 0; p = p->next) s = s + p->v;
+        print_int(s);
+        return 0;
+    }
+    ",
+    r#"
+    int main() {
+        char *buf = (char*)malloc(16);
+        strcpy(buf, "cluster");
+        print_str(buf);
+        return strlen(buf);
+    }
+    "#,
+];
+
+const MODES: [Mode; 3] = [Mode::Baseline, Mode::HardBound, Mode::ObjectTable];
+
+/// The figure grid (program × mode × encoding) as runtime jobs, plus the
+/// matching in-process service jobs for the reference run.
+fn grid() -> (Vec<SimJob>, Vec<hardbound_exec::Job<Mode>>) {
+    let mut sim = Vec::new();
+    let mut local = Vec::new();
+    for source in PROGRAMS {
+        for mode in MODES {
+            let program = compile(source, mode).expect("compiles");
+            for encoding in PointerEncoding::ALL {
+                sim.push(SimJob::new(program.clone(), mode, encoding));
+                local.push(hardbound_exec::Job {
+                    program: program.clone(),
+                    config: machine_config(mode, encoding),
+                    salt: mode as u64,
+                    tag: mode,
+                });
+            }
+        }
+    }
+    (sim, local)
+}
+
+/// The single in-process reference run the cluster is measured against.
+fn reference(local_jobs: &[hardbound_exec::Job<Mode>]) -> Vec<RunOutcome> {
+    let mut svc = CorpusService::new(2);
+    svc.run_batch(local_jobs, |program, config, &mode| {
+        build_machine_with_config(program, mode, config)
+    })
+}
+
+#[test]
+fn three_shard_cluster_matches_the_in_process_run() {
+    let cluster = spawn_cluster(3);
+    let addrs = addrs_of(&cluster);
+    let (sim_jobs, local_jobs) = grid();
+    let expected = reference(&local_jobs);
+
+    let out = run_jobs_remote_to(&addrs, &sim_jobs);
+    assert_eq!(
+        out, expected,
+        "the sharded cluster must be byte-identical to a single in-process run"
+    );
+
+    // Distinct store keys in the grid (the software modes share one
+    // baseline config across encodings, so those cells dedup).
+    let distinct = local_jobs
+        .iter()
+        .map(hardbound_exec::Job::key)
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u64;
+
+    // Every shard served only cells it owns (no failover traffic on the
+    // happy path), the work actually spread out, and across the cluster
+    // each distinct key executed exactly once.
+    let mut misses = 0;
+    let mut served = 0;
+    for (k, guard) in cluster.iter().enumerate() {
+        let mut client = Client::connect(&guard.addr).expect("connects");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.shard_index, k as u64, "banner order is shard order");
+        assert_eq!(stats.shard_count, 3);
+        assert_eq!(stats.foreign_cells, 0, "shard {k} saw re-routed cells");
+        assert!(stats.owned_cells > 0, "shard {k} sat idle: {stats:?}");
+        misses += stats.misses;
+        served += stats.hits + stats.misses;
+        client.shutdown().expect("shutdown");
+    }
+    assert_eq!(misses, distinct, "each distinct key executed exactly once");
+    assert_eq!(served, sim_jobs.len() as u64, "every cell was served");
+
+    for mut guard in cluster {
+        let status = guard.child.wait().expect("hbserve exits");
+        assert!(status.success(), "hbserve must exit cleanly: {status}");
+    }
+}
+
+#[test]
+fn dead_shard_reroutes_to_survivors_with_zero_wrong_cells() {
+    let mut cluster = spawn_cluster(3);
+    let addrs = addrs_of(&cluster);
+    let (sim_jobs, local_jobs) = grid();
+    let expected = reference(&local_jobs);
+
+    // Kill shard 1 outright: its cells must re-route to the survivors —
+    // no panic, no wrong cell, no missing cell.
+    {
+        let dead = &mut cluster[1];
+        dead.child.kill().expect("kill");
+        dead.child.wait().expect("reap");
+    }
+    let before = remote_stats();
+    let out = run_jobs_remote_to(&addrs, &sim_jobs);
+    assert_eq!(
+        out, expected,
+        "losing a shard must not change a single outcome"
+    );
+    let after = remote_stats();
+    assert!(
+        after.reroutes > before.reroutes,
+        "the dead shard's cells must re-route: {after:?}"
+    );
+
+    // The survivors picked up the dead shard's cells as foreign traffic.
+    let mut foreign = 0;
+    for k in [0usize, 2] {
+        let mut client = Client::connect(&cluster[k].addr).expect("connects");
+        foreign += client.stats().expect("stats").foreign_cells;
+    }
+    assert!(foreign > 0, "survivors must have served re-routed cells");
+}
+
+#[test]
+fn shard_killed_mid_grid_recovers() {
+    // A slower grid (distinct arithmetic loops) so the kill lands while
+    // cells are still streaming; whenever it lands — before connect,
+    // mid-stream, or after the grid finished — the client must come back
+    // byte-identical.
+    let cluster = spawn_cluster(2);
+    let addrs = addrs_of(&cluster);
+    let mut sim_jobs = Vec::new();
+    let mut local_jobs = Vec::new();
+    for k in 0..24 {
+        let source = format!(
+            "int main() {{\n\
+               int s = 0;\n\
+               for (int i = 0; i < {}; i = i + 1) s = s + i % 7;\n\
+               print_int(s);\n\
+               return 0;\n\
+             }}",
+            20_000 + k * 13
+        );
+        let program = compile(&source, Mode::HardBound).expect("compiles");
+        sim_jobs.push(SimJob::new(
+            program.clone(),
+            Mode::HardBound,
+            PointerEncoding::Intern4,
+        ));
+        local_jobs.push(hardbound_exec::Job {
+            program,
+            config: machine_config(Mode::HardBound, PointerEncoding::Intern4),
+            salt: Mode::HardBound as u64,
+            tag: Mode::HardBound,
+        });
+    }
+    let expected = reference(&local_jobs);
+
+    let mut cluster = cluster;
+    let mut victim = cluster.remove(0);
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        victim.child.kill().expect("kill");
+        victim.child.wait().expect("reap");
+    });
+    let out = run_jobs_remote_to(&addrs, &sim_jobs);
+    killer.join().expect("killer thread");
+    drop(cluster);
+    assert_eq!(
+        out, expected,
+        "a shard dying mid-grid must degrade to retry/re-route, not corrupt cells"
+    );
+}

@@ -53,10 +53,10 @@ use hardbound_compiler::{compile_program, CompileError, Mode, Options};
 use hardbound_core::{
     Fnv64, HardboundConfig, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome,
 };
-use hardbound_exec::service::Job;
-use hardbound_exec::{batch, ServiceStats};
+use hardbound_exec::service::{config_fingerprint, Job};
+use hardbound_exec::{batch, ProgramId, ServiceStats};
 use hardbound_isa::Program;
-use hardbound_serve::{Client, PersistentService, StoreLogStats, WireJob};
+use hardbound_serve::{Client, PersistentService, ServeError, ShardRing, StoreLogStats, WireJob};
 
 /// Parses one `HB_*` boolean flag value: `0`, `false` (any case) and the
 /// empty string mean *off*; anything else means *on*. This is the one
@@ -314,6 +314,36 @@ pub fn serve_addr() -> Option<String> {
     (!v.is_empty()).then(|| v.to_owned())
 }
 
+/// The `hbserve` shard list: `HB_SERVE_ADDR` split on commas, in shard
+/// order (address *i* is shard *i* of *n* on the cluster's
+/// [`ShardRing`]). A single address is a one-shard cluster; `None` when
+/// the variable is unset or holds no addresses.
+#[must_use]
+pub fn serve_addrs() -> Option<Vec<String>> {
+    let addrs: Vec<String> = serve_addr()?
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(str::to_owned)
+        .collect();
+    (!addrs.is_empty()).then_some(addrs)
+}
+
+/// The result-store idle TTL in seconds (`HB_STORE_TTL`): entries
+/// untouched for that long are garbage-collected at the next batch.
+/// `None` (unset or empty) disables expiry.
+///
+/// # Panics
+///
+/// Panics with a diagnostic on an unparseable value — a silently ignored
+/// TTL would let a long-lived store grow stale without a trace.
+#[must_use]
+pub fn store_ttl() -> Option<std::time::Duration> {
+    env_parse::<u64>("HB_STORE_TTL")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .map(std::time::Duration::from_secs)
+}
+
 /// The process-wide corpus service: one shared decode-cache shard per
 /// [`batch::default_workers`] worker plus the result store, living for the
 /// whole process so every figure driver, corpus sweep and CI invocation
@@ -329,25 +359,35 @@ fn service() -> &'static Mutex<PersistentService> {
     static SERVICE: OnceLock<Mutex<PersistentService>> = OnceLock::new();
     SERVICE.get_or_init(|| {
         let workers = batch::default_workers();
-        let svc = match store_path() {
+        let mut svc = match store_path() {
             Some(path) => PersistentService::open(workers, &path)
                 .unwrap_or_else(|e| panic!("HB_STORE_PATH={path}: cannot open store: {e}")),
             None => PersistentService::new(workers),
         };
+        svc.set_ttl(store_ttl());
         Mutex::new(svc)
     })
 }
 
 static REMOTE_ROUND_TRIPS: AtomicU64 = AtomicU64::new(0);
 static REMOTE_CELLS: AtomicU64 = AtomicU64::new(0);
+static REMOTE_RETRIES: AtomicU64 = AtomicU64::new(0);
+static REMOTE_REROUTES: AtomicU64 = AtomicU64::new(0);
 
 /// Counters of the remote-offload client path (`HB_SERVE_ADDR`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RemoteStats {
-    /// Submissions sent to the server.
+    /// Submissions sent to servers (one per shard group on the happy
+    /// path; resubmissions count again).
     pub round_trips: u64,
-    /// Cells shipped across all submissions.
+    /// Cells shipped across all submissions (resubmitted cells count
+    /// again).
     pub cells: u64,
+    /// Repeat attempts against a shard after a transient failure.
+    pub retries: u64,
+    /// Submissions re-routed to a fallback shard after the preferred
+    /// shard's attempts exhausted.
+    pub reroutes: u64,
 }
 
 /// Snapshot of this process's remote-offload counters.
@@ -356,6 +396,8 @@ pub fn remote_stats() -> RemoteStats {
     RemoteStats {
         round_trips: REMOTE_ROUND_TRIPS.load(Ordering::Relaxed),
         cells: REMOTE_CELLS.load(Ordering::Relaxed),
+        retries: REMOTE_RETRIES.load(Ordering::Relaxed),
+        reroutes: REMOTE_REROUTES.load(Ordering::Relaxed),
     }
 }
 
@@ -441,8 +483,8 @@ pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
             ))
         });
     }
-    if let Some(addr) = serve_addr() {
-        return run_jobs_remote(&addr, &jobs);
+    if let Some(addrs) = serve_addrs() {
+        return run_jobs_remote_to(&addrs, &jobs);
     }
     let jobs: Vec<Job<Mode>> = jobs
         .into_iter()
@@ -460,8 +502,107 @@ pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
     })
 }
 
-/// The `HB_SERVE_ADDR` client path: ship the grid, collect the stream.
-fn run_jobs_remote(addr: &str, jobs: &[SimJob]) -> Vec<RunOutcome> {
+/// Attempts per shard address before falling through to the next shard on
+/// the ring's fallback route: one initial submission plus one
+/// reconnect-and-resubmit of the still-missing cells.
+const ATTEMPTS_PER_SHARD: usize = 2;
+
+/// One submission attempt against `addr`: connect, submit over the v2
+/// ticket flow, stream into `out`. On a mid-stream failure the slots
+/// filled so far stay filled — the caller resubmits only the rest.
+fn try_shard_once(
+    addr: &str,
+    sub: &[WireJob],
+    out: &mut [Option<RunOutcome>],
+) -> Result<(), ServeError> {
+    let mut client = Client::connect(addr)?;
+    let ticket = client.submit(sub)?;
+    REMOTE_ROUND_TRIPS.fetch_add(1, Ordering::Relaxed);
+    REMOTE_CELLS.fetch_add(sub.len() as u64, Ordering::Relaxed);
+    client.watch_into(ticket, out)
+}
+
+/// Fetches one shard group's cells (`idxs` into `wire_jobs`), walking the
+/// ring's fallback route: bounded attempts per shard, resubmitting only
+/// the cells still missing (results the cluster already streamed — or
+/// already computed into a surviving shard's store — are never thrown
+/// away). A server *rejection* (invalid job) is non-transient and fails
+/// immediately; connection/stream failures try the next attempt or shard.
+fn fetch_group(
+    addrs: &[String],
+    order: &[usize],
+    wire_jobs: &[WireJob],
+    idxs: &[usize],
+) -> Result<Vec<(usize, RunOutcome)>, String> {
+    let mut results: Vec<Option<RunOutcome>> = vec![None; idxs.len()];
+    let mut errors: Vec<String> = Vec::new();
+    for (hop, &shard) in order.iter().enumerate() {
+        let addr = &addrs[shard];
+        for attempt in 0..ATTEMPTS_PER_SHARD {
+            let missing: Vec<usize> = (0..idxs.len()).filter(|&k| results[k].is_none()).collect();
+            if missing.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                REMOTE_RETRIES.fetch_add(1, Ordering::Relaxed);
+            } else if hop > 0 {
+                REMOTE_REROUTES.fetch_add(1, Ordering::Relaxed);
+            }
+            let sub: Vec<WireJob> = missing
+                .iter()
+                .map(|&k| wire_jobs[idxs[k]].clone())
+                .collect();
+            let mut sub_results: Vec<Option<RunOutcome>> = vec![None; sub.len()];
+            let outcome = try_shard_once(addr, &sub, &mut sub_results);
+            for (&k, out) in missing.iter().zip(sub_results) {
+                if out.is_some() {
+                    results[k] = out;
+                }
+            }
+            match outcome {
+                Ok(()) if results.iter().all(Option::is_some) => {
+                    return Ok(idxs
+                        .iter()
+                        .zip(results)
+                        .map(|(&i, out)| (i, out.expect("checked above")))
+                        .collect());
+                }
+                // A DONE with holes is a server bug; treat as transient
+                // and resubmit the holes.
+                Ok(()) => errors.push(format!("{addr}: incomplete result stream")),
+                // A rejection means the submission itself is invalid —
+                // every shard would reject it the same way.
+                Err(e @ (ServeError::Server(_) | ServeError::Oversized { .. })) => {
+                    return Err(format!("{addr}: {e}"));
+                }
+                Err(e) => errors.push(format!("{addr}: {e}")),
+            }
+        }
+    }
+    Err(format!(
+        "all shards exhausted for {} cells [{}]",
+        results.iter().filter(|r| r.is_none()).count(),
+        errors.join("; ")
+    ))
+}
+
+/// The `HB_SERVE_ADDR` client path: scatter the grid across the shard
+/// cluster by consistent hashing over each cell's store key, gather the
+/// streams, and merge outcomes back into input order. Shard groups fetch
+/// concurrently; a shard's transient failure retries and then re-routes
+/// along the ring (see [`fetch_group`]).
+///
+/// Public so the cluster differential tests can drive an explicit shard
+/// list without racing on the process environment.
+///
+/// # Panics
+///
+/// Panics with per-shard diagnostics when a submission is rejected or
+/// every shard's attempts exhaust — a silent local fallback (or a silent
+/// hole in the grid) would hide that the cluster is not being used.
+#[must_use]
+pub fn run_jobs_remote_to(addrs: &[String], jobs: &[SimJob]) -> Vec<RunOutcome> {
+    assert!(!addrs.is_empty(), "empty hbserve shard list");
     if jobs.is_empty() {
         return Vec::new();
     }
@@ -469,14 +610,51 @@ fn run_jobs_remote(addr: &str, jobs: &[SimJob]) -> Vec<RunOutcome> {
         .iter()
         .map(|j| WireJob::new(&j.program, j.config.clone(), j.mode as u64, j.mode as u64))
         .collect();
-    let mut client = Client::connect(addr)
-        .unwrap_or_else(|e| panic!("HB_SERVE_ADDR={addr}: cannot reach hbserve: {e}"));
-    let outs = client
-        .run_jobs(&wire_jobs)
-        .unwrap_or_else(|e| panic!("HB_SERVE_ADDR={addr}: remote batch failed: {e}"));
-    REMOTE_ROUND_TRIPS.fetch_add(1, Ordering::Relaxed);
-    REMOTE_CELLS.fetch_add(jobs.len() as u64, Ordering::Relaxed);
-    outs
+    let ring = ShardRing::new(addrs.len());
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); addrs.len()];
+    for (i, j) in jobs.iter().enumerate() {
+        let pid = ProgramId::of(&j.program, &j.config);
+        let fp = config_fingerprint(&j.config, j.mode as u64);
+        groups[ring.owner_of_cell(pid.0, fp)].push(i);
+    }
+    let fetched: Vec<Result<Vec<(usize, RunOutcome)>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .map(|(shard, idxs)| {
+                let order = ring.route_from(shard);
+                let wire_jobs = &wire_jobs;
+                scope.spawn(move || fetch_group(addrs, &order, wire_jobs, idxs))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+    let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+    let mut failures: Vec<String> = Vec::new();
+    for group in fetched {
+        match group {
+            Ok(cells) => {
+                for (i, out) in cells {
+                    results[i] = Some(out);
+                }
+            }
+            Err(msg) => failures.push(msg),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "HB_SERVE_ADDR={}: remote batch failed: {}",
+        addrs.join(","),
+        failures.join(" | ")
+    );
+    results
+        .into_iter()
+        .map(|r| r.expect("every group resolved or failed loudly"))
+        .collect()
 }
 
 /// [`run_jobs`] for a single cell (`hbrun`, one-shot tools).

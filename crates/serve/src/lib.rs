@@ -25,9 +25,14 @@
 //!   request/response protocol with work-queue semantics: clients submit
 //!   cell grids, the server dedups against the store and drains misses
 //!   through the lock-free `exec::batch` scheduler, and results stream
-//!   back in chunks. `hbserve` (in `hardbound-report`) is the binary;
+//!   back in chunks. Protocol v2 adds a deduplicated listing table and a
+//!   ticket/watch flow. `hbserve` (in `hardbound-report`) is the binary;
 //!   `hardbound_runtime::run_jobs` is the transparent client
 //!   (`HB_SERVE_ADDR`).
+//! * [`shard`] — consistent-hash routing for the **hbserve cluster**: a
+//!   comma-separated `HB_SERVE_ADDR` shard list partitions the store key
+//!   space by [`ShardRing`], and clients fail over a dead shard's cells
+//!   along the ring's deterministic fallback route.
 //!
 //! Replay — from disk or from the far side of a socket — is
 //! **byte-identical** to in-process execution; the differential suites at
@@ -38,10 +43,12 @@
 
 pub mod net;
 pub mod persist;
+pub mod shard;
 pub mod store;
 pub mod wire;
 
-pub use net::{Client, RemoteServerStats, ServeError, Server, WireJob};
+pub use net::{Client, RemoteServerStats, ServeError, Server, TicketStatus, WireJob, MAX_GRID};
 pub use persist::{PersistStats, PersistentService};
+pub use shard::{cell_point, ShardRing, POINTS_PER_SHARD};
 pub use store::{StoreLog, StoreLogStats};
 pub use wire::{Reader, WireError, Writer, WIRE_VERSION};

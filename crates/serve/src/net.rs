@@ -19,13 +19,28 @@
 //! | kind | payload |
 //! |---|---|
 //! | `SUBMIT` | job count (u32), then per job: program listing (str), [`MachineConfig`], salt (u64), tag (u64) |
+//! | `SUBMIT2` | listing count (u32), the **deduplicated listing table** (strs), then job count (u32), per job: listing index (u32), [`MachineConfig`], salt (u64), tag (u64) |
+//! | `WATCH` | ticket id (u64) |
+//! | `POLL` | ticket id (u64) |
 //! | `STATS` | empty |
 //! | `SHUTDOWN` | empty |
 //!
 //! Responses: `RESULTS` (start index u32, count u32, then `count` encoded
-//! [`RunOutcome`]s), `DONE` (total results u32), `STATS` (counters), and
-//! `ERR` (diagnostic string — the whole submission is rejected; nothing
-//! executed).
+//! [`RunOutcome`]s), `DONE` (total results u32), `TICKET` (ticket id u64,
+//! job count u32), `TICKET_STATUS` (total u32, ready u32, finished u8,
+//! failed u8), `STATS` (counters), and `ERR` (diagnostic string — the
+//! whole request is rejected; nothing executed).
+//!
+//! `SUBMIT` is the protocol-v1 synchronous flow: the submitting connection
+//! streams `RESULTS` frames until `DONE`. `SUBMIT2` is the v2
+//! **ticket/watch** flow for long corpus grids: cells reference a
+//! deduplicated listing table (a mode sweep over one program ships — and
+//! parses — the listing once instead of per cell), the server enqueues the
+//! grid on its work queue and answers `TICKET` immediately, and the client
+//! collects results with `WATCH` (stream until `DONE`) or `POLL` (one
+//! status frame) — on the same connection or any later one, so a dropped
+//! connection loses nothing the server already computed. A finished ticket
+//! is consumed by the `WATCH` that drains it.
 //!
 //! Programs travel as their **assembly listing** — the workspace's pinned
 //! program serialization (round-trips through `isa::parse_program`, and
@@ -33,17 +48,20 @@
 //! lands on the same store keys as the client's and byte-identity holds
 //! end to end.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 use hardbound_core::{Machine, MachineConfig, RunOutcome};
 use hardbound_exec::service::Job;
 use hardbound_isa::Program;
 
 use crate::persist::PersistentService;
+use crate::shard::ShardRing;
 use crate::wire::{
     decode_config, decode_outcome, encode_config, encode_outcome, Reader, WireError, Writer,
 };
@@ -52,11 +70,16 @@ use crate::wire::{
 const REQ_SUBMIT: u8 = 1;
 const REQ_STATS: u8 = 2;
 const REQ_SHUTDOWN: u8 = 3;
+const REQ_SUBMIT2: u8 = 4;
+const REQ_WATCH: u8 = 5;
+const REQ_POLL: u8 = 6;
 /// Response kinds (server → client).
 const RESP_RESULTS: u8 = 16;
 const RESP_DONE: u8 = 17;
 const RESP_STATS: u8 = 18;
 const RESP_ERR: u8 = 19;
+const RESP_TICKET: u8 = 20;
+const RESP_TICKET_STATUS: u8 = 21;
 
 /// Cells executed (and streamed) per service-lock acquisition: small
 /// enough that results flow back while the tail still runs and that
@@ -66,6 +89,15 @@ const CHUNK: usize = 32;
 /// Sanity cap on one frame (a submission of thousands of cells fits in a
 /// few MB; anything past this is a protocol error, not data).
 const MAX_FRAME: u32 = 1 << 30;
+
+/// Hard cap on cells per submission. Well beyond any figure grid (a full
+/// pipeline is a few thousand cells), comfortably inside `u32` — the
+/// protocol's count fields can never truncate a grid the client accepted.
+/// Larger corpora split into multiple submissions.
+pub const MAX_GRID: usize = 1 << 16;
+
+/// Finished-but-unwatched tickets retained before the oldest are dropped.
+const MAX_RETAINED_TICKETS: usize = 256;
 
 /// One cell of a remote submission.
 #[derive(Clone, Debug)]
@@ -104,6 +136,11 @@ pub enum ServeError {
     Server(String),
     /// The server violated the protocol (wrong frame kind/shape).
     Protocol(&'static str),
+    /// The grid exceeds [`MAX_GRID`]; rejected before anything is sent.
+    Oversized {
+        /// How many cells the caller submitted.
+        cells: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -113,6 +150,11 @@ impl fmt::Display for ServeError {
             ServeError::Wire(e) => write!(f, "malformed frame: {e}"),
             ServeError::Server(msg) => write!(f, "server error: {msg}"),
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::Oversized { cells } => write!(
+                f,
+                "grid of {cells} cells exceeds the {MAX_GRID}-cell submission \
+                 limit (split the corpus into multiple submissions)"
+            ),
         }
     }
 }
@@ -184,6 +226,100 @@ pub struct RemoteServerStats {
     pub log_appended: u64,
     /// Log flushes.
     pub log_flushes: u64,
+    /// Cells this shard owns under the cluster ring (0 when unsharded).
+    pub owned_cells: u64,
+    /// Cells served for other shards (re-routed failover traffic).
+    pub foreign_cells: u64,
+    /// This server's shard index (`--shard k/n`).
+    pub shard_index: u64,
+    /// The cluster's shard count; 0 means the server runs unsharded.
+    pub shard_count: u64,
+}
+
+/// Progress of a ticketed submission, as reported by a `POLL` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TicketStatus {
+    /// Cells in the ticket's grid.
+    pub total: u32,
+    /// Cells whose outcomes are ready to stream.
+    pub ready: u32,
+    /// Whether every cell finished.
+    pub finished: bool,
+    /// Whether the executor died before finishing (a server-side panic);
+    /// the ticket's partial results are still watchable up to `ready`.
+    pub failed: bool,
+}
+
+/// Shard identity of a cluster member (`hbserve --shard k/n`): used to
+/// classify submitted cells as owned vs foreign (re-routed) in the
+/// server's counters. Foreign cells are **served, not rejected** — they
+/// are exactly how clients fail over a dead shard's cells.
+#[derive(Debug)]
+struct ShardState {
+    index: usize,
+    ring: ShardRing,
+    owned: AtomicU64,
+    foreign: AtomicU64,
+}
+
+/// One ticketed submission's mutable state; results append in input order
+/// as the executor drains chunks, so `results.len()` is the ready count.
+#[derive(Debug, Default)]
+struct TicketState {
+    results: Vec<RunOutcome>,
+    total: usize,
+    finished: bool,
+    failed: bool,
+}
+
+type TicketSlot = Arc<(Mutex<TicketState>, Condvar)>;
+
+/// The server's ticket table: id allocation plus the live submissions.
+#[derive(Debug, Default)]
+struct Tickets {
+    next: u64,
+    live: HashMap<u64, TicketSlot>,
+}
+
+impl Tickets {
+    fn create(&mut self, total: usize) -> (u64, TicketSlot) {
+        self.gc_finished();
+        self.next += 1;
+        let id = self.next;
+        let slot: TicketSlot = Arc::new((
+            Mutex::new(TicketState {
+                results: Vec::new(),
+                total,
+                finished: false,
+                failed: false,
+            }),
+            Condvar::new(),
+        ));
+        self.live.insert(id, Arc::clone(&slot));
+        (id, slot)
+    }
+
+    /// Drops the oldest finished-but-unwatched tickets past the retention
+    /// bound, so a client that submits and never watches cannot pin
+    /// results forever. Running tickets are never dropped.
+    fn gc_finished(&mut self) {
+        let mut done: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, slot)| {
+                let st = slot.0.lock().unwrap_or_else(PoisonError::into_inner);
+                st.finished || st.failed
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        if done.len() <= MAX_RETAINED_TICKETS {
+            return;
+        }
+        done.sort_unstable();
+        for id in &done[..done.len() - MAX_RETAINED_TICKETS] {
+            self.live.remove(id);
+        }
+    }
 }
 
 /// The `hbserve` TCP front end: owns the shared [`PersistentService`]
@@ -194,16 +330,27 @@ pub struct Server {
     build: Arc<Builder>,
     tag_ok: Arc<TagCheck>,
     shutdown: Arc<AtomicBool>,
-    /// Requests currently being served (not idle connections); `run`
-    /// drains this to zero after the accept loop stops, so a shutdown
-    /// never cuts another client's in-flight submission mid-stream.
-    busy: Arc<std::sync::atomic::AtomicUsize>,
+    tickets: Arc<Mutex<Tickets>>,
+    shard: Option<Arc<ShardState>>,
+    /// Requests currently being served (not idle connections) plus ticket
+    /// executors still draining; `run` waits for this to reach zero after
+    /// the accept loop stops, so a shutdown never cuts an in-flight
+    /// submission or a queued ticket mid-execution.
+    busy: Arc<AtomicUsize>,
 }
 
-/// Decrements the busy count when a request finishes (however it ends).
-struct BusyGuard<'a>(&'a std::sync::atomic::AtomicUsize);
+/// Owns one increment of the busy count; decrements when the request or
+/// ticket executor finishes (however it ends).
+struct BusyGuard(Arc<AtomicUsize>);
 
-impl Drop for BusyGuard<'_> {
+impl BusyGuard {
+    fn enter(busy: &Arc<AtomicUsize>) -> BusyGuard {
+        busy.fetch_add(1, Ordering::SeqCst);
+        BusyGuard(Arc::clone(busy))
+    }
+}
+
+impl Drop for BusyGuard {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
     }
@@ -229,8 +376,28 @@ impl Server {
             build,
             tag_ok,
             shutdown: Arc::new(AtomicBool::new(false)),
-            busy: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            tickets: Arc::new(Mutex::new(Tickets::default())),
+            shard: None,
+            busy: Arc::new(AtomicUsize::new(0)),
         })
+    }
+
+    /// Declares this server shard `index` of a `count`-shard cluster
+    /// (`hbserve --shard k/n`): submitted cells are classified as owned
+    /// vs foreign in the `STATS` counters. Routing is advisory — foreign
+    /// cells still execute, so client-side failover works.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= count`.
+    pub fn set_shard(&mut self, index: usize, count: usize) {
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        self.shard = Some(Arc::new(ShardState {
+            index,
+            ring: ShardRing::new(count),
+            owned: AtomicU64::new(0),
+            foreign: AtomicU64::new(0),
+        }));
     }
 
     /// The bound address (read the ephemeral port from here).
@@ -249,10 +416,10 @@ impl Server {
     }
 
     /// Accepts and serves connections (one thread each) until a client
-    /// sends `SHUTDOWN`, then waits for every in-flight connection to
-    /// finish — a shutdown never cuts another client's submission
-    /// mid-stream, and the caller can checkpoint safely after `run`
-    /// returns.
+    /// sends `SHUTDOWN`, then waits for every in-flight connection *and
+    /// queued ticket* to finish — a shutdown never cuts another client's
+    /// submission mid-stream, and the caller can checkpoint safely after
+    /// `run` returns.
     ///
     /// # Errors
     ///
@@ -267,35 +434,52 @@ impl Server {
             let build = Arc::clone(&self.build);
             let tag_ok = Arc::clone(&self.tag_ok);
             let shutdown = Arc::clone(&self.shutdown);
+            let tickets = Arc::clone(&self.tickets);
+            let shard = self.shard.as_ref().map(Arc::clone);
             let wake = self.listener.local_addr();
             let busy = Arc::clone(&self.busy);
             std::thread::spawn(move || {
-                handle_conn(stream, &svc, &build, &tag_ok, &shutdown, &busy, wake);
+                let ctx = ConnCtx {
+                    svc,
+                    build,
+                    tag_ok,
+                    shutdown,
+                    tickets,
+                    shard,
+                    busy,
+                    wake,
+                };
+                handle_conn(stream, &ctx);
             });
         }
-        // Drain in-flight requests. Handlers increment `busy` *before*
-        // re-checking the shutdown flag, so once this loop reads zero
-        // after the flag is set, any later request observes the flag and
-        // is rejected — no request can slip past the drain. Idle
-        // connections (no request in flight) are simply abandoned; their
-        // clients see EOF at a frame boundary.
+        // Drain in-flight requests and ticket executors. Handlers
+        // increment `busy` *before* re-checking the shutdown flag, so once
+        // this loop reads zero after the flag is set, any later request
+        // observes the flag and is rejected — no request can slip past the
+        // drain. Idle connections (no request in flight) are simply
+        // abandoned; their clients see EOF at a frame boundary.
         while self.busy.load(Ordering::SeqCst) > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            std::thread::sleep(Duration::from_millis(2));
         }
         Ok(())
     }
 }
 
-/// Serves one connection until EOF or shutdown.
-fn handle_conn(
-    mut stream: TcpStream,
-    svc: &Mutex<PersistentService>,
-    build: &Arc<Builder>,
-    tag_ok: &Arc<TagCheck>,
-    shutdown: &AtomicBool,
-    busy: &std::sync::atomic::AtomicUsize,
+/// Everything one connection handler needs, bundled so ticket executors
+/// can clone pieces into their own threads.
+struct ConnCtx {
+    svc: Arc<Mutex<PersistentService>>,
+    build: Arc<Builder>,
+    tag_ok: Arc<TagCheck>,
+    shutdown: Arc<AtomicBool>,
+    tickets: Arc<Mutex<Tickets>>,
+    shard: Option<Arc<ShardState>>,
+    busy: Arc<AtomicUsize>,
     wake: io::Result<std::net::SocketAddr>,
-) {
+}
+
+/// Serves one connection until EOF or shutdown.
+fn handle_conn(mut stream: TcpStream, ctx: &ConnCtx) {
     let _ = stream.set_nodelay(true);
     loop {
         let (kind, payload) = match read_frame(&mut stream) {
@@ -306,23 +490,25 @@ fn handle_conn(
         // flag: the drain loop in `Server::run` reads the counter after
         // setting the flag, so either it sees this request and waits, or
         // this check sees the flag and rejects — never both missed.
-        busy.fetch_add(1, Ordering::SeqCst);
-        let _busy = BusyGuard(busy);
-        if shutdown.load(Ordering::SeqCst) && kind != REQ_SHUTDOWN {
+        let _busy = BusyGuard::enter(&ctx.busy);
+        if ctx.shutdown.load(Ordering::SeqCst) && kind != REQ_SHUTDOWN {
             let mut w = Writer::new();
             w.put_str("server is shutting down");
             let _ = write_frame(&mut stream, RESP_ERR, &w.into_bytes());
             return;
         }
         let result = match kind {
-            REQ_SUBMIT => serve_submission(&mut stream, svc, build, tag_ok, &payload),
-            REQ_STATS => serve_stats(&mut stream, svc),
+            REQ_SUBMIT => serve_submission(&mut stream, ctx, &payload),
+            REQ_SUBMIT2 => serve_submission2(&mut stream, ctx, &payload),
+            REQ_WATCH => serve_watch(&mut stream, ctx, &payload),
+            REQ_POLL => serve_poll(&mut stream, ctx, &payload),
+            REQ_STATS => serve_stats(&mut stream, ctx),
             REQ_SHUTDOWN => {
-                shutdown.store(true, Ordering::SeqCst);
+                ctx.shutdown.store(true, Ordering::SeqCst);
                 let _ = write_frame(&mut stream, RESP_DONE, &0u32.to_le_bytes());
                 // The accept loop is blocked in `accept`; poke it so it
                 // observes the flag and exits.
-                if let Ok(addr) = wake {
+                if let Ok(addr) = ctx.wake {
                     let _ = TcpStream::connect(addr);
                 }
                 return;
@@ -339,8 +525,19 @@ fn handle_conn(
     }
 }
 
-fn serve_stats(stream: &mut TcpStream, svc: &Mutex<PersistentService>) -> Result<(), ServeError> {
-    let stats = svc.lock().unwrap_or_else(PoisonError::into_inner).stats();
+fn reject(stream: &mut TcpStream, msg: &str) -> Result<(), ServeError> {
+    let mut w = Writer::new();
+    w.put_str(msg);
+    write_frame(stream, RESP_ERR, &w.into_bytes())?;
+    Ok(())
+}
+
+fn serve_stats(stream: &mut TcpStream, ctx: &ConnCtx) -> Result<(), ServeError> {
+    let stats = ctx
+        .svc
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .stats();
     let log = stats.log.unwrap_or_default();
     let mut w = Writer::new();
     w.put_u64(stats.service.store.hits);
@@ -349,33 +546,61 @@ fn serve_stats(stream: &mut TcpStream, svc: &Mutex<PersistentService>) -> Result
     w.put_u64(stats.service.store_len as u64);
     w.put_u64(log.appended);
     w.put_u64(log.flushes);
+    match &ctx.shard {
+        Some(shard) => {
+            w.put_u64(shard.owned.load(Ordering::Relaxed));
+            w.put_u64(shard.foreign.load(Ordering::Relaxed));
+            w.put_u64(shard.index as u64);
+            w.put_u64(shard.ring.shards() as u64);
+        }
+        None => {
+            for _ in 0..4 {
+                w.put_u64(0);
+            }
+        }
+    }
     write_frame(stream, RESP_STATS, &w.into_bytes())?;
     Ok(())
 }
 
-/// Decodes, validates and executes one submission, streaming results in
-/// chunk-sized `RESULTS` frames and a final `DONE`.
+/// Classifies each decoded cell as owned vs foreign under the cluster
+/// ring (no-op for unsharded servers).
+fn note_ownership(shard: &Option<Arc<ShardState>>, jobs: &[Job<u64>]) {
+    let Some(shard) = shard else { return };
+    let mut owned = 0;
+    let mut foreign = 0;
+    for job in jobs {
+        let (pid, fp) = job.key();
+        if shard.ring.owner_of_cell(pid.0, fp) == shard.index {
+            owned += 1;
+        } else {
+            foreign += 1;
+        }
+    }
+    shard.owned.fetch_add(owned, Ordering::Relaxed);
+    shard.foreign.fetch_add(foreign, Ordering::Relaxed);
+}
+
+/// Decodes, validates and executes one protocol-v1 submission, streaming
+/// results in chunk-sized `RESULTS` frames and a final `DONE` on the
+/// submitting connection.
 fn serve_submission(
     stream: &mut TcpStream,
-    svc: &Mutex<PersistentService>,
-    build: &Arc<Builder>,
-    tag_ok: &Arc<TagCheck>,
+    ctx: &ConnCtx,
     payload: &[u8],
 ) -> Result<(), ServeError> {
-    let jobs = match decode_submission(payload, tag_ok) {
+    let jobs = match decode_submission(payload, &ctx.tag_ok) {
         Ok(jobs) => jobs,
-        Err(msg) => {
-            let mut w = Writer::new();
-            w.put_str(&msg);
-            write_frame(stream, RESP_ERR, &w.into_bytes())?;
-            return Ok(());
-        }
+        Err(msg) => return reject(stream, &msg),
     };
+    note_ownership(&ctx.shard, &jobs);
     let mut sent = 0u32;
     for chunk in jobs.chunks(CHUNK) {
         let outs = {
-            let mut svc = svc.lock().unwrap_or_else(PoisonError::into_inner);
-            svc.run_batch(chunk, |program, config, &tag| build(program, config, tag))
+            let mut svc = ctx.svc.lock().unwrap_or_else(PoisonError::into_inner);
+            svc.run_batch(chunk, |program, config, &tag| {
+                (ctx.build)(program, config, tag)
+            })
         };
         let mut w = Writer::new();
         w.put_u32(sent);
@@ -390,29 +615,281 @@ fn serve_submission(
     Ok(())
 }
 
-/// Decodes a `SUBMIT` payload into service jobs, validating programs and
-/// tags up front (reject-before-execute).
+/// Decodes and validates a protocol-v2 submission, enqueues it as a
+/// ticket on the work queue, and answers `TICKET` immediately; a detached
+/// executor drains the grid into the ticket's result buffer.
+fn serve_submission2(
+    stream: &mut TcpStream,
+    ctx: &ConnCtx,
+    payload: &[u8],
+) -> Result<(), ServeError> {
+    let jobs = match decode_submission2(payload, &ctx.tag_ok) {
+        Ok(jobs) => jobs,
+        Err(msg) => return reject(stream, &msg),
+    };
+    note_ownership(&ctx.shard, &jobs);
+    let total = jobs.len();
+    let (id, slot) = ctx
+        .tickets
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .create(total);
+    // The executor counts as busy from *before* this handler's own guard
+    // drops, so a shutdown drain can never miss a queued ticket.
+    let exec_busy = BusyGuard::enter(&ctx.busy);
+    let svc = Arc::clone(&ctx.svc);
+    let build = Arc::clone(&ctx.build);
+    std::thread::spawn(move || {
+        let _busy = exec_busy;
+        run_ticket(&slot, &jobs, &svc, &*build);
+    });
+    let mut w = Writer::new();
+    w.put_u64(id);
+    w.put_u32(total as u32);
+    write_frame(stream, RESP_TICKET, &w.into_bytes())?;
+    Ok(())
+}
+
+/// Marks the ticket failed if the executor dies before finishing (builder
+/// panic), so watchers report an error instead of waiting forever.
+struct FailGuard(TicketSlot);
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.0;
+        let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if !st.finished {
+            st.failed = true;
+            cvar.notify_all();
+        }
+    }
+}
+
+/// The ticket executor: drains the grid in chunks (releasing the service
+/// lock between chunks, exactly like the v1 path) and appends outcomes to
+/// the ticket's buffer in input order.
+fn run_ticket(
+    slot: &TicketSlot,
+    jobs: &[Job<u64>],
+    svc: &Mutex<PersistentService>,
+    build: &Builder,
+) {
+    let guard = FailGuard(Arc::clone(slot));
+    for chunk in jobs.chunks(CHUNK) {
+        let outs = {
+            let mut svc = svc.lock().unwrap_or_else(PoisonError::into_inner);
+            svc.run_batch(chunk, |program, config, &tag| build(program, config, tag))
+        };
+        let (lock, cvar) = &**slot;
+        let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        st.results.extend(outs);
+        cvar.notify_all();
+    }
+    let (lock, cvar) = &**slot;
+    let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    st.finished = true;
+    cvar.notify_all();
+    drop(st);
+    drop(guard); // disarmed: finished is set
+}
+
+/// Streams a ticket's results (`RESULTS` frames as chunks become ready,
+/// then `DONE`) and consumes the ticket. Watching partway through a
+/// running execution blocks between chunks; watching a finished ticket
+/// streams everything at once — including from a *different* connection
+/// than the one that submitted.
+fn serve_watch(stream: &mut TcpStream, ctx: &ConnCtx, payload: &[u8]) -> Result<(), ServeError> {
+    let mut r = Reader::new(payload);
+    let id = match r.get_u64() {
+        Ok(id) if r.is_exhausted() => id,
+        _ => return reject(stream, "malformed WATCH payload"),
+    };
+    let slot = {
+        let tickets = ctx.tickets.lock().unwrap_or_else(PoisonError::into_inner);
+        tickets.live.get(&id).cloned()
+    };
+    let Some(slot) = slot else {
+        return reject(stream, &format!("unknown ticket {id}"));
+    };
+    let mut sent = 0usize;
+    loop {
+        // Wait for news, then snapshot the fresh slice outside the lock so
+        // slow sockets never stall the executor.
+        let (fresh, finished, failed, total) = {
+            let (lock, cvar) = &*slot;
+            let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            while st.results.len() == sent && !st.finished && !st.failed {
+                let (next, _) = cvar
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = next;
+            }
+            (
+                st.results[sent..].to_vec(),
+                st.finished,
+                st.failed,
+                st.total,
+            )
+        };
+        if !fresh.is_empty() {
+            let mut w = Writer::new();
+            w.put_u32(sent as u32);
+            w.put_u32(fresh.len() as u32);
+            for out in &fresh {
+                encode_outcome(&mut w, out);
+            }
+            write_frame(stream, RESP_RESULTS, &w.into_bytes())?;
+            sent += fresh.len();
+        }
+        if failed {
+            // Partial results (if any) were streamed above; report the
+            // failure and drop the ticket.
+            remove_ticket(ctx, id);
+            return reject(stream, "ticket execution failed on the server");
+        }
+        if finished && sent == total {
+            write_frame(stream, RESP_DONE, &(sent as u32).to_le_bytes())?;
+            remove_ticket(ctx, id);
+            return Ok(());
+        }
+    }
+}
+
+fn remove_ticket(ctx: &ConnCtx, id: u64) {
+    ctx.tickets
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .live
+        .remove(&id);
+}
+
+/// Answers one `TICKET_STATUS` frame for a `POLL` (non-consuming).
+fn serve_poll(stream: &mut TcpStream, ctx: &ConnCtx, payload: &[u8]) -> Result<(), ServeError> {
+    let mut r = Reader::new(payload);
+    let id = match r.get_u64() {
+        Ok(id) if r.is_exhausted() => id,
+        _ => return reject(stream, "malformed POLL payload"),
+    };
+    let slot = {
+        let tickets = ctx.tickets.lock().unwrap_or_else(PoisonError::into_inner);
+        tickets.live.get(&id).cloned()
+    };
+    let Some(slot) = slot else {
+        return reject(stream, &format!("unknown ticket {id}"));
+    };
+    let (total, ready, finished, failed) = {
+        let st = slot.0.lock().unwrap_or_else(PoisonError::into_inner);
+        (st.total, st.results.len(), st.finished, st.failed)
+    };
+    let mut w = Writer::new();
+    w.put_u32(total as u32);
+    w.put_u32(ready as u32);
+    w.put_u8(u8::from(finished));
+    w.put_u8(u8::from(failed));
+    write_frame(stream, RESP_TICKET_STATUS, &w.into_bytes())?;
+    Ok(())
+}
+
+/// Validates one decoded job (program + config + tag) before anything
+/// executes, so rejections come back as `ERR` frames, never worker panics.
+fn validate_job(
+    i: u32,
+    program: &Program,
+    config: &MachineConfig,
+    tag: u64,
+    tag_ok: &Arc<TagCheck>,
+) -> Result<(), String> {
+    program
+        .validate()
+        .map_err(|e| format!("job {i}: invalid program: {e}"))?;
+    // Reject-before-execute covers the config too: geometry the hierarchy
+    // constructors would `assert!` on must come back as an ERR frame, not
+    // a worker panic under the service lock.
+    config
+        .hierarchy
+        .validate()
+        .map_err(|e| format!("job {i}: invalid hierarchy config: {e}"))?;
+    if !tag_ok(tag) {
+        return Err(format!("job {i}: unknown machine-builder tag {tag}"));
+    }
+    Ok(())
+}
+
+/// Decodes a v1 `SUBMIT` payload into service jobs, validating programs
+/// and tags up front (reject-before-execute).
 fn decode_submission(payload: &[u8], tag_ok: &Arc<TagCheck>) -> Result<Vec<Job<u64>>, String> {
     let mut r = Reader::new(payload);
     let count = r.get_u32().map_err(|e| e.to_string())?;
+    if count as usize > MAX_GRID {
+        return Err(format!(
+            "grid of {count} cells exceeds the {MAX_GRID}-cell limit"
+        ));
+    }
     let mut jobs = Vec::with_capacity(count.min(4096) as usize);
     for i in 0..count {
         let listing = r.get_str().map_err(|e| format!("job {i}: {e}"))?;
         let program = hardbound_isa::parse_program(listing)
             .map_err(|e| format!("job {i}: unparseable program listing: {e}"))?;
+        let config = decode_config(&mut r).map_err(|e| format!("job {i}: {e}"))?;
+        let salt = r.get_u64().map_err(|e| format!("job {i}: {e}"))?;
+        let tag = r.get_u64().map_err(|e| format!("job {i}: {e}"))?;
+        validate_job(i, &program, &config, tag, tag_ok)?;
+        jobs.push(Job {
+            program,
+            config,
+            salt,
+            tag,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err("trailing bytes after the last job".to_owned());
+    }
+    Ok(jobs)
+}
+
+/// Decodes a v2 `SUBMIT2` payload: the deduplicated listing table parses
+/// (and validates) once per distinct program, then cells reference table
+/// entries by index.
+fn decode_submission2(payload: &[u8], tag_ok: &Arc<TagCheck>) -> Result<Vec<Job<u64>>, String> {
+    let mut r = Reader::new(payload);
+    let listings = r.get_u32().map_err(|e| e.to_string())?;
+    if listings as usize > MAX_GRID {
+        return Err(format!(
+            "listing table of {listings} entries exceeds the {MAX_GRID}-entry limit"
+        ));
+    }
+    let mut programs = Vec::with_capacity(listings.min(4096) as usize);
+    for i in 0..listings {
+        let listing = r.get_str().map_err(|e| format!("listing {i}: {e}"))?;
+        let program = hardbound_isa::parse_program(listing)
+            .map_err(|e| format!("listing {i}: unparseable program listing: {e}"))?;
         program
             .validate()
-            .map_err(|e| format!("job {i}: invalid program: {e}"))?;
+            .map_err(|e| format!("listing {i}: invalid program: {e}"))?;
+        programs.push(program);
+    }
+    let count = r.get_u32().map_err(|e| e.to_string())?;
+    if count as usize > MAX_GRID {
+        return Err(format!(
+            "grid of {count} cells exceeds the {MAX_GRID}-cell limit"
+        ));
+    }
+    let mut jobs = Vec::with_capacity(count.min(4096) as usize);
+    for i in 0..count {
+        let idx = r.get_u32().map_err(|e| format!("job {i}: {e}"))?;
+        let program = programs
+            .get(idx as usize)
+            .ok_or_else(|| format!("job {i}: listing index {idx} out of range 0..{listings}"))?
+            .clone();
         let config = decode_config(&mut r).map_err(|e| format!("job {i}: {e}"))?;
-        // Reject-before-execute covers the config too: geometry the
-        // hierarchy constructors would `assert!` on must come back as an
-        // ERR frame, not a worker panic under the service lock.
+        let salt = r.get_u64().map_err(|e| format!("job {i}: {e}"))?;
+        let tag = r.get_u64().map_err(|e| format!("job {i}: {e}"))?;
+        // The program was validated with the table; only config and tag
+        // remain per cell.
         config
             .hierarchy
             .validate()
             .map_err(|e| format!("job {i}: invalid hierarchy config: {e}"))?;
-        let salt = r.get_u64().map_err(|e| format!("job {i}: {e}"))?;
-        let tag = r.get_u64().map_err(|e| format!("job {i}: {e}"))?;
         if !tag_ok(tag) {
             return Err(format!("job {i}: unknown machine-builder tag {tag}"));
         }
@@ -427,6 +904,54 @@ fn decode_submission(payload: &[u8], tag_ok: &Arc<TagCheck>) -> Result<Vec<Job<u
         return Err("trailing bytes after the last job".to_owned());
     }
     Ok(jobs)
+}
+
+/// Encodes a v2 `SUBMIT2` payload: identical listings collapse into one
+/// table entry referenced by index (a mode×encoding sweep over one
+/// program ships the listing once, not once per cell).
+#[must_use]
+pub fn encode_submission2(jobs: &[WireJob]) -> Vec<u8> {
+    let mut table: Vec<&str> = Vec::new();
+    let mut index: HashMap<&str, u32> = HashMap::new();
+    for job in jobs {
+        index.entry(job.listing.as_str()).or_insert_with(|| {
+            table.push(&job.listing);
+            (table.len() - 1) as u32
+        });
+    }
+    let mut w = Writer::new();
+    w.put_u32(table.len() as u32);
+    for listing in &table {
+        w.put_str(listing);
+    }
+    w.put_u32(jobs.len() as u32);
+    for job in jobs {
+        w.put_u32(index[job.listing.as_str()]);
+        encode_config(&mut w, &job.config);
+        w.put_u64(job.salt);
+        w.put_u64(job.tag);
+    }
+    w.into_bytes()
+}
+
+/// Fills `results` from one `RESULTS` payload, rejecting out-of-range
+/// ranges and re-delivered indices (a second delivery for a filled slot is
+/// a protocol violation, not a silent overwrite).
+fn fill_results(results: &mut [Option<RunOutcome>], payload: &[u8]) -> Result<(), ServeError> {
+    let mut r = Reader::new(payload);
+    let start = r.get_u32()? as usize;
+    let count = r.get_u32()? as usize;
+    let end = start
+        .checked_add(count)
+        .filter(|&end| end <= results.len())
+        .ok_or(ServeError::Protocol("result indices out of range"))?;
+    for slot in &mut results[start..end] {
+        if slot.is_some() {
+            return Err(ServeError::Protocol("duplicate result delivery"));
+        }
+        *slot = Some(decode_outcome(&mut r)?);
+    }
+    Ok(())
 }
 
 /// A client connection to an `hbserve` server.
@@ -447,13 +972,17 @@ impl Client {
         Ok(Client { stream })
     }
 
-    /// Submits `jobs` and collects the streamed outcomes, in input order.
+    /// Submits `jobs` over the v1 synchronous flow and collects the
+    /// streamed outcomes, in input order.
     ///
     /// # Errors
     ///
-    /// [`ServeError`] on socket failures, malformed frames, or a server
-    /// rejection.
+    /// [`ServeError`] on oversized grids (rejected before anything is
+    /// sent), socket failures, malformed frames, or a server rejection.
     pub fn run_jobs(&mut self, jobs: &[WireJob]) -> Result<Vec<RunOutcome>, ServeError> {
+        if jobs.len() > MAX_GRID {
+            return Err(ServeError::Oversized { cells: jobs.len() });
+        }
         let mut w = Writer::new();
         w.put_u32(jobs.len() as u32);
         for job in jobs {
@@ -465,22 +994,92 @@ impl Client {
         write_frame(&mut self.stream, REQ_SUBMIT, &w.into_bytes())?;
 
         let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+        self.collect(&mut results)?;
+        results
+            .into_iter()
+            .collect::<Option<Vec<RunOutcome>>>()
+            .ok_or(ServeError::Protocol("server omitted results"))
+    }
+
+    /// Submits `jobs` over the v2 ticket flow (deduplicated listing
+    /// table) and returns the ticket id; collect with [`Client::watch`] /
+    /// [`Client::watch_into`] or check progress with [`Client::poll`] —
+    /// from this connection or any later one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on oversized grids, socket failures, malformed
+    /// frames, or a server rejection.
+    pub fn submit(&mut self, jobs: &[WireJob]) -> Result<u64, ServeError> {
+        if jobs.len() > MAX_GRID {
+            return Err(ServeError::Oversized { cells: jobs.len() });
+        }
+        write_frame(&mut self.stream, REQ_SUBMIT2, &encode_submission2(jobs))?;
+        let (kind, payload) =
+            read_frame(&mut self.stream)?.ok_or(ServeError::Protocol("server closed"))?;
+        match kind {
+            RESP_TICKET => {
+                let mut r = Reader::new(&payload);
+                let ticket = r.get_u64()?;
+                let count = r.get_u32()? as usize;
+                if count != jobs.len() {
+                    return Err(ServeError::Protocol("ticket covers the wrong cell count"));
+                }
+                Ok(ticket)
+            }
+            RESP_ERR => {
+                let mut r = Reader::new(&payload);
+                Err(ServeError::Server(r.get_str()?.to_owned()))
+            }
+            _ => Err(ServeError::Protocol("expected a TICKET response")),
+        }
+    }
+
+    /// Streams ticket `ticket`'s outcomes into `results` (one slot per
+    /// submitted cell, `None` = not yet delivered). Already-filled slots
+    /// are kept; a re-delivery for one of them is a protocol error. On a
+    /// mid-stream failure the slots filled so far remain — callers
+    /// reconnect and resubmit only the missing cells.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket failures, malformed frames, or a server
+    /// rejection (unknown ticket, failed execution).
+    pub fn watch_into(
+        &mut self,
+        ticket: u64,
+        results: &mut [Option<RunOutcome>],
+    ) -> Result<(), ServeError> {
+        let mut w = Writer::new();
+        w.put_u64(ticket);
+        write_frame(&mut self.stream, REQ_WATCH, &w.into_bytes())?;
+        self.collect(results)
+    }
+
+    /// [`Client::submit`] + [`Client::watch_into`]: the v2 analogue of
+    /// [`Client::run_jobs`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] as for the two halves.
+    pub fn run_jobs_v2(&mut self, jobs: &[WireJob]) -> Result<Vec<RunOutcome>, ServeError> {
+        let ticket = self.submit(jobs)?;
+        let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+        self.watch_into(ticket, &mut results)?;
+        results
+            .into_iter()
+            .collect::<Option<Vec<RunOutcome>>>()
+            .ok_or(ServeError::Protocol("server omitted results"))
+    }
+
+    /// Consumes `RESULTS` frames into `results` until `DONE`.
+    fn collect(&mut self, results: &mut [Option<RunOutcome>]) -> Result<(), ServeError> {
         loop {
             let (kind, payload) = read_frame(&mut self.stream)?
                 .ok_or(ServeError::Protocol("server closed mid-submission"))?;
             match kind {
-                RESP_RESULTS => {
-                    let mut r = Reader::new(&payload);
-                    let start = r.get_u32()? as usize;
-                    let count = r.get_u32()? as usize;
-                    if start + count > results.len() {
-                        return Err(ServeError::Protocol("result indices out of range"));
-                    }
-                    for slot in &mut results[start..start + count] {
-                        *slot = Some(decode_outcome(&mut r)?);
-                    }
-                }
-                RESP_DONE => break,
+                RESP_RESULTS => fill_results(results, &payload)?,
+                RESP_DONE => return Ok(()),
                 RESP_ERR => {
                     let mut r = Reader::new(&payload);
                     return Err(ServeError::Server(r.get_str()?.to_owned()));
@@ -488,10 +1087,36 @@ impl Client {
                 _ => return Err(ServeError::Protocol("unexpected frame kind")),
             }
         }
-        results
-            .into_iter()
-            .collect::<Option<Vec<RunOutcome>>>()
-            .ok_or(ServeError::Protocol("server omitted results"))
+    }
+
+    /// Fetches a ticket's progress without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket failures, malformed frames, or an unknown
+    /// ticket.
+    pub fn poll(&mut self, ticket: u64) -> Result<TicketStatus, ServeError> {
+        let mut w = Writer::new();
+        w.put_u64(ticket);
+        write_frame(&mut self.stream, REQ_POLL, &w.into_bytes())?;
+        let (kind, payload) =
+            read_frame(&mut self.stream)?.ok_or(ServeError::Protocol("server closed"))?;
+        match kind {
+            RESP_TICKET_STATUS => {
+                let mut r = Reader::new(&payload);
+                Ok(TicketStatus {
+                    total: r.get_u32()?,
+                    ready: r.get_u32()?,
+                    finished: r.get_u8()? != 0,
+                    failed: r.get_u8()? != 0,
+                })
+            }
+            RESP_ERR => {
+                let mut r = Reader::new(&payload);
+                Err(ServeError::Server(r.get_str()?.to_owned()))
+            }
+            _ => Err(ServeError::Protocol("expected a TICKET_STATUS response")),
+        }
     }
 
     /// Fetches the server's store/log counters.
@@ -514,6 +1139,10 @@ impl Client {
             store_len: r.get_u64()?,
             log_appended: r.get_u64()?,
             log_flushes: r.get_u64()?,
+            owned_cells: r.get_u64()?,
+            foreign_cells: r.get_u64()?,
+            shard_index: r.get_u64()?,
+            shard_count: r.get_u64()?,
         })
     }
 
@@ -554,13 +1183,31 @@ mod tests {
     }
 
     fn spawn_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        spawn_server_sharded(None)
+    }
+
+    fn spawn_server_sharded(
+        shard: Option<(usize, usize)>,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
         let svc = PersistentService::new(2);
         let build: Arc<Builder> = Arc::new(|p, cfg, _tag| Machine::new(p, cfg));
         let tag_ok: Arc<TagCheck> = Arc::new(|tag| tag < 5);
-        let server = Server::bind("127.0.0.1:0", svc, build, tag_ok).unwrap();
+        let mut server = Server::bind("127.0.0.1:0", svc, build, tag_ok).unwrap();
+        if let Some((index, count)) = shard {
+            server.set_shard(index, count);
+        }
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().unwrap());
         (addr, handle)
+    }
+
+    fn expected_outcomes(jobs: &[WireJob]) -> Vec<RunOutcome> {
+        jobs.iter()
+            .map(|j| {
+                let p = hardbound_isa::parse_program(&j.listing).unwrap();
+                hardbound_exec::Engine::new(Machine::new(p, j.config.clone())).run()
+            })
+            .collect()
     }
 
     #[test]
@@ -571,13 +1218,7 @@ mod tests {
             (0..67) // > 2 chunks
                 .map(|k| WireJob::new(&counting_program(5 + k), cfg.clone(), 0, 0))
                 .collect();
-        let expected: Vec<RunOutcome> = jobs
-            .iter()
-            .map(|j| {
-                let p = hardbound_isa::parse_program(&j.listing).unwrap();
-                hardbound_exec::Engine::new(Machine::new(p, j.config.clone())).run()
-            })
-            .collect();
+        let expected = expected_outcomes(&jobs);
 
         let mut client = Client::connect(addr).unwrap();
         let cold = client.run_jobs(&jobs).unwrap();
@@ -593,6 +1234,74 @@ mod tests {
     }
 
     #[test]
+    fn ticket_flow_matches_v1_and_dedups_listings() {
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        // 40 cells over 2 distinct programs: the v2 payload carries 2
+        // listings, the v1 payload 40 copies.
+        let jobs: Vec<WireJob> = (0..40)
+            .map(|k| WireJob::new(&counting_program(5 + (k % 2)), cfg.clone(), k as u64, 0))
+            .collect();
+        let v2 = encode_submission2(&jobs);
+        let per_cell_overhead = 4 + 8 + 8 + 256; // index + salt + tag + config upper bound
+        assert!(
+            v2.len() < 2 * jobs[0].listing.len() + 40 * per_cell_overhead,
+            "the listing table must be deduplicated: {} bytes",
+            v2.len()
+        );
+
+        let expected = expected_outcomes(&jobs);
+        let mut client = Client::connect(addr).unwrap();
+        let out = client.run_jobs_v2(&jobs).unwrap();
+        assert_eq!(out, expected, "ticketed execution must be byte-identical");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tickets_survive_the_submitting_connection() {
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs: Vec<WireJob> = (0..37)
+            .map(|k| WireJob::new(&counting_program(5 + k), cfg.clone(), 0, 0))
+            .collect();
+        let expected = expected_outcomes(&jobs);
+
+        // Submit on one connection, drop it, collect on another: the
+        // ticket's results must not die with the socket.
+        let ticket = {
+            let mut submitter = Client::connect(addr).unwrap();
+            submitter.submit(&jobs).unwrap()
+        };
+        let mut collector = Client::connect(addr).unwrap();
+        // Poll until finished (never consumes), then watch.
+        let status = loop {
+            let st = collector.poll(ticket).unwrap();
+            assert_eq!(st.total, 37);
+            assert!(!st.failed);
+            if st.finished {
+                break st;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(status.ready, 37, "finished tickets hold every outcome");
+        let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+        collector.watch_into(ticket, &mut results).unwrap();
+        let results: Vec<RunOutcome> = results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(results, expected);
+
+        // The watch consumed the ticket.
+        match collector.poll(ticket).unwrap_err() {
+            ServeError::Server(msg) => assert!(msg.contains("unknown ticket"), "{msg}"),
+            other => panic!("expected unknown-ticket, got {other}"),
+        }
+
+        collector.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn bad_submissions_are_rejected_without_executing() {
         let (addr, handle) = spawn_server();
         let cfg = MachineConfig::default();
@@ -603,9 +1312,19 @@ mod tests {
             ServeError::Server(msg) => assert!(msg.contains("tag 99"), "{msg}"),
             other => panic!("expected a server rejection, got {other}"),
         }
+        // The v2 path validates identically (rejected before a ticket is
+        // ever allocated).
+        match client.submit(&bad_tag).unwrap_err() {
+            ServeError::Server(msg) => assert!(msg.contains("tag 99"), "{msg}"),
+            other => panic!("expected a server rejection, got {other}"),
+        }
         bad_tag[0].tag = 0;
         bad_tag[0].listing = "frobnicate a0\n".to_owned();
         match client.run_jobs(&bad_tag).unwrap_err() {
+            ServeError::Server(msg) => assert!(msg.contains("unparseable"), "{msg}"),
+            other => panic!("expected a server rejection, got {other}"),
+        }
+        match client.submit(&bad_tag).unwrap_err() {
             ServeError::Server(msg) => assert!(msg.contains("unparseable"), "{msg}"),
             other => panic!("expected a server rejection, got {other}"),
         }
@@ -648,6 +1367,150 @@ mod tests {
         assert_eq!(stats.misses, 1, "second client replays the first's cell");
         assert_eq!(stats.hits, 1);
         a.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// The server-robustness acceptance test: torn frames and mid-SUBMIT
+    /// disconnects must neither poison the store nor wedge the work
+    /// queue — the next client sees the warm store and full service.
+    #[test]
+    fn torn_frames_do_not_wedge_the_server() {
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs = vec![WireJob::new(&counting_program(9), cfg.clone(), 0, 0)];
+
+        // Warm the store so we can verify it survives the abuse.
+        let mut warmup = Client::connect(addr).unwrap();
+        let expected = warmup.run_jobs(&jobs).unwrap();
+        drop(warmup);
+
+        // (a) A length prefix promising bytes that never arrive (client
+        // dies mid-SUBMIT).
+        {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(&500u32.to_le_bytes()).unwrap();
+            raw.write_all(&[REQ_SUBMIT]).unwrap();
+            raw.write_all(&[0u8; 37]).unwrap(); // 37 of the promised 499
+        } // dropped: the server sees EOF mid-frame
+          // (b) An insane length prefix (torn/corrupt frame header).
+        {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            raw.write_all(b"garbage").unwrap();
+        }
+        // (c) A half-written frame header.
+        {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(&[7u8, 0]).unwrap();
+        }
+        // (d) A SUBMIT whose payload is truncated garbage: decodes fail,
+        // the submission is rejected, nothing executes.
+        {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            let payload = 3u32.to_le_bytes(); // promises 3 jobs, provides none
+            let len = (payload.len() + 1) as u32;
+            raw.write_all(&len.to_le_bytes()).unwrap();
+            raw.write_all(&[REQ_SUBMIT]).unwrap();
+            raw.write_all(&payload).unwrap();
+            // The server answers ERR (or closes); either way it keeps
+            // serving below.
+            let _ = read_frame(&mut raw);
+        }
+
+        // Full service for the next client, warm store intact.
+        let mut client = Client::connect(addr).unwrap();
+        let warm = client.run_jobs(&jobs).unwrap();
+        assert_eq!(warm, expected, "the store survived the torn frames");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.misses, 1, "no torn frame executed anything");
+        assert_eq!(stats.hits, 1, "the warm replay hit the store");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// A scripted fake server delivering index 0 twice: the client must
+    /// fail loudly instead of silently overwriting the filled slot.
+    #[test]
+    fn duplicate_result_delivery_is_a_protocol_error() {
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs = vec![
+            WireJob::new(&counting_program(3), cfg.clone(), 0, 0),
+            WireJob::new(&counting_program(4), cfg.clone(), 0, 0),
+        ];
+        let outcome = {
+            let p = counting_program(3);
+            hardbound_exec::Engine::new(Machine::new(p, cfg)).run()
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut stream).unwrap(); // swallow the SUBMIT
+            let frame = |start: u32| {
+                let mut w = Writer::new();
+                w.put_u32(start);
+                w.put_u32(1);
+                encode_outcome(&mut w, &outcome);
+                w.into_bytes()
+            };
+            write_frame(&mut stream, RESP_RESULTS, &frame(0)).unwrap();
+            write_frame(&mut stream, RESP_RESULTS, &frame(0)).unwrap(); // re-delivery
+            let _ = write_frame(&mut stream, RESP_DONE, &2u32.to_le_bytes());
+        });
+        let mut client = Client::connect(addr).unwrap();
+        match client.run_jobs(&jobs).unwrap_err() {
+            ServeError::Protocol(msg) => assert!(msg.contains("duplicate"), "{msg}"),
+            other => panic!("expected a protocol error, got {other}"),
+        }
+        fake.join().unwrap();
+    }
+
+    /// An out-of-range result range from a buggy server is also a loud
+    /// protocol error.
+    #[test]
+    fn out_of_range_results_are_a_protocol_error() {
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs = vec![WireJob::new(&counting_program(3), cfg.clone(), 0, 0)];
+        let outcome = {
+            let p = counting_program(3);
+            hardbound_exec::Engine::new(Machine::new(p, cfg)).run()
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut stream).unwrap();
+            let mut w = Writer::new();
+            w.put_u32(u32::MAX); // start far past the grid
+            w.put_u32(1);
+            encode_outcome(&mut w, &outcome);
+            let _ = write_frame(&mut stream, RESP_RESULTS, &w.into_bytes());
+        });
+        let mut client = Client::connect(addr).unwrap();
+        match client.run_jobs(&jobs).unwrap_err() {
+            ServeError::Protocol(msg) => assert!(msg.contains("out of range"), "{msg}"),
+            other => panic!("expected a protocol error, got {other}"),
+        }
+        fake.join().unwrap();
+    }
+
+    #[test]
+    fn sharded_server_counts_owned_and_foreign_cells() {
+        let (addr, handle) = spawn_server_sharded(Some((0, 3)));
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        // Enough distinct cells that both ownership classes occur.
+        let jobs: Vec<WireJob> = (0..24)
+            .map(|k| WireJob::new(&counting_program(5 + k), cfg.clone(), 0, 0))
+            .collect();
+        let mut client = Client::connect(addr).unwrap();
+        client.run_jobs_v2(&jobs).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.shard_index, 0);
+        assert_eq!(stats.shard_count, 3);
+        assert_eq!(stats.owned_cells + stats.foreign_cells, 24);
+        assert!(stats.owned_cells > 0, "{stats:?}");
+        assert!(stats.foreign_cells > 0, "{stats:?}");
+        client.shutdown().unwrap();
         handle.join().unwrap();
     }
 }

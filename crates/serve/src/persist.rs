@@ -86,6 +86,15 @@ impl PersistentService {
         self.svc.set_result_cache(on);
     }
 
+    /// Sets the store's idle TTL (`HB_STORE_TTL` / `hbserve --ttl`):
+    /// entries untouched for that long are garbage-collected at the start
+    /// of the next batch. Expired entries persist in the log until the
+    /// next [`PersistentService::checkpoint`] compacts them away (they
+    /// would re-seed at the next open, then idle out again).
+    pub fn set_ttl(&mut self, ttl: Option<std::time::Duration>) {
+        self.svc.set_ttl(ttl);
+    }
+
     /// The wrapped in-memory service (tests and diagnostics).
     #[must_use]
     pub fn service(&self) -> &CorpusService {

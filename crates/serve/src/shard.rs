@@ -1,0 +1,177 @@
+//! Consistent-hash shard routing for the `hbserve` cluster.
+//!
+//! A cluster is an ordered list of `hbserve` addresses (the comma-separated
+//! `HB_SERVE_ADDR` form); shard *i* of *n* is the server at index *i*. Cell
+//! ownership is decided by **consistent hashing**: each shard projects
+//! [`POINTS_PER_SHARD`] points onto a 64-bit ring (FNV-1a of a pinned
+//! `("hbshard", shard, replica)` encoding — the same [`Fnv64`] the store
+//! keys use), and a cell belongs to the first shard point at or after the
+//! hash of its store key `(ProgramId, config fingerprint)`.
+//!
+//! Both sides of the wire compute the same ring from nothing but the shard
+//! *count*: the client (`hardbound_runtime::run_jobs`) routes cells with
+//! it, and a server started with `--shard k/n` uses it to tell owned cells
+//! from foreign ones (foreign cells are **served, not rejected** — they are
+//! how the client re-routes a dead shard's cells, so strict ownership
+//! would turn failover into an outage). Consistent hashing keeps the map
+//! stable under membership change: going from `n` to `n+1` shards moves
+//! only the keys the new shard's points capture, so a grown cluster keeps
+//! most of its warm stores valid.
+
+use hardbound_core::Fnv64;
+
+/// Ring points projected per shard. Enough that key ranges split evenly
+/// (the imbalance of the max-loaded shard is a few percent at 64 points);
+/// small enough that building a ring is trivially cheap.
+pub const POINTS_PER_SHARD: usize = 64;
+
+/// The hash a cell is routed by: its result-store key, reduced to one ring
+/// position. Client and server both call this with the same
+/// `(ProgramId.0, config_fingerprint)` pair, so routing agrees end to end.
+#[must_use]
+pub fn cell_point(program_id: u64, config_fingerprint: u64) -> u64 {
+    let mut h = Fnv64::default();
+    h.mix_bytes(b"hbcell");
+    h.mix_u64(program_id);
+    h.mix_u64(config_fingerprint);
+    h.value()
+}
+
+/// The consistent-hash ring over `n` shards (see the module docs).
+#[derive(Clone, Debug)]
+pub struct ShardRing {
+    /// `(ring position, shard index)`, sorted by position.
+    points: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+impl ShardRing {
+    /// The ring over `shards` shards (at least 1; a single shard owns
+    /// everything and the ring degenerates to a constant).
+    #[must_use]
+    pub fn new(shards: usize) -> ShardRing {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * POINTS_PER_SHARD);
+        for shard in 0..shards {
+            for replica in 0..POINTS_PER_SHARD {
+                let mut h = Fnv64::default();
+                h.mix_bytes(b"hbshard");
+                h.mix_u64(shard as u64);
+                h.mix_u64(replica as u64);
+                points.push((h.value(), shard as u32));
+            }
+        }
+        // Ties (astronomically unlikely 64-bit collisions) break on the
+        // lower shard index, deterministically on both sides of the wire.
+        points.sort_unstable();
+        ShardRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning ring position `point`: the first shard point at or
+    /// after it, wrapping past the top of the ring.
+    #[must_use]
+    pub fn owner(&self, point: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < point);
+        let (_, shard) = self.points[if i == self.points.len() { 0 } else { i }];
+        shard as usize
+    }
+
+    /// The shard owning the cell `(program_id, config_fingerprint)`.
+    #[must_use]
+    pub fn owner_of_cell(&self, program_id: u64, config_fingerprint: u64) -> usize {
+        self.owner(cell_point(program_id, config_fingerprint))
+    }
+
+    /// Fallback order for a cell whose owner is unreachable: every shard,
+    /// starting at the owner and walking the shard list cyclically. The
+    /// client tries them in order, so a dead shard's cells land
+    /// deterministically on its successor (and every client agrees on the
+    /// successor, keeping the re-routed warm state in one place).
+    #[must_use]
+    pub fn route(&self, point: u64) -> Vec<usize> {
+        self.route_from(self.owner(point))
+    }
+
+    /// [`ShardRing::route`] given the owner directly — a scatter client
+    /// that has already grouped cells by owner shares one route per group.
+    #[must_use]
+    pub fn route_from(&self, owner: usize) -> Vec<usize> {
+        (0..self.shards)
+            .map(|step| (owner + step) % self.shards)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_shards() {
+        let a = ShardRing::new(3);
+        let b = ShardRing::new(3);
+        let mut seen = [false; 3];
+        for k in 0..10_000u64 {
+            let p = cell_point(k, k.wrapping_mul(0x9e37_79b9));
+            assert_eq!(a.owner(p), b.owner(p), "rings must agree");
+            seen[a.owner(p)] = true;
+        }
+        assert_eq!(seen, [true; 3], "every shard owns some keys");
+    }
+
+    #[test]
+    fn load_splits_roughly_evenly() {
+        let ring = ShardRing::new(3);
+        let mut counts = [0usize; 3];
+        for k in 0..30_000u64 {
+            counts[ring.owner(cell_point(k, !k))] += 1;
+        }
+        for &c in &counts {
+            // 3 shards × 64 points: each within a loose factor of the mean.
+            assert!((4_000..=16_000).contains(&c), "skewed ring: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_a_fraction_of_keys() {
+        let small = ShardRing::new(3);
+        let big = ShardRing::new(4);
+        let moved = (0..10_000u64)
+            .filter(|&k| {
+                let p = cell_point(k, k);
+                let owner = small.owner(p);
+                let grown = big.owner(p);
+                grown != owner && grown != 3
+            })
+            .count();
+        // Consistent hashing: keys either stay put or move to the new
+        // shard; none shuffle between surviving shards.
+        assert_eq!(moved, 0, "{moved} keys shuffled between old shards");
+    }
+
+    #[test]
+    fn route_starts_at_the_owner_and_visits_everyone_once() {
+        let ring = ShardRing::new(4);
+        let p = cell_point(7, 9);
+        let route = ring.route(p);
+        assert_eq!(route.len(), 4);
+        assert_eq!(route[0], ring.owner(p));
+        let mut sorted = route.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = ShardRing::new(1);
+        assert_eq!(ring.owner(0), 0);
+        assert_eq!(ring.owner(u64::MAX), 0);
+        assert_eq!(ring.route(42), vec![0]);
+    }
+}
