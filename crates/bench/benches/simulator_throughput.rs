@@ -25,6 +25,12 @@
 //! the engine with the fast path on (`MetaPath::Summary`) than with it
 //! off (`MetaPath::Charge`, every memory op charging tag traffic), so
 //! metadata-walk skipping can never silently regress.
+//!
+//! Set `HB_TRACE_GATE=<ratio>` to gate the **tracing overhead**: an
+//! identical engine fleet with the `HB_TRACE` JSONL sink installed must
+//! stay within `<ratio>`× of the untraced baseline (CI pins `1.1` —
+//! tracing-enabled throughput within 10%), so span emission can never
+//! creep into the hot path.
 
 use std::time::{Duration, Instant};
 
@@ -478,6 +484,66 @@ fn persist_warm_report() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The tracing overhead comparison (and optional CI gate): identical
+/// engine fleet runs with the `HB_TRACE` JSONL sink installed vs
+/// disabled. Each pass builds fresh engines, so every block re-decodes
+/// and stamps a decode span — the traced side pays real span emission,
+/// not just a disabled-flag check. Gated via `HB_TRACE_GATE=<ratio>`,
+/// CI pins `1.1` (traced throughput within 10% of baseline).
+fn trace_overhead_report() {
+    use hardbound_telemetry::trace;
+    let gate = env_parse::<f64>("HB_TRACE_GATE").unwrap_or_else(|e| panic!("{e}"));
+    let scale = scale_from_env();
+    let samples = match scale {
+        Scale::Smoke => 10,
+        Scale::Full => 3,
+    };
+    let programs: Vec<Program> = all(scale)
+        .iter()
+        .map(|w| compile(&w.source, Mode::HardBound).expect("compiles"))
+        .collect();
+    let fleet = || {
+        for p in &programs {
+            let machine = build_machine(p.clone(), Mode::HardBound, PointerEncoding::Intern4);
+            let out = Engine::new(machine).run();
+            assert!(out.trap.is_none());
+        }
+    };
+    let path = std::env::temp_dir().join(format!("hb-trace-bench-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    // `compare` interleaves the two closures, so the sink flips off/on
+    // each iteration — exactly the state transition `HB_TRACE` users see.
+    let (off, on) = compare(
+        samples,
+        || {
+            trace::disable();
+            fleet();
+        },
+        || {
+            trace::install(&path).expect("trace sink installs");
+            fleet();
+        },
+    );
+    trace::disable();
+    let spans = std::fs::read_to_string(&path).map_or(0, |t| t.lines().count());
+    let _ = std::fs::remove_file(&path);
+    let ratio = on.as_secs_f64() / off.as_secs_f64();
+    println!("\ntracing overhead ({scale:?} fleet, engine; {spans} spans emitted):");
+    println!(
+        "  {:<24} off {off:>10.2?}  on {on:>10.2?}  ratio {ratio:>5.2}x",
+        "HB_TRACE sink"
+    );
+    assert!(spans > 0, "the traced passes must emit spans");
+    if let Some(allowed) = gate {
+        assert!(
+            ratio <= allowed,
+            "trace gate: traced fleet runs at {ratio:.2}x the untraced baseline, \
+             above the allowed {allowed:.2}x"
+        );
+        println!("  gate: {ratio:.2}x <= {allowed:.2}x — ok");
+    }
+}
+
 criterion_group!(benches, bench_simulation, bench_compilation);
 
 fn main() {
@@ -486,4 +552,5 @@ fn main() {
     meta_fast_path_report();
     service_warm_cold_report();
     persist_warm_report();
+    trace_overhead_report();
 }

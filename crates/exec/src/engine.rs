@@ -10,11 +10,22 @@
 //! path cannot express — indirect calls, environment calls, runs near the
 //! fuel limit — falls back to the interpreter's own [`Machine::step`].
 
+use std::sync::OnceLock;
+use std::time::Instant;
+
 use hardbound_core::{ExecState, Machine, MachineConfig, Meta, Pc, RunOutcome, Trap};
 use hardbound_isa::{BinOp, FuncId, Program};
+use hardbound_telemetry::{trace, Field, Histogram, SpanId, SpanTimer};
 
 use crate::block::{BlockCacheStats, ProgramId, SharedBlockCache};
 use crate::uop::{decode_block, Uop};
+
+/// The global `hb_decode_us` histogram handle, resolved once — the decode
+/// path must not take the registry lock per block.
+fn decode_us_hist() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| hardbound_telemetry::global().histogram("hb_decode_us"))
+}
 
 /// Counters describing how a run was executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -207,7 +218,20 @@ impl<'c> Engine<'c> {
         if let Some(id) = self.cache.get_mut().lookup(self.prog, func, pc) {
             return id;
         }
+        // Cold path only: decode latency feeds the `hb_decode_us`
+        // histogram, and under `HB_TRACE` each decode is a stamped span.
+        let timer =
+            trace::enabled().then(|| SpanTimer::start(trace::new_trace(), SpanId::NONE, "decode"));
+        let started = Instant::now();
         let decoded = decode_block(self.machine.program(), func, pc, self.machine.config());
+        decode_us_hist().record_duration(started.elapsed());
+        if let Some(t) = timer {
+            t.emit(vec![
+                ("func".to_owned(), Field::from(u64::from(func.0))),
+                ("pc".to_owned(), Field::from(u64::from(pc))),
+                ("uops".to_owned(), Field::from(decoded.uops.len() as u64)),
+            ]);
+        }
         self.cache.get_mut().insert(self.prog, func, pc, decoded)
     }
 

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use hardbound_core::{stable_fingerprint, Machine, MachineConfig, RunOutcome};
 use hardbound_isa::Program;
+use hardbound_telemetry::{trace, Field, SpanId, SpanTimer};
 
 use crate::batch;
 use crate::block::{BlockCacheStats, ProgramId, SharedBlockCache};
@@ -444,6 +445,14 @@ impl CorpusService {
         if self.result_cache {
             self.store.gc_expired();
         }
+        // Under `HB_TRACE` each batch is a root span with two stamped
+        // children: the store-lookup sweep and the parallel execution of
+        // the misses.
+        let batch_timer =
+            trace::enabled().then(|| SpanTimer::start(trace::new_trace(), SpanId::NONE, "batch"));
+        let lookup_timer = batch_timer
+            .as_ref()
+            .map(|b| SpanTimer::start(b.trace(), b.span(), "store_lookup"));
         let keys: Vec<(ProgramId, u64)> = jobs.iter().map(Job::key).collect();
         let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
         let mut missing: Vec<usize> = Vec::new();
@@ -470,11 +479,29 @@ impl CorpusService {
                 None => missing.push(i),
             }
         }
+        if let Some(t) = lookup_timer {
+            t.emit(vec![
+                ("jobs".to_owned(), Field::from(jobs.len() as u64)),
+                ("missing".to_owned(), Field::from(missing.len() as u64)),
+            ]);
+        }
+        let exec_timer = batch_timer
+            .as_ref()
+            .map(|b| SpanTimer::start(b.trace(), b.span(), "batch_exec"));
         let fresh = batch::map_with_states(&missing, &mut self.shards, |shard, _, &i| {
             let job = &jobs[i];
             let machine = build(job.program.clone(), job.config.clone(), &job.tag);
             Engine::with_shared_cache(machine, shard).run()
         });
+        if let Some(t) = exec_timer {
+            t.emit(vec![(
+                "executed".to_owned(),
+                Field::from(missing.len() as u64),
+            )]);
+        }
+        if let Some(t) = batch_timer {
+            t.emit(vec![("jobs".to_owned(), Field::from(jobs.len() as u64))]);
+        }
         for (&i, out) in missing.iter().zip(fresh) {
             if self.result_cache {
                 self.store.insert(keys[i], out.clone());

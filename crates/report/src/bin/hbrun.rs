@@ -4,8 +4,8 @@
 //! ```sh
 //! cargo run -p hardbound-report --bin hbrun -- program.cb \
 //!     [--mode baseline|malloc-only|hardbound|softbound|objtable] \
-//!     [--encoding extern-4|intern-4|intern-11] [--stats] [--disasm] \
-//!     [--engine|--interp]
+//!     [--encoding extern-4|intern-4|intern-11] [--stats] [--metrics] \
+//!     [--disasm] [--engine|--interp]
 //! ```
 //!
 //! Inputs ending in `.s` are treated as assembly listings in the
@@ -27,7 +27,9 @@
 //! layer); `--interp` selects the one-µop-per-step interpreter (all paths
 //! are observationally identical — see `tests/engine_differential.rs` and
 //! `tests/service_differential.rs`). With `--stats`, service runs also
-//! report result-store and block-cache counters.
+//! report result-store and block-cache counters; `--metrics` dumps the
+//! full process-global metrics registry (the same cells, Prometheus text
+//! form) to stderr after the run.
 
 use std::process::ExitCode;
 
@@ -37,7 +39,7 @@ use hardbound_exec::Engine;
 use hardbound_isa::Program;
 use hardbound_runtime::{
     build_machine_with_config, compile, compile_cache_stats, engine_default, env_flag,
-    machine_config, remote_stats, run_job, service_stats, store_log_stats,
+    machine_config, metrics_snapshot, remote_stats, run_job, service_stats, store_log_stats,
 };
 
 struct Args {
@@ -45,6 +47,7 @@ struct Args {
     mode: Mode,
     encoding: PointerEncoding,
     stats: bool,
+    metrics: bool,
     disasm: bool,
     engine: bool,
     meta: Option<MetaPath>,
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
     let mut mode = Mode::HardBound;
     let mut encoding = PointerEncoding::Intern4;
     let mut stats = false;
+    let mut metrics = false;
     let mut disasm = false;
     // `HB_INTERP=1` flips the default; the flags below override both.
     let mut engine = engine_default();
@@ -94,13 +98,15 @@ fn parse_args() -> Result<Args, String> {
                 });
             }
             "--stats" => stats = true,
+            "--metrics" => metrics = true,
             "--disasm" => disasm = true,
             "--engine" => engine = true,
             "--interp" => engine = false,
             "--help" | "-h" => {
                 return Err(
                     "usage: hbrun FILE.{cb,s} [FILE.{cb,s} ...] [--mode M] [--encoding E] \
-                     [--stats] [--disasm] [--engine|--interp] [--meta summary|walk|charge]"
+                     [--stats] [--metrics] [--disasm] [--engine|--interp] \
+                     [--meta summary|walk|charge]"
                         .to_owned(),
                 )
             }
@@ -116,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         mode,
         encoding,
         stats,
+        metrics,
         disasm,
         engine,
         meta,
@@ -310,6 +317,14 @@ fn main() -> ExitCode {
             }
         }
     }
+    if args.metrics {
+        // The full registry exposition — the same cells `--stats` (and a
+        // server's `METRICS` request) read, in Prometheus text form.
+        eprint!("{}", metrics_snapshot().render());
+    }
+    // The HB_TRACE sink is a static BufWriter with no exit destructor;
+    // flush here so bare-engine/interpreter runs keep their spans too.
+    hardbound_telemetry::trace::flush();
     match out.trap {
         Some(_) => ExitCode::from(3),
         None => ExitCode::from(out.exit_code.unwrap_or(0).clamp(0, 255) as u8),

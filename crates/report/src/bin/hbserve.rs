@@ -3,7 +3,7 @@
 //! ```sh
 //! cargo run -p hardbound_report --bin hbserve -- \
 //!     [--listen 127.0.0.1:7878] [--store PATH] [--workers N] \
-//!     [--shard K/N] [--ttl SECS]
+//!     [--shard K/N] [--ttl SECS] [--metrics-addr ADDR]
 //! ```
 //!
 //! Binds a TCP front end around one shared (optionally persistent)
@@ -28,6 +28,11 @@
 //!   execute, which is exactly how clients fail over a dead shard.
 //! * `--ttl SECS` — expire store entries idle for `SECS` seconds
 //!   (defaults to `HB_STORE_TTL` when set; off otherwise).
+//! * `--metrics-addr ADDR` — also serve the Prometheus-style text
+//!   exposition over plain HTTP at `GET /` on `ADDR` (defaults to
+//!   `HB_METRICS_ADDR` when set; off otherwise). The bound address is
+//!   printed as a second stdout line (`hbserve metrics on ADDR`). The
+//!   same text is available in-protocol via the `METRICS` request.
 //!
 //! The server runs until a client sends the protocol `SHUTDOWN` request;
 //! it then checkpoints the store and exits 0.
@@ -47,6 +52,7 @@ struct Args {
     workers: usize,
     shard: Option<(usize, usize)>,
     ttl: Option<std::time::Duration>,
+    metrics_addr: Option<String>,
 }
 
 /// Parses `K/N` with `K < N` (the `--shard` form).
@@ -63,6 +69,10 @@ fn parse_args() -> Result<Args, String> {
     let mut workers = batch::default_workers();
     let mut shard = None;
     let mut ttl = store_ttl();
+    let mut metrics_addr = std::env::var("HB_METRICS_ADDR")
+        .ok()
+        .map(|v| v.trim().to_owned())
+        .filter(|v| !v.is_empty());
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -87,10 +97,13 @@ fn parse_args() -> Result<Args, String> {
                     |_| format!("--ttl must be a whole number of seconds, got `{v}`"),
                 )?));
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(it.next().ok_or("--metrics-addr needs an address")?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: hbserve [--listen ADDR] [--store PATH] [--workers N] \
-                     [--shard K/N] [--ttl SECS]"
+                     [--shard K/N] [--ttl SECS] [--metrics-addr ADDR]"
                         .to_owned(),
                 )
             }
@@ -103,7 +116,35 @@ fn parse_args() -> Result<Args, String> {
         workers,
         shard,
         ttl,
+        metrics_addr,
     })
+}
+
+/// Serves the metrics exposition over minimal HTTP: every connection gets
+/// a `200 OK text/plain` with the current render, regardless of path —
+/// enough for `curl` and a Prometheus scrape config, with no HTTP
+/// machinery worth auditing.
+fn serve_metrics_http(
+    listener: std::net::TcpListener,
+    render: impl Fn() -> String + Send + Sync + 'static,
+) {
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            // Drain (one read of) the request; the response is the same
+            // for every path and method.
+            let mut buf = [0u8; 1024];
+            use std::io::{Read as _, Write as _};
+            let _ = conn.read(&mut buf);
+            let body = render();
+            let _ = write!(
+                conn,
+                "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4\r\n\
+                 content-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            );
+        }
+    });
 }
 
 /// Decodes the wire tag back to a compiler mode (the client sends
@@ -159,6 +200,29 @@ fn main() -> ExitCode {
             eprintln!("cannot read bound address: {e}");
             return ExitCode::from(2);
         }
+    }
+    if let Some(maddr) = &args.metrics_addr {
+        let listener = match std::net::TcpListener::bind(maddr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cannot bind metrics address {maddr}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match listener.local_addr() {
+            Ok(addr) => {
+                // Second stdout line, same parse-friendly shape as the
+                // main banner (ephemeral-port discovery for wrappers).
+                println!("hbserve metrics on {addr}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("cannot read metrics address: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        serve_metrics_http(listener, server.metrics_renderer());
     }
     let shared = server.service();
     if let Err(e) = server.run() {

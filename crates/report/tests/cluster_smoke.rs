@@ -4,6 +4,13 @@
 //! **byte-identical** to a single in-process run — including with one
 //! shard dead (the failover acceptance criterion: retry/re-route, never a
 //! panic, never a wrong or missing cell).
+//!
+//! The observability acceptance rides the same harness: the `METRICS`
+//! exposition of all shards must sum to the grid size, and a traced grid
+//! (`HB_TRACE`) must produce one merged JSONL trace whose client
+//! round-trip spans enclose the matching server-side execution spans —
+//! with results byte-identical to tracing off, including on the
+//! kill-one-shard re-route path.
 
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
@@ -15,6 +22,7 @@ use hardbound_runtime::{
     build_machine_with_config, compile, machine_config, remote_stats, run_jobs_remote_to, SimJob,
 };
 use hardbound_serve::Client;
+use hardbound_telemetry::{scrape_value, trace, SpanEvent};
 
 /// An `hbserve` child that dies with the test.
 struct ServerGuard {
@@ -144,6 +152,7 @@ fn three_shard_cluster_matches_the_in_process_run() {
     // each distinct key executed exactly once.
     let mut misses = 0;
     let mut served = 0;
+    let mut scraped_cells = 0;
     for (k, guard) in cluster.iter().enumerate() {
         let mut client = Client::connect(&guard.addr).expect("connects");
         let stats = client.stats().expect("stats");
@@ -151,12 +160,38 @@ fn three_shard_cluster_matches_the_in_process_run() {
         assert_eq!(stats.shard_count, 3);
         assert_eq!(stats.foreign_cells, 0, "shard {k} saw re-routed cells");
         assert!(stats.owned_cells > 0, "shard {k} sat idle: {stats:?}");
+        assert_eq!(stats.tickets_finished, 1, "one submission per shard");
+        assert_eq!(stats.tickets_active, 0, "nothing in flight after DONE");
+        assert_eq!(stats.cells_in_flight, 0, "nothing in flight after DONE");
         misses += stats.misses;
         served += stats.hits + stats.misses;
+
+        // The Prometheus exposition tells the same story as STATS: this
+        // shard executed exactly the cells the ring routed to it.
+        let text = client.metrics().expect("metrics");
+        let cells = scrape_value(&text, "hbserve_cells_executed").unwrap_or_else(|| {
+            panic!("shard {k} exposition lacks hbserve_cells_executed:\n{text}")
+        });
+        assert_eq!(
+            cells,
+            stats.owned_cells + stats.foreign_cells,
+            "shard {k}: executed cells must equal owned + foreign"
+        );
+        assert_eq!(
+            scrape_value(&text, "hbserve_shard_index"),
+            Some(k as u64),
+            "shard {k} exposition carries its ring position"
+        );
+        scraped_cells += cells;
         client.shutdown().expect("shutdown");
     }
     assert_eq!(misses, distinct, "each distinct key executed exactly once");
     assert_eq!(served, sim_jobs.len() as u64, "every cell was served");
+    assert_eq!(
+        scraped_cells,
+        sim_jobs.len() as u64,
+        "summed hbserve_cells_executed across the cluster must equal the grid size"
+    );
 
     for mut guard in cluster {
         let status = guard.child.wait().expect("hbserve exits");
@@ -247,5 +282,186 @@ fn shard_killed_mid_grid_recovers() {
     assert_eq!(
         out, expected,
         "a shard dying mid-grid must degrade to retry/re-route, not corrupt cells"
+    );
+}
+
+/// The observability acceptance criterion: one traced grid over a
+/// 3-shard cluster — with one shard killed to force the re-route path —
+/// yields a single merged JSONL trace in which every successful client
+/// round-trip span encloses the matching server-side execution span,
+/// while the grid results stay byte-identical to tracing off.
+#[test]
+fn traced_cluster_produces_one_merged_trace_with_enclosing_spans() {
+    // 14 distinct cells: a grid size no other test in this binary uses,
+    // so this grid's root span is identifiable even though the trace
+    // sink is process-global and other tests may emit concurrently.
+    const CELLS: u64 = 14;
+    let mut sim_jobs = Vec::new();
+    let mut local_jobs = Vec::new();
+    for k in 0..CELLS {
+        let source = format!(
+            "int main() {{\n\
+               int *a = (int*)malloc({} * sizeof(int));\n\
+               int s = 0;\n\
+               for (int i = 0; i < {}; i = i + 1) {{ a[i] = i * {k}; s = s + a[i]; }}\n\
+               print_int(s);\n\
+               return 0;\n\
+             }}",
+            4 + k,
+            4 + k,
+        );
+        let program = compile(&source, Mode::HardBound).expect("compiles");
+        sim_jobs.push(SimJob::new(
+            program.clone(),
+            Mode::HardBound,
+            PointerEncoding::Intern4,
+        ));
+        local_jobs.push(hardbound_exec::Job {
+            program,
+            config: machine_config(Mode::HardBound, PointerEncoding::Intern4),
+            salt: Mode::HardBound as u64,
+            tag: Mode::HardBound,
+        });
+    }
+    let expected = reference(&local_jobs);
+
+    // Precondition (deterministic in the consistent hash): the shard we
+    // are about to kill owns cells, so the re-route path really runs.
+    let ring = hardbound_serve::ShardRing::new(3);
+    let owned_by_victim = sim_jobs
+        .iter()
+        .filter(|j| {
+            let pid = hardbound_exec::ProgramId::of(&j.program, &j.config);
+            let fp = hardbound_exec::service::config_fingerprint(&j.config, j.mode as u64);
+            ring.owner_of_cell(pid.0, fp) == 1
+        })
+        .count();
+    assert!(
+        owned_by_victim > 0,
+        "test grid routes no cells to shard 1; vary the generator"
+    );
+
+    let mut cluster = spawn_cluster(3);
+    let addrs = addrs_of(&cluster);
+
+    // Baseline with tracing off, on the full cluster.
+    trace::disable();
+    let untraced = run_jobs_remote_to(&addrs, &sim_jobs);
+    assert_eq!(untraced, expected, "untraced cluster run disagrees");
+
+    // Kill shard 1, then run the same grid traced: the dead shard's
+    // cells re-route, and the trace must record both the failures and
+    // the enclosing server spans of the successful attempts.
+    {
+        let dead = &mut cluster[1];
+        dead.child.kill().expect("kill");
+        dead.child.wait().expect("reap");
+    }
+    let path = std::env::temp_dir().join(format!("hb-cluster-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    trace::install(&path).expect("trace sink installs");
+    let traced = run_jobs_remote_to(&addrs, &sim_jobs);
+    trace::disable();
+    assert_eq!(
+        traced, expected,
+        "HB_TRACE on vs off must be byte-identical in grid results"
+    );
+
+    // Every emitted line re-parses under the documented schema.
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    let events: Vec<SpanEvent> = text
+        .lines()
+        .map(|l| SpanEvent::parse(l).unwrap_or_else(|e| panic!("bad trace line {l:?}: {e}")))
+        .collect();
+    let _ = std::fs::remove_file(&path);
+
+    // Exactly one grid root for this test's cell count; everything below
+    // is keyed on its trace id — the "one coherent trace" criterion.
+    let grids: Vec<&SpanEvent> = events
+        .iter()
+        .filter(|e| e.kind == "grid" && e.field_u64("cells") == Some(CELLS))
+        .collect();
+    assert_eq!(
+        grids.len(),
+        1,
+        "expected exactly one {CELLS}-cell grid span"
+    );
+    let grid = grids[0];
+    assert_eq!(grid.field_u64("shards"), Some(3));
+    assert_eq!(grid.field_u64("failures"), Some(0));
+    let in_trace: Vec<&SpanEvent> = events.iter().filter(|e| e.trace == grid.trace).collect();
+
+    let rts: Vec<&&SpanEvent> = in_trace.iter().filter(|e| e.kind == "remote_rt").collect();
+    let execs: Vec<&&SpanEvent> = in_trace
+        .iter()
+        .filter(|e| e.kind == "ticket_exec")
+        .collect();
+    assert!(!rts.is_empty(), "no round-trip spans in the grid trace");
+
+    // The re-route story is attributable: the dead shard left failed
+    // attempts (no ticket, an err field), and at least one later hop
+    // succeeded elsewhere.
+    let failed: Vec<&&&SpanEvent> = rts
+        .iter()
+        .filter(|e| e.field_u64("ticket").is_none())
+        .collect();
+    assert!(
+        !failed.is_empty(),
+        "the killed shard must leave failed round-trip spans"
+    );
+    assert!(
+        failed.iter().all(|e| e.field_u64("shard") == Some(1)),
+        "every failed attempt names the shard that died"
+    );
+    assert!(
+        rts.iter()
+            .any(|e| e.field_u64("hop").is_some_and(|h| h > 0) && e.field_u64("ticket").is_some()),
+        "a re-routed (hop > 0) round trip must have succeeded"
+    );
+
+    // Enclosure: every successful round trip parents exactly one server
+    // execution span (same trace, parent = the client span, same ticket),
+    // and the server's wall-clock window sits inside the client's.
+    // SystemTime is shared across local processes; the slack absorbs
+    // microsecond rounding at the window edges.
+    const SLACK_US: u64 = 5_000;
+    let mut cells_enclosed = 0;
+    for rt in rts.iter().filter(|e| e.field_u64("ticket").is_some()) {
+        let matches: Vec<&&&SpanEvent> = execs.iter().filter(|e| e.parent == rt.span).collect();
+        assert_eq!(
+            matches.len(),
+            1,
+            "round trip {:?} must parent exactly one server exec span",
+            rt.span
+        );
+        let ex = matches[0];
+        assert_eq!(
+            ex.field_u64("ticket"),
+            rt.field_u64("ticket"),
+            "client and server must agree on the ticket id"
+        );
+        assert!(
+            ex.start_us + SLACK_US >= rt.start_us,
+            "server span starts before its round trip: {ex:?} vs {rt:?}"
+        );
+        assert!(
+            ex.end_us() <= rt.end_us() + SLACK_US,
+            "server span outlives its round trip: {ex:?} vs {rt:?}"
+        );
+        // The per-chunk children the server shipped back ride under the
+        // exec span.
+        assert!(
+            in_trace
+                .iter()
+                .any(|c| c.kind == "chunk" && c.parent == ex.span),
+            "exec span {:?} has no chunk children",
+            ex.span
+        );
+        cells_enclosed += ex.field_u64("cells").expect("exec spans carry cells");
+    }
+    assert!(
+        cells_enclosed >= CELLS,
+        "every cell must be covered by an enclosed server span \
+         (got {cells_enclosed} of {CELLS}; resubmissions may exceed)"
     );
 }

@@ -46,8 +46,8 @@ pub use source::RUNTIME_SOURCE;
 pub use splay::SplayTable;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
 
 use hardbound_compiler::{compile_program, CompileError, Mode, Options};
 use hardbound_core::{
@@ -56,7 +56,10 @@ use hardbound_core::{
 use hardbound_exec::service::{config_fingerprint, Job};
 use hardbound_exec::{batch, ProgramId, ServiceStats};
 use hardbound_isa::Program;
-use hardbound_serve::{Client, PersistentService, ServeError, ShardRing, StoreLogStats, WireJob};
+use hardbound_serve::{
+    Client, PersistStats, PersistentService, ServeError, ShardRing, StoreLogStats, WireJob,
+};
+use hardbound_telemetry::{trace, Counter, Field, Histogram, SpanId, SpanTimer, TraceCtx};
 
 /// Parses one `HB_*` boolean flag value: `0`, `false` (any case) and the
 /// empty string mean *off*; anything else means *on*. This is the one
@@ -124,13 +127,13 @@ pub fn compile(user_source: &str, mode: Mode) -> Result<Program, CompileError> {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(program) = cache.get(&key) {
-            COMPILE_HITS.fetch_add(1, Ordering::Relaxed);
+            metrics().compile_hits.inc();
             return Ok(program.clone());
         }
     }
     // Compile outside the lock: parallel drivers (`batch::map` over
     // (workload, mode) pairs) must not serialize their cold compiles.
-    COMPILE_MISSES.fetch_add(1, Ordering::Relaxed);
+    metrics().compile_misses.inc();
     let program = compile_uncached(user_source, mode)?;
     let mut cache = compile_cache()
         .lock()
@@ -155,14 +158,67 @@ pub fn compile_uncached(user_source: &str, mode: Mode) -> Result<Program, Compil
     // The allocator is trusted runtime code: its header bookkeeping is
     // exempt from software checks, as an uninstrumented libc would be.
     let opts = Options::mode(mode).with_unchecked(["malloc", "free"]);
-    compile_program(&link(user_source), &opts)
+    // Compiles happen before any grid exists, so the span is a root of
+    // its own trace rather than a child of a later grid span.
+    let timer =
+        trace::enabled().then(|| SpanTimer::start(trace::new_trace(), SpanId::NONE, "compile"));
+    let started = Instant::now();
+    let result = compile_program(&link(user_source), &opts);
+    metrics().compile_us.record_duration(started.elapsed());
+    if let Some(t) = timer {
+        t.emit(vec![
+            ("mode".to_owned(), Field::from(mode.to_string())),
+            ("ok".to_owned(), Field::from(u64::from(result.is_ok()))),
+        ]);
+    }
+    result
 }
 
 /// Upper bound on memoized compilations before the cache resets.
 const COMPILE_CACHE_CAP: usize = 1 << 12;
 
-static COMPILE_HITS: AtomicU64 = AtomicU64::new(0);
-static COMPILE_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Registry-backed handles for every runtime-layer counter. All of them
+/// live in the process-global [`hardbound_telemetry::Registry`], so
+/// `hbrun --stats`, the Prometheus exposition and snapshot/delta metering
+/// read the same cells the hot paths increment.
+struct RuntimeMetrics {
+    compile_hits: Counter,
+    compile_misses: Counter,
+    compile_us: Histogram,
+    remote_round_trips: Counter,
+    remote_cells: Counter,
+    remote_retries: Counter,
+    remote_reroutes: Counter,
+    remote_rt_us: Histogram,
+}
+
+fn metrics() -> &'static RuntimeMetrics {
+    static METRICS: OnceLock<RuntimeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = hardbound_telemetry::global();
+        RuntimeMetrics {
+            compile_hits: g.counter("hb_compile_hits"),
+            compile_misses: g.counter("hb_compile_misses"),
+            compile_us: g.histogram("hb_compile_us"),
+            remote_round_trips: g.counter("hb_remote_round_trips"),
+            remote_cells: g.counter("hb_remote_cells"),
+            remote_retries: g.counter("hb_remote_retries"),
+            remote_reroutes: g.counter("hb_remote_reroutes"),
+            remote_rt_us: g.histogram("hb_remote_rt_us"),
+        }
+    })
+}
+
+/// A point-in-time snapshot of the process-global metrics registry:
+/// compile-memo and remote-client counters, the service mirror gauges,
+/// and the latency histograms. Pair two snapshots with
+/// [`hardbound_telemetry::Snapshot::delta`] to meter one region, or
+/// render the Prometheus text exposition with
+/// [`hardbound_telemetry::Snapshot::render`].
+#[must_use]
+pub fn metrics_snapshot() -> hardbound_telemetry::Snapshot {
+    hardbound_telemetry::global().snapshot()
+}
 
 fn compile_cache() -> &'static Mutex<HashMap<(u64, Mode), Program>> {
     static CACHE: OnceLock<Mutex<HashMap<(u64, Mode), Program>>> = OnceLock::new();
@@ -178,12 +234,14 @@ pub struct CompileCacheStats {
     pub misses: u64,
 }
 
-/// Snapshot of the process-wide compile-memo counters.
+/// Snapshot of the process-wide compile-memo counters (reads the
+/// `hb_compile_hits` / `hb_compile_misses` registry cells).
 #[must_use]
 pub fn compile_cache_stats() -> CompileCacheStats {
+    let m = metrics();
     CompileCacheStats {
-        hits: COMPILE_HITS.load(Ordering::Relaxed),
-        misses: COMPILE_MISSES.load(Ordering::Relaxed),
+        hits: m.compile_hits.get(),
+        misses: m.compile_misses.get(),
     }
 }
 
@@ -365,14 +423,47 @@ fn service() -> &'static Mutex<PersistentService> {
             None => PersistentService::new(workers),
         };
         svc.set_ttl(store_ttl());
+        register_service_gauges();
         Mutex::new(svc)
     })
 }
 
-static REMOTE_ROUND_TRIPS: AtomicU64 = AtomicU64::new(0);
-static REMOTE_CELLS: AtomicU64 = AtomicU64::new(0);
-static REMOTE_RETRIES: AtomicU64 = AtomicU64::new(0);
-static REMOTE_REROUTES: AtomicU64 = AtomicU64::new(0);
+/// Mirrors the process-wide service's counters into the global registry
+/// as `hb_*` gauges, so one `METRICS`-style snapshot carries the result
+/// store and decode cache story without a second bookkeeping path. Each
+/// closure locks the service mutex at snapshot time — never snapshot the
+/// registry while holding that lock.
+fn register_service_gauges() {
+    let g = hardbound_telemetry::global();
+    type Sel = fn(&PersistStats) -> u64;
+    let gauges: [(&str, Sel); 12] = [
+        ("hb_store_hits", |s| s.service.store.hits),
+        ("hb_store_misses", |s| s.service.store.misses),
+        ("hb_store_stored", |s| s.service.store.stored),
+        ("hb_store_evicted", |s| s.service.store.evicted),
+        ("hb_store_expired", |s| s.service.store.expired),
+        ("hb_store_len", |s| s.service.store_len as u64),
+        ("hb_block_hits", |s| s.service.cache.hits),
+        ("hb_block_decoded", |s| s.service.cache.decoded),
+        ("hb_block_evicted", |s| s.service.cache.evicted),
+        ("hb_blocks_resident", |s| s.service.blocks_resident as u64),
+        ("hb_log_appended", |s| {
+            s.log.as_ref().map_or(0, |l| l.appended)
+        }),
+        ("hb_log_flushes", |s| {
+            s.log.as_ref().map_or(0, |l| l.flushes)
+        }),
+    ];
+    for (name, sel) in gauges {
+        g.gauge_fn(name, move || {
+            let stats = service()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .stats();
+            sel(&stats)
+        });
+    }
+}
 
 /// Counters of the remote-offload client path (`HB_SERVE_ADDR`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -390,14 +481,16 @@ pub struct RemoteStats {
     pub reroutes: u64,
 }
 
-/// Snapshot of this process's remote-offload counters.
+/// Snapshot of this process's remote-offload counters (reads the
+/// `hb_remote_*` registry cells).
 #[must_use]
 pub fn remote_stats() -> RemoteStats {
+    let m = metrics();
     RemoteStats {
-        round_trips: REMOTE_ROUND_TRIPS.load(Ordering::Relaxed),
-        cells: REMOTE_CELLS.load(Ordering::Relaxed),
-        retries: REMOTE_RETRIES.load(Ordering::Relaxed),
-        reroutes: REMOTE_REROUTES.load(Ordering::Relaxed),
+        round_trips: m.remote_round_trips.get(),
+        cells: m.remote_cells.get(),
+        retries: m.remote_retries.get(),
+        reroutes: m.remote_reroutes.get(),
     }
 }
 
@@ -497,9 +590,17 @@ pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
         .collect();
     let mut svc = service().lock().unwrap_or_else(PoisonError::into_inner);
     svc.set_result_cache(result_cache_enabled());
-    svc.run_batch(&jobs, |program, config, &mode| {
+    let outs = svc.run_batch(&jobs, |program, config, &mode| {
         build_machine_with_config(program, mode, config)
-    })
+    });
+    drop(svc);
+    // The sink's BufWriter is a static — no destructor runs at process
+    // exit, so every grid boundary flushes (`HB_TRACE` users would
+    // otherwise lose the buffered tail of short runs).
+    if trace::enabled() {
+        trace::flush();
+    }
+    outs
 }
 
 /// Attempts per shard address before falling through to the next shard on
@@ -510,16 +611,54 @@ const ATTEMPTS_PER_SHARD: usize = 2;
 /// One submission attempt against `addr`: connect, submit over the v2
 /// ticket flow, stream into `out`. On a mid-stream failure the slots
 /// filled so far stay filled — the caller resubmits only the rest.
+///
+/// With `ctx` present the attempt runs under a `remote_rt` span: the
+/// submission carries the span as the server-side parent (SUBMIT3), the
+/// returned server spans are re-emitted into the local sink so the grid's
+/// trace is one merged file, and a failed attempt records the error so
+/// the following retry/re-route is attributable to the shard that died.
 fn try_shard_once(
     addr: &str,
     sub: &[WireJob],
     out: &mut [Option<RunOutcome>],
+    ctx: Option<TraceCtx>,
+    (shard, hop, attempt): (u64, u64, u64),
 ) -> Result<(), ServeError> {
-    let mut client = Client::connect(addr)?;
-    let ticket = client.submit(sub)?;
-    REMOTE_ROUND_TRIPS.fetch_add(1, Ordering::Relaxed);
-    REMOTE_CELLS.fetch_add(sub.len() as u64, Ordering::Relaxed);
-    client.watch_into(ticket, out)
+    let m = metrics();
+    let started = Instant::now();
+    let timer = ctx.map(|c| SpanTimer::start(c.trace, c.parent, "remote_rt"));
+    let result = (|| {
+        let mut client = Client::connect(addr)?;
+        let sub_ctx = ctx.zip(timer.as_ref()).map(|(c, t)| TraceCtx {
+            trace: c.trace,
+            parent: t.span(),
+        });
+        let (ticket, _traced) = client.submit_traced(sub, sub_ctx)?;
+        m.remote_round_trips.inc();
+        m.remote_cells.add(sub.len() as u64);
+        let mut spans = Vec::new();
+        let watched = client.watch_into_traced(ticket, out, &mut spans);
+        for ev in &spans {
+            trace::emit(ev);
+        }
+        watched.map(|()| ticket)
+    })();
+    m.remote_rt_us.record_duration(started.elapsed());
+    if let Some(t) = timer {
+        let mut fields = vec![
+            ("addr".to_owned(), Field::from(addr)),
+            ("shard".to_owned(), Field::from(shard)),
+            ("hop".to_owned(), Field::from(hop)),
+            ("attempt".to_owned(), Field::from(attempt)),
+            ("cells".to_owned(), Field::from(sub.len() as u64)),
+        ];
+        match &result {
+            Ok(ticket) => fields.push(("ticket".to_owned(), Field::from(*ticket))),
+            Err(e) => fields.push(("err".to_owned(), Field::from(e.to_string()))),
+        }
+        t.emit(fields);
+    }
+    result.map(|_| ())
 }
 
 /// Fetches one shard group's cells (`idxs` into `wire_jobs`), walking the
@@ -533,6 +672,7 @@ fn fetch_group(
     order: &[usize],
     wire_jobs: &[WireJob],
     idxs: &[usize],
+    ctx: Option<TraceCtx>,
 ) -> Result<Vec<(usize, RunOutcome)>, String> {
     let mut results: Vec<Option<RunOutcome>> = vec![None; idxs.len()];
     let mut errors: Vec<String> = Vec::new();
@@ -544,16 +684,22 @@ fn fetch_group(
                 break;
             }
             if attempt > 0 {
-                REMOTE_RETRIES.fetch_add(1, Ordering::Relaxed);
+                metrics().remote_retries.inc();
             } else if hop > 0 {
-                REMOTE_REROUTES.fetch_add(1, Ordering::Relaxed);
+                metrics().remote_reroutes.inc();
             }
             let sub: Vec<WireJob> = missing
                 .iter()
                 .map(|&k| wire_jobs[idxs[k]].clone())
                 .collect();
             let mut sub_results: Vec<Option<RunOutcome>> = vec![None; sub.len()];
-            let outcome = try_shard_once(addr, &sub, &mut sub_results);
+            let outcome = try_shard_once(
+                addr,
+                &sub,
+                &mut sub_results,
+                ctx,
+                (shard as u64, hop as u64, attempt as u64),
+            );
             for (&k, out) in missing.iter().zip(sub_results) {
                 if out.is_some() {
                     results[k] = out;
@@ -617,6 +763,16 @@ pub fn run_jobs_remote_to(addrs: &[String], jobs: &[SimJob]) -> Vec<RunOutcome> 
         let fp = config_fingerprint(&j.config, j.mode as u64);
         groups[ring.owner_of_cell(pid.0, fp)].push(i);
     }
+    // The whole scatter/gather runs under one fresh trace: the `grid` root
+    // span parents every per-attempt `remote_rt` span, and the server
+    // spans each attempt brings back are re-emitted locally, so a single
+    // JSONL file tells the cluster-wide story of this grid.
+    let grid_timer =
+        trace::enabled().then(|| SpanTimer::start(trace::new_trace(), SpanId::NONE, "grid"));
+    let ctx = grid_timer.as_ref().map(|t| TraceCtx {
+        trace: t.trace(),
+        parent: t.span(),
+    });
     let fetched: Vec<Result<Vec<(usize, RunOutcome)>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
@@ -625,7 +781,7 @@ pub fn run_jobs_remote_to(addrs: &[String], jobs: &[SimJob]) -> Vec<RunOutcome> 
             .map(|(shard, idxs)| {
                 let order = ring.route_from(shard);
                 let wire_jobs = &wire_jobs;
-                scope.spawn(move || fetch_group(addrs, &order, wire_jobs, idxs))
+                scope.spawn(move || fetch_group(addrs, &order, wire_jobs, idxs, ctx))
             })
             .collect();
         handles
@@ -644,6 +800,14 @@ pub fn run_jobs_remote_to(addrs: &[String], jobs: &[SimJob]) -> Vec<RunOutcome> 
             }
             Err(msg) => failures.push(msg),
         }
+    }
+    if let Some(t) = grid_timer {
+        t.emit(vec![
+            ("cells".to_owned(), Field::from(jobs.len() as u64)),
+            ("shards".to_owned(), Field::from(addrs.len() as u64)),
+            ("failures".to_owned(), Field::from(failures.len() as u64)),
+        ]);
+        trace::flush();
     }
     assert!(
         failures.is_empty(),

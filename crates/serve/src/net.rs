@@ -20,16 +20,31 @@
 //! |---|---|
 //! | `SUBMIT` | job count (u32), then per job: program listing (str), [`MachineConfig`], salt (u64), tag (u64) |
 //! | `SUBMIT2` | listing count (u32), the **deduplicated listing table** (strs), then job count (u32), per job: listing index (u32), [`MachineConfig`], salt (u64), tag (u64) |
+//! | `SUBMIT3` | trace id (u64), parent span id (u64), then a `SUBMIT2` payload — the trace-context flavour of `SUBMIT2` |
 //! | `WATCH` | ticket id (u64) |
 //! | `POLL` | ticket id (u64) |
 //! | `STATS` | empty |
+//! | `METRICS` | empty |
 //! | `SHUTDOWN` | empty |
 //!
 //! Responses: `RESULTS` (start index u32, count u32, then `count` encoded
 //! [`RunOutcome`]s), `DONE` (total results u32), `TICKET` (ticket id u64,
 //! job count u32), `TICKET_STATUS` (total u32, ready u32, finished u8,
-//! failed u8), `STATS` (counters), and `ERR` (diagnostic string — the
-//! whole request is rejected; nothing executed).
+//! failed u8), `STATS` (counters), `SPANS` (span count u32, then encoded
+//! trace spans — only ever sent while watching a ticket that was submitted
+//! *with* trace context), `METRICS` (Prometheus-style text), and `ERR`
+//! (diagnostic string — the whole request is rejected; nothing executed).
+//!
+//! ## Version negotiation
+//!
+//! `SUBMIT3` carries the client's trace context so shards can stamp
+//! server-side spans under the submitter's `TraceId` and return them with
+//! `WATCH` (as a `SPANS` frame before `DONE`). Interop is by fallback, not
+//! by handshake: an old server answers `SUBMIT3` with `ERR "unknown
+//! request kind"` on a still-open connection, and the client transparently
+//! re-submits via plain `SUBMIT2` (losing only the server-side spans); an
+//! old client never sends `SUBMIT3` and never watches a traced ticket, so
+//! it never sees a `SPANS` frame.
 //!
 //! `SUBMIT` is the protocol-v1 synchronous flow: the submitting connection
 //! streams `RESULTS` frames until `DONE`. `SUBMIT2` is the v2
@@ -54,16 +69,20 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hardbound_core::{Machine, MachineConfig, RunOutcome};
 use hardbound_exec::service::Job;
 use hardbound_isa::Program;
+use hardbound_telemetry::{
+    trace, Counter, Gauge, Histogram, Registry, SpanEvent, SpanId, SpanTimer, TraceCtx, TraceId,
+};
 
 use crate::persist::PersistentService;
 use crate::shard::ShardRing;
 use crate::wire::{
-    decode_config, decode_outcome, encode_config, encode_outcome, Reader, WireError, Writer,
+    decode_config, decode_outcome, decode_span, encode_config, encode_outcome, encode_span, Reader,
+    WireError, Writer,
 };
 
 /// Request kinds (client → server).
@@ -73,6 +92,8 @@ const REQ_SHUTDOWN: u8 = 3;
 const REQ_SUBMIT2: u8 = 4;
 const REQ_WATCH: u8 = 5;
 const REQ_POLL: u8 = 6;
+const REQ_SUBMIT3: u8 = 7;
+const REQ_METRICS: u8 = 8;
 /// Response kinds (server → client).
 const RESP_RESULTS: u8 = 16;
 const RESP_DONE: u8 = 17;
@@ -80,6 +101,8 @@ const RESP_STATS: u8 = 18;
 const RESP_ERR: u8 = 19;
 const RESP_TICKET: u8 = 20;
 const RESP_TICKET_STATUS: u8 = 21;
+const RESP_SPANS: u8 = 22;
+const RESP_METRICS: u8 = 23;
 
 /// Cells executed (and streamed) per service-lock acquisition: small
 /// enough that results flow back while the tail still runs and that
@@ -234,6 +257,18 @@ pub struct RemoteServerStats {
     pub shard_index: u64,
     /// The cluster's shard count; 0 means the server runs unsharded.
     pub shard_count: u64,
+    /// Seconds since the server bound its listener. (This and the fields
+    /// below are 0 when talking to a pre-telemetry server: they ride at
+    /// the end of the `STATS` payload and old servers simply omit them.)
+    pub uptime_s: u64,
+    /// Tickets currently live and still executing.
+    pub tickets_active: u64,
+    /// Tickets whose grids finished executing (consumed or not).
+    pub tickets_finished: u64,
+    /// Finished-but-unwatched tickets dropped by the retention GC.
+    pub tickets_gcd: u64,
+    /// Cells accepted but not yet executed (queue depth).
+    pub cells_in_flight: u64,
 }
 
 /// Progress of a ticketed submission, as reported by a `POLL` request.
@@ -264,12 +299,17 @@ struct ShardState {
 
 /// One ticketed submission's mutable state; results append in input order
 /// as the executor drains chunks, so `results.len()` is the ready count.
+/// For tickets submitted with trace context (`SUBMIT3`), `trace` holds the
+/// client's context and `spans` buffers the server-side spans that the
+/// draining `WATCH` ships back in a `SPANS` frame.
 #[derive(Debug, Default)]
 struct TicketState {
     results: Vec<RunOutcome>,
     total: usize,
     finished: bool,
     failed: bool,
+    trace: Option<TraceCtx>,
+    spans: Vec<SpanEvent>,
 }
 
 type TicketSlot = Arc<(Mutex<TicketState>, Condvar)>;
@@ -282,8 +322,8 @@ struct Tickets {
 }
 
 impl Tickets {
-    fn create(&mut self, total: usize) -> (u64, TicketSlot) {
-        self.gc_finished();
+    fn create(&mut self, total: usize, trace: Option<TraceCtx>, m: &Metrics) -> (u64, TicketSlot) {
+        self.gc_finished(m);
         self.next += 1;
         let id = self.next;
         let slot: TicketSlot = Arc::new((
@@ -292,17 +332,31 @@ impl Tickets {
                 total,
                 finished: false,
                 failed: false,
+                trace,
+                spans: Vec::new(),
             }),
             Condvar::new(),
         ));
         self.live.insert(id, Arc::clone(&slot));
+        m.tickets_created.inc();
         (id, slot)
+    }
+
+    /// Tickets currently live and still executing.
+    fn active(&self) -> usize {
+        self.live
+            .values()
+            .filter(|slot| {
+                let st = slot.0.lock().unwrap_or_else(PoisonError::into_inner);
+                !st.finished && !st.failed
+            })
+            .count()
     }
 
     /// Drops the oldest finished-but-unwatched tickets past the retention
     /// bound, so a client that submits and never watches cannot pin
     /// results forever. Running tickets are never dropped.
-    fn gc_finished(&mut self) {
+    fn gc_finished(&mut self, m: &Metrics) {
         let mut done: Vec<u64> = self
             .live
             .iter()
@@ -318,7 +372,55 @@ impl Tickets {
         done.sort_unstable();
         for id in &done[..done.len() - MAX_RETAINED_TICKETS] {
             self.live.remove(id);
+            m.tickets_gcd.inc();
         }
+    }
+}
+
+/// Per-server metric handles plus the server-local [`Registry`] they are
+/// registered in. Each [`Server`] owns its own registry (test binaries run
+/// several servers in one process; their counters must not alias) — the
+/// `METRICS` verb and the `--metrics-addr` exposition render it together
+/// with the process-global registry.
+struct Metrics {
+    registry: Registry,
+    started: Instant,
+    tickets_created: Counter,
+    tickets_finished: Counter,
+    tickets_gcd: Counter,
+    cells_executed: Counter,
+    cells_in_flight: Gauge,
+    chunk_us: Histogram,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let registry = Registry::new();
+        let started = Instant::now();
+        registry.gauge_fn("hbserve_uptime_seconds", move || {
+            started.elapsed().as_secs()
+        });
+        Metrics {
+            tickets_created: registry.counter("hbserve_tickets_created"),
+            tickets_finished: registry.counter("hbserve_tickets_finished"),
+            tickets_gcd: registry.counter("hbserve_tickets_gcd"),
+            cells_executed: registry.counter("hbserve_cells_executed"),
+            cells_in_flight: registry.gauge("hbserve_cells_in_flight"),
+            chunk_us: registry.histogram("hbserve_chunk_us"),
+            registry,
+            started,
+        }
+    }
+
+    fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Renders the process-global registry followed by this server's own.
+    fn render(&self) -> String {
+        let mut text = hardbound_telemetry::global().render();
+        text.push_str(&self.registry.render());
+        text
     }
 }
 
@@ -332,6 +434,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     tickets: Arc<Mutex<Tickets>>,
     shard: Option<Arc<ShardState>>,
+    metrics: Arc<Metrics>,
     /// Requests currently being served (not idle connections) plus ticket
     /// executors still draining; `run` waits for this to reach zero after
     /// the accept loop stops, so a shutdown never cuts an in-flight
@@ -370,14 +473,51 @@ impl Server {
         build: Arc<Builder>,
         tag_ok: Arc<TagCheck>,
     ) -> io::Result<Server> {
+        let svc = Arc::new(Mutex::new(svc));
+        let tickets = Arc::new(Mutex::new(Tickets::default()));
+        let metrics = Arc::new(Metrics::new());
+        // Computed gauges over the service and ticket table, so one scrape
+        // sees queue depth and store state without extra locking APIs.
+        {
+            let t = Arc::clone(&tickets);
+            metrics
+                .registry
+                .gauge_fn("hbserve_tickets_active", move || {
+                    t.lock().unwrap_or_else(PoisonError::into_inner).active() as u64
+                });
+            let s = Arc::clone(&svc);
+            for (name, read) in [
+                ("hbserve_store_hits", 0usize),
+                ("hbserve_store_misses", 1),
+                ("hbserve_store_evicted", 2),
+                ("hbserve_store_len", 3),
+                ("hbserve_log_appended", 4),
+                ("hbserve_log_flushes", 5),
+            ] {
+                let s = Arc::clone(&s);
+                metrics.registry.gauge_fn(name, move || {
+                    let stats = s.lock().unwrap_or_else(PoisonError::into_inner).stats();
+                    let log = stats.log.unwrap_or_default();
+                    match read {
+                        0 => stats.service.store.hits,
+                        1 => stats.service.store.misses,
+                        2 => stats.service.store.evicted,
+                        3 => stats.service.store_len as u64,
+                        4 => log.appended,
+                        _ => log.flushes,
+                    }
+                });
+            }
+        }
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            svc: Arc::new(Mutex::new(svc)),
+            svc,
             build,
             tag_ok,
             shutdown: Arc::new(AtomicBool::new(false)),
-            tickets: Arc::new(Mutex::new(Tickets::default())),
+            tickets,
             shard: None,
+            metrics,
             busy: Arc::new(AtomicUsize::new(0)),
         })
     }
@@ -392,12 +532,40 @@ impl Server {
     /// Panics when `index >= count`.
     pub fn set_shard(&mut self, index: usize, count: usize) {
         assert!(index < count, "shard index {index} out of range 0..{count}");
-        self.shard = Some(Arc::new(ShardState {
+        let shard = Arc::new(ShardState {
             index,
             ring: ShardRing::new(count),
             owned: AtomicU64::new(0),
             foreign: AtomicU64::new(0),
-        }));
+        });
+        let r = &self.metrics.registry;
+        r.gauge_fn("hbserve_shard_index", {
+            let s = Arc::clone(&shard);
+            move || s.index as u64
+        });
+        r.gauge_fn("hbserve_shard_count", {
+            let s = Arc::clone(&shard);
+            move || s.ring.shards() as u64
+        });
+        r.gauge_fn("hbserve_owned_cells", {
+            let s = Arc::clone(&shard);
+            move || s.owned.load(Ordering::Relaxed)
+        });
+        r.gauge_fn("hbserve_foreign_cells", {
+            let s = Arc::clone(&shard);
+            move || s.foreign.load(Ordering::Relaxed)
+        });
+        self.shard = Some(shard);
+    }
+
+    /// A detached renderer for the Prometheus-style text exposition
+    /// (process-global registry + this server's own): `hbserve` hands it
+    /// to the `--metrics-addr` HTTP thread, which outlives the borrow of
+    /// `self` that [`Server::run`] holds.
+    #[must_use]
+    pub fn metrics_renderer(&self) -> impl Fn() -> String + Send + Sync + 'static {
+        let metrics = Arc::clone(&self.metrics);
+        move || metrics.render()
     }
 
     /// The bound address (read the ephemeral port from here).
@@ -436,6 +604,7 @@ impl Server {
             let shutdown = Arc::clone(&self.shutdown);
             let tickets = Arc::clone(&self.tickets);
             let shard = self.shard.as_ref().map(Arc::clone);
+            let metrics = Arc::clone(&self.metrics);
             let wake = self.listener.local_addr();
             let busy = Arc::clone(&self.busy);
             std::thread::spawn(move || {
@@ -446,6 +615,7 @@ impl Server {
                     shutdown,
                     tickets,
                     shard,
+                    metrics,
                     busy,
                     wake,
                 };
@@ -474,6 +644,7 @@ struct ConnCtx {
     shutdown: Arc<AtomicBool>,
     tickets: Arc<Mutex<Tickets>>,
     shard: Option<Arc<ShardState>>,
+    metrics: Arc<Metrics>,
     busy: Arc<AtomicUsize>,
     wake: io::Result<std::net::SocketAddr>,
 }
@@ -499,10 +670,12 @@ fn handle_conn(mut stream: TcpStream, ctx: &ConnCtx) {
         }
         let result = match kind {
             REQ_SUBMIT => serve_submission(&mut stream, ctx, &payload),
-            REQ_SUBMIT2 => serve_submission2(&mut stream, ctx, &payload),
+            REQ_SUBMIT2 => serve_submission2(&mut stream, ctx, &payload, None),
+            REQ_SUBMIT3 => serve_submission3(&mut stream, ctx, &payload),
             REQ_WATCH => serve_watch(&mut stream, ctx, &payload),
             REQ_POLL => serve_poll(&mut stream, ctx, &payload),
             REQ_STATS => serve_stats(&mut stream, ctx),
+            REQ_METRICS => serve_metrics(&mut stream, ctx),
             REQ_SHUTDOWN => {
                 ctx.shutdown.store(true, Ordering::SeqCst);
                 let _ = write_frame(&mut stream, RESP_DONE, &0u32.to_le_bytes());
@@ -559,7 +732,29 @@ fn serve_stats(stream: &mut TcpStream, ctx: &ConnCtx) -> Result<(), ServeError> 
             }
         }
     }
+    // Telemetry extension (appended so pre-telemetry clients, which stop
+    // reading after the ten original counters, decode unchanged).
+    let m = &ctx.metrics;
+    w.put_u64(m.uptime_s());
+    w.put_u64(
+        ctx.tickets
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .active() as u64,
+    );
+    w.put_u64(m.tickets_finished.get());
+    w.put_u64(m.tickets_gcd.get());
+    w.put_u64(m.cells_in_flight.get());
     write_frame(stream, RESP_STATS, &w.into_bytes())?;
+    Ok(())
+}
+
+/// Answers a `METRICS` request with the Prometheus-style text exposition
+/// of the process-global registry plus this server's own.
+fn serve_metrics(stream: &mut TcpStream, ctx: &ConnCtx) -> Result<(), ServeError> {
+    let mut w = Writer::new();
+    w.put_str(&ctx.metrics.render());
+    write_frame(stream, RESP_METRICS, &w.into_bytes())?;
     Ok(())
 }
 
@@ -594,14 +789,19 @@ fn serve_submission(
         Err(msg) => return reject(stream, &msg),
     };
     note_ownership(&ctx.shard, &jobs);
+    ctx.metrics.cells_in_flight.add(jobs.len() as u64);
     let mut sent = 0u32;
     for chunk in jobs.chunks(CHUNK) {
+        let t0 = Instant::now();
         let outs = {
             let mut svc = ctx.svc.lock().unwrap_or_else(PoisonError::into_inner);
             svc.run_batch(chunk, |program, config, &tag| {
                 (ctx.build)(program, config, tag)
             })
         };
+        ctx.metrics.chunk_us.record_duration(t0.elapsed());
+        ctx.metrics.cells_executed.add(outs.len() as u64);
+        ctx.metrics.cells_in_flight.sub(chunk.len() as u64);
         let mut w = Writer::new();
         w.put_u32(sent);
         w.put_u32(outs.len() as u32);
@@ -622,6 +822,7 @@ fn serve_submission2(
     stream: &mut TcpStream,
     ctx: &ConnCtx,
     payload: &[u8],
+    trace_ctx: Option<TraceCtx>,
 ) -> Result<(), ServeError> {
     let jobs = match decode_submission2(payload, &ctx.tag_ok) {
         Ok(jobs) => jobs,
@@ -633,21 +834,44 @@ fn serve_submission2(
         .tickets
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
-        .create(total);
+        .create(total, trace_ctx, &ctx.metrics);
+    ctx.metrics.cells_in_flight.add(total as u64);
     // The executor counts as busy from *before* this handler's own guard
     // drops, so a shutdown drain can never miss a queued ticket.
     let exec_busy = BusyGuard::enter(&ctx.busy);
     let svc = Arc::clone(&ctx.svc);
     let build = Arc::clone(&ctx.build);
+    let metrics = Arc::clone(&ctx.metrics);
+    let shard_index = ctx.shard.as_ref().map(|s| s.index as u64);
     std::thread::spawn(move || {
         let _busy = exec_busy;
-        run_ticket(&slot, &jobs, &svc, &*build);
+        run_ticket(&slot, id, &jobs, &svc, &*build, &metrics, shard_index);
     });
     let mut w = Writer::new();
     w.put_u64(id);
     w.put_u32(total as u32);
     write_frame(stream, RESP_TICKET, &w.into_bytes())?;
     Ok(())
+}
+
+/// `SUBMIT3` = trace context (trace id, parent span id) + a `SUBMIT2`
+/// payload: the server runs the ticket's spans under the *client's* trace
+/// so the merged JSONL reads as one tree.
+fn serve_submission3(
+    stream: &mut TcpStream,
+    ctx: &ConnCtx,
+    payload: &[u8],
+) -> Result<(), ServeError> {
+    let mut r = Reader::new(payload);
+    let (trace_id, parent) = match (r.get_u64(), r.get_u64()) {
+        (Ok(t), Ok(p)) if t != 0 => (t, p),
+        _ => return reject(stream, "malformed SUBMIT3 trace context"),
+    };
+    let trace_ctx = TraceCtx {
+        trace: TraceId(trace_id),
+        parent: SpanId(parent),
+    };
+    serve_submission2(stream, ctx, &payload[16..], Some(trace_ctx))
 }
 
 /// Marks the ticket failed if the executor dies before finishing (builder
@@ -667,26 +891,65 @@ impl Drop for FailGuard {
 
 /// The ticket executor: drains the grid in chunks (releasing the service
 /// lock between chunks, exactly like the v1 path) and appends outcomes to
-/// the ticket's buffer in input order.
+/// the ticket's buffer in input order. For traced tickets it stamps one
+/// `ticket_exec` span covering the whole drain plus a `chunk` span per
+/// service-lock acquisition, all keyed by ticket id — buffered on the
+/// ticket (shipped back with `WATCH`) and mirrored to the server's own
+/// `HB_TRACE` sink, if any.
 fn run_ticket(
     slot: &TicketSlot,
+    id: u64,
     jobs: &[Job<u64>],
     svc: &Mutex<PersistentService>,
     build: &Builder,
+    metrics: &Metrics,
+    shard_index: Option<u64>,
 ) {
     let guard = FailGuard(Arc::clone(slot));
-    for chunk in jobs.chunks(CHUNK) {
+    let trace_ctx = slot.0.lock().unwrap_or_else(PoisonError::into_inner).trace;
+    let exec_timer = trace_ctx.map(|c| SpanTimer::start(c.trace, c.parent, "ticket_exec"));
+    let exec_span = exec_timer.as_ref().map(SpanTimer::span);
+    for (chunk_index, chunk) in jobs.chunks(CHUNK).enumerate() {
+        let chunk_timer = trace_ctx
+            .zip(exec_span)
+            .map(|(c, parent)| SpanTimer::start(c.trace, parent, "chunk"));
+        let t0 = Instant::now();
         let outs = {
             let mut svc = svc.lock().unwrap_or_else(PoisonError::into_inner);
             svc.run_batch(chunk, |program, config, &tag| build(program, config, tag))
         };
+        metrics.chunk_us.record_duration(t0.elapsed());
+        metrics.cells_executed.add(outs.len() as u64);
+        metrics.cells_in_flight.sub(chunk.len() as u64);
         let (lock, cvar) = &**slot;
         let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
         st.results.extend(outs);
+        if let Some(timer) = chunk_timer {
+            let ev = timer.finish(vec![
+                ("ticket".into(), id.into()),
+                ("chunk".into(), (chunk_index as u64).into()),
+                ("cells".into(), (chunk.len() as u64).into()),
+            ]);
+            trace::emit(&ev);
+            st.spans.push(ev);
+        }
         cvar.notify_all();
     }
+    metrics.tickets_finished.inc();
     let (lock, cvar) = &**slot;
     let mut st = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(timer) = exec_timer {
+        let mut fields = vec![
+            ("ticket".into(), id.into()),
+            ("cells".into(), (jobs.len() as u64).into()),
+        ];
+        if let Some(index) = shard_index {
+            fields.push(("shard_index".into(), index.into()));
+        }
+        let ev = timer.finish(fields);
+        trace::emit(&ev);
+        st.spans.push(ev);
+    }
     st.finished = true;
     cvar.notify_all();
     drop(st);
@@ -748,6 +1011,26 @@ fn serve_watch(stream: &mut TcpStream, ctx: &ConnCtx, payload: &[u8]) -> Result<
             return reject(stream, "ticket execution failed on the server");
         }
         if finished && sent == total {
+            // Ship the server-side spans ahead of DONE — only for tickets
+            // that were submitted with trace context, so a pre-telemetry
+            // client (which can never have created one) never sees the
+            // SPANS frame kind.
+            let spans = {
+                let st = slot.0.lock().unwrap_or_else(PoisonError::into_inner);
+                if st.trace.is_some() {
+                    st.spans.clone()
+                } else {
+                    Vec::new()
+                }
+            };
+            if !spans.is_empty() {
+                let mut w = Writer::new();
+                w.put_u32(spans.len() as u32);
+                for ev in &spans {
+                    encode_span(&mut w, ev);
+                }
+                write_frame(stream, RESP_SPANS, &w.into_bytes())?;
+            }
             write_frame(stream, RESP_DONE, &(sent as u32).to_le_bytes())?;
             remove_ticket(ctx, id);
             return Ok(());
@@ -994,7 +1277,7 @@ impl Client {
         write_frame(&mut self.stream, REQ_SUBMIT, &w.into_bytes())?;
 
         let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
-        self.collect(&mut results)?;
+        self.collect(&mut results, &mut Vec::new())?;
         results
             .into_iter()
             .collect::<Option<Vec<RunOutcome>>>()
@@ -1011,10 +1294,50 @@ impl Client {
     /// [`ServeError`] on oversized grids, socket failures, malformed
     /// frames, or a server rejection.
     pub fn submit(&mut self, jobs: &[WireJob]) -> Result<u64, ServeError> {
+        self.submit_traced(jobs, None).map(|(ticket, _)| ticket)
+    }
+
+    /// [`Client::submit`] carrying trace context: the server stamps its
+    /// spans under `ctx.trace` with `ctx.parent` as their root's parent
+    /// and returns them with the draining `WATCH`. Returns the ticket and
+    /// whether the server accepted the context — a pre-telemetry server
+    /// rejects the `SUBMIT3` frame kind, and this method then falls back
+    /// to a plain `SUBMIT2` on the same connection (`false`: results are
+    /// identical, server-side spans are simply absent).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on oversized grids, socket failures, malformed
+    /// frames, or a server rejection.
+    pub fn submit_traced(
+        &mut self,
+        jobs: &[WireJob],
+        ctx: Option<TraceCtx>,
+    ) -> Result<(u64, bool), ServeError> {
         if jobs.len() > MAX_GRID {
             return Err(ServeError::Oversized { cells: jobs.len() });
         }
-        write_frame(&mut self.stream, REQ_SUBMIT2, &encode_submission2(jobs))?;
+        let encoded = encode_submission2(jobs);
+        if let Some(ctx) = ctx {
+            let mut w = Writer::new();
+            w.put_u64(ctx.trace.0);
+            w.put_u64(ctx.parent.0);
+            let mut payload = w.into_bytes();
+            payload.extend_from_slice(&encoded);
+            write_frame(&mut self.stream, REQ_SUBMIT3, &payload)?;
+            match self.read_ticket(jobs.len()) {
+                Ok(ticket) => return Ok((ticket, true)),
+                // An old server leaves the connection open after rejecting
+                // an unknown frame kind; retry without trace context.
+                Err(ServeError::Server(msg)) if msg.contains("unknown request kind") => {}
+                Err(e) => return Err(e),
+            }
+        }
+        write_frame(&mut self.stream, REQ_SUBMIT2, &encoded)?;
+        self.read_ticket(jobs.len()).map(|ticket| (ticket, false))
+    }
+
+    fn read_ticket(&mut self, cells: usize) -> Result<u64, ServeError> {
         let (kind, payload) =
             read_frame(&mut self.stream)?.ok_or(ServeError::Protocol("server closed"))?;
         match kind {
@@ -1022,7 +1345,7 @@ impl Client {
                 let mut r = Reader::new(&payload);
                 let ticket = r.get_u64()?;
                 let count = r.get_u32()? as usize;
-                if count != jobs.len() {
+                if count != cells {
                     return Err(ServeError::Protocol("ticket covers the wrong cell count"));
                 }
                 Ok(ticket)
@@ -1050,10 +1373,28 @@ impl Client {
         ticket: u64,
         results: &mut [Option<RunOutcome>],
     ) -> Result<(), ServeError> {
+        let mut spans = Vec::new();
+        self.watch_into_traced(ticket, results, &mut spans)
+    }
+
+    /// [`Client::watch_into`] that also collects the server-side trace
+    /// spans of a ticket submitted with [`Client::submit_traced`] (the
+    /// `SPANS` frame preceding `DONE`). For untraced tickets `spans`
+    /// stays empty.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::watch_into`].
+    pub fn watch_into_traced(
+        &mut self,
+        ticket: u64,
+        results: &mut [Option<RunOutcome>],
+        spans: &mut Vec<SpanEvent>,
+    ) -> Result<(), ServeError> {
         let mut w = Writer::new();
         w.put_u64(ticket);
         write_frame(&mut self.stream, REQ_WATCH, &w.into_bytes())?;
-        self.collect(results)
+        self.collect(results, spans)
     }
 
     /// [`Client::submit`] + [`Client::watch_into`]: the v2 analogue of
@@ -1072,13 +1413,25 @@ impl Client {
             .ok_or(ServeError::Protocol("server omitted results"))
     }
 
-    /// Consumes `RESULTS` frames into `results` until `DONE`.
-    fn collect(&mut self, results: &mut [Option<RunOutcome>]) -> Result<(), ServeError> {
+    /// Consumes `RESULTS` (and `SPANS`) frames into `results`/`spans`
+    /// until `DONE`.
+    fn collect(
+        &mut self,
+        results: &mut [Option<RunOutcome>],
+        spans: &mut Vec<SpanEvent>,
+    ) -> Result<(), ServeError> {
         loop {
             let (kind, payload) = read_frame(&mut self.stream)?
                 .ok_or(ServeError::Protocol("server closed mid-submission"))?;
             match kind {
                 RESP_RESULTS => fill_results(results, &payload)?,
+                RESP_SPANS => {
+                    let mut r = Reader::new(&payload);
+                    let count = r.get_u32()?;
+                    for _ in 0..count {
+                        spans.push(decode_span(&mut r)?);
+                    }
+                }
                 RESP_DONE => return Ok(()),
                 RESP_ERR => {
                     let mut r = Reader::new(&payload);
@@ -1132,7 +1485,7 @@ impl Client {
             return Err(ServeError::Protocol("expected a STATS response"));
         }
         let mut r = Reader::new(&payload);
-        Ok(RemoteServerStats {
+        let mut stats = RemoteServerStats {
             hits: r.get_u64()?,
             misses: r.get_u64()?,
             evicted: r.get_u64()?,
@@ -1143,7 +1496,43 @@ impl Client {
             foreign_cells: r.get_u64()?,
             shard_index: r.get_u64()?,
             shard_count: r.get_u64()?,
-        })
+            ..RemoteServerStats::default()
+        };
+        // The telemetry extension rides at the tail; a pre-telemetry
+        // server's payload simply ends here.
+        if r.remaining() >= 40 {
+            stats.uptime_s = r.get_u64()?;
+            stats.tickets_active = r.get_u64()?;
+            stats.tickets_finished = r.get_u64()?;
+            stats.tickets_gcd = r.get_u64()?;
+            stats.cells_in_flight = r.get_u64()?;
+        }
+        Ok(stats)
+    }
+
+    /// Fetches the server's metrics as Prometheus-style text (the same
+    /// exposition `hbserve --metrics-addr` serves over HTTP).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket failures, malformed frames, or a server
+    /// rejection (a pre-telemetry server answers `ERR "unknown request
+    /// kind"`).
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        write_frame(&mut self.stream, REQ_METRICS, &[])?;
+        let (kind, payload) =
+            read_frame(&mut self.stream)?.ok_or(ServeError::Protocol("server closed"))?;
+        match kind {
+            RESP_METRICS => {
+                let mut r = Reader::new(&payload);
+                Ok(r.get_str()?.to_owned())
+            }
+            RESP_ERR => {
+                let mut r = Reader::new(&payload);
+                Err(ServeError::Server(r.get_str()?.to_owned()))
+            }
+            _ => Err(ServeError::Protocol("expected a METRICS response")),
+        }
     }
 
     /// Asks the server to shut down after in-flight connections finish.
@@ -1492,6 +1881,153 @@ mod tests {
             other => panic!("expected a protocol error, got {other}"),
         }
         fake.join().unwrap();
+    }
+
+    #[test]
+    fn traced_ticket_returns_enclosed_server_spans() {
+        let (addr, handle) = spawn_server_sharded(Some((1, 3)));
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs: Vec<WireJob> =
+            (0..40) // > 1 chunk
+                .map(|k| WireJob::new(&counting_program(5 + k), cfg.clone(), 0, 0))
+                .collect();
+        let expected = expected_outcomes(&jobs);
+
+        let trace = TraceId(hardbound_telemetry::trace::fresh_id());
+        let parent = SpanId(hardbound_telemetry::trace::fresh_id());
+        let mut client = Client::connect(addr).unwrap();
+        let (ticket, traced) = client
+            .submit_traced(&jobs, Some(TraceCtx { trace, parent }))
+            .unwrap();
+        assert!(traced, "a telemetry server must accept SUBMIT3");
+        let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+        let mut spans = Vec::new();
+        client
+            .watch_into_traced(ticket, &mut results, &mut spans)
+            .unwrap();
+        let results: Vec<RunOutcome> = results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(results, expected, "tracing must not perturb results");
+
+        // One ticket_exec root under the client's context, keyed by
+        // ticket id and stamped with the shard index.
+        let exec: Vec<&SpanEvent> = spans.iter().filter(|s| s.kind == "ticket_exec").collect();
+        assert_eq!(exec.len(), 1, "{spans:?}");
+        let exec = exec[0];
+        assert_eq!(exec.trace, trace);
+        assert_eq!(exec.parent, parent);
+        assert_eq!(exec.field_u64("ticket"), Some(ticket));
+        assert_eq!(exec.field_u64("cells"), Some(40));
+        assert_eq!(exec.field_u64("shard_index"), Some(1));
+
+        // Chunk spans parent under it, cover every cell exactly once, and
+        // sit inside it (slack for µs wall-clock rounding).
+        let chunks: Vec<&SpanEvent> = spans.iter().filter(|s| s.kind == "chunk").collect();
+        assert_eq!(chunks.len(), 40usize.div_ceil(CHUNK));
+        let mut cells = 0;
+        for c in &chunks {
+            assert_eq!(c.trace, trace);
+            assert_eq!(c.parent, exec.span);
+            assert_eq!(c.field_u64("ticket"), Some(ticket));
+            cells += c.field_u64("cells").unwrap();
+            assert!(c.start_us + 100 >= exec.start_us, "{c:?} vs {exec:?}");
+            assert!(c.end_us() <= exec.end_us() + 100, "{c:?} vs {exec:?}");
+        }
+        assert_eq!(cells, 40);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn untraced_tickets_never_see_a_spans_frame() {
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs: Vec<WireJob> = (0..3)
+            .map(|k| WireJob::new(&counting_program(5 + k), cfg.clone(), 0, 0))
+            .collect();
+        let mut client = Client::connect(addr).unwrap();
+        let ticket = client.submit(&jobs).unwrap();
+        let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+        let mut spans = Vec::new();
+        client
+            .watch_into_traced(ticket, &mut results, &mut spans)
+            .unwrap();
+        assert!(spans.is_empty(), "{spans:?}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// A scripted "old" server that rejects the SUBMIT3 frame kind the
+    /// way the real dispatch loop does — the client must transparently
+    /// fall back to SUBMIT2 on the same connection.
+    #[test]
+    fn submit_traced_falls_back_to_submit2_on_an_old_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let (kind, _) = read_frame(&mut stream).unwrap().unwrap();
+            assert_eq!(kind, REQ_SUBMIT3);
+            let mut w = Writer::new();
+            w.put_str("unknown request kind");
+            write_frame(&mut stream, RESP_ERR, &w.into_bytes()).unwrap();
+            let (kind, payload) = read_frame(&mut stream).unwrap().unwrap();
+            assert_eq!(kind, REQ_SUBMIT2, "client must retry without context");
+            let tag_ok: Arc<TagCheck> = Arc::new(|_| true);
+            let jobs = decode_submission2(&payload, &tag_ok).unwrap();
+            let mut w = Writer::new();
+            w.put_u64(77);
+            w.put_u32(jobs.len() as u32);
+            write_frame(&mut stream, RESP_TICKET, &w.into_bytes()).unwrap();
+        });
+        let cfg = MachineConfig::default();
+        let jobs = vec![WireJob::new(&counting_program(3), cfg, 0, 0)];
+        let ctx = TraceCtx {
+            trace: TraceId(1),
+            parent: SpanId(2),
+        };
+        let mut client = Client::connect(addr).unwrap();
+        let (ticket, traced) = client.submit_traced(&jobs, Some(ctx)).unwrap();
+        assert_eq!(ticket, 77);
+        assert!(!traced, "fallback must report the lost trace context");
+        fake.join().unwrap();
+    }
+
+    #[test]
+    fn stats_and_metrics_report_ticket_lifecycle_and_cells() {
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs: Vec<WireJob> = (0..9)
+            .map(|k| WireJob::new(&counting_program(5 + k), cfg.clone(), 0, 0))
+            .collect();
+        let mut client = Client::connect(addr).unwrap();
+        client.run_jobs_v2(&jobs).unwrap();
+        client.run_jobs_v2(&jobs).unwrap(); // warm replay, still "executed"
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.tickets_finished, 2);
+        assert_eq!(stats.tickets_active, 0);
+        assert_eq!(stats.tickets_gcd, 0);
+        assert_eq!(stats.cells_in_flight, 0, "drained grids leave no queue");
+        assert!(stats.uptime_s < 600, "{}", stats.uptime_s);
+
+        let text = client.metrics().unwrap();
+        let get = |name| hardbound_telemetry::scrape_value(&text, name);
+        assert_eq!(get("hbserve_cells_executed"), Some(18));
+        assert_eq!(get("hbserve_tickets_created"), Some(2));
+        assert_eq!(get("hbserve_tickets_finished"), Some(2));
+        assert_eq!(get("hbserve_cells_in_flight"), Some(0));
+        assert_eq!(get("hbserve_store_misses"), Some(9));
+        assert_eq!(get("hbserve_store_hits"), Some(9));
+        assert_eq!(
+            get("hbserve_chunk_us_count"),
+            Some(2),
+            "one chunk per 9-cell grid: {text}"
+        );
+        assert!(text.contains("# TYPE hbserve_chunk_us histogram"), "{text}");
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
     }
 
     #[test]

@@ -20,6 +20,7 @@ use hardbound_core::{
     RunOutcome, SafetyMode, Trap,
 };
 use hardbound_isa::FuncId;
+use hardbound_telemetry::{Field, SpanEvent, SpanId, TraceId};
 
 /// Version tag of the wire layout. Bump on **any** change to an encode
 /// function in this module.
@@ -514,6 +515,75 @@ pub fn decode_config(r: &mut Reader<'_>) -> Result<MachineConfig, WireError> {
     Ok(cfg)
 }
 
+/// Encodes one trace span event (for the `SPANS` response frames that
+/// ship server-side spans back to the submitting client): the three ids,
+/// the kind string, start/duration, then the tagged field list.
+pub fn encode_span(w: &mut Writer, ev: &SpanEvent) {
+    w.put_u64(ev.trace.0);
+    w.put_u64(ev.span.0);
+    w.put_u64(ev.parent.0);
+    w.put_str(&ev.kind);
+    w.put_u64(ev.start_us);
+    w.put_u64(ev.dur_us);
+    w.put_u32(ev.fields.len() as u32);
+    for (name, value) in &ev.fields {
+        w.put_str(name);
+        match value {
+            Field::U64(n) => {
+                w.put_u8(0);
+                w.put_u64(*n);
+            }
+            Field::Str(s) => {
+                w.put_u8(1);
+                w.put_str(s);
+            }
+        }
+    }
+}
+
+/// Decodes a trace span event (inverse of [`encode_span`]).
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, bad UTF-8, or an unknown field tag.
+pub fn decode_span(r: &mut Reader<'_>) -> Result<SpanEvent, WireError> {
+    let trace = TraceId(r.get_u64()?);
+    let span = SpanId(r.get_u64()?);
+    let parent = SpanId(r.get_u64()?);
+    let kind = r.get_str()?.to_owned();
+    let start_us = r.get_u64()?;
+    let dur_us = r.get_u64()?;
+    let count = r.get_u32()?;
+    // Sanity bound: each field costs at least its name length prefix.
+    if count as usize > r.remaining() {
+        return Err(WireError::BadLength);
+    }
+    let mut fields = Vec::with_capacity(count.min(256) as usize);
+    for _ in 0..count {
+        let name = r.get_str()?.to_owned();
+        let value = match r.get_u8()? {
+            0 => Field::U64(r.get_u64()?),
+            1 => Field::Str(r.get_str()?.to_owned()),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "span field",
+                    tag,
+                })
+            }
+        };
+        fields.push((name, value));
+    }
+    Ok(SpanEvent {
+        trace,
+        span,
+        parent,
+        kind,
+        start_us,
+        dur_us,
+        fields,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +676,32 @@ mod tests {
             decode_trap(&mut r),
             Err(WireError::BadTag { what: "trap", .. })
         ));
+    }
+
+    #[test]
+    fn span_round_trips_and_rejects_truncation() {
+        let ev = SpanEvent {
+            trace: TraceId(0x1234_5678_9abc_def0),
+            span: SpanId(7),
+            parent: SpanId(0),
+            kind: "ticket_exec".into(),
+            start_us: 1_700_000_000_000_000,
+            dur_us: 250,
+            fields: vec![
+                ("ticket".into(), Field::U64(3)),
+                ("shard".into(), Field::Str("127.0.0.1:9".into())),
+            ],
+        };
+        let mut w = Writer::new();
+        encode_span(&mut w, &ev);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(decode_span(&mut r).unwrap(), ev);
+        assert!(r.is_exhausted());
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(decode_span(&mut r).is_err(), "prefix of {cut} bytes");
+        }
     }
 
     #[test]

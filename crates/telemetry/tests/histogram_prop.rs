@@ -1,0 +1,55 @@
+//! Property suite for the power-of-two latency histogram: merging the
+//! per-shard histograms of a cluster must be indistinguishable from one
+//! histogram that observed the union of every shard's samples — bucket by
+//! bucket — and cumulative counts must be monotone. This is what makes
+//! cross-shard latency aggregation (summing `METRICS` scrapes) sound.
+
+use hardbound_telemetry::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+use proptest::prelude::*;
+
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..1024,
+        // Exercise every bucket including the extremes.
+        (0u32..64).prop_map(|s| 1u64 << s),
+        (0u32..64).prop_map(|s| (1u64 << s).wrapping_sub(1)),
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merging_shard_histograms_equals_histogram_of_union(
+        shards in prop::collection::vec(
+            prop::collection::vec(sample(), 0..50), 1..6),
+    ) {
+        // One histogram per shard, plus one fed the union of all samples.
+        let union = Histogram::default();
+        let mut merged = HistogramSnapshot::default();
+        for shard_samples in &shards {
+            let shard = Histogram::default();
+            for &s in shard_samples {
+                shard.record(s);
+                union.record(s);
+            }
+            merged.merge(&shard.snapshot());
+        }
+        let union = union.snapshot();
+        prop_assert_eq!(&merged, &union);
+        prop_assert_eq!(
+            merged.count(),
+            shards.iter().map(|s| s.len() as u64).sum::<u64>()
+        );
+
+        // Cumulative counts are monotone non-decreasing and end at the
+        // total observation count.
+        let cum = merged.cumulative();
+        for i in 1..HIST_BUCKETS {
+            prop_assert!(cum[i] >= cum[i - 1], "bucket {} decreased", i);
+        }
+        prop_assert_eq!(cum[HIST_BUCKETS - 1], merged.count());
+    }
+}

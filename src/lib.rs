@@ -31,6 +31,9 @@
 //! * [`serve`] — the persistent result store (`HB_STORE_PATH`) and the
 //!   `hbserve` networked corpus service (wire codec, append-only log,
 //!   TCP work-queue front end).
+//! * [`telemetry`] — the metrics registry (counters, gauges, latency
+//!   histograms; Prometheus-style exposition) and `HB_TRACE` span
+//!   tracing with cross-shard trace propagation.
 //! * [`bench`] — bench-harness support (`cargo bench` targets regenerate
 //!   the paper artefacts; `HB_SCALE=smoke` shrinks inputs for CI).
 //!
@@ -65,5 +68,6 @@ pub use hardbound_mem as mem;
 pub use hardbound_report as report;
 pub use hardbound_runtime as runtime;
 pub use hardbound_serve as serve;
+pub use hardbound_telemetry as telemetry;
 pub use hardbound_violations as violations;
 pub use hardbound_workloads as workloads;
