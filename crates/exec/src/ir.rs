@@ -1,0 +1,417 @@
+//! An SSA-ish value-numbered view of one decoded superblock, built for the
+//! bounds-check optimization passes (`crate::opt`).
+//!
+//! Superblocks are straight-line (every µop but the last dominates
+//! everything after it), so "SSA" degenerates to **value numbering**: each
+//! register write defines a fresh immutable value number ([`Vn`]), and a
+//! µop's operands name the value numbers its registers held at that point.
+//! Two occurrences of the same `Vn` are *guaranteed* equal at run time —
+//! that immutability is what lets availability facts survive without kill
+//! sets.
+//!
+//! On top of plain numbering the lift keeps a **symbolic form** for
+//! pointer arithmetic: every value is `root + delta` where `root` is the
+//! `Vn` that originated the chain and `delta` accumulates the constant
+//! offsets applied by `AddRI`/`SubRI` (the µops whose metadata propagation
+//! is unconditional, so the sidecar bounds travel with the chain). A
+//! HardBound memory access therefore checks the window
+//! `[root + lo, root + hi)` in symbolic space — the common coordinate
+//! system the redundancy, hoisting and coalescing passes reason in.
+//!
+//! Soundness notes encoded here rather than re-derived per pass:
+//!
+//! - Deltas are exact `i64`s; a chain whose delta leaves `±2^31` falls
+//!   back to a fresh root (`u32` wrapping would otherwise break the
+//!   subset-window argument).
+//! - `AddRR`/`SubRR` metadata depends on run-time operand metadata
+//!   ("first pointer operand wins"), so their results get fresh value
+//!   *and* metadata numbers — conservative, never wrong.
+//! - `InlineCall`/`InlineRet` execute the full calling sequence, which
+//!   writes `sp`/`fp`; both registers are killed.
+//! - Writes to the zero register are discarded by the machine and
+//!   therefore define nothing.
+
+use hardbound_isa::{Reg, Width};
+
+use crate::uop::Uop;
+
+/// A value number: an immutable name for one run-time value (or one
+/// run-time sidecar [`Meta`](hardbound_core::Meta)) produced in the block.
+/// Equal numbers imply equal run-time values; unequal numbers imply
+/// nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Vn(pub u32);
+
+/// One HardBound memory access (`LoadHb`/`StoreHb`) in value-numbered
+/// form: the implicit check it carries covers `[root + lo, root + hi)`
+/// under the pointer metadata named by `meta`.
+#[derive(Clone, Copy, Debug)]
+pub struct Access {
+    /// Index of the µop in the block's stream.
+    pub idx: usize,
+    /// Store (`true`) or load.
+    pub is_store: bool,
+    /// Access width.
+    pub width: Width,
+    /// The architectural address register the µop reads.
+    pub addr: Reg,
+    /// Metadata value number of `addr` at this point.
+    pub meta: Vn,
+    /// Root of `addr`'s symbolic value chain.
+    pub root: Vn,
+    /// `addr`'s constant delta from `root` (the register value, before the
+    /// µop's own `offset` is applied).
+    pub addr_delta: i64,
+    /// Window start in symbolic space: `addr_delta + offset`.
+    pub lo: i64,
+    /// Window end (exclusive): `lo + width.bytes()`.
+    pub hi: i64,
+}
+
+/// The lifted block: every HardBound access in program order, plus which
+/// architectural registers the block writes (hoisting's invariance test).
+#[derive(Clone, Debug)]
+pub struct BlockIr {
+    /// HardBound accesses in program order.
+    pub accesses: Vec<Access>,
+    /// `written[r.index()]`: whether any µop in the block (terminator
+    /// excluded — terminators write no data register) writes register `r`.
+    pub written: [bool; Reg::COUNT],
+    /// The value number each register holds at block entry. A register
+    /// that is never written keeps this number for the whole block — the
+    /// loop-invariance witness hoisting keys on.
+    pub entry_val: [Vn; Reg::COUNT],
+    /// The metadata value number each register holds at block entry.
+    pub entry_meta: [Vn; Reg::COUNT],
+}
+
+/// Per-register value/metadata numbering state during the lift.
+struct Values {
+    next: u32,
+    /// Value number currently held by each register.
+    val: [Vn; Reg::COUNT],
+    /// Metadata value number currently held by each register.
+    meta: [Vn; Reg::COUNT],
+    /// `sym[vn.0] = (root, delta)`: the symbolic form of each value
+    /// number. Fresh numbers are their own root at delta 0.
+    sym: Vec<(Vn, i64)>,
+}
+
+/// Delta magnitude beyond which a chain falls back to a fresh root (the
+/// symbolic subset argument needs exact arithmetic; `i32`-ranged deltas
+/// keep every derived quantity far from `i64` overflow too).
+const DELTA_CAP: i64 = i32::MAX as i64;
+
+impl Values {
+    fn new() -> Values {
+        let mut v = Values {
+            next: 0,
+            val: [Vn(0); Reg::COUNT],
+            meta: [Vn(0); Reg::COUNT],
+            sym: Vec::with_capacity(2 * Reg::COUNT + 64),
+        };
+        // Block-entry state: every register holds an unknown (fresh)
+        // value and metadata. Distinct registers get distinct numbers —
+        // nothing may be assumed equal at entry.
+        for i in 0..Reg::COUNT {
+            v.val[i] = v.fresh();
+            v.meta[i] = v.fresh();
+        }
+        v
+    }
+
+    /// Allocates a fresh value number (its own root, delta 0).
+    fn fresh(&mut self) -> Vn {
+        let vn = Vn(self.next);
+        self.next += 1;
+        self.sym.push((vn, 0));
+        vn
+    }
+
+    /// The symbolic form of `vn`.
+    fn sym(&self, vn: Vn) -> (Vn, i64) {
+        self.sym[vn.0 as usize]
+    }
+
+    /// Allocates the value number for `base + delta` (chains through
+    /// `base`'s own symbolic form; overflowing the cap starts a new root).
+    fn derived(&mut self, base: Vn, delta: i64) -> Vn {
+        let (root, d0) = self.sym(base);
+        let d = d0 + delta;
+        if d.abs() > DELTA_CAP {
+            return self.fresh();
+        }
+        let vn = Vn(self.next);
+        self.next += 1;
+        self.sym.push((root, d));
+        vn
+    }
+
+    /// Register write with fresh value and metadata numbers.
+    fn kill(&mut self, rd: Reg) {
+        if rd.is_zero() {
+            return;
+        }
+        self.val[rd.index()] = self.fresh();
+        self.meta[rd.index()] = self.fresh();
+    }
+}
+
+/// Lifts a decoded (unoptimized) µop stream into its value-numbered form.
+#[must_use]
+pub fn lift(uops: &[Uop]) -> BlockIr {
+    let mut v = Values::new();
+    let entry_val = v.val;
+    let entry_meta = v.meta;
+    let mut accesses = Vec::new();
+    let mut written = [false; Reg::COUNT];
+    let note_write = |written: &mut [bool; Reg::COUNT], rd: Reg| {
+        if !rd.is_zero() {
+            written[rd.index()] = true;
+        }
+    };
+    for (idx, &u) in uops.iter().enumerate() {
+        match u {
+            // Fresh definitions: the result value (and metadata) is not a
+            // constant-offset function of a single operand.
+            Uop::Li { rd, .. }
+            | Uop::BinRR { rd, .. }
+            | Uop::BinRI { rd, .. }
+            | Uop::CmpRR { rd, .. }
+            | Uop::CmpRI { rd, .. }
+            | Uop::AddRR { rd, .. }
+            | Uop::SubRR { rd, .. }
+            | Uop::SetBoundRR { rd, .. }
+            | Uop::SetBoundRI { rd, .. }
+            | Uop::Unbound { rd, .. }
+            | Uop::CodePtr { rd, .. }
+            | Uop::ReadBase { rd, .. }
+            | Uop::ReadBound { rd, .. } => {
+                note_write(&mut written, rd);
+                v.kill(rd);
+            }
+            Uop::Mov { rd, rs } => {
+                note_write(&mut written, rd);
+                if !rd.is_zero() {
+                    v.val[rd.index()] = v.val[rs.index()];
+                    v.meta[rd.index()] = v.meta[rs.index()];
+                }
+            }
+            Uop::AddRI { rd, rs1, imm } => {
+                note_write(&mut written, rd);
+                if !rd.is_zero() {
+                    let vn = v.derived(v.val[rs1.index()], i64::from(imm as i32));
+                    v.val[rd.index()] = vn;
+                    // AddRI propagates rs1's metadata unconditionally, so
+                    // the metadata number travels with the chain.
+                    v.meta[rd.index()] = v.meta[rs1.index()];
+                }
+            }
+            Uop::SubRI { rd, rs1, imm } => {
+                note_write(&mut written, rd);
+                if !rd.is_zero() {
+                    let vn = v.derived(v.val[rs1.index()], -i64::from(imm as i32));
+                    v.val[rd.index()] = vn;
+                    v.meta[rd.index()] = v.meta[rs1.index()];
+                }
+            }
+            Uop::LoadHb {
+                width,
+                rd,
+                addr,
+                offset,
+                ..
+            } => {
+                let (root, addr_delta) = v.sym(v.val[addr.index()]);
+                let lo = addr_delta + i64::from(offset);
+                accesses.push(Access {
+                    idx,
+                    is_store: false,
+                    width,
+                    addr,
+                    meta: v.meta[addr.index()],
+                    root,
+                    addr_delta,
+                    lo,
+                    hi: lo + i64::from(width.bytes()),
+                });
+                note_write(&mut written, rd);
+                v.kill(rd);
+            }
+            Uop::StoreHb {
+                width,
+                src: _,
+                addr,
+                offset,
+                ..
+            } => {
+                let (root, addr_delta) = v.sym(v.val[addr.index()]);
+                let lo = addr_delta + i64::from(offset);
+                accesses.push(Access {
+                    idx,
+                    is_store: true,
+                    width,
+                    addr,
+                    meta: v.meta[addr.index()],
+                    root,
+                    addr_delta,
+                    lo,
+                    hi: lo + i64::from(width.bytes()),
+                });
+            }
+            Uop::LoadRaw { rd, .. } => {
+                // Baseline load: no check to reason about; just the write.
+                note_write(&mut written, rd);
+                v.kill(rd);
+            }
+            Uop::StoreRaw { .. } | Uop::Nop | Uop::FollowedJump => {}
+            Uop::InlineCall { .. } | Uop::InlineRet => {
+                // The calling sequence writes sp/fp (frame carve / frame
+                // pop), invalidating any chains rooted in them.
+                for r in [Reg::SP, Reg::FP] {
+                    note_write(&mut written, r);
+                    v.kill(r);
+                }
+            }
+            // Terminators read registers but write none; the lift only
+            // ever sees them in last position.
+            Uop::BranchRR { .. }
+            | Uop::BranchRI { .. }
+            | Uop::Jump { .. }
+            | Uop::Fall { .. }
+            | Uop::Call { .. }
+            | Uop::Ret
+            | Uop::Step { .. } => {}
+            Uop::Guard { .. } | Uop::LoadHbElided { .. } | Uop::StoreHbElided { .. } => {
+                unreachable!("lift runs on unoptimized streams only")
+            }
+        }
+    }
+    BlockIr {
+        accesses,
+        written,
+        entry_val,
+        entry_meta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardbound_core::Pc;
+    use hardbound_isa::FuncId;
+
+    const PC: Pc = Pc {
+        func: FuncId(0),
+        index: 0,
+    };
+
+    fn load(addr: Reg, offset: i32) -> Uop {
+        Uop::LoadHb {
+            width: Width::Word,
+            rd: Reg::A5,
+            addr,
+            offset,
+            pc: PC,
+        }
+    }
+
+    #[test]
+    fn repeated_access_shares_root_and_window() {
+        let uops = [load(Reg::A0, 4), load(Reg::A0, 4), Uop::Ret];
+        let ir = lift(&uops);
+        assert_eq!(ir.accesses.len(), 2);
+        let (a, b) = (&ir.accesses[0], &ir.accesses[1]);
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.meta, b.meta);
+        assert_eq!((a.lo, a.hi), (4, 8));
+        assert_eq!((b.lo, b.hi), (4, 8));
+    }
+
+    #[test]
+    fn addri_chains_stay_in_one_symbolic_space() {
+        let uops = [
+            load(Reg::A0, 0),
+            Uop::AddRI {
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                imm: 8,
+            },
+            load(Reg::A1, -4), // = A0 + 4
+            Uop::Ret,
+        ];
+        let ir = lift(&uops);
+        let (a, b) = (&ir.accesses[0], &ir.accesses[1]);
+        assert_eq!(a.root, b.root, "AddRI keeps the chain's root");
+        assert_eq!(a.meta, b.meta, "AddRI propagates metadata");
+        assert_eq!((b.lo, b.hi), (4, 8));
+    }
+
+    #[test]
+    fn writes_kill_value_numbers() {
+        let uops = [
+            load(Reg::A0, 0),
+            Uop::Li {
+                rd: Reg::A0,
+                imm: 1,
+            },
+            load(Reg::A0, 0),
+            Uop::Ret,
+        ];
+        let ir = lift(&uops);
+        assert_ne!(ir.accesses[0].root, ir.accesses[1].root);
+        assert!(ir.written[Reg::A0.index()]);
+        assert!(!ir.written[Reg::A2.index()]);
+    }
+
+    #[test]
+    fn addrr_results_get_fresh_meta() {
+        let uops = [
+            Uop::AddRR {
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                rs2: Reg::A2,
+            },
+            load(Reg::A0, 0),
+            load(Reg::A1, 0),
+            Uop::Ret,
+        ];
+        let ir = lift(&uops);
+        assert_ne!(ir.accesses[0].meta, ir.accesses[1].meta);
+        assert_ne!(ir.accesses[0].root, ir.accesses[1].root);
+    }
+
+    #[test]
+    fn inline_call_kills_sp_and_fp() {
+        let uops = [
+            load(Reg::SP, 0),
+            Uop::InlineCall {
+                func: FuncId(1),
+                ret: 1,
+            },
+            Uop::InlineRet,
+            load(Reg::SP, 0),
+            Uop::Ret,
+        ];
+        let ir = lift(&uops);
+        assert_ne!(ir.accesses[0].root, ir.accesses[1].root);
+        assert!(ir.written[Reg::SP.index()]);
+        assert!(ir.written[Reg::FP.index()]);
+    }
+
+    #[test]
+    fn mov_copies_both_numbers() {
+        let uops = [
+            load(Reg::A0, 0),
+            Uop::Mov {
+                rd: Reg::A1,
+                rs: Reg::A0,
+            },
+            load(Reg::A1, 0),
+            Uop::Ret,
+        ];
+        let ir = lift(&uops);
+        assert_eq!(ir.accesses[0].root, ir.accesses[1].root);
+        assert_eq!(ir.accesses[0].meta, ir.accesses[1].meta);
+    }
+}

@@ -1,0 +1,74 @@
+//! Check coalescing for adjacent-field accesses off one base.
+//!
+//! Struct-style code checks `p+0`, `p+4`, `p+8`, … individually. When
+//! `k ≥ 2` not-yet-eliminated accesses share metadata and root value
+//! numbers and their windows fit inside a small byte window, one widened
+//! [`Uop::Guard`](crate::uop::Uop::Guard) placed immediately before the
+//! first member replaces all `k` compares. The guard dominates every
+//! member (straight-line block, members are later in program order), and a
+//! passed guard proves the whole window is in bounds and inside one
+//! region, so every member window inherits both.
+//!
+//! The guard is anchored on the first member's own address register at the
+//! first member's own index — zero staleness gap: the register's value
+//! number there is exactly the one the lift recorded, so the guard's
+//! window arithmetic (`lo_off = window_lo - addr_delta`) is exact.
+
+use crate::ir::BlockIr;
+
+use super::{Elision, GuardPlan};
+
+/// Widest coalesced window, in bytes. Sized for adjacent-field access
+/// runs; anything larger risks widening past a small object's bound and
+/// sending every iteration down the fallback path.
+const SPAN_CAP: i64 = 64;
+
+/// Plans one guard per coalescable group, marking members
+/// [`Elision::Coalesce`].
+pub(super) fn run(ir: &BlockIr, elision: &mut [Option<Elision>]) -> Vec<GuardPlan> {
+    let n = ir.accesses.len();
+    let mut plans = Vec::new();
+    let mut claimed = vec![false; n];
+    for i in 0..n {
+        if elision[i].is_some() || claimed[i] {
+            continue;
+        }
+        let a = ir.accesses[i];
+        let (mut lo, mut hi) = (a.lo, a.hi);
+        let mut members = vec![i];
+        for (j, b) in ir.accesses.iter().enumerate().skip(i + 1) {
+            if elision[j].is_some() || claimed[j] || b.meta != a.meta || b.root != a.root {
+                continue;
+            }
+            let (nlo, nhi) = (lo.min(b.lo), hi.max(b.hi));
+            if nhi - nlo > SPAN_CAP {
+                continue;
+            }
+            (lo, hi) = (nlo, nhi);
+            members.push(j);
+            claimed[j] = true;
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        // The guard reads the anchor's address register right before µop
+        // `a.idx`, where it holds `root + a.addr_delta`.
+        let (Ok(lo_off), Ok(span)) = (i32::try_from(lo - a.addr_delta), u32::try_from(hi - lo))
+        else {
+            for &m in &members[1..] {
+                claimed[m] = false;
+            }
+            continue;
+        };
+        for &m in &members {
+            elision[m] = Some(Elision::Coalesce);
+        }
+        plans.push(GuardPlan {
+            at: a.idx,
+            addr: a.addr,
+            lo_off,
+            span,
+        });
+    }
+    plans
+}

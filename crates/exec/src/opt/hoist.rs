@@ -1,0 +1,89 @@
+//! Loop-invariant bounds-check hoisting for self-loop superblocks.
+//!
+//! The superblock decoder follows back edges, so a hot loop whose body
+//! fits in one block decodes as a block whose terminator targets its own
+//! entry. Such a block re-enters at the top every iteration — a
+//! [`Uop::Guard`](crate::uop::Uop::Guard) at index 0 therefore runs once
+//! per iteration, *before* any member access, i.e. it dominates them all.
+//!
+//! An access is hoistable when its window is anchored on a register the
+//! block never writes: the register's value and metadata at the guard are
+//! then exactly the values every member access sees (value numbering pins
+//! this — the access's `root`/`meta` equal the register's block-entry
+//! numbers). Replacing `k ≥ 2` member checks with one guard saves `k - 1`
+//! checks per iteration; `k = 1` would be a wash and is left for
+//! coalescing.
+//!
+//! The guard may pass or fail; it never traps. On failure execution
+//! diverts to the appended original block where every member check runs as
+//! decoded, so a hoisted check can only trap where the original would
+//! have.
+
+use crate::ir::BlockIr;
+use crate::uop::Uop;
+
+use super::{Elision, GuardPlan};
+
+/// Widest window one hoist guard may cover, in bytes. Generous — strided
+/// walks over small arrays coalesce into one guard — but bounded so a
+/// single odd access cannot force the whole group onto the fallback path.
+const SPAN_CAP: i64 = 1024;
+
+/// Plans one loop-top guard per eligible never-written anchor register.
+pub(super) fn run(
+    uops: &[Uop],
+    entry: u32,
+    ir: &BlockIr,
+    elision: &mut [Option<Elision>],
+) -> Vec<GuardPlan> {
+    let self_loop = match *uops.last().expect("blocks are terminated") {
+        Uop::Jump { target } => target == entry,
+        Uop::BranchRR { target, .. } | Uop::BranchRI { target, .. } => target == entry,
+        _ => false,
+    };
+    if !self_loop {
+        return Vec::new();
+    }
+    let mut plans = Vec::new();
+    // Skip the zero register (index 0): it is never "written" yet never
+    // holds a pointer, so a guard anchored on it would always fail.
+    for r in 1..ir.written.len() {
+        if ir.written[r] {
+            continue;
+        }
+        let (root, meta) = (ir.entry_val[r], ir.entry_meta[r]);
+        let mut window: Option<(i64, i64)> = None;
+        let mut members = Vec::new();
+        for (i, a) in ir.accesses.iter().enumerate() {
+            if elision[i].is_some() || a.root != root || a.meta != meta {
+                continue;
+            }
+            let (lo, hi) = window.unwrap_or((a.lo, a.hi));
+            let (lo, hi) = (lo.min(a.lo), hi.max(a.hi));
+            if hi - lo > SPAN_CAP {
+                continue;
+            }
+            window = Some((lo, hi));
+            members.push(i);
+        }
+        let Some((lo, hi)) = window else { continue };
+        if members.len() < 2 {
+            continue;
+        }
+        // The anchor register holds exactly `root` (delta 0) at the block
+        // top, so the window start *is* the guard offset.
+        let (Ok(lo_off), Ok(span)) = (i32::try_from(lo), u32::try_from(hi - lo)) else {
+            continue;
+        };
+        for &m in &members {
+            elision[m] = Some(Elision::Hoist);
+        }
+        plans.push(GuardPlan {
+            at: 0,
+            addr: hardbound_isa::Reg::new(r as u8),
+            lo_off,
+            span,
+        });
+    }
+    plans
+}

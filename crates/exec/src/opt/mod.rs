@@ -1,0 +1,336 @@
+//! Static bounds-check elimination over decoded superblocks.
+//!
+//! The pipeline lifts a freshly decoded block into the value-numbered IR
+//! (`crate::ir`), runs three passes, and lowers the result back onto the
+//! existing [`Uop`] vocabulary so the engine needs no new dispatch:
+//!
+//! 1. **Redundant-check elimination** ([`rce`]): a HardBound access whose
+//!    window `[root+lo, root+hi)` is a subset of a window already checked
+//!    earlier in the block under the *same* metadata and root value
+//!    numbers is provably in bounds — the earlier check dominates it
+//!    (superblocks are straight-line) and proved a superset. Its compare
+//!    and region probe are deleted; the access itself and every statistic
+//!    the interpreter would have counted are kept
+//!    ([`Uop::LoadHbElided`]/[`Uop::StoreHbElided`]).
+//! 2. **Loop-invariant hoisting** ([`hoist`]): in a self-loop block (the
+//!    back edge the superblock decoder followed targets the block's own
+//!    entry), accesses whose windows are anchored on a register the block
+//!    never writes re-check the same window every iteration. One
+//!    [`Uop::Guard`] at the block top covers all of them.
+//! 3. **Check coalescing** ([`coalesce`]): adjacent-field accesses off one
+//!    base within a small byte window are covered by a single widened
+//!    [`Uop::Guard`] placed at the first member.
+//!
+//! A guard never traps. If the widened check fails — which can happen even
+//! when every member access is individually fine — execution diverts to a
+//! verbatim copy of the original, unoptimized block appended after the
+//! optimized stream ([`DecodedBlock::fallback`]), where every check runs
+//! exactly as decoded. Eliminated therefore means *proved*: the optimized
+//! block traps exactly where and exactly as the original would, with
+//! identical [`ExecStats`](hardbound_core::ExecStats).
+//!
+//! Facts are deliberately **not** merged across checks: two passed checks
+//! prove two windows, but their hull may straddle a gap between memory
+//! regions (the region probe checks containment in a *single* contiguous
+//! region), so only subset-of-one-fact elision is sound.
+
+mod coalesce;
+mod hoist;
+mod lower;
+mod rce;
+
+use hardbound_isa::Reg;
+
+use crate::ir;
+use crate::uop::DecodedBlock;
+
+/// Optimizer configuration. Deliberately *not* part of
+/// [`MachineConfig`](hardbound_core::MachineConfig): the optimizer changes
+/// decoded bytes, not architectural semantics, so it keys the block-cache
+/// [`ProgramId`](crate::ProgramId) (via
+/// [`ProgramId::of_opt`](crate::ProgramId::of_opt)) instead of the machine
+/// fingerprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Run the optimization pipeline at decode time (`HB_OPT`).
+    pub enabled: bool,
+    /// Audit mode (`HB_OPT_AUDIT`): execute every eliminated check
+    /// shadow-side anyway and panic on any would-have-trapped divergence.
+    /// Implies `enabled`.
+    pub audit: bool,
+}
+
+impl OptConfig {
+    /// Optimizer off — the default everywhere an override isn't given.
+    pub const OFF: OptConfig = OptConfig {
+        enabled: false,
+        audit: false,
+    };
+
+    /// Optimizer on, no auditing.
+    pub const ON: OptConfig = OptConfig {
+        enabled: true,
+        audit: false,
+    };
+
+    /// Optimizer on with shadow-side auditing.
+    pub const AUDIT: OptConfig = OptConfig {
+        enabled: true,
+        audit: true,
+    };
+
+    /// Resolves the configuration from `HB_OPT` / `HB_OPT_AUDIT`. Unset,
+    /// empty, `0`, and `false` (any case) mean off; anything else is on.
+    /// `HB_OPT_AUDIT=1` alone enables the optimizer too — auditing nothing
+    /// would pin nothing.
+    #[must_use]
+    pub fn from_env() -> OptConfig {
+        fn flag(name: &str) -> bool {
+            std::env::var(name).is_ok_and(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+            })
+        }
+        let audit = flag("HB_OPT_AUDIT");
+        OptConfig {
+            enabled: audit || flag("HB_OPT"),
+            audit,
+        }
+    }
+}
+
+/// What one run of [`optimize`] did to a block, in checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// HardBound checks present in the unoptimized stream.
+    pub emitted: u64,
+    /// Checks deleted by redundant-check elimination.
+    pub elided: u64,
+    /// Checks replaced by a hoisted loop-top guard.
+    pub hoisted: u64,
+    /// Checks replaced by a coalesced adjacent-field guard.
+    pub coalesced: u64,
+    /// Widened guards inserted (hoisting + coalescing).
+    pub guards: u64,
+}
+
+/// How one access's check was eliminated (counter attribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Elision {
+    /// Subset of a dominating check's window.
+    Rce,
+    /// Covered by a loop-top hoist guard.
+    Hoist,
+    /// Covered by an adjacent-field coalescing guard.
+    Coalesce,
+}
+
+/// A widened range check to insert: `Guard` reads `addr` immediately
+/// before original µop index `at` and passes iff
+/// `[r(addr)+lo_off, r(addr)+lo_off+span)` is in bounds and in one region.
+struct GuardPlan {
+    /// Original µop index the guard precedes (insertion point).
+    at: usize,
+    /// Architectural register the guard reads (value and metadata).
+    addr: Reg,
+    /// Window start relative to `r(addr)` at the insertion point.
+    lo_off: i32,
+    /// Window length in bytes.
+    span: u32,
+}
+
+/// Runs the full pipeline on a freshly decoded block. `entry` is the
+/// block's entry instruction index (self-loop detection). Returns the
+/// rewritten block — `None` when no check could be eliminated — plus the
+/// counters for telemetry; `emitted` is filled in either way.
+#[must_use]
+pub fn optimize(block: &DecodedBlock, entry: u32) -> (Option<DecodedBlock>, OptStats) {
+    let ir = ir::lift(&block.uops);
+    let mut stats = OptStats {
+        emitted: ir.accesses.len() as u64,
+        ..OptStats::default()
+    };
+    if ir.accesses.is_empty() {
+        return (None, stats);
+    }
+    let mut elision: Vec<Option<Elision>> = vec![None; ir.accesses.len()];
+    rce::run(&ir, &mut elision);
+    let mut guards = hoist::run(&block.uops, entry, &ir, &mut elision);
+    guards.extend(coalesce::run(&ir, &mut elision));
+    if elision.iter().all(Option::is_none) {
+        return (None, stats);
+    }
+    for e in elision.iter().flatten() {
+        match e {
+            Elision::Rce => stats.elided += 1,
+            Elision::Hoist => stats.hoisted += 1,
+            Elision::Coalesce => stats.coalesced += 1,
+        }
+    }
+    stats.guards = guards.len() as u64;
+    (Some(lower::lower(block, &ir, &elision, guards)), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{decode_block, Uop};
+    use hardbound_core::MachineConfig;
+    use hardbound_isa::{layout, CmpOp, FuncId, FunctionBuilder, Program, Reg, Width};
+
+    fn optimized(program: &Program, entry: u32) -> (Option<DecodedBlock>, OptStats, usize) {
+        let cfg = MachineConfig::default();
+        let block = decode_block(program, FuncId(0), entry, &cfg);
+        let n = block.uops.len();
+        let (opt, stats) = optimize(&block, entry);
+        (opt, stats, n)
+    }
+
+    #[test]
+    fn repeated_load_is_elided_in_place() {
+        let mut f = FunctionBuilder::new("rce", 0);
+        f.li(Reg::A0, layout::HEAP_BASE);
+        f.setbound_imm(Reg::A1, Reg::A0, 8);
+        f.load(Width::Word, Reg::A2, Reg::A1, 0);
+        f.load(Width::Word, Reg::A3, Reg::A1, 0);
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let (opt, stats, n) = optimized(&program, 0);
+        let b = opt.expect("the second identical check must go");
+        assert_eq!(b.fallback, 0, "pure RCE needs no guard or fallback");
+        assert_eq!(b.uops.len(), n, "in-place substitution keeps the shape");
+        assert_eq!((stats.emitted, stats.elided), (2, 1));
+        assert_eq!((stats.hoisted, stats.coalesced, stats.guards), (0, 0, 0));
+        let elided = b
+            .uops
+            .iter()
+            .filter(|u| matches!(u, Uop::LoadHbElided { .. }))
+            .count();
+        assert_eq!(elided, 1);
+    }
+
+    #[test]
+    fn narrower_subset_window_is_elided_too() {
+        let mut f = FunctionBuilder::new("sub", 0);
+        f.li(Reg::A0, layout::HEAP_BASE);
+        f.setbound_imm(Reg::A1, Reg::A0, 8);
+        f.load(Width::Word, Reg::A2, Reg::A1, 0);
+        f.load(Width::Byte, Reg::A3, Reg::A1, 2); // inside the checked word
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let (opt, stats, _) = optimized(&program, 0);
+        assert!(opt.is_some());
+        assert_eq!(stats.elided, 1);
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_merge() {
+        // [0,4) and [8,12) must NOT prove [4,8): fact hulls are unsound
+        // across region gaps, so the middle access keeps its check and the
+        // pair coalesces under a guard instead.
+        let mut f = FunctionBuilder::new("gap", 0);
+        f.li(Reg::A0, layout::HEAP_BASE);
+        f.setbound_imm(Reg::A1, Reg::A0, 16);
+        f.load(Width::Word, Reg::A2, Reg::A1, 0);
+        f.load(Width::Word, Reg::A3, Reg::A1, 8);
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let (_, stats, _) = optimized(&program, 0);
+        assert_eq!(stats.elided, 0, "no subset relation, no RCE");
+    }
+
+    #[test]
+    fn adjacent_fields_coalesce_under_one_guard() {
+        let mut f = FunctionBuilder::new("co", 0);
+        f.li(Reg::A0, layout::HEAP_BASE);
+        f.setbound_imm(Reg::A1, Reg::A0, 16);
+        f.load(Width::Word, Reg::A2, Reg::A1, 0);
+        f.load(Width::Word, Reg::A3, Reg::A1, 4);
+        f.load(Width::Word, Reg::A4, Reg::A1, 8);
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let (opt, stats, n) = optimized(&program, 0);
+        let b = opt.expect("three adjacent checks must coalesce");
+        assert_eq!((stats.coalesced, stats.guards), (3, 1));
+        assert_eq!(b.fallback as usize, n + 1, "optimized stream + 1 guard");
+        assert_eq!(b.uops.len(), 2 * n + 1, "original copy appended");
+        let g = b
+            .uops
+            .iter()
+            .position(|u| matches!(u, Uop::Guard { .. }))
+            .expect("guard present");
+        assert!(
+            matches!(b.uops[g + 1], Uop::LoadHbElided { .. }),
+            "guard sits immediately before its first member"
+        );
+        let Uop::Guard { span, resume, .. } = b.uops[g] else {
+            unreachable!()
+        };
+        assert_eq!(span, 12, "widened window covers [p+0, p+12)");
+        assert_eq!(
+            resume,
+            b.fallback + g as u32,
+            "failure resumes at the original copy of the guarded µop"
+        );
+        assert_eq!(
+            b.uops[b.fallback as usize..].len(),
+            n,
+            "fallback stream is the verbatim original"
+        );
+    }
+
+    #[test]
+    fn self_loop_checks_hoist_to_one_loop_top_guard() {
+        let mut f = FunctionBuilder::new("hoist", 0);
+        f.li(Reg::A0, 0);
+        f.li(Reg::T0, layout::HEAP_BASE);
+        f.setbound_imm(Reg::A1, Reg::T0, 64);
+        let head = f.bind_label();
+        f.load(Width::Word, Reg::A2, Reg::A1, 0);
+        f.load(Width::Word, Reg::A3, Reg::A1, 4);
+        f.addi(Reg::A0, Reg::A0, 1);
+        f.branch(CmpOp::Lt, Reg::A0, 8, head);
+        f.li(Reg::A0, 0);
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let entry = 3; // the loop head: li, li, setbound precede it
+        let (opt, stats, _) = optimized(&program, entry);
+        let b = opt.expect("loop-invariant checks must hoist");
+        assert_eq!((stats.hoisted, stats.guards), (2, 1));
+        assert_eq!(stats.coalesced, 0, "hoisting claimed the group first");
+        assert!(
+            matches!(b.uops[0], Uop::Guard { .. }),
+            "hoisted guard runs at the loop top"
+        );
+        assert!(b.fallback > 0);
+    }
+
+    #[test]
+    fn checkless_blocks_are_left_alone() {
+        let mut f = FunctionBuilder::new("plain", 0);
+        f.li(Reg::A0, 1);
+        f.addi(Reg::A0, Reg::A0, 2);
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let (opt, stats, _) = optimized(&program, 0);
+        assert!(opt.is_none());
+        assert_eq!(stats, OptStats::default());
+    }
+
+    #[test]
+    fn clobbered_base_blocks_elision() {
+        let mut f = FunctionBuilder::new("clob", 0);
+        f.li(Reg::A0, layout::HEAP_BASE);
+        f.setbound_imm(Reg::A1, Reg::A0, 8);
+        f.load(Width::Word, Reg::A2, Reg::A1, 0);
+        f.setbound_imm(Reg::A1, Reg::A0, 8); // rewrites A1: new value number
+        f.load(Width::Word, Reg::A3, Reg::A1, 0);
+        f.halt();
+        let program = Program::with_entry(vec![f.finish()]);
+        let (_, stats, _) = optimized(&program, 0);
+        assert_eq!(
+            stats.elided, 0,
+            "a rewritten base register invalidates the fact"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Redundant-check elimination: forward availability over the
+//! straight-line block.
+//!
+//! Every executed HardBound check proves a **fact**: the window
+//! `[root+lo, root+hi)` is inside the pointer's `[base, bound)` *and*
+//! inside one contiguous memory region (the region probe checks
+//! containment in a single region, so every sub-window inherits both
+//! properties). A later access whose window is a subset of one such fact,
+//! under the same metadata and root value numbers, cannot trap — its
+//! compare and probe are deleted.
+//!
+//! Facts are kept as separate intervals on purpose. Merging two facts into
+//! their hull would be unsound for the region probe: the windows may lie
+//! in different regions with an unmapped gap between them (reachable —
+//! `Meta::UNCHECKED` spans the whole address space, so fuzz programs can
+//! pass the bounds compare anywhere).
+
+use crate::ir::{BlockIr, Vn};
+
+use super::Elision;
+
+/// One proved window: `(meta, root, lo, hi)`.
+struct Fact {
+    meta: Vn,
+    root: Vn,
+    lo: i64,
+    hi: i64,
+}
+
+/// Marks every access covered by an earlier fact as [`Elision::Rce`].
+pub(super) fn run(ir: &BlockIr, elision: &mut [Option<Elision>]) {
+    let mut facts: Vec<Fact> = Vec::new();
+    for (i, a) in ir.accesses.iter().enumerate() {
+        let covered = facts
+            .iter()
+            .any(|f| f.meta == a.meta && f.root == a.root && f.lo <= a.lo && a.hi <= f.hi);
+        if covered {
+            elision[i] = Some(Elision::Rce);
+        } else {
+            facts.push(Fact {
+                meta: a.meta,
+                root: a.root,
+                lo: a.lo,
+                hi: a.hi,
+            });
+        }
+    }
+}

@@ -207,6 +207,132 @@ pub fn insts(seed: u64, n: usize) -> Vec<Inst> {
     (0..n).map(|_| rng.inst()).collect()
 }
 
+/// A loop-heavy program family: a counted self-loop whose body mixes
+/// adjacent-field accesses off a loop-invariant struct pointer, redundant
+/// re-loads, and a strided array walk through a rewritten cursor.
+///
+/// Where [`insts`] produces unstructured instruction soup (good at
+/// straight-line redundancy, terrible at loops), this family is shaped so
+/// the bounds-check optimizer's hoisting and coalescing passes actually
+/// fire — while the randomized object sizes, field counts, strides, and
+/// trip counts make some walks run off their array's bound mid-loop, which
+/// pins trap-site identity under optimization. The result is a complete,
+/// structurally valid function body (branch targets in range, `Halt`
+/// last); everything is a pure function of `seed`.
+#[must_use]
+pub fn loop_insts(seed: u64) -> Vec<Inst> {
+    let mut rng = FuzzRng::new(seed ^ 0x4c4f_4f50); // "LOOP"
+    let obj = Reg::A0; // invariant struct pointer: never written in the loop
+    let arr = Reg::A1; // array base, copied into the walking cursor
+    let cursor = Reg::A2; // strided-walk cursor, advanced every iteration
+    let counter = Reg::A3;
+    let tmp = Reg::A4;
+    let sink = Reg::A5;
+    let obj_size = 16 + 4 * rng.below(13) as i32; // 16..=64 bytes
+    let arr_size = 32 + 4 * rng.below(25) as i32; // 32..=128 bytes
+    let mut insts = vec![
+        Inst::Li {
+            rd: obj,
+            imm: crate::layout::HEAP_BASE,
+        },
+        Inst::SetBound {
+            rd: obj,
+            rs: obj,
+            size: Operand::Imm(obj_size),
+        },
+        Inst::Li {
+            rd: arr,
+            imm: crate::layout::HEAP_BASE + 256,
+        },
+        Inst::SetBound {
+            rd: arr,
+            rs: arr,
+            size: Operand::Imm(arr_size),
+        },
+        Inst::Li {
+            rd: counter,
+            imm: 0,
+        },
+        Inst::Mov {
+            rd: cursor,
+            rs: arr,
+        },
+    ];
+    let head = insts.len() as u32;
+    // Adjacent struct fields off the invariant base: coalescing fodder in
+    // a straight block, hoisting fodder once the back edge makes the
+    // decoded superblock a self-loop.
+    for field in 0..2 + rng.below(3) {
+        insts.push(Inst::Load {
+            width: Width::Word,
+            rd: tmp,
+            addr: obj,
+            offset: 4 * field as i32,
+        });
+        insts.push(Inst::Bin {
+            op: BinOp::Add,
+            rd: sink,
+            rs1: sink,
+            rs2: Operand::Reg(tmp),
+        });
+    }
+    // Sometimes store back to a just-checked field: a subset window for
+    // redundant-check elimination.
+    if rng.below(2) == 0 {
+        insts.push(Inst::Store {
+            width: Width::Word,
+            src: sink,
+            addr: obj,
+            offset: 0,
+        });
+    }
+    // The strided walk; a repeated load is pure RCE fodder.
+    insts.push(Inst::Load {
+        width: Width::Word,
+        rd: tmp,
+        addr: cursor,
+        offset: 0,
+    });
+    if rng.below(2) == 0 {
+        insts.push(Inst::Load {
+            width: Width::Word,
+            rd: sink,
+            addr: cursor,
+            offset: 0,
+        });
+    }
+    let stride = 4 * (1 + rng.below(3)) as i32; // 4, 8, or 12
+    insts.push(Inst::Bin {
+        op: BinOp::Add,
+        rd: cursor,
+        rs1: cursor,
+        rs2: Operand::Imm(stride),
+    });
+    insts.push(Inst::Bin {
+        op: BinOp::Add,
+        rd: counter,
+        rs1: counter,
+        rs2: Operand::Imm(1),
+    });
+    // Some (trips, stride) draws walk past the array bound mid-loop and
+    // must trap there — optimized and unoptimized alike.
+    let trips = 3 + rng.below(6) as i32; // 3..=8
+    insts.push(Inst::Branch {
+        op: CmpOp::Lt,
+        rs1: counter,
+        rs2: Operand::Imm(trips),
+        target: head,
+    });
+    insts.push(Inst::Li {
+        rd: Reg::A0,
+        imm: 0,
+    });
+    insts.push(Inst::Sys {
+        call: SysCall::Halt,
+    });
+    insts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +341,23 @@ mod tests {
     fn same_seed_same_stream() {
         assert_eq!(insts(7, 100), insts(7, 100));
         assert_ne!(insts(7, 100), insts(8, 100));
+    }
+
+    #[test]
+    fn loop_family_is_deterministic_and_well_formed() {
+        assert_eq!(loop_insts(3), loop_insts(3));
+        assert_ne!(loop_insts(3), loop_insts(4));
+        for seed in 0..32 {
+            let insts = loop_insts(seed);
+            assert!(
+                matches!(insts.last(), Some(Inst::Sys { .. })),
+                "ends halted"
+            );
+            let backedge = insts.iter().any(
+                |i| matches!(i, Inst::Branch { target, .. } if (*target as usize) < insts.len()),
+            );
+            assert!(backedge, "seed {seed}: loop family must loop");
+        }
     }
 
     #[test]

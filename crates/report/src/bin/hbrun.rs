@@ -5,7 +5,7 @@
 //! cargo run -p hardbound-report --bin hbrun -- program.cb \
 //!     [--mode baseline|malloc-only|hardbound|softbound|objtable] \
 //!     [--encoding extern-4|intern-4|intern-11] [--stats] [--metrics] \
-//!     [--disasm] [--engine|--interp]
+//!     [--disasm] [--engine|--interp] [--opt|--no-opt]
 //! ```
 //!
 //! Inputs ending in `.s` are treated as assembly listings in the
@@ -35,7 +35,7 @@ use std::process::ExitCode;
 
 use hardbound_compiler::Mode;
 use hardbound_core::{MetaPath, PointerEncoding};
-use hardbound_exec::Engine;
+use hardbound_exec::{Engine, OptConfig};
 use hardbound_isa::Program;
 use hardbound_runtime::{
     build_machine_with_config, compile, compile_cache_stats, engine_default, env_flag,
@@ -102,10 +102,18 @@ fn parse_args() -> Result<Args, String> {
             "--disasm" => disasm = true,
             "--engine" => engine = true,
             "--interp" => engine = false,
+            // The optimizer rides the same env plumbing every other layer
+            // reads (`OptConfig::from_env` at engine construction), so the
+            // flags just pin the variables before anything resolves them.
+            "--opt" => std::env::set_var("HB_OPT", "1"),
+            "--no-opt" => {
+                std::env::set_var("HB_OPT", "0");
+                std::env::set_var("HB_OPT_AUDIT", "0");
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: hbrun FILE.{cb,s} [FILE.{cb,s} ...] [--mode M] [--encoding E] \
-                     [--stats] [--metrics] [--disasm] [--engine|--interp] \
+                     [--stats] [--metrics] [--disasm] [--engine|--interp] [--opt|--no-opt] \
                      [--meta summary|walk|charge]"
                         .to_owned(),
                 )
@@ -261,6 +269,20 @@ fn main() -> ExitCode {
         );
         let cc = compile_cache_stats();
         eprintln!("compile cache:   {} hits, {} misses", cc.hits, cc.misses);
+        let opt = OptConfig::from_env();
+        if opt.enabled {
+            // Decode-time optimizer activity, read back from the process
+            // registry (the engine records there as it optimizes blocks).
+            let m = metrics_snapshot();
+            eprintln!(
+                "opt checks:      {} emitted, {} elided, {} hoisted, {} coalesced{}",
+                m.counter("hb_checks_emitted"),
+                m.counter("hb_checks_elided"),
+                m.counter("hb_checks_hoisted"),
+                m.counter("hb_checks_coalesced"),
+                if opt.audit { " [audited]" } else { "" }
+            );
+        }
         if through_service {
             let remote = remote_stats();
             if remote.round_trips > 0 {

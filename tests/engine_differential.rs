@@ -14,7 +14,7 @@
 
 use hardbound::compiler::Mode;
 use hardbound::core::{Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome};
-use hardbound::exec::Engine;
+use hardbound::exec::{Engine, OptConfig};
 use hardbound::isa::{fuzz, FuncId, Function, Inst, Program, SysCall};
 use hardbound::runtime::{build_machine, build_machine_with_config, compile, machine_config};
 use hardbound::workloads::{by_name, Scale};
@@ -42,9 +42,12 @@ fn assert_identical(label: &str, interp: &RunOutcome, engine: &RunOutcome) {
     assert_eq!(engine.stats, interp.stats, "{label}: ExecStats");
 }
 
-/// Compiles `source` under `mode` and runs it four ways — interpreter and
-/// engine, each under the summary fast path and the unsummarized walk —
-/// asserting all four outcomes identical.
+/// Compiles `source` under `mode` and runs it eight ways — interpreter,
+/// engine, engine+opt, and engine+opt+audit, each under the summary fast
+/// path and the unsummarized walk — asserting all outcomes identical. The
+/// audit leg re-executes every check the optimizer eliminated and panics
+/// on a would-have-trapped divergence, so "identical" here means *proved*
+/// identical, not merely observed.
 fn differential_cb(label: &str, source: &str, mode: Mode, encoding: PointerEncoding) {
     let program = compile(source, mode)
         .unwrap_or_else(|e| panic!("{label}: compile failed under {mode}: {e}"));
@@ -66,6 +69,12 @@ fn differential_cb(label: &str, source: &str, mode: Mode, encoding: PointerEncod
         &engine,
         &engine_walk,
     );
+    for (opt, leg) in [(OptConfig::ON, "opt"), (OptConfig::AUDIT, "opt+audit")] {
+        let opt_run = Engine::with_opt(build(MetaPath::Summary), opt).run();
+        assert_identical(&format!("{label}/engine+{leg}"), &interp, &opt_run);
+        let opt_walk = Engine::with_opt(build(MetaPath::Walk), opt).run();
+        assert_identical(&format!("{label}/engine+{leg}/walk"), &interp, &opt_walk);
+    }
 }
 
 const BENIGN: &[(&str, &str)] = &[
@@ -215,11 +224,14 @@ fn fuzz_programs_agree_across_modes_and_encodings() {
             let cfg = machine_config(mode, encoding).with_fuel(100_000);
             let walk_cfg = cfg.clone().with_meta_path(MetaPath::Walk);
             let interp = Machine::new(program.clone(), cfg.clone()).run();
-            let engine = Engine::new(Machine::new(program.clone(), cfg)).run();
+            let engine = Engine::new(Machine::new(program.clone(), cfg.clone())).run();
             let engine_walk = Engine::new(Machine::new(program.clone(), walk_cfg)).run();
+            let audited =
+                Engine::with_opt(Machine::new(program.clone(), cfg), OptConfig::AUDIT).run();
             let label = format!("fuzz-{seed}/{mode}/{encoding}");
             assert_identical(&label, &interp, &engine);
             assert_identical(&format!("{label}/summary-vs-walk"), &engine, &engine_walk);
+            assert_identical(&format!("{label}/opt+audit"), &interp, &audited);
         }
     }
 }
