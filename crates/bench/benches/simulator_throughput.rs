@@ -38,6 +38,15 @@
 //! stay within `<ratio>`× of the untraced baseline (CI pins `1.1` —
 //! tracing-enabled throughput within 10%), so span emission can never
 //! creep into the hot path.
+//!
+//! Set `HB_HIER_GATE=<ratio>` to gate the **hierarchy fast path**: an
+//! irregular-gather fleet whose hot blocks stay resident must run at
+//! least `<ratio>`× faster under `HierPath::Event` (residency-proof
+//! filter + branchless way-scan) than under the `HierPath::Walk`
+//! reference (CI pins `1.2`), with the telemetry counters proving the
+//! residency filter actually answered lookups. Independent of any gate,
+//! `sampled_error_report` asserts the `HierPath::Sampled` 1-in-8
+//! set-sampled estimate stays within 5% of the exact fleet stall total.
 
 use std::time::{Duration, Instant};
 
@@ -45,7 +54,7 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 
 use hardbound_bench::scale_from_env;
 use hardbound_compiler::Mode;
-use hardbound_core::{Machine, MachineConfig, MetaPath, PointerEncoding};
+use hardbound_core::{HierPath, Machine, MachineConfig, MetaPath, PointerEncoding};
 use hardbound_exec::{batch, CorpusService, Engine, Job, OptConfig};
 use hardbound_isa::{BinOp, CmpOp, FuncId, FunctionBuilder, Program, Reg};
 use hardbound_runtime::{build_machine, compile, env_parse, machine_config};
@@ -258,6 +267,141 @@ fn check_dense_loop(loads: i32, iters: i32) -> Program {
     f.branch(CmpOp::Lt, Reg::A2, iters, head);
     f.ret();
     Program::with_entry(vec![main.finish(), f.finish()])
+}
+
+/// The hierarchy fast-path comparison (and optional CI gate): engine runs
+/// of an irregular-gather fleet, `HierPath::Event` vs `HierPath::Walk`.
+/// The gather's hot region (data + index arrays) is sized to the L1 — and
+/// to the residency filter's reach — so almost every access resolves by
+/// residency proof on the event path while the walk path re-scans its
+/// ways every time. The two paths are exact twins (the differential
+/// suites pin byte-identical outcomes), so the entire measured gap is
+/// lookup machinery. Gated via `HB_HIER_GATE=<ratio>` (CI pins `1.2`);
+/// independent of the gate, the run asserts identical outcomes and that
+/// the telemetry delta shows the filter both proving and falling back —
+/// the win has to come from answered residency probes, not noise.
+fn hier_fast_report() {
+    let gate = env_parse::<f64>("HB_HIER_GATE").unwrap_or_else(|e| panic!("{e}"));
+    let scale = scale_from_env();
+    let rounds = match scale {
+        Scale::Smoke => 8,
+        Scale::Full => 48,
+    };
+    // 4096 words of data + 4096 of indices = 32 KB hot: exactly the L1
+    // capacity and the residency filter's 1024-block reach.
+    let program = tag_sparse_gather(4096, rounds);
+    let run = |path: HierPath| {
+        let mut cfg =
+            machine_config(Mode::HardBound, PointerEncoding::Intern4).with_hier_path(path);
+        // Associativity-stressed geometry (same capacities as the paper's
+        // §5.1 hierarchy, wider sets): the way-walk pays per-way compare
+        // work on every hit while the residency proof stays O(1), so this
+        // is the shape the event path exists for — and the shape where a
+        // fast-path regression shows up first.
+        cfg.hierarchy.l1_ways = 16;
+        cfg.hierarchy.l2_ways = 16;
+        cfg.hierarchy.tag_cache_ways = 16;
+        cfg.hierarchy.tlb_ways = 16;
+        let out = Engine::new(Machine::new(program.clone(), cfg)).run();
+        assert!(out.is_success(), "{:?}", out.trap);
+        out
+    };
+    let before = hardbound_telemetry::global().snapshot();
+    let (walk, event) = compare(5, || run(HierPath::Walk), || run(HierPath::Event));
+    let after = hardbound_telemetry::global().snapshot();
+    assert_eq!(
+        run(HierPath::Event),
+        run(HierPath::Walk),
+        "HierPath::Event and HierPath::Walk must be observationally identical"
+    );
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    let (proofs, scans) = (
+        delta("hb_hier_fastpath_hits"),
+        delta("hb_hier_fastpath_misses"),
+    );
+    assert!(
+        proofs > 0 && scans > 0,
+        "the gather must drive the residency filter both ways: \
+         {proofs} proofs, {scans} scans"
+    );
+    let speedup = walk.as_secs_f64() / event.as_secs_f64();
+    println!("\nhierarchy fast path (irregular gather, engine):");
+    println!(
+        "  {:<24} walk {walk:>10.2?}  event {event:>10.2?}  speedup {speedup:>5.2}x",
+        "irregular gather"
+    );
+    println!("  residency filter: {proofs} proofs, {scans} scans");
+    if let Some(required) = gate {
+        assert!(
+            speedup >= required,
+            "hierarchy fast-path gate: irregular-gather speedup {speedup:.2}x \
+             below the required {required:.2}x"
+        );
+        println!("  gate: {speedup:.2}x >= {required:.2}x — ok");
+    }
+}
+
+/// The sampled-hierarchy error bound: the Olden fleet runs exact
+/// (`HierPath::Event`) and 1-in-8 set-sampled (`HierPath::Sampled`), and
+/// the sampled estimate of the fleet's total stall cycles must land
+/// within 5% of the exact total. Always asserted — the approximate mode's
+/// documented contract, not an opt-in gate. Access counts must stay
+/// exact: sampling estimates *stalls*, never event counts.
+fn sampled_error_report() {
+    let scale = scale_from_env();
+    let programs: Vec<Program> = all(scale)
+        .iter()
+        .map(|w| compile(&w.source, Mode::HardBound).expect("compiles"))
+        .collect();
+    let fleet = |path: HierPath| -> Vec<_> {
+        programs
+            .iter()
+            .map(|p| {
+                let cfg =
+                    machine_config(Mode::HardBound, PointerEncoding::Intern4).with_hier_path(path);
+                let out = Engine::new(Machine::new(p.clone(), cfg)).run();
+                assert!(out.is_success(), "{:?}", out.trap);
+                out
+            })
+            .collect()
+    };
+    let exact = fleet(HierPath::Event);
+    let sampled = fleet(HierPath::sampled(8));
+    let stalls = |outs: &[hardbound_core::RunOutcome]| -> u64 {
+        outs.iter()
+            .map(|o| o.stats.hierarchy.total_stall_cycles())
+            .sum()
+    };
+    for (e, s) in exact.iter().zip(&sampled) {
+        assert_eq!(
+            (
+                e.stats.hierarchy.data_accesses,
+                e.stats.hierarchy.tag_accesses,
+                e.stats.hierarchy.shadow_accesses,
+            ),
+            (
+                s.stats.hierarchy.data_accesses,
+                s.stats.hierarchy.tag_accesses,
+                s.stats.hierarchy.shadow_accesses,
+            ),
+            "sampling must keep access counts exact"
+        );
+    }
+    let (exact_stalls, sampled_stalls) = (stalls(&exact), stalls(&sampled));
+    let error = (sampled_stalls as f64 - exact_stalls as f64).abs() / exact_stalls as f64;
+    println!("\nsampled hierarchy error ({scale:?} fleet, 1-in-8 sets):");
+    println!(
+        "  {:<24} exact {exact_stalls:>12} stalls  sampled {sampled_stalls:>12}  error {:>5.2}%",
+        "fleet stall total",
+        100.0 * error
+    );
+    assert!(
+        error < 0.05,
+        "sampled hierarchy error bound: 1-in-8 estimate off by {:.2}% (>5%) \
+         ({sampled_stalls} vs {exact_stalls} exact stall cycles)",
+        100.0 * error
+    );
+    println!("  bound: {:.2}% < 5.00% — ok", 100.0 * error);
 }
 
 /// The static bounds-check optimizer comparison (and optional CI gate):
@@ -660,6 +804,8 @@ fn main() {
     benches();
     engine_speedup_report();
     meta_fast_path_report();
+    hier_fast_report();
+    sampled_error_report();
     opt_speedup_report();
     service_warm_cold_report();
     persist_warm_report();

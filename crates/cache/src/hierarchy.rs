@@ -1,4 +1,49 @@
-use crate::set_assoc::{Cache, CacheStats};
+use crate::set_assoc::{Cache, CacheStats, FastPathStats};
+
+/// Which lookup machinery drives the simulated hierarchy. Mirrors
+/// `MetaPath` one layer down: `Event` and `Walk` are *exact* twins —
+/// observation-identical stats, stalls and victims, differenced by the
+/// proptests — while `Sampled` is explicitly approximate and is excluded
+/// from every identity path (result store, wire protocol).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum HierPath {
+    /// Event-driven fast path (default): residency-proof filters answer
+    /// repeat accesses without a way-scan; cold scans are branchless.
+    #[default]
+    Event,
+    /// Naive reference walk of every structure on every access. The
+    /// exactness oracle for `Event`, and the escape hatch
+    /// (`HB_HIER_FAST=0`) when debugging the fast path itself.
+    Walk,
+    /// Approximate set-sampled simulation: only accesses whose block
+    /// hashes into the 1-in-`period` sample are simulated, each
+    /// contributing `period`× its stall. Access *counts* stay exact;
+    /// stalls and per-structure hit/miss counters are estimates for
+    /// capacity-planning sweeps, never for figures of record.
+    Sampled {
+        /// Sampling period K (power of two, ≥ 2): 1-in-K blocks simulate.
+        period: u32,
+    },
+}
+
+impl HierPath {
+    /// A `Sampled` path with period `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is a power of two and ≥ 2.
+    #[must_use]
+    pub fn sampled(k: u32) -> HierPath {
+        assert!(k.is_power_of_two() && k >= 2, "sample period {k} invalid");
+        HierPath::Sampled { period: k }
+    }
+
+    /// Whether this path produces approximate (non-identity) results.
+    #[must_use]
+    pub fn is_sampled(&self) -> bool {
+        matches!(self, HierPath::Sampled { .. })
+    }
+}
 
 /// What kind of access is being made, for stall attribution.
 ///
@@ -141,6 +186,19 @@ impl HierarchyConfig {
         if self.tlb_ways == 0 || self.tlb_ways > 255 {
             return Err(format!("TLB way count {} outside 1..=255", self.tlb_ways));
         }
+        if self.tlb_entries % self.tlb_ways as u64 != 0 {
+            // sets = entries / ways rounds down, so without this check a
+            // non-dividing way count could *validate* (truncated set count
+            // happens to be a power of two) yet build a smaller TLB than
+            // requested — e.g. 387 entries / 6 ways would silently become
+            // a 384-entry structure.
+            return Err(format!(
+                "TLB: {} entries do not divide into {}-way sets (would silently truncate to {} entries)",
+                self.tlb_entries,
+                self.tlb_ways,
+                (self.tlb_entries / self.tlb_ways as u64) * self.tlb_ways as u64
+            ));
+        }
         let sets = self.tlb_entries / self.tlb_ways as u64;
         if !sets.is_power_of_two() {
             return Err(format!(
@@ -204,11 +262,35 @@ impl HierarchyStats {
     }
 }
 
+/// Aggregate fast-path/sampling counters across the whole hierarchy —
+/// the numbers behind `hb_hier_fastpath_{hits,misses}` and
+/// `hb_hier_sampled_sets`. Kept apart from [`HierarchyStats`]: these
+/// describe *how* the simulation ran, not what it observed, and the
+/// Event ≡ Walk identity suites must be free to compare observations
+/// between twins whose machinery legitimately differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HierFastStats {
+    /// Accesses answered by a residency filter alone, summed over every
+    /// structure (dTLB, L1, tag TLB, tag cache, L2).
+    pub fastpath_hits: u64,
+    /// Accesses that fell through a filter to the full way-scan.
+    pub fastpath_misses: u64,
+    /// Accesses simulated by the `Sampled` path (each standing in for
+    /// `period` accesses' worth of stall).
+    pub sampled_sets: u64,
+}
+
 /// The simulated memory system: L1 data cache, tag metadata cache, shared
 /// L2, and a TLB per first-level structure (paper Figure 4).
 #[derive(Clone, Debug)]
 pub struct Hierarchy {
     cfg: HierarchyConfig,
+    path: HierPath,
+    /// `period - 1` for `Sampled`; an access is in the sample iff the low
+    /// bits of its block index are all zero under this mask. Zero (every
+    /// access sampled) outside `Sampled` mode, but unused there.
+    sample_mask: u64,
+    sampled_sets: u64,
     l1d: Cache,
     tag_cache: Cache,
     l2: Cache,
@@ -218,24 +300,93 @@ pub struct Hierarchy {
 }
 
 impl Hierarchy {
-    /// Builds the hierarchy for `cfg`.
+    /// Builds the hierarchy for `cfg` on the default (event-driven) path.
     #[must_use]
     pub fn new(cfg: HierarchyConfig) -> Hierarchy {
-        Hierarchy {
+        Hierarchy::with_path(cfg, HierPath::Event)
+    }
+
+    /// Builds the hierarchy for `cfg` on an explicit [`HierPath`].
+    #[must_use]
+    pub fn with_path(cfg: HierarchyConfig, path: HierPath) -> Hierarchy {
+        let mut h = Hierarchy {
             l1d: Cache::new(cfg.l1_bytes, cfg.l1_ways, cfg.block_bytes),
             tag_cache: Cache::new(cfg.tag_cache_bytes, cfg.tag_cache_ways, cfg.block_bytes),
             l2: Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.block_bytes),
             dtlb: Cache::with_sets(cfg.tlb_entries / cfg.tlb_ways as u64, cfg.tlb_ways, 4096),
             tag_tlb: Cache::with_sets(cfg.tlb_entries / cfg.tlb_ways as u64, cfg.tlb_ways, 4096),
             stats: HierarchyStats::default(),
+            path,
+            sample_mask: 0,
+            sampled_sets: 0,
             cfg,
+        };
+        match path {
+            HierPath::Event => {}
+            HierPath::Walk => {
+                h.l1d.set_walk();
+                h.tag_cache.set_walk();
+                h.l2.set_walk();
+                h.dtlb.set_walk();
+                h.tag_tlb.set_walk();
+            }
+            HierPath::Sampled { period } => {
+                assert!(
+                    period.is_power_of_two() && period >= 2,
+                    "sample period {period} invalid"
+                );
+                h.sample_mask = u64::from(period) - 1;
+            }
         }
+        h
+    }
+
+    /// The active lookup path.
+    #[must_use]
+    pub fn path(&self) -> HierPath {
+        self.path
+    }
+
+    /// Whether the block containing `addr` is in the 1-in-K sample.
+    ///
+    /// Keyed on the block index's **low bits** — which are exactly the
+    /// set-index bits of the block-grained structures (`set = block &
+    /// set_mask`, and `period` never exceeds a set count). A sampled set
+    /// therefore receives its *complete* access stream, with full
+    /// intra-set contention, while unsampled sets receive nothing: this
+    /// is what makes set sampling near-unbiased. A hashed or per-access
+    /// sample would thin every set's stream instead, systematically
+    /// under-simulating conflict misses and biasing stalls low. The known
+    /// residual limitation is the classic one: a stream strided by a
+    /// multiple of `period` blocks lands all-or-nothing in the sample.
+    #[inline]
+    fn in_sample(&self, addr: u64) -> bool {
+        (addr / self.cfg.block_bytes) & self.sample_mask == 0
     }
 
     /// Performs one access of `class` at conceptual address `addr`,
     /// returning the stall cycles it incurs. Loads and stores are charged
     /// identically (write-allocate, penalties dominated by the fill).
+    ///
+    /// On the `Sampled` path only 1-in-K blocks are simulated; a sampled
+    /// access contributes K× its stall (to the return value and the class
+    /// stall counters alike) and an unsampled access contributes zero
+    /// stall and no structure traffic. Class access *counts* stay exact.
     pub fn access(&mut self, class: AccessClass, addr: u64) -> u64 {
+        let mut scale = 1;
+        if let HierPath::Sampled { period } = self.path {
+            if self.in_sample(addr) {
+                self.sampled_sets += 1;
+                scale = u64::from(period);
+            } else {
+                match class {
+                    AccessClass::Data => self.stats.data_accesses += 1,
+                    AccessClass::Tag => self.stats.tag_accesses += 1,
+                    AccessClass::Shadow => self.stats.shadow_accesses += 1,
+                }
+                return 0;
+            }
+        }
         let mut stall = 0;
         match class {
             AccessClass::Data | AccessClass::Shadow => {
@@ -261,6 +412,7 @@ impl Hierarchy {
                 }
             }
         }
+        stall *= scale;
         match class {
             AccessClass::Data => {
                 self.stats.data_accesses += 1;
@@ -293,19 +445,25 @@ impl Hierarchy {
     /// Charges a data access that is a proven repeat of the previous data
     /// access's block (with no intervening dTLB/L1 traffic): both
     /// first-level structures hit, zero stall, identical statistics to the
-    /// full [`Hierarchy::access`] walk.
+    /// full [`Hierarchy::access`] walk. On the `Sampled` path only the
+    /// (exact) class access counter moves, matching what `access` does for
+    /// out-of-sample traffic.
     #[inline]
     pub fn note_data_repeat(&mut self) {
-        self.dtlb.note_hit();
-        self.l1d.note_hit();
+        if !self.path.is_sampled() {
+            self.dtlb.note_hit();
+            self.l1d.note_hit();
+        }
         self.stats.data_accesses += 1;
     }
 
     /// [`Hierarchy::note_data_repeat`] for the tag-metadata structures.
     #[inline]
     pub fn note_tag_repeat(&mut self) {
-        self.tag_tlb.note_hit();
-        self.tag_cache.note_hit();
+        if !self.path.is_sampled() {
+            self.tag_tlb.note_hit();
+            self.tag_cache.note_hit();
+        }
         self.stats.tag_accesses += 1;
     }
 
@@ -337,6 +495,23 @@ impl Hierarchy {
     #[must_use]
     pub fn dtlb_stats(&self) -> CacheStats {
         self.dtlb.stats()
+    }
+
+    /// Aggregate residency-filter and sampling counters over every
+    /// structure in the hierarchy.
+    #[must_use]
+    pub fn fast_stats(&self) -> HierFastStats {
+        let mut f = FastPathStats::default();
+        f.absorb(self.dtlb.fast_stats());
+        f.absorb(self.l1d.fast_stats());
+        f.absorb(self.tag_tlb.fast_stats());
+        f.absorb(self.tag_cache.fast_stats());
+        f.absorb(self.l2.fast_stats());
+        HierFastStats {
+            fastpath_hits: f.fastpath_hits,
+            fastpath_misses: f.fastpath_misses,
+            sampled_sets: self.sampled_sets,
+        }
     }
 
     /// The active configuration.
@@ -445,6 +620,95 @@ mod tests {
         assert_eq!(
             s.total_stall_cycles(),
             s.data_stall_cycles + s.metadata_stall_cycles()
+        );
+    }
+
+    #[test]
+    fn event_path_is_identical_to_walk_path() {
+        // Twin hierarchies on the two exact paths over a mixed
+        // Data/Tag/Shadow stream: every returned stall and every
+        // observable counter must match. (The proptest in tests/prop.rs
+        // re-runs this shape over random geometries and streams.)
+        let mut event = Hierarchy::with_path(HierarchyConfig::default(), HierPath::Event);
+        let mut walk = Hierarchy::with_path(HierarchyConfig::default(), HierPath::Walk);
+        let mut x = 0x0bad_cafeu64;
+        for i in 0..6000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let addr = (x >> 16) & 0xF_FFFF;
+            let class = match x % 3 {
+                0 => AccessClass::Data,
+                1 => AccessClass::Tag,
+                _ => AccessClass::Shadow,
+            };
+            let addr = match class {
+                AccessClass::Data => addr,
+                AccessClass::Tag => 0x3_0000_0000 + (addr >> 5),
+                AccessClass::Shadow => 0x1_0000_0000 + addr,
+            };
+            assert_eq!(
+                event.access(class, addr),
+                walk.access(class, addr),
+                "stall divergence at access {i}"
+            );
+        }
+        assert_eq!(event.stats(), walk.stats());
+        assert_eq!(event.l1_stats(), walk.l1_stats());
+        assert_eq!(event.tag_cache_stats(), walk.tag_cache_stats());
+        assert_eq!(event.l2_stats(), walk.l2_stats());
+        assert_eq!(event.dtlb_stats(), walk.dtlb_stats());
+        // And the machinery counters prove which path actually ran.
+        assert!(event.fast_stats().fastpath_hits > 0);
+        assert_eq!(walk.fast_stats(), HierFastStats::default());
+    }
+
+    #[test]
+    fn validate_rejects_non_dividing_tlb_ways() {
+        // Regression: 387 entries / 6 ways truncates to 64 sets — a power
+        // of two — so the old validator accepted it and Hierarchy::new
+        // silently built a 384-entry TLB.
+        let cfg = HierarchyConfig {
+            tlb_entries: 387,
+            tlb_ways: 6,
+            ..HierarchyConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("387 entries do not divide"), "{err}");
+        assert!(err.contains("384"), "{err}");
+        assert!(HierarchyConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn sampled_path_keeps_counts_exact_and_estimates_stalls() {
+        let mut exact = Hierarchy::new(HierarchyConfig::default());
+        let mut sampled = Hierarchy::with_path(HierarchyConfig::default(), HierPath::sampled(8));
+        let mut x = 0x5eed_5eedu64;
+        for _ in 0..40_000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let data = (x >> 16) & 0x1F_FFFF;
+            exact.access(AccessClass::Data, data);
+            sampled.access(AccessClass::Data, data);
+            let tag = 0x3_0000_0000 + (data >> 5);
+            exact.access(AccessClass::Tag, tag);
+            sampled.access(AccessClass::Tag, tag);
+        }
+        let e = exact.stats();
+        let s = sampled.stats();
+        // Access counts are exact by contract.
+        assert_eq!(e.data_accesses, s.data_accesses);
+        assert_eq!(e.tag_accesses, s.tag_accesses);
+        // Roughly 1-in-8 accesses actually simulated.
+        let f = sampled.fast_stats();
+        assert!(f.sampled_sets > 0);
+        assert!(f.sampled_sets < 80_000 / 4, "{}", f.sampled_sets);
+        // Scaled stalls land near the exact totals on this uniform
+        // stream (the bench report measures the real corpus at < 5%;
+        // this unit test only pins the scaling is wired at all).
+        let exact_total = e.total_stall_cycles() as f64;
+        let est_total = s.total_stall_cycles() as f64;
+        let rel = (est_total - exact_total).abs() / exact_total;
+        assert!(
+            rel < 0.25,
+            "relative error {rel} (est {est_total} vs {exact_total})"
         );
     }
 

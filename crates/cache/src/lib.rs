@@ -19,5 +19,7 @@
 mod hierarchy;
 mod set_assoc;
 
-pub use hierarchy::{AccessClass, Hierarchy, HierarchyConfig, HierarchyStats};
-pub use set_assoc::{Cache, CacheStats};
+pub use hierarchy::{
+    AccessClass, HierFastStats, HierPath, Hierarchy, HierarchyConfig, HierarchyStats,
+};
+pub use set_assoc::{checked_ratio, Cache, CacheStats, FastPathStats};

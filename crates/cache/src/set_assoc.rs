@@ -1,3 +1,19 @@
+/// Checked ratio: `num / den` as `f64`, or `0.0` when `den` is zero.
+///
+/// Every ratio the simulator renders (miss ratios, hit ratios, page and
+/// compression fractions) routes through this one helper so a structure
+/// that was never touched — an untouched tag cache under malloc-only
+/// mode, or an unsampled structure under `HierPath::Sampled` — renders
+/// `0.0` everywhere instead of `NaN`.
+#[must_use]
+pub fn checked_ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 /// Hit/miss counters for one cache array.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -17,13 +33,34 @@ impl CacheStats {
     /// Miss ratio in `[0, 1]`; `0` when there were no accesses.
     #[must_use]
     pub fn miss_ratio(&self) -> f64 {
-        if self.accesses() == 0 {
-            0.0
-        } else {
-            self.misses as f64 / self.accesses() as f64
-        }
+        checked_ratio(self.misses, self.accesses())
     }
 }
+
+/// Residency-proof fast-path counters for one cache array. Deliberately
+/// *not* part of [`CacheStats`]: the filter is an implementation detail of
+/// the event-driven path, and the Event ≡ Walk differential suites compare
+/// `CacheStats` between twins whose filters legitimately diverge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Accesses answered by the residency filter alone (no way-scan).
+    pub fastpath_hits: u64,
+    /// Accesses that fell through to the full way-scan.
+    pub fastpath_misses: u64,
+}
+
+impl FastPathStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: FastPathStats) {
+        self.fastpath_hits += other.fastpath_hits;
+        self.fastpath_misses += other.fastpath_misses;
+    }
+}
+
+/// Slots in the direct-mapped residency filter (power of two). 1024 slots
+/// give the filter a reach of 32 KB at the paper's 32-byte blocks — the
+/// whole L1 — and 4 MB at TLB page granularity, for ~9 KB per structure.
+const FILTER_SLOTS: usize = 1024;
 
 /// A set-associative array with true-LRU replacement.
 ///
@@ -31,6 +68,19 @@ impl CacheStats {
 /// same structure with 4 KB "blocks"). Addresses are 64-bit because
 /// HardBound's metadata spaces are modelled as conceptual regions above the
 /// 32-bit program space (see `hardbound_isa::layout`).
+///
+/// Two lookup paths share the arrays:
+///
+/// * the **event-driven** path (default) answers accesses through a small
+///   direct-mapped *residency filter* — a proof that the block is resident
+///   at a known way, maintained by invalidating a block's entry whenever
+///   that block is evicted — and scans the set branchlessly (tag compare +
+///   stamp min in one pass over a padded, fixed-stride set) on filter
+///   misses;
+/// * the **walk** path ([`Cache::set_walk`]) is the naive reference scan,
+///   kept verbatim as the exactness oracle: the differential suites drive
+///   twin caches down both paths and require identical hits, misses,
+///   victims and stamps.
 #[derive(Clone, Debug)]
 pub struct Cache {
     block_bits: u32,
@@ -39,7 +89,12 @@ pub struct Cache {
     /// single hottest operation in the whole simulator).
     set_mask: u64,
     ways: usize,
-    /// `lines[set * ways + way]` = block tag **plus one**, or `0` when
+    /// `ways` rounded up to a power of two: each set occupies `stride`
+    /// slots of `lines`/`stamps` so the branchless scan runs over a fixed
+    /// power-of-two extent. Padding slots hold line `0` (invalid, never
+    /// tag-matches) and stamp `u64::MAX` (never the LRU victim).
+    stride: usize,
+    /// `lines[set * stride + way]` = block tag **plus one**, or `0` when
     /// invalid. The +1 encoding makes the all-invalid initial state
     /// all-zeroes, so construction is one `calloc` (lazily faulted pages)
     /// instead of a multi-megabyte sentinel memset per machine.
@@ -52,13 +107,19 @@ pub struct Cache {
     stamps: Vec<u64>,
     /// Monotonic use counter feeding `stamps` (64-bit: never wraps).
     clock: u64,
-    /// The most recently accessed block (`u64::MAX` = none yet). After any
-    /// access the block is resident and most-recently-used in its set, so
-    /// a repeat access is a guaranteed hit — the simulator's hot loops
-    /// overwhelmingly re-touch the same block, and this memo answers them
-    /// without the set scan. Exact: stats and replacement state evolve
-    /// identically with or without it.
-    last_block: u64,
+    /// Residency filter: `filter_tags[block % FILTER_SLOTS]` = block tag
+    /// plus one (0 = empty), `filter_ways` the way it resides at. The
+    /// invariant — an entry `(block, way)` exists only while
+    /// `lines[set(block) * stride + way]` still holds that block — is
+    /// maintained by installing on every resolved access and erasing the
+    /// victim's entry on every eviction, so a filter hit *is* a residency
+    /// proof and the whole TLB/L1 way-scan is skipped. Exact: stats and
+    /// replacement state evolve identically with or without it.
+    filter_tags: Vec<u64>,
+    filter_ways: Vec<u8>,
+    /// `false` selects the walk (reference) path: no filter, naive scan.
+    fast: bool,
+    fast_stats: FastPathStats,
     stats: CacheStats,
 }
 
@@ -101,15 +162,29 @@ impl Cache {
             "set count must be a power of two"
         );
         assert!(block_bytes.is_power_of_two());
-        let total = (num_sets as usize) * ways;
+        let stride = ways.next_power_of_two();
+        let total = (num_sets as usize) * stride;
+        let mut stamps = vec![0; total];
+        if stride != ways {
+            // Padding slots must never win the stamp-min victim scan.
+            for set in 0..num_sets as usize {
+                for pad in ways..stride {
+                    stamps[set * stride + pad] = u64::MAX;
+                }
+            }
+        }
         Cache {
             block_bits: block_bytes.trailing_zeros(),
             set_mask: num_sets - 1,
             ways,
+            stride,
             lines: vec![0; total],
-            stamps: vec![0; total],
+            stamps,
             clock: 0,
-            last_block: u64::MAX,
+            filter_tags: vec![0; FILTER_SLOTS],
+            filter_ways: vec![0; FILTER_SLOTS],
+            fast: true,
+            fast_stats: FastPathStats::default(),
             stats: CacheStats::default(),
         }
     }
@@ -120,22 +195,98 @@ impl Cache {
         Cache::with_sets(64, 4, 4096)
     }
 
+    /// Selects the walk (reference) lookup path: the residency filter is
+    /// disabled and every access runs the naive early-exit scan. The
+    /// differential suites pin the event path's exactness against this.
+    pub fn set_walk(&mut self) {
+        self.fast = false;
+        self.filter_tags.iter_mut().for_each(|t| *t = 0);
+    }
+
     /// Looks up the block containing `addr`, filling on miss. Returns
     /// `true` on hit.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let block = addr >> self.block_bits;
-        if block == self.last_block {
-            self.stats.hits += 1;
-            return true;
+        if self.fast {
+            let slot = (block as usize) & (FILTER_SLOTS - 1);
+            if self.filter_tags[slot] == block + 1 {
+                // Residency proof: the block still sits at the recorded
+                // way (its entry would have been erased by the eviction
+                // otherwise), so only the recency stamp moves.
+                let set = (block & self.set_mask) as usize;
+                let way = self.filter_ways[slot] as usize;
+                debug_assert_eq!(self.lines[set * self.stride + way], block + 1);
+                self.clock += 1;
+                self.stamps[set * self.stride + way] = self.clock;
+                self.stats.hits += 1;
+                self.fast_stats.fastpath_hits += 1;
+                return true;
+            }
+            self.fast_stats.fastpath_misses += 1;
+            self.access_scan(block)
+        } else {
+            self.access_walk(block)
         }
-        self.access_cold(block)
     }
 
-    fn access_cold(&mut self, block: u64) -> bool {
-        self.last_block = block;
+    /// Event-path set scan: one branchless pass over the padded set
+    /// computing the tag-match way and the stamp-min victim together (no
+    /// early exit, no data-dependent branches in the loop — the shape
+    /// the autovectorizer handles). Padding slots never match (line 0)
+    /// and never win the victim min (stamp `u64::MAX`).
+    fn access_scan(&mut self, block: u64) -> bool {
         let set = (block & self.set_mask) as usize;
-        let base = set * self.ways;
+        let base = set * self.stride;
+        let lines = &mut self.lines[base..base + self.stride];
+        let stamps = &mut self.stamps[base..base + self.stride];
+        self.clock += 1;
+        let tag = block + 1;
+
+        let mut hit_way = usize::MAX;
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for w in 0..lines.len() {
+            let line = lines[w];
+            let stamp = stamps[w];
+            hit_way = if line == tag { w } else { hit_way };
+            let better = stamp < best;
+            best = if better { stamp } else { best };
+            victim = if better { w } else { victim };
+        }
+
+        let slot = (block as usize) & (FILTER_SLOTS - 1);
+        if hit_way != usize::MAX {
+            stamps[hit_way] = self.clock;
+            self.filter_tags[slot] = tag;
+            self.filter_ways[slot] = hit_way as u8;
+            self.stats.hits += 1;
+            true
+        } else {
+            let old = lines[victim];
+            if old != 0 {
+                // Erase the victim's residency proof — the one write that
+                // keeps the filter invariant (entry ⇒ resident at way).
+                let oslot = ((old - 1) as usize) & (FILTER_SLOTS - 1);
+                if self.filter_tags[oslot] == old {
+                    self.filter_tags[oslot] = 0;
+                }
+            }
+            lines[victim] = tag;
+            stamps[victim] = self.clock;
+            self.filter_tags[slot] = tag;
+            self.filter_ways[slot] = victim as u8;
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Walk-path set scan: the naive reference (early-exit tag search,
+    /// then `min_by_key` victim selection over the real ways), kept
+    /// verbatim as the oracle the event path is differenced against.
+    fn access_walk(&mut self, block: u64) -> bool {
+        let set = (block & self.set_mask) as usize;
+        let base = set * self.stride;
         let lines = &mut self.lines[base..base + self.ways];
         let stamps = &mut self.stamps[base..base + self.ways];
         self.clock += 1;
@@ -177,7 +328,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let block = addr >> self.block_bits;
         let set = (block & self.set_mask) as usize;
-        let base = set * self.ways;
+        let base = set * self.stride;
         self.lines[base..base + self.ways].contains(&(block + 1))
     }
 
@@ -185,6 +336,12 @@ impl Cache {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Residency-filter counters (zero on the walk path).
+    #[must_use]
+    pub fn fast_stats(&self) -> FastPathStats {
+        self.fast_stats
     }
 
     /// Capacity in blocks (diagnostic).
@@ -286,5 +443,61 @@ mod tests {
         assert!(!c.access(0x1_0000_0000));
         assert!(c.access(0x1_0000_0000));
         assert!(!c.access(0x0000_0000));
+    }
+
+    #[test]
+    fn filter_answers_repeats_and_survives_conflict_evictions() {
+        let mut c = Cache::new(128, 4, 32); // 1 set, 4 ways
+        assert!(!c.access(0));
+        assert!(c.access(0), "repeat must hit");
+        assert!(c.fast_stats().fastpath_hits >= 1, "{:?}", c.fast_stats());
+        // Fill the set; block 0 becomes LRU and the next fill evicts it.
+        for a in [32u64, 64, 96, 128] {
+            assert!(!c.access(a));
+        }
+        // The filter entry for block 0 must have been erased with the
+        // eviction: a repeat access is a genuine miss, not a stale proof.
+        assert!(!c.access(0), "evicted block must miss");
+    }
+
+    #[test]
+    fn walk_path_matches_event_path_exactly() {
+        let mut fast = Cache::new(1024, 4, 32);
+        let mut walk = Cache::new(1024, 4, 32);
+        walk.set_walk();
+        let mut x = 0x9e37_79b9u64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let addr = (x >> 16) & 0x7FFF;
+            assert_eq!(fast.access(addr), walk.access(addr), "access {i}");
+        }
+        assert_eq!(fast.stats(), walk.stats());
+        assert_eq!(walk.fast_stats(), FastPathStats::default());
+        assert!(fast.fast_stats().fastpath_hits > 0);
+    }
+
+    #[test]
+    fn padded_stride_keeps_lru_for_non_power_of_two_ways() {
+        // 3 ways pad to stride 4; the padding slot must never hit and
+        // never be chosen as a victim, on either path.
+        let mut fast = Cache::with_sets(2, 3, 32);
+        let mut walk = Cache::with_sets(2, 3, 32);
+        walk.set_walk();
+        let mut x = 7u64;
+        for i in 0..5_000u64 {
+            x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
+            let addr = (x & 0x1FF) * 32;
+            assert_eq!(fast.access(addr), walk.access(addr), "access {i}");
+        }
+        assert_eq!(fast.stats(), walk.stats());
+    }
+
+    #[test]
+    fn checked_ratio_guards_zero_denominators() {
+        assert_eq!(checked_ratio(0, 0), 0.0);
+        assert_eq!(checked_ratio(5, 0), 0.0);
+        assert_eq!(checked_ratio(1, 4), 0.25);
+        let untouched = CacheStats::default();
+        assert_eq!(untouched.miss_ratio(), 0.0);
     }
 }

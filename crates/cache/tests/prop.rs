@@ -1,7 +1,7 @@
 //! Property test: the set-associative LRU cache must agree with a naive
 //! reference model (per-set `Vec` ordered by recency).
 
-use hardbound_cache::Cache;
+use hardbound_cache::{AccessClass, Cache, HierFastStats, HierPath, Hierarchy, HierarchyConfig};
 use proptest::prelude::*;
 
 /// Naive reference: each set is a recency-ordered vector of block tags.
@@ -73,5 +73,37 @@ proptest! {
             prop_assert_eq!(predicted, hit);
             reference.access(a);
         }
+    }
+
+    /// Twin hierarchies on the two exact paths, driven by the same
+    /// pseudo-random mixed Data/Tag/Shadow stream: the event-driven path
+    /// (residency filters + branchless scans) must be observation-identical
+    /// to the reference walk — per-access returned stalls, `HierarchyStats`,
+    /// and every per-structure `CacheStats`.
+    #[test]
+    fn event_hierarchy_matches_walk_hierarchy(
+        big_tag_cache in any::<bool>(),
+        stream in prop::collection::vec((0u64..3, 0u64..0x10_0000), 1..1500),
+    ) {
+        let kb = if big_tag_cache { 8 } else { 2 };
+        let cfg = HierarchyConfig::default().with_tag_cache_bytes(kb * 1024);
+        let mut event = Hierarchy::with_path(cfg, HierPath::Event);
+        let mut walk = Hierarchy::with_path(cfg, HierPath::Walk);
+        for (i, &(kind, addr)) in stream.iter().enumerate() {
+            let (class, addr) = match kind {
+                0 => (AccessClass::Data, addr),
+                1 => (AccessClass::Tag, 0x3_0000_0000 + (addr >> 5)),
+                _ => (AccessClass::Shadow, 0x1_0000_0000 + addr),
+            };
+            let a = event.access(class, addr);
+            let b = walk.access(class, addr);
+            prop_assert_eq!(a, b, "stall divergence at access {} addr {:#x}", i, addr);
+        }
+        prop_assert_eq!(event.stats(), walk.stats());
+        prop_assert_eq!(event.l1_stats(), walk.l1_stats());
+        prop_assert_eq!(event.tag_cache_stats(), walk.tag_cache_stats());
+        prop_assert_eq!(event.l2_stats(), walk.l2_stats());
+        prop_assert_eq!(event.dtlb_stats(), walk.dtlb_stats());
+        prop_assert_eq!(walk.fast_stats(), HierFastStats::default());
     }
 }

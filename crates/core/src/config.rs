@@ -1,4 +1,4 @@
-use hardbound_cache::HierarchyConfig;
+use hardbound_cache::{HierPath, HierarchyConfig};
 
 use crate::encoding::PointerEncoding;
 
@@ -145,6 +145,12 @@ pub struct MachineConfig {
     pub max_call_depth: usize,
     /// Metadata fast-path implementation (see [`MetaPath`]).
     pub meta_path: MetaPath,
+    /// Memory-hierarchy lookup machinery (see [`HierPath`]). `Event` and
+    /// `Walk` are exact twins and deliberately share a stable fingerprint
+    /// (like two builds of the same hardware); `Sampled` is approximate
+    /// and therefore excluded from the result store and the wire protocol
+    /// rather than fingerprinted.
+    pub hier_path: HierPath,
 }
 
 impl Default for MachineConfig {
@@ -168,6 +174,7 @@ impl MachineConfig {
             fuel: 4_000_000_000,
             max_call_depth: 1 << 20,
             meta_path: MetaPath::Summary,
+            hier_path: HierPath::Event,
         }
     }
 
@@ -180,6 +187,7 @@ impl MachineConfig {
             fuel: 4_000_000_000,
             max_call_depth: 1 << 20,
             meta_path: MetaPath::Summary,
+            hier_path: HierPath::Event,
         }
     }
 
@@ -204,6 +212,13 @@ impl MachineConfig {
         self.meta_path = meta_path;
         self
     }
+
+    /// Replaces the memory-hierarchy lookup machinery.
+    #[must_use]
+    pub fn with_hier_path(mut self, hier_path: HierPath) -> MachineConfig {
+        self.hier_path = hier_path;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +234,7 @@ mod tests {
         assert!(!hb.check_uop);
         assert_eq!(c.hierarchy.tag_cache_bytes, 2048);
         assert_eq!(c.meta_path, MetaPath::Summary);
+        assert_eq!(c.hier_path, HierPath::Event);
     }
 
     #[test]
@@ -238,11 +254,17 @@ mod tests {
             HardboundConfig::malloc_only(PointerEncoding::Intern11).with_check_uop(),
         )
         .with_fuel(1000)
-        .with_meta_path(MetaPath::Walk);
+        .with_meta_path(MetaPath::Walk)
+        .with_hier_path(HierPath::Walk);
         let hb = c.hardbound.unwrap();
         assert_eq!(hb.mode, SafetyMode::MallocOnly);
         assert!(hb.check_uop);
         assert_eq!(c.fuel, 1000);
         assert_eq!(c.meta_path, MetaPath::Walk);
+        assert_eq!(c.hier_path, HierPath::Walk);
+        assert_eq!(
+            MachineConfig::default().with_hier_path(HierPath::sampled(8)),
+            MachineConfig::default().with_hier_path(HierPath::Sampled { period: 8 })
+        );
     }
 }

@@ -56,7 +56,9 @@ pub use encoding::{
     intern4_compress, intern4_decompress, intern_eligible, Intern4Word, PointerEncoding,
 };
 pub use fingerprint::{stable_fingerprint, Fnv64, StableHash, FINGERPRINT_VERSION};
-pub use hardbound_cache::{HierarchyConfig, HierarchyStats};
+pub use hardbound_cache::{
+    checked_ratio, HierFastStats, HierPath, HierarchyConfig, HierarchyStats,
+};
 pub use machine::{ExecState, Machine, RunOutcome};
 pub use meta::{propagate_binop, Meta};
 pub use objtable::{NullObjectTable, ObjectTable};
@@ -607,6 +609,116 @@ mod tests {
             summary.stats.hierarchy
         );
         assert_eq!(summary.stats.ptr_loads, 1, "reloaded pointer keeps meta");
+    }
+
+    #[test]
+    fn shadow_summary_matches_walk_across_compression_transitions() {
+        // Mirror of `tag_free_pages_skip_tag_traffic` for the shadow-space
+        // summary: spill an *uncompressed* pointer (shadow traffic), then a
+        // compressed one, reload both, and mix in plain stores — the
+        // per-page uncompressed-word counter (Summary) and the tag-plane
+        // walk (Walk) must produce byte-identical statistics, and the
+        // always-charge model must agree on every observable except its
+        // extra metadata traffic.
+        let build = || {
+            let mut f = FunctionBuilder::new("shadowy", 0);
+            f.li(Reg::A0, HEAP);
+            f.setbound_imm(Reg::A0, Reg::A0, 4096); // uncompressible
+            f.li(Reg::A1, HEAP + 8192);
+            f.setbound_imm(Reg::A1, Reg::A1, 64);
+            f.store(Width::Word, Reg::A0, Reg::A1, 0); // uncompressed spill
+            f.load(Width::Word, Reg::A2, Reg::A1, 0); // shadow reload
+            f.store(Width::Word, Reg::A1, Reg::A1, 4); // compressed spill
+            f.store(Width::Word, Reg::ZERO, Reg::A1, 0); // clears the tag
+            f.load(Width::Word, Reg::A3, Reg::A1, 8); // plain data
+            f.li(Reg::A0, 0);
+            f.halt();
+            single(f)
+        };
+        let summary = run_program(build(), MachineConfig::default());
+        let walk = run_program(
+            build(),
+            MachineConfig::default().with_meta_path(MetaPath::Walk),
+        );
+        let charge = run_program(
+            build(),
+            MachineConfig::default().with_meta_path(MetaPath::Charge),
+        );
+        assert!(summary.is_success(), "{:?}", summary.trap);
+        assert_eq!(summary.stats, walk.stats, "summary ≡ walk, byte for byte");
+        assert!(summary.stats.hierarchy.shadow_accesses > 0);
+        assert_eq!(charge.exit_code, summary.exit_code);
+        assert_eq!(
+            charge.stats.hierarchy.shadow_accesses, summary.stats.hierarchy.shadow_accesses,
+            "shadow charges come only from uncompressed pointers on every path"
+        );
+    }
+
+    #[test]
+    fn hier_event_matches_walk_and_reports_fastpath_hits() {
+        let build = || {
+            let mut f = FunctionBuilder::new("hier", 0);
+            f.li(Reg::A0, HEAP);
+            f.setbound_imm(Reg::A0, Reg::A0, 256);
+            for i in 0..32 {
+                f.store(Width::Word, Reg::ZERO, Reg::A0, (i % 16) * 4);
+            }
+            for i in 0..32 {
+                f.load(Width::Word, Reg::A1, Reg::A0, (i % 16) * 4);
+            }
+            f.store(Width::Word, Reg::A0, Reg::A0, 64); // pointer spill
+            f.load(Width::Word, Reg::A2, Reg::A0, 64);
+            f.li(Reg::A0, 0);
+            f.halt();
+            single(f)
+        };
+        let mut event_m = Machine::new(build(), MachineConfig::default());
+        let event = event_m.run();
+        let mut walk_m = Machine::new(
+            build(),
+            MachineConfig::default().with_hier_path(HierPath::Walk),
+        );
+        let walk = walk_m.run();
+        assert!(event.is_success(), "{:?}", event.trap);
+        assert_eq!(event, walk, "Event ≡ Walk on the whole RunOutcome");
+        assert_eq!(
+            walk_m.hier_fast_stats(),
+            HierFastStats::default(),
+            "walk path must not touch filters"
+        );
+        let fast = event_m.hier_fast_stats();
+        assert!(fast.fastpath_hits > 0, "{fast:?}");
+    }
+
+    #[test]
+    fn sampled_hier_keeps_outcome_shape_but_estimates_stalls() {
+        let build = || {
+            let mut f = FunctionBuilder::new("sampled", 0);
+            f.li(Reg::A0, HEAP);
+            f.setbound_imm(Reg::A0, Reg::A0, 4096);
+            for i in 0..64 {
+                f.store(Width::Word, Reg::ZERO, Reg::A0, i * 64);
+            }
+            f.li(Reg::A0, 0);
+            f.halt();
+            single(f)
+        };
+        let exact = run_program(build(), MachineConfig::default());
+        let mut sampled_m = Machine::new(
+            build(),
+            MachineConfig::default().with_hier_path(HierPath::sampled(8)),
+        );
+        let sampled = sampled_m.run();
+        assert!(sampled.is_success());
+        // Architectural results and access counts are exact; stall cycles
+        // (and therefore `stats`) may differ — that's the contract.
+        assert_eq!(sampled.exit_code, exact.exit_code);
+        assert_eq!(sampled.stats.uops, exact.stats.uops);
+        assert_eq!(
+            sampled.stats.hierarchy.data_accesses,
+            exact.stats.hierarchy.data_accesses
+        );
+        assert!(sampled_m.hier_fast_stats().sampled_sets > 0);
     }
 
     #[test]

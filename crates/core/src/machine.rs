@@ -156,7 +156,7 @@ impl Machine {
                 .next_multiple_of(layout::PAGE_SIZE as u32);
         let entry = program.entry;
         let mut m = Machine {
-            hier: Hierarchy::new(cfg.hierarchy),
+            hier: Hierarchy::with_path(cfg.hierarchy, cfg.hier_path),
             block_shift: cfg.hierarchy.block_bytes.trailing_zeros(),
             tag_down_shift: cfg
                 .hardbound
@@ -265,6 +265,14 @@ impl Machine {
     #[must_use]
     pub fn stats(&self) -> &ExecStats {
         &self.stats
+    }
+
+    /// Aggregate residency-filter and sampling counters of the simulated
+    /// hierarchy — machinery telemetry (`hb_hier_fastpath_*`), not part of
+    /// any observational identity.
+    #[must_use]
+    pub fn hier_fast_stats(&self) -> hardbound_cache::HierFastStats {
+        self.hier.fast_stats()
     }
 
     /// Console output so far.
@@ -486,7 +494,35 @@ impl Machine {
         }
     }
 
+    /// The shadow fast path's skip predicate: whether the data page
+    /// containing `ea` is *compressed-only* — no word tagged as an
+    /// uncompressed pointer — so its shadow `{base, bound}` plane holds
+    /// nothing the machine would ever read and the `Shadow` hierarchy
+    /// charge can be elided. Dispatched by [`MetaPath`] exactly like
+    /// [`Machine::tag_free_page`] (Summary: the maintained per-page
+    /// counter; Walk: recomputed from the tag plane; Charge: never skip),
+    /// so the Summary ≡ Walk identity suites cover the bookkeeping.
+    #[inline]
+    fn shadow_free_page(&self, ea: u32) -> bool {
+        match self.meta_path {
+            MetaPath::Charge => false,
+            MetaPath::Walk => self.mem.page_uncompressed_free_walk(ea),
+            MetaPath::Summary => self.mem.page_uncompressed_free(ea),
+        }
+    }
+
     fn charge_shadow(&mut self, ea: u32) {
+        if self.shadow_free_page(ea) {
+            // Compressed-only page: eliding the charge is exact because a
+            // shadow plane with no uncompressed words is never consulted.
+            // Every *current* call site observes or writes an uncompressed
+            // tag on the page immediately before charging, so today this
+            // gate is an invariant safety valve rather than a live fast
+            // path — the debug_assert documents that, and the identity
+            // suites would catch any call site that changes it.
+            debug_assert!(false, "charge_shadow reached a compressed-only page");
+            return;
+        }
         // Shadow traffic shares the dTLB and L1 with ordinary data, so the
         // data-repeat memo no longer proves anything.
         self.last_data_block = u64::MAX;

@@ -52,6 +52,30 @@ fn opt_metrics() -> &'static OptMetrics {
     })
 }
 
+/// Global memory-hierarchy metric handles, resolved once (same rationale
+/// as [`decode_us_hist`]). `hb_hier_us` records the wall time of each
+/// [`Engine::run`] — the window over which that run's fast-path counters
+/// accumulated.
+struct HierMetrics {
+    fastpath_hits: Counter,
+    fastpath_misses: Counter,
+    sampled_sets: Counter,
+    hier_us: Histogram,
+}
+
+fn hier_metrics() -> &'static HierMetrics {
+    static M: OnceLock<HierMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = hardbound_telemetry::global();
+        HierMetrics {
+            fastpath_hits: reg.counter("hb_hier_fastpath_hits"),
+            fastpath_misses: reg.counter("hb_hier_fastpath_misses"),
+            sampled_sets: reg.counter("hb_hier_sampled_sets"),
+            hier_us: reg.histogram("hb_hier_us"),
+        }
+    })
+}
+
 /// Counters describing how a run was executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -190,6 +214,8 @@ impl<'c> Engine<'c> {
     /// Runs to halt, trap, or fuel exhaustion — observationally identical
     /// to [`Machine::run`].
     pub fn run(&mut self) -> RunOutcome {
+        let run_start = Instant::now();
+        let fast_before = self.machine.hier_fast_stats();
         // After a block that ended in pure intra-function control flow
         // (branch/jump, or a call that entered its callee cleanly), the
         // machine cannot have halted or trapped, so the state re-check is
@@ -224,7 +250,18 @@ impl<'c> Engine<'c> {
             }
             check_state = !self.exec_block(id, func);
         }
-        self.machine.finish_outcome()
+        let outcome = self.machine.finish_outcome();
+        let fast = self.machine.hier_fast_stats();
+        let m = hier_metrics();
+        m.fastpath_hits
+            .add(fast.fastpath_hits - fast_before.fastpath_hits);
+        m.fastpath_misses
+            .add(fast.fastpath_misses - fast_before.fastpath_misses);
+        m.sampled_sets
+            .add(fast.sampled_sets - fast_before.sampled_sets);
+        m.hier_us
+            .record(run_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        outcome
     }
 
     /// Engine-level counters for the run so far.

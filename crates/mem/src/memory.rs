@@ -32,15 +32,24 @@ struct MetaPlane {
     /// Per-page summary: number of words with a nonzero shadow
     /// `{base, bound}` entry.
     shadow_words: u32,
+    /// Per-page summary: number of words whose tag marks an
+    /// *uncompressed* pointer (tag ≥ 2 — the machine's `TAG_UNCOMPRESSED`;
+    /// 0 is non-pointer, 1 a compressed pointer whose bounds live in the
+    /// tag itself). Only uncompressed pointers ever touch the shadow
+    /// space, so "no uncompressed word on this page" lets the machine's
+    /// shadow fast path skip the Shadow hierarchy charge in O(1).
+    uncompressed_words: u32,
 }
 
 impl MetaPlane {
-    /// Writes `tags[word] = tag`, keeping the summary count exact.
+    /// Writes `tags[word] = tag`, keeping the summary counts exact.
     #[inline]
     fn write_tag(&mut self, word: usize, tag: u8) {
         let old = self.tags[word];
         self.tag_words += u32::from(old == 0 && tag != 0);
         self.tag_words -= u32::from(old != 0 && tag == 0);
+        self.uncompressed_words += u32::from(old < 2 && tag >= 2);
+        self.uncompressed_words -= u32::from(old >= 2 && tag < 2);
         self.tags[word] = tag;
     }
 
@@ -77,6 +86,7 @@ impl Page {
             tags: Box::new([0u8; WORDS_PER_PAGE]),
             tag_words: 0,
             shadow_words: 0,
+            uncompressed_words: 0,
         })
     }
 }
@@ -384,6 +394,38 @@ impl Memory {
         }
     }
 
+    /// Number of words tagged as uncompressed pointers (tag ≥ 2) on the
+    /// 4 KB page containing `addr`, from the maintained per-page summary.
+    #[must_use]
+    pub fn page_uncompressed_words(&self, addr: u32) -> u32 {
+        match self.page(addr).and_then(|p| p.meta.as_ref()) {
+            Some(m) => m.uncompressed_words,
+            None => 0,
+        }
+    }
+
+    /// Whether no word on the 4 KB page containing `addr` is tagged as an
+    /// uncompressed pointer — the page is "compressed-only", so its shadow
+    /// `{base, bound}` plane is never consulted and the machine's shadow
+    /// fast path may skip the Shadow hierarchy charge. Answered from the
+    /// maintained summary in O(1).
+    #[inline]
+    #[must_use]
+    pub fn page_uncompressed_free(&self, addr: u32) -> bool {
+        self.page_uncompressed_words(addr) == 0
+    }
+
+    /// [`Memory::page_uncompressed_free`] computed the unsummarized way:
+    /// by walking the page's tag plane. The reference implementation the
+    /// summary is differenced against.
+    #[must_use]
+    pub fn page_uncompressed_free_walk(&self, addr: u32) -> bool {
+        match self.page(addr).and_then(|p| p.meta.as_ref()) {
+            Some(m) => m.tags.iter().all(|&t| t < 2),
+            None => true,
+        }
+    }
+
     /// Number of data pages actually materialized (diagnostic).
     #[must_use]
     pub fn mapped_data_pages(&self) -> usize {
@@ -542,6 +584,45 @@ mod tests {
         assert_eq!(m.page_tag_words(0xA000), 0);
         m.write_word_tagged(0xA004, 2, 5);
         assert_eq!(m.page_tag_words(0xA000), 1);
+    }
+
+    #[test]
+    fn uncompressed_summary_tracks_tag_transitions() {
+        let mut m = Memory::new();
+        assert!(m.page_uncompressed_free(0xB000));
+        assert!(m.page_uncompressed_free_walk(0xB000));
+
+        // Compressed pointers (tag 1) never count.
+        m.set_tag(0xB000, 1);
+        assert_eq!(m.page_uncompressed_words(0xB000), 0);
+        assert!(m.page_uncompressed_free(0xB000));
+        assert!(m.page_uncompressed_free_walk(0xB000));
+
+        // Uncompressed (tag 2) counts; transitions in every direction
+        // keep the summary exact and agreeing with the walk.
+        m.set_tag(0xB004, 2);
+        assert_eq!(m.page_uncompressed_words(0xB000), 1);
+        assert!(!m.page_uncompressed_free(0xB123));
+        assert!(!m.page_uncompressed_free_walk(0xB123));
+        m.set_tag(0xB000, 2); // compressed -> uncompressed
+        assert_eq!(m.page_uncompressed_words(0xB000), 2);
+        m.set_tag(0xB004, 1); // uncompressed -> compressed
+        assert_eq!(m.page_uncompressed_words(0xB000), 1);
+        m.set_tag(0xB000, 0); // uncompressed -> none
+        assert_eq!(m.page_uncompressed_words(0xB000), 0);
+        assert!(m.page_uncompressed_free(0xB000));
+        assert!(m.page_uncompressed_free_walk(0xB000));
+        assert_eq!(
+            m.page_uncompressed_words(0xC000),
+            0,
+            "other pages untouched"
+        );
+
+        // The combined pointer-write API maintains it too.
+        m.write_word_pointer(0xB008, 0x0100_0000, 2, (0x0100_0000, 0x0100_0040));
+        assert_eq!(m.page_uncompressed_words(0xB000), 1);
+        m.write_word_tagged(0xB008, 0, 0);
+        assert_eq!(m.page_uncompressed_words(0xB000), 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 use std::process::ExitCode;
 
 use hardbound_compiler::Mode;
-use hardbound_core::{MetaPath, PointerEncoding};
+use hardbound_core::{checked_ratio, MetaPath, PointerEncoding};
 use hardbound_exec::{Engine, OptConfig};
 use hardbound_isa::Program;
 use hardbound_runtime::{
@@ -267,6 +267,36 @@ fn main() -> ExitCode {
             s.hierarchy.data_stall_cycles,
             s.metadata_stall_cycles()
         );
+        // Per-class stall intensity. Structures a mode never touches (the
+        // tag and shadow planes under baseline, shadow under malloc-only
+        // programs with no uncompressed pointers) report 0.0, not NaN —
+        // every ratio routes through the checked helper.
+        eprintln!(
+            "stalls/access:   {:.2} data, {:.2} tag, {:.2} base/bound",
+            checked_ratio(s.hierarchy.data_stall_cycles, s.hierarchy.data_accesses),
+            checked_ratio(s.hierarchy.tag_stall_cycles, s.hierarchy.tag_accesses),
+            checked_ratio(s.hierarchy.shadow_stall_cycles, s.hierarchy.shadow_accesses),
+        );
+        if args.engine {
+            // Hierarchy lookup-machinery activity, read back from the
+            // process registry (the engine records residency-filter and
+            // sampling counters there after each run).
+            let m = metrics_snapshot();
+            let (fast_hits, fast_misses) = (
+                m.counter("hb_hier_fastpath_hits"),
+                m.counter("hb_hier_fastpath_misses"),
+            );
+            eprintln!(
+                "hier fast path:  {} proofs, {} scans ({:.1}% proved){}",
+                fast_hits,
+                fast_misses,
+                100.0 * checked_ratio(fast_hits, fast_hits + fast_misses),
+                match m.counter("hb_hier_sampled_sets") {
+                    0 => String::new(),
+                    n => format!(", {n} sampled sets [APPROXIMATE]"),
+                }
+            );
+        }
         let cc = compile_cache_stats();
         eprintln!("compile cache:   {} hits, {} misses", cc.hits, cc.misses);
         let opt = OptConfig::from_env();

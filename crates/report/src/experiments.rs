@@ -13,7 +13,9 @@
 //! emit byte-identical tables (pinned by `tests/service_differential.rs`).
 
 use hardbound_compiler::Mode;
-use hardbound_core::{ExecStats, HardboundConfig, MachineConfig, PointerEncoding, RunOutcome};
+use hardbound_core::{
+    checked_ratio, ExecStats, HardboundConfig, MachineConfig, PointerEncoding, RunOutcome,
+};
 use hardbound_exec::batch;
 use hardbound_runtime::{compile, machine_config, meta_path_default, run_jobs, SimJob};
 use hardbound_violations::{corpus, Addressing, CaseResult, CorpusReport, TestCase};
@@ -113,12 +115,17 @@ impl Fig5Row {
     /// Total relative runtime (`instrumented / baseline`).
     #[must_use]
     pub fn relative_runtime(&self) -> f64 {
-        self.hb_cycles as f64 / self.base_cycles as f64
+        checked_ratio(self.hb_cycles, self.base_cycles)
     }
 
-    /// One overhead component as a fraction of baseline cycles.
+    /// One overhead component as a fraction of baseline cycles. The
+    /// numerator is signed (pollution can be negative), so this guards the
+    /// zero denominator inline with [`checked_ratio`]'s convention.
     #[must_use]
     pub fn frac(&self, cycles: f64) -> f64 {
+        if self.base_cycles == 0 {
+            return 0.0;
+        }
         cycles / self.base_cycles as f64
     }
 }
@@ -180,7 +187,10 @@ impl Fig6Row {
     /// Extra pages as a fraction of the baseline (the paper's y-axis).
     #[must_use]
     pub fn extra_fraction(&self) -> f64 {
-        (self.tag_pages + self.shadow_pages) as f64 / self.base_pages as f64
+        checked_ratio(
+            (self.tag_pages + self.shadow_pages) as u64,
+            self.base_pages as u64,
+        )
     }
 }
 
@@ -249,17 +259,17 @@ pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
         .iter()
         .zip(runs)
         .map(|(w, outs)| {
-            let bc = outs[0].stats.cycles() as f64;
-            let bu = outs[0].stats.uops as f64;
+            let bc = outs[0].stats.cycles();
+            let bu = outs[0].stats.uops;
             let mut hardbound = [0.0; 3];
             for (i, h) in hardbound.iter_mut().enumerate() {
-                *h = outs[3 + i].stats.cycles() as f64 / bc;
+                *h = checked_ratio(outs[3 + i].stats.cycles(), bc);
             }
             Fig7Row {
                 bench: w.name,
-                objtable_runtime: outs[1].stats.cycles() as f64 / bc,
-                softbound_uops: outs[2].stats.uops as f64 / bu,
-                softbound_runtime: outs[2].stats.cycles() as f64 / bc,
+                objtable_runtime: checked_ratio(outs[1].stats.cycles(), bc),
+                softbound_uops: checked_ratio(outs[2].stats.uops, bu),
+                softbound_runtime: checked_ratio(outs[2].stats.cycles(), bc),
                 hardbound,
             }
         })
@@ -303,13 +313,13 @@ pub fn ablation_check_uop(scale: Scale) -> Vec<AblationRow> {
     let runs = run_grid(&workloads, &specs);
     let mut rows = Vec::new();
     for (w, outs) in workloads.iter().zip(runs) {
-        let bc = outs[0].stats.cycles() as f64;
+        let bc = outs[0].stats.cycles();
         for (i, encoding) in PointerEncoding::ALL.into_iter().enumerate() {
             rows.push(AblationRow {
                 bench: w.name,
                 encoding,
-                parallel_check: outs[1 + 2 * i].stats.cycles() as f64 / bc,
-                shared_alu_check: outs[2 + 2 * i].stats.cycles() as f64 / bc,
+                parallel_check: checked_ratio(outs[1 + 2 * i].stats.cycles(), bc),
+                shared_alu_check: checked_ratio(outs[2 + 2 * i].stats.cycles(), bc),
             });
         }
     }
@@ -348,13 +358,13 @@ pub fn tag_cache_sweep(scale: Scale, sizes: &[u64]) -> Vec<TagCacheRow> {
     let runs = run_grid(&workloads, &specs);
     let mut rows = Vec::new();
     for (w, outs) in workloads.iter().zip(runs) {
-        let bc = outs[0].stats.cycles() as f64;
+        let bc = outs[0].stats.cycles();
         for (i, &bytes) in sizes.iter().enumerate() {
             let out = &outs[1 + i];
             rows.push(TagCacheRow {
                 bench: w.name,
                 tag_cache_bytes: bytes,
-                relative_runtime: out.stats.cycles() as f64 / bc,
+                relative_runtime: checked_ratio(out.stats.cycles(), bc),
                 tag_stall_cycles: out.stats.hierarchy.tag_stall_cycles,
             });
         }
@@ -451,13 +461,13 @@ impl GranularityRow {
     /// Detection rate over the sub-object slice, in `[0, 1]`.
     #[must_use]
     pub fn subobject_rate(&self) -> f64 {
-        self.subobject_detected as f64 / self.subobject_total.max(1) as f64
+        checked_ratio(self.subobject_detected as u64, self.subobject_total as u64)
     }
 
     /// Detection rate over the rest of the corpus, in `[0, 1]`.
     #[must_use]
     pub fn other_rate(&self) -> f64 {
-        self.other_detected as f64 / self.other_total.max(1) as f64
+        checked_ratio(self.other_detected as u64, self.other_total as u64)
     }
 }
 

@@ -3,7 +3,7 @@
 
 use std::fmt::Write as _;
 
-use hardbound_core::PointerEncoding;
+use hardbound_core::{checked_ratio, PointerEncoding};
 use hardbound_workloads::published;
 
 use crate::experiments::{
@@ -79,8 +79,8 @@ pub fn fig6_table(rows: &[Fig6Row]) -> String {
             r.bench,
             r.encoding.label(),
             r.base_pages,
-            100.0 * r.tag_pages as f64 / r.base_pages as f64,
-            100.0 * r.shadow_pages as f64 / r.base_pages as f64,
+            100.0 * checked_ratio(r.tag_pages as u64, r.base_pages as u64),
+            100.0 * checked_ratio(r.shadow_pages as u64, r.base_pages as u64),
             100.0 * r.extra_fraction(),
         );
     }
@@ -288,6 +288,26 @@ mod tests {
         let r = sample_fig5_row();
         assert!((r.relative_runtime() - 1.09).abs() < 1e-9);
         assert!((r.frac(20.0) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_render_as_zero_not_nan() {
+        // A structure nothing ever touched (zero baseline cycles/pages)
+        // must render 0.0, never NaN.
+        let mut r = sample_fig5_row();
+        r.base_cycles = 0;
+        assert_eq!(r.relative_runtime(), 0.0);
+        assert_eq!(r.frac(20.0), 0.0);
+
+        let f6 = fig6_table(&[Fig6Row {
+            bench: "empty",
+            encoding: PointerEncoding::Intern11,
+            base_pages: 0,
+            tag_pages: 0,
+            shadow_pages: 0,
+        }]);
+        assert!(!f6.contains("NaN"), "{f6}");
+        assert!(f6.contains("0.0%"), "{f6}");
     }
 
     #[test]

@@ -92,6 +92,7 @@ fn disasm_listing_round_trips_through_dot_s() {
                 !l.starts_with("result store:")
                     && !l.starts_with("block cache:")
                     && !l.starts_with("programs:")
+                    && !l.starts_with("hier fast path:")
             })
             .collect::<Vec<_>>()
             .join("\n")

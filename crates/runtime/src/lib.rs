@@ -51,7 +51,7 @@ use std::time::Instant;
 
 use hardbound_compiler::{compile_program, CompileError, Mode, Options};
 use hardbound_core::{
-    Fnv64, HardboundConfig, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome,
+    Fnv64, HardboundConfig, HierPath, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome,
 };
 use hardbound_exec::service::{config_fingerprint, Job};
 use hardbound_exec::{batch, ProgramId, ServiceStats};
@@ -257,10 +257,34 @@ pub fn meta_path_default() -> MetaPath {
     }
 }
 
+/// The default [`HierPath`], from the environment:
+///
+/// * `HB_HIER_SAMPLE=K` (power of two ≥ 2) selects the explicitly
+///   *approximate* 1-in-K set-sampled hierarchy — capacity-planning
+///   sweeps only; never stored, never shipped to a server;
+/// * otherwise `HB_HIER_FAST` (default on) selects the exact event-driven
+///   fast path, and `HB_HIER_FAST=0` the exact reference walk.
+///
+/// # Panics
+///
+/// Panics when `HB_HIER_SAMPLE` is set to anything but a power of two ≥ 2.
+#[must_use]
+pub fn hier_path_default() -> HierPath {
+    if let Some(k) = env_parse::<u32>("HB_HIER_SAMPLE").unwrap_or_else(|e| panic!("{e}")) {
+        return HierPath::sampled(k);
+    }
+    if env_flag("HB_HIER_FAST").unwrap_or(true) {
+        HierPath::Event
+    } else {
+        HierPath::Walk
+    }
+}
+
 /// The machine configuration that corresponds to a compiler mode (paper
 /// §5.1): HardBound hardware for the HardBound/MallocOnly modes, the plain
 /// baseline machine for the software-only schemes. The metadata fast path
-/// follows [`meta_path_default`].
+/// follows [`meta_path_default`], the hierarchy lookup machinery
+/// [`hier_path_default`].
 #[must_use]
 pub fn machine_config(mode: Mode, encoding: PointerEncoding) -> MachineConfig {
     let cfg = match mode {
@@ -269,6 +293,7 @@ pub fn machine_config(mode: Mode, encoding: PointerEncoding) -> MachineConfig {
         Mode::HardBound => MachineConfig::hardbound(HardboundConfig::full(encoding)),
     };
     cfg.with_meta_path(meta_path_default())
+        .with_hier_path(hier_path_default())
 }
 
 /// Builds a machine for `program` under `mode`, attaching the splay-tree
@@ -577,6 +602,17 @@ pub fn run_jobs(jobs: Vec<SimJob>) -> Vec<RunOutcome> {
         });
     }
     if let Some(addrs) = serve_addrs() {
+        // The wire codec deliberately does not express `hier_path`:
+        // `Sampled` is approximate and shares a stable fingerprint with its
+        // exact twins, so shipping such a job would silently run `Event` on
+        // the server and hand back an exact outcome the caller believes is
+        // sampled (or worse, a warm-store replay). Fail loudly instead.
+        assert!(
+            !jobs.iter().any(|j| j.config.hier_path.is_sampled()),
+            "HierPath::Sampled cannot run through HB_SERVE_ADDR: the wire \
+             protocol deliberately does not express approximate hierarchy \
+             modes. Unset HB_HIER_SAMPLE (or HB_SERVE_ADDR) for this grid."
+        );
         return run_jobs_remote_to(&addrs, &jobs);
     }
     let jobs: Vec<Job<Mode>> = jobs

@@ -1731,6 +1731,24 @@ mod tests {
             ServeError::Server(msg) => assert!(msg.contains("power of two"), "{msg}"),
             other => panic!("expected a server rejection, got {other}"),
         }
+        // A TLB whose entry count does not divide into its way count used
+        // to silently truncate the TLB; it is now rejected at the wire, on
+        // both protocol versions.
+        bad_tag[0].config.hierarchy.l1_bytes = 8192;
+        bad_tag[0].config.hierarchy.tlb_entries = 387;
+        bad_tag[0].config.hierarchy.tlb_ways = 6;
+        match client.run_jobs(&bad_tag).unwrap_err() {
+            ServeError::Server(msg) => {
+                assert!(msg.contains("387 entries do not divide"), "{msg}");
+            }
+            other => panic!("expected a server rejection, got {other}"),
+        }
+        match client.submit(&bad_tag).unwrap_err() {
+            ServeError::Server(msg) => {
+                assert!(msg.contains("387 entries do not divide"), "{msg}");
+            }
+            other => panic!("expected a server rejection, got {other}"),
+        }
 
         // The connection survives rejections; a good job still runs.
         let good = vec![WireJob::new(&counting_program(3), cfg, 0, 0)];

@@ -11,9 +11,15 @@
 //! `MetaPath::Walk` (the unsummarized tag-plane walk), on both execution
 //! paths, and all four outcomes must be byte-identical — `ExecStats` and
 //! `HierarchyStats` included.
+//!
+//! The **hierarchy lookup machinery** is pinned the same way: each
+//! program also runs under `HierPath::Walk` (the reference way-walk) on
+//! both execution paths, and must be byte-identical to the default
+//! event-driven residency-proof path (`HierPath::Event`) — the two are
+//! exact twins by construction, differing only in how a set is searched.
 
 use hardbound::compiler::Mode;
-use hardbound::core::{Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome};
+use hardbound::core::{HierPath, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome};
 use hardbound::exec::{Engine, OptConfig};
 use hardbound::isa::{fuzz, FuncId, Function, Inst, Program, SysCall};
 use hardbound::runtime::{build_machine, build_machine_with_config, compile, machine_config};
@@ -68,6 +74,21 @@ fn differential_cb(label: &str, source: &str, mode: Mode, encoding: PointerEncod
         &format!("{label}/engine summary-vs-walk"),
         &engine,
         &engine_walk,
+    );
+    // The hierarchy lookup twin: the reference way-walk must match the
+    // default event-driven path on both execution paths.
+    let hier_cfg = cfg(MetaPath::Summary).with_hier_path(HierPath::Walk);
+    let interp_hier = build_machine_with_config(program.clone(), mode, hier_cfg.clone()).run();
+    let engine_hier = Engine::new(build_machine_with_config(program.clone(), mode, hier_cfg)).run();
+    assert_identical(
+        &format!("{label}/interp event-vs-hier-walk"),
+        &interp,
+        &interp_hier,
+    );
+    assert_identical(
+        &format!("{label}/engine event-vs-hier-walk"),
+        &engine,
+        &engine_hier,
     );
     for (opt, leg) in [(OptConfig::ON, "opt"), (OptConfig::AUDIT, "opt+audit")] {
         let opt_run = Engine::with_opt(build(MetaPath::Summary), opt).run();
@@ -223,14 +244,21 @@ fn fuzz_programs_agree_across_modes_and_encodings() {
             // variant re-checks the fast-path identity on hostile inputs.
             let cfg = machine_config(mode, encoding).with_fuel(100_000);
             let walk_cfg = cfg.clone().with_meta_path(MetaPath::Walk);
+            let hier_cfg = cfg.clone().with_hier_path(HierPath::Walk);
             let interp = Machine::new(program.clone(), cfg.clone()).run();
             let engine = Engine::new(Machine::new(program.clone(), cfg.clone())).run();
             let engine_walk = Engine::new(Machine::new(program.clone(), walk_cfg)).run();
+            let engine_hier = Engine::new(Machine::new(program.clone(), hier_cfg)).run();
             let audited =
                 Engine::with_opt(Machine::new(program.clone(), cfg), OptConfig::AUDIT).run();
             let label = format!("fuzz-{seed}/{mode}/{encoding}");
             assert_identical(&label, &interp, &engine);
             assert_identical(&format!("{label}/summary-vs-walk"), &engine, &engine_walk);
+            assert_identical(
+                &format!("{label}/event-vs-hier-walk"),
+                &engine,
+                &engine_hier,
+            );
             assert_identical(&format!("{label}/opt+audit"), &interp, &audited);
         }
     }
