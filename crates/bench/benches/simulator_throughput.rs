@@ -39,6 +39,12 @@
 //! tracing-enabled throughput within 10%), so span emission can never
 //! creep into the hot path.
 //!
+//! Set `HB_PROF_GATE=<ratio>` to gate the **profiling overhead**: an
+//! identical engine fleet with the per-superblock hot-spot profiler armed
+//! must stay within `<ratio>`× of the unprofiled baseline (CI pins `1.1`
+//! — profiled throughput within 10%), so retire-counter bookkeeping can
+//! never creep into the dispatch loop.
+//!
 //! Set `HB_HIER_GATE=<ratio>` to gate the **hierarchy fast path**: an
 //! irregular-gather fleet whose hot blocks stay resident must run at
 //! least `<ratio>`× faster under `HierPath::Event` (residency-proof
@@ -798,6 +804,62 @@ fn trace_overhead_report() {
     }
 }
 
+/// The profiling overhead comparison (and optional CI gate): identical
+/// engine fleet runs with the per-superblock hot-spot profiler armed vs
+/// off. Each pass builds fresh engines, so the profiled side pays the
+/// full per-block bookkeeping (retire counters, cycle attribution, the
+/// end-of-run flush into the process accumulator), not just a disabled
+/// `Option` check. Gated via `HB_PROF_GATE=<ratio>`, CI pins `1.1`
+/// (profiled throughput within 10% of baseline). Independent of the
+/// gate, the profiled passes must actually populate the accumulator and
+/// the two sides must produce identical outcomes.
+fn prof_overhead_report() {
+    use hardbound_telemetry::profile;
+    let gate = env_parse::<f64>("HB_PROF_GATE").unwrap_or_else(|e| panic!("{e}"));
+    let scale = scale_from_env();
+    let samples = match scale {
+        Scale::Smoke => 10,
+        Scale::Full => 3,
+    };
+    let programs: Vec<Program> = all(scale)
+        .iter()
+        .map(|w| compile(&w.source, Mode::HardBound).expect("compiles"))
+        .collect();
+    let fleet = |profiled: bool| {
+        for p in &programs {
+            let machine = build_machine(p.clone(), Mode::HardBound, PointerEncoding::Intern4);
+            let mut engine = Engine::new(machine);
+            engine.set_profiling(profiled);
+            let out = engine.run();
+            assert!(out.trap.is_none());
+        }
+    };
+    let _ = profile::global().take();
+    let (off, on) = compare(samples, || fleet(false), || fleet(true));
+    let recorded = profile::global().take();
+    assert!(
+        recorded.total_execs() > 0,
+        "the profiled passes must record block retires"
+    );
+    let ratio = on.as_secs_f64() / off.as_secs_f64();
+    println!(
+        "\nprofiling overhead ({scale:?} fleet, engine; {} blocks profiled):",
+        recorded.blocks.len()
+    );
+    println!(
+        "  {:<24} off {off:>10.2?}  on {on:>10.2?}  ratio {ratio:>5.2}x",
+        "HB_PROF hot-spot profiler"
+    );
+    if let Some(allowed) = gate {
+        assert!(
+            ratio <= allowed,
+            "prof gate: profiled fleet runs at {ratio:.2}x the unprofiled baseline, \
+             above the allowed {allowed:.2}x"
+        );
+        println!("  gate: {ratio:.2}x <= {allowed:.2}x — ok");
+    }
+}
+
 criterion_group!(benches, bench_simulation, bench_compilation);
 
 fn main() {
@@ -810,4 +872,5 @@ fn main() {
     service_warm_cold_report();
     persist_warm_report();
     trace_overhead_report();
+    prof_overhead_report();
 }

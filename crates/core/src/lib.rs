@@ -45,6 +45,7 @@
 mod config;
 mod encoding;
 pub mod fingerprint;
+pub mod forensics;
 mod machine;
 mod meta;
 mod objtable;
@@ -56,6 +57,10 @@ pub use encoding::{
     intern4_compress, intern4_decompress, intern_eligible, Intern4Word, PointerEncoding,
 };
 pub use fingerprint::{stable_fingerprint, Fnv64, StableHash, FINGERPRINT_VERSION};
+pub use forensics::{
+    BoundsOrigin, FlightEvent, FlightRecorder, OobDistance, PageMetaSummary, ViolationReport,
+    WindowLine,
+};
 pub use hardbound_cache::{
     checked_ratio, HierFastStats, HierPath, HierarchyConfig, HierarchyStats,
 };
@@ -102,6 +107,60 @@ mod tests {
         // Line 5's increment kept the bounds: {base+1; base; base+4}.
         assert_eq!(m.reg(Reg::A3), HEAP + 1);
         assert_eq!(m.reg_meta(Reg::A3), Meta::object(HEAP, 4));
+    }
+
+    #[test]
+    fn violation_report_names_setbound_site_and_flight_tail() {
+        let mut f = FunctionBuilder::new("fig2", 0);
+        f.li(Reg::A0, HEAP); //                   0
+        f.setbound_imm(Reg::A1, Reg::A0, 4); //   1: the blamed site
+        f.load(Width::Byte, Reg::A2, Reg::A1, 2); // 2: passes
+        f.load(Width::Byte, Reg::A2, Reg::A1, 5); // 3: traps
+        f.halt();
+        let mut m = Machine::new(single(f), MachineConfig::default());
+        m.enable_flight(8);
+        assert!(m.violation_report().is_none(), "no report before the trap");
+        let out = m.run();
+        assert!(matches!(out.trap, Some(Trap::BoundsViolation { .. })));
+        let rep = m.violation_report().expect("trapped machine has a report");
+        match rep.origin {
+            BoundsOrigin::Setbound { site, id } => {
+                assert_eq!(
+                    site,
+                    Pc {
+                        func: FuncId(0),
+                        index: 1
+                    }
+                );
+                assert_eq!(id, 0);
+            }
+            other => panic!("expected setbound origin, got {other:?}"),
+        }
+        assert_eq!(rep.oob, Some(OobDistance::PastBound(1)));
+        assert_eq!(rep.bounds, Some((HEAP, HEAP + 4)));
+        assert!(rep.window.iter().any(|l| l.is_fault && l.index == 3));
+        // Both loads (the trapping one included) are in the flight tail.
+        assert_eq!(rep.flight.len(), 2);
+        assert!(rep.flight[1].addr == HEAP + 5 && !rep.flight[1].is_store);
+        let text = rep.to_string();
+        assert!(text.contains("setbound at fn#0@1"), "{text}");
+        assert!(text.contains("1 bytes past bound"), "{text}");
+    }
+
+    #[test]
+    fn flight_recorder_is_invisible_to_outcomes() {
+        let mut f = FunctionBuilder::new("loopy", 0);
+        f.li(Reg::A0, HEAP);
+        f.setbound_imm(Reg::A1, Reg::A0, 64);
+        f.store(Width::Word, Reg::A0, Reg::A1, 8);
+        f.load(Width::Word, Reg::A2, Reg::A1, 8);
+        f.load(Width::Byte, Reg::A2, Reg::A1, 99); // traps
+        f.halt();
+        let prog = single(f);
+        let plain = run_program(prog.clone(), MachineConfig::default());
+        let mut m = Machine::new(prog, MachineConfig::default());
+        m.enable_flight(4);
+        assert_eq!(m.run(), plain);
     }
 
     #[test]

@@ -1,9 +1,14 @@
+use std::collections::HashMap;
+
 use hardbound_cache::{AccessClass, Hierarchy};
 use hardbound_isa::layout;
 use hardbound_isa::{BinOp, FuncId, Inst, Operand, Program, Reg, SysCall, Width};
 use hardbound_mem::{Memory, PageTouches};
 
 use crate::config::{MachineConfig, MetaPath, SafetyMode};
+use crate::forensics::{
+    BoundsOrigin, FlightEvent, FlightRecorder, PageMetaSummary, ViolationReport, WindowLine,
+};
 use crate::meta::{propagate_binop, Meta};
 use crate::objtable::ObjectTable;
 use crate::stats::ExecStats;
@@ -115,6 +120,16 @@ pub struct Machine {
     /// entries matter: real loops alternate between a handful of pages
     /// (two arrays, the frame), and a single-entry memo thrashes.
     tag_free_pages: [u32; TAG_FREE_MEMO_SIZE],
+    /// Bounds provenance: the site PC and monotonic allocation id of the
+    /// most recent `setbound` that produced each `{base, bound}` pair.
+    /// Forensics-only — never consulted on the execution path and
+    /// invisible to [`RunOutcome`] equality.
+    bounds_origins: HashMap<(u32, u32), (Pc, u64)>,
+    /// Next provenance id to allocate.
+    next_origin: u64,
+    /// The `HB_FLIGHT` ring of recent memory events (`None` = off, the
+    /// default: one discriminant test per access, nothing recorded).
+    flight: Option<FlightRecorder>,
 }
 
 /// Entries in the machine's direct-mapped tag-free-page memo.
@@ -182,6 +197,9 @@ impl Machine {
             trap: None,
             objtable: None,
             globals_end,
+            bounds_origins: HashMap::new(),
+            next_origin: 0,
+            flight: None,
         };
         // Set up the entry function's frame directly (there is no caller).
         let entry_frame = m.program.functions[entry.0 as usize].frame_size;
@@ -279,6 +297,108 @@ impl Machine {
     #[must_use]
     pub fn output(&self) -> &str {
         &self.output
+    }
+
+    /// Enables the flight recorder: the machine keeps the last `depth`
+    /// memory events for [`Machine::violation_report`]. Off by default
+    /// (`HB_FLIGHT=N` turns it on via the runtime); recording touches no
+    /// statistics, so outcomes are byte-identical either way.
+    pub fn enable_flight(&mut self, depth: usize) {
+        self.flight = Some(FlightRecorder::new(depth));
+    }
+
+    /// Records one `setbound`'s bounds provenance: `site` created `meta`'s
+    /// `{base, bound}` pair, under the next monotonic provenance id.
+    #[inline]
+    fn record_setbound(&mut self, site: Pc, meta: Meta) {
+        let id = self.next_origin;
+        self.next_origin += 1;
+        self.bounds_origins
+            .insert((meta.base, meta.bound), (site, id));
+    }
+
+    /// Appends one memory event to the flight recorder, if enabled.
+    #[inline]
+    fn note_flight(&mut self, pc: Pc, addr: u32, width: u32, is_store: bool) {
+        if let Some(fr) = self.flight.as_mut() {
+            fr.record(FlightEvent {
+                uop: self.stats.uops,
+                pc,
+                addr,
+                width: width as u8,
+                is_store,
+            });
+        }
+    }
+
+    /// Assembles the structured forensics report for a trapped machine:
+    /// the trap, the out-of-bounds distance, the originating `setbound`
+    /// site from the provenance table, the faulting page's tag/shadow
+    /// summary counters, a disassembled code window, and the flight
+    /// recorder's tail. `None` while the machine has not trapped.
+    #[must_use]
+    pub fn violation_report(&self) -> Option<ViolationReport> {
+        let trap = self.trap?;
+        let pc = trap.pc();
+        let (addr, bounds) = match trap {
+            Trap::BoundsViolation {
+                addr, base, bound, ..
+            } => (Some(addr), Some((base, bound))),
+            Trap::NonPointerDereference { addr, .. }
+            | Trap::WildAddress { addr, .. }
+            | Trap::ObjectTableViolation { addr, .. } => (Some(addr), None),
+            _ => (None, None),
+        };
+        let oob = match (addr, bounds) {
+            (Some(a), Some((base, bound))) => Some(ViolationReport::distance(a, base, bound)),
+            _ => None,
+        };
+        let origin = match bounds {
+            Some((base, bound)) => {
+                let meta = Meta { base, bound };
+                if self.is_region_meta(meta) {
+                    BoundsOrigin::Region
+                } else if let Some(&(site, id)) = self.bounds_origins.get(&(base, bound)) {
+                    BoundsOrigin::Setbound { site, id }
+                } else {
+                    BoundsOrigin::Unknown
+                }
+            }
+            None => BoundsOrigin::Unknown,
+        };
+        let page = addr.map(|a| PageMetaSummary {
+            page: a >> 12,
+            tag_words: self.mem.page_tag_words(a),
+            shadow_words: self.mem.page_shadow_words(a),
+            uncompressed_words: self.mem.page_uncompressed_words(a),
+        });
+        let window = pc.map_or_else(Vec::new, |pc| {
+            let insts = &self.program.functions[pc.func.0 as usize].insts;
+            let lo = pc.index.saturating_sub(2);
+            let hi = (pc.index + 3).min(insts.len() as u32);
+            (lo..hi)
+                .map(|i| WindowLine {
+                    index: i,
+                    text: insts[i as usize].to_string(),
+                    is_fault: i == pc.index,
+                })
+                .collect()
+        });
+        let flight = self
+            .flight
+            .as_ref()
+            .map_or_else(Vec::new, FlightRecorder::tail);
+        Some(ViolationReport {
+            trap,
+            pc,
+            addr,
+            bounds,
+            oob,
+            origin,
+            page,
+            window,
+            flight,
+        })
     }
 
     /// Direct register read (for tests and the Figure 2 walkthrough).
@@ -565,6 +685,9 @@ impl Machine {
     ) -> Result<(), Trap> {
         debug_assert_eq!(HB, self.cfg.hardbound.is_some());
         let ea = self.r(addr).wrapping_add(offset as u32);
+        if self.flight.is_some() {
+            self.note_flight(fpc, ea, width.bytes(), false);
+        }
         if HB {
             let ameta = self.m(addr);
             self.implicit_check(fpc, ea, width.bytes(), ameta, false)?;
@@ -660,6 +783,9 @@ impl Machine {
     ) -> Result<(), Trap> {
         debug_assert_eq!(HB, self.cfg.hardbound.is_some());
         let ea = self.r(addr).wrapping_add(offset as u32);
+        if self.flight.is_some() {
+            self.note_flight(fpc, ea, width.bytes(), true);
+        }
         if HB {
             let ameta = self.m(addr);
             self.implicit_check(fpc, ea, width.bytes(), ameta, true)?;
@@ -822,6 +948,9 @@ impl Machine {
         stats: bool,
     ) {
         let ea = self.r(addr).wrapping_add(offset as u32);
+        if self.flight.is_some() {
+            self.note_flight(fpc, ea, width.bytes(), false);
+        }
         let meta = self.m(addr);
         if audit {
             self.audit_elided(fpc, ea, width.bytes(), meta, false);
@@ -846,6 +975,9 @@ impl Machine {
         stats: bool,
     ) {
         let ea = self.r(addr).wrapping_add(offset as u32);
+        if self.flight.is_some() {
+            self.note_flight(fpc, ea, width.bytes(), true);
+        }
         let meta = self.m(addr);
         if audit {
             self.audit_elided(fpc, ea, width.bytes(), meta, true);
@@ -1092,7 +1224,9 @@ impl Machine {
                 self.stats.setbound_uops += 1;
                 let value = self.r(rs);
                 let (size, _) = self.resolve(size);
-                self.set(rd, value, Meta::object(value, size));
+                let meta = Meta::object(value, size);
+                self.record_setbound(fpc, meta);
+                self.set(rd, value, meta);
             }
             Inst::Unbound { rd, rs } => {
                 // Counted with setbound: both are bounds-manipulation µops
@@ -1257,6 +1391,16 @@ impl ExecState<'_> {
     #[inline]
     pub fn count_setbound(&mut self) {
         self.m.stats.setbound_uops += 1;
+    }
+
+    /// Records the bounds provenance of a `setbound` executed by the
+    /// engine: `site` created `meta`'s `{base, bound}` pair. The engine's
+    /// straight-line dispatch bypasses [`Machine::step`], so it must feed
+    /// the provenance table itself (the table backs
+    /// [`Machine::violation_report`] and never affects execution).
+    #[inline]
+    pub fn note_setbound(&mut self, site: Pc, meta: Meta) {
+        self.m.record_setbound(site, meta);
     }
 
     /// Load with the HardBound extension statically known inactive

@@ -90,6 +90,26 @@ pub enum Trap {
 }
 
 impl Trap {
+    /// The program counter of the trapping instruction, for traps that
+    /// have one ([`Trap::CallDepthExceeded`], [`Trap::StackOverflow`] and
+    /// [`Trap::OutOfFuel`] are machine-level conditions without a single
+    /// faulting instruction; [`Trap::SoftwareAbort`] is program-requested).
+    #[must_use]
+    pub fn pc(&self) -> Option<Pc> {
+        match self {
+            Trap::BoundsViolation { pc, .. }
+            | Trap::NonPointerDereference { pc, .. }
+            | Trap::InvalidCallTarget { pc, .. }
+            | Trap::WildAddress { pc, .. }
+            | Trap::ObjectTableViolation { pc, .. }
+            | Trap::DivideByZero { pc } => Some(*pc),
+            Trap::SoftwareAbort { .. }
+            | Trap::CallDepthExceeded
+            | Trap::StackOverflow
+            | Trap::OutOfFuel => None,
+        }
+    }
+
     /// Whether this trap represents a *detected spatial-safety violation*
     /// (as opposed to a machine/infrastructure fault). The correctness
     /// suite (§5.2) counts these as detections.

@@ -15,7 +15,9 @@ use std::time::Instant;
 
 use hardbound_core::{ExecState, Machine, MachineConfig, Meta, Pc, RunOutcome, Trap};
 use hardbound_isa::{BinOp, FuncId, Program};
-use hardbound_telemetry::{trace, Counter, Field, Histogram, SpanId, SpanTimer};
+use hardbound_telemetry::{
+    trace, BlockKey, BlockStat, Counter, Field, Histogram, SpanId, SpanTimer,
+};
 
 use crate::block::{Block, BlockCacheStats, ProgramId, SharedBlockCache};
 use crate::opt::{self, OptConfig};
@@ -74,6 +76,48 @@ fn hier_metrics() -> &'static HierMetrics {
             hier_us: reg.histogram("hb_hier_us"),
         }
     })
+}
+
+/// Whether `HB_PROF` enables the hot-spot profiler by default (read once;
+/// [`Engine::set_profiling`] overrides per engine, which is what tests use
+/// to exercise both states inside one process).
+fn profiling_default() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("HB_PROF")
+            .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+            .unwrap_or(false)
+    })
+}
+
+/// Per-superblock retire counters accumulated while profiling. The static
+/// check mix of the block (`static_elided` / `static_taken`) is computed
+/// once on first execution and credited per retire, so the per-dispatch
+/// cost of profiling is four counter bumps behind one indexed load.
+#[derive(Clone, Default)]
+struct ProfCell {
+    /// Identity of the block this cell is counting (`execs == 0` marks an
+    /// untouched cell).
+    func: u32,
+    entry: u32,
+    execs: u64,
+    cycles: u64,
+    elided: u64,
+    taken: u64,
+    static_elided: u64,
+    static_taken: u64,
+}
+
+/// One run's profiler state. `cells` is a flat vector indexed by
+/// block-cache id — the hot-path dispatch credit is an indexed bump, not
+/// a hash lookup. If the cache reuses a slot for a different block
+/// mid-run (eviction/invalidation), the displaced cell moves to
+/// `spilled` so no retire is ever dropped; both drain into the
+/// process-wide accumulator at the end of the run.
+#[derive(Default)]
+struct BlockProfile {
+    cells: Vec<ProfCell>,
+    spilled: Vec<ProfCell>,
 }
 
 /// Counters describing how a run was executed.
@@ -135,6 +179,12 @@ pub struct Engine<'c> {
     blocks_executed: u64,
     fast_uops: u64,
     stepped_insts: u64,
+    /// Hot-spot profiler: per-block retire counters indexed by cache id,
+    /// flushed into the process-wide
+    /// [`hardbound_telemetry::profile::global`] accumulator at the end of
+    /// each run. `None` (the default unless `HB_PROF` is set) costs one
+    /// `Option` test per dispatched block and changes nothing observable.
+    profile: Option<BlockProfile>,
 }
 
 impl Engine<'static> {
@@ -202,7 +252,15 @@ impl<'c> Engine<'c> {
             blocks_executed: 0,
             fast_uops: 0,
             stepped_insts: 0,
+            profile: profiling_default().then(BlockProfile::default),
         }
+    }
+
+    /// Turns the hot-spot profiler on or off for this engine, overriding
+    /// the `HB_PROF` default. Enabling mid-run starts attribution at the
+    /// next dispatched block; disabling drops any unflushed counters.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profile = on.then(BlockProfile::default);
     }
 
     /// The content-hash identity this engine's program is cached under.
@@ -248,8 +306,15 @@ impl<'c> Engine<'c> {
                 self.interp_tail();
                 break;
             }
-            check_state = !self.exec_block(id, func);
+            if self.profile.is_some() {
+                let uops_before = self.machine.exec_state().uops();
+                check_state = !self.exec_block(id, func);
+                self.note_block_profile(func, pc, id, uops_before);
+            } else {
+                check_state = !self.exec_block(id, func);
+            }
         }
+        self.flush_profile();
         let outcome = self.machine.finish_outcome();
         let fast = self.machine.hier_fast_stats();
         let m = hier_metrics();
@@ -482,6 +547,82 @@ impl<'c> Engine<'c> {
             }
             u => unreachable!("non-terminator {u:?} at block end"),
         }
+    }
+
+    /// Credits one dispatch of the block at `(func, entry)` to the
+    /// profiler: one execution, the µops the machine retired across the
+    /// dispatch (guarded fallback paths and `Step` interpreter escapes
+    /// included — the delta is read from the machine's own retire counter,
+    /// so attribution follows wherever dispatch actually went), and the
+    /// block's static elided/taken check mix.
+    fn note_block_profile(&mut self, func: FuncId, entry: u32, id: usize, uops_before: u64) {
+        let uops_after = self.machine.exec_state().uops();
+        let Some(prof) = self.profile.as_mut() else {
+            return;
+        };
+        if id >= prof.cells.len() {
+            prof.cells.resize_with(id + 1, ProfCell::default);
+        }
+        let cell = &mut prof.cells[id];
+        if cell.execs != 0 && (cell.func, cell.entry) != (func.0, entry) {
+            // The cache reused this slot for a different block mid-run;
+            // park the displaced counts for the flush.
+            prof.spilled.push(cell.clone());
+            *cell = ProfCell::default();
+        }
+        if cell.execs == 0 {
+            let block = self.cache.get().block(id);
+            cell.func = func.0;
+            cell.entry = entry;
+            cell.static_elided = elided_in(&block.uops);
+            cell.static_taken = block
+                .uops
+                .iter()
+                .filter(|u| matches!(u, Uop::LoadHb { .. } | Uop::StoreHb { .. }))
+                .count() as u64;
+        }
+        cell.execs += 1;
+        cell.cycles += uops_after - uops_before;
+        cell.elided += cell.static_elided;
+        cell.taken += cell.static_taken;
+    }
+
+    /// Drains this run's per-block counters into the process-wide profile
+    /// accumulator (labelled with function names from the program image and
+    /// keyed under the program's stable content hash, so profiles from
+    /// different processes — or different shards — merge exactly).
+    fn flush_profile(&mut self) {
+        let Some(prof) = self.profile.as_mut() else {
+            return;
+        };
+        if prof.cells.is_empty() && prof.spilled.is_empty() {
+            return;
+        }
+        let cells = std::mem::take(&mut prof.cells);
+        let spilled = std::mem::take(&mut prof.spilled);
+        let program = self.machine.program();
+        let mut p = hardbound_telemetry::Profile::new();
+        for cell in cells.iter().chain(&spilled) {
+            if cell.execs == 0 {
+                continue;
+            }
+            let name = program.func(FuncId(cell.func)).name.clone();
+            p.record(
+                BlockKey {
+                    prog: self.pid.0,
+                    func: cell.func,
+                    entry: cell.entry,
+                },
+                &BlockStat {
+                    name,
+                    execs: cell.execs,
+                    cycles: cell.cycles,
+                    elided: cell.elided,
+                    taken: cell.taken,
+                },
+            );
+        }
+        hardbound_telemetry::profile::global().add(&p);
     }
 
     /// Finishes the run on the interpreter — the exact `Machine::run` loop.
@@ -841,16 +982,20 @@ fn exec_straight<const AUDIT: bool, const BATCH: bool>(
             offset,
             pc,
         } => st.store_hb_elided(pc, width, src, addr, offset, AUDIT, !BATCH),
-        Uop::SetBoundRR { rd, rs, size } => {
+        Uop::SetBoundRR { rd, rs, size, pc } => {
             st.count_setbound();
             let value = st.reg(rs);
             let size = st.reg(size);
-            st.set_reg(rd, value, Meta::object(value, size));
+            let meta = Meta::object(value, size);
+            st.note_setbound(pc, meta);
+            st.set_reg(rd, value, meta);
         }
-        Uop::SetBoundRI { rd, rs, size } => {
+        Uop::SetBoundRI { rd, rs, size, pc } => {
             st.count_setbound();
             let value = st.reg(rs);
-            st.set_reg(rd, value, Meta::object(value, size));
+            let meta = Meta::object(value, size);
+            st.note_setbound(pc, meta);
+            st.set_reg(rd, value, meta);
         }
         Uop::Unbound { rd, rs } => {
             st.count_setbound();
@@ -1202,6 +1347,65 @@ mod tests {
             let out = e.run();
             assert_eq!(out, interp, "opt {opt:?} diverged");
         }
+    }
+
+    #[test]
+    fn profiling_changes_nothing_observable_and_attributes_all_blocks() {
+        let build = || {
+            let mut f = FunctionBuilder::new("profloop", 0);
+            f.li(Reg::A0, 0);
+            f.li(Reg::T0, hardbound_isa::layout::HEAP_BASE);
+            f.setbound_imm(Reg::A1, Reg::T0, 64);
+            let head = f.bind_label();
+            f.load(Width::Word, Reg::A2, Reg::A1, 0);
+            f.addi(Reg::A0, Reg::A0, 1);
+            let done = f.new_label();
+            f.branch(CmpOp::Ge, Reg::A0, 25, done);
+            f.jump(head);
+            f.bind(done);
+            f.li(Reg::A0, 0);
+            f.halt();
+            Program::with_entry(vec![f.finish()])
+        };
+        let plain = run_program(build(), MachineConfig::default());
+        let drained = hardbound_telemetry::profile::global().take();
+        let mut e = Engine::new(Machine::new(build(), MachineConfig::default()));
+        e.set_profiling(true);
+        let profiled = e.run();
+        assert_eq!(profiled, plain, "profiling must be invisible to outcomes");
+        let blocks_executed = e.stats().blocks_executed;
+        let p = hardbound_telemetry::profile::global().take();
+        // Other tests in this process may flush concurrently, so filter to
+        // this engine's program before asserting exact conservation.
+        let pid = e.program_id().0;
+        let execs: u64 = p
+            .blocks
+            .iter()
+            .filter(|(k, _)| k.prog == pid)
+            .map(|(_, s)| s.execs)
+            .sum();
+        let cycles: u64 = p
+            .blocks
+            .iter()
+            .filter(|(k, _)| k.prog == pid)
+            .map(|(_, s)| s.cycles)
+            .sum();
+        assert_eq!(
+            execs, blocks_executed,
+            "every dispatched block must be attributed exactly once"
+        );
+        assert_eq!(
+            cycles, profiled.stats.uops,
+            "all retired µops must be attributed to some block"
+        );
+        assert!(
+            p.blocks
+                .iter()
+                .any(|(k, s)| k.prog == pid && s.name == "profloop" && s.taken > 0),
+            "the loop block must show its taken checks: {p:?}"
+        );
+        // Restore anything another test had accumulated.
+        hardbound_telemetry::profile::global().add(&drained);
     }
 
     #[test]

@@ -243,6 +243,10 @@ pub enum Uop {
         rs: Reg,
         /// Size register.
         size: Reg,
+        /// Own position (the bounds-provenance site recorded for
+        /// violation forensics — dispatch bypasses `Machine::step`, so
+        /// the site travels with the µop).
+        pc: Pc,
     },
     /// `setbound` with an immediate size.
     SetBoundRI {
@@ -252,6 +256,8 @@ pub enum Uop {
         rs: Reg,
         /// Size in bytes.
         size: u32,
+        /// Own position (bounds-provenance site).
+        pc: Pc,
     },
     /// The §3.2 escape hatch.
     Unbound {
@@ -475,11 +481,12 @@ pub fn decode_inst(inst: Inst, cfg: &MachineConfig, func: FuncId, idx: u32) -> U
             }
         }
         Inst::SetBound { rd, rs, size } => match size {
-            Operand::Reg(size) => Uop::SetBoundRR { rd, rs, size },
+            Operand::Reg(size) => Uop::SetBoundRR { rd, rs, size, pc },
             Operand::Imm(i) => Uop::SetBoundRI {
                 rd,
                 rs,
                 size: i as u32,
+                pc,
             },
         },
         Inst::Unbound { rd, rs } => Uop::Unbound { rd, rs },

@@ -5,7 +5,7 @@
 //! cargo run -p hardbound-report --bin hbrun -- program.cb \
 //!     [--mode baseline|malloc-only|hardbound|softbound|objtable] \
 //!     [--encoding extern-4|intern-4|intern-11] [--stats] [--metrics] \
-//!     [--disasm] [--engine|--interp] [--opt|--no-opt]
+//!     [--disasm] [--engine|--interp] [--opt|--no-opt] [--profile]
 //! ```
 //!
 //! Inputs ending in `.s` are treated as assembly listings in the
@@ -30,6 +30,15 @@
 //! report result-store and block-cache counters; `--metrics` dumps the
 //! full process-global metrics registry (the same cells, Prometheus text
 //! form) to stderr after the run.
+//!
+//! `--profile` arms the engine's per-superblock hot-spot profiler (the
+//! same switch as `HB_PROF=1`) and, after the run, prints the ranked-PC
+//! table and the folded-stack (flamegraph collapse) text to stderr. On
+//! any trap, `hbrun` re-runs the program on a forensics interpreter and
+//! prints the structured violation report — faulting PC with a
+//! disassembled window, out-of-bounds distance, originating `setbound`
+//! site, page metadata summary, and the `HB_FLIGHT=N` flight-recorder
+//! tail when armed.
 
 use std::process::ExitCode;
 
@@ -50,6 +59,7 @@ struct Args {
     metrics: bool,
     disasm: bool,
     engine: bool,
+    profile: bool,
     meta: Option<MetaPath>,
 }
 
@@ -60,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
     let mut stats = false;
     let mut metrics = false;
     let mut disasm = false;
+    let mut profile = false;
     // `HB_INTERP=1` flips the default; the flags below override both.
     let mut engine = engine_default();
     // `HB_META_FAST=0` flips the metadata fast path; `--meta` overrides.
@@ -100,6 +111,13 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => stats = true,
             "--metrics" => metrics = true,
             "--disasm" => disasm = true,
+            // Same env plumbing as --opt: engines read HB_PROF once at
+            // construction, and nothing constructs one before argument
+            // parsing finishes.
+            "--profile" => {
+                profile = true;
+                std::env::set_var("HB_PROF", "1");
+            }
             "--engine" => engine = true,
             "--interp" => engine = false,
             // The optimizer rides the same env plumbing every other layer
@@ -114,7 +132,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: hbrun FILE.{cb,s} [FILE.{cb,s} ...] [--mode M] [--encoding E] \
                      [--stats] [--metrics] [--disasm] [--engine|--interp] [--opt|--no-opt] \
-                     [--meta summary|walk|charge]"
+                     [--profile] [--meta summary|walk|charge]"
                         .to_owned(),
                 )
             }
@@ -133,6 +151,7 @@ fn parse_args() -> Result<Args, String> {
         metrics,
         disasm,
         engine,
+        profile,
         meta,
     })
 }
@@ -217,6 +236,14 @@ fn main() -> ExitCode {
     // HB_SERVICE is consulted here — `service_enabled()` would re-read
     // HB_INTERP and silently defeat an explicit `--engine`.
     let through_service = args.engine && env_flag("HB_SERVICE").unwrap_or(true);
+    // `--stats` reports *this run's* registry activity: snapshot the
+    // process-global cells before executing and print the delta after, so
+    // a long-lived embedder (or a test running two grids back to back)
+    // never sees one run's counters polluted by an earlier one.
+    let registry_before = args.stats.then(metrics_snapshot);
+    // Forensics re-runs on a fresh interpreter machine after a trap; the
+    // run paths below consume the image, so keep a copy for that path.
+    let forensics = (program.clone(), config.clone());
     let out = if through_service {
         run_job(program, args.mode, config)
     } else {
@@ -231,8 +258,18 @@ fn main() -> ExitCode {
     print!("{}", out.output);
     if let Some(trap) = &out.trap {
         eprintln!("trap: {trap}");
+        let (program, config) = forensics;
+        if let Some(report) = hardbound_runtime::violation_report(program, args.mode, config) {
+            eprint!("{report}");
+        }
     }
     if args.stats {
+        // Per-run registry activity (see the snapshot above the run).
+        let registry = metrics_snapshot().delta(
+            registry_before
+                .as_ref()
+                .expect("--stats snapshots the registry before the run"),
+        );
         let s = &out.stats;
         eprintln!(
             "-- stats ({} mode, {} encoding, {}) --",
@@ -281,17 +318,16 @@ fn main() -> ExitCode {
             // Hierarchy lookup-machinery activity, read back from the
             // process registry (the engine records residency-filter and
             // sampling counters there after each run).
-            let m = metrics_snapshot();
             let (fast_hits, fast_misses) = (
-                m.counter("hb_hier_fastpath_hits"),
-                m.counter("hb_hier_fastpath_misses"),
+                registry.counter("hb_hier_fastpath_hits"),
+                registry.counter("hb_hier_fastpath_misses"),
             );
             eprintln!(
                 "hier fast path:  {} proofs, {} scans ({:.1}% proved){}",
                 fast_hits,
                 fast_misses,
                 100.0 * checked_ratio(fast_hits, fast_hits + fast_misses),
-                match m.counter("hb_hier_sampled_sets") {
+                match registry.counter("hb_hier_sampled_sets") {
                     0 => String::new(),
                     n => format!(", {n} sampled sets [APPROXIMATE]"),
                 }
@@ -303,13 +339,12 @@ fn main() -> ExitCode {
         if opt.enabled {
             // Decode-time optimizer activity, read back from the process
             // registry (the engine records there as it optimizes blocks).
-            let m = metrics_snapshot();
             eprintln!(
                 "opt checks:      {} emitted, {} elided, {} hoisted, {} coalesced{}",
-                m.counter("hb_checks_emitted"),
-                m.counter("hb_checks_elided"),
-                m.counter("hb_checks_hoisted"),
-                m.counter("hb_checks_coalesced"),
+                registry.counter("hb_checks_emitted"),
+                registry.counter("hb_checks_elided"),
+                registry.counter("hb_checks_hoisted"),
+                registry.counter("hb_checks_coalesced"),
                 if opt.audit { " [audited]" } else { "" }
             );
         }
@@ -373,6 +408,16 @@ fn main() -> ExitCode {
         // The full registry exposition — the same cells `--stats` (and a
         // server's `METRICS` request) read, in Prometheus text form.
         eprint!("{}", metrics_snapshot().render());
+    }
+    if args.profile {
+        // The engine flushed its per-block counters into the process-wide
+        // accumulator at the end of the run; both renders read the same
+        // snapshot so the table and the folded stacks agree exactly.
+        let p = hardbound_telemetry::profile::global().snapshot();
+        eprintln!("-- hot-spot profile (ranked blocks) --");
+        eprint!("{}", p.render_table(20));
+        eprintln!("-- folded stacks (flamegraph collapse) --");
+        eprint!("{}", p.render_folded());
     }
     // The HB_TRACE sink is a static BufWriter with no exit destructor;
     // flush here so bare-engine/interpreter runs keep their spans too.

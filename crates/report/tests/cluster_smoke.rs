@@ -38,9 +38,16 @@ impl Drop for ServerGuard {
 }
 
 fn spawn_server(extra: &[&str]) -> ServerGuard {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_hbserve"))
-        .args(["--listen", "127.0.0.1:0"])
-        .args(extra)
+    spawn_server_with_env(extra, &[])
+}
+
+fn spawn_server_with_env(extra: &[&str], env: &[(&str, &str)]) -> ServerGuard {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hbserve"));
+    cmd.args(["--listen", "127.0.0.1:0"]).args(extra);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -282,6 +289,95 @@ fn shard_killed_mid_grid_recovers() {
     assert_eq!(
         out, expected,
         "a shard dying mid-grid must degrade to retry/re-route, not corrupt cells"
+    );
+}
+
+/// The profiler acceptance criterion: a grid over a 3-shard cluster
+/// running with `HB_PROF=1` yields per-shard hot-spot profiles whose
+/// client-side merge conserves counts **exactly** — every merged block's
+/// retire count equals the sum of that block's per-shard counts, and the
+/// merged totals equal the summed per-shard totals. Profiling the servers
+/// must not change a single grid outcome, and after a shard dies the
+/// merge must degrade to the survivors (reported as skipped, never an
+/// error).
+#[test]
+fn profiled_cluster_merges_with_exact_count_conservation() {
+    let mut cluster: Vec<ServerGuard> = (0..3)
+        .map(|k| spawn_server_with_env(&["--shard", &format!("{k}/3")], &[("HB_PROF", "1")]))
+        .collect();
+    let addrs = addrs_of(&cluster);
+    let (sim_jobs, local_jobs) = grid();
+    let expected = reference(&local_jobs);
+
+    let out = run_jobs_remote_to(&addrs, &sim_jobs);
+    assert_eq!(
+        out, expected,
+        "profiling on the servers must not change a single grid outcome"
+    );
+
+    // Scrape each shard the same way a dashboard would, then merge the
+    // cluster through the runtime helper.
+    let per_shard: Vec<hardbound_telemetry::Profile> = cluster
+        .iter()
+        .map(|g| {
+            Client::connect(&g.addr)
+                .expect("connects")
+                .profile()
+                .expect("profile scrape")
+        })
+        .collect();
+    assert!(
+        per_shard.iter().all(|p| p.total_execs() > 0),
+        "every shard executed cells, so every shard must have profile data"
+    );
+    let (merged, skipped) = hardbound_runtime::cluster_profile(&addrs);
+    assert!(skipped.is_empty(), "all shards alive, none may be skipped");
+
+    // Exact conservation, block by block and in total.
+    assert_eq!(
+        merged.total_execs(),
+        per_shard
+            .iter()
+            .map(hardbound_telemetry::Profile::total_execs)
+            .sum::<u64>(),
+        "merged block retires must equal the sum of per-shard scrapes"
+    );
+    assert_eq!(
+        merged.total_cycles(),
+        per_shard
+            .iter()
+            .map(hardbound_telemetry::Profile::total_cycles)
+            .sum::<u64>(),
+        "merged cycle attribution must equal the sum of per-shard scrapes"
+    );
+    for (key, stat) in &merged.blocks {
+        let (execs, cycles) = per_shard
+            .iter()
+            .filter_map(|p| p.blocks.get(key))
+            .fold((0u64, 0u64), |(e, c), s| (e + s.execs, c + s.cycles));
+        assert_eq!(
+            (stat.execs, stat.cycles),
+            (execs, cycles),
+            "block {key:?} not conserved by the merge"
+        );
+    }
+
+    // Kill shard 1: the merge degrades to the survivors and stays exact.
+    {
+        let dead = &mut cluster[1];
+        dead.child.kill().expect("kill");
+        dead.child.wait().expect("reap");
+    }
+    let (survivors, skipped) = hardbound_runtime::cluster_profile(&addrs);
+    assert_eq!(
+        skipped,
+        vec![addrs[1].clone()],
+        "exactly the dead shard is reported as skipped"
+    );
+    assert_eq!(
+        survivors.total_execs(),
+        per_shard[0].total_execs() + per_shard[2].total_execs(),
+        "survivor merge must equal the sum of the surviving shards' scrapes"
     );
 }
 

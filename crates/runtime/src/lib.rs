@@ -51,7 +51,8 @@ use std::time::Instant;
 
 use hardbound_compiler::{compile_program, CompileError, Mode, Options};
 use hardbound_core::{
-    Fnv64, HardboundConfig, HierPath, Machine, MachineConfig, MetaPath, PointerEncoding, RunOutcome,
+    BoundsOrigin, Fnv64, HardboundConfig, HierPath, Machine, MachineConfig, MetaPath,
+    PointerEncoding, RunOutcome, ViolationReport,
 };
 use hardbound_exec::service::{config_fingerprint, Job};
 use hardbound_exec::{batch, ProgramId, ServiceStats};
@@ -296,6 +297,20 @@ pub fn machine_config(mode: Mode, encoding: PointerEncoding) -> MachineConfig {
         .with_hier_path(hier_path_default())
 }
 
+/// The flight-recorder depth (`HB_FLIGHT=N`): `None` when unset, empty or
+/// `0` — the default, under which machines pay one `Option` discriminant
+/// test per memory access and record nothing.
+///
+/// # Panics
+///
+/// Panics with a diagnostic on an unparseable value.
+#[must_use]
+pub fn flight_depth() -> Option<usize> {
+    env_parse::<usize>("HB_FLIGHT")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .filter(|&n| n > 0)
+}
+
 /// Builds a machine for `program` under `mode`, attaching the splay-tree
 /// object table when the mode needs one.
 #[must_use]
@@ -305,13 +320,82 @@ pub fn build_machine(program: Program, mode: Mode, encoding: PointerEncoding) ->
 
 /// [`build_machine`] with an explicit configuration (used by the ablation
 /// experiments that tweak the hierarchy or enable the check-µop model).
+/// `HB_FLIGHT=N` arms the machine's flight recorder — invisible to
+/// [`RunOutcome`] equality, so every differential suite holds either way.
 #[must_use]
 pub fn build_machine_with_config(program: Program, mode: Mode, config: MachineConfig) -> Machine {
     let mut m = Machine::new(program, config);
     if mode == Mode::ObjectTable {
         m.set_object_table(Box::new(SplayTable::new()));
     }
+    if let Some(depth) = flight_depth() {
+        m.enable_flight(depth);
+    }
     m
+}
+
+/// Assembles the violation forensics report for a trapped run of
+/// `program`: a fresh machine (flight recorder armed per `HB_FLIGHT`)
+/// re-runs the cell on the interpreter and hands back its
+/// [`Machine::violation_report`]. `None` when the run does not trap.
+///
+/// The re-run is how forensics stay free on the hot paths: outcomes from
+/// the engine, the result store, or a remote shard carry no machine state,
+/// so the (rare, already-failed) trapping cell is replayed once, in full,
+/// with the provenance table and flight recorder live.
+#[must_use]
+pub fn violation_report(
+    program: Program,
+    mode: Mode,
+    config: MachineConfig,
+) -> Option<ViolationReport> {
+    let mut m = build_machine_with_config(program, mode, config);
+    let _ = m.run();
+    let report = m.violation_report();
+    if let Some(r) = &report {
+        emit_violation_span(r);
+    }
+    report
+}
+
+/// Emits one `violation` span carrying the report's forensics fields into
+/// the JSONL trace sink (no-op when `HB_TRACE` is off), so traced cluster
+/// runs ship structured forensics alongside their timing spans.
+pub fn emit_violation_span(report: &ViolationReport) {
+    if !trace::enabled() {
+        return;
+    }
+    let timer = SpanTimer::start(trace::new_trace(), SpanId::NONE, "violation");
+    let mut fields = vec![("trap".to_owned(), Field::from(report.trap.to_string()))];
+    if let Some(pc) = report.pc {
+        fields.push(("pc".to_owned(), Field::from(pc.to_string())));
+    }
+    if let Some(addr) = report.addr {
+        fields.push(("addr".to_owned(), Field::from(u64::from(addr))));
+    }
+    if let Some((base, bound)) = report.bounds {
+        fields.push(("base".to_owned(), Field::from(u64::from(base))));
+        fields.push(("bound".to_owned(), Field::from(u64::from(bound))));
+    }
+    if let Some(oob) = report.oob {
+        fields.push(("oob".to_owned(), Field::from(oob.to_string())));
+    }
+    match report.origin {
+        BoundsOrigin::Setbound { site, id } => {
+            fields.push(("setbound_site".to_owned(), Field::from(site.to_string())));
+            fields.push(("provenance_id".to_owned(), Field::from(id)));
+        }
+        BoundsOrigin::Region => {
+            fields.push(("origin".to_owned(), Field::from("region")));
+        }
+        BoundsOrigin::Unknown => {}
+    }
+    fields.push((
+        "flight_events".to_owned(),
+        Field::from(report.flight.len() as u64),
+    ));
+    timer.emit(fields);
+    trace::flush();
 }
 
 /// Compile (with runtime), build the paired machine, and run to completion
@@ -855,6 +939,29 @@ pub fn run_jobs_remote_to(addrs: &[String], jobs: &[SimJob]) -> Vec<RunOutcome> 
         .into_iter()
         .map(|r| r.expect("every group resolved or failed loudly"))
         .collect()
+}
+
+/// Scrapes and merges the hot-spot profiles of every reachable shard in
+/// `addrs` into one cluster-wide [`hardbound_telemetry::Profile`]. Merging
+/// is exact summation key-by-key, so the merged block counts equal the
+/// sums of the per-shard counts. Unreachable shards and pre-profile
+/// servers (which answer `ERR "unknown request kind"`) contribute an
+/// empty profile — the same degradation path the result fetchers use for
+/// a killed shard; their addresses come back in the second element.
+#[must_use]
+pub fn cluster_profile(addrs: &[String]) -> (hardbound_telemetry::Profile, Vec<String>) {
+    let mut merged = hardbound_telemetry::Profile::new();
+    let mut skipped = Vec::new();
+    for addr in addrs {
+        let scraped = Client::connect(addr)
+            .map_err(ServeError::from)
+            .and_then(|mut c| c.profile());
+        match scraped {
+            Ok(p) => merged.merge(&p),
+            Err(_) => skipped.push(addr.clone()),
+        }
+    }
+    (merged, skipped)
 }
 
 /// [`run_jobs`] for a single cell (`hbrun`, one-shot tools).

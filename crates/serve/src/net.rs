@@ -25,6 +25,7 @@
 //! | `POLL` | ticket id (u64) |
 //! | `STATS` | empty |
 //! | `METRICS` | empty |
+//! | `PROFILE` | empty |
 //! | `SHUTDOWN` | empty |
 //!
 //! Responses: `RESULTS` (start index u32, count u32, then `count` encoded
@@ -32,8 +33,12 @@
 //! job count u32), `TICKET_STATUS` (total u32, ready u32, finished u8,
 //! failed u8), `STATS` (counters), `SPANS` (span count u32, then encoded
 //! trace spans — only ever sent while watching a ticket that was submitted
-//! *with* trace context), `METRICS` (Prometheus-style text), and `ERR`
-//! (diagnostic string — the whole request is rejected; nothing executed).
+//! *with* trace context), `METRICS` (Prometheus-style text), `PROFILE`
+//! (the shard's accumulated hot-spot profile in `Profile::to_text` form —
+//! populated when the server runs with `HB_PROF=1`; pre-profile servers
+//! answer `ERR "unknown request kind"` and clients treat that as an empty
+//! profile), and `ERR` (diagnostic string — the whole request is
+//! rejected; nothing executed).
 //!
 //! ## Version negotiation
 //!
@@ -94,6 +99,7 @@ const REQ_WATCH: u8 = 5;
 const REQ_POLL: u8 = 6;
 const REQ_SUBMIT3: u8 = 7;
 const REQ_METRICS: u8 = 8;
+const REQ_PROFILE: u8 = 9;
 /// Response kinds (server → client).
 const RESP_RESULTS: u8 = 16;
 const RESP_DONE: u8 = 17;
@@ -103,6 +109,7 @@ const RESP_TICKET: u8 = 20;
 const RESP_TICKET_STATUS: u8 = 21;
 const RESP_SPANS: u8 = 22;
 const RESP_METRICS: u8 = 23;
+const RESP_PROFILE: u8 = 24;
 
 /// Cells executed (and streamed) per service-lock acquisition: small
 /// enough that results flow back while the tail still runs and that
@@ -676,6 +683,7 @@ fn handle_conn(mut stream: TcpStream, ctx: &ConnCtx) {
             REQ_POLL => serve_poll(&mut stream, ctx, &payload),
             REQ_STATS => serve_stats(&mut stream, ctx),
             REQ_METRICS => serve_metrics(&mut stream, ctx),
+            REQ_PROFILE => serve_profile(&mut stream),
             REQ_SHUTDOWN => {
                 ctx.shutdown.store(true, Ordering::SeqCst);
                 let _ = write_frame(&mut stream, RESP_DONE, &0u32.to_le_bytes());
@@ -755,6 +763,18 @@ fn serve_metrics(stream: &mut TcpStream, ctx: &ConnCtx) -> Result<(), ServeError
     let mut w = Writer::new();
     w.put_str(&ctx.metrics.render());
     write_frame(stream, RESP_METRICS, &w.into_bytes())?;
+    Ok(())
+}
+
+/// Answers a `PROFILE` request with the process-global hot-spot profile
+/// accumulator in its parseable text form. The snapshot is taken under
+/// the accumulator's lock, so a mid-grid scrape is atomic with respect to
+/// engine flushes: counts are a consistent prefix of the work done, never
+/// a torn read.
+fn serve_profile(stream: &mut TcpStream) -> Result<(), ServeError> {
+    let mut w = Writer::new();
+    w.put_str(&hardbound_telemetry::profile::global().snapshot().to_text());
+    write_frame(stream, RESP_PROFILE, &w.into_bytes())?;
     Ok(())
 }
 
@@ -1535,6 +1555,32 @@ impl Client {
         }
     }
 
+    /// Fetches the server's accumulated hot-spot profile (non-empty only
+    /// when the server executes with `HB_PROF=1`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket failures, malformed frames, an unparseable
+    /// profile, or a server rejection (a pre-profile server answers `ERR
+    /// "unknown request kind"` — callers merging a cluster treat that
+    /// shard as an empty profile).
+    pub fn profile(&mut self) -> Result<hardbound_telemetry::Profile, ServeError> {
+        write_frame(&mut self.stream, REQ_PROFILE, &[])?;
+        let (kind, payload) =
+            read_frame(&mut self.stream)?.ok_or(ServeError::Protocol("server closed"))?;
+        match kind {
+            RESP_PROFILE => {
+                let mut r = Reader::new(&payload);
+                hardbound_telemetry::Profile::from_text(r.get_str()?).map_err(ServeError::Server)
+            }
+            RESP_ERR => {
+                let mut r = Reader::new(&payload);
+                Err(ServeError::Server(r.get_str()?.to_owned()))
+            }
+            _ => Err(ServeError::Protocol("expected a PROFILE response")),
+        }
+    }
+
     /// Asks the server to shut down after in-flight connections finish.
     ///
     /// # Errors
@@ -2045,6 +2091,101 @@ mod tests {
         assert!(text.contains("# TYPE hbserve_chunk_us histogram"), "{text}");
 
         client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    /// Satellite coverage: METRICS and PROFILE scrapes racing a grid
+    /// mid-execution (plus concurrent profile flushes) must never tear —
+    /// every scrape parses, profile invariants hold, and the monotonic
+    /// counters never go backwards.
+    #[test]
+    fn concurrent_scrapes_mid_grid_are_atomic_and_monotonic() {
+        use hardbound_telemetry::{BlockKey, BlockStat, Profile};
+        let (addr, handle) = spawn_server();
+        let cfg = MachineConfig::default().with_fuel(1_000_000);
+        let jobs: Vec<WireJob> = (0..96)
+            .map(|k| WireJob::new(&counting_program(200 + k), cfg.clone(), 0, 0))
+            .collect();
+        // Ticketed submission: the grid drains in the background while the
+        // scrapers below hammer the server.
+        let ticket = {
+            let mut c = Client::connect(addr).unwrap();
+            c.submit(&jobs).unwrap()
+        };
+        // Concurrent "engine flush" traffic into the profile accumulator:
+        // each flush adds 1 exec / 5 cycles to one block, so any snapshot
+        // that tore a flush in half would break `cycles == 5 * execs`.
+        const PROG: u64 = 0x5eed;
+        let seeder = std::thread::spawn(|| {
+            for i in 0..50u32 {
+                let mut p = Profile::new();
+                p.record(
+                    BlockKey {
+                        prog: PROG,
+                        func: 0,
+                        entry: i % 4,
+                    },
+                    &BlockStat {
+                        name: "seeded".into(),
+                        execs: 1,
+                        cycles: 5,
+                        elided: 0,
+                        taken: 0,
+                    },
+                );
+                hardbound_telemetry::profile::global().add(&p);
+                std::thread::yield_now();
+            }
+        });
+        let scraper = |addr: std::net::SocketAddr| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut last_cells = 0u64;
+                let mut last_execs = 0u64;
+                for _ in 0..25 {
+                    let text = c.metrics().unwrap();
+                    let cells = hardbound_telemetry::scrape_value(&text, "hbserve_cells_executed")
+                        .expect("metrics scrape must always carry the counter");
+                    assert!(cells >= last_cells, "counter went backwards");
+                    last_cells = cells;
+                    let p = c.profile().unwrap();
+                    let seeded: Vec<_> = p
+                        .blocks
+                        .iter()
+                        .filter(|(k, _)| k.prog == PROG)
+                        .map(|(_, s)| s)
+                        .collect();
+                    let execs: u64 = seeded.iter().map(|s| s.execs).sum();
+                    let cycles: u64 = seeded.iter().map(|s| s.cycles).sum();
+                    assert_eq!(cycles, 5 * execs, "torn profile snapshot");
+                    assert!(execs >= last_execs, "profile went backwards");
+                    last_execs = execs;
+                }
+            })
+        };
+        let scrapers: Vec<_> = (0..2).map(|_| scraper(addr)).collect();
+        let mut collector = Client::connect(addr).unwrap();
+        let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+        collector.watch_into(ticket, &mut results).unwrap();
+        for s in scrapers {
+            s.join().unwrap();
+        }
+        seeder.join().unwrap();
+        assert!(results.iter().all(Option::is_some));
+        let final_cells = hardbound_telemetry::scrape_value(
+            &collector.metrics().unwrap(),
+            "hbserve_cells_executed",
+        );
+        assert_eq!(final_cells, Some(96), "the whole grid executed");
+        let p = collector.profile().unwrap();
+        let execs: u64 = p
+            .blocks
+            .iter()
+            .filter(|(k, _)| k.prog == PROG)
+            .map(|(_, s)| s.execs)
+            .sum();
+        assert_eq!(execs, 50, "every flush landed exactly once");
+        collector.shutdown().unwrap();
         handle.join().unwrap();
     }
 

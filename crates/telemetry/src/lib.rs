@@ -13,6 +13,11 @@
 //!   JSONL to the file named by `HB_TRACE`. Trace context crosses the
 //!   `hbserve` wire so one grid submission yields a single merged trace
 //!   spanning client and every shard.
+//! * [`profile`] — cluster-mergeable per-superblock hot-spot [`Profile`]s
+//!   (exec counts, attributed cycles, checks elided/taken), rendered as
+//!   ranked-PC tables and folded-stack flamegraph text, shipped over the
+//!   `PROFILE` wire verb and summed client-side with exact count
+//!   conservation.
 //! * [`json`] — the tiny JSON emitter/parser backing the trace schema
 //!   (the build container has no serde).
 
@@ -21,10 +26,12 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use metrics::{
     bucket_of, bucket_upper, global, scrape_value, Counter, Gauge, Histogram, HistogramSnapshot,
     Registry, Snapshot, Value, HIST_BUCKETS,
 };
+pub use profile::{BlockKey, BlockStat, Profile, SharedProfile};
 pub use trace::{Field, SpanEvent, SpanId, SpanTimer, TraceCtx, TraceId};

@@ -403,11 +403,23 @@ impl Snapshot {
     /// Renders the snapshot in the Prometheus text exposition format:
     /// `# TYPE` comments, `name value` samples, histograms as cumulative
     /// `_bucket{le="..."}` series plus `_count`.
+    ///
+    /// Output is ordered by the **sanitized** metric name (labels within a
+    /// histogram family stay in bucket order). The registry map is keyed
+    /// by raw names, where `.` sorts before alphanumerics but sanitizes to
+    /// `_`, which sorts after — so iterating the map directly would leave
+    /// the exposition order dependent on which spelling registered the
+    /// metric, and repeated scrapes would not diff cleanly.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
+        let mut entries: Vec<(String, &Value)> = self
+            .values
+            .iter()
+            .map(|(name, v)| (sanitize(name), v))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out = String::new();
-        for (name, v) in &self.values {
-            let name = sanitize(name);
+        for (name, v) in entries {
             match v {
                 Value::Counter(n) => {
                     let _ = writeln!(out, "# TYPE {name} counter\n{name} {n}");
@@ -524,6 +536,27 @@ mod tests {
         assert_eq!(hd.count(), 2);
         assert_eq!(hd.counts[bucket_of(3)], 1);
         assert_eq!(hd.counts[bucket_of(100)], 1);
+    }
+
+    #[test]
+    fn render_is_sorted_by_sanitized_name() {
+        // Raw map order would put "grid.cells" (`.` = 0x2e) before
+        // "grid_age" (`_` = 0x5f); after sanitizing, "grid_age" must come
+        // first. Pin the exact exposition text so any ordering regression
+        // shows up as a golden diff.
+        let r = Registry::new();
+        r.counter("grid.cells").add(7);
+        r.gauge("grid_age").set(3);
+        r.counter("grid_cells_total").add(9);
+        let golden = "# TYPE grid_age gauge\n\
+                      grid_age 3\n\
+                      # TYPE grid_cells counter\n\
+                      grid_cells 7\n\
+                      # TYPE grid_cells_total counter\n\
+                      grid_cells_total 9\n";
+        assert_eq!(r.render(), golden);
+        // Repeated scrapes of an idle registry are byte-identical.
+        assert_eq!(r.render(), r.render());
     }
 
     #[test]

@@ -347,7 +347,24 @@ fn open_sink(path: &Path) -> std::io::Result<()> {
     let file = OpenOptions::new().create(true).append(true).open(path)?;
     *SINK.lock().unwrap() = Some(BufWriter::new(file));
     ENABLED.store(true, Relaxed);
+    install_panic_flush();
     Ok(())
+}
+
+static PANIC_FLUSH: Once = Once::new();
+
+/// Chains a panic hook that flushes the JSONL sink before unwinding
+/// proceeds, so a trap-path assert or `HB_OPT_AUDIT` panic cannot strand
+/// the final spans in the `BufWriter`. Installed once, only after a sink
+/// exists — a process that never traces keeps the stock hook.
+fn install_panic_flush() {
+    PANIC_FLUSH.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            flush();
+            prev(info);
+        }));
+    });
 }
 
 /// Opens (appending) a JSONL sink at `path` and enables tracing,
@@ -431,6 +448,39 @@ mod tests {
              \"kind\":\"k\",\"start_us\":1,\"dur_us\":1,\"bad\":-1}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn panic_flushes_buffered_spans() {
+        let path = std::env::temp_dir().join(format!("hbtrace-panic-{:016x}.jsonl", fresh_id()));
+        install(&path).unwrap();
+        let mk = |kind: &str| SpanEvent {
+            trace: TraceId(0x51),
+            span: SpanId(fresh_id()),
+            parent: SpanId::NONE,
+            kind: kind.into(),
+            start_us: now_us(),
+            dur_us: 1,
+            fields: vec![("cells".into(), Field::U64(6))],
+        };
+        emit(&mk("before_panic"));
+        let doomed = mk("during_panic");
+        let worker = std::thread::spawn(move || {
+            emit(&doomed);
+            panic!("simulated trap-path assert");
+        });
+        assert!(worker.join().is_err());
+        // Read *before* any flush/disable from this thread: the only thing
+        // that can have moved the buffered lines to disk is the panic hook.
+        let text = std::fs::read_to_string(&path).unwrap();
+        disable();
+        let _ = std::fs::remove_file(&path);
+        let kinds: Vec<String> = text
+            .lines()
+            .map(|l| SpanEvent::parse(l).expect("every line parses").kind)
+            .collect();
+        assert!(kinds.contains(&"before_panic".to_string()), "{kinds:?}");
+        assert!(kinds.contains(&"during_panic".to_string()), "{kinds:?}");
     }
 
     #[test]
